@@ -1,0 +1,38 @@
+//! **F2 (bench)** — adversary machinery cost: valency analysis and
+//! non-termination certificate search over doomed candidates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsa_bench::mixed_binary_inputs;
+use lbsa_core::AnyObject;
+use lbsa_explorer::adversary::{bivalent_survival, find_nontermination};
+use lbsa_explorer::valency::ValencyAnalysis;
+use lbsa_explorer::{Explorer, Limits};
+use lbsa_protocols::candidates::WaitForWinner;
+use std::hint::black_box;
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary");
+    group.sample_size(20);
+
+    let p = WaitForWinner::new(mixed_binary_inputs(3));
+    let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::register()];
+    let graph = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+
+    group.bench_function("valency_analysis", |b| {
+        b.iter(|| black_box(ValencyAnalysis::analyze(&graph).census()));
+    });
+
+    group.bench_function("find_nontermination", |b| {
+        b.iter(|| black_box(find_nontermination(&graph)));
+    });
+
+    let analysis = ValencyAnalysis::analyze(&graph);
+    group.bench_function("bivalent_survival", |b| {
+        b.iter(|| black_box(bivalent_survival(&graph, &analysis, 10_000)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

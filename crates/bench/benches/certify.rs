@@ -1,0 +1,44 @@
+//! **T4 (bench)** — consensus-number certification cost per object family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsa_core::AnyObject;
+use lbsa_explorer::Limits;
+use lbsa_hierarchy::certify::{certified_consensus_number, Face};
+use std::hint::black_box;
+
+fn bench_certify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certify");
+    group.sample_size(10);
+
+    group.bench_function("consensus_3", |b| {
+        let obj = AnyObject::consensus(3).unwrap();
+        b.iter(|| {
+            black_box(
+                certified_consensus_number(&obj, Face::Propose, 5, Limits::default()).unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("o_2", |b| {
+        let obj = AnyObject::o_n(2).unwrap();
+        b.iter(|| {
+            black_box(
+                certified_consensus_number(&obj, Face::ProposeC, 4, Limits::default()).unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("o_prime_2", |b| {
+        let obj = AnyObject::o_prime_n(2, 2).unwrap();
+        b.iter(|| {
+            black_box(
+                certified_consensus_number(&obj, Face::PowerLevel1, 4, Limits::default()).unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_certify);
+criterion_main!(benches);

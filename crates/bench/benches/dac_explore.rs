@@ -1,0 +1,32 @@
+//! **T2 (bench)** — full n-DAC verification cost: exploring Algorithm 2 and
+//! running all four DAC property checks (including solo-run re-exploration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbsa_bench::mixed_binary_inputs;
+use lbsa_core::{AnyObject, ObjId, Pid};
+use lbsa_explorer::checker::check_dac;
+use lbsa_explorer::{Explorer, Limits};
+use lbsa_protocols::dac::DacFromPac;
+use std::hint::black_box;
+
+fn bench_dac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dac_explore");
+    group.sample_size(10);
+
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("check_dac", n), &n, |b, &n| {
+            let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
+            let objects = vec![AnyObject::pac(n).unwrap()];
+            b.iter(|| {
+                let ex = Explorer::new(&p, &objects);
+                let stats = check_dac(&ex, &p.instance(), Limits::default(), 6 * n).unwrap();
+                black_box(stats.configs)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dac);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **F1 (bench)** — exhaustive exploration throughput as the process count
+//! grows (consensus race and 2-SA branching workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
+use lbsa_core::{AnyObject, ObjId};
+use lbsa_explorer::{Explorer, Limits};
+use lbsa_protocols::consensus_protocols::ConsensusViaObject;
+use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_scaling");
+    group.sample_size(10);
+
+    for n in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("consensus_race", n), &n, |b, &n| {
+            let p = ConsensusViaObject::new(mixed_binary_inputs(n), ObjId(0));
+            let objects = vec![AnyObject::consensus(n).unwrap()];
+            b.iter(|| {
+                let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+                black_box(g.configs.len())
+            });
+        });
+    }
+
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("strong_sa_race", n), &n, |b, &n| {
+            let p = KSetViaStrongSa::new(distinct_inputs(n), ObjId(0));
+            let objects = vec![AnyObject::strong_sa()];
+            b.iter(|| {
+                let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+                black_box(g.transitions)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

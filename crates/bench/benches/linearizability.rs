@@ -1,0 +1,75 @@
+//! **F4** — linearizability checker runtime vs history length and
+//! contention (the validation cost of every derived implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbsa_core::value::int;
+use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
+use lbsa_explorer::linearizability::check_linearizable;
+use lbsa_runtime::derived::CompletedOp;
+use std::hint::black_box;
+
+/// A sequential register history of alternating writes and reads.
+fn sequential_register_history(len: usize) -> Vec<CompletedOp> {
+    let mut h = Vec::with_capacity(len);
+    let mut last = Value::Nil;
+    for i in 0..len {
+        let (op, response) = if i % 2 == 0 {
+            last = int((i / 2) as i64);
+            (Op::Write(last), Value::Done)
+        } else {
+            (Op::Read, last)
+        };
+        h.push(CompletedOp {
+            pid: Pid(i % 3),
+            obj: ObjId(0),
+            op,
+            response,
+            invoked_at: i,
+            responded_at: i,
+        });
+    }
+    h
+}
+
+/// A fully-overlapping consensus history: all proposals span the whole run.
+fn overlapping_consensus_history(width: usize) -> Vec<CompletedOp> {
+    (0..width)
+        .map(|i| CompletedOp {
+            pid: Pid(i),
+            obj: ObjId(0),
+            op: Op::Propose(int(i as i64)),
+            response: int(0),
+            invoked_at: 0,
+            responded_at: 100,
+        })
+        .collect()
+}
+
+fn bench_linearizability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearizability");
+
+    for len in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("sequential_register", len), &len, |b, &len| {
+            let history = sequential_register_history(len);
+            let specs = vec![AnyObject::register()];
+            b.iter(|| black_box(check_linearizable(&history, &specs).unwrap()));
+        });
+    }
+
+    for width in [3usize, 5, 7] {
+        group.bench_with_input(
+            BenchmarkId::new("overlapping_consensus", width),
+            &width,
+            |b, &width| {
+                let history = overlapping_consensus_history(width);
+                let specs = vec![AnyObject::consensus(width).unwrap()];
+                b.iter(|| black_box(check_linearizable(&history, &specs).unwrap()));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_linearizability);
+criterion_main!(benches);

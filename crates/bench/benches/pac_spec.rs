@@ -1,0 +1,46 @@
+//! **T1 (bench)** — exhaustive PAC property sweep throughput: how fast the
+//! spec-level checks of experiment T1 run (sequences per second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsa_core::history::{check_pac_properties, for_each_op_sequence, pac_op_alphabet, run_pac};
+use lbsa_core::pac::PacSpec;
+use lbsa_core::value::int;
+use std::hint::black_box;
+
+fn bench_pac_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pac_spec");
+    group.sample_size(20);
+
+    group.bench_function("exhaustive_sweep_n2_len4", |b| {
+        let spec = PacSpec::new(2).unwrap();
+        let alphabet = pac_op_alphabet(2, &[int(1), int(2)]);
+        b.iter(|| {
+            let mut checked = 0usize;
+            for_each_op_sequence(&alphabet, 4, |ops| {
+                let history = run_pac(&spec, ops).unwrap();
+                check_pac_properties(&history).unwrap();
+                checked += 1;
+            });
+            black_box(checked)
+        });
+    });
+
+    group.bench_function("exhaustive_sweep_n3_len3", |b| {
+        let spec = PacSpec::new(3).unwrap();
+        let alphabet = pac_op_alphabet(3, &[int(1), int(2)]);
+        b.iter(|| {
+            let mut checked = 0usize;
+            for_each_op_sequence(&alphabet, 3, |ops| {
+                let history = run_pac(&spec, ops).unwrap();
+                check_pac_properties(&history).unwrap();
+                checked += 1;
+            });
+            black_box(checked)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pac_sweep);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! **T5 (bench)** — full separation pipeline cost for n = 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsa_explorer::Limits;
+use lbsa_hierarchy::power::{certify_power_table_o_n, certify_power_table_o_prime};
+use lbsa_hierarchy::separation::run_separation;
+use std::hint::black_box;
+
+fn bench_separation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separation");
+    group.sample_size(10);
+
+    group.bench_function("power_table_o_2", |b| {
+        b.iter(|| black_box(certify_power_table_o_n(2, 2, Limits::default()).unwrap()));
+    });
+
+    group.bench_function("power_table_o_prime_2", |b| {
+        b.iter(|| black_box(certify_power_table_o_prime(2, 2, Limits::default()).unwrap()));
+    });
+
+    group.bench_function("full_pipeline_n2", |b| {
+        b.iter(|| black_box(run_separation(2, 2, Limits::default(), 3).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_separation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **F5 (bench)** — universal-construction overhead: base steps executed
+//! per simulated front-end operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsa_core::value::int;
+use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
+use lbsa_protocols::universal::UniversalProcedure;
+use lbsa_runtime::derived::DerivedProtocol;
+use lbsa_runtime::outcome::FirstOutcome;
+use lbsa_runtime::process::{Protocol, Step};
+use lbsa_runtime::scheduler::RoundRobin;
+use lbsa_runtime::system::System;
+use std::hint::black_box;
+
+#[derive(Debug)]
+struct Churn {
+    n: usize,
+}
+
+impl Protocol for Churn {
+    type LocalState = u8;
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+    fn init(&self, _pid: Pid) -> u8 {
+        0
+    }
+    fn pending_op(&self, pid: Pid, s: &u8) -> (ObjId, Op) {
+        if *s == 0 {
+            (ObjId(0), Op::Write(int(pid.index() as i64 + 1)))
+        } else {
+            (ObjId(0), Op::Read)
+        }
+    }
+    fn on_response(&self, _pid: Pid, s: &u8, _r: Value) -> Step<u8> {
+        if *s == 0 {
+            Step::Continue(1)
+        } else {
+            Step::Halt
+        }
+    }
+}
+
+fn bench_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal");
+
+    for n in [2usize, 3, 4] {
+        let mut ops = vec![Op::Read];
+        ops.extend((1..=n).map(|i| Op::Write(int(i as i64))));
+        let uni = UniversalProcedure::new(AnyObject::register(), ops, n, 2 * n + 2).unwrap();
+        let inner = Churn { n };
+        group.bench_function(format!("register_churn_n{n}"), |b| {
+            b.iter(|| {
+                let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
+                let objects = uni.base_objects().unwrap();
+                let mut sys = System::new(&derived, &objects).unwrap();
+                sys.set_record_trace(false);
+                let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 1_000_000).unwrap();
+                black_box(res.steps)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_universal);
+criterion_main!(benches);

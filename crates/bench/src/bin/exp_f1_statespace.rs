@@ -1,0 +1,78 @@
+//! **Experiment F1** — state-space scaling of exhaustive exploration.
+//!
+//! Measures how the execution-graph size grows with the number of
+//! processes, for the two workhorse workloads of the experiments: the
+//! one-shot consensus race and Algorithm 2 (whose retry loops make the
+//! graph cyclic and denser).
+//!
+//! Run with `cargo run --release -p lbsa-bench --bin exp_f1_statespace`.
+
+use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
+use lbsa_core::{AnyObject, ObjId, Pid};
+use lbsa_explorer::{Explorer, Limits};
+use lbsa_hierarchy::report::Table;
+use lbsa_protocols::consensus_protocols::ConsensusViaObject;
+use lbsa_protocols::dac::DacFromPac;
+use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
+use std::time::Instant;
+
+fn main() {
+    let limits = Limits::new(5_000_000);
+    let mut table = Table::new(
+        "F1 — execution-graph size vs processes (exhaustive exploration)",
+        vec!["workload", "processes", "configs", "transitions", "cyclic", "time (ms)"],
+    );
+
+    for n in 2..=7usize {
+        let inputs = mixed_binary_inputs(n);
+        let p = ConsensusViaObject::new(inputs, ObjId(0));
+        let objects = vec![AnyObject::consensus(n).expect("valid")];
+        let start = Instant::now();
+        let g = Explorer::new(&p, &objects).explore(limits).expect("explorable");
+        let ms = start.elapsed().as_millis();
+        table.row(vec![
+            "consensus race".into(),
+            n.to_string(),
+            g.configs.len().to_string(),
+            g.transitions.to_string(),
+            g.has_cycle().to_string(),
+            ms.to_string(),
+        ]);
+    }
+
+    for n in 2..=5usize {
+        let inputs = mixed_binary_inputs(n);
+        let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
+        let objects = vec![AnyObject::pac(n).expect("valid")];
+        let start = Instant::now();
+        let g = Explorer::new(&p, &objects).explore(limits).expect("explorable");
+        let ms = start.elapsed().as_millis();
+        table.row(vec![
+            "Algorithm 2 (n-DAC)".into(),
+            n.to_string(),
+            g.configs.len().to_string(),
+            g.transitions.to_string(),
+            g.has_cycle().to_string(),
+            ms.to_string(),
+        ]);
+    }
+
+    for n in 2..=6usize {
+        let inputs = distinct_inputs(n);
+        let p = KSetViaStrongSa::new(inputs, ObjId(0));
+        let objects = vec![AnyObject::strong_sa()];
+        let start = Instant::now();
+        let g = Explorer::new(&p, &objects).explore(limits).expect("explorable");
+        let ms = start.elapsed().as_millis();
+        table.row(vec![
+            "2-SA race (nondet branching)".into(),
+            n.to_string(),
+            g.configs.len().to_string(),
+            g.transitions.to_string(),
+            g.has_cycle().to_string(),
+            ms.to_string(),
+        ]);
+    }
+
+    println!("{table}");
+}

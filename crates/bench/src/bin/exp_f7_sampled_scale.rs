@@ -1,0 +1,105 @@
+//! **Experiment F7 (extension)** — sampled checking above the exhaustive
+//! frontier.
+//!
+//! Exhaustive exploration certifies everything up to ~6 processes; this
+//! experiment pushes the same *safety* properties to larger instances with
+//! seeded random sampling (violations would come back with a reproducing
+//! seed). Termination is reported as quiescent-vs-budget counts: n-DAC's
+//! retry loops legitimately starve under adversarial randomness, and the
+//! table shows exactly how often.
+//!
+//! Run with `cargo run --release -p lbsa-bench --bin exp_f7_sampled_scale`.
+
+use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
+use lbsa_core::{AnyObject, ObjId, Pid};
+use lbsa_explorer::sampling::{sample_k_set_agreement, SampleConfig};
+use lbsa_hierarchy::report::Table;
+use lbsa_protocols::dac::DacFromPac;
+use lbsa_protocols::set_agreement_protocols::{GroupSplitKSet, KSetViaPowerLevel};
+
+fn main() {
+    let mut table = Table::new(
+        "F7 — sampled safety checks beyond the exhaustive frontier",
+        vec!["workload", "processes", "k", "runs", "quiescent", "budget-stopped", "distinct outcomes", "verdict"],
+    );
+    let config = SampleConfig { runs: 500, seed0: 0, max_steps: 50_000 };
+
+    // Algorithm 2 at n = 6, 8, 10: agreement/validity hold on every sampled
+    // run; some runs hit the budget (retry-loop starvation — expected).
+    for n in [6usize, 8, 10] {
+        let inputs = mixed_binary_inputs(n);
+        let protocol = DacFromPac::new(inputs.clone(), Pid(0), ObjId(0)).expect("n >= 2");
+        let objects = vec![AnyObject::pac(n).expect("valid")];
+        let row = match sample_k_set_agreement(&protocol, &objects, 1, &inputs, config) {
+            Ok(r) => vec![
+                "Algorithm 2 (n-DAC)".to_string(),
+                n.to_string(),
+                "1".into(),
+                r.runs.to_string(),
+                r.quiescent.to_string(),
+                r.budget_hit.to_string(),
+                r.distinct_outcomes.to_string(),
+                "safety holds".into(),
+            ],
+            Err(v) => vec![
+                "Algorithm 2 (n-DAC)".to_string(),
+                n.to_string(),
+                "1".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("VIOLATED: {v}"),
+            ],
+        };
+        table.row(row);
+    }
+
+    // Group-split k-set agreement at k·n = 12 (k = 3 groups of 4).
+    {
+        let inputs = distinct_inputs(12);
+        let protocol = GroupSplitKSet::via_combined(inputs.clone(), 4).expect("group size 4");
+        let objects: Vec<AnyObject> = (0..3).map(|_| AnyObject::o_n(4).expect("valid")).collect();
+        let row = match sample_k_set_agreement(&protocol, &objects, 3, &inputs, config) {
+            Ok(r) => vec![
+                "group-split over O_4".to_string(),
+                "12".into(),
+                "3".into(),
+                r.runs.to_string(),
+                r.quiescent.to_string(),
+                r.budget_hit.to_string(),
+                r.distinct_outcomes.to_string(),
+                "safety holds".into(),
+            ],
+            Err(v) => vec!["group-split over O_4".to_string(), "12".into(), "3".into(),
+                String::new(), String::new(), String::new(), String::new(), format!("VIOLATED: {v}")],
+        };
+        table.row(row);
+    }
+
+    // O'_4 level 3 among n_3 = 12 processes.
+    {
+        let inputs = distinct_inputs(12);
+        let protocol = KSetViaPowerLevel::new(inputs.clone(), ObjId(0), 3);
+        let objects = vec![AnyObject::o_prime_n(4, 3).expect("valid")];
+        let row = match sample_k_set_agreement(&protocol, &objects, 3, &inputs, config) {
+            Ok(r) => vec![
+                "O'_4 level 3".to_string(),
+                "12".into(),
+                "3".into(),
+                r.runs.to_string(),
+                r.quiescent.to_string(),
+                r.budget_hit.to_string(),
+                r.distinct_outcomes.to_string(),
+                "safety holds".into(),
+            ],
+            Err(v) => vec!["O'_4 level 3".to_string(), "12".into(), "3".into(),
+                String::new(), String::new(), String::new(), String::new(), format!("VIOLATED: {v}")],
+        };
+        table.row(row);
+    }
+
+    println!("{table}");
+    println!("Sampling checks safety only; a pass is evidence, not proof (seeds make");
+    println!("any violation reproducible). Exhaustive certification lives in T1-T6.");
+}

@@ -1,0 +1,66 @@
+//! **Experiment T4** — Observations 5.1/6.2, Theorems 5.2/5.3: certified
+//! consensus numbers.
+//!
+//! For each object family, certifies the consensus number: the largest `n`
+//! at which the canonical protocol passes the exhaustive consensus check,
+//! together with the violation exhibited at `n + 1`. The table reproduces
+//! the paper's placement claims: `(n,m)-PAC` at level `m` (Theorem 5.3),
+//! hence `Oₙ` at level `n` (Observation 6.2), `O'ₙ` at level `n`, the 2-SA
+//! object at level 1.
+//!
+//! Run with `cargo run --release -p lbsa-bench --bin exp_t4_hierarchy_level`.
+
+use lbsa_core::AnyObject;
+use lbsa_explorer::Limits;
+use lbsa_hierarchy::certify::{certified_consensus_number, Face};
+use lbsa_hierarchy::report::Table;
+
+fn main() {
+    let limits = Limits::new(2_000_000);
+    let cap = 5;
+    let mut table = Table::new(
+        "T4 — certified consensus numbers (upper bound exhaustive; n+1 refuted on the canonical protocol)",
+        vec!["object", "expected level", "certified level", "configs swept", "refutation at n+1"],
+    );
+
+    let cases: Vec<(String, AnyObject, Face, usize)> = vec![
+        ("1-consensus".into(), AnyObject::consensus(1).unwrap(), Face::Propose, 1),
+        ("2-consensus".into(), AnyObject::consensus(2).unwrap(), Face::Propose, 2),
+        ("3-consensus".into(), AnyObject::consensus(3).unwrap(), Face::Propose, 3),
+        ("4-consensus".into(), AnyObject::consensus(4).unwrap(), Face::Propose, 4),
+        ("2-SA (strong)".into(), AnyObject::strong_sa(), Face::Propose, 1),
+        ("(3,1)-SA".into(), AnyObject::set_agreement(3, 1).unwrap(), Face::Propose, 3),
+        ("(4,2)-SA".into(), AnyObject::set_agreement(4, 2).unwrap(), Face::Propose, 1),
+        ("(5,2)-PAC".into(), AnyObject::combined_pac(5, 2).unwrap(), Face::ProposeC, 2),
+        ("(2,3)-PAC".into(), AnyObject::combined_pac(2, 3).unwrap(), Face::ProposeC, 3),
+        ("O_2 = (3,2)-PAC".into(), AnyObject::o_n(2).unwrap(), Face::ProposeC, 2),
+        ("O_3 = (4,3)-PAC".into(), AnyObject::o_n(3).unwrap(), Face::ProposeC, 3),
+        ("O'_2 (K = 2)".into(), AnyObject::o_prime_n(2, 2).unwrap(), Face::PowerLevel1, 2),
+        ("O'_3 (K = 2)".into(), AnyObject::o_prime_n(3, 2).unwrap(), Face::PowerLevel1, 3),
+    ];
+
+    for (name, object, face, expected) in cases {
+        match certified_consensus_number(&object, face, cap, limits) {
+            Ok(cert) => {
+                let mark = if cert.level == expected { "" } else { "  <-- MISMATCH" };
+                table.row(vec![
+                    name,
+                    expected.to_string(),
+                    format!("{}{mark}", cert.level),
+                    cert.upper.configs.to_string(),
+                    format!("{}", cert.refutation),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![
+                    name,
+                    expected.to_string(),
+                    format!("ERROR: {e}"),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+}

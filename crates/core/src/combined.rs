@@ -1,0 +1,245 @@
+//! The **(n,m)-PAC** object — Section 5 of the paper — and the paper's
+//! `Oₙ = (n+1, n)-PAC` (Definition 6.1).
+//!
+//! An (n,m)-PAC object is the product of an n-PAC object `P` and an
+//! m-consensus object `C`, with three operations:
+//!
+//! * `PROPOSEC(v)` — redirected to `C.PROPOSE(v)`,
+//! * `PROPOSEP(v, i)` — redirected to `P.PROPOSE(v, i)`,
+//! * `DECIDEP(i)` — redirected to `P.DECIDE(i)`.
+//!
+//! Both components are deterministic, so the (n,m)-PAC object is
+//! deterministic (the paper stresses this: `Oₙ` is the *deterministic*
+//! object of Corollary 6.7). Theorem 5.3 places (n,m)-PAC at level `m` of
+//! the consensus hierarchy for every `n >= 1`, `m >= 2` — the PAC component
+//! adds "orthogonal" power that set agreement cannot see.
+
+use crate::consensus::{ConsensusSpec, ConsensusState};
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::pac::{PacSpec, PacState};
+use crate::spec::{ObjectSpec, Outcomes};
+
+/// State of an [`CombinedPacSpec`] object: the pair of component states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CombinedPacState {
+    /// State of the embedded n-PAC object `P`.
+    pub pac: PacState,
+    /// State of the embedded m-consensus object `C`.
+    pub consensus: ConsensusState,
+}
+
+/// Sequential specification of the (n,m)-PAC object.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::combined::CombinedPacSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+/// use lbsa_core::ids::Label;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// // O_2 = (3, 2)-PAC.
+/// let o2 = CombinedPacSpec::o_n(2)?;
+/// assert_eq!((o2.n(), o2.m()), (3, 2));
+/// let mut s = o2.initial_state();
+///
+/// // The consensus face: first value wins.
+/// assert_eq!(o2.apply_deterministic(&mut s, &Op::ProposeC(Value::Int(8)))?, Value::Int(8));
+/// assert_eq!(o2.apply_deterministic(&mut s, &Op::ProposeC(Value::Int(9)))?, Value::Int(8));
+///
+/// // The PAC face is untouched by consensus traffic.
+/// let l1 = Label::new(1)?;
+/// o2.apply_deterministic(&mut s, &Op::ProposeP(Value::Int(5), l1))?;
+/// assert_eq!(o2.apply_deterministic(&mut s, &Op::DecideP(l1))?, Value::Int(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CombinedPacSpec {
+    pac: PacSpec,
+    consensus: ConsensusSpec,
+}
+
+impl CombinedPacSpec {
+    /// Creates an (n,m)-PAC specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `n == 0` or `m == 0`.
+    pub fn new(n: usize, m: usize) -> Result<Self, SpecError> {
+        Ok(CombinedPacSpec { pac: PacSpec::new(n)?, consensus: ConsensusSpec::new(m)? })
+    }
+
+    /// Creates the paper's object `Oₙ = (n+1, n)-PAC` (Definition 6.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `n < 2` (the paper's
+    /// separation result is for levels `n >= 2` of the hierarchy).
+    pub fn o_n(n: usize) -> Result<Self, SpecError> {
+        if n < 2 {
+            return Err(SpecError::InvalidArity { what: "n", got: n, min: 2 });
+        }
+        CombinedPacSpec::new(n + 1, n)
+    }
+
+    /// The PAC arity `n` (number of labels).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.pac.n()
+    }
+
+    /// The consensus arity `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.consensus.n()
+    }
+
+    /// The embedded n-PAC specification.
+    #[must_use]
+    pub fn pac_component(&self) -> &PacSpec {
+        &self.pac
+    }
+
+    /// The embedded m-consensus specification.
+    #[must_use]
+    pub fn consensus_component(&self) -> &ConsensusSpec {
+        &self.consensus
+    }
+
+    /// Returns `true` if the embedded PAC object is upset in `state`.
+    #[must_use]
+    pub fn is_upset(&self, state: &CombinedPacState) -> bool {
+        self.pac.is_upset(&state.pac)
+    }
+}
+
+impl ObjectSpec for CombinedPacSpec {
+    type State = CombinedPacState;
+
+    fn name(&self) -> &'static str {
+        "(n,m)-PAC"
+    }
+
+    fn initial_state(&self) -> CombinedPacState {
+        CombinedPacState {
+            pac: self.pac.initial_state(),
+            consensus: self.consensus.initial_state(),
+        }
+    }
+
+    fn outcomes(
+        &self,
+        state: &CombinedPacState,
+        op: &Op,
+    ) -> Result<Outcomes<CombinedPacState>, SpecError> {
+        match op {
+            Op::ProposeC(v) => {
+                let (resp, cons) =
+                    self.consensus.outcomes(&state.consensus, &Op::Propose(*v))?.into_single();
+                Ok(Outcomes::single(resp, CombinedPacState { pac: state.pac.clone(), consensus: cons }))
+            }
+            Op::ProposeP(v, label) => {
+                let (resp, pac) = self.pac.propose(&state.pac, *v, *label)?;
+                Ok(Outcomes::single(resp, CombinedPacState { pac, consensus: state.consensus }))
+            }
+            Op::DecideP(label) => {
+                let (resp, pac) = self.pac.decide(&state.pac, *label)?;
+                Ok(Outcomes::single(resp, CombinedPacState { pac, consensus: state.consensus }))
+            }
+            other => Err(SpecError::UnsupportedOp { object: "(n,m)-PAC", op: *other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Label;
+    use crate::value::{int, Value};
+
+    fn l(i: usize) -> Label {
+        Label::new(i).unwrap()
+    }
+
+    #[test]
+    fn o_n_arities() {
+        for n in 2..=5 {
+            let o = CombinedPacSpec::o_n(n).unwrap();
+            assert_eq!(o.n(), n + 1, "O_n embeds an (n+1)-PAC");
+            assert_eq!(o.m(), n, "O_n embeds an n-consensus");
+        }
+        assert!(CombinedPacSpec::o_n(1).is_err());
+        assert!(CombinedPacSpec::o_n(0).is_err());
+    }
+
+    #[test]
+    fn components_are_independent() {
+        let obj = CombinedPacSpec::new(2, 2).unwrap();
+        let mut s = obj.initial_state();
+        // Consensus traffic does not set PAC's L: PROPOSEC between a PAC
+        // propose/decide pair must NOT make the decide return ⊥, because
+        // the components are separate objects glued behind one interface.
+        obj.apply_deterministic(&mut s, &Op::ProposeP(int(3), l(1))).unwrap();
+        obj.apply_deterministic(&mut s, &Op::ProposeC(int(4))).unwrap();
+        assert_eq!(obj.apply_deterministic(&mut s, &Op::DecideP(l(1))).unwrap(), int(3));
+    }
+
+    #[test]
+    fn consensus_face_budget() {
+        let obj = CombinedPacSpec::new(3, 2).unwrap();
+        let mut s = obj.initial_state();
+        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(1))).unwrap(), int(1));
+        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(2))).unwrap(), int(1));
+        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(3))).unwrap(), Value::Bot);
+    }
+
+    #[test]
+    fn pac_face_upset_propagates() {
+        let obj = CombinedPacSpec::new(2, 2).unwrap();
+        let mut s = obj.initial_state();
+        obj.apply_deterministic(&mut s, &Op::DecideP(l(1))).unwrap(); // upset
+        assert!(obj.is_upset(&s));
+        // The consensus face keeps working even when the PAC face is upset.
+        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(7))).unwrap(), int(7));
+    }
+
+    #[test]
+    fn rejects_bare_pac_and_consensus_ops() {
+        // The (n,m)-PAC interface is PROPOSEC/PROPOSEP/DECIDEP; the bare
+        // Propose / ProposePac / DecidePac forms belong to the component
+        // objects, not the combination.
+        let obj = CombinedPacSpec::new(2, 2).unwrap();
+        let s = obj.initial_state();
+        for op in [Op::Propose(int(1)), Op::ProposePac(int(1), l(1)), Op::DecidePac(l(1)), Op::Read]
+        {
+            assert!(matches!(obj.outcomes(&s, &op), Err(SpecError::UnsupportedOp { .. })));
+        }
+    }
+
+    #[test]
+    fn label_range_follows_pac_component() {
+        let obj = CombinedPacSpec::new(2, 5).unwrap();
+        let s = obj.initial_state();
+        assert_eq!(
+            obj.outcomes(&s, &Op::ProposeP(int(1), l(3))).unwrap_err(),
+            SpecError::LabelOutOfRange { label: 3, n: 2 }
+        );
+    }
+
+    #[test]
+    fn combined_is_deterministic() {
+        // The paper stresses O_n is deterministic (Corollary 6.7).
+        assert!(CombinedPacSpec::o_n(2).unwrap().is_deterministic());
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let obj = CombinedPacSpec::new(4, 3).unwrap();
+        assert_eq!(obj.pac_component().n(), 4);
+        assert_eq!(obj.consensus_component().n(), 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types for object specifications.
+
+use crate::op::Op;
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by an object specification when an operation is
+/// malformed for that object.
+///
+/// These errors correspond to *type errors of the model* — a process applying
+/// a `DECIDE` to a register, proposing the reserved symbol `⊥`, or using a
+/// label outside `[1..n]`. They are distinct from in-model failure responses
+/// such as `⊥`, which are ordinary [`Value`]s returned by well-formed
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::register::RegisterSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::ids::Label;
+///
+/// let reg = RegisterSpec::new();
+/// let state = reg.initial_state();
+/// let label = Label::new(1).unwrap();
+/// let err = reg.outcomes(&state, &Op::DecidePac(label)).unwrap_err();
+/// assert!(err.to_string().contains("does not support"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The operation is not part of this object's interface.
+    UnsupportedOp {
+        /// Human-readable name of the object family, e.g. `"register"`.
+        object: &'static str,
+        /// The offending operation.
+        op: Op,
+    },
+    /// A PAC label was outside the object's `[1..n]` range.
+    LabelOutOfRange {
+        /// The 1-based label that was used.
+        label: usize,
+        /// The object's arity `n`.
+        n: usize,
+    },
+    /// A label of `0` was constructed; labels are 1-based.
+    ZeroLabel,
+    /// A reserved value (`NIL`, `⊥`, or `done`) was proposed.
+    ReservedValue(Value),
+    /// An object was constructed with an invalid arity (e.g. a `0`-consensus
+    /// object or an `(n, 0)`-SA object).
+    InvalidArity {
+        /// Name of the offending parameter, e.g. `"n"` or `"k"`.
+        what: &'static str,
+        /// The value supplied.
+        got: usize,
+        /// The minimum admissible value.
+        min: usize,
+    },
+    /// A state of the wrong object family was passed to an [`crate::any::AnyObject`].
+    StateMismatch {
+        /// The object family that received the state.
+        object: &'static str,
+        /// The family the state actually belongs to.
+        state: &'static str,
+    },
+    /// A `PROPOSE(v, k)` on a power object used a level `k` outside the
+    /// materialized range `[1..=max_k]`.
+    PowerLevelOutOfRange {
+        /// The requested set-agreement level.
+        k: usize,
+        /// The largest materialized level.
+        max_k: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnsupportedOp { object, op } => {
+                write!(f, "{object} object does not support operation {op}")
+            }
+            SpecError::LabelOutOfRange { label, n } => {
+                write!(f, "label {label} is out of range for an object with n = {n}")
+            }
+            SpecError::ZeroLabel => write!(f, "labels are 1-based; 0 is not a valid label"),
+            SpecError::ReservedValue(v) => {
+                write!(f, "reserved value {v} may not be proposed")
+            }
+            SpecError::InvalidArity { what, got, min } => {
+                write!(f, "invalid arity: {what} = {got}, but {what} must be at least {min}")
+            }
+            SpecError::StateMismatch { object, state } => {
+                write!(f, "{object} object was given a {state} state")
+            }
+            SpecError::PowerLevelOutOfRange { k, max_k } => {
+                write!(f, "power object has no component for k = {k} (max materialized k is {max_k})")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<SpecError> = vec![
+            SpecError::UnsupportedOp { object: "register", op: Op::Propose(Value::Int(1)) },
+            SpecError::LabelOutOfRange { label: 5, n: 3 },
+            SpecError::ZeroLabel,
+            SpecError::ReservedValue(Value::Bot),
+            SpecError::InvalidArity { what: "n", got: 0, min: 1 },
+            SpecError::StateMismatch { object: "consensus", state: "register" },
+            SpecError::PowerLevelOutOfRange { k: 9, max_k: 4 },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || !msg.starts_with(char::is_uppercase));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

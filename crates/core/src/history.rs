@@ -1,0 +1,484 @@
+//! Sequential histories, PAC-history **legality**, and executable versions
+//! of the paper's Lemmas 3.2–3.4 and Theorem 3.5.
+//!
+//! Section 3 of the paper defines: a history of an n-PAC object is *legal*
+//! if for all `i ∈ [1..n]`, the subsequence of operations with label `i` is
+//! either empty, or begins with a propose operation and alternates between
+//! propose and decide operations. An n-PAC object is upset **iff** its
+//! history is not legal (Lemma 3.2) — this module provides both sides of
+//! that equivalence as executable checks, which the test-suite and the
+//! experiment binaries run exhaustively over bounded operation spaces.
+
+use crate::error::SpecError;
+use crate::ids::Label;
+use crate::op::Op;
+use crate::pac::PacSpec;
+use crate::spec::ObjectSpec;
+use crate::value::Value;
+use std::fmt;
+
+/// One completed operation in a sequential history: the operation and the
+/// response it received.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// The operation applied.
+    pub op: Op,
+    /// The response the object returned.
+    pub response: Value,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.op, self.response)
+    }
+}
+
+/// A violation of one of the PAC properties of Theorem 3.5, with enough
+/// context to reproduce it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PacViolation {
+    /// Two decide operations returned distinct non-`⊥` values.
+    Agreement {
+        /// Index of the first offending decide in the history.
+        first: usize,
+        /// Index of the second offending decide in the history.
+        second: usize,
+        /// The two conflicting values.
+        values: (Value, Value),
+    },
+    /// A decide returned a non-`⊥` value that no propose both proposed and
+    /// decided.
+    Validity {
+        /// Index of the offending decide.
+        at: usize,
+        /// The unsupported value.
+        value: Value,
+    },
+    /// A decide's `⊥`/non-`⊥` status disagrees with the nontriviality
+    /// characterization (Theorem 3.5(c)).
+    Nontriviality {
+        /// Index of the offending decide.
+        at: usize,
+        /// What the characterization predicted (`true` = must return `⊥`).
+        expected_bot: bool,
+        /// The response actually observed.
+        got: Value,
+    },
+}
+
+impl fmt::Display for PacViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacViolation::Agreement { first, second, values } => write!(
+                f,
+                "agreement violated: decide #{first} returned {} but decide #{second} returned {}",
+                values.0, values.1
+            ),
+            PacViolation::Validity { at, value } => write!(
+                f,
+                "validity violated: decide #{at} returned {value}, which no propose proposed-and-decided"
+            ),
+            PacViolation::Nontriviality { at, expected_bot, got } => write!(
+                f,
+                "nontriviality violated at decide #{at}: expected {} but got {got}",
+                if *expected_bot { "⊥" } else { "a non-⊥ value" }
+            ),
+        }
+    }
+}
+
+/// Returns `true` if `ops` is a *legal* n-PAC history (Section 3): for every
+/// label, the label's subsequence starts with a propose and alternates
+/// propose/decide.
+///
+/// Operations that are not PAC operations (`PROPOSE(v,i)`/`DECIDE(i)` or
+/// their `PROPOSEP`/`DECIDEP` forms) are ignored, so the predicate can be
+/// applied to projected histories of combined objects.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::history::is_legal_pac_history;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+/// use lbsa_core::ids::Label;
+///
+/// let l1 = Label::new(1).unwrap();
+/// let legal = [Op::ProposePac(Value::Int(1), l1), Op::DecidePac(l1)];
+/// assert!(is_legal_pac_history(&legal));
+/// let illegal = [Op::DecidePac(l1)];
+/// assert!(!is_legal_pac_history(&illegal));
+/// ```
+#[must_use]
+pub fn is_legal_pac_history(ops: &[Op]) -> bool {
+    // last_was_propose[label] tracks the alternation per label.
+    let mut pending: std::collections::HashMap<Label, bool> = std::collections::HashMap::new();
+    for op in ops {
+        if op.is_pac_propose() {
+            let l = op.label().expect("pac proposes carry a label");
+            let e = pending.entry(l).or_insert(false);
+            if *e {
+                return false; // two proposes without a decide in between
+            }
+            *e = true;
+        } else if op.is_pac_decide() {
+            let l = op.label().expect("pac decides carry a label");
+            let e = pending.entry(l).or_insert(false);
+            if !*e {
+                return false; // decide with no matching propose
+            }
+            *e = false;
+        }
+    }
+    true
+}
+
+/// Pairs each PAC decide in `ops` with the latest preceding unmatched
+/// propose of the same label, returning `matches[j] = Some(i)` when the
+/// decide at index `j` matches the propose at index `i`.
+#[must_use]
+pub fn match_pac_pairs(ops: &[Op]) -> Vec<Option<usize>> {
+    let mut open: std::collections::HashMap<Label, usize> = std::collections::HashMap::new();
+    let mut matches = vec![None; ops.len()];
+    for (idx, op) in ops.iter().enumerate() {
+        if op.is_pac_propose() {
+            open.insert(op.label().expect("labelled"), idx);
+        } else if op.is_pac_decide() {
+            let l = op.label().expect("labelled");
+            matches[idx] = open.remove(&l);
+        }
+    }
+    matches
+}
+
+/// Checks Theorem 3.5(a) — **Agreement**: all non-`⊥` decide responses in a
+/// PAC history are equal.
+///
+/// # Errors
+///
+/// Returns the first [`PacViolation::Agreement`] found.
+pub fn check_pac_agreement(history: &[Event]) -> Result<(), PacViolation> {
+    let mut first: Option<(usize, Value)> = None;
+    for (idx, ev) in history.iter().enumerate() {
+        if ev.op.is_pac_decide() && !ev.response.is_bot() {
+            match first {
+                None => first = Some((idx, ev.response)),
+                Some((fidx, fval)) if fval != ev.response => {
+                    return Err(PacViolation::Agreement {
+                        first: fidx,
+                        second: idx,
+                        values: (fval, ev.response),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Theorem 3.5(b) — **Validity**: if a decide returns `v != ⊥`, then
+/// some propose operation proposed `v` **and** decided `v` (its matching
+/// decide returned `v`).
+///
+/// # Errors
+///
+/// Returns the first [`PacViolation::Validity`] found.
+pub fn check_pac_validity(history: &[Event]) -> Result<(), PacViolation> {
+    let ops: Vec<Op> = history.iter().map(|e| e.op).collect();
+    let matches = match_pac_pairs(&ops);
+    // Collect the values that were both proposed and decided by a pair.
+    let mut grounded: Vec<Value> = Vec::new();
+    for (j, m) in matches.iter().enumerate() {
+        if let Some(i) = m {
+            let proposed = history[*i].op.proposed_value().expect("propose has a value");
+            if history[j].response == proposed {
+                grounded.push(proposed);
+            }
+        }
+    }
+    for (idx, ev) in history.iter().enumerate() {
+        if ev.op.is_pac_decide() && !ev.response.is_bot() && !grounded.contains(&ev.response) {
+            return Err(PacViolation::Validity { at: idx, value: ev.response });
+        }
+    }
+    Ok(())
+}
+
+/// Checks Theorem 3.5(c) — **Nontriviality**: a decide returns `⊥` **iff**
+/// (i) the object is upset before it (equivalently, by Lemma 3.2, the strict
+/// prefix is illegal), or (ii) there is no operation before it, or the last
+/// operation before it is not a propose with the same label.
+///
+/// # Errors
+///
+/// Returns the first [`PacViolation::Nontriviality`] found.
+pub fn check_pac_nontriviality(history: &[Event]) -> Result<(), PacViolation> {
+    let ops: Vec<Op> = history.iter().map(|e| e.op).collect();
+    for (idx, ev) in history.iter().enumerate() {
+        if !ev.op.is_pac_decide() {
+            continue;
+        }
+        let prefix_illegal = !is_legal_pac_history(&ops[..idx]);
+        let no_matching_predecessor = idx == 0
+            || !(ops[idx - 1].is_pac_propose() && ops[idx - 1].label() == ev.op.label());
+        let expected_bot = prefix_illegal || no_matching_predecessor;
+        if expected_bot != ev.response.is_bot() {
+            return Err(PacViolation::Nontriviality { at: idx, expected_bot, got: ev.response });
+        }
+    }
+    Ok(())
+}
+
+/// Checks all three PAC properties of Theorem 3.5 at once.
+///
+/// # Errors
+///
+/// Returns the first violation found, checking agreement, then validity,
+/// then nontriviality.
+pub fn check_pac_properties(history: &[Event]) -> Result<(), PacViolation> {
+    check_pac_agreement(history)?;
+    check_pac_validity(history)?;
+    check_pac_nontriviality(history)?;
+    Ok(())
+}
+
+/// Runs an operation sequence against a [`PacSpec`] and returns the resulting
+/// history of events.
+///
+/// # Errors
+///
+/// Propagates any [`SpecError`] (malformed labels / reserved values).
+pub fn run_pac(spec: &PacSpec, ops: &[Op]) -> Result<Vec<Event>, SpecError> {
+    let mut state = spec.initial_state();
+    ops.iter()
+        .map(|op| {
+            let resp = spec.apply_deterministic(&mut state, op)?;
+            Ok(Event { op: *op, response: resp })
+        })
+        .collect()
+}
+
+/// The full PAC operation alphabet for labels `1..=n` over the given values:
+/// every `PROPOSE(v, i)` and every `DECIDE(i)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn pac_op_alphabet(n: usize, values: &[Value]) -> Vec<Op> {
+    assert!(n > 0, "pac_op_alphabet requires n >= 1");
+    let mut ops = Vec::new();
+    for i in 1..=n {
+        let label = Label::new(i).expect("i >= 1");
+        for &v in values {
+            ops.push(Op::ProposePac(v, label));
+        }
+        ops.push(Op::DecidePac(label));
+    }
+    ops
+}
+
+/// Visits **every** operation sequence over `alphabet` of length `0..=max_len`
+/// (`|alphabet|^0 + … + |alphabet|^max_len` sequences), calling `visit` on
+/// each. This is the workhorse of the exhaustive spec tests (experiment T1).
+pub fn for_each_op_sequence<F>(alphabet: &[Op], max_len: usize, mut visit: F)
+where
+    F: FnMut(&[Op]),
+{
+    fn rec<F: FnMut(&[Op])>(alphabet: &[Op], seq: &mut Vec<Op>, remaining: usize, visit: &mut F) {
+        visit(seq);
+        if remaining == 0 {
+            return;
+        }
+        for op in alphabet {
+            seq.push(*op);
+            rec(alphabet, seq, remaining - 1, visit);
+            seq.pop();
+        }
+    }
+    let mut seq = Vec::with_capacity(max_len);
+    rec(alphabet, &mut seq, max_len, &mut visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    fn l(i: usize) -> Label {
+        Label::new(i).unwrap()
+    }
+
+    fn prop(v: i64, i: usize) -> Op {
+        Op::ProposePac(int(v), l(i))
+    }
+
+    fn dec(i: usize) -> Op {
+        Op::DecidePac(l(i))
+    }
+
+    #[test]
+    fn empty_history_is_legal() {
+        assert!(is_legal_pac_history(&[]));
+    }
+
+    #[test]
+    fn alternation_per_label() {
+        assert!(is_legal_pac_history(&[prop(1, 1), dec(1), prop(2, 1), dec(1)]));
+        assert!(is_legal_pac_history(&[prop(1, 1), prop(2, 2), dec(1), dec(2)]));
+        assert!(!is_legal_pac_history(&[dec(1)]));
+        assert!(!is_legal_pac_history(&[prop(1, 1), prop(2, 1)]));
+        assert!(!is_legal_pac_history(&[prop(1, 1), dec(1), dec(1)]));
+    }
+
+    #[test]
+    fn legality_ignores_non_pac_ops() {
+        assert!(is_legal_pac_history(&[Op::Read, prop(1, 1), Op::Write(int(3)), dec(1)]));
+    }
+
+    #[test]
+    fn pair_matching() {
+        let ops = [prop(1, 1), prop(2, 2), dec(1), dec(2), dec(1)];
+        let matches = match_pac_pairs(&ops);
+        assert_eq!(matches, vec![None, None, Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn lemma_3_2_exhaustive_small() {
+        // Lemma 3.2: the object is upset at time t iff its history by time t
+        // is not legal. Exhaustive over n = 2, values {1, 2}, length <= 4.
+        let spec = PacSpec::new(2).unwrap();
+        let alphabet = pac_op_alphabet(2, &[int(1), int(2)]);
+        let mut count = 0usize;
+        for_each_op_sequence(&alphabet, 4, |ops| {
+            let mut state = spec.initial_state();
+            for (t, op) in ops.iter().enumerate() {
+                spec.apply_deterministic(&mut state, op).unwrap();
+                let legal = is_legal_pac_history(&ops[..=t]);
+                assert_eq!(
+                    spec.is_upset(&state),
+                    !legal,
+                    "lemma 3.2 fails after {:?}",
+                    &ops[..=t]
+                );
+            }
+            count += 1;
+        });
+        assert!(count > 1000, "exhaustive space unexpectedly small: {count}");
+    }
+
+    #[test]
+    fn lemmas_3_3_and_3_4_exhaustive_small() {
+        // Lemma 3.3: when not upset, V[i] = v iff the last op with label i is
+        // PROPOSE(v, i). Lemma 3.4: when not upset, L = i iff the last op is
+        // PROPOSE(-, i).
+        let spec = PacSpec::new(2).unwrap();
+        let alphabet = pac_op_alphabet(2, &[int(1), int(2)]);
+        for_each_op_sequence(&alphabet, 4, |ops| {
+            let mut state = spec.initial_state();
+            for op in ops {
+                spec.apply_deterministic(&mut state, op).unwrap();
+            }
+            if spec.is_upset(&state) {
+                return;
+            }
+            // Lemma 3.3.
+            for i in 0..2usize {
+                let last_with_label = ops
+                    .iter()
+                    .rev()
+                    .find(|o| o.label().map(Label::to_index) == Some(i));
+                let expected = match last_with_label {
+                    Some(o) if o.is_pac_propose() => o.proposed_value().unwrap(),
+                    _ => Value::Nil,
+                };
+                assert_eq!(state.v[i], expected, "lemma 3.3 fails after {ops:?}");
+            }
+            // Lemma 3.4.
+            let expected_l = match ops.last() {
+                Some(o) if o.is_pac_propose() => Some(o.label().unwrap().to_index()),
+                _ => None,
+            };
+            assert_eq!(state.l, expected_l, "lemma 3.4 fails after {ops:?}");
+        });
+    }
+
+    #[test]
+    fn theorem_3_5_exhaustive_small() {
+        // Agreement, Validity, and Nontriviality hold on every history of a
+        // 2-PAC of length <= 5 over values {1, 2}.
+        let spec = PacSpec::new(2).unwrap();
+        let alphabet = pac_op_alphabet(2, &[int(1), int(2)]);
+        for_each_op_sequence(&alphabet, 5, |ops| {
+            let history = run_pac(&spec, ops).unwrap();
+            if let Err(v) = check_pac_properties(&history) {
+                panic!("theorem 3.5 fails on {ops:?}: {v}");
+            }
+        });
+    }
+
+    #[test]
+    fn checkers_catch_fabricated_violations() {
+        // Agreement violation: two decides with different non-⊥ values.
+        let bad = vec![
+            Event { op: prop(1, 1), response: Value::Done },
+            Event { op: dec(1), response: int(1) },
+            Event { op: prop(2, 2), response: Value::Done },
+            Event { op: dec(2), response: int(2) },
+        ];
+        assert!(matches!(check_pac_agreement(&bad), Err(PacViolation::Agreement { .. })));
+
+        // Validity violation: decide returns a value never proposed.
+        let bad = vec![
+            Event { op: prop(1, 1), response: Value::Done },
+            Event { op: dec(1), response: int(9) },
+        ];
+        assert!(matches!(check_pac_validity(&bad), Err(PacViolation::Validity { .. })));
+
+        // Nontriviality violation: a clean pair returned ⊥.
+        let bad = vec![
+            Event { op: prop(1, 1), response: Value::Done },
+            Event { op: dec(1), response: Value::Bot },
+        ];
+        assert!(matches!(
+            check_pac_nontriviality(&bad),
+            Err(PacViolation::Nontriviality { expected_bot: false, .. })
+        ));
+
+        // Nontriviality violation the other way: an unmatched decide that
+        // claims a value.
+        let bad = vec![Event { op: dec(1), response: int(1) }];
+        assert!(matches!(
+            check_pac_nontriviality(&bad),
+            Err(PacViolation::Nontriviality { expected_bot: true, .. })
+        ));
+    }
+
+    #[test]
+    fn violation_display_forms() {
+        let v = PacViolation::Agreement { first: 0, second: 2, values: (int(1), int(2)) };
+        assert!(v.to_string().contains("agreement"));
+        let v = PacViolation::Validity { at: 3, value: int(9) };
+        assert!(v.to_string().contains("validity"));
+        let v = PacViolation::Nontriviality { at: 1, expected_bot: true, got: int(1) };
+        assert!(v.to_string().contains("nontriviality"));
+    }
+
+    #[test]
+    fn alphabet_size() {
+        let a = pac_op_alphabet(3, &[int(1), int(2)]);
+        // Per label: 2 proposes + 1 decide = 3; times 3 labels.
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn sequence_enumeration_counts() {
+        let alphabet = [Op::Read, Op::Write(int(1))];
+        let mut count = 0;
+        for_each_op_sequence(&alphabet, 3, |_| count += 1);
+        // 1 + 2 + 4 + 8.
+        assert_eq!(count, 15);
+    }
+}

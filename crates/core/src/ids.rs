@@ -1,0 +1,150 @@
+//! Identifier newtypes: process ids, object ids, and PAC operation labels.
+
+use crate::error::SpecError;
+use std::fmt;
+
+/// A process identifier, `0`-based.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::ids::Pid;
+/// let p = Pid(0);
+/// assert_eq!(p.to_string(), "p0");
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub usize);
+
+impl Pid {
+    /// The underlying index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An identifier of a shared object within a system, `0`-based.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::ids::ObjId;
+/// assert_eq!(ObjId(2).to_string(), "obj2");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub usize);
+
+impl ObjId {
+    /// The underlying index of this object.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// A PAC operation label, i.e. the `i` of `PROPOSE(v, i)` / `DECIDE(i)`.
+///
+/// Labels are **1-based** integers in `[1..n]`, exactly as in Section 3 of
+/// the paper. The constructor rejects `0`; the range check against a
+/// particular object's `n` happens inside the object specification, which
+/// knows its own arity.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::ids::Label;
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let l = Label::new(1)?;
+/// assert_eq!(l.get(), 1);
+/// assert_eq!(l.to_index(), 0); // 0-based index into state arrays
+/// assert!(Label::new(0).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(usize);
+
+impl Label {
+    /// Creates a label from a 1-based integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::ZeroLabel`] if `label` is `0`.
+    pub fn new(label: usize) -> Result<Self, SpecError> {
+        if label == 0 {
+            return Err(SpecError::ZeroLabel);
+        }
+        Ok(Label(label))
+    }
+
+    /// The 1-based label value.
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// The 0-based index of this label into a length-`n` state array.
+    #[must_use]
+    pub fn to_index(self) -> usize {
+        self.0 - 1
+    }
+
+    /// Returns `true` if this label addresses a port of an `n`-labelled
+    /// object, i.e. `1 <= label <= n`.
+    #[must_use]
+    pub fn in_range(self, n: usize) -> bool {
+        self.0 <= n
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_rejects_zero() {
+        assert!(matches!(Label::new(0), Err(SpecError::ZeroLabel)));
+    }
+
+    #[test]
+    fn label_index_conversion() {
+        let l = Label::new(3).unwrap();
+        assert_eq!(l.get(), 3);
+        assert_eq!(l.to_index(), 2);
+        assert!(l.in_range(3));
+        assert!(!l.in_range(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pid(4).to_string(), "p4");
+        assert_eq!(ObjId(1).to_string(), "obj1");
+        assert_eq!(Label::new(2).unwrap().to_string(), "2");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(Pid(1) < Pid(2));
+        assert!(ObjId(0) < ObjId(1));
+        assert!(Label::new(1).unwrap() < Label::new(2).unwrap());
+    }
+}

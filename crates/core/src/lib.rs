@@ -1,0 +1,79 @@
+//! # lbsa-core — the objects of *Life Beyond Set Agreement* (PODC 2017)
+//!
+//! This crate contains executable **sequential specifications** of every
+//! shared object used by Chan, Hadzilacos and Toueg in *Life Beyond Set
+//! Agreement*:
+//!
+//! * [`register::RegisterSpec`] — atomic read/write registers,
+//! * [`consensus::ConsensusSpec`] — the deterministic `n`-consensus object
+//!   (first proposal wins for the first `n` proposals, `⊥` afterwards),
+//! * [`pac::PacSpec`] — the **n-PAC** (pseudo-abortable consensus) object of
+//!   Section 3 (Algorithm 1),
+//! * [`strong_sa::StrongSaSpec`] — the **strong 2-set agreement (2-SA)**
+//!   object of Section 4 (Algorithm 3),
+//! * [`set_agreement::SetAgreementSpec`] — the **(n,k)-SA** object used in
+//!   Section 6,
+//! * [`combined::CombinedPacSpec`] — the **(n,m)-PAC** object of Section 5,
+//!   whose `(n+1, n)` instance is the paper's `Oₙ` (Definition 6.1),
+//! * [`power_object::PowerObjectSpec`] — the paper's `O'ₙ`: a bundle of
+//!   `(n_k, k)-SA` objects addressed by `PROPOSE(v, k)` (Section 6).
+//!
+//! A sequential specification is a (possibly nondeterministic) transition
+//! function over an explicit state type; see [`spec::ObjectSpec`]. All object
+//! states are `Clone + Eq + Hash`, which is what allows the companion crates
+//! to model-check *every* execution of a protocol exhaustively.
+//!
+//! The crate also provides [`history`] — sequential histories, the PAC
+//! *legality* predicate of Section 3, and executable versions of the paper's
+//! Lemmas 3.2–3.4 and Theorem 3.5 — and [`any::AnyObject`], a closed sum over
+//! all object families with hashable states, used by the runtime and the
+//! explorer.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lbsa_core::pac::PacSpec;
+//! use lbsa_core::spec::ObjectSpec;
+//! use lbsa_core::op::Op;
+//! use lbsa_core::value::Value;
+//! use lbsa_core::ids::Label;
+//!
+//! # fn main() -> Result<(), lbsa_core::error::SpecError> {
+//! let pac = PacSpec::new(2)?;
+//! let mut state = pac.initial_state();
+//!
+//! // PROPOSE(7, 1) then DECIDE(1): the matching decide returns 7.
+//! let label = Label::new(1)?;
+//! let resp = pac.apply_deterministic(&mut state, &Op::ProposePac(Value::Int(7), label))?;
+//! assert_eq!(resp, Value::Done);
+//! let resp = pac.apply_deterministic(&mut state, &Op::DecidePac(label))?;
+//! assert_eq!(resp, Value::Int(7));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod any;
+pub mod combined;
+pub mod consensus;
+pub mod error;
+pub mod history;
+pub mod ids;
+pub mod op;
+pub mod pac;
+pub mod power_object;
+pub mod primitives;
+pub mod register;
+pub mod set_agreement;
+pub mod spec;
+pub mod strong_sa;
+pub mod value;
+
+pub use any::{AnyObject, AnyState};
+pub use error::SpecError;
+pub use ids::{Label, ObjId, Pid};
+pub use op::Op;
+pub use spec::{ObjectSpec, Outcomes};
+pub use value::Value;

@@ -1,0 +1,233 @@
+//! The operation alphabet of the model.
+//!
+//! Every object family in the paper draws its operations from this single
+//! closed alphabet, which keeps system configurations first-order data (and
+//! therefore hashable by the explorer). Each object accepts only the subset
+//! of operations belonging to its interface and rejects the rest with
+//! [`crate::error::SpecError::UnsupportedOp`].
+
+use crate::ids::Label;
+use crate::value::Value;
+use std::fmt;
+
+/// An operation that a process may apply to a shared object.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+/// use lbsa_core::ids::Label;
+///
+/// let label = Label::new(2).unwrap();
+/// let op = Op::ProposePac(Value::Int(9), label);
+/// assert_eq!(op.to_string(), "PROPOSE(9, 2)");
+/// assert_eq!(op.proposed_value(), Some(Value::Int(9)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Op {
+    /// Read a register.
+    Read,
+    /// Write a value to a register.
+    Write(Value),
+    /// `PROPOSE(v)` on a consensus, 2-SA, or (n,k)-SA object.
+    Propose(Value),
+    /// `PROPOSE(v, i)` on an n-PAC object (Section 3, Algorithm 1).
+    ProposePac(Value, Label),
+    /// `DECIDE(i)` on an n-PAC object (Section 3, Algorithm 1).
+    DecidePac(Label),
+    /// `PROPOSEC(v)` on an (n,m)-PAC object: redirected to the embedded
+    /// m-consensus object (Section 5).
+    ProposeC(Value),
+    /// `PROPOSEP(v, i)` on an (n,m)-PAC object: redirected to the embedded
+    /// n-PAC object (Section 5).
+    ProposeP(Value, Label),
+    /// `DECIDEP(i)` on an (n,m)-PAC object: redirected to the embedded
+    /// n-PAC object (Section 5).
+    DecideP(Label),
+    /// `PROPOSE(v, k)` on the power object `O'ₙ`: redirected to the
+    /// `(n_k, k)-SA` component (Section 6).
+    ProposeAt(Value, usize),
+    /// Test-and-set: atomically set the bit, returning its previous value
+    /// (`0` = won the race). A classic level-2 primitive, used to situate
+    /// the paper's objects inside the familiar hierarchy.
+    TestAndSet,
+    /// Fetch-and-add: atomically add the delta to a counter, returning the
+    /// previous value. A classic level-2 primitive.
+    FetchAdd(i64),
+    /// Compare-and-swap: if the cell equals the first value, replace it
+    /// with the second; always returns the cell's *previous* value. A
+    /// classic level-∞ primitive.
+    CompareAndSwap(Value, Value),
+    /// Enqueue a value on a FIFO queue.
+    Enqueue(Value),
+    /// Dequeue the front of a FIFO queue (`nil` when empty). Queues are a
+    /// classic level-2 primitive.
+    Dequeue,
+}
+
+impl Op {
+    /// The value this operation proposes or writes, if any.
+    #[must_use]
+    pub fn proposed_value(&self) -> Option<Value> {
+        match self {
+            Op::Write(v)
+            | Op::Propose(v)
+            | Op::ProposePac(v, _)
+            | Op::ProposeC(v)
+            | Op::ProposeP(v, _)
+            | Op::ProposeAt(v, _)
+            | Op::Enqueue(v)
+            | Op::CompareAndSwap(_, v) => Some(*v),
+            Op::Read
+            | Op::DecidePac(_)
+            | Op::DecideP(_)
+            | Op::TestAndSet
+            | Op::FetchAdd(_)
+            | Op::Dequeue => None,
+        }
+    }
+
+    /// The PAC label carried by this operation, if any.
+    #[must_use]
+    pub fn label(&self) -> Option<Label> {
+        match self {
+            Op::ProposePac(_, l) | Op::DecidePac(l) | Op::ProposeP(_, l) | Op::DecideP(l) => {
+                Some(*l)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is a PAC-style propose (`PROPOSE(v, i)` or
+    /// `PROPOSEP(v, i)`).
+    #[must_use]
+    pub fn is_pac_propose(&self) -> bool {
+        matches!(self, Op::ProposePac(..) | Op::ProposeP(..))
+    }
+
+    /// Returns `true` if this is a PAC-style decide (`DECIDE(i)` or
+    /// `DECIDEP(i)`).
+    #[must_use]
+    pub fn is_pac_decide(&self) -> bool {
+        matches!(self, Op::DecidePac(_) | Op::DecideP(_))
+    }
+
+    /// Returns `true` if this operation mutates nothing and can never change
+    /// an object's state (only `Read`, in this alphabet).
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Op::Read)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read => write!(f, "READ"),
+            Op::Write(v) => write!(f, "WRITE({v})"),
+            Op::Propose(v) => write!(f, "PROPOSE({v})"),
+            Op::ProposePac(v, i) => write!(f, "PROPOSE({v}, {i})"),
+            Op::DecidePac(i) => write!(f, "DECIDE({i})"),
+            Op::ProposeC(v) => write!(f, "PROPOSEC({v})"),
+            Op::ProposeP(v, i) => write!(f, "PROPOSEP({v}, {i})"),
+            Op::DecideP(i) => write!(f, "DECIDEP({i})"),
+            Op::ProposeAt(v, k) => write!(f, "PROPOSE({v}, k={k})"),
+            Op::TestAndSet => write!(f, "TAS"),
+            Op::FetchAdd(d) => write!(f, "FAA({d})"),
+            Op::CompareAndSwap(e, n) => write!(f, "CAS({e} -> {n})"),
+            Op::Enqueue(v) => write!(f, "ENQ({v})"),
+            Op::Dequeue => write!(f, "DEQ"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> Label {
+        Label::new(i).unwrap()
+    }
+
+    #[test]
+    fn proposed_value_extraction() {
+        assert_eq!(Op::Write(Value::Int(1)).proposed_value(), Some(Value::Int(1)));
+        assert_eq!(Op::Propose(Value::Int(2)).proposed_value(), Some(Value::Int(2)));
+        assert_eq!(Op::ProposePac(Value::Int(3), l(1)).proposed_value(), Some(Value::Int(3)));
+        assert_eq!(Op::ProposeC(Value::Int(4)).proposed_value(), Some(Value::Int(4)));
+        assert_eq!(Op::ProposeP(Value::Int(5), l(2)).proposed_value(), Some(Value::Int(5)));
+        assert_eq!(Op::ProposeAt(Value::Int(6), 3).proposed_value(), Some(Value::Int(6)));
+        assert_eq!(Op::Read.proposed_value(), None);
+        assert_eq!(Op::DecidePac(l(1)).proposed_value(), None);
+        assert_eq!(Op::DecideP(l(1)).proposed_value(), None);
+    }
+
+    #[test]
+    fn label_extraction() {
+        assert_eq!(Op::ProposePac(Value::Int(1), l(2)).label(), Some(l(2)));
+        assert_eq!(Op::DecidePac(l(3)).label(), Some(l(3)));
+        assert_eq!(Op::ProposeP(Value::Int(1), l(1)).label(), Some(l(1)));
+        assert_eq!(Op::DecideP(l(2)).label(), Some(l(2)));
+        assert_eq!(Op::Propose(Value::Int(1)).label(), None);
+        assert_eq!(Op::Read.label(), None);
+    }
+
+    #[test]
+    fn pac_classification() {
+        assert!(Op::ProposePac(Value::Int(1), l(1)).is_pac_propose());
+        assert!(Op::ProposeP(Value::Int(1), l(1)).is_pac_propose());
+        assert!(!Op::Propose(Value::Int(1)).is_pac_propose());
+        assert!(Op::DecidePac(l(1)).is_pac_decide());
+        assert!(Op::DecideP(l(1)).is_pac_decide());
+        assert!(!Op::Read.is_pac_decide());
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(Op::Read.is_read_only());
+        assert!(!Op::Write(Value::Int(0)).is_read_only());
+        // A DECIDE is *not* read-only: it clears L and V[i].
+        assert!(!Op::DecidePac(l(1)).is_read_only());
+    }
+
+    #[test]
+    fn primitive_ops_classification() {
+        assert_eq!(Op::Enqueue(Value::Int(2)).proposed_value(), Some(Value::Int(2)));
+        assert_eq!(
+            Op::CompareAndSwap(Value::Nil, Value::Int(3)).proposed_value(),
+            Some(Value::Int(3))
+        );
+        assert_eq!(Op::TestAndSet.proposed_value(), None);
+        assert_eq!(Op::FetchAdd(1).proposed_value(), None);
+        assert_eq!(Op::Dequeue.proposed_value(), None);
+        assert!(!Op::TestAndSet.is_read_only());
+        assert_eq!(Op::TestAndSet.label(), None);
+    }
+
+    #[test]
+    fn primitive_display_forms() {
+        assert_eq!(Op::TestAndSet.to_string(), "TAS");
+        assert_eq!(Op::FetchAdd(2).to_string(), "FAA(2)");
+        assert_eq!(
+            Op::CompareAndSwap(Value::Nil, Value::Int(1)).to_string(),
+            "CAS(nil -> 1)"
+        );
+        assert_eq!(Op::Enqueue(Value::Int(4)).to_string(), "ENQ(4)");
+        assert_eq!(Op::Dequeue.to_string(), "DEQ");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::Read.to_string(), "READ");
+        assert_eq!(Op::Write(Value::Int(7)).to_string(), "WRITE(7)");
+        assert_eq!(Op::Propose(Value::Int(1)).to_string(), "PROPOSE(1)");
+        assert_eq!(Op::ProposePac(Value::Int(1), l(2)).to_string(), "PROPOSE(1, 2)");
+        assert_eq!(Op::DecidePac(l(2)).to_string(), "DECIDE(2)");
+        assert_eq!(Op::ProposeC(Value::Int(1)).to_string(), "PROPOSEC(1)");
+        assert_eq!(Op::ProposeP(Value::Int(1), l(1)).to_string(), "PROPOSEP(1, 1)");
+        assert_eq!(Op::DecideP(l(1)).to_string(), "DECIDEP(1)");
+        assert_eq!(Op::ProposeAt(Value::Int(1), 4).to_string(), "PROPOSE(1, k=4)");
+    }
+}

@@ -1,0 +1,366 @@
+//! The **n-PAC** (pseudo-abortable consensus) object — Section 3 of the
+//! paper, Algorithm 1.
+//!
+//! The n-PAC object is a *deterministic, non-abortable* simulation of the
+//! abortable n-DAC object of Hadzilacos & Toueg (PODC 2013). It supports two
+//! operations, `PROPOSE(v, i)` and `DECIDE(i)`, where the label
+//! `i ∈ [1..n]` identifies the simulated port. A process simulates a propose
+//! on port `i` of an n-DAC object by applying `PROPOSE(v, i)` and then
+//! `DECIDE(i)`.
+//!
+//! The object becomes permanently **upset** when its operation history stops
+//! being *legal* (per-label alternation: each label's subsequence must start
+//! with a propose and alternate propose/decide — see
+//! [`crate::history::is_legal_pac_history`]). An upset object returns `⊥` to
+//! every decide and `done` to every propose. A non-upset object returns `⊥`
+//! from `DECIDE(i)` when the immediately preceding operation was not the
+//! matching `PROPOSE(-, i)` — this is how it "detects concurrency" and
+//! simulates the n-DAC's aborts.
+
+use crate::error::SpecError;
+use crate::ids::Label;
+use crate::op::Op;
+use crate::spec::{check_proposable, ObjectSpec, Outcomes};
+use crate::value::Value;
+
+/// State of an n-PAC object — exactly the four components of Section 3.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PacState {
+    /// `upset`: set once the history becomes illegal; never reset
+    /// (Observation 3.1).
+    pub upset: bool,
+    /// `V[1..n]`: `V[i] = v` iff the last operation with label `i` is a
+    /// `PROPOSE(v, i)` (Lemma 3.3). Stored 0-based.
+    pub v: Vec<Value>,
+    /// `L`: the label of the last operation if that operation was a propose,
+    /// `NIL` otherwise (Lemma 3.4). Stored as a 0-based index.
+    pub l: Option<usize>,
+    /// `val`: the consensus value — the first value whose propose/decide
+    /// pair completed cleanly.
+    pub val: Value,
+}
+
+impl PacState {
+    fn fresh(n: usize) -> Self {
+        PacState { upset: false, v: vec![Value::Nil; n], l: None, val: Value::Nil }
+    }
+}
+
+/// Sequential specification of the n-PAC object (Algorithm 1).
+///
+/// # Examples
+///
+/// A clean propose/decide pair decides the proposed value; an interposed
+/// operation makes the decide return `⊥` (concurrency detection):
+///
+/// ```
+/// use lbsa_core::pac::PacSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+/// use lbsa_core::ids::Label;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let pac = PacSpec::new(2)?;
+/// let (l1, l2) = (Label::new(1)?, Label::new(2)?);
+/// let mut s = pac.initial_state();
+///
+/// pac.apply_deterministic(&mut s, &Op::ProposePac(Value::Int(4), l1))?;
+/// // Another port's propose slips in between the pair…
+/// pac.apply_deterministic(&mut s, &Op::ProposePac(Value::Int(6), l2))?;
+/// // …port 2's decide (whose propose is the last operation) succeeds,
+/// assert_eq!(pac.apply_deterministic(&mut s, &Op::DecidePac(l2))?, Value::Int(6));
+/// // while port 1's decide aborts with ⊥ — it detected the concurrency.
+/// assert_eq!(pac.apply_deterministic(&mut s, &Op::DecidePac(l1))?, Value::Bot);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacSpec {
+    n: usize,
+}
+
+impl PacSpec {
+    /// Creates an n-PAC specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, SpecError> {
+        if n == 0 {
+            return Err(SpecError::InvalidArity { what: "n", got: 0, min: 1 });
+        }
+        Ok(PacSpec { n })
+    }
+
+    /// The number of labels (simulated ports) `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the object is upset in `state`.
+    #[must_use]
+    pub fn is_upset(&self, state: &PacState) -> bool {
+        state.upset
+    }
+
+    fn check_label(&self, label: Label) -> Result<usize, SpecError> {
+        if label.in_range(self.n) {
+            Ok(label.to_index())
+        } else {
+            Err(SpecError::LabelOutOfRange { label: label.get(), n: self.n })
+        }
+    }
+
+    /// Algorithm 1, `PROPOSE(v, i)`: shared with the (n,m)-PAC wrapper.
+    pub(crate) fn propose(
+        &self,
+        state: &PacState,
+        v: Value,
+        label: Label,
+    ) -> Result<(Value, PacState), SpecError> {
+        check_proposable(v)?;
+        let i = self.check_label(label)?;
+        let mut next = state.clone();
+        // Line 2: if V[i] != NIL then upset <- true.
+        if !next.v[i].is_nil() {
+            next.upset = true;
+        }
+        // Lines 3-5: if not upset, record the proposal.
+        if !next.upset {
+            next.l = Some(i);
+            next.v[i] = v;
+        }
+        // Line 6: return done.
+        Ok((Value::Done, next))
+    }
+
+    /// Algorithm 1, `DECIDE(i)`: shared with the (n,m)-PAC wrapper.
+    pub(crate) fn decide(
+        &self,
+        state: &PacState,
+        label: Label,
+    ) -> Result<(Value, PacState), SpecError> {
+        let i = self.check_label(label)?;
+        let mut next = state.clone();
+        // Line 8: if V[i] = NIL then upset <- true.
+        if next.v[i].is_nil() {
+            next.upset = true;
+        }
+        // Line 9: if upset then return ⊥.
+        if next.upset {
+            return Ok((Value::Bot, next));
+        }
+        // Lines 10-14.
+        let temp = if next.l != Some(i) {
+            Value::Bot
+        } else {
+            if next.val.is_nil() {
+                next.val = next.v[i];
+            }
+            next.val
+        };
+        // Lines 15-16 (both branches).
+        next.l = None;
+        next.v[i] = Value::Nil;
+        // Line 17.
+        Ok((temp, next))
+    }
+}
+
+impl ObjectSpec for PacSpec {
+    type State = PacState;
+
+    fn name(&self) -> &'static str {
+        "n-PAC"
+    }
+
+    fn initial_state(&self) -> PacState {
+        PacState::fresh(self.n)
+    }
+
+    fn outcomes(&self, state: &PacState, op: &Op) -> Result<Outcomes<PacState>, SpecError> {
+        match op {
+            Op::ProposePac(v, label) => {
+                let (resp, next) = self.propose(state, *v, *label)?;
+                Ok(Outcomes::single(resp, next))
+            }
+            Op::DecidePac(label) => {
+                let (resp, next) = self.decide(state, *label)?;
+                Ok(Outcomes::single(resp, next))
+            }
+            other => Err(SpecError::UnsupportedOp { object: "n-PAC", op: *other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    fn l(i: usize) -> Label {
+        Label::new(i).unwrap()
+    }
+
+    fn pac(n: usize) -> PacSpec {
+        PacSpec::new(n).unwrap()
+    }
+
+    fn apply(p: &PacSpec, s: &mut PacState, op: Op) -> Value {
+        p.apply_deterministic(s, &op).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_arity() {
+        assert!(PacSpec::new(0).is_err());
+        assert!(PacSpec::new(1).is_ok());
+    }
+
+    #[test]
+    fn clean_pair_decides_proposed_value() {
+        let p = pac(3);
+        let mut s = p.initial_state();
+        assert_eq!(apply(&p, &mut s, Op::ProposePac(int(7), l(2))), Value::Done);
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(2))), int(7));
+        assert!(!p.is_upset(&s));
+    }
+
+    #[test]
+    fn consensus_value_sticks_across_ports() {
+        // Once some pair decides v, every later clean pair also decides v
+        // (the `val` field): this is the Agreement property in action.
+        let p = pac(3);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::ProposePac(int(1), l(1)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), int(1));
+        apply(&p, &mut s, Op::ProposePac(int(2), l(2)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(2))), int(1));
+        apply(&p, &mut s, Op::ProposePac(int(3), l(3)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(3))), int(1));
+    }
+
+    #[test]
+    fn interposed_propose_makes_decide_bot_without_upset() {
+        let p = pac(2);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::ProposePac(int(4), l(1)));
+        apply(&p, &mut s, Op::ProposePac(int(6), l(2)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), Value::Bot);
+        assert!(!p.is_upset(&s), "concurrency detection must not upset the object");
+    }
+
+    #[test]
+    fn decide_without_matching_propose_upsets() {
+        let p = pac(2);
+        let mut s = p.initial_state();
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), Value::Bot);
+        assert!(p.is_upset(&s));
+    }
+
+    #[test]
+    fn double_propose_same_label_upsets() {
+        let p = pac(2);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::ProposePac(int(1), l(1)));
+        assert_eq!(apply(&p, &mut s, Op::ProposePac(int(2), l(1))), Value::Done);
+        assert!(p.is_upset(&s));
+    }
+
+    #[test]
+    fn upset_is_permanent_and_bot_forever() {
+        // Observation 3.1 + the "once upset" behaviour: ⊥ to all decides,
+        // done to all proposes.
+        let p = pac(2);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::DecidePac(l(2))); // upsets
+        assert!(p.is_upset(&s));
+        for _ in 0..3 {
+            assert_eq!(apply(&p, &mut s, Op::ProposePac(int(9), l(1))), Value::Done);
+            assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), Value::Bot);
+            assert!(p.is_upset(&s));
+        }
+    }
+
+    #[test]
+    fn decide_after_clean_decide_on_same_label_upsets() {
+        // PROPOSE(v,1) DECIDE(1) DECIDE(1): the second decide has no matching
+        // propose (V[1] was reset to NIL), so the object becomes upset.
+        let p = pac(2);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::ProposePac(int(5), l(1)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), int(5));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), Value::Bot);
+        assert!(p.is_upset(&s));
+    }
+
+    #[test]
+    fn decide_resets_l_and_v_even_when_aborting() {
+        // Lines 15-16 run on the ⊥ path too: after PROPOSE(a,1) PROPOSE(b,2)
+        // DECIDE(1)=⊥, port 1's V entry is cleared, so a fresh PROPOSE(c,1)
+        // does not upset.
+        let p = pac(2);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::ProposePac(int(1), l(1)));
+        apply(&p, &mut s, Op::ProposePac(int(2), l(2)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), Value::Bot);
+        assert_eq!(s.v[0], Value::Nil);
+        assert_eq!(s.l, None);
+        apply(&p, &mut s, Op::ProposePac(int(3), l(1)));
+        assert!(!p.is_upset(&s));
+        // But port 2's pending proposal was ALSO cleared... no: V[2] was not
+        // cleared by DECIDE(1) — only V[1] and L are cleared. Decide(2) sees
+        // L = 1 (the index of the last propose), so it returns the consensus
+        // path only if L == 2. Here the last operation is PROPOSE(3, 1), so
+        // L = index of label 1, and DECIDE(2) aborts with ⊥ (not upset).
+        assert_eq!(s.v[1], int(2));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(2))), Value::Bot);
+        assert!(!p.is_upset(&s));
+    }
+
+    #[test]
+    fn label_out_of_range_is_an_error() {
+        let p = pac(2);
+        let s = p.initial_state();
+        assert_eq!(
+            p.outcomes(&s, &Op::ProposePac(int(1), l(3))).unwrap_err(),
+            SpecError::LabelOutOfRange { label: 3, n: 2 }
+        );
+        assert_eq!(
+            p.outcomes(&s, &Op::DecidePac(l(9))).unwrap_err(),
+            SpecError::LabelOutOfRange { label: 9, n: 2 }
+        );
+    }
+
+    #[test]
+    fn reserved_values_rejected() {
+        let p = pac(2);
+        let s = p.initial_state();
+        for v in [Value::Nil, Value::Bot, Value::Done] {
+            assert_eq!(
+                p.outcomes(&s, &Op::ProposePac(v, l(1))).unwrap_err(),
+                SpecError::ReservedValue(v)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_operations() {
+        let p = pac(2);
+        let s = p.initial_state();
+        for op in [Op::Read, Op::Propose(int(1)), Op::ProposeP(int(1), l(1))] {
+            assert!(matches!(p.outcomes(&s, &op), Err(SpecError::UnsupportedOp { .. })));
+        }
+    }
+
+    #[test]
+    fn one_pac_is_valid() {
+        // n = 1 is allowed (the paper uses n >= 1 for PAC; only DAC needs
+        // n >= 2). A single-port PAC behaves like a solo-detecting consensus.
+        let p = pac(1);
+        let mut s = p.initial_state();
+        apply(&p, &mut s, Op::ProposePac(int(3), l(1)));
+        assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), int(3));
+    }
+}

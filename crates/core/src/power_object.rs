@@ -1,0 +1,336 @@
+//! The **power object** `O'ₙ` — Section 6 of the paper — and the
+//! [`SetAgreementPower`] tables it is built from.
+//!
+//! For an object `O` with set agreement power `(n₁, n₂, …, n_k, …)`, the
+//! paper defines `O'` as the object that "embodies" that power: it bundles
+//! one `(n_k, k)-SA` object per level `k` and exposes `PROPOSE(v, k)`,
+//! forwarding to the `k`-th component. By construction `O'` has the same set
+//! agreement power as `O`; Theorem 6.5 shows it nonetheless cannot implement
+//! `O = Oₙ`.
+//!
+//! The paper's sequence is infinite; an executable object must truncate it.
+//! [`PowerObjectSpec`] materializes levels `1..=max_k`. This is faithful to
+//! the use the paper makes of the sequence: the separation argument only ever
+//! exercises level 1 (`n₁ = n`, Observation 6.2) and the fact that levels
+//! `k >= 2` are implementable from 2-SA objects (Lemma 6.4).
+//!
+//! Because the true `n_k` of `Oₙ` for `k >= 2` is not computed in the paper
+//! (only its existence is used), this crate ships **certified lower-bound**
+//! tables: `n_k >= k·n`, achieved by the group-split protocol in
+//! `lbsa-protocols` (partition `k·n` processes into `k` groups of `n`; each
+//! group runs consensus through its own n-consensus face). See
+//! `EXPERIMENTS.md` (T5) for the verification of these bounds.
+
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::set_agreement::{SetAgreementSpec, SetAgreementState};
+use crate::spec::{ObjectSpec, Outcomes};
+
+/// A (truncated) set agreement power sequence `(n₁, n₂, …, n_K)`.
+///
+/// `entries[k-1]` is `n_k`: the number of processes for which the object (plus
+/// registers) solves `k`-set agreement.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::power_object::SetAgreementPower;
+///
+/// let power = SetAgreementPower::certified_lower_bounds_for_o_n(2, 4).unwrap();
+/// assert_eq!(power.n_k(1), Some(2));  // O_2 has consensus number 2
+/// assert_eq!(power.n_k(2), Some(4));  // 2-set agreement among 2*2 processes
+/// assert_eq!(power.n_k(5), None);     // truncated at K = 4
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SetAgreementPower {
+    entries: Vec<usize>,
+}
+
+impl SetAgreementPower {
+    /// Creates a power sequence from explicit entries `(n₁, …, n_K)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `entries` is empty or contains
+    /// a zero (every object solves `k`-set agreement among at least one
+    /// process). Set agreement powers are monotone non-decreasing in `k`;
+    /// a non-monotone sequence is rejected for the same reason.
+    pub fn new(entries: Vec<usize>) -> Result<Self, SpecError> {
+        if entries.is_empty() {
+            return Err(SpecError::InvalidArity { what: "K", got: 0, min: 1 });
+        }
+        for (i, &e) in entries.iter().enumerate() {
+            if e == 0 {
+                return Err(SpecError::InvalidArity { what: "n_k", got: 0, min: 1 });
+            }
+            if i > 0 && e < entries[i - 1] {
+                return Err(SpecError::InvalidArity { what: "n_k", got: e, min: entries[i - 1] });
+            }
+        }
+        Ok(SetAgreementPower { entries })
+    }
+
+    /// The certified lower-bound power table of `Oₙ` truncated at `max_k`:
+    /// `n_k >= k·n` via the group-split protocol (and `n₁ = n` exactly, by
+    /// Observation 6.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `n < 2` or `max_k == 0`.
+    pub fn certified_lower_bounds_for_o_n(n: usize, max_k: usize) -> Result<Self, SpecError> {
+        if n < 2 {
+            return Err(SpecError::InvalidArity { what: "n", got: n, min: 2 });
+        }
+        if max_k == 0 {
+            return Err(SpecError::InvalidArity { what: "max_k", got: 0, min: 1 });
+        }
+        SetAgreementPower::new((1..=max_k).map(|k| k * n).collect())
+    }
+
+    /// `n_k` — the `k`-set agreement number, for 1-based `k <= max_k`.
+    #[must_use]
+    pub fn n_k(&self, k: usize) -> Option<usize> {
+        if k == 0 {
+            None
+        } else {
+            self.entries.get(k - 1).copied()
+        }
+    }
+
+    /// The truncation depth `K`.
+    #[must_use]
+    pub fn max_k(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(k, n_k)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.entries.iter().enumerate().map(|(i, &n)| (i + 1, n))
+    }
+}
+
+/// State of a [`PowerObjectSpec`]: one component state per level.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PowerObjectState {
+    /// `components[k-1]` is the state of the `(n_k, k)-SA` component.
+    pub components: Vec<SetAgreementState>,
+}
+
+/// Sequential specification of the paper's `O'ₙ`: the bundle
+/// `⋃_{k=1..K} {(n_k, k)-SA}` behind a single `PROPOSE(v, k)` interface.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::power_object::{PowerObjectSpec, SetAgreementPower};
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let power = SetAgreementPower::certified_lower_bounds_for_o_n(2, 3)?;
+/// let o_prime = PowerObjectSpec::new(power)?;
+/// let s0 = o_prime.initial_state();
+/// // Level k = 1 is consensus among n_1 = 2 processes.
+/// let (r, _) = o_prime.outcomes(&s0, &Op::ProposeAt(Value::Int(6), 1))?.into_single();
+/// assert_eq!(r, Value::Int(6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PowerObjectSpec {
+    power: SetAgreementPower,
+    components: Vec<SetAgreementSpec>,
+}
+
+impl PowerObjectSpec {
+    /// Creates a power object from a power sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError::InvalidArity`] from component construction.
+    pub fn new(power: SetAgreementPower) -> Result<Self, SpecError> {
+        let components = power
+            .iter()
+            .map(|(k, n_k)| SetAgreementSpec::new(n_k, k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PowerObjectSpec { power, components })
+    }
+
+    /// The paper's `O'ₙ`, built over the certified lower-bound power table
+    /// of `Oₙ`, truncated at `max_k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `n < 2` or `max_k == 0`.
+    pub fn o_prime_n(n: usize, max_k: usize) -> Result<Self, SpecError> {
+        PowerObjectSpec::new(SetAgreementPower::certified_lower_bounds_for_o_n(n, max_k)?)
+    }
+
+    /// The power sequence this object embodies.
+    #[must_use]
+    pub fn power(&self) -> &SetAgreementPower {
+        &self.power
+    }
+
+    /// The `(n_k, k)-SA` component for 1-based `k`, if materialized.
+    #[must_use]
+    pub fn component(&self, k: usize) -> Option<&SetAgreementSpec> {
+        if k == 0 {
+            None
+        } else {
+            self.components.get(k - 1)
+        }
+    }
+}
+
+impl ObjectSpec for PowerObjectSpec {
+    type State = PowerObjectState;
+
+    fn name(&self) -> &'static str {
+        "O'_n"
+    }
+
+    fn initial_state(&self) -> PowerObjectState {
+        PowerObjectState {
+            components: self.components.iter().map(SetAgreementSpec::initial_state).collect(),
+        }
+    }
+
+    fn outcomes(
+        &self,
+        state: &PowerObjectState,
+        op: &Op,
+    ) -> Result<Outcomes<PowerObjectState>, SpecError> {
+        match op {
+            Op::ProposeAt(v, k) => {
+                let k = *k;
+                let comp = self.component(k).ok_or(SpecError::PowerLevelOutOfRange {
+                    k,
+                    max_k: self.power.max_k(),
+                })?;
+                let comp_state = &state.components[k - 1];
+                let alts = comp
+                    .outcomes(comp_state, &Op::Propose(*v))?
+                    .into_vec()
+                    .into_iter()
+                    .map(|(resp, next_comp)| {
+                        let mut next = state.clone();
+                        next.components[k - 1] = next_comp;
+                        (resp, next)
+                    })
+                    .collect();
+                Ok(Outcomes::from_vec(alts))
+            }
+            other => Err(SpecError::UnsupportedOp { object: "O'_n", op: *other }),
+        }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{int, Value};
+
+    #[test]
+    fn power_table_validation() {
+        assert!(SetAgreementPower::new(vec![]).is_err());
+        assert!(SetAgreementPower::new(vec![2, 0]).is_err());
+        assert!(SetAgreementPower::new(vec![4, 2]).is_err(), "power must be monotone in k");
+        assert!(SetAgreementPower::new(vec![2, 4, 6]).is_ok());
+    }
+
+    #[test]
+    fn certified_lower_bounds_shape() {
+        let p = SetAgreementPower::certified_lower_bounds_for_o_n(3, 5).unwrap();
+        assert_eq!(p.max_k(), 5);
+        for (k, n_k) in p.iter() {
+            assert_eq!(n_k, 3 * k);
+        }
+        assert!(SetAgreementPower::certified_lower_bounds_for_o_n(1, 3).is_err());
+        assert!(SetAgreementPower::certified_lower_bounds_for_o_n(2, 0).is_err());
+    }
+
+    #[test]
+    fn component_arities_match_the_table() {
+        let o = PowerObjectSpec::o_prime_n(2, 4).unwrap();
+        for k in 1..=4usize {
+            let c = o.component(k).unwrap();
+            assert_eq!(c.k(), k);
+            assert_eq!(c.n(), 2 * k);
+        }
+        assert!(o.component(0).is_none());
+        assert!(o.component(5).is_none());
+    }
+
+    #[test]
+    fn level_1_is_consensus() {
+        let o = PowerObjectSpec::o_prime_n(2, 2).unwrap();
+        let mut s = o.initial_state();
+        let (r, next) = o.outcomes(&s, &Op::ProposeAt(int(4), 1)).unwrap().into_single();
+        assert_eq!(r, int(4));
+        s = next;
+        let (r, _) = o.outcomes(&s, &Op::ProposeAt(int(9), 1)).unwrap().into_single();
+        assert_eq!(r, int(4), "(n_1, 1)-SA is consensus: second proposer learns the first value");
+    }
+
+    #[test]
+    fn levels_are_isolated() {
+        let o = PowerObjectSpec::o_prime_n(2, 3).unwrap();
+        let mut s = o.initial_state();
+        let (_, next) = o.outcomes(&s, &Op::ProposeAt(int(1), 1)).unwrap().into_single();
+        s = next;
+        // Level 2 has seen nothing: its first propose may return only its
+        // own value.
+        let outs = o.outcomes(&s, &Op::ProposeAt(int(2), 2)).unwrap();
+        assert!(outs.is_deterministic());
+        assert_eq!(outs.into_single().0, int(2));
+    }
+
+    #[test]
+    fn out_of_range_level_is_an_error() {
+        let o = PowerObjectSpec::o_prime_n(2, 2).unwrap();
+        let s = o.initial_state();
+        assert_eq!(
+            o.outcomes(&s, &Op::ProposeAt(int(1), 3)).unwrap_err(),
+            SpecError::PowerLevelOutOfRange { k: 3, max_k: 2 }
+        );
+        assert_eq!(
+            o.outcomes(&s, &Op::ProposeAt(int(1), 0)).unwrap_err(),
+            SpecError::PowerLevelOutOfRange { k: 0, max_k: 2 }
+        );
+    }
+
+    #[test]
+    fn port_budget_per_level() {
+        // Level 1 of O'_2 serves n_1 = 2 proposes, then ⊥.
+        let o = PowerObjectSpec::o_prime_n(2, 1).unwrap();
+        let mut s = o.initial_state();
+        for _ in 0..2 {
+            let (r, next) = o.outcomes(&s, &Op::ProposeAt(int(1), 1)).unwrap().into_single();
+            assert_ne!(r, Value::Bot);
+            s = next;
+        }
+        let (r, _) = o.outcomes(&s, &Op::ProposeAt(int(1), 1)).unwrap().into_single();
+        assert_eq!(r, Value::Bot);
+    }
+
+    #[test]
+    fn rejects_foreign_ops() {
+        let o = PowerObjectSpec::o_prime_n(2, 1).unwrap();
+        let s = o.initial_state();
+        assert!(matches!(
+            o.outcomes(&s, &Op::Propose(int(1))),
+            Err(SpecError::UnsupportedOp { .. })
+        ));
+    }
+
+    #[test]
+    fn power_object_is_nondeterministic() {
+        assert!(!PowerObjectSpec::o_prime_n(2, 2).unwrap().is_deterministic());
+    }
+}

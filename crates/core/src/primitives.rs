@@ -1,0 +1,314 @@
+//! Classic shared-memory primitives: test-and-set, fetch-and-add,
+//! compare-and-swap, and the FIFO queue.
+//!
+//! These objects are not defined in *Life Beyond Set Agreement*, but they
+//! are the canonical inhabitants of the consensus hierarchy the paper's
+//! result lives in (Herlihy 1991): test-and-set, fetch-and-add, and queues
+//! sit at level 2; compare-and-swap at level ∞. Having them in the same
+//! framework lets the experiments situate the paper's exotic objects —
+//! `Oₙ`, `O'ₙ` — next to the familiar ones, certified by the *same*
+//! machinery (experiment T7 in `EXPERIMENTS.md`).
+
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::spec::{ObjectSpec, Outcomes};
+use crate::value::Value;
+
+/// An atomic test-and-set bit.
+///
+/// `TAS` returns the previous value (`0` the first time — the "winner" —
+/// and `1` forever after) and sets the bit. `READ` is also supported.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::primitives::TestAndSetSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let tas = TestAndSetSpec::new();
+/// let mut s = tas.initial_state();
+/// assert_eq!(tas.apply_deterministic(&mut s, &Op::TestAndSet)?, Value::Int(0));
+/// assert_eq!(tas.apply_deterministic(&mut s, &Op::TestAndSet)?, Value::Int(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestAndSetSpec;
+
+impl TestAndSetSpec {
+    /// Creates a test-and-set specification.
+    #[must_use]
+    pub fn new() -> Self {
+        TestAndSetSpec
+    }
+}
+
+impl ObjectSpec for TestAndSetSpec {
+    type State = bool;
+
+    fn name(&self) -> &'static str {
+        "test-and-set"
+    }
+
+    fn initial_state(&self) -> bool {
+        false
+    }
+
+    fn outcomes(&self, state: &bool, op: &Op) -> Result<Outcomes<bool>, SpecError> {
+        match op {
+            Op::TestAndSet => Ok(Outcomes::single(Value::Int(i64::from(*state)), true)),
+            Op::Read => Ok(Outcomes::single(Value::Int(i64::from(*state)), *state)),
+            other => Err(SpecError::UnsupportedOp { object: "test-and-set", op: *other }),
+        }
+    }
+}
+
+/// An atomic fetch-and-add counter (initially `0`).
+///
+/// `FAA(d)` returns the previous value and adds `d`; `READ` returns the
+/// current value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchAddSpec;
+
+impl FetchAddSpec {
+    /// Creates a fetch-and-add specification.
+    #[must_use]
+    pub fn new() -> Self {
+        FetchAddSpec
+    }
+}
+
+impl ObjectSpec for FetchAddSpec {
+    type State = i64;
+
+    fn name(&self) -> &'static str {
+        "fetch-and-add"
+    }
+
+    fn initial_state(&self) -> i64 {
+        0
+    }
+
+    fn outcomes(&self, state: &i64, op: &Op) -> Result<Outcomes<i64>, SpecError> {
+        match op {
+            Op::FetchAdd(d) => Ok(Outcomes::single(Value::Int(*state), state.wrapping_add(*d))),
+            Op::Read => Ok(Outcomes::single(Value::Int(*state), *state)),
+            other => Err(SpecError::UnsupportedOp { object: "fetch-and-add", op: *other }),
+        }
+    }
+}
+
+/// An atomic compare-and-swap cell (initially `NIL`).
+///
+/// `CAS(expected, new)` replaces the cell with `new` iff it currently holds
+/// `expected`, and **always returns the previous value** (so the caller
+/// learns the winner on failure). `READ` and `WRITE` are also supported.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::primitives::CasSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let cas = CasSpec::new();
+/// let mut s = cas.initial_state();
+/// // First CAS from NIL wins…
+/// let old = cas.apply_deterministic(&mut s, &Op::CompareAndSwap(Value::Nil, Value::Int(7)))?;
+/// assert_eq!(old, Value::Nil);
+/// // …the second fails and learns the winner.
+/// let old = cas.apply_deterministic(&mut s, &Op::CompareAndSwap(Value::Nil, Value::Int(9)))?;
+/// assert_eq!(old, Value::Int(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CasSpec;
+
+impl CasSpec {
+    /// Creates a compare-and-swap specification.
+    #[must_use]
+    pub fn new() -> Self {
+        CasSpec
+    }
+}
+
+impl ObjectSpec for CasSpec {
+    type State = Value;
+
+    fn name(&self) -> &'static str {
+        "compare-and-swap"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn outcomes(&self, state: &Value, op: &Op) -> Result<Outcomes<Value>, SpecError> {
+        match op {
+            Op::CompareAndSwap(expected, new) => {
+                let next = if state == expected { *new } else { *state };
+                Ok(Outcomes::single(*state, next))
+            }
+            Op::Read => Ok(Outcomes::single(*state, *state)),
+            Op::Write(v) => Ok(Outcomes::single(Value::Done, *v)),
+            other => Err(SpecError::UnsupportedOp { object: "compare-and-swap", op: *other }),
+        }
+    }
+}
+
+/// An atomic FIFO queue, optionally pre-loaded (the classic queue-consensus
+/// protocol needs an initial "winner token").
+///
+/// `ENQ(v)` appends and returns `done`; `DEQ` removes and returns the front,
+/// or `nil` when empty.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueSpec {
+    initial: Vec<Value>,
+}
+
+impl QueueSpec {
+    /// Creates an initially-empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        QueueSpec::default()
+    }
+
+    /// Creates a queue pre-loaded with `items` (front first).
+    #[must_use]
+    pub fn with_items(items: Vec<Value>) -> Self {
+        QueueSpec { initial: items }
+    }
+}
+
+impl ObjectSpec for QueueSpec {
+    type State = Vec<Value>;
+
+    fn name(&self) -> &'static str {
+        "fifo-queue"
+    }
+
+    fn initial_state(&self) -> Vec<Value> {
+        self.initial.clone()
+    }
+
+    fn outcomes(&self, state: &Vec<Value>, op: &Op) -> Result<Outcomes<Vec<Value>>, SpecError> {
+        match op {
+            Op::Enqueue(v) => {
+                let mut next = state.clone();
+                next.push(*v);
+                Ok(Outcomes::single(Value::Done, next))
+            }
+            Op::Dequeue => {
+                if state.is_empty() {
+                    Ok(Outcomes::single(Value::Nil, state.clone()))
+                } else {
+                    let mut next = state.clone();
+                    let front = next.remove(0);
+                    Ok(Outcomes::single(front, next))
+                }
+            }
+            other => Err(SpecError::UnsupportedOp { object: "fifo-queue", op: *other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    #[test]
+    fn tas_first_wins_then_sticks() {
+        let tas = TestAndSetSpec::new();
+        let mut s = tas.initial_state();
+        assert_eq!(tas.apply_deterministic(&mut s, &Op::Read).unwrap(), int(0));
+        assert_eq!(tas.apply_deterministic(&mut s, &Op::TestAndSet).unwrap(), int(0));
+        for _ in 0..3 {
+            assert_eq!(tas.apply_deterministic(&mut s, &Op::TestAndSet).unwrap(), int(1));
+        }
+        assert_eq!(tas.apply_deterministic(&mut s, &Op::Read).unwrap(), int(1));
+    }
+
+    #[test]
+    fn faa_returns_previous_and_accumulates() {
+        let faa = FetchAddSpec::new();
+        let mut s = faa.initial_state();
+        assert_eq!(faa.apply_deterministic(&mut s, &Op::FetchAdd(5)).unwrap(), int(0));
+        assert_eq!(faa.apply_deterministic(&mut s, &Op::FetchAdd(-2)).unwrap(), int(5));
+        assert_eq!(faa.apply_deterministic(&mut s, &Op::Read).unwrap(), int(3));
+    }
+
+    #[test]
+    fn faa_wraps_rather_than_panics() {
+        let faa = FetchAddSpec::new();
+        let mut s = i64::MAX;
+        let prev = faa.apply_deterministic(&mut s, &Op::FetchAdd(1)).unwrap();
+        assert_eq!(prev, int(i64::MAX));
+        assert_eq!(s, i64::MIN);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let cas = CasSpec::new();
+        let mut s = cas.initial_state();
+        assert_eq!(
+            cas.apply_deterministic(&mut s, &Op::CompareAndSwap(int(9), int(1))).unwrap(),
+            Value::Nil,
+            "mismatch returns the old value"
+        );
+        assert_eq!(s, Value::Nil, "mismatch leaves the cell unchanged");
+        cas.apply_deterministic(&mut s, &Op::CompareAndSwap(Value::Nil, int(1))).unwrap();
+        assert_eq!(s, int(1));
+        assert_eq!(
+            cas.apply_deterministic(&mut s, &Op::CompareAndSwap(int(1), int(2))).unwrap(),
+            int(1)
+        );
+        assert_eq!(cas.apply_deterministic(&mut s, &Op::Read).unwrap(), int(2));
+    }
+
+    #[test]
+    fn queue_fifo_order_and_empty_behaviour() {
+        let q = QueueSpec::new();
+        let mut s = q.initial_state();
+        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), Value::Nil);
+        q.apply_deterministic(&mut s, &Op::Enqueue(int(1))).unwrap();
+        q.apply_deterministic(&mut s, &Op::Enqueue(int(2))).unwrap();
+        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), int(1));
+        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), int(2));
+        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn preloaded_queue_serves_tokens() {
+        let q = QueueSpec::with_items(vec![int(100)]);
+        let mut s = q.initial_state();
+        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), int(100));
+        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn foreign_ops_rejected_everywhere() {
+        let s = TestAndSetSpec::new().initial_state();
+        assert!(TestAndSetSpec::new().outcomes(&s, &Op::Propose(int(1))).is_err());
+        let s = FetchAddSpec::new().initial_state();
+        assert!(FetchAddSpec::new().outcomes(&s, &Op::TestAndSet).is_err());
+        let s = CasSpec::new().initial_state();
+        assert!(CasSpec::new().outcomes(&s, &Op::Dequeue).is_err());
+        let s = QueueSpec::new().initial_state();
+        assert!(QueueSpec::new().outcomes(&s, &Op::Read).is_err());
+    }
+
+    #[test]
+    fn all_primitives_are_deterministic() {
+        assert!(TestAndSetSpec::new().is_deterministic());
+        assert!(FetchAddSpec::new().is_deterministic());
+        assert!(CasSpec::new().is_deterministic());
+        assert!(QueueSpec::new().is_deterministic());
+    }
+}

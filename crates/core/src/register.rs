@@ -1,0 +1,118 @@
+//! The atomic read/write register.
+//!
+//! Registers are the base objects of the wait-free shared-memory model: the
+//! paper's implementation relation is always "from instances of `O` **and
+//! registers**". A register holds a single [`Value`] (initially `NIL`),
+//! supports `READ` and `WRITE(v)`, and is deterministic.
+
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::spec::{ObjectSpec, Outcomes};
+use crate::value::Value;
+
+/// Sequential specification of an atomic read/write register.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::register::RegisterSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let reg = RegisterSpec::new();
+/// let mut s = reg.initial_state();
+/// assert_eq!(reg.apply_deterministic(&mut s, &Op::Read)?, Value::Nil);
+/// assert_eq!(reg.apply_deterministic(&mut s, &Op::Write(Value::Int(5)))?, Value::Done);
+/// assert_eq!(reg.apply_deterministic(&mut s, &Op::Read)?, Value::Int(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegisterSpec;
+
+impl RegisterSpec {
+    /// Creates a register specification.
+    #[must_use]
+    pub fn new() -> Self {
+        RegisterSpec
+    }
+}
+
+impl ObjectSpec for RegisterSpec {
+    type State = Value;
+
+    fn name(&self) -> &'static str {
+        "register"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn outcomes(&self, state: &Value, op: &Op) -> Result<Outcomes<Value>, SpecError> {
+        match op {
+            Op::Read => Ok(Outcomes::single(*state, *state)),
+            Op::Write(v) => Ok(Outcomes::single(Value::Done, *v)),
+            other => Err(SpecError::UnsupportedOp { object: "register", op: *other }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    #[test]
+    fn initial_read_is_nil() {
+        let reg = RegisterSpec::new();
+        let mut s = reg.initial_state();
+        assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn write_then_read_returns_written_value() {
+        let reg = RegisterSpec::new();
+        let mut s = reg.initial_state();
+        assert_eq!(reg.apply_deterministic(&mut s, &Op::Write(int(3))).unwrap(), Value::Done);
+        assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), int(3));
+        // Overwrite.
+        reg.apply_deterministic(&mut s, &Op::Write(int(8))).unwrap();
+        assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), int(8));
+    }
+
+    #[test]
+    fn read_does_not_change_state() {
+        let reg = RegisterSpec::new();
+        let mut s = reg.initial_state();
+        reg.apply_deterministic(&mut s, &Op::Write(int(1))).unwrap();
+        let before = s;
+        reg.apply_deterministic(&mut s, &Op::Read).unwrap();
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn registers_may_hold_any_value() {
+        // Unlike propose operations, writes accept reserved symbols: a
+        // register is uninterpreted storage.
+        let reg = RegisterSpec::new();
+        let mut s = reg.initial_state();
+        reg.apply_deterministic(&mut s, &Op::Write(Value::Bot)).unwrap();
+        assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), Value::Bot);
+    }
+
+    #[test]
+    fn rejects_foreign_operations() {
+        let reg = RegisterSpec::new();
+        let s = reg.initial_state();
+        let err = reg.outcomes(&s, &Op::Propose(int(1))).unwrap_err();
+        assert!(matches!(err, SpecError::UnsupportedOp { object: "register", .. }));
+    }
+
+    #[test]
+    fn register_is_deterministic() {
+        assert!(RegisterSpec::new().is_deterministic());
+    }
+}

@@ -1,0 +1,300 @@
+//! The **(n,k)-SA** object: `n` processes, `k`-set agreement — Section 6 of
+//! the paper (after Borowsky–Gafni and Chaudhuri–Reiners).
+//!
+//! An (n,k)-SA object lets each of up to `n` processes apply one
+//! `PROPOSE(v)` operation and receive a value satisfying the `(n,k)`-set
+//! agreement requirements:
+//!
+//! * **k-Agreement** — at most `k` distinct values are ever returned;
+//! * **Validity** — every returned value was proposed by some process.
+//!
+//! Unlike the strong 2-SA object, an (n,k)-SA object may answer with *any*
+//! `k` of the proposed values (not necessarily the first `k`); the spec is
+//! maximally nondeterministic subject to the two properties above. The
+//! paper's `O'ₙ` is a bundle of these objects, and Corollary 6.7 is precisely
+//! the statement that **arbitrary** solutions to the k-set agreement problems
+//! are not enough to implement `Oₙ` — so the looseness of this spec is
+//! load-bearing.
+//!
+//! Proposals beyond the `n`-th port return `⊥` (the object is exhausted,
+//! mirroring the consensus object's budget semantics).
+
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::spec::{check_proposable, ObjectSpec, Outcomes};
+use crate::value::Value;
+
+/// State of an [`SetAgreementSpec`] object.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SetAgreementState {
+    /// All distinct values proposed so far, sorted (canonical form).
+    pub proposals: Vec<Value>,
+    /// The distinct values returned so far, sorted; `|outputs| <= k`.
+    pub outputs: Vec<Value>,
+    /// Number of propose operations consumed, saturating at `n`.
+    pub ports_used: usize,
+}
+
+impl SetAgreementState {
+    fn with_proposal(&self, v: Value, n: usize) -> SetAgreementState {
+        let mut next = self.clone();
+        next.ports_used = (next.ports_used + 1).min(n);
+        if !next.proposals.contains(&v) {
+            next.proposals.push(v);
+            next.proposals.sort();
+        }
+        next
+    }
+
+    fn with_output(&self, u: Value) -> SetAgreementState {
+        let mut next = self.clone();
+        if !next.outputs.contains(&u) {
+            next.outputs.push(u);
+            next.outputs.sort();
+        }
+        next
+    }
+}
+
+/// Sequential specification of the (n,k)-SA object.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::set_agreement::SetAgreementSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// // A (3,1)-SA object is consensus for 3 processes.
+/// let sa = SetAgreementSpec::new(3, 1)?;
+/// let s0 = sa.initial_state();
+/// let (r1, s1) = sa.outcomes(&s0, &Op::Propose(Value::Int(10)))?.into_single();
+/// assert_eq!(r1, Value::Int(10));
+/// // The second proposer must receive the already-fixed output.
+/// let outs = sa.outcomes(&s1, &Op::Propose(Value::Int(20)))?;
+/// assert!(outs.is_deterministic());
+/// assert_eq!(outs.into_single().0, Value::Int(10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetAgreementSpec {
+    n: usize,
+    k: usize,
+}
+
+impl SetAgreementSpec {
+    /// Creates an (n,k)-SA specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidArity`] if `n == 0` or `k == 0`.
+    pub fn new(n: usize, k: usize) -> Result<Self, SpecError> {
+        if n == 0 {
+            return Err(SpecError::InvalidArity { what: "n", got: 0, min: 1 });
+        }
+        if k == 0 {
+            return Err(SpecError::InvalidArity { what: "k", got: 0, min: 1 });
+        }
+        Ok(SetAgreementSpec { n, k })
+    }
+
+    /// The number of ports `n` (processes the object can serve).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The agreement bound `k` (maximum distinct outputs).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns `true` if all `n` ports have been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self, state: &SetAgreementState) -> bool {
+        state.ports_used >= self.n
+    }
+}
+
+impl ObjectSpec for SetAgreementSpec {
+    type State = SetAgreementState;
+
+    fn name(&self) -> &'static str {
+        "(n,k)-SA"
+    }
+
+    fn initial_state(&self) -> SetAgreementState {
+        SetAgreementState::default()
+    }
+
+    fn outcomes(
+        &self,
+        state: &SetAgreementState,
+        op: &Op,
+    ) -> Result<Outcomes<SetAgreementState>, SpecError> {
+        match op {
+            Op::Propose(v) => {
+                check_proposable(*v)?;
+                if self.is_exhausted(state) {
+                    return Ok(Outcomes::single(Value::Bot, state.clone()));
+                }
+                let mid = state.with_proposal(*v, self.n);
+                let mut alts: Vec<(Value, SetAgreementState)> = Vec::new();
+                if mid.outputs.len() < self.k {
+                    // The object may answer with any proposed value,
+                    // enlarging the output set if the value is new.
+                    for &u in &mid.proposals {
+                        alts.push((u, mid.with_output(u)));
+                    }
+                } else {
+                    // The output set is full: only existing outputs may be
+                    // returned.
+                    for &u in &mid.outputs {
+                        alts.push((u, mid.clone()));
+                    }
+                }
+                Ok(Outcomes::from_vec(alts))
+            }
+            other => Err(SpecError::UnsupportedOp { object: "(n,k)-SA", op: *other }),
+        }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    #[test]
+    fn rejects_zero_arities() {
+        assert!(SetAgreementSpec::new(0, 1).is_err());
+        assert!(SetAgreementSpec::new(1, 0).is_err());
+        assert!(SetAgreementSpec::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn k1_behaves_like_consensus() {
+        let sa = SetAgreementSpec::new(4, 1).unwrap();
+        let mut s = sa.initial_state();
+        let (r, next) = sa.outcomes(&s, &Op::Propose(int(3))).unwrap().into_single();
+        assert_eq!(r, int(3));
+        s = next;
+        for v in [5i64, 7, 9] {
+            let outs = sa.outcomes(&s, &Op::Propose(int(v))).unwrap();
+            assert!(outs.is_deterministic(), "a full output set leaves no choice");
+            let (r, next) = outs.into_single();
+            assert_eq!(r, int(3));
+            s = next;
+        }
+    }
+
+    #[test]
+    fn port_budget_enforced() {
+        let sa = SetAgreementSpec::new(2, 1).unwrap();
+        let mut s = sa.initial_state();
+        for v in [1i64, 2] {
+            s = sa.outcomes(&s, &Op::Propose(int(v))).unwrap().into_vec().pop().unwrap().1;
+        }
+        assert!(sa.is_exhausted(&s));
+        let outs = sa.outcomes(&s, &Op::Propose(int(3))).unwrap();
+        let (r, next) = outs.into_single();
+        assert_eq!(r, Value::Bot);
+        assert_eq!(next, s, "exhausted object state must be frozen");
+    }
+
+    #[test]
+    fn outputs_are_subset_of_proposals_on_all_branches() {
+        let sa = SetAgreementSpec::new(4, 2).unwrap();
+        let proposals = [int(1), int(2), int(3), int(4)];
+        let mut stack = vec![(sa.initial_state(), 0usize)];
+        while let Some((state, idx)) = stack.pop() {
+            assert!(state.outputs.iter().all(|u| state.proposals.contains(u)));
+            assert!(state.outputs.len() <= 2);
+            if idx == proposals.len() {
+                continue;
+            }
+            for (resp, next) in sa.outcomes(&state, &Op::Propose(proposals[idx])).unwrap() {
+                assert!(next.proposals.contains(&resp), "validity: response must be proposed");
+                stack.push((next.clone(), idx + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_distinct_responses_on_all_branches() {
+        for k in 1..=3usize {
+            let sa = SetAgreementSpec::new(4, k).unwrap();
+            let proposals = [int(1), int(2), int(3), int(4)];
+            let mut stack = vec![(sa.initial_state(), Vec::<Value>::new(), 0usize)];
+            while let Some((state, mut seen, idx)) = stack.pop() {
+                seen.sort();
+                seen.dedup();
+                assert!(seen.len() <= k, "(4,{k})-SA emitted {} distinct values", seen.len());
+                if idx == proposals.len() {
+                    continue;
+                }
+                for (resp, next) in sa.outcomes(&state, &Op::Propose(proposals[idx])).unwrap() {
+                    let mut seen2 = seen.clone();
+                    seen2.push(resp);
+                    stack.push((next.clone(), seen2, idx + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nondeterminism_allows_any_proposed_value_not_just_the_first_k() {
+        // Distinguishes (n,k)-SA from the strong 2-SA object: with k = 1 and
+        // proposals 1 then 2... the output is fixed by the first propose.
+        // Use k = 2: after proposals 1, 2, 3 the object may have answered
+        // {1,3}, which the strong 2-SA could never do.
+        let sa = SetAgreementSpec::new(3, 2).unwrap();
+        let s0 = sa.initial_state();
+        let (_, s1) = sa
+            .outcomes(&s0, &Op::Propose(int(1)))
+            .unwrap()
+            .into_vec()
+            .into_iter()
+            .find(|(r, _)| *r == int(1))
+            .unwrap();
+        // Second propose: pick the branch that returns 1 again, keeping the
+        // output set at {1}.
+        let (_, s2) = sa
+            .outcomes(&s1, &Op::Propose(int(2)))
+            .unwrap()
+            .into_vec()
+            .into_iter()
+            .find(|(r, _)| *r == int(1))
+            .unwrap();
+        // Third propose: 3 must be an admissible answer.
+        let outs = sa.outcomes(&s2, &Op::Propose(int(3))).unwrap();
+        assert!(outs.iter().any(|(r, _)| *r == int(3)));
+    }
+
+    #[test]
+    fn rejects_reserved_values_and_foreign_ops() {
+        let sa = SetAgreementSpec::new(2, 1).unwrap();
+        let s = sa.initial_state();
+        assert!(matches!(
+            sa.outcomes(&s, &Op::Propose(Value::Nil)),
+            Err(SpecError::ReservedValue(Value::Nil))
+        ));
+        assert!(matches!(sa.outcomes(&s, &Op::Write(int(1))), Err(SpecError::UnsupportedOp { .. })));
+    }
+
+    #[test]
+    fn accessors() {
+        let sa = SetAgreementSpec::new(5, 2).unwrap();
+        assert_eq!(sa.n(), 5);
+        assert_eq!(sa.k(), 2);
+        assert!(!sa.is_deterministic());
+    }
+}

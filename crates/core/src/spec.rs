@@ -1,0 +1,299 @@
+//! The sequential-specification trait implemented by every object family.
+//!
+//! Following Herlihy–Wing linearizability, a shared object is fully described
+//! by a *sequential specification*: a set of states, an initial state, and a
+//! transition relation `state × operation → {(response, state')}`. For a
+//! deterministic object (registers, consensus objects, PAC objects, and every
+//! combination thereof) the relation is a function — exactly one outcome. The
+//! 2-SA and (n,k)-SA objects are **nondeterministic**: the spec returns every
+//! admissible outcome and the environment (scheduler/adversary) chooses.
+
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::value::Value;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The non-empty set of admissible `(response, next-state)` outcomes of one
+/// operation.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::spec::Outcomes;
+/// use lbsa_core::value::Value;
+///
+/// let outs = Outcomes::single(Value::Done, 42u32);
+/// assert!(outs.is_deterministic());
+/// assert_eq!(outs.iter().count(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcomes<S> {
+    outcomes: Vec<(Value, S)>,
+}
+
+impl<S> Outcomes<S> {
+    /// Creates a deterministic outcome set with exactly one entry.
+    #[must_use]
+    pub fn single(response: Value, state: S) -> Self {
+        Outcomes { outcomes: vec![(response, state)] }
+    }
+
+    /// Creates an outcome set from a non-empty list of alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty: a sequential specification must be
+    /// total, so every well-formed operation has at least one outcome.
+    #[must_use]
+    pub fn from_vec(outcomes: Vec<(Value, S)>) -> Self {
+        assert!(!outcomes.is_empty(), "an operation must have at least one outcome");
+        Outcomes { outcomes }
+    }
+
+    /// Returns `true` if exactly one outcome is admissible.
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.outcomes.len() == 1
+    }
+
+    /// The number of admissible outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Outcome sets are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the admissible `(response, next-state)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Value, S)> {
+        self.outcomes.iter()
+    }
+
+    /// Consumes the set, returning the underlying vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<(Value, S)> {
+        self.outcomes
+    }
+
+    /// Returns the unique outcome of a deterministic operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than one outcome is admissible; call sites that handle
+    /// nondeterministic objects must use [`Outcomes::into_vec`] or
+    /// [`Outcomes::iter`] instead.
+    #[must_use]
+    pub fn into_single(mut self) -> (Value, S) {
+        assert!(
+            self.outcomes.len() == 1,
+            "into_single() called on a nondeterministic outcome set ({} alternatives)",
+            self.outcomes.len()
+        );
+        self.outcomes.pop().expect("outcome sets are non-empty")
+    }
+}
+
+impl<S> IntoIterator for Outcomes<S> {
+    type Item = (Value, S);
+    type IntoIter = std::vec::IntoIter<(Value, S)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.into_iter()
+    }
+}
+
+impl<'a, S> IntoIterator for &'a Outcomes<S> {
+    type Item = &'a (Value, S);
+    type IntoIter = std::slice::Iter<'a, (Value, S)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.iter()
+    }
+}
+
+/// A sequential specification of a linearizable shared object.
+///
+/// Implementors define the state space, the initial state, and the
+/// (possibly nondeterministic) transition relation. All higher layers —
+/// the runtime, the explorer, the linearizability checker — are generic in
+/// this trait.
+///
+/// # Examples
+///
+/// A trivial "sticky bit" object:
+///
+/// ```
+/// use lbsa_core::spec::{ObjectSpec, Outcomes};
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+/// use lbsa_core::error::SpecError;
+///
+/// #[derive(Debug)]
+/// struct StickyBit;
+///
+/// impl ObjectSpec for StickyBit {
+///     type State = Value;
+///     fn name(&self) -> &'static str { "sticky-bit" }
+///     fn initial_state(&self) -> Value { Value::Nil }
+///     fn outcomes(&self, s: &Value, op: &Op) -> Result<Outcomes<Value>, SpecError> {
+///         match op {
+///             Op::Propose(v) => {
+///                 let winner = if s.is_nil() { *v } else { *s };
+///                 Ok(Outcomes::single(winner, winner))
+///             }
+///             other => Err(SpecError::UnsupportedOp { object: "sticky-bit", op: *other }),
+///         }
+///     }
+/// }
+///
+/// let obj = StickyBit;
+/// let mut s = obj.initial_state();
+/// assert_eq!(obj.apply_deterministic(&mut s, &Op::Propose(Value::Int(1))).unwrap(), Value::Int(1));
+/// assert_eq!(obj.apply_deterministic(&mut s, &Op::Propose(Value::Int(2))).unwrap(), Value::Int(1));
+/// ```
+pub trait ObjectSpec: Debug {
+    /// The object's state type. Must be hashable so that whole system
+    /// configurations can be deduplicated during exhaustive exploration.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// A short human-readable name of the object family (e.g. `"n-PAC"`).
+    fn name(&self) -> &'static str;
+
+    /// The object's initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// All admissible `(response, next-state)` outcomes of applying `op` in
+    /// `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if `op` is not part of this object's
+    /// interface, uses an out-of-range label, or proposes a reserved value.
+    fn outcomes(&self, state: &Self::State, op: &Op) -> Result<Outcomes<Self::State>, SpecError>;
+
+    /// Returns `true` if the object is deterministic *as a specification*,
+    /// i.e. every operation in every state has exactly one outcome.
+    ///
+    /// The default implementation returns `true`; the 2-SA and (n,k)-SA
+    /// objects override it.
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    /// Applies a deterministic operation in place and returns its response.
+    ///
+    /// This is the convenient entry point for driving deterministic objects
+    /// (and for nondeterministic objects in states where the operation
+    /// happens to have a unique outcome).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SpecError`] from [`ObjectSpec::outcomes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation has more than one admissible outcome.
+    fn apply_deterministic(&self, state: &mut Self::State, op: &Op) -> Result<Value, SpecError> {
+        let (resp, next) = self.outcomes(state, op)?.into_single();
+        *state = next;
+        Ok(resp)
+    }
+
+    /// Runs a whole operation sequence from the initial state, resolving
+    /// nondeterminism with `choose` (which receives the admissible outcomes
+    /// and returns the index of the chosen one).
+    ///
+    /// Returns the sequence of responses and the final state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SpecError`]; the state reached so far is discarded.
+    fn run_with<F>(&self, ops: &[Op], mut choose: F) -> Result<(Vec<Value>, Self::State), SpecError>
+    where
+        F: FnMut(&[(Value, Self::State)]) -> usize,
+    {
+        let mut state = self.initial_state();
+        let mut responses = Vec::with_capacity(ops.len());
+        for op in ops {
+            let outs = self.outcomes(&state, op)?.into_vec();
+            let idx = if outs.len() == 1 { 0 } else { choose(&outs).min(outs.len() - 1) };
+            let (resp, next) = outs.into_iter().nth(idx).expect("chosen index in range");
+            responses.push(resp);
+            state = next;
+        }
+        Ok((responses, state))
+    }
+
+    /// Runs a whole operation sequence from the initial state, taking the
+    /// **first** admissible outcome at every nondeterministic branch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SpecError`].
+    fn run_first(&self, ops: &[Op]) -> Result<(Vec<Value>, Self::State), SpecError> {
+        self.run_with(ops, |_| 0)
+    }
+}
+
+/// Checks that a proposed value is admissible (not a reserved symbol).
+///
+/// # Errors
+///
+/// Returns [`SpecError::ReservedValue`] for `NIL`, `⊥`, and `done`.
+pub fn check_proposable(v: Value) -> Result<(), SpecError> {
+    if v.is_proposable() {
+        Ok(())
+    } else {
+        Err(SpecError::ReservedValue(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    #[test]
+    fn outcomes_single_is_deterministic() {
+        let o = Outcomes::single(Value::Done, 0u8);
+        assert!(o.is_deterministic());
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.into_single(), (Value::Done, 0u8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn outcomes_from_empty_vec_panics() {
+        let _ = Outcomes::<u8>::from_vec(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic")]
+    fn into_single_panics_on_branching() {
+        let o = Outcomes::from_vec(vec![(int(1), 0u8), (int(2), 1u8)]);
+        let _ = o.into_single();
+    }
+
+    #[test]
+    fn outcomes_iteration() {
+        let o = Outcomes::from_vec(vec![(int(1), 10u8), (int(2), 20u8)]);
+        assert!(!o.is_deterministic());
+        let responses: Vec<Value> = o.iter().map(|(r, _)| *r).collect();
+        assert_eq!(responses, vec![int(1), int(2)]);
+        let states: Vec<u8> = o.into_iter().map(|(_, s)| s).collect();
+        assert_eq!(states, vec![10, 20]);
+    }
+
+    #[test]
+    fn check_proposable_rejects_reserved() {
+        assert!(check_proposable(int(3)).is_ok());
+        assert_eq!(check_proposable(Value::Nil), Err(SpecError::ReservedValue(Value::Nil)));
+        assert_eq!(check_proposable(Value::Bot), Err(SpecError::ReservedValue(Value::Bot)));
+        assert_eq!(check_proposable(Value::Done), Err(SpecError::ReservedValue(Value::Done)));
+    }
+}

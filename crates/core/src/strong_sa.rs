@@ -1,0 +1,272 @@
+//! The **strong 2-set agreement (2-SA)** object — Section 4 of the paper,
+//! Algorithm 3.
+//!
+//! The 2-SA object solves 2-set agreement among *any finite number* of
+//! processes, but is "strong": every response is one of the **first two
+//! distinct** values proposed to it (the 2-set agreement problem itself would
+//! allow any two proposed values). Its state is a set `STATE` of at most two
+//! values; `PROPOSE(v)` adds `v` when `|STATE| < 2` and returns an
+//! **arbitrarily selected** element of `STATE` — the one nondeterministic
+//! base object in the paper, and the reason Theorem 4.2's proof needs the
+//! special-case Claims 4.2.6.2 and 4.2.10.
+
+use crate::error::SpecError;
+use crate::op::Op;
+use crate::spec::{check_proposable, ObjectSpec, Outcomes};
+use crate::value::Value;
+
+/// State of a [`StrongSaSpec`] object: the set `STATE`, `|STATE| <= 2`.
+///
+/// The set is stored canonically (sorted pair, `NIL` = absent) so that
+/// equal sets hash equally during exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct StrongSaState {
+    slots: [Value; 2],
+}
+
+impl StrongSaState {
+    /// The members of `STATE`, in canonical order.
+    #[must_use]
+    pub fn members(&self) -> Vec<Value> {
+        self.slots.iter().copied().filter(|v| !v.is_nil()).collect()
+    }
+
+    /// The number of values captured so far (0, 1, or 2).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|v| !v.is_nil()).count()
+    }
+
+    /// Returns `true` if no value has been captured yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `v ∈ STATE`.
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.slots.contains(&v) && !v.is_nil()
+    }
+
+    fn insert(&self, v: Value) -> StrongSaState {
+        if self.contains(v) || self.len() == 2 {
+            return *self;
+        }
+        let mut slots = self.slots;
+        if slots[0].is_nil() {
+            slots[0] = v;
+        } else {
+            slots[1] = v;
+        }
+        slots.sort();
+        // Keep NIL (absent) slots at the end for a canonical form: NIL sorts
+        // first, so re-normalize.
+        if slots[0].is_nil() {
+            slots.swap(0, 1);
+        }
+        StrongSaState { slots }
+    }
+}
+
+/// Sequential specification of the strong 2-set agreement object
+/// (Algorithm 3).
+///
+/// This object is **nondeterministic**: [`ObjectSpec::outcomes`] returns one
+/// alternative per member of `STATE` after the insertion.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::strong_sa::StrongSaSpec;
+/// use lbsa_core::spec::ObjectSpec;
+/// use lbsa_core::op::Op;
+/// use lbsa_core::value::Value;
+///
+/// # fn main() -> Result<(), lbsa_core::error::SpecError> {
+/// let sa = StrongSaSpec::new();
+/// let s0 = sa.initial_state();
+///
+/// // The first propose deterministically returns its own value…
+/// let outs = sa.outcomes(&s0, &Op::Propose(Value::Int(1)))?;
+/// assert!(outs.is_deterministic());
+/// let (resp, s1) = outs.into_single();
+/// assert_eq!(resp, Value::Int(1));
+///
+/// // …but once STATE holds two values, each propose may return either.
+/// let (_, s2) = sa.outcomes(&s1, &Op::Propose(Value::Int(2)))?.into_vec().pop().unwrap();
+/// let outs = sa.outcomes(&s2, &Op::Propose(Value::Int(3)))?;
+/// let responses: Vec<_> = outs.iter().map(|(r, _)| *r).collect();
+/// assert_eq!(responses, vec![Value::Int(1), Value::Int(2)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrongSaSpec;
+
+impl StrongSaSpec {
+    /// Creates a 2-SA specification.
+    #[must_use]
+    pub fn new() -> Self {
+        StrongSaSpec
+    }
+}
+
+impl ObjectSpec for StrongSaSpec {
+    type State = StrongSaState;
+
+    fn name(&self) -> &'static str {
+        "2-SA"
+    }
+
+    fn initial_state(&self) -> StrongSaState {
+        StrongSaState::default()
+    }
+
+    fn outcomes(&self, state: &StrongSaState, op: &Op) -> Result<Outcomes<StrongSaState>, SpecError> {
+        match op {
+            Op::Propose(v) => {
+                check_proposable(*v)?;
+                // Line 2: if |STATE| < 2 then STATE <- STATE ∪ {v}.
+                let next = state.insert(*v);
+                // Line 3: return an arbitrary value from STATE. The state of
+                // the object "only records values that are proposed to it,
+                // not values that it returns" (Subclaim 4.2.6.2), so every
+                // alternative shares the same next-state.
+                let alts: Vec<(Value, StrongSaState)> =
+                    next.members().into_iter().map(|m| (m, next)).collect();
+                Ok(Outcomes::from_vec(alts))
+            }
+            other => Err(SpecError::UnsupportedOp { object: "2-SA", op: *other }),
+        }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int;
+
+    #[test]
+    fn first_propose_returns_own_value() {
+        let sa = StrongSaSpec::new();
+        let outs = sa.outcomes(&sa.initial_state(), &Op::Propose(int(5))).unwrap();
+        assert!(outs.is_deterministic());
+        let (resp, state) = outs.into_single();
+        assert_eq!(resp, int(5));
+        assert_eq!(state.members(), vec![int(5)]);
+    }
+
+    #[test]
+    fn only_first_two_distinct_values_are_captured() {
+        let sa = StrongSaSpec::new();
+        let mut s = sa.initial_state();
+        for v in [1i64, 2, 3, 4] {
+            let outs = sa.outcomes(&s, &Op::Propose(int(v))).unwrap();
+            s = outs.into_vec().pop().unwrap().1;
+        }
+        assert_eq!(s.members(), vec![int(1), int(2)]);
+    }
+
+    #[test]
+    fn duplicate_proposals_do_not_fill_the_set() {
+        let sa = StrongSaSpec::new();
+        let mut s = sa.initial_state();
+        for _ in 0..3 {
+            s = sa.outcomes(&s, &Op::Propose(int(7))).unwrap().into_vec().pop().unwrap().1;
+        }
+        assert_eq!(s.members(), vec![int(7)]);
+        // A later distinct proposal still gets in.
+        s = sa.outcomes(&s, &Op::Propose(int(9))).unwrap().into_vec().pop().unwrap().1;
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(int(9)));
+    }
+
+    #[test]
+    fn all_responses_come_from_state() {
+        let sa = StrongSaSpec::new();
+        let mut s = sa.initial_state();
+        s = sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1;
+        s = sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec().pop().unwrap().1;
+        let outs = sa.outcomes(&s, &Op::Propose(int(3))).unwrap();
+        assert_eq!(outs.len(), 2);
+        for (resp, next) in outs.iter() {
+            assert!(s.contains(*resp), "response must come from STATE");
+            assert_eq!(*next, s, "a saturated 2-SA never changes state");
+        }
+    }
+
+    #[test]
+    fn responses_do_not_affect_state() {
+        // Subclaim 4.2.6.2's key fact: alternatives differ only in the
+        // response, never in the next state.
+        let sa = StrongSaSpec::new();
+        let mut s = sa.initial_state();
+        s = sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1;
+        let outs = sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec();
+        let states: Vec<StrongSaState> = outs.iter().map(|(_, st)| *st).collect();
+        assert!(states.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn canonical_state_ignores_insertion_order() {
+        let sa = StrongSaSpec::new();
+        let s12 = {
+            let mut s = sa.initial_state();
+            s = sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1;
+            sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec().pop().unwrap().1
+        };
+        let s21 = {
+            let mut s = sa.initial_state();
+            s = sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec().pop().unwrap().1;
+            sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1
+        };
+        assert_eq!(s12, s21, "STATE is a set; representation must be canonical");
+    }
+
+    #[test]
+    fn rejects_reserved_values_and_foreign_ops() {
+        let sa = StrongSaSpec::new();
+        let s = sa.initial_state();
+        assert!(matches!(
+            sa.outcomes(&s, &Op::Propose(Value::Bot)),
+            Err(SpecError::ReservedValue(Value::Bot))
+        ));
+        assert!(matches!(sa.outcomes(&s, &Op::Read), Err(SpecError::UnsupportedOp { .. })));
+    }
+
+    #[test]
+    fn spec_reports_nondeterminism() {
+        assert!(!StrongSaSpec::new().is_deterministic());
+    }
+
+    #[test]
+    fn at_most_two_distinct_responses_ever() {
+        // Exhaustively follow every nondeterministic branch of 5 proposals
+        // and confirm the object never emits more than 2 distinct responses
+        // (the defining property of 2-set agreement).
+        let sa = StrongSaSpec::new();
+        let proposals = [int(1), int(2), int(3), int(4), int(5)];
+        // Depth-first over (state, set-of-responses-seen).
+        let mut stack = vec![(sa.initial_state(), Vec::<Value>::new(), 0usize)];
+        while let Some((state, seen, idx)) = stack.pop() {
+            if idx == proposals.len() {
+                let mut distinct = seen.clone();
+                distinct.sort();
+                distinct.dedup();
+                assert!(distinct.len() <= 2, "2-SA emitted {} distinct values", distinct.len());
+                continue;
+            }
+            let outs = sa.outcomes(&state, &Op::Propose(proposals[idx])).unwrap();
+            for (resp, next) in outs.into_vec() {
+                let mut seen2 = seen.clone();
+                seen2.push(resp);
+                stack.push((next, seen2, idx + 1));
+            }
+        }
+    }
+}

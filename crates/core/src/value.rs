@@ -1,0 +1,161 @@
+//! The value domain shared by all objects in the model.
+//!
+//! The paper works with an abstract value universe plus two reserved symbols:
+//! `NIL` (the "no value yet" marker used inside object states) and `⊥`
+//! (the special failure/abort response). Propose-style operations also
+//! acknowledge with **done**. Footnote 4 of the paper assumes that processes
+//! never *propose* the reserved symbols; [`Value::is_proposable`] encodes
+//! that restriction and the object specifications enforce it.
+
+use std::fmt;
+
+/// A value in the shared-memory model.
+///
+/// `Value` is the single response/argument type of every operation in this
+/// workspace. Keeping one closed value universe (rather than generics) is
+/// what lets the explorer hash whole system configurations cheaply.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::value::Value;
+///
+/// let v = Value::Int(42);
+/// assert!(v.is_proposable());
+/// assert!(!Value::Bot.is_proposable());
+/// assert_eq!(v.to_string(), "42");
+/// assert_eq!(Value::Bot.to_string(), "⊥");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// `NIL` — "no value": the initial content of registers and of the
+    /// internal fields of PAC objects.
+    #[default]
+    Nil,
+    /// `⊥` — the special failure value returned by upset PAC objects,
+    /// exhausted consensus objects, and saturated set-agreement ports.
+    Bot,
+    /// `done` — the acknowledgement returned by PAC `PROPOSE` operations.
+    Done,
+    /// An application value. The protocols in this workspace propose and
+    /// decide integers.
+    Int(i64),
+}
+
+impl Value {
+    /// Returns `true` if this value may be proposed by a process.
+    ///
+    /// Per footnote 4 of the paper, processes never propose the special
+    /// values `⊥` and `NIL` (and, in our model, `done`, which is likewise a
+    /// reserved response token).
+    #[must_use]
+    pub fn is_proposable(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// Returns `true` if this value is `NIL`.
+    #[must_use]
+    pub fn is_nil(self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Returns `true` if this value is `⊥`.
+    #[must_use]
+    pub fn is_bot(self) -> bool {
+        matches!(self, Value::Bot)
+    }
+
+    /// Returns the wrapped integer, if this is an application value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lbsa_core::value::Value;
+    /// assert_eq!(Value::Int(3).as_int(), Some(3));
+    /// assert_eq!(Value::Bot.as_int(), None);
+    /// ```
+    #[must_use]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bot => write!(f, "⊥"),
+            Value::Done => write!(f, "done"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Shorthand constructor for an application value.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_core::value::{int, Value};
+/// assert_eq!(int(5), Value::Int(5));
+/// ```
+#[must_use]
+pub fn int(v: i64) -> Value {
+    Value::Int(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_values_are_not_proposable() {
+        assert!(!Value::Nil.is_proposable());
+        assert!(!Value::Bot.is_proposable());
+        assert!(!Value::Done.is_proposable());
+        assert!(Value::Int(0).is_proposable());
+        assert!(Value::Int(-7).is_proposable());
+    }
+
+    #[test]
+    fn default_is_nil() {
+        assert_eq!(Value::default(), Value::Nil);
+        assert!(Value::default().is_nil());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::Bot.to_string(), "⊥");
+        assert_eq!(Value::Done.to_string(), "done");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn from_i64_roundtrip() {
+        let v: Value = 12.into();
+        assert_eq!(v.as_int(), Some(12));
+        assert_eq!(Value::Done.as_int(), None);
+        assert_eq!(Value::Nil.as_int(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        // The derived order is an implementation detail, but it must be a
+        // total order so that states embedding values can be canonicalized.
+        let mut vs = vec![Value::Int(2), Value::Nil, Value::Done, Value::Bot, Value::Int(-1)];
+        vs.sort();
+        let mut again = vs.clone();
+        again.sort();
+        assert_eq!(vs, again);
+    }
+}

@@ -1,0 +1,121 @@
+//! Global configurations: the nodes of the execution graph.
+
+use lbsa_core::{AnyState, Pid, Value};
+use lbsa_runtime::process::ProcStatus;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A global configuration: the state of every shared object plus the status
+/// (and local state) of every process.
+///
+/// Configurations are plain first-order data — `Clone + Eq + Hash` — which is
+/// what allows exhaustive exploration to deduplicate them. Two executions
+/// that reach the same configuration have identical futures (protocols and
+/// specs are deterministic functions of the configuration), so merging them
+/// is sound.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Configuration<L> {
+    /// State of each shared object, indexed by `ObjId`.
+    pub object_states: Vec<AnyState>,
+    /// Status of each process, indexed by `Pid`.
+    pub procs: Vec<ProcStatus<L>>,
+}
+
+impl<L: Clone + Eq + Hash + Debug> Configuration<L> {
+    /// The pids currently able to take a step.
+    #[must_use]
+    pub fn enabled_pids(&self) -> Vec<Pid> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_running())
+            .map(|(i, _)| Pid(i))
+            .collect()
+    }
+
+    /// Returns `true` if no process can take a step.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.procs.iter().all(|s| !s.is_running())
+    }
+
+    /// Each process's decision so far.
+    #[must_use]
+    pub fn decisions(&self) -> Vec<Option<Value>> {
+        self.procs.iter().map(ProcStatus::decision).collect()
+    }
+
+    /// The distinct values decided so far, sorted.
+    #[must_use]
+    pub fn distinct_decisions(&self) -> Vec<Value> {
+        let mut vs: Vec<Value> = self.procs.iter().filter_map(ProcStatus::decision).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Returns `true` if every process has decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.procs.iter().all(|s| s.decision().is_some())
+    }
+
+    /// Returns `true` if `pid` has aborted.
+    #[must_use]
+    pub fn has_aborted(&self, pid: Pid) -> bool {
+        matches!(self.procs.get(pid.index()), Some(ProcStatus::Aborted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_core::spec::ObjectSpec;
+    use lbsa_core::AnyObject;
+
+    fn cfg(procs: Vec<ProcStatus<u8>>) -> Configuration<u8> {
+        Configuration { object_states: vec![AnyObject::register().initial_state()], procs }
+    }
+
+    #[test]
+    fn enabled_and_terminal() {
+        let c = cfg(vec![ProcStatus::Running(0), ProcStatus::Decided(Value::Int(1))]);
+        assert_eq!(c.enabled_pids(), vec![Pid(0)]);
+        assert!(!c.is_terminal());
+        let c = cfg(vec![ProcStatus::Decided(Value::Int(1)), ProcStatus::Crashed]);
+        assert!(c.is_terminal());
+        assert!(c.enabled_pids().is_empty());
+    }
+
+    #[test]
+    fn decision_queries() {
+        let c = cfg(vec![
+            ProcStatus::Decided(Value::Int(2)),
+            ProcStatus::Decided(Value::Int(1)),
+            ProcStatus::Decided(Value::Int(2)),
+            ProcStatus::Running(0),
+        ]);
+        assert_eq!(c.distinct_decisions(), vec![Value::Int(1), Value::Int(2)]);
+        assert!(!c.all_decided());
+        let c = cfg(vec![ProcStatus::Decided(Value::Int(2))]);
+        assert!(c.all_decided());
+    }
+
+    #[test]
+    fn abort_query() {
+        let c = cfg(vec![ProcStatus::Aborted, ProcStatus::Running(0)]);
+        assert!(c.has_aborted(Pid(0)));
+        assert!(!c.has_aborted(Pid(1)));
+        assert!(!c.has_aborted(Pid(9)));
+    }
+
+    #[test]
+    fn configurations_dedupe_in_hash_sets() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(cfg(vec![ProcStatus::Running(0)]));
+        set.insert(cfg(vec![ProcStatus::Running(0)]));
+        set.insert(cfg(vec![ProcStatus::Running(1)]));
+        assert_eq!(set.len(), 2);
+    }
+}

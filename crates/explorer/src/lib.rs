@@ -1,0 +1,45 @@
+//! # lbsa-explorer — executable proof machinery
+//!
+//! The theorems of *Life Beyond Set Agreement* quantify over **all**
+//! executions ("in every execution, agreement holds") and over schedules
+//! chosen by an adversary (the bivalency arguments of Theorems 4.2 and 5.2).
+//! This crate makes both quantifiers executable:
+//!
+//! * [`explore`] — exhaustive breadth-first exploration of *every*
+//!   interleaving and *every* nondeterministic object outcome of a protocol,
+//!   with configuration deduplication. For the finite-state instances used in
+//!   the experiments, the resulting [`explore::ExplorationGraph`] covers the
+//!   paper's "for every execution" exactly.
+//! * [`valency`] — decision-closure computation over an exploration graph:
+//!   classify configurations as 0-valent, 1-valent, or bivalent, and locate
+//!   *critical* configurations (bivalent, all successors univalent) — the
+//!   combinatorial heart of the FLP-style proofs.
+//! * [`adversary`] — the executable counterpart of the impossibility proofs:
+//!   find cycles of undecided configurations. A reachable cycle in which a
+//!   process keeps stepping without deciding is a *machine-checkable
+//!   certificate* that the protocol violates wait-free termination.
+//! * [`checker`] — whole-execution-space verification of the problems in the
+//!   paper: consensus, k-set agreement, and the n-DAC problem with its four
+//!   properties (Agreement, Validity, Termination (a)/(b), Nontriviality).
+//! * [`linearizability`] — a Wing–Gold linearizability checker for the
+//!   concurrent front-end histories produced by
+//!   [`lbsa_runtime::derived::record_frontend_history`], used to validate
+//!   every derived implementation against its target specification.
+//! * [`sampling`] — seeded randomized checking for instances beyond the
+//!   exhaustive frontier: safety checked on every sampled run, violations
+//!   returned with their reproducing seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod checker;
+pub mod config;
+pub mod explore;
+pub mod linearizability;
+pub mod sampling;
+pub mod valency;
+
+pub use config::Configuration;
+pub use explore::{ExplorationGraph, Explorer, Limits};
+pub use valency::{Valence, ValencyAnalysis};

@@ -1,0 +1,359 @@
+//! A Wing–Gold linearizability checker.
+//!
+//! The paper's implementation relation ("`A` is implemented from instances
+//! of `B` and registers") is defined through linearizability [Herlihy &
+//! Wing 1990]: a concurrent history of the implemented front-end object must
+//! have a sequential witness that (1) respects real-time order — if one
+//! operation responds before another is invoked, it comes first — and
+//! (2) conforms to the object's sequential specification, including the
+//! nondeterministic specs (2-SA, (n,k)-SA), where conformance means *some*
+//! admissible outcome produced each recorded response.
+//!
+//! [`check_linearizable`] takes the concurrent front-end history produced by
+//! [`lbsa_runtime::derived::record_frontend_history`] and searches for such
+//! a witness per object (objects are independent, so the full history is
+//! linearizable iff each per-object projection is). The search is the
+//! classic Wing–Gold backtracking with memoization on (completed-set,
+//! object-state) pairs.
+
+use lbsa_core::spec::ObjectSpec;
+use lbsa_core::{AnyObject, AnyState, ObjId, SpecError};
+use lbsa_runtime::derived::CompletedOp;
+use std::collections::{BTreeMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A successful linearization: for each object, the order (indices into the
+/// original history slice) in which its operations take effect.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Linearization {
+    /// Per-object linearization orders.
+    pub orders: BTreeMap<ObjId, Vec<usize>>,
+}
+
+/// Why a history failed the linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinearizabilityError {
+    /// No sequential witness exists for this object's projection.
+    NotLinearizable {
+        /// The object whose projection has no witness.
+        obj: ObjId,
+    },
+    /// An operation referenced an object with no supplied specification.
+    UnknownObject {
+        /// The unmatched object id.
+        obj: ObjId,
+    },
+    /// The per-object projection exceeds the checker's capacity (128 ops).
+    TooManyOps {
+        /// The oversized object.
+        obj: ObjId,
+        /// Number of operations in its projection.
+        count: usize,
+    },
+    /// A specification rejected an operation (malformed history).
+    Spec(SpecError),
+}
+
+impl fmt::Display for LinearizabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizabilityError::NotLinearizable { obj } => {
+                write!(f, "history of {obj} is not linearizable")
+            }
+            LinearizabilityError::UnknownObject { obj } => {
+                write!(f, "history references {obj}, which has no specification")
+            }
+            LinearizabilityError::TooManyOps { obj, count } => {
+                write!(f, "history of {obj} has {count} operations; the checker supports at most 128 per object")
+            }
+            LinearizabilityError::Spec(e) => write!(f, "specification error: {e}"),
+        }
+    }
+}
+
+impl Error for LinearizabilityError {}
+
+impl From<SpecError> for LinearizabilityError {
+    fn from(e: SpecError) -> Self {
+        LinearizabilityError::Spec(e)
+    }
+}
+
+/// Checks that `history` is linearizable with respect to `specs`
+/// (`specs[i]` is the sequential specification of front-end `ObjId(i)`).
+///
+/// Returns a per-object witness order on success.
+///
+/// # Errors
+///
+/// Returns [`LinearizabilityError::NotLinearizable`] naming the first object
+/// whose projection has no sequential witness, or a capacity/spec error.
+pub fn check_linearizable(
+    history: &[CompletedOp],
+    specs: &[AnyObject],
+) -> Result<Linearization, LinearizabilityError> {
+    // Project per object.
+    let mut per_object: BTreeMap<ObjId, Vec<usize>> = BTreeMap::new();
+    for (idx, op) in history.iter().enumerate() {
+        if op.obj.index() >= specs.len() {
+            return Err(LinearizabilityError::UnknownObject { obj: op.obj });
+        }
+        per_object.entry(op.obj).or_default().push(idx);
+    }
+
+    let mut result = Linearization::default();
+    for (obj, indices) in per_object {
+        if indices.len() > 128 {
+            return Err(LinearizabilityError::TooManyOps { obj, count: indices.len() });
+        }
+        let spec = &specs[obj.index()];
+        let order = linearize_one(history, &indices, spec)?
+            .ok_or(LinearizabilityError::NotLinearizable { obj })?;
+        result.orders.insert(obj, order);
+    }
+    Ok(result)
+}
+
+/// Wing–Gold search for a single object's projection. Returns the witness
+/// order (as indices into `history`) or `None`.
+fn linearize_one(
+    history: &[CompletedOp],
+    indices: &[usize],
+    spec: &AnyObject,
+) -> Result<Option<Vec<usize>>, SpecError> {
+    let n = indices.len();
+    if n == 0 {
+        return Ok(Some(vec![]));
+    }
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut failed: HashSet<(u128, AnyState)> = HashSet::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        history: &[CompletedOp],
+        indices: &[usize],
+        spec: &AnyObject,
+        state: &AnyState,
+        done: u128,
+        full: u128,
+        failed: &mut HashSet<(u128, AnyState)>,
+        order: &mut Vec<usize>,
+    ) -> Result<bool, SpecError> {
+        if done == full {
+            return Ok(true);
+        }
+        if failed.contains(&(done, state.clone())) {
+            return Ok(false);
+        }
+        for i in 0..indices.len() {
+            if done & (1 << i) != 0 {
+                continue;
+            }
+            let op_i = &history[indices[i]];
+            // Real-time order: i may be next only if no other pending op
+            // responded strictly before i was invoked.
+            let blocked = (0..indices.len()).any(|j| {
+                j != i
+                    && done & (1 << j) == 0
+                    && history[indices[j]].responded_at < op_i.invoked_at
+            });
+            if blocked {
+                continue;
+            }
+            for (resp, next_state) in spec.outcomes(state, &op_i.op)?.into_vec() {
+                if resp != op_i.response {
+                    continue;
+                }
+                order.push(indices[i]);
+                if dfs(history, indices, spec, &next_state, done | (1 << i), full, failed, order)? {
+                    return Ok(true);
+                }
+                order.pop();
+            }
+        }
+        failed.insert((done, state.clone()));
+        Ok(false)
+    }
+
+    let initial = spec.initial_state();
+    if dfs(history, indices, spec, &initial, 0, full, &mut failed, &mut order)? {
+        Ok(Some(order))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_core::value::{int, Value};
+    use lbsa_core::{Op, Pid};
+
+    fn op(
+        pid: usize,
+        obj: usize,
+        op: Op,
+        response: Value,
+        invoked_at: usize,
+        responded_at: usize,
+    ) -> CompletedOp {
+        CompletedOp { pid: Pid(pid), obj: ObjId(obj), op, response, invoked_at, responded_at }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let lin = check_linearizable(&[], &[AnyObject::register()]).unwrap();
+        assert!(lin.orders.is_empty());
+    }
+
+    #[test]
+    fn sequential_register_history_is_linearizable() {
+        let specs = vec![AnyObject::register()];
+        let history = vec![
+            op(0, 0, Op::Write(int(1)), Value::Done, 0, 0),
+            op(1, 0, Op::Read, int(1), 1, 1),
+            op(0, 0, Op::Write(int(2)), Value::Done, 2, 2),
+            op(1, 0, Op::Read, int(2), 3, 3),
+        ];
+        let lin = check_linearizable(&history, &specs).unwrap();
+        assert_eq!(lin.orders[&ObjId(0)], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stale_read_without_overlap_is_rejected() {
+        // WRITE(1) completes at step 0; a read invoked at step 5 must not
+        // return nil.
+        let specs = vec![AnyObject::register()];
+        let history = vec![
+            op(0, 0, Op::Write(int(1)), Value::Done, 0, 0),
+            op(1, 0, Op::Read, Value::Nil, 5, 5),
+        ];
+        let err = check_linearizable(&history, &specs).unwrap_err();
+        assert_eq!(err, LinearizabilityError::NotLinearizable { obj: ObjId(0) });
+    }
+
+    #[test]
+    fn overlapping_read_may_return_either_value() {
+        // The read overlaps the write: both orders are admissible, so both
+        // nil and 1 linearize.
+        let specs = vec![AnyObject::register()];
+        for resp in [Value::Nil, int(1)] {
+            let history = vec![
+                op(0, 0, Op::Write(int(1)), Value::Done, 2, 6),
+                op(1, 0, Op::Read, resp, 3, 5),
+            ];
+            assert!(
+                check_linearizable(&history, &specs).is_ok(),
+                "read returning {resp} must linearize"
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_history_requires_first_wins() {
+        let specs = vec![AnyObject::consensus(2).unwrap()];
+        // Non-overlapping: p0 proposes 5 first, p1 later proposes 7 and must
+        // learn 5.
+        let good = vec![
+            op(0, 0, Op::Propose(int(5)), int(5), 0, 1),
+            op(1, 0, Op::Propose(int(7)), int(5), 2, 3),
+        ];
+        assert!(check_linearizable(&good, &specs).is_ok());
+        // p1 claiming its own value is not linearizable.
+        let bad = vec![
+            op(0, 0, Op::Propose(int(5)), int(5), 0, 1),
+            op(1, 0, Op::Propose(int(7)), int(7), 2, 3),
+        ];
+        assert!(check_linearizable(&bad, &specs).is_err());
+        // But if the two proposals overlap, either may have gone first, so
+        // both learning 7 is fine.
+        let overlapping = vec![
+            op(0, 0, Op::Propose(int(5)), int(7), 0, 3),
+            op(1, 0, Op::Propose(int(7)), int(7), 1, 2),
+        ];
+        assert!(check_linearizable(&overlapping, &specs).is_ok());
+    }
+
+    #[test]
+    fn nondeterministic_spec_accepts_any_admissible_branch() {
+        // 2-SA: three sequential proposes; the third may get either captured
+        // value.
+        let specs = vec![AnyObject::strong_sa()];
+        for third in [int(1), int(2)] {
+            let history = vec![
+                op(0, 0, Op::Propose(int(1)), int(1), 0, 0),
+                op(1, 0, Op::Propose(int(2)), int(2), 1, 1),
+                op(2, 0, Op::Propose(int(3)), third, 2, 2),
+            ];
+            assert!(check_linearizable(&history, &specs).is_ok());
+        }
+        // …but never the uncaptured third value.
+        let history = vec![
+            op(0, 0, Op::Propose(int(1)), int(1), 0, 0),
+            op(1, 0, Op::Propose(int(2)), int(2), 1, 1),
+            op(2, 0, Op::Propose(int(3)), int(3), 2, 2),
+        ];
+        assert!(check_linearizable(&history, &specs).is_err());
+    }
+
+    #[test]
+    fn objects_are_checked_independently() {
+        let specs = vec![AnyObject::register(), AnyObject::consensus(2).unwrap()];
+        let history = vec![
+            op(0, 0, Op::Write(int(3)), Value::Done, 0, 0),
+            op(0, 1, Op::Propose(int(4)), int(4), 1, 1),
+            op(1, 0, Op::Read, int(3), 2, 2),
+            op(1, 1, Op::Propose(int(6)), int(4), 3, 3),
+        ];
+        let lin = check_linearizable(&history, &specs).unwrap();
+        assert_eq!(lin.orders.len(), 2);
+        assert_eq!(lin.orders[&ObjId(0)], vec![0, 2]);
+        assert_eq!(lin.orders[&ObjId(1)], vec![1, 3]);
+    }
+
+    #[test]
+    fn unknown_object_is_an_error() {
+        let history = vec![op(0, 3, Op::Read, Value::Nil, 0, 0)];
+        let err = check_linearizable(&history, &[AnyObject::register()]).unwrap_err();
+        assert_eq!(err, LinearizabilityError::UnknownObject { obj: ObjId(3) });
+    }
+
+    #[test]
+    fn witness_respects_real_time_order() {
+        // Two non-overlapping writes then a read: the witness must order the
+        // writes as they happened.
+        let specs = vec![AnyObject::register()];
+        let history = vec![
+            op(0, 0, Op::Write(int(1)), Value::Done, 0, 1),
+            op(0, 0, Op::Write(int(2)), Value::Done, 2, 3),
+            op(1, 0, Op::Read, int(2), 4, 5),
+        ];
+        let lin = check_linearizable(&history, &specs).unwrap();
+        let order = &lin.orders[&ObjId(0)];
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn pac_concurrent_history_linearizes() {
+        // Two processes drive a 2-PAC concurrently; the recorded responses
+        // come from an actual interleaving, so a witness must exist.
+        use lbsa_core::ids::Label;
+        let l1 = Label::new(1).unwrap();
+        let l2 = Label::new(2).unwrap();
+        let specs = vec![AnyObject::pac(2).unwrap()];
+        // Interleaving: P(1,1) P(2,2) D(2)=2 D(1)=⊥ (port 1's decide saw
+        // L != 1 after port 2's decide reset L).
+        let history = vec![
+            op(0, 0, Op::ProposePac(int(1), l1), Value::Done, 0, 0),
+            op(1, 0, Op::ProposePac(int(2), l2), Value::Done, 1, 1),
+            op(1, 0, Op::DecidePac(l2), int(2), 2, 2),
+            op(0, 0, Op::DecidePac(l1), Value::Bot, 3, 3),
+        ];
+        assert!(check_linearizable(&history, &specs).is_ok());
+    }
+}

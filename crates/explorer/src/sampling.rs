@@ -1,0 +1,321 @@
+//! Randomized (sampled) checking — for instances beyond exhaustive reach.
+//!
+//! Exhaustive exploration covers *every* execution but is bounded to small
+//! instances. This module trades the universal quantifier for scale: it runs
+//! many seeded random schedules (with random outcome resolution for the
+//! nondeterministic objects) and checks the safety properties on each run.
+//! A violation comes back with its seed, so it replays deterministically; a
+//! pass is *evidence*, never proof — the experiments use sampling only
+//! above the exhaustive frontier, and say so.
+
+use lbsa_core::{AnyObject, Value};
+use lbsa_runtime::error::RuntimeError;
+use lbsa_runtime::outcome::RandomOutcome;
+use lbsa_runtime::process::Protocol;
+use lbsa_runtime::scheduler::RandomScheduler;
+use lbsa_runtime::system::{RunEnd, System};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Parameters of a sampling sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Number of seeded runs.
+    pub runs: u64,
+    /// First seed (runs use `seed0, seed0 + 1, …`).
+    pub seed0: u64,
+    /// Per-run step budget.
+    pub max_steps: usize,
+}
+
+impl Default for SampleConfig {
+    /// 1000 runs from seed 0, 100k steps each.
+    fn default() -> Self {
+        SampleConfig { runs: 1000, seed0: 0, max_steps: 100_000 }
+    }
+}
+
+/// Outcome of a sampling sweep with no violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleReport {
+    /// Runs executed.
+    pub runs: u64,
+    /// Runs that reached quiescence (everyone decided/halted).
+    pub quiescent: u64,
+    /// Runs stopped by the step budget (possible starvation — expected for
+    /// protocols whose termination is conditional, like n-DAC retry loops).
+    pub budget_hit: u64,
+    /// Distinct full decision vectors observed across runs.
+    pub distinct_outcomes: usize,
+    /// Total steps across all runs.
+    pub total_steps: usize,
+}
+
+/// A safety violation found by sampling, tagged with the reproducing seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleViolation {
+    /// More distinct decisions than the problem allows.
+    Agreement {
+        /// The seed whose run violates (replay with `RandomScheduler::seeded`).
+        seed: u64,
+        /// The decided values.
+        values: Vec<Value>,
+    },
+    /// A decided value outside the valid inputs.
+    Validity {
+        /// The reproducing seed.
+        seed: u64,
+        /// The offending value.
+        value: Value,
+    },
+    /// The run itself errored (protocol bug).
+    Runtime {
+        /// The reproducing seed.
+        seed: u64,
+        /// The underlying error.
+        error: RuntimeError,
+    },
+}
+
+impl fmt::Display for SampleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleViolation::Agreement { seed, values } => {
+                write!(f, "agreement violated on seed {seed}: decided {values:?}")
+            }
+            SampleViolation::Validity { seed, value } => {
+                write!(f, "validity violated on seed {seed}: decided {value}")
+            }
+            SampleViolation::Runtime { seed, error } => {
+                write!(f, "runtime error on seed {seed}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleViolation {}
+
+/// Runs a sampling sweep checking the k-set-agreement **safety** properties
+/// (k-Agreement and Validity) on every run. Termination is *not* checked —
+/// the report counts quiescent vs budget-stopped runs instead, because
+/// random schedules cannot distinguish starvation from slow progress.
+///
+/// # Errors
+///
+/// Returns the first [`SampleViolation`], tagged with its seed.
+pub fn sample_k_set_agreement<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+) -> Result<SampleReport, SampleViolation> {
+    let mut report = SampleReport {
+        runs: 0,
+        quiescent: 0,
+        budget_hit: 0,
+        distinct_outcomes: 0,
+        total_steps: 0,
+    };
+    let mut outcomes: BTreeSet<Vec<Option<Value>>> = BTreeSet::new();
+    for i in 0..config.runs {
+        let seed = config.seed0 + i;
+        let mut sys = System::new(protocol, objects)
+            .map_err(|error| SampleViolation::Runtime { seed, error })?;
+        sys.set_record_trace(false);
+        let result = sys
+            .run(
+                &mut RandomScheduler::seeded(seed),
+                &mut RandomOutcome::seeded(seed ^ 0x5DEE_CE66),
+                config.max_steps,
+            )
+            .map_err(|error| SampleViolation::Runtime { seed, error })?;
+        report.runs += 1;
+        report.total_steps += result.steps;
+        match result.end {
+            RunEnd::Quiescent => report.quiescent += 1,
+            RunEnd::MaxSteps => report.budget_hit += 1,
+            RunEnd::SchedulerStopped => {}
+        }
+        let decided = result.distinct_decisions();
+        if decided.len() > k {
+            return Err(SampleViolation::Agreement { seed, values: decided });
+        }
+        for v in &decided {
+            if !valid_inputs.contains(v) {
+                return Err(SampleViolation::Validity { seed, value: *v });
+            }
+        }
+        outcomes.insert(result.decisions);
+    }
+    report.distinct_outcomes = outcomes.len();
+    Ok(report)
+}
+
+/// Sampling sweep for consensus (`k = 1`).
+///
+/// # Errors
+///
+/// Returns the first [`SampleViolation`].
+pub fn sample_consensus<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    valid_inputs: &[Value],
+    config: SampleConfig,
+) -> Result<SampleReport, SampleViolation> {
+    sample_k_set_agreement(protocol, objects, 1, valid_inputs, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_core::value::int;
+    use lbsa_core::{ObjId, Op, Pid};
+    use lbsa_runtime::process::Step;
+
+    #[derive(Debug)]
+    struct Race {
+        inputs: Vec<Value>,
+    }
+
+    impl Protocol for Race {
+        type LocalState = ();
+        fn num_processes(&self) -> usize {
+            self.inputs.len()
+        }
+        fn init(&self, _pid: Pid) {}
+        fn pending_op(&self, pid: Pid, _s: &()) -> (ObjId, Op) {
+            (ObjId(0), Op::Propose(self.inputs[pid.index()]))
+        }
+        fn on_response(&self, _pid: Pid, _s: &(), resp: Value) -> Step<()> {
+            Step::Decide(resp)
+        }
+    }
+
+    #[derive(Debug)]
+    struct DecideOwn {
+        inputs: Vec<Value>,
+    }
+
+    impl Protocol for DecideOwn {
+        type LocalState = ();
+        fn num_processes(&self) -> usize {
+            self.inputs.len()
+        }
+        fn init(&self, _pid: Pid) {}
+        fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+            (ObjId(0), Op::Read)
+        }
+        fn on_response(&self, pid: Pid, _s: &(), _r: Value) -> Step<()> {
+            Step::Decide(self.inputs[pid.index()])
+        }
+    }
+
+    #[test]
+    fn sampling_passes_correct_consensus_at_scale() {
+        // 12 processes — far beyond exhaustive reach for a one-line test.
+        let inputs: Vec<Value> = (0..12).map(|i| int(i % 2)).collect();
+        let p = Race { inputs: inputs.clone() };
+        let objects = vec![AnyObject::consensus(12).unwrap()];
+        let report = sample_consensus(
+            &p,
+            &objects,
+            &inputs,
+            SampleConfig { runs: 200, seed0: 0, max_steps: 10_000 },
+        )
+        .unwrap();
+        assert_eq!(report.runs, 200);
+        assert_eq!(report.quiescent, 200);
+        assert_eq!(report.budget_hit, 0);
+        // Either value can win depending on the schedule.
+        assert!(report.distinct_outcomes >= 2, "{report:?}");
+    }
+
+    #[test]
+    fn sampling_catches_agreement_violations_with_a_seed() {
+        let inputs = vec![int(0), int(1)];
+        let p = DecideOwn { inputs: inputs.clone() };
+        let objects = vec![AnyObject::register()];
+        let err = sample_consensus(&p, &objects, &inputs, SampleConfig::default()).unwrap_err();
+        match err {
+            SampleViolation::Agreement { seed, values } => {
+                assert_eq!(values.len(), 2);
+                // The seed must reproduce the violation.
+                let mut sys = System::new(&p, &objects).unwrap();
+                let result = sys
+                    .run(
+                        &mut RandomScheduler::seeded(seed),
+                        &mut RandomOutcome::seeded(seed ^ 0x5DEE_CE66),
+                        100_000,
+                    )
+                    .unwrap();
+                assert_eq!(result.distinct_decisions().len(), 2);
+            }
+            other => panic!("expected agreement violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sampling_catches_validity_violations() {
+        #[derive(Debug)]
+        struct DecideConstant;
+        impl Protocol for DecideConstant {
+            type LocalState = ();
+            fn num_processes(&self) -> usize {
+                1
+            }
+            fn init(&self, _pid: Pid) {}
+            fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+                (ObjId(0), Op::Read)
+            }
+            fn on_response(&self, _pid: Pid, _s: &(), _r: Value) -> Step<()> {
+                Step::Decide(int(42))
+            }
+        }
+        let err = sample_consensus(
+            &DecideConstant,
+            &[AnyObject::register()],
+            &[int(0), int(1)],
+            SampleConfig { runs: 5, seed0: 9, max_steps: 100 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SampleViolation::Validity { value: Value::Int(42), .. }));
+    }
+
+    #[test]
+    fn budget_hits_are_reported_not_errors() {
+        #[derive(Debug)]
+        struct Spin;
+        impl Protocol for Spin {
+            type LocalState = ();
+            fn num_processes(&self) -> usize {
+                1
+            }
+            fn init(&self, _pid: Pid) {}
+            fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+                (ObjId(0), Op::Read)
+            }
+            fn on_response(&self, _pid: Pid, _s: &(), _r: Value) -> Step<()> {
+                Step::Continue(())
+            }
+        }
+        let report = sample_consensus(
+            &Spin,
+            &[AnyObject::register()],
+            &[],
+            SampleConfig { runs: 3, seed0: 0, max_steps: 50 },
+        )
+        .unwrap();
+        assert_eq!(report.budget_hit, 3);
+        assert_eq!(report.quiescent, 0);
+        assert_eq!(report.total_steps, 150);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = SampleViolation::Agreement { seed: 7, values: vec![int(0), int(1)] };
+        assert!(v.to_string().contains("seed 7"));
+        let v = SampleViolation::Validity { seed: 8, value: int(9) };
+        assert!(v.to_string().contains("validity"));
+    }
+}

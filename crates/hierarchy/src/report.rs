@@ -1,0 +1,119 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The experiment binaries in `lbsa-bench` print the tables and figures of
+//! `EXPERIMENTS.md`; this module is their tiny formatting substrate — no
+//! dependencies, fixed-width columns, markdown-compatible output.
+
+use std::fmt;
+
+/// A rectangular table with a title and column headers.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_hierarchy::report::Table;
+///
+/// let mut t = Table::new("T1: demo", vec!["object", "level"]);
+/// t.row(vec!["2-consensus".to_string(), "2".to_string()]);
+/// let text = t.to_string();
+/// assert!(text.contains("object"));
+/// assert!(text.contains("2-consensus"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, headers: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Appends one row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                write!(f, " {cell:<width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_shape() {
+        let mut t = Table::new("Title", vec!["a", "bb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        t.row(vec!["z".into()]); // short row padded
+        let s = t.to_string();
+        assert!(s.starts_with("## Title"));
+        assert!(s.contains("| a   | bb |"));
+        assert!(s.contains("| xxx | y  |"));
+        assert!(s.contains("| z   |    |"));
+        assert!(s.contains("|-----|----|"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new("Empty", vec!["h"]);
+        assert!(t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("| h |"));
+    }
+}

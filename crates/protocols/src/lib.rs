@@ -1,0 +1,41 @@
+//! # lbsa-protocols — the algorithms of *Life Beyond Set Agreement*
+//!
+//! Executable versions of every algorithm the paper states or relies on:
+//!
+//! * [`dac`] — the **n-DAC problem** and **Algorithm 2**: solving n-DAC with
+//!   a single n-PAC object (Theorem 4.1).
+//! * [`consensus_protocols`] — consensus among `n` processes via an
+//!   `n`-consensus object, via the `PROPOSEC` face of an (n,m)-PAC object
+//!   (Observation 5.1(c) / the upper bound of Theorem 5.3), and via level 1
+//!   of a power object `O'ₙ`.
+//! * [`set_agreement_protocols`] — k-set agreement via the 2-SA object, via
+//!   **group-splitting** over `n`-consensus objects (the protocol behind the
+//!   certified lower bounds `n_k >= k·n`), and via level `k` of `O'ₙ`.
+//! * [`derived_impls`] — the paper's constructions as access procedures:
+//!   (n,m)-PAC from its components and back (Observation 5.1), and `O'ₙ`
+//!   from n-consensus + 2-SA objects (**Lemma 6.4**).
+//! * [`candidates`] — *doomed* candidate protocols and implementations: the
+//!   refutation targets of experiments T3/T5 (Theorems 4.2/6.5). Each is a
+//!   natural attempt that the adversary/checker machinery must defeat.
+//! * [`classic_consensus`] — the textbook consensus protocols from
+//!   test-and-set / fetch-and-add / queues (level 2) and compare-and-swap
+//!   (level ∞), plus their doomed n-process generalizations: the familiar
+//!   backdrop of the hierarchy the paper's objects live in.
+//! * [`commit_adopt`] — Gafni's two-phase commit–adopt from registers: the
+//!   strongest agreement-flavoured task below the hierarchy, exhaustively
+//!   verified — a register-only calibration point for the machinery.
+//! * [`universal`] — a consensus-based universal construction (after
+//!   Herlihy \[10\]): any deterministic object specification, implemented for
+//!   `n` processes from `n`-consensus objects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod classic_consensus;
+pub mod commit_adopt;
+pub mod consensus_protocols;
+pub mod dac;
+pub mod derived_impls;
+pub mod set_agreement_protocols;
+pub mod universal;

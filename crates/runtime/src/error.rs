@@ -1,0 +1,80 @@
+//! Runtime error types.
+
+use lbsa_core::{ObjId, Pid, SpecError};
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while executing a protocol on a [`crate::system::System`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// An object specification rejected an operation.
+    Spec(SpecError),
+    /// A process referenced an object id outside the system.
+    ObjIdOutOfRange {
+        /// The offending object id.
+        obj: ObjId,
+        /// Number of objects in the system.
+        len: usize,
+    },
+    /// A step was requested for a process id outside the system.
+    PidOutOfRange {
+        /// The offending process id.
+        pid: Pid,
+        /// Number of processes in the system.
+        len: usize,
+    },
+    /// A step was requested for a process that is not running (it has
+    /// decided, aborted, halted, or crashed).
+    ProcessNotRunning(Pid),
+    /// A protocol declared zero processes.
+    NoProcesses,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Spec(e) => write!(f, "object specification error: {e}"),
+            RuntimeError::ObjIdOutOfRange { obj, len } => {
+                write!(f, "object id {obj} out of range (system has {len} objects)")
+            }
+            RuntimeError::PidOutOfRange { pid, len } => {
+                write!(f, "process id {pid} out of range (system has {len} processes)")
+            }
+            RuntimeError::ProcessNotRunning(pid) => {
+                write!(f, "process {pid} is not running")
+            }
+            RuntimeError::NoProcesses => write!(f, "protocol declares zero processes"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for RuntimeError {
+    fn from(e: SpecError) -> Self {
+        RuntimeError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::from(SpecError::ZeroLabel);
+        assert!(e.to_string().contains("specification"));
+        assert!(Error::source(&e).is_some());
+        let e = RuntimeError::ProcessNotRunning(Pid(3));
+        assert!(e.to_string().contains("p3"));
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Resolution of object nondeterminism.
+//!
+//! The 2-SA and (n,k)-SA objects are nondeterministic: one operation may
+//! have several admissible `(response, next-state)` outcomes. During a
+//! concrete run, something must pick one. An [`OutcomeResolver`] is that
+//! something: deterministic-first for reproducible tests, seeded-random for
+//! randomized testing, or scripted for targeted scenarios. (The explorer
+//! does not use a resolver at all — it follows *every* branch.)
+
+use lbsa_core::{AnyState, ObjId, Pid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Chooses among the admissible outcomes of a nondeterministic operation.
+pub trait OutcomeResolver {
+    /// Returns the index (into `options`) of the chosen outcome.
+    ///
+    /// `options` is never empty. Implementations returning an out-of-range
+    /// index are clamped by the caller to `options.len() - 1`.
+    fn choose(&mut self, pid: Pid, obj: ObjId, options: &[(Value, AnyState)]) -> usize;
+}
+
+/// Always chooses the first admissible outcome. Fully deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FirstOutcome;
+
+impl OutcomeResolver for FirstOutcome {
+    fn choose(&mut self, _pid: Pid, _obj: ObjId, _options: &[(Value, AnyState)]) -> usize {
+        0
+    }
+}
+
+/// Chooses uniformly at random with a seeded generator (reproducible).
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_runtime::outcome::RandomOutcome;
+/// let r = RandomOutcome::seeded(42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomOutcome {
+    rng: StdRng,
+}
+
+impl RandomOutcome {
+    /// Creates a resolver from an explicit seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        RandomOutcome { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl OutcomeResolver for RandomOutcome {
+    fn choose(&mut self, _pid: Pid, _obj: ObjId, options: &[(Value, AnyState)]) -> usize {
+        self.rng.random_range(0..options.len())
+    }
+}
+
+/// Follows a pre-recorded script of choices, then falls back to the first
+/// outcome when the script runs out.
+///
+/// Used to replay a branch found by the explorer inside a concrete system.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedOutcome {
+    script: VecDeque<usize>,
+}
+
+impl ScriptedOutcome {
+    /// Creates a resolver that plays back `choices` in order.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = usize>>(choices: I) -> Self {
+        ScriptedOutcome { script: choices.into_iter().collect() }
+    }
+
+    /// Number of unconsumed scripted choices.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl OutcomeResolver for ScriptedOutcome {
+    fn choose(&mut self, _pid: Pid, _obj: ObjId, options: &[(Value, AnyState)]) -> usize {
+        self.script.pop_front().unwrap_or(0).min(options.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_core::spec::ObjectSpec;
+    use lbsa_core::AnyObject;
+
+    fn options() -> Vec<(Value, AnyState)> {
+        let st = AnyObject::register().initial_state();
+        vec![(Value::Int(1), st.clone()), (Value::Int(2), st.clone()), (Value::Int(3), st)]
+    }
+
+    #[test]
+    fn first_outcome_always_zero() {
+        let mut r = FirstOutcome;
+        for _ in 0..5 {
+            assert_eq!(r.choose(Pid(0), ObjId(0), &options()), 0);
+        }
+    }
+
+    #[test]
+    fn random_outcome_is_reproducible_and_in_range() {
+        let opts = options();
+        let run = |seed| {
+            let mut r = RandomOutcome::seeded(seed);
+            (0..20).map(|_| r.choose(Pid(0), ObjId(0), &opts)).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the same choices");
+        assert!(a.iter().all(|&i| i < opts.len()));
+        let c = run(8);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn scripted_outcome_plays_then_falls_back() {
+        let opts = options();
+        let mut r = ScriptedOutcome::new([2, 1, 99]);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.choose(Pid(0), ObjId(0), &opts), 2);
+        assert_eq!(r.choose(Pid(0), ObjId(0), &opts), 1);
+        // Out-of-range entries clamp.
+        assert_eq!(r.choose(Pid(0), ObjId(0), &opts), 2);
+        // Exhausted script falls back to 0.
+        assert_eq!(r.choose(Pid(0), ObjId(0), &opts), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Protocols: deterministic per-process step machines, and process statuses.
+
+use lbsa_core::{ObjId, Pid, Value};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The effect of consuming a response, from the process's point of view.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Step<S> {
+    /// Keep running with a new local state.
+    Continue(S),
+    /// Decide the given value and halt (the process has produced its
+    /// output; it takes no further steps).
+    Decide(Value),
+    /// Abort and halt. Only the n-DAC problem's distinguished process ever
+    /// aborts; for all other protocols this variant is unused.
+    Abort,
+    /// Halt without deciding (used by helper protocols whose processes have
+    /// no output, e.g. history generators).
+    Halt,
+}
+
+/// The status of a process inside a running system.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProcStatus<S> {
+    /// The process is running and its next step is determined by its local
+    /// state.
+    Running(S),
+    /// The process decided a value.
+    Decided(Value),
+    /// The process aborted (n-DAC distinguished process only).
+    Aborted,
+    /// The process halted without deciding.
+    Halted,
+    /// The process crashed: it never takes another step.
+    Crashed,
+}
+
+impl<S> ProcStatus<S> {
+    /// Returns `true` if the process can still take steps.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        matches!(self, ProcStatus::Running(_))
+    }
+
+    /// Returns the decided value, if the process has decided.
+    #[must_use]
+    pub fn decision(&self) -> Option<Value> {
+        match self {
+            ProcStatus::Decided(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the running local state, if any.
+    #[must_use]
+    pub fn local(&self) -> Option<&S> {
+        match self {
+            ProcStatus::Running(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic asynchronous protocol for a fixed set of processes.
+///
+/// This is the paper's model of an *algorithm*: each process is a
+/// deterministic automaton; in every local state it has exactly one pending
+/// operation on one shared object ([`Protocol::pending_op`]), and its
+/// transition on the operation's response ([`Protocol::on_response`]) is a
+/// function. All scheduling nondeterminism lives in the
+/// [`crate::scheduler::Scheduler`]; all object nondeterminism lives in the
+/// [`crate::outcome::OutcomeResolver`].
+///
+/// Local states must be `Clone + Eq + Hash` so that whole configurations can
+/// be deduplicated during exhaustive exploration.
+///
+/// # Determinism contract
+///
+/// For a fixed `pid` and local state, `pending_op` and `on_response` must be
+/// pure functions. The explorer *relies* on this: it re-invokes them freely
+/// while replaying branches.
+pub trait Protocol: Debug {
+    /// Per-process local state.
+    type LocalState: Clone + Eq + Hash + Debug;
+
+    /// Number of processes executing this protocol. Process ids are
+    /// `Pid(0) .. Pid(num_processes() - 1)`.
+    fn num_processes(&self) -> usize;
+
+    /// The initial local state of process `pid`.
+    fn init(&self, pid: Pid) -> Self::LocalState;
+
+    /// The operation process `pid` applies in local state `state`: the
+    /// target object and the operation.
+    fn pending_op(&self, pid: Pid, state: &Self::LocalState) -> (ObjId, Op);
+
+    /// Consume the response of the pending operation and transition.
+    fn on_response(&self, pid: Pid, state: &Self::LocalState, response: Value) -> Step<Self::LocalState>;
+}
+
+use lbsa_core::Op;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_accessors() {
+        let s: ProcStatus<u8> = ProcStatus::Running(3);
+        assert!(s.is_running());
+        assert_eq!(s.local(), Some(&3));
+        assert_eq!(s.decision(), None);
+
+        let s: ProcStatus<u8> = ProcStatus::Decided(Value::Int(1));
+        assert!(!s.is_running());
+        assert_eq!(s.decision(), Some(Value::Int(1)));
+        assert_eq!(s.local(), None);
+
+        for s in [ProcStatus::<u8>::Aborted, ProcStatus::Halted, ProcStatus::Crashed] {
+            assert!(!s.is_running());
+            assert_eq!(s.decision(), None);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Scripted straight-line protocols: each process executes a fixed list of
+//! operations and halts (optionally deciding its last response).
+//!
+//! Script protocols are the workhorse of history generation and machinery
+//! fuzzing: they turn "a workload" into a [`Protocol`] without writing a
+//! state machine, their execution graphs are acyclic by construction, and
+//! every response they observe is recorded in the trace — ideal inputs for
+//! the linearizability checker and for cross-validating the explorer
+//! against the sampler.
+
+use crate::process::{Protocol, Step};
+use lbsa_core::{ObjId, Op, Pid, Value};
+
+/// What a scripted process does after its last operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScriptEnd {
+    /// Halt (no output).
+    Halt,
+    /// Decide the response of the final operation.
+    DecideLast,
+}
+
+/// A protocol in which process `i` executes `scripts[i]` operation by
+/// operation, then halts or decides its last response.
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_runtime::script::{ScriptEnd, ScriptProtocol};
+/// use lbsa_runtime::system::System;
+/// use lbsa_runtime::scheduler::RoundRobin;
+/// use lbsa_runtime::outcome::FirstOutcome;
+/// use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let protocol = ScriptProtocol::new(
+///     vec![
+///         vec![(ObjId(0), Op::Write(Value::Int(7)))],
+///         vec![(ObjId(0), Op::Read)],
+///     ],
+///     ScriptEnd::DecideLast,
+/// )?;
+/// let objects = vec![AnyObject::register()];
+/// let mut sys = System::new(&protocol, &objects)?;
+/// sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100)?;
+/// assert_eq!(sys.decision(Pid(1)), Some(Value::Int(7)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptProtocol {
+    scripts: Vec<Vec<(ObjId, Op)>>,
+    end: ScriptEnd,
+}
+
+impl ScriptProtocol {
+    /// Creates a script protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if no process is given or any script is
+    /// empty (a process must take at least one step to have a "last
+    /// response").
+    pub fn new(scripts: Vec<Vec<(ObjId, Op)>>, end: ScriptEnd) -> Result<Self, String> {
+        if scripts.is_empty() {
+            return Err("a script protocol needs at least one process".into());
+        }
+        if scripts.iter().any(Vec::is_empty) {
+            return Err("every process script must contain at least one operation".into());
+        }
+        Ok(ScriptProtocol { scripts, end })
+    }
+
+    /// The scripts, indexed by pid.
+    #[must_use]
+    pub fn scripts(&self) -> &[Vec<(ObjId, Op)>] {
+        &self.scripts
+    }
+
+    /// Total operations across all processes.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.scripts.iter().map(Vec::len).sum()
+    }
+}
+
+impl Protocol for ScriptProtocol {
+    type LocalState = usize; // program counter
+
+    fn num_processes(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn init(&self, _pid: Pid) -> usize {
+        0
+    }
+
+    fn pending_op(&self, pid: Pid, pc: &usize) -> (ObjId, Op) {
+        self.scripts[pid.index()][*pc]
+    }
+
+    fn on_response(&self, pid: Pid, pc: &usize, response: Value) -> Step<usize> {
+        if pc + 1 < self.scripts[pid.index()].len() {
+            Step::Continue(pc + 1)
+        } else {
+            match self.end {
+                ScriptEnd::Halt => Step::Halt,
+                ScriptEnd::DecideLast => Step::Decide(response),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::FirstOutcome;
+    use crate::scheduler::RoundRobin;
+    use crate::system::System;
+    use lbsa_core::value::int;
+    use lbsa_core::AnyObject;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ScriptProtocol::new(vec![], ScriptEnd::Halt).is_err());
+        assert!(ScriptProtocol::new(vec![vec![]], ScriptEnd::Halt).is_err());
+        assert!(ScriptProtocol::new(vec![vec![(ObjId(0), Op::Read)]], ScriptEnd::Halt).is_ok());
+    }
+
+    #[test]
+    fn scripts_run_to_completion_in_order() {
+        let p = ScriptProtocol::new(
+            vec![
+                vec![
+                    (ObjId(0), Op::Write(int(1))),
+                    (ObjId(0), Op::Write(int(2))),
+                    (ObjId(0), Op::Read),
+                ],
+                vec![(ObjId(0), Op::Read)],
+            ],
+            ScriptEnd::DecideLast,
+        )
+        .unwrap();
+        assert_eq!(p.total_ops(), 4);
+        let objects = vec![AnyObject::register()];
+        let mut sys = System::new(&p, &objects).unwrap();
+        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        assert!(res.is_quiescent());
+        assert_eq!(sys.decision(Pid(0)), Some(int(2)));
+        // Round-robin: p1's read lands after p0's first write.
+        assert_eq!(sys.decision(Pid(1)), Some(int(1)));
+    }
+
+    #[test]
+    fn halt_variant_produces_no_decisions() {
+        let p = ScriptProtocol::new(
+            vec![vec![(ObjId(0), Op::Write(int(1)))]],
+            ScriptEnd::Halt,
+        )
+        .unwrap();
+        let objects = vec![AnyObject::register()];
+        let mut sys = System::new(&p, &objects).unwrap();
+        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        assert!(res.is_quiescent());
+        assert_eq!(sys.decision(Pid(0)), None);
+    }
+}

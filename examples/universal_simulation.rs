@@ -1,0 +1,100 @@
+//! Herlihy's universal construction: simulate the paper's own exotic
+//! object — a 2-PAC — out of nothing but consensus objects and registers,
+//! and check the simulation is indistinguishable from the real thing.
+//!
+//! Run with `cargo run --release --example universal_simulation`.
+
+use life_beyond_set_agreement::core::ids::Label;
+use life_beyond_set_agreement::core::{AnyObject, ObjId, Op, Pid, Value};
+use life_beyond_set_agreement::explorer::{Explorer, Limits};
+use life_beyond_set_agreement::protocols::universal::UniversalProcedure;
+use life_beyond_set_agreement::runtime::derived::DerivedProtocol;
+use life_beyond_set_agreement::runtime::process::{Protocol, Step};
+use std::collections::BTreeSet;
+
+/// Two processes each run one PROPOSE/DECIDE pair on (what they believe is)
+/// a 2-PAC object.
+#[derive(Debug)]
+struct PacPairs;
+
+impl Protocol for PacPairs {
+    type LocalState = u8;
+    fn num_processes(&self) -> usize {
+        2
+    }
+    fn init(&self, _pid: Pid) -> u8 {
+        0
+    }
+    fn pending_op(&self, pid: Pid, s: &u8) -> (ObjId, Op) {
+        let label = Label::new(pid.index() + 1).expect("valid label");
+        match s {
+            0 => (ObjId(0), Op::ProposePac(Value::Int(10 + pid.index() as i64), label)),
+            _ => (ObjId(0), Op::DecidePac(label)),
+        }
+    }
+    fn on_response(&self, _pid: Pid, s: &u8, resp: Value) -> Step<u8> {
+        match s {
+            0 => Step::Continue(1),
+            _ => Step::Decide(resp),
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = PacPairs;
+
+    // Ground truth: the native 2-PAC.
+    let native_objects = vec![AnyObject::pac(2)?];
+    let native = Explorer::new(&workload, &native_objects)
+        .explore(Limits::default())
+        .map_err(|e| e.to_string())?;
+    let native_outcomes: BTreeSet<Vec<Option<Value>>> =
+        native.terminal_indices().map(|t| native.configs[t].decisions()).collect();
+    println!(
+        "Native 2-PAC: {} configurations, {} distinct terminal decision vectors:",
+        native.configs.len(),
+        native_outcomes.len()
+    );
+    for o in &native_outcomes {
+        println!("  {o:?}");
+    }
+
+    // The simulation: 2-PAC out of 2-consensus objects + registers.
+    let l1 = Label::new(1)?;
+    let l2 = Label::new(2)?;
+    let op_table = vec![
+        Op::ProposePac(Value::Int(10), l1),
+        Op::ProposePac(Value::Int(11), l2),
+        Op::DecidePac(l1),
+        Op::DecidePac(l2),
+    ];
+    let universal = UniversalProcedure::new(AnyObject::pac(2)?, op_table, 2, 8)
+        .map_err(|e| e.to_string())?;
+    let derived = DerivedProtocol::new(&workload, &universal, vec![universal.frontend(0)]);
+    let base_objects = universal.base_objects()?;
+    println!(
+        "\nSimulated 2-PAC: {} base objects ({} consensus + {} registers).",
+        base_objects.len(),
+        universal.capacity(),
+        universal.capacity()
+    );
+
+    let simulated = Explorer::new(&derived, &base_objects)
+        .explore(Limits::default())
+        .map_err(|e| e.to_string())?;
+    let simulated_outcomes: BTreeSet<Vec<Option<Value>>> =
+        simulated.terminal_indices().map(|t| simulated.configs[t].decisions()).collect();
+    println!(
+        "Simulated 2-PAC: {} configurations (the simulation pays a ~{}x state blow-up).",
+        simulated.configs.len(),
+        simulated.configs.len() / native.configs.len().max(1)
+    );
+
+    assert_eq!(
+        native_outcomes, simulated_outcomes,
+        "the simulation must realize exactly the native outcome set"
+    );
+    println!("\nTerminal decision vectors of the simulation == native 2-PAC: true");
+    println!("Herlihy's theorem, executed: level-2 consensus implements the 2-PAC.");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # Life Beyond Set Agreement — executable reproduction
+//!
+//! This facade crate re-exports the whole workspace behind a single
+//! dependency. See the individual crates for the full documentation:
+//!
+//! * [`core`] (`lbsa-core`) — sequential specifications of the paper's
+//!   objects: registers, n-consensus, n-PAC, 2-SA, (n,k)-SA, (n,m)-PAC,
+//!   `Oₙ`, and `O'ₙ`.
+//! * [`runtime`] (`lbsa-runtime`) — the asynchronous shared-memory system:
+//!   protocols, schedulers, crashes, traces, derived objects.
+//! * [`explorer`] (`lbsa-explorer`) — exhaustive execution exploration,
+//!   valency analysis, bivalency adversaries, and linearizability checking.
+//! * [`protocols`] (`lbsa-protocols`) — Algorithm 2 (n-DAC from n-PAC),
+//!   consensus and k-set agreement protocols, the paper's derived
+//!   implementations, and a universal construction.
+//! * [`hierarchy`] (`lbsa-hierarchy`) — consensus-number certification, set
+//!   agreement power tables, and the `Oₙ` vs `O'ₙ` separation pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use life_beyond_set_agreement::core::combined::CombinedPacSpec;
+//! use life_beyond_set_agreement::core::spec::ObjectSpec;
+//!
+//! // The paper's O_2: a (3, 2)-PAC object at level 2 of the hierarchy.
+//! let o2 = CombinedPacSpec::o_n(2).expect("n >= 2");
+//! assert_eq!((o2.n(), o2.m()), (3, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lbsa_core as core;
+pub use lbsa_explorer as explorer;
+pub use lbsa_hierarchy as hierarchy;
+pub use lbsa_protocols as protocols;
+pub use lbsa_runtime as runtime;

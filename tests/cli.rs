@@ -1,0 +1,100 @@
+//! Integration tests for the `lbsa` command-line driver, exercised as a
+//! real subprocess (Cargo builds the binary and exposes its path via
+//! `CARGO_BIN_EXE_lbsa`).
+
+use std::process::{Command, Output};
+
+fn lbsa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lbsa"))
+        .args(args)
+        .output()
+        .expect("the lbsa binary must run")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = lbsa(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: lbsa"));
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = lbsa(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage"));
+}
+
+#[test]
+fn dac_verifies_and_reports() {
+    let out = lbsa(&["dac", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Theorem 4.1 verified for n = 2"));
+    assert!(text.contains("70 configurations"));
+}
+
+#[test]
+fn dac_rejects_out_of_range_n() {
+    let out = lbsa(&["dac", "7"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("2..=4"));
+    let out = lbsa(&["dac", "banana"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not a number"));
+}
+
+#[test]
+fn adversary_emits_a_verified_certificate() {
+    let out = lbsa(&["adversary"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("candidate refuted"));
+    assert!(text.contains("certificate verifies: true"));
+    assert!(text.contains("schedule (3 pumps)"));
+}
+
+#[test]
+fn dot_emits_valid_looking_graphviz() {
+    let out = lbsa(&["dot", "race", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph execution {"));
+    assert!(text.contains("n0 [label="));
+    assert!(text.trim_end().ends_with('}'));
+}
+
+#[test]
+fn dot_rejects_unknown_workload() {
+    let out = lbsa(&["dot", "nonsense", "2"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown workload"));
+}
+
+#[test]
+fn separation_pipeline_runs_end_to_end() {
+    let out = lbsa(&["separation", "2", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("powers match: true"));
+    assert!(text.contains("separation established: true"));
+    assert!(text.contains("refuted:"));
+}
+
+#[test]
+fn levels_table_contains_the_papers_objects() {
+    let out = lbsa(&["levels"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for name in ["2-consensus", "2-SA", "O_2", "O'_2", "O_3"] {
+        assert!(text.contains(name), "missing row for {name}:\n{text}");
+    }
+}

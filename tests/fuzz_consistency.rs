@@ -1,0 +1,209 @@
+//! Whole-pipeline fuzzing: random straight-line workloads over random
+//! object mixes, cross-validating the independent components against each
+//! other:
+//!
+//! 1. the execution graphs of straight-line workloads are acyclic and
+//!    complete;
+//! 2. every concrete (sampled) run's outcome appears among the explorer's
+//!    terminal outcomes — the sampler is an *underapproximation* of the
+//!    exhaustive graph;
+//! 3. every trace the runtime records is replayable through the sequential
+//!    specifications — each recorded response is an admissible outcome in
+//!    sequence (the runtime agrees with the specs);
+//! 4. the trace, converted to a concurrent history of instantaneous ops, is
+//!    linearizable (sanity of the linearizability checker on real traces).
+
+use life_beyond_set_agreement::core::ids::Label;
+use life_beyond_set_agreement::core::spec::ObjectSpec;
+use life_beyond_set_agreement::core::value::int;
+use life_beyond_set_agreement::core::{AnyObject, AnyState, ObjId, Op, Value};
+use life_beyond_set_agreement::explorer::linearizability::check_linearizable;
+use life_beyond_set_agreement::explorer::{Explorer, Limits};
+use life_beyond_set_agreement::runtime::derived::CompletedOp;
+use life_beyond_set_agreement::runtime::outcome::RandomOutcome;
+use life_beyond_set_agreement::runtime::scheduler::RandomScheduler;
+use life_beyond_set_agreement::runtime::script::{ScriptEnd, ScriptProtocol};
+use life_beyond_set_agreement::runtime::system::System;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The fuzzed object universe: a register, a 2-consensus, a 2-SA, and a
+/// 2-PAC.
+fn universe() -> Vec<AnyObject> {
+    vec![
+        AnyObject::register(),
+        AnyObject::consensus(2).unwrap(),
+        AnyObject::strong_sa(),
+        AnyObject::pac(2).unwrap(),
+    ]
+}
+
+/// A random operation valid for object `obj` in the universe.
+fn arb_op_for(obj: usize) -> BoxedStrategy<Op> {
+    match obj {
+        0 => prop_oneof![Just(Op::Read), (1..4i64).prop_map(|v| Op::Write(int(v)))].boxed(),
+        1 | 2 => (1..4i64).prop_map(|v| Op::Propose(int(v))).boxed(),
+        _ => prop_oneof![
+            ((1..4i64), (1..=2usize))
+                .prop_map(|(v, i)| Op::ProposePac(int(v), Label::new(i).unwrap())),
+            (1..=2usize).prop_map(|i| Op::DecidePac(Label::new(i).unwrap())),
+        ]
+        .boxed(),
+    }
+}
+
+/// A random per-process script of 1..=3 operations.
+fn arb_script() -> impl Strategy<Value = Vec<(ObjId, Op)>> {
+    proptest::collection::vec(
+        (0..4usize).prop_flat_map(|obj| arb_op_for(obj).prop_map(move |op| (ObjId(obj), op))),
+        1..=3,
+    )
+}
+
+/// A random workload of 2..=3 processes.
+fn arb_workload() -> impl Strategy<Value = Vec<Vec<(ObjId, Op)>>> {
+    proptest::collection::vec(arb_script(), 2..=3)
+}
+
+/// Replays a trace through the sequential specs, verifying every recorded
+/// response is admissible, and returns the per-step validity.
+fn trace_replays(objects: &[AnyObject], sys: &System<'_, ScriptProtocol>) -> bool {
+    let mut states: Vec<AnyState> = objects.iter().map(ObjectSpec::initial_state).collect();
+    for event in sys.trace().iter() {
+        let outs = match objects[event.obj.index()].outcomes(&states[event.obj.index()], &event.op)
+        {
+            Ok(o) => o.into_vec(),
+            Err(_) => return false,
+        };
+        match outs.into_iter().find(|(resp, _)| *resp == event.response) {
+            Some((_, next)) => states[event.obj.index()] = next,
+            None => return false, // recorded response not admissible
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cross-validation of explorer, sampler, runtime, and checker on
+    /// random workloads.
+    #[test]
+    fn pipeline_components_agree_on_random_workloads(scripts in arb_workload(), seed in 0u64..1000) {
+        let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
+        let objects = universe();
+
+        // 1. Straight-line workloads explore completely and acyclically.
+        let explorer = Explorer::new(&protocol, &objects);
+        let graph = explorer.explore(Limits::new(500_000)).unwrap();
+        prop_assert!(graph.complete);
+        prop_assert!(!graph.has_cycle(), "straight-line programs cannot cycle");
+
+        let explored_outcomes: BTreeSet<Vec<Option<Value>>> =
+            graph.terminal_indices().map(|t| graph.configs[t].decisions()).collect();
+
+        // 2. A concrete random run's outcome is among the explored ones.
+        let mut sys = System::new(&protocol, &objects).unwrap();
+        let result = sys
+            .run(
+                &mut RandomScheduler::seeded(seed),
+                &mut RandomOutcome::seeded(!seed),
+                10_000,
+            )
+            .unwrap();
+        prop_assert!(result.is_quiescent());
+        prop_assert!(
+            explored_outcomes.contains(&result.decisions),
+            "sampled outcome {:?} missing from {} explored outcomes",
+            result.decisions,
+            explored_outcomes.len()
+        );
+
+        // 3. The recorded trace replays through the sequential specs.
+        prop_assert!(trace_replays(&objects, &sys), "trace not spec-admissible");
+
+        // 4. The trace, as a history of instantaneous operations, is
+        //    linearizable (each op's interval is its single step).
+        let history: Vec<CompletedOp> = sys
+            .trace()
+            .iter()
+            .map(|e| CompletedOp {
+                pid: e.pid,
+                obj: e.obj,
+                op: e.op,
+                response: e.response,
+                invoked_at: e.step,
+                responded_at: e.step,
+            })
+            .collect();
+        prop_assert!(check_linearizable(&history, &objects).is_ok());
+    }
+
+    /// The explorer's terminal-outcome set is closed under schedule choice:
+    /// running the SAME workload under round-robin also lands inside it.
+    #[test]
+    fn round_robin_outcomes_are_explored(scripts in arb_workload()) {
+        use life_beyond_set_agreement::runtime::outcome::FirstOutcome;
+        use life_beyond_set_agreement::runtime::scheduler::RoundRobin;
+        let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
+        let objects = universe();
+        let explorer = Explorer::new(&protocol, &objects);
+        let graph = explorer.explore(Limits::new(500_000)).unwrap();
+        let explored: BTreeSet<Vec<Option<Value>>> =
+            graph.terminal_indices().map(|t| graph.configs[t].decisions()).collect();
+
+        let mut sys = System::new(&protocol, &objects).unwrap();
+        let result = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000).unwrap();
+        prop_assert!(explored.contains(&result.decisions));
+    }
+
+    /// Decision counts are schedule-independent for halting workloads: the
+    /// number of decided processes equals the process count in every
+    /// terminal configuration.
+    #[test]
+    fn all_processes_decide_in_every_terminal(scripts in arb_workload()) {
+        let n = scripts.len();
+        let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
+        let objects = universe();
+        let graph = Explorer::new(&protocol, &objects).explore(Limits::new(500_000)).unwrap();
+        for t in graph.terminal_indices() {
+            let decided = graph.configs[t].decisions().iter().flatten().count();
+            prop_assert_eq!(decided, n);
+        }
+    }
+}
+
+/// Deterministic regression instance of the fuzz property (fast, pinned).
+#[test]
+fn pinned_mixed_workload_cross_check() {
+    let l1 = Label::new(1).unwrap();
+    let l2 = Label::new(2).unwrap();
+    let scripts = vec![
+        vec![
+            (ObjId(3), Op::ProposePac(int(1), l1)),
+            (ObjId(1), Op::Propose(int(2))),
+            (ObjId(3), Op::DecidePac(l1)),
+        ],
+        vec![
+            (ObjId(2), Op::Propose(int(3))),
+            (ObjId(3), Op::ProposePac(int(2), l2)),
+            (ObjId(0), Op::Read),
+        ],
+    ];
+    let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
+    let objects = universe();
+    let graph = Explorer::new(&protocol, &objects).explore(Limits::default()).unwrap();
+    assert!(graph.complete);
+    assert!(!graph.has_cycle());
+    let outcomes: BTreeSet<Vec<Option<Value>>> =
+        graph.terminal_indices().map(|t| graph.configs[t].decisions()).collect();
+    assert!(!outcomes.is_empty());
+    for seed in 0..30u64 {
+        let mut sys = System::new(&protocol, &objects).unwrap();
+        let result = sys
+            .run(&mut RandomScheduler::seeded(seed), &mut RandomOutcome::seeded(seed), 1000)
+            .unwrap();
+        assert!(outcomes.contains(&result.decisions), "seed {seed} escaped the graph");
+        assert!(trace_replays(&objects, &sys), "seed {seed} trace not admissible");
+    }
+}

@@ -1,0 +1,271 @@
+//! Systematic object-semantics tests: for every object family, the full
+//! operation matrix — which operations it accepts, what the budget/upset
+//! saturation looks like, and cross-family consistency facts the other
+//! crates rely on.
+
+use life_beyond_set_agreement::core::ids::Label;
+use life_beyond_set_agreement::core::spec::ObjectSpec;
+use life_beyond_set_agreement::core::value::int;
+use life_beyond_set_agreement::core::{AnyObject, Op, SpecError, Value};
+
+fn l(i: usize) -> Label {
+    Label::new(i).unwrap()
+}
+
+/// Every operation in the alphabet, with a representative payload.
+fn full_alphabet() -> Vec<Op> {
+    vec![
+        Op::Read,
+        Op::Write(int(1)),
+        Op::Propose(int(1)),
+        Op::ProposePac(int(1), l(1)),
+        Op::DecidePac(l(1)),
+        Op::ProposeC(int(1)),
+        Op::ProposeP(int(1), l(1)),
+        Op::DecideP(l(1)),
+        Op::ProposeAt(int(1), 1),
+        Op::TestAndSet,
+        Op::FetchAdd(1),
+        Op::CompareAndSwap(Value::Nil, int(1)),
+        Op::Enqueue(int(1)),
+        Op::Dequeue,
+    ]
+}
+
+/// The exact accepted-operation matrix: each object must accept exactly its
+/// own interface and reject everything else with `UnsupportedOp`.
+#[test]
+fn acceptance_matrix_is_exact() {
+    let cases: Vec<(AnyObject, Vec<Op>)> = vec![
+        (AnyObject::register(), vec![Op::Read, Op::Write(int(1))]),
+        (AnyObject::consensus(2).unwrap(), vec![Op::Propose(int(1))]),
+        (
+            AnyObject::pac(2).unwrap(),
+            vec![Op::ProposePac(int(1), l(1)), Op::DecidePac(l(1))],
+        ),
+        (AnyObject::strong_sa(), vec![Op::Propose(int(1))]),
+        (AnyObject::set_agreement(2, 1).unwrap(), vec![Op::Propose(int(1))]),
+        (
+            AnyObject::combined_pac(2, 2).unwrap(),
+            vec![Op::ProposeC(int(1)), Op::ProposeP(int(1), l(1)), Op::DecideP(l(1))],
+        ),
+        (AnyObject::o_prime_n(2, 2).unwrap(), vec![Op::ProposeAt(int(1), 1)]),
+        (AnyObject::test_and_set(), vec![Op::Read, Op::TestAndSet]),
+        (AnyObject::fetch_add(), vec![Op::Read, Op::FetchAdd(1)]),
+        (
+            AnyObject::cas(),
+            vec![Op::Read, Op::Write(int(1)), Op::CompareAndSwap(Value::Nil, int(1))],
+        ),
+        (AnyObject::queue(), vec![Op::Enqueue(int(1)), Op::Dequeue]),
+    ];
+    for (obj, accepted) in cases {
+        let state = obj.initial_state();
+        for op in full_alphabet() {
+            let result = obj.outcomes(&state, &op);
+            if accepted.contains(&op) {
+                assert!(result.is_ok(), "{} must accept {op}: {result:?}", obj.name());
+            } else {
+                assert!(
+                    matches!(result, Err(SpecError::UnsupportedOp { .. })),
+                    "{} must reject {op}, got {result:?}",
+                    obj.name()
+                );
+            }
+        }
+    }
+}
+
+/// Applying any accepted operation never panics and always yields at least
+/// one outcome, across a few steps of state evolution.
+#[test]
+fn outcomes_are_total_on_accepted_ops() {
+    let objects = vec![
+        AnyObject::register(),
+        AnyObject::consensus(2).unwrap(),
+        AnyObject::pac(2).unwrap(),
+        AnyObject::strong_sa(),
+        AnyObject::set_agreement(3, 2).unwrap(),
+        AnyObject::combined_pac(2, 2).unwrap(),
+        AnyObject::o_prime_n(2, 2).unwrap(),
+        AnyObject::test_and_set(),
+        AnyObject::fetch_add(),
+        AnyObject::cas(),
+        AnyObject::queue(),
+    ];
+    for obj in objects {
+        let mut states = vec![obj.initial_state()];
+        for _round in 0..3 {
+            let mut next_states = Vec::new();
+            for state in &states {
+                for op in full_alphabet() {
+                    if let Ok(outs) = obj.outcomes(state, &op) {
+                        assert!(!outs.is_empty());
+                        for (_, s) in outs.into_vec() {
+                            next_states.push(s);
+                        }
+                    }
+                }
+            }
+            next_states.truncate(8); // keep the walk small
+            if next_states.is_empty() {
+                break;
+            }
+            states = next_states;
+        }
+    }
+}
+
+/// All propose-style faces reject reserved values uniformly.
+#[test]
+#[allow(clippy::type_complexity)]
+fn reserved_values_rejected_uniformly() {
+    let cases: Vec<(AnyObject, fn(Value) -> Op)> = vec![
+        (AnyObject::consensus(2).unwrap(), Op::Propose),
+        (AnyObject::strong_sa(), Op::Propose),
+        (AnyObject::set_agreement(2, 1).unwrap(), Op::Propose),
+        (AnyObject::combined_pac(2, 2).unwrap(), Op::ProposeC),
+        (AnyObject::pac(2).unwrap(), |v| Op::ProposePac(v, Label::new(1).unwrap())),
+        (AnyObject::o_prime_n(2, 2).unwrap(), |v| Op::ProposeAt(v, 1)),
+    ];
+    for (obj, mk) in cases {
+        let state = obj.initial_state();
+        for v in [Value::Nil, Value::Bot, Value::Done] {
+            assert_eq!(
+                obj.outcomes(&state, &mk(v)).unwrap_err(),
+                SpecError::ReservedValue(v),
+                "{} must reject proposing {v}",
+                obj.name()
+            );
+        }
+    }
+}
+
+/// Budget saturation freezes state everywhere it exists: consensus objects,
+/// (n,k)-SA ports, and O'ₙ levels never grow their state after exhaustion.
+#[test]
+fn budget_saturation_freezes_state() {
+    // Consensus.
+    let obj = AnyObject::consensus(2).unwrap();
+    let mut s = obj.initial_state();
+    for _ in 0..2 {
+        s = obj.outcomes(&s, &Op::Propose(int(1))).unwrap().into_single().1;
+    }
+    let frozen = s.clone();
+    for v in [3i64, 4, 5] {
+        let (resp, next) = obj.outcomes(&s, &Op::Propose(int(v))).unwrap().into_single();
+        assert_eq!(resp, Value::Bot);
+        assert_eq!(next, frozen);
+        s = next;
+    }
+
+    // (2,1)-SA.
+    let obj = AnyObject::set_agreement(2, 1).unwrap();
+    let mut s = obj.initial_state();
+    for v in [1i64, 2] {
+        s = obj.outcomes(&s, &Op::Propose(int(v))).unwrap().into_vec().pop().unwrap().1;
+    }
+    let frozen = s.clone();
+    let (resp, next) = obj.outcomes(&s, &Op::Propose(int(3))).unwrap().into_single();
+    assert_eq!(resp, Value::Bot);
+    assert_eq!(next, frozen);
+
+    // O'_2 level 1 (its (2,1)-SA component).
+    let obj = AnyObject::o_prime_n(2, 2).unwrap();
+    let mut s = obj.initial_state();
+    for v in [1i64, 2] {
+        s = obj.outcomes(&s, &Op::ProposeAt(int(v), 1)).unwrap().into_vec().pop().unwrap().1;
+    }
+    let (resp, _) = obj.outcomes(&s, &Op::ProposeAt(int(3), 1)).unwrap().into_single();
+    assert_eq!(resp, Value::Bot);
+}
+
+/// The (n,m)-PAC faces behave bit-for-bit like their standalone components:
+/// driving both through identical op sequences yields identical responses.
+#[test]
+fn combined_pac_faces_match_components_bit_for_bit() {
+    let combined = AnyObject::combined_pac(2, 2).unwrap();
+    let pac = AnyObject::pac(2).unwrap();
+    let cons = AnyObject::consensus(2).unwrap();
+
+    let pac_ops = [
+        Op::ProposePac(int(1), l(1)),
+        Op::DecidePac(l(1)),
+        Op::ProposePac(int(2), l(2)),
+        Op::ProposePac(int(3), l(1)),
+        Op::DecidePac(l(2)),
+        Op::DecidePac(l(1)),
+        Op::DecidePac(l(2)),
+    ];
+    let combined_ops = [
+        Op::ProposeP(int(1), l(1)),
+        Op::DecideP(l(1)),
+        Op::ProposeP(int(2), l(2)),
+        Op::ProposeP(int(3), l(1)),
+        Op::DecideP(l(2)),
+        Op::DecideP(l(1)),
+        Op::DecideP(l(2)),
+    ];
+    let mut cs = combined.initial_state();
+    let mut ps = pac.initial_state();
+    for (cop, pop) in combined_ops.iter().zip(pac_ops.iter()) {
+        let cr = combined.apply_deterministic(&mut cs, cop).unwrap();
+        let pr = pac.apply_deterministic(&mut ps, pop).unwrap();
+        assert_eq!(cr, pr, "PAC face diverged on {pop}");
+    }
+
+    let mut cs = combined.initial_state();
+    let mut ks = cons.initial_state();
+    for v in [5i64, 6, 7] {
+        let cr = combined.apply_deterministic(&mut cs, &Op::ProposeC(int(v))).unwrap();
+        let kr = cons.apply_deterministic(&mut ks, &Op::Propose(int(v))).unwrap();
+        assert_eq!(cr, kr, "consensus face diverged on {v}");
+    }
+}
+
+/// O'ₙ's level 1 behaves bit-for-bit like an (n,1)-SA object, which in turn
+/// matches an n-consensus object on propose sequences.
+#[test]
+fn power_level_1_matches_consensus_semantics() {
+    let o_prime = AnyObject::o_prime_n(3, 2).unwrap();
+    let cons = AnyObject::consensus(3).unwrap();
+    let mut ps = o_prime.initial_state();
+    let mut ks = cons.initial_state();
+    for v in [9i64, 8, 7, 6, 5] {
+        let pr = o_prime
+            .outcomes(&ps, &Op::ProposeAt(int(v), 1))
+            .unwrap()
+            .into_single();
+        let kr = cons.outcomes(&ks, &Op::Propose(int(v))).unwrap().into_single();
+        assert_eq!(pr.0, kr.0, "level 1 diverged from consensus on {v}");
+        ps = pr.1;
+        ks = kr.1;
+    }
+}
+
+/// Upset is absorbing across the PAC family: once upset, no operation
+/// sequence ever clears it (checked on a short random-ish walk).
+#[test]
+fn upset_is_absorbing_through_the_combined_face() {
+    let obj = AnyObject::combined_pac(2, 2).unwrap();
+    let mut s = obj.initial_state();
+    // Upset via a bare decide.
+    obj.apply_deterministic(&mut s, &Op::DecideP(l(1))).unwrap();
+    let ops = [
+        Op::ProposeP(int(1), l(1)),
+        Op::ProposeC(int(2)),
+        Op::DecideP(l(2)),
+        Op::ProposeP(int(3), l(2)),
+        Op::DecideP(l(1)),
+    ];
+    for op in ops {
+        obj.apply_deterministic(&mut s, &op).unwrap();
+        if let life_beyond_set_agreement::core::AnyState::CombinedPac(inner) = &s {
+            assert!(inner.pac.upset, "upset must be absorbing");
+        } else {
+            panic!("state family changed");
+        }
+        // Decides keep returning ⊥.
+        let (resp, _) = obj.outcomes(&s, &Op::DecideP(l(1))).unwrap().into_single();
+        assert_eq!(resp, Value::Bot);
+    }
+}
