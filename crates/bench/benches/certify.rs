@@ -1,9 +1,10 @@
 //! **T4 (bench)** — consensus-number certification cost per object family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lbsa_core::AnyObject;
 use lbsa_explorer::Limits;
 use lbsa_hierarchy::certify::{certified_consensus_number, Face};
+use lbsa_support::bench::Criterion;
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_certify(c: &mut Criterion) {

@@ -1,12 +1,13 @@
 //! **T2 (bench)** — full n-DAC verification cost: exploring Algorithm 2 and
 //! running all four DAC property checks (including solo-run re-exploration).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
 use lbsa_explorer::checker::check_dac;
 use lbsa_explorer::{Explorer, Limits};
 use lbsa_protocols::dac::DacFromPac;
+use lbsa_support::bench::{BenchmarkId, Criterion};
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_dac(c: &mut Criterion) {

@@ -1,13 +1,56 @@
 //! **F1 (bench)** — exhaustive exploration throughput as the process count
-//! grows (consensus race and 2-SA branching workloads).
+//! grows, and parallel-engine speedup on the T2 workload.
+//!
+//! The `t2_dac/...` benchmarks explore Algorithm 2 (n-DAC from an n-PAC
+//! object) for n = 4 — the acceptance workload for the parallel engine —
+//! once with one worker thread (the sequential baseline) and once with the
+//! auto-resolved thread count. Besides the usual per-group JSON report,
+//! this bench writes `BENCH_explore.json` at the repository root recording
+//! configs/sec for both engines and the speedup, so the perf trajectory is
+//! tracked in-tree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
-use lbsa_core::{AnyObject, ObjId};
-use lbsa_explorer::{Explorer, Limits};
+use lbsa_core::{AnyObject, ObjId, Pid};
+use lbsa_explorer::{Configuration, ExploreOptions, Explorer, Limits};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
+use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
+use lbsa_runtime::process::Protocol;
+use lbsa_support::bench::{json_string, BenchmarkId, Criterion};
+use lbsa_support::{criterion_group, criterion_main};
+use std::collections::{HashMap, VecDeque};
 use std::hint::black_box;
+
+/// The seed exploration algorithm, kept verbatim as the perf baseline: a
+/// FIFO BFS deduplicating through a `HashMap` keyed by whole (deeply
+/// hashed, SipHash) configurations, storing every configuration twice —
+/// once in the graph, once as a map key.
+fn baseline_explore<P: Protocol>(explorer: &Explorer<'_, P>, max_configs: usize) -> (usize, usize) {
+    let initial = explorer.initial_config();
+    let mut configs = vec![initial.clone()];
+    let mut index: HashMap<Configuration<P::LocalState>, usize> =
+        HashMap::from([(initial, 0usize)]);
+    let mut transitions = 0usize;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(node) = queue.pop_front() {
+        if node >= max_configs {
+            continue;
+        }
+        let config = configs[node].clone();
+        for pid in config.enabled_pids() {
+            for succ in explorer.successors_of(&config, pid).unwrap() {
+                transitions += 1;
+                if !index.contains_key(&succ) {
+                    let t = configs.len();
+                    index.insert(succ.clone(), t);
+                    configs.push(succ);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    (configs.len(), transitions)
+}
 
 fn bench_explore(c: &mut Criterion) {
     let mut group = c.benchmark_group("explore_scaling");
@@ -18,7 +61,9 @@ fn bench_explore(c: &mut Criterion) {
             let p = ConsensusViaObject::new(mixed_binary_inputs(n), ObjId(0));
             let objects = vec![AnyObject::consensus(n).unwrap()];
             b.iter(|| {
-                let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+                let g = Explorer::new(&p, &objects)
+                    .explore(Limits::default())
+                    .unwrap();
                 black_box(g.configs.len())
             });
         });
@@ -29,13 +74,85 @@ fn bench_explore(c: &mut Criterion) {
             let p = KSetViaStrongSa::new(distinct_inputs(n), ObjId(0));
             let objects = vec![AnyObject::strong_sa()];
             b.iter(|| {
-                let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+                let g = Explorer::new(&p, &objects)
+                    .explore(Limits::default())
+                    .unwrap();
                 black_box(g.transitions)
             });
         });
     }
 
+    // The parallel-engine acceptance workload: T2, Algorithm 2 for n = 4.
+    let n = 4usize;
+    let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
+    let objects = vec![AnyObject::pac(n).unwrap()];
+    let explorer = Explorer::new(&p, &objects);
+    let threads = ExploreOptions::default().resolved_threads();
+
+    group.bench_function("t2_dac/4/baseline", |b| {
+        b.iter(|| black_box(baseline_explore(&explorer, Limits::default().max_configs)));
+    });
+    group.bench_function("t2_dac/4/seq", |b| {
+        b.iter(|| {
+            let g = explorer
+                .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
+                .unwrap();
+            black_box(g.configs.len())
+        });
+    });
+    group.bench_function(format!("t2_dac/4/par{threads}"), |b| {
+        b.iter(|| {
+            let g = explorer.explore_with(ExploreOptions::default()).unwrap();
+            black_box(g.configs.len())
+        });
+    });
     group.finish();
+
+    write_speedup_report(c, threads, &explorer);
+}
+
+/// Writes `BENCH_explore.json` at the repository root: configs/sec on T2
+/// n=4 for the seed baseline algorithm, the new engine at one thread, and
+/// the new engine at the auto thread count, plus the resulting speedup of
+/// the shipped engine over the baseline.
+fn write_speedup_report(c: &Criterion, threads: usize, explorer: &Explorer<'_, DacFromPac>) {
+    let median = |suffix: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id.ends_with(suffix))
+            .map(lbsa_support::bench::BenchResult::median_nanos)
+    };
+    let (Some(baseline_ns), Some(seq_ns), Some(par_ns)) = (
+        median("/baseline"),
+        median("/seq"),
+        median(&format!("/par{threads}")),
+    ) else {
+        return;
+    };
+    let g = explorer.explore_with(ExploreOptions::default()).unwrap();
+    let expanded = g.stats.expanded;
+    let per_sec = |ns: f64| expanded as f64 / (ns / 1e9);
+    let speedup = baseline_ns / par_ns;
+    let json = format!(
+        "{{\n  \"workload\": {},\n  \"configs\": {},\n  \"transitions\": {},\n  \"threads\": {},\n  \"baseline_median_ns\": {:.0},\n  \"seq_median_ns\": {:.0},\n  \"par_median_ns\": {:.0},\n  \"baseline_configs_per_sec\": {:.0},\n  \"seq_configs_per_sec\": {:.0},\n  \"par_configs_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.2},\n  \"speedup_par_vs_seq\": {:.2}\n}}\n",
+        json_string("t2_dac_n4"),
+        g.configs.len(),
+        g.transitions,
+        threads,
+        baseline_ns,
+        seq_ns,
+        par_ns,
+        per_sec(baseline_ns),
+        per_sec(seq_ns),
+        per_sec(par_ns),
+        speedup,
+        seq_ns / par_ns,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    if std::fs::write(path, &json).is_ok() {
+        println!("\nT2 n=4 engine speedup vs seed baseline: {speedup:.2}x ({threads} threads)");
+        println!("wrote {path}");
+    }
 }
 
 criterion_group!(benches, bench_explore);

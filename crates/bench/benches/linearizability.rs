@@ -1,11 +1,12 @@
 //! **F4** — linearizability checker runtime vs history length and
 //! contention (the validation cost of every derived implementation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbsa_core::value::int;
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
 use lbsa_explorer::linearizability::check_linearizable;
 use lbsa_runtime::derived::CompletedOp;
+use lbsa_support::bench::{BenchmarkId, Criterion};
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 /// A sequential register history of alternating writes and reads.
@@ -49,11 +50,15 @@ fn bench_linearizability(c: &mut Criterion) {
     let mut group = c.benchmark_group("linearizability");
 
     for len in [8usize, 16, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("sequential_register", len), &len, |b, &len| {
-            let history = sequential_register_history(len);
-            let specs = vec![AnyObject::register()];
-            b.iter(|| black_box(check_linearizable(&history, &specs).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_register", len),
+            &len,
+            |b, &len| {
+                let history = sequential_register_history(len);
+                let specs = vec![AnyObject::register()];
+                b.iter(|| black_box(check_linearizable(&history, &specs).unwrap()));
+            },
+        );
     }
 
     for width in [3usize, 5, 7] {

@@ -1,11 +1,12 @@
 //! **F3** — object-specification throughput: ns per operation for each
 //! object family (the inner loop of every simulation and exploration).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lbsa_core::ids::Label;
 use lbsa_core::spec::ObjectSpec;
 use lbsa_core::value::int;
 use lbsa_core::{AnyObject, Op};
+use lbsa_support::bench::{BatchSize, Criterion};
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_objects(c: &mut Criterion) {
@@ -30,7 +31,8 @@ fn bench_objects(c: &mut Criterion) {
             || obj.initial_state(),
             |mut s| {
                 for i in 0..4 {
-                    obj.apply_deterministic(&mut s, &Op::Propose(int(i))).unwrap();
+                    obj.apply_deterministic(&mut s, &Op::Propose(int(i)))
+                        .unwrap();
                 }
                 black_box(s)
             },
@@ -44,7 +46,8 @@ fn bench_objects(c: &mut Criterion) {
         b.iter_batched(
             || obj.initial_state(),
             |mut s| {
-                obj.apply_deterministic(&mut s, &Op::ProposePac(int(3), l1)).unwrap();
+                obj.apply_deterministic(&mut s, &Op::ProposePac(int(3), l1))
+                    .unwrap();
                 obj.apply_deterministic(&mut s, &Op::DecidePac(l1)).unwrap();
                 black_box(s)
             },
@@ -89,8 +92,10 @@ fn bench_objects(c: &mut Criterion) {
         b.iter_batched(
             || obj.initial_state(),
             |mut s| {
-                obj.apply_deterministic(&mut s, &Op::ProposeC(int(1))).unwrap();
-                obj.apply_deterministic(&mut s, &Op::ProposeP(int(2), l1)).unwrap();
+                obj.apply_deterministic(&mut s, &Op::ProposeC(int(1)))
+                    .unwrap();
+                obj.apply_deterministic(&mut s, &Op::ProposeP(int(2), l1))
+                    .unwrap();
                 obj.apply_deterministic(&mut s, &Op::DecideP(l1)).unwrap();
                 black_box(s)
             },

@@ -1,10 +1,11 @@
 //! **T1 (bench)** — exhaustive PAC property sweep throughput: how fast the
 //! spec-level checks of experiment T1 run (sequences per second).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lbsa_core::history::{check_pac_properties, for_each_op_sequence, pac_op_alphabet, run_pac};
 use lbsa_core::pac::PacSpec;
 use lbsa_core::value::int;
+use lbsa_support::bench::Criterion;
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_pac_sweep(c: &mut Criterion) {

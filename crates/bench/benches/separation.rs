@@ -1,9 +1,10 @@
 //! **T5 (bench)** — full separation pipeline cost for n = 2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lbsa_explorer::Limits;
 use lbsa_hierarchy::power::{certify_power_table_o_n, certify_power_table_o_prime};
 use lbsa_hierarchy::separation::run_separation;
+use lbsa_support::bench::Criterion;
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_separation(c: &mut Criterion) {

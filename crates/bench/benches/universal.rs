@@ -1,7 +1,6 @@
 //! **F5 (bench)** — universal-construction overhead: base steps executed
 //! per simulated front-end operation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lbsa_core::value::int;
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
 use lbsa_protocols::universal::UniversalProcedure;
@@ -10,6 +9,8 @@ use lbsa_runtime::outcome::FirstOutcome;
 use lbsa_runtime::process::{Protocol, Step};
 use lbsa_runtime::scheduler::RoundRobin;
 use lbsa_runtime::system::System;
+use lbsa_support::bench::Criterion;
+use lbsa_support::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 #[derive(Debug)]
@@ -55,7 +56,9 @@ fn bench_universal(c: &mut Criterion) {
                 let objects = uni.base_objects().unwrap();
                 let mut sys = System::new(&derived, &objects).unwrap();
                 sys.set_record_trace(false);
-                let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 1_000_000).unwrap();
+                let res = sys
+                    .run(&mut RoundRobin::new(), &mut FirstOutcome, 1_000_000)
+                    .unwrap();
                 black_box(res.steps)
             });
         });

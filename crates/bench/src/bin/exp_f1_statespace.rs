@@ -3,75 +3,85 @@
 //! Measures how the execution-graph size grows with the number of
 //! processes, for the two workhorse workloads of the experiments: the
 //! one-shot consensus race and Algorithm 2 (whose retry loops make the
-//! graph cyclic and denser).
+//! graph cyclic and denser). Each row also reports the exploration
+//! engine's own metrics — throughput (configs/sec), dedup hit rate, and
+//! the worker thread count — taken from [`lbsa_explorer::ExploreStats`].
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f1_statespace`.
+//! Set `LBSA_EXPLORE_THREADS` to pin the engine's thread count.
 
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{Explorer, Limits};
+use lbsa_explorer::{ExplorationGraph, Explorer, Limits};
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
-use std::time::Instant;
+
+fn stats_row<L>(workload: &str, n: usize, g: &ExplorationGraph<L>) -> Vec<String>
+where
+    L: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    vec![
+        workload.into(),
+        n.to_string(),
+        g.configs.len().to_string(),
+        g.transitions.to_string(),
+        g.has_cycle().to_string(),
+        format!("{:.1}", g.stats.elapsed.as_secs_f64() * 1e3),
+        format!("{:.0}", g.stats.configs_per_sec()),
+        format!("{:.1}", 100.0 * g.stats.dedup_rate()),
+        g.stats.peak_frontier.to_string(),
+        g.stats.threads.to_string(),
+    ]
+}
 
 fn main() {
     let limits = Limits::new(5_000_000);
     let mut table = Table::new(
         "F1 — execution-graph size vs processes (exhaustive exploration)",
-        vec!["workload", "processes", "configs", "transitions", "cyclic", "time (ms)"],
+        vec![
+            "workload",
+            "processes",
+            "configs",
+            "transitions",
+            "cyclic",
+            "time (ms)",
+            "configs/s",
+            "dedup %",
+            "peak frontier",
+            "threads",
+        ],
     );
 
     for n in 2..=7usize {
         let inputs = mixed_binary_inputs(n);
         let p = ConsensusViaObject::new(inputs, ObjId(0));
         let objects = vec![AnyObject::consensus(n).expect("valid")];
-        let start = Instant::now();
-        let g = Explorer::new(&p, &objects).explore(limits).expect("explorable");
-        let ms = start.elapsed().as_millis();
-        table.row(vec![
-            "consensus race".into(),
-            n.to_string(),
-            g.configs.len().to_string(),
-            g.transitions.to_string(),
-            g.has_cycle().to_string(),
-            ms.to_string(),
-        ]);
+        let g = Explorer::new(&p, &objects)
+            .explore(limits)
+            .expect("explorable");
+        table.row(stats_row("consensus race", n, &g));
     }
 
     for n in 2..=5usize {
         let inputs = mixed_binary_inputs(n);
         let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
         let objects = vec![AnyObject::pac(n).expect("valid")];
-        let start = Instant::now();
-        let g = Explorer::new(&p, &objects).explore(limits).expect("explorable");
-        let ms = start.elapsed().as_millis();
-        table.row(vec![
-            "Algorithm 2 (n-DAC)".into(),
-            n.to_string(),
-            g.configs.len().to_string(),
-            g.transitions.to_string(),
-            g.has_cycle().to_string(),
-            ms.to_string(),
-        ]);
+        let g = Explorer::new(&p, &objects)
+            .explore(limits)
+            .expect("explorable");
+        table.row(stats_row("Algorithm 2 (n-DAC)", n, &g));
     }
 
     for n in 2..=6usize {
         let inputs = distinct_inputs(n);
         let p = KSetViaStrongSa::new(inputs, ObjId(0));
         let objects = vec![AnyObject::strong_sa()];
-        let start = Instant::now();
-        let g = Explorer::new(&p, &objects).explore(limits).expect("explorable");
-        let ms = start.elapsed().as_millis();
-        table.row(vec![
-            "2-SA race (nondet branching)".into(),
-            n.to_string(),
-            g.configs.len().to_string(),
-            g.transitions.to_string(),
-            g.has_cycle().to_string(),
-            ms.to_string(),
-        ]);
+        let g = Explorer::new(&p, &objects)
+            .explore(limits)
+            .expect("explorable");
+        table.row(stats_row("2-SA race (nondet branching)", n, &g));
     }
 
     println!("{table}");

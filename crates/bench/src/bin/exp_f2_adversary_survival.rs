@@ -20,13 +20,10 @@ use lbsa_protocols::candidates::{SaThenConsensus, WaitForWinner};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_runtime::process::Protocol;
 
-fn analyze<P: Protocol>(
-    name: &str,
-    protocol: &P,
-    objects: &[AnyObject],
-    table: &mut Table,
-) {
-    let g = Explorer::new(protocol, objects).explore(Limits::new(5_000_000)).expect("explorable");
+fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: &mut Table) {
+    let g = Explorer::new(protocol, objects)
+        .explore(Limits::new(5_000_000))
+        .expect("explorable");
     let va = ValencyAnalysis::analyze(&g);
     let (barren, univalent, multivalent) = va.census();
     let survival = bivalent_survival(&g, &va, 100_000);
@@ -75,12 +72,23 @@ fn main() {
 
     // Doomed: wait-for-winner with one process too many.
     let p = WaitForWinner::new(mixed_binary_inputs(3));
-    let objects = vec![AnyObject::consensus(2).expect("valid"), AnyObject::register()];
-    analyze("wait-for-winner, 3 procs (doomed)", &p, &objects, &mut table);
+    let objects = vec![
+        AnyObject::consensus(2).expect("valid"),
+        AnyObject::register(),
+    ];
+    analyze(
+        "wait-for-winner, 3 procs (doomed)",
+        &p,
+        &objects,
+        &mut table,
+    );
 
     // Doomed: the 2-SA narrowing attempt.
     let p = SaThenConsensus::new(mixed_binary_inputs(3));
-    let objects = vec![AnyObject::strong_sa(), AnyObject::consensus(2).expect("valid")];
+    let objects = vec![
+        AnyObject::strong_sa(),
+        AnyObject::consensus(2).expect("valid"),
+    ];
     analyze("2-SA narrow + tie-break (doomed)", &p, &objects, &mut table);
 
     println!("{table}");

@@ -60,7 +60,13 @@ fn register_table_ops(n: usize) -> Vec<Op> {
 fn main() {
     let mut table = Table::new(
         "F5 — universal construction cost (register churn, round-robin)",
-        vec!["processes", "rounds", "front-end ops", "base steps", "steps/op"],
+        vec![
+            "processes",
+            "rounds",
+            "front-end ops",
+            "base steps",
+            "steps/op",
+        ],
     );
 
     for (n, rounds) in [(2usize, 2u8), (2, 3), (3, 2), (4, 1)] {
@@ -109,7 +115,10 @@ fn main() {
         fn pending_op(&self, pid: Pid, s: &u8) -> (ObjId, Op) {
             let label = Label::new(pid.index() + 1).expect("valid");
             match s {
-                0 => (ObjId(0), Op::ProposePac(int(10 + pid.index() as i64), label)),
+                0 => (
+                    ObjId(0),
+                    Op::ProposePac(int(10 + pid.index() as i64), label),
+                ),
                 _ => (ObjId(0), Op::DecidePac(label)),
             }
         }
@@ -130,20 +139,30 @@ fn main() {
     ];
     let inner = PacPairs;
     let native_objects = vec![AnyObject::pac(2).expect("valid")];
-    let native_g =
-        Explorer::new(&inner, &native_objects).explore(Limits::default()).expect("explorable");
-    let native: BTreeSet<Vec<Option<Value>>> =
-        native_g.terminal_indices().map(|t| native_g.configs[t].decisions()).collect();
+    let native_g = Explorer::new(&inner, &native_objects)
+        .explore(Limits::default())
+        .expect("explorable");
+    let native: BTreeSet<Vec<Option<Value>>> = native_g
+        .terminal_indices()
+        .map(|t| native_g.configs[t].decisions())
+        .collect();
 
-    let uni = UniversalProcedure::new(AnyObject::pac(2).expect("valid"), pac_ops, 2, 8)
-        .expect("valid");
+    let uni =
+        UniversalProcedure::new(AnyObject::pac(2).expect("valid"), pac_ops, 2, 8).expect("valid");
     let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
     let objects = uni.base_objects().expect("valid");
-    let sim_g = Explorer::new(&derived, &objects).explore(Limits::default()).expect("explorable");
-    let simulated: BTreeSet<Vec<Option<Value>>> =
-        sim_g.terminal_indices().map(|t| sim_g.configs[t].decisions()).collect();
+    let sim_g = Explorer::new(&derived, &objects)
+        .explore(Limits::default())
+        .expect("explorable");
+    let simulated: BTreeSet<Vec<Option<Value>>> = sim_g
+        .terminal_indices()
+        .map(|t| sim_g.configs[t].decisions())
+        .collect();
 
-    println!("Simulated 2-PAC terminal outcomes == native: {}", native == simulated);
+    println!(
+        "Simulated 2-PAC terminal outcomes == native: {}",
+        native == simulated
+    );
     println!(
         "(native graph: {} configs; simulated graph: {} configs)",
         native_g.configs.len(),

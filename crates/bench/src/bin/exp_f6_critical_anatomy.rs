@@ -57,7 +57,13 @@ fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: 
     let va = ValencyAnalysis::analyze(&g);
     let anatomy = critical_anatomy(&ex, &g, &va).expect("anatomy computable");
     if anatomy.is_empty() {
-        table.row(vec![name.into(), "0".into(), "-".into(), "-".into(), "-".into()]);
+        table.row(vec![
+            name.into(),
+            "0".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
         return;
     }
     let all_same = anatomy.iter().all(|i| i.same_object.is_some());
@@ -67,16 +73,30 @@ fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: 
     table.row(vec![
         name.into(),
         anatomy.len().to_string(),
-        if all_same { "yes (claim 4.2.7 shape)".into() } else { "NO".into() },
+        if all_same {
+            "yes (claim 4.2.7 shape)".into()
+        } else {
+            "NO".into()
+        },
         kinds.into_iter().collect::<Vec<_>>().join(", "),
-        if register_free { "yes (claim 4.2.8 shape)".into() } else { "NO".into() },
+        if register_free {
+            "yes (claim 4.2.8 shape)".into()
+        } else {
+            "NO".into()
+        },
     ]);
 }
 
 fn main() {
     let mut table = Table::new(
         "F6 — critical configurations: all poised on one (non-register) object",
-        vec!["protocol", "critical configs", "same object?", "object kind(s)", "register-free?"],
+        vec![
+            "protocol",
+            "critical configs",
+            "same object?",
+            "object kind(s)",
+            "register-free?",
+        ],
     );
 
     let p = ConsensusViaObject::new(mixed_binary_inputs(2), ObjId(0));
@@ -87,7 +107,9 @@ fn main() {
     let objects = vec![AnyObject::consensus(3).expect("valid")];
     analyze("3-consensus race", &p, &objects, &mut table);
 
-    let p = WriteThenPropose { inputs: mixed_binary_inputs(2) };
+    let p = WriteThenPropose {
+        inputs: mixed_binary_inputs(2),
+    };
     let objects = vec![
         AnyObject::consensus(2).expect("valid"),
         AnyObject::register(),
@@ -95,14 +117,21 @@ fn main() {
     ];
     analyze("write registers, then propose", &p, &objects, &mut table);
 
-    let p = WriteThenPropose { inputs: mixed_binary_inputs(3) };
+    let p = WriteThenPropose {
+        inputs: mixed_binary_inputs(3),
+    };
     let objects = vec![
         AnyObject::consensus(3).expect("valid"),
         AnyObject::register(),
         AnyObject::register(),
         AnyObject::register(),
     ];
-    analyze("write registers, then propose (3p)", &p, &objects, &mut table);
+    analyze(
+        "write registers, then propose (3p)",
+        &p,
+        &objects,
+        &mut table,
+    );
 
     for (prim, name) in [
         (RacePrimitive::TestAndSet, "test-and-set consensus"),

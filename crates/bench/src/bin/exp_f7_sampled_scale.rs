@@ -20,9 +20,22 @@ use lbsa_protocols::set_agreement_protocols::{GroupSplitKSet, KSetViaPowerLevel}
 fn main() {
     let mut table = Table::new(
         "F7 — sampled safety checks beyond the exhaustive frontier",
-        vec!["workload", "processes", "k", "runs", "quiescent", "budget-stopped", "distinct outcomes", "verdict"],
+        vec![
+            "workload",
+            "processes",
+            "k",
+            "runs",
+            "quiescent",
+            "budget-stopped",
+            "distinct outcomes",
+            "verdict",
+        ],
     );
-    let config = SampleConfig { runs: 500, seed0: 0, max_steps: 50_000 };
+    let config = SampleConfig {
+        runs: 500,
+        seed0: 0,
+        max_steps: 50_000,
+    };
 
     // Algorithm 2 at n = 6, 8, 10: agreement/validity hold on every sampled
     // run; some runs hit the budget (retry-loop starvation — expected).
@@ -71,8 +84,16 @@ fn main() {
                 r.distinct_outcomes.to_string(),
                 "safety holds".into(),
             ],
-            Err(v) => vec!["group-split over O_4".to_string(), "12".into(), "3".into(),
-                String::new(), String::new(), String::new(), String::new(), format!("VIOLATED: {v}")],
+            Err(v) => vec![
+                "group-split over O_4".to_string(),
+                "12".into(),
+                "3".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("VIOLATED: {v}"),
+            ],
         };
         table.row(row);
     }
@@ -93,8 +114,16 @@ fn main() {
                 r.distinct_outcomes.to_string(),
                 "safety holds".into(),
             ],
-            Err(v) => vec!["O'_4 level 3".to_string(), "12".into(), "3".into(),
-                String::new(), String::new(), String::new(), String::new(), format!("VIOLATED: {v}")],
+            Err(v) => vec![
+                "O'_4 level 3".to_string(),
+                "12".into(),
+                "3".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("VIOLATED: {v}"),
+            ],
         };
         table.row(row);
     }

@@ -42,7 +42,8 @@ fn sweep(n: usize, values: &[Value], max_len: usize) -> SweepOutcome {
         // Lemma 3.2 at every prefix.
         let mut state = spec.initial_state();
         for (t, op) in ops.iter().enumerate() {
-            spec.apply_deterministic(&mut state, op).expect("well-formed ops");
+            spec.apply_deterministic(&mut state, op)
+                .expect("well-formed ops");
             if spec.is_upset(&state) == is_legal_pac_history(&ops[..=t]) {
                 out.lemma_3_2_ok = false;
             }
@@ -52,7 +53,10 @@ fn sweep(n: usize, values: &[Value], max_len: usize) -> SweepOutcome {
         } else {
             // Lemmas 3.3 / 3.4 on the final state.
             for i in 0..n {
-                let last = ops.iter().rev().find(|o| o.label().map(Label::to_index) == Some(i));
+                let last = ops
+                    .iter()
+                    .rev()
+                    .find(|o| o.label().map(Label::to_index) == Some(i));
                 let expected = match last {
                     Some(o) if o.is_pac_propose() => o.proposed_value().expect("propose"),
                     _ => Value::Nil,
@@ -81,9 +85,24 @@ fn sweep(n: usize, values: &[Value], max_len: usize) -> SweepOutcome {
 fn main() {
     let mut table = Table::new(
         "T1 — n-PAC sequential properties (exhaustive)",
-        vec!["n", "values", "max len", "sequences", "upset (final)", "L3.2", "L3.3/3.4", "T3.5"],
+        vec![
+            "n",
+            "values",
+            "max len",
+            "sequences",
+            "upset (final)",
+            "L3.2",
+            "L3.3/3.4",
+            "T3.5",
+        ],
     );
-    let ok = |b: bool| if b { "pass".to_string() } else { "FAIL".to_string() };
+    let ok = |b: bool| {
+        if b {
+            "pass".to_string()
+        } else {
+            "FAIL".to_string()
+        }
+    };
     for (n, vals, max_len) in [
         (1usize, vec![int(1), int(2)], 6usize),
         (2, vec![int(1), int(2)], 5),

@@ -16,7 +16,13 @@ use lbsa_protocols::dac::{all_binary_inputs, DacFromPac};
 fn main() {
     let mut table = Table::new(
         "T2 — Algorithm 2 solves n-DAC (Theorem 4.1), exhaustive",
-        vec!["n", "input vectors", "configs (total)", "transitions (total)", "verdict"],
+        vec![
+            "n",
+            "input vectors",
+            "configs (total)",
+            "transitions (total)",
+            "verdict",
+        ],
     );
     for n in [2usize, 3, 4] {
         let limits = Limits::new(2_000_000);
@@ -27,8 +33,7 @@ fn main() {
         let inputs_list = all_binary_inputs(n);
         let vectors = inputs_list.len();
         'outer: for inputs in inputs_list {
-            let protocol =
-                DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
+            let protocol = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
             let objects = vec![AnyObject::pac(n).expect("n >= 1")];
             let explorer = Explorer::new(&protocol, &objects);
             match check_dac(&explorer, &protocol.instance(), limits, solo_bound) {

@@ -53,14 +53,21 @@ fn main() {
             Ok(s) => format!("correct (control): {} configs checked", s.configs),
             Err(v) => format!("UNEXPECTEDLY REFUTED: {v}"),
         };
-        table.row(vec!["Algorithm 2 (3-DAC)".into(), "one 3-PAC".into(), verdict]);
+        table.row(vec![
+            "Algorithm 2 (3-DAC)".into(),
+            "one 3-PAC".into(),
+            verdict,
+        ]);
     }
 
     // Control 2: wait-for-winner within budget (2 processes, 2-consensus).
     {
         let inputs = mixed_binary_inputs(2);
         let p = WaitForWinner::new(inputs.clone());
-        let objects = vec![AnyObject::consensus(2).expect("valid"), AnyObject::register()];
+        let objects = vec![
+            AnyObject::consensus(2).expect("valid"),
+            AnyObject::register(),
+        ];
         let ex = Explorer::new(&p, &objects);
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Ok(s) => format!("correct (control): {} configs checked", s.configs),
@@ -77,7 +84,10 @@ fn main() {
     {
         let inputs = mixed_binary_inputs(3);
         let p = WaitForWinner::new(inputs.clone());
-        let objects = vec![AnyObject::consensus(2).expect("valid"), AnyObject::register()];
+        let objects = vec![
+            AnyObject::consensus(2).expect("valid"),
+            AnyObject::register(),
+        ];
         let ex = Explorer::new(&p, &objects);
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Err(v) => {
@@ -101,7 +111,10 @@ fn main() {
     {
         let inputs = mixed_binary_inputs(3);
         let p = SaThenConsensus::new(inputs.clone());
-        let objects = vec![AnyObject::strong_sa(), AnyObject::consensus(2).expect("valid")];
+        let objects = vec![
+            AnyObject::strong_sa(),
+            AnyObject::consensus(2).expect("valid"),
+        ];
         let ex = Explorer::new(&p, &objects);
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Err(v) => violation_kind(&v),
@@ -118,9 +131,15 @@ fn main() {
     {
         let inputs = mixed_binary_inputs(3);
         let p = DacWaitForWinner::new(inputs.clone(), Pid(0));
-        let objects = vec![AnyObject::consensus(2).expect("valid"), AnyObject::register()];
+        let objects = vec![
+            AnyObject::consensus(2).expect("valid"),
+            AnyObject::register(),
+        ];
         let ex = Explorer::new(&p, &objects);
-        let instance = DacInstance { distinguished: Pid(0), inputs };
+        let instance = DacInstance {
+            distinguished: Pid(0),
+            inputs,
+        };
         let verdict = match check_dac(&ex, &instance, limits, 18) {
             Err(v) => violation_kind(&v),
             Ok(_) => "NOT REFUTED (machinery bug)".to_string(),
@@ -147,7 +166,10 @@ fn main() {
         let mut objects = vec![AnyObject::consensus(2).expect("valid")];
         objects.extend((0..4).map(|_| AnyObject::register()));
         let ex = Explorer::new(&derived, &objects);
-        let instance = DacInstance { distinguished: Pid(0), inputs };
+        let instance = DacInstance {
+            distinguished: Pid(0),
+            inputs,
+        };
         let verdict = match check_dac(&ex, &instance, limits, 60) {
             Err(v) => violation_kind(&v),
             Ok(_) => "NOT REFUTED (machinery bug)".to_string(),

@@ -24,25 +24,94 @@ fn main() {
     );
 
     let cases: Vec<(String, AnyObject, Face, usize)> = vec![
-        ("1-consensus".into(), AnyObject::consensus(1).unwrap(), Face::Propose, 1),
-        ("2-consensus".into(), AnyObject::consensus(2).unwrap(), Face::Propose, 2),
-        ("3-consensus".into(), AnyObject::consensus(3).unwrap(), Face::Propose, 3),
-        ("4-consensus".into(), AnyObject::consensus(4).unwrap(), Face::Propose, 4),
-        ("2-SA (strong)".into(), AnyObject::strong_sa(), Face::Propose, 1),
-        ("(3,1)-SA".into(), AnyObject::set_agreement(3, 1).unwrap(), Face::Propose, 3),
-        ("(4,2)-SA".into(), AnyObject::set_agreement(4, 2).unwrap(), Face::Propose, 1),
-        ("(5,2)-PAC".into(), AnyObject::combined_pac(5, 2).unwrap(), Face::ProposeC, 2),
-        ("(2,3)-PAC".into(), AnyObject::combined_pac(2, 3).unwrap(), Face::ProposeC, 3),
-        ("O_2 = (3,2)-PAC".into(), AnyObject::o_n(2).unwrap(), Face::ProposeC, 2),
-        ("O_3 = (4,3)-PAC".into(), AnyObject::o_n(3).unwrap(), Face::ProposeC, 3),
-        ("O'_2 (K = 2)".into(), AnyObject::o_prime_n(2, 2).unwrap(), Face::PowerLevel1, 2),
-        ("O'_3 (K = 2)".into(), AnyObject::o_prime_n(3, 2).unwrap(), Face::PowerLevel1, 3),
+        (
+            "1-consensus".into(),
+            AnyObject::consensus(1).unwrap(),
+            Face::Propose,
+            1,
+        ),
+        (
+            "2-consensus".into(),
+            AnyObject::consensus(2).unwrap(),
+            Face::Propose,
+            2,
+        ),
+        (
+            "3-consensus".into(),
+            AnyObject::consensus(3).unwrap(),
+            Face::Propose,
+            3,
+        ),
+        (
+            "4-consensus".into(),
+            AnyObject::consensus(4).unwrap(),
+            Face::Propose,
+            4,
+        ),
+        (
+            "2-SA (strong)".into(),
+            AnyObject::strong_sa(),
+            Face::Propose,
+            1,
+        ),
+        (
+            "(3,1)-SA".into(),
+            AnyObject::set_agreement(3, 1).unwrap(),
+            Face::Propose,
+            3,
+        ),
+        (
+            "(4,2)-SA".into(),
+            AnyObject::set_agreement(4, 2).unwrap(),
+            Face::Propose,
+            1,
+        ),
+        (
+            "(5,2)-PAC".into(),
+            AnyObject::combined_pac(5, 2).unwrap(),
+            Face::ProposeC,
+            2,
+        ),
+        (
+            "(2,3)-PAC".into(),
+            AnyObject::combined_pac(2, 3).unwrap(),
+            Face::ProposeC,
+            3,
+        ),
+        (
+            "O_2 = (3,2)-PAC".into(),
+            AnyObject::o_n(2).unwrap(),
+            Face::ProposeC,
+            2,
+        ),
+        (
+            "O_3 = (4,3)-PAC".into(),
+            AnyObject::o_n(3).unwrap(),
+            Face::ProposeC,
+            3,
+        ),
+        (
+            "O'_2 (K = 2)".into(),
+            AnyObject::o_prime_n(2, 2).unwrap(),
+            Face::PowerLevel1,
+            2,
+        ),
+        (
+            "O'_3 (K = 2)".into(),
+            AnyObject::o_prime_n(3, 2).unwrap(),
+            Face::PowerLevel1,
+            3,
+        ),
     ];
 
     for (name, object, face, expected) in cases {
         match certified_consensus_number(&object, face, cap, limits) {
             Ok(cert) => {
-                let mark = if cert.level == expected { "" } else { "  <-- MISMATCH" };
+                let mark = if cert.level == expected {
+                    ""
+                } else {
+                    "  <-- MISMATCH"
+                };
                 table.row(vec![
                     name,
                     expected.to_string(),

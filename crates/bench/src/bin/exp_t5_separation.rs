@@ -21,7 +21,13 @@ fn main() {
     );
     let mut pipeline = Table::new(
         "T5b — separation pipeline (Cor. 6.6: same power, not equivalent)",
-        vec!["n", "powers match", "Lemma 6.4 histories", "candidate", "refutation"],
+        vec![
+            "n",
+            "powers match",
+            "Lemma 6.4 histories",
+            "candidate",
+            "refutation",
+        ],
     );
 
     for (n, max_k, seeds) in [(2usize, 2usize, 10u64), (3, 2, 6)] {
@@ -46,7 +52,10 @@ fn main() {
                         format!("{}", r.violation),
                     ]);
                 }
-                assert!(report.separation_established(), "pipeline incomplete for n = {n}");
+                assert!(
+                    report.separation_established(),
+                    "pipeline incomplete for n = {n}"
+                );
             }
             Err(e) => {
                 pipeline.row(vec![

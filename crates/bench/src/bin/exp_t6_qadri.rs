@@ -39,7 +39,10 @@ fn main() {
         .expect("certification must succeed");
     table.row(vec![
         "(4,2)-PAC consensus number".into(),
-        format!("level {} (upper bound exhaustive over {} configs)", cert.level, cert.upper.configs),
+        format!(
+            "level {} (upper bound exhaustive over {} configs)",
+            cert.level, cert.upper.configs
+        ),
     ]);
 
     // Step 2: 3-consensus is at level 3.
@@ -58,17 +61,27 @@ fn main() {
     let inner = DacFromPac::new(inputs.clone(), Pid(0), ObjId(0)).expect("4 >= 2");
     let procedure = CandidatePacProcedure::new(labels, ValAgreement::ConsensusObject);
     let v_registers: Vec<ObjId> = (2..2 + labels).map(ObjId).collect();
-    let frontends = vec![CandidatePacProcedure::frontend(ObjId(0), ObjId(1), v_registers)];
+    let frontends = vec![CandidatePacProcedure::frontend(
+        ObjId(0),
+        ObjId(1),
+        v_registers,
+    )];
     let derived = DerivedProtocol::new(&inner, &procedure, frontends);
     let mut objects = vec![AnyObject::consensus(3).expect("valid")];
     objects.extend((0..=labels).map(|_| AnyObject::register()));
     let explorer = Explorer::new(&derived, &objects);
-    let instance = DacInstance { distinguished: Pid(0), inputs };
+    let instance = DacInstance {
+        distinguished: Pid(0),
+        inputs,
+    };
     let verdict = match check_dac(&explorer, &instance, limits, 80) {
         Err(v) => format!("refuted: {v}"),
         Ok(_) => "NOT REFUTED (machinery bug)".to_string(),
     };
-    table.row(vec!["4-PAC face from 3-consensus + registers".into(), verdict]);
+    table.row(vec![
+        "4-PAC face from 3-consensus + registers".into(),
+        verdict,
+    ]);
 
     println!("{table}");
     println!("Reading: a deterministic object at level 2 resists implementation even");

@@ -40,7 +40,12 @@ fn main() {
             Ok(s) => format!("consensus verified ({} configs)", s.configs),
             Err(v) => format!("UNEXPECTED: {v}"),
         };
-        table.row(vec![name.into(), "direct (read-the-other)".into(), "2".into(), verdict]);
+        table.row(vec![
+            name.into(),
+            "direct (read-the-other)".into(),
+            "2".into(),
+            verdict,
+        ]);
 
         // Announce generalization: refuted at 2 and 3.
         for n in [2usize, 3] {
@@ -74,13 +79,22 @@ fn main() {
             Ok(s) => format!("consensus verified ({} configs)", s.configs),
             Err(v) => format!("UNEXPECTED: {v}"),
         };
-        table.row(vec!["compare-and-swap".into(), "CAS(nil -> input)".into(), n.to_string(), verdict]);
+        table.row(vec![
+            "compare-and-swap".into(),
+            "CAS(nil -> input)".into(),
+            n.to_string(),
+            verdict,
+        ]);
     }
 
     // The paper's objects, for contrast (same certification machinery).
     for (name, obj, face) in [
         ("O_2", AnyObject::o_n(2).expect("valid"), Face::ProposeC),
-        ("O'_2", AnyObject::o_prime_n(2, 2).expect("valid"), Face::PowerLevel1),
+        (
+            "O'_2",
+            AnyObject::o_prime_n(2, 2).expect("valid"),
+            Face::PowerLevel1,
+        ),
         ("O_3", AnyObject::o_n(3).expect("valid"), Face::ProposeC),
     ] {
         let cert = certified_consensus_number(&obj, face, 5, limits).expect("certifies");

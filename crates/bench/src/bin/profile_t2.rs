@@ -1,0 +1,24 @@
+//! Profiling harness: loops the T2 n=4 exploration so a sampling profiler
+//! has something to chew on. Not an experiment binary.
+
+use lbsa_bench::mixed_binary_inputs;
+use lbsa_core::{AnyObject, ObjId, Pid};
+use lbsa_explorer::{ExploreOptions, Explorer, Limits};
+use lbsa_protocols::dac::DacFromPac;
+use std::hint::black_box;
+
+fn main() {
+    let p = DacFromPac::new(mixed_binary_inputs(4), Pid(0), ObjId(0)).unwrap();
+    let objects = vec![AnyObject::pac(4).unwrap()];
+    let explorer = Explorer::new(&p, &objects);
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+    for _ in 0..iters {
+        let g = explorer
+            .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
+            .unwrap();
+        black_box(g.configs.len());
+    }
+}

@@ -41,8 +41,14 @@ mod tests {
 
     #[test]
     fn helpers() {
-        assert_eq!(distinct_inputs(3), vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
-        assert_eq!(mixed_binary_inputs(3), vec![Value::Int(1), Value::Int(0), Value::Int(0)]);
+        assert_eq!(
+            distinct_inputs(3),
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(
+            mixed_binary_inputs(3),
+            vec![Value::Int(1), Value::Int(0), Value::Int(0)]
+        );
         assert!(mixed_binary_inputs(0).is_empty());
     }
 }

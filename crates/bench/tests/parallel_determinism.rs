@@ -1,0 +1,233 @@
+//! Parallel determinism: the exploration engine must build **byte-identical**
+//! execution graphs for every worker thread count — node indices, edge
+//! order, truncation behaviour, everything. These tests pin that contract on
+//! the real experiment workloads (Algorithm 2), on an intentionally cyclic
+//! protocol, and on randomized small protocols.
+
+use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
+use lbsa_explorer::{ExplorationGraph, ExploreOptions, Explorer, Limits};
+use lbsa_protocols::dac::DacFromPac;
+use lbsa_runtime::process::{Protocol, Step};
+use lbsa_support::check::run_cases;
+use lbsa_support::rng::SmallRng;
+
+/// Field-by-field graph equality with a readable failure message.
+/// (`ExplorationGraph` deliberately does not implement `PartialEq`; graphs
+/// from different explorations are not meant to be compared in production
+/// code.)
+fn assert_same_graph<L: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+    a: &ExplorationGraph<L>,
+    b: &ExplorationGraph<L>,
+    what: &str,
+) {
+    assert_eq!(a.configs, b.configs, "{what}: configurations differ");
+    assert_eq!(a.edges, b.edges, "{what}: edges differ");
+    assert_eq!(a.expanded, b.expanded, "{what}: expanded flags differ");
+    assert_eq!(a.complete, b.complete, "{what}: completeness differs");
+    assert_eq!(
+        a.transitions, b.transitions,
+        "{what}: transition counts differ"
+    );
+}
+
+fn explore_with_threads<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    limits: Limits,
+    threads: usize,
+) -> ExplorationGraph<P::LocalState> {
+    explorer
+        .explore_with(ExploreOptions::new(limits).with_threads(threads))
+        .expect("exploration succeeds")
+}
+
+fn mixed_binary_inputs(count: usize) -> Vec<Value> {
+    (0..count).map(|i| Value::Int((i % 2) as i64)).collect()
+}
+
+#[test]
+fn t2_dac_graphs_are_thread_count_independent() {
+    for n in [2usize, 3] {
+        let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
+        let objects = vec![AnyObject::pac(n).unwrap()];
+        let explorer = Explorer::new(&p, &objects);
+        let sequential = explore_with_threads(&explorer, Limits::default(), 1);
+        assert!(sequential.complete);
+        for threads in [2usize, 3, 8] {
+            let parallel = explore_with_threads(&explorer, Limits::default(), threads);
+            assert_same_graph(
+                &sequential,
+                &parallel,
+                &format!("T2 n={n}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn t2_dac_truncated_graphs_are_thread_count_independent() {
+    let p = DacFromPac::new(mixed_binary_inputs(3), Pid(0), ObjId(0)).unwrap();
+    let objects = vec![AnyObject::pac(3).unwrap()];
+    let explorer = Explorer::new(&p, &objects);
+    for budget in [1usize, 7, 40] {
+        let sequential = explore_with_threads(&explorer, Limits::new(budget), 1);
+        assert!(!sequential.complete || budget >= 40);
+        for threads in [2usize, 4] {
+            let parallel = explore_with_threads(&explorer, Limits::new(budget), threads);
+            assert_same_graph(
+                &sequential,
+                &parallel,
+                &format!("T2 n=3 truncated to {budget}, {threads} threads"),
+            );
+        }
+    }
+}
+
+/// One process proposing to a 2-SA object forever: the graph is a cycle, so
+/// the frontier never drains by termination — only by deduplication.
+#[derive(Debug)]
+struct ForeverProposer;
+
+impl Protocol for ForeverProposer {
+    type LocalState = ();
+
+    fn num_processes(&self) -> usize {
+        1
+    }
+
+    fn init(&self, _pid: Pid) {}
+
+    fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+        (ObjId(0), Op::Propose(Value::Int(1)))
+    }
+
+    fn on_response(&self, _pid: Pid, _s: &(), _resp: Value) -> Step<()> {
+        Step::Continue(())
+    }
+}
+
+#[test]
+fn cyclic_graphs_are_thread_count_independent() {
+    let p = ForeverProposer;
+    let objects = vec![AnyObject::strong_sa()];
+    let explorer = Explorer::new(&p, &objects);
+    let sequential = explore_with_threads(&explorer, Limits::default(), 1);
+    assert!(
+        sequential.complete,
+        "finite state space despite the infinite execution"
+    );
+    assert!(sequential.has_cycle());
+    for threads in [2usize, 5] {
+        let parallel = explore_with_threads(&explorer, Limits::default(), threads);
+        assert_same_graph(
+            &sequential,
+            &parallel,
+            &format!("cyclic, {threads} threads"),
+        );
+    }
+}
+
+/// What a [`ScriptedProtocol`] process does with the response it got, as a
+/// function of its current phase.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum ScriptEntry {
+    /// Decide a scripted constant.
+    Decide(i64),
+    /// Decide whatever the object responded.
+    DecideResponse,
+    /// Advance to the next phase (wrapping — cycles are intended).
+    Continue,
+}
+
+/// A randomly generated protocol: each process walks a small cyclic phase
+/// script, proposing scripted values and deciding per its script. Pure by
+/// construction, so it satisfies the determinism contract the engine
+/// relies on, while exercising cycles, asymmetric processes, and (on
+/// nondeterministic objects) multi-outcome branching.
+#[derive(Debug)]
+struct ScriptedProtocol {
+    phases: usize,
+    /// `script[pid][phase]`.
+    script: Vec<Vec<ScriptEntry>>,
+    /// `proposal[pid][phase]`.
+    proposal: Vec<Vec<i64>>,
+}
+
+impl ScriptedProtocol {
+    fn random(rng: &mut SmallRng, n: usize, phases: usize) -> Self {
+        let script = (0..n)
+            .map(|_| {
+                (0..phases)
+                    .map(|_| match rng.random_range(0..4) {
+                        0 => ScriptEntry::Decide(rng.i64_range(0..3)),
+                        1 => ScriptEntry::DecideResponse,
+                        _ => ScriptEntry::Continue,
+                    })
+                    .collect()
+            })
+            .collect();
+        let proposal = (0..n)
+            .map(|_| (0..phases).map(|_| rng.i64_range(0..3)).collect())
+            .collect();
+        ScriptedProtocol {
+            phases,
+            script,
+            proposal,
+        }
+    }
+}
+
+impl Protocol for ScriptedProtocol {
+    type LocalState = u8;
+
+    fn num_processes(&self) -> usize {
+        self.script.len()
+    }
+
+    fn init(&self, _pid: Pid) -> u8 {
+        0
+    }
+
+    fn pending_op(&self, pid: Pid, phase: &u8) -> (ObjId, Op) {
+        (
+            ObjId(0),
+            Op::Propose(Value::Int(self.proposal[pid.index()][*phase as usize])),
+        )
+    }
+
+    fn on_response(&self, pid: Pid, phase: &u8, resp: Value) -> Step<u8> {
+        match &self.script[pid.index()][*phase as usize] {
+            ScriptEntry::Decide(v) => Step::Decide(Value::Int(*v)),
+            ScriptEntry::DecideResponse => Step::Decide(resp),
+            ScriptEntry::Continue => Step::Continue(((*phase as usize + 1) % self.phases) as u8),
+        }
+    }
+}
+
+#[test]
+fn random_small_protocols_are_thread_count_independent() {
+    run_cases("parallel determinism on random protocols", 40, |rng| {
+        let n = rng.random_range(1..4);
+        let phases = rng.random_range(1..4);
+        let p = ScriptedProtocol::random(rng, n, phases);
+        let objects = vec![if rng.ratio(1, 2) {
+            AnyObject::consensus(n).unwrap()
+        } else {
+            AnyObject::strong_sa()
+        }];
+        let explorer = Explorer::new(&p, &objects);
+        // Mix complete and truncated explorations.
+        let limits = if rng.ratio(1, 3) {
+            Limits::new(rng.random_range(1..30))
+        } else {
+            Limits::default()
+        };
+        let sequential = explore_with_threads(&explorer, limits, 1);
+        let threads = rng.random_range(2..7);
+        let parallel = explore_with_threads(&explorer, limits, threads);
+        assert_same_graph(
+            &sequential,
+            &parallel,
+            &format!("random protocol n={n} phases={phases} threads={threads}"),
+        );
+    });
+}

@@ -233,7 +233,10 @@ impl AnyObject {
     }
 
     fn mismatch(&self, state: &AnyState) -> SpecError {
-        SpecError::StateMismatch { object: self.name(), state: state.family() }
+        SpecError::StateMismatch {
+            object: self.name(),
+            state: state.family(),
+        }
     }
 }
 
@@ -281,7 +284,10 @@ impl ObjectSpec for AnyObject {
                 };
                 let outs = $obj.outcomes(inner, op)?;
                 Ok(Outcomes::from_vec(
-                    outs.into_vec().into_iter().map(|(r, s)| (r, AnyState::$variant(s))).collect(),
+                    outs.into_vec()
+                        .into_iter()
+                        .map(|(r, s)| (r, AnyState::$variant(s)))
+                        .collect(),
                 ))
             }};
         }
@@ -334,7 +340,10 @@ mod tests {
             (AnyObject::set_agreement(3, 2).unwrap(), Op::Propose(int(1))),
             (AnyObject::combined_pac(2, 2).unwrap(), Op::ProposeC(int(1))),
             (AnyObject::o_n(2).unwrap(), Op::ProposeP(int(1), l1)),
-            (AnyObject::o_prime_n(2, 2).unwrap(), Op::ProposeAt(int(1), 2)),
+            (
+                AnyObject::o_prime_n(2, 2).unwrap(),
+                Op::ProposeAt(int(1), 2),
+            ),
             (AnyObject::test_and_set(), Op::TestAndSet),
             (AnyObject::fetch_add(), Op::FetchAdd(2)),
             (AnyObject::cas(), Op::CompareAndSwap(Value::Nil, int(1))),
@@ -342,9 +351,9 @@ mod tests {
         ];
         for (obj, op) in cases {
             let state = obj.initial_state();
-            let outs = obj.outcomes(&state, &op).unwrap_or_else(|e| {
-                panic!("{} rejected its own op {op}: {e}", obj.name())
-            });
+            let outs = obj
+                .outcomes(&state, &op)
+                .unwrap_or_else(|e| panic!("{} rejected its own op {op}: {e}", obj.name()));
             assert!(!outs.is_empty());
         }
     }
@@ -354,7 +363,13 @@ mod tests {
         let reg = AnyObject::register();
         let cons_state = AnyObject::consensus(2).unwrap().initial_state();
         let err = reg.outcomes(&cons_state, &Op::Read).unwrap_err();
-        assert_eq!(err, SpecError::StateMismatch { object: "register", state: "n-consensus" });
+        assert_eq!(
+            err,
+            SpecError::StateMismatch {
+                object: "register",
+                state: "n-consensus"
+            }
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl CombinedPacSpec {
     ///
     /// Returns [`SpecError::InvalidArity`] if `n == 0` or `m == 0`.
     pub fn new(n: usize, m: usize) -> Result<Self, SpecError> {
-        Ok(CombinedPacSpec { pac: PacSpec::new(n)?, consensus: ConsensusSpec::new(m)? })
+        Ok(CombinedPacSpec {
+            pac: PacSpec::new(n)?,
+            consensus: ConsensusSpec::new(m)?,
+        })
     }
 
     /// Creates the paper's object `Oₙ = (n+1, n)-PAC` (Definition 6.1).
@@ -81,7 +84,11 @@ impl CombinedPacSpec {
     /// separation result is for levels `n >= 2` of the hierarchy).
     pub fn o_n(n: usize) -> Result<Self, SpecError> {
         if n < 2 {
-            return Err(SpecError::InvalidArity { what: "n", got: n, min: 2 });
+            return Err(SpecError::InvalidArity {
+                what: "n",
+                got: n,
+                min: 2,
+            });
         }
         CombinedPacSpec::new(n + 1, n)
     }
@@ -138,19 +145,42 @@ impl ObjectSpec for CombinedPacSpec {
     ) -> Result<Outcomes<CombinedPacState>, SpecError> {
         match op {
             Op::ProposeC(v) => {
-                let (resp, cons) =
-                    self.consensus.outcomes(&state.consensus, &Op::Propose(*v))?.into_single();
-                Ok(Outcomes::single(resp, CombinedPacState { pac: state.pac.clone(), consensus: cons }))
+                let (resp, cons) = self
+                    .consensus
+                    .outcomes(&state.consensus, &Op::Propose(*v))?
+                    .into_single();
+                Ok(Outcomes::single(
+                    resp,
+                    CombinedPacState {
+                        pac: state.pac.clone(),
+                        consensus: cons,
+                    },
+                ))
             }
             Op::ProposeP(v, label) => {
                 let (resp, pac) = self.pac.propose(&state.pac, *v, *label)?;
-                Ok(Outcomes::single(resp, CombinedPacState { pac, consensus: state.consensus }))
+                Ok(Outcomes::single(
+                    resp,
+                    CombinedPacState {
+                        pac,
+                        consensus: state.consensus,
+                    },
+                ))
             }
             Op::DecideP(label) => {
                 let (resp, pac) = self.pac.decide(&state.pac, *label)?;
-                Ok(Outcomes::single(resp, CombinedPacState { pac, consensus: state.consensus }))
+                Ok(Outcomes::single(
+                    resp,
+                    CombinedPacState {
+                        pac,
+                        consensus: state.consensus,
+                    },
+                ))
             }
-            other => Err(SpecError::UnsupportedOp { object: "(n,m)-PAC", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "(n,m)-PAC",
+                op: *other,
+            }),
         }
     }
 }
@@ -183,18 +213,35 @@ mod tests {
         // Consensus traffic does not set PAC's L: PROPOSEC between a PAC
         // propose/decide pair must NOT make the decide return ⊥, because
         // the components are separate objects glued behind one interface.
-        obj.apply_deterministic(&mut s, &Op::ProposeP(int(3), l(1))).unwrap();
-        obj.apply_deterministic(&mut s, &Op::ProposeC(int(4))).unwrap();
-        assert_eq!(obj.apply_deterministic(&mut s, &Op::DecideP(l(1))).unwrap(), int(3));
+        obj.apply_deterministic(&mut s, &Op::ProposeP(int(3), l(1)))
+            .unwrap();
+        obj.apply_deterministic(&mut s, &Op::ProposeC(int(4)))
+            .unwrap();
+        assert_eq!(
+            obj.apply_deterministic(&mut s, &Op::DecideP(l(1))).unwrap(),
+            int(3)
+        );
     }
 
     #[test]
     fn consensus_face_budget() {
         let obj = CombinedPacSpec::new(3, 2).unwrap();
         let mut s = obj.initial_state();
-        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(1))).unwrap(), int(1));
-        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(2))).unwrap(), int(1));
-        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(3))).unwrap(), Value::Bot);
+        assert_eq!(
+            obj.apply_deterministic(&mut s, &Op::ProposeC(int(1)))
+                .unwrap(),
+            int(1)
+        );
+        assert_eq!(
+            obj.apply_deterministic(&mut s, &Op::ProposeC(int(2)))
+                .unwrap(),
+            int(1)
+        );
+        assert_eq!(
+            obj.apply_deterministic(&mut s, &Op::ProposeC(int(3)))
+                .unwrap(),
+            Value::Bot
+        );
     }
 
     #[test]
@@ -204,7 +251,11 @@ mod tests {
         obj.apply_deterministic(&mut s, &Op::DecideP(l(1))).unwrap(); // upset
         assert!(obj.is_upset(&s));
         // The consensus face keeps working even when the PAC face is upset.
-        assert_eq!(obj.apply_deterministic(&mut s, &Op::ProposeC(int(7))).unwrap(), int(7));
+        assert_eq!(
+            obj.apply_deterministic(&mut s, &Op::ProposeC(int(7)))
+                .unwrap(),
+            int(7)
+        );
     }
 
     #[test]
@@ -214,9 +265,16 @@ mod tests {
         // objects, not the combination.
         let obj = CombinedPacSpec::new(2, 2).unwrap();
         let s = obj.initial_state();
-        for op in [Op::Propose(int(1)), Op::ProposePac(int(1), l(1)), Op::DecidePac(l(1)), Op::Read]
-        {
-            assert!(matches!(obj.outcomes(&s, &op), Err(SpecError::UnsupportedOp { .. })));
+        for op in [
+            Op::Propose(int(1)),
+            Op::ProposePac(int(1), l(1)),
+            Op::DecidePac(l(1)),
+            Op::Read,
+        ] {
+            assert!(matches!(
+                obj.outcomes(&s, &op),
+                Err(SpecError::UnsupportedOp { .. })
+            ));
         }
     }
 

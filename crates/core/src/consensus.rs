@@ -63,7 +63,11 @@ impl ConsensusSpec {
     /// Returns [`SpecError::InvalidArity`] if `n == 0`.
     pub fn new(n: usize) -> Result<Self, SpecError> {
         if n == 0 {
-            return Err(SpecError::InvalidArity { what: "n", got: 0, min: 1 });
+            return Err(SpecError::InvalidArity {
+                what: "n",
+                got: 0,
+                min: 1,
+            });
         }
         Ok(ConsensusSpec { n })
     }
@@ -90,10 +94,17 @@ impl ObjectSpec for ConsensusSpec {
     }
 
     fn initial_state(&self) -> ConsensusState {
-        ConsensusState { winner: Value::Nil, used: 0 }
+        ConsensusState {
+            winner: Value::Nil,
+            used: 0,
+        }
     }
 
-    fn outcomes(&self, state: &ConsensusState, op: &Op) -> Result<Outcomes<ConsensusState>, SpecError> {
+    fn outcomes(
+        &self,
+        state: &ConsensusState,
+        op: &Op,
+    ) -> Result<Outcomes<ConsensusState>, SpecError> {
         match op {
             Op::Propose(v) => {
                 check_proposable(*v)?;
@@ -101,12 +112,22 @@ impl ObjectSpec for ConsensusSpec {
                     // Exhausted: ⊥ forever, state frozen (finite state space).
                     Ok(Outcomes::single(Value::Bot, *state))
                 } else {
-                    let winner = if state.winner.is_nil() { *v } else { state.winner };
-                    let next = ConsensusState { winner, used: state.used + 1 };
+                    let winner = if state.winner.is_nil() {
+                        *v
+                    } else {
+                        state.winner
+                    };
+                    let next = ConsensusState {
+                        winner,
+                        used: state.used + 1,
+                    };
                     Ok(Outcomes::single(winner, next))
                 }
             }
-            other => Err(SpecError::UnsupportedOp { object: "n-consensus", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "n-consensus",
+                op: *other,
+            }),
         }
     }
 }
@@ -124,7 +145,11 @@ mod tests {
     fn rejects_zero_arity() {
         assert!(matches!(
             ConsensusSpec::new(0),
-            Err(SpecError::InvalidArity { what: "n", got: 0, min: 1 })
+            Err(SpecError::InvalidArity {
+                what: "n",
+                got: 0,
+                min: 1
+            })
         ));
     }
 
@@ -135,7 +160,11 @@ mod tests {
             let mut s = cons.initial_state();
             for i in 0..n {
                 let resp = propose(&cons, &mut s, 100 + i as i64);
-                assert_eq!(resp, int(100), "op {i} of n = {n} must return the first value");
+                assert_eq!(
+                    resp,
+                    int(100),
+                    "op {i} of n = {n} must return the first value"
+                );
             }
             // Every op past the budget returns ⊥.
             for _ in 0..3 {
@@ -152,7 +181,10 @@ mod tests {
         let frozen = s;
         propose(&cons, &mut s, 2);
         propose(&cons, &mut s, 3);
-        assert_eq!(s, frozen, "post-exhaustion operations must not grow the state space");
+        assert_eq!(
+            s, frozen,
+            "post-exhaustion operations must not grow the state space"
+        );
         assert!(cons.is_exhausted(&s));
     }
 
@@ -187,7 +219,10 @@ mod tests {
         for op in [Op::Read, Op::Write(int(1)), Op::ProposeC(int(1))] {
             assert!(matches!(
                 cons.outcomes(&s, &op),
-                Err(SpecError::UnsupportedOp { object: "n-consensus", .. })
+                Err(SpecError::UnsupportedOp {
+                    object: "n-consensus",
+                    ..
+                })
             ));
         }
     }

@@ -83,20 +83,29 @@ impl fmt::Display for SpecError {
                 write!(f, "{object} object does not support operation {op}")
             }
             SpecError::LabelOutOfRange { label, n } => {
-                write!(f, "label {label} is out of range for an object with n = {n}")
+                write!(
+                    f,
+                    "label {label} is out of range for an object with n = {n}"
+                )
             }
             SpecError::ZeroLabel => write!(f, "labels are 1-based; 0 is not a valid label"),
             SpecError::ReservedValue(v) => {
                 write!(f, "reserved value {v} may not be proposed")
             }
             SpecError::InvalidArity { what, got, min } => {
-                write!(f, "invalid arity: {what} = {got}, but {what} must be at least {min}")
+                write!(
+                    f,
+                    "invalid arity: {what} = {got}, but {what} must be at least {min}"
+                )
             }
             SpecError::StateMismatch { object, state } => {
                 write!(f, "{object} object was given a {state} state")
             }
             SpecError::PowerLevelOutOfRange { k, max_k } => {
-                write!(f, "power object has no component for k = {k} (max materialized k is {max_k})")
+                write!(
+                    f,
+                    "power object has no component for k = {k} (max materialized k is {max_k})"
+                )
             }
         }
     }
@@ -112,18 +121,30 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<SpecError> = vec![
-            SpecError::UnsupportedOp { object: "register", op: Op::Propose(Value::Int(1)) },
+            SpecError::UnsupportedOp {
+                object: "register",
+                op: Op::Propose(Value::Int(1)),
+            },
             SpecError::LabelOutOfRange { label: 5, n: 3 },
             SpecError::ZeroLabel,
             SpecError::ReservedValue(Value::Bot),
-            SpecError::InvalidArity { what: "n", got: 0, min: 1 },
-            SpecError::StateMismatch { object: "consensus", state: "register" },
+            SpecError::InvalidArity {
+                what: "n",
+                got: 0,
+                min: 1,
+            },
+            SpecError::StateMismatch {
+                object: "consensus",
+                state: "register",
+            },
             SpecError::PowerLevelOutOfRange { k: 9, max_k: 4 },
         ];
         for err in cases {
             let msg = err.to_string();
             assert!(!msg.is_empty());
-            assert!(msg.chars().next().unwrap().is_lowercase() || !msg.starts_with(char::is_uppercase));
+            assert!(
+                msg.chars().next().unwrap().is_lowercase() || !msg.starts_with(char::is_uppercase)
+            );
         }
     }
 

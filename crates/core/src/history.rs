@@ -192,7 +192,10 @@ pub fn check_pac_validity(history: &[Event]) -> Result<(), PacViolation> {
     let mut grounded: Vec<Value> = Vec::new();
     for (j, m) in matches.iter().enumerate() {
         if let Some(i) = m {
-            let proposed = history[*i].op.proposed_value().expect("propose has a value");
+            let proposed = history[*i]
+                .op
+                .proposed_value()
+                .expect("propose has a value");
             if history[j].response == proposed {
                 grounded.push(proposed);
             }
@@ -200,7 +203,10 @@ pub fn check_pac_validity(history: &[Event]) -> Result<(), PacViolation> {
     }
     for (idx, ev) in history.iter().enumerate() {
         if ev.op.is_pac_decide() && !ev.response.is_bot() && !grounded.contains(&ev.response) {
-            return Err(PacViolation::Validity { at: idx, value: ev.response });
+            return Err(PacViolation::Validity {
+                at: idx,
+                value: ev.response,
+            });
         }
     }
     Ok(())
@@ -221,11 +227,15 @@ pub fn check_pac_nontriviality(history: &[Event]) -> Result<(), PacViolation> {
             continue;
         }
         let prefix_illegal = !is_legal_pac_history(&ops[..idx]);
-        let no_matching_predecessor = idx == 0
-            || !(ops[idx - 1].is_pac_propose() && ops[idx - 1].label() == ev.op.label());
+        let no_matching_predecessor =
+            idx == 0 || !(ops[idx - 1].is_pac_propose() && ops[idx - 1].label() == ev.op.label());
         let expected_bot = prefix_illegal || no_matching_predecessor;
         if expected_bot != ev.response.is_bot() {
-            return Err(PacViolation::Nontriviality { at: idx, expected_bot, got: ev.response });
+            return Err(PacViolation::Nontriviality {
+                at: idx,
+                expected_bot,
+                got: ev.response,
+            });
         }
     }
     Ok(())
@@ -255,7 +265,10 @@ pub fn run_pac(spec: &PacSpec, ops: &[Op]) -> Result<Vec<Event>, SpecError> {
     ops.iter()
         .map(|op| {
             let resp = spec.apply_deterministic(&mut state, op)?;
-            Ok(Event { op: *op, response: resp })
+            Ok(Event {
+                op: *op,
+                response: resp,
+            })
         })
         .collect()
 }
@@ -326,8 +339,18 @@ mod tests {
 
     #[test]
     fn alternation_per_label() {
-        assert!(is_legal_pac_history(&[prop(1, 1), dec(1), prop(2, 1), dec(1)]));
-        assert!(is_legal_pac_history(&[prop(1, 1), prop(2, 2), dec(1), dec(2)]));
+        assert!(is_legal_pac_history(&[
+            prop(1, 1),
+            dec(1),
+            prop(2, 1),
+            dec(1)
+        ]));
+        assert!(is_legal_pac_history(&[
+            prop(1, 1),
+            prop(2, 2),
+            dec(1),
+            dec(2)
+        ]));
         assert!(!is_legal_pac_history(&[dec(1)]));
         assert!(!is_legal_pac_history(&[prop(1, 1), prop(2, 1)]));
         assert!(!is_legal_pac_history(&[prop(1, 1), dec(1), dec(1)]));
@@ -335,7 +358,12 @@ mod tests {
 
     #[test]
     fn legality_ignores_non_pac_ops() {
-        assert!(is_legal_pac_history(&[Op::Read, prop(1, 1), Op::Write(int(3)), dec(1)]));
+        assert!(is_legal_pac_history(&[
+            Op::Read,
+            prop(1, 1),
+            Op::Write(int(3)),
+            dec(1)
+        ]));
     }
 
     #[test]
@@ -423,46 +451,96 @@ mod tests {
     fn checkers_catch_fabricated_violations() {
         // Agreement violation: two decides with different non-⊥ values.
         let bad = vec![
-            Event { op: prop(1, 1), response: Value::Done },
-            Event { op: dec(1), response: int(1) },
-            Event { op: prop(2, 2), response: Value::Done },
-            Event { op: dec(2), response: int(2) },
+            Event {
+                op: prop(1, 1),
+                response: Value::Done,
+            },
+            Event {
+                op: dec(1),
+                response: int(1),
+            },
+            Event {
+                op: prop(2, 2),
+                response: Value::Done,
+            },
+            Event {
+                op: dec(2),
+                response: int(2),
+            },
         ];
-        assert!(matches!(check_pac_agreement(&bad), Err(PacViolation::Agreement { .. })));
+        assert!(matches!(
+            check_pac_agreement(&bad),
+            Err(PacViolation::Agreement { .. })
+        ));
 
         // Validity violation: decide returns a value never proposed.
         let bad = vec![
-            Event { op: prop(1, 1), response: Value::Done },
-            Event { op: dec(1), response: int(9) },
+            Event {
+                op: prop(1, 1),
+                response: Value::Done,
+            },
+            Event {
+                op: dec(1),
+                response: int(9),
+            },
         ];
-        assert!(matches!(check_pac_validity(&bad), Err(PacViolation::Validity { .. })));
+        assert!(matches!(
+            check_pac_validity(&bad),
+            Err(PacViolation::Validity { .. })
+        ));
 
         // Nontriviality violation: a clean pair returned ⊥.
         let bad = vec![
-            Event { op: prop(1, 1), response: Value::Done },
-            Event { op: dec(1), response: Value::Bot },
+            Event {
+                op: prop(1, 1),
+                response: Value::Done,
+            },
+            Event {
+                op: dec(1),
+                response: Value::Bot,
+            },
         ];
         assert!(matches!(
             check_pac_nontriviality(&bad),
-            Err(PacViolation::Nontriviality { expected_bot: false, .. })
+            Err(PacViolation::Nontriviality {
+                expected_bot: false,
+                ..
+            })
         ));
 
         // Nontriviality violation the other way: an unmatched decide that
         // claims a value.
-        let bad = vec![Event { op: dec(1), response: int(1) }];
+        let bad = vec![Event {
+            op: dec(1),
+            response: int(1),
+        }];
         assert!(matches!(
             check_pac_nontriviality(&bad),
-            Err(PacViolation::Nontriviality { expected_bot: true, .. })
+            Err(PacViolation::Nontriviality {
+                expected_bot: true,
+                ..
+            })
         ));
     }
 
     #[test]
     fn violation_display_forms() {
-        let v = PacViolation::Agreement { first: 0, second: 2, values: (int(1), int(2)) };
+        let v = PacViolation::Agreement {
+            first: 0,
+            second: 2,
+            values: (int(1), int(2)),
+        };
         assert!(v.to_string().contains("agreement"));
-        let v = PacViolation::Validity { at: 3, value: int(9) };
+        let v = PacViolation::Validity {
+            at: 3,
+            value: int(9),
+        };
         assert!(v.to_string().contains("validity"));
-        let v = PacViolation::Nontriviality { at: 1, expected_bot: true, got: int(1) };
+        let v = PacViolation::Nontriviality {
+            at: 1,
+            expected_bot: true,
+            got: int(1),
+        };
         assert!(v.to_string().contains("nontriviality"));
     }
 

@@ -153,12 +153,30 @@ mod tests {
 
     #[test]
     fn proposed_value_extraction() {
-        assert_eq!(Op::Write(Value::Int(1)).proposed_value(), Some(Value::Int(1)));
-        assert_eq!(Op::Propose(Value::Int(2)).proposed_value(), Some(Value::Int(2)));
-        assert_eq!(Op::ProposePac(Value::Int(3), l(1)).proposed_value(), Some(Value::Int(3)));
-        assert_eq!(Op::ProposeC(Value::Int(4)).proposed_value(), Some(Value::Int(4)));
-        assert_eq!(Op::ProposeP(Value::Int(5), l(2)).proposed_value(), Some(Value::Int(5)));
-        assert_eq!(Op::ProposeAt(Value::Int(6), 3).proposed_value(), Some(Value::Int(6)));
+        assert_eq!(
+            Op::Write(Value::Int(1)).proposed_value(),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            Op::Propose(Value::Int(2)).proposed_value(),
+            Some(Value::Int(2))
+        );
+        assert_eq!(
+            Op::ProposePac(Value::Int(3), l(1)).proposed_value(),
+            Some(Value::Int(3))
+        );
+        assert_eq!(
+            Op::ProposeC(Value::Int(4)).proposed_value(),
+            Some(Value::Int(4))
+        );
+        assert_eq!(
+            Op::ProposeP(Value::Int(5), l(2)).proposed_value(),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            Op::ProposeAt(Value::Int(6), 3).proposed_value(),
+            Some(Value::Int(6))
+        );
         assert_eq!(Op::Read.proposed_value(), None);
         assert_eq!(Op::DecidePac(l(1)).proposed_value(), None);
         assert_eq!(Op::DecideP(l(1)).proposed_value(), None);
@@ -194,7 +212,10 @@ mod tests {
 
     #[test]
     fn primitive_ops_classification() {
-        assert_eq!(Op::Enqueue(Value::Int(2)).proposed_value(), Some(Value::Int(2)));
+        assert_eq!(
+            Op::Enqueue(Value::Int(2)).proposed_value(),
+            Some(Value::Int(2))
+        );
         assert_eq!(
             Op::CompareAndSwap(Value::Nil, Value::Int(3)).proposed_value(),
             Some(Value::Int(3))
@@ -223,11 +244,20 @@ mod tests {
         assert_eq!(Op::Read.to_string(), "READ");
         assert_eq!(Op::Write(Value::Int(7)).to_string(), "WRITE(7)");
         assert_eq!(Op::Propose(Value::Int(1)).to_string(), "PROPOSE(1)");
-        assert_eq!(Op::ProposePac(Value::Int(1), l(2)).to_string(), "PROPOSE(1, 2)");
+        assert_eq!(
+            Op::ProposePac(Value::Int(1), l(2)).to_string(),
+            "PROPOSE(1, 2)"
+        );
         assert_eq!(Op::DecidePac(l(2)).to_string(), "DECIDE(2)");
         assert_eq!(Op::ProposeC(Value::Int(1)).to_string(), "PROPOSEC(1)");
-        assert_eq!(Op::ProposeP(Value::Int(1), l(1)).to_string(), "PROPOSEP(1, 1)");
+        assert_eq!(
+            Op::ProposeP(Value::Int(1), l(1)).to_string(),
+            "PROPOSEP(1, 1)"
+        );
         assert_eq!(Op::DecideP(l(1)).to_string(), "DECIDEP(1)");
-        assert_eq!(Op::ProposeAt(Value::Int(1), 4).to_string(), "PROPOSE(1, k=4)");
+        assert_eq!(
+            Op::ProposeAt(Value::Int(1), 4).to_string(),
+            "PROPOSE(1, k=4)"
+        );
     }
 }

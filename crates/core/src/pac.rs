@@ -42,7 +42,12 @@ pub struct PacState {
 
 impl PacState {
     fn fresh(n: usize) -> Self {
-        PacState { upset: false, v: vec![Value::Nil; n], l: None, val: Value::Nil }
+        PacState {
+            upset: false,
+            v: vec![Value::Nil; n],
+            l: None,
+            val: Value::Nil,
+        }
     }
 }
 
@@ -88,7 +93,11 @@ impl PacSpec {
     /// Returns [`SpecError::InvalidArity`] if `n == 0`.
     pub fn new(n: usize) -> Result<Self, SpecError> {
         if n == 0 {
-            return Err(SpecError::InvalidArity { what: "n", got: 0, min: 1 });
+            return Err(SpecError::InvalidArity {
+                what: "n",
+                got: 0,
+                min: 1,
+            });
         }
         Ok(PacSpec { n })
     }
@@ -109,7 +118,10 @@ impl PacSpec {
         if label.in_range(self.n) {
             Ok(label.to_index())
         } else {
-            Err(SpecError::LabelOutOfRange { label: label.get(), n: self.n })
+            Err(SpecError::LabelOutOfRange {
+                label: label.get(),
+                n: self.n,
+            })
         }
     }
 
@@ -190,7 +202,10 @@ impl ObjectSpec for PacSpec {
                 let (resp, next) = self.decide(state, *label)?;
                 Ok(Outcomes::single(resp, next))
             }
-            other => Err(SpecError::UnsupportedOp { object: "n-PAC", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "n-PAC",
+                op: *other,
+            }),
         }
     }
 }
@@ -248,7 +263,10 @@ mod tests {
         apply(&p, &mut s, Op::ProposePac(int(4), l(1)));
         apply(&p, &mut s, Op::ProposePac(int(6), l(2)));
         assert_eq!(apply(&p, &mut s, Op::DecidePac(l(1))), Value::Bot);
-        assert!(!p.is_upset(&s), "concurrency detection must not upset the object");
+        assert!(
+            !p.is_upset(&s),
+            "concurrency detection must not upset the object"
+        );
     }
 
     #[test]
@@ -350,7 +368,10 @@ mod tests {
         let p = pac(2);
         let s = p.initial_state();
         for op in [Op::Read, Op::Propose(int(1)), Op::ProposeP(int(1), l(1))] {
-            assert!(matches!(p.outcomes(&s, &op), Err(SpecError::UnsupportedOp { .. })));
+            assert!(matches!(
+                p.outcomes(&s, &op),
+                Err(SpecError::UnsupportedOp { .. })
+            ));
         }
     }
 

@@ -57,14 +57,26 @@ impl SetAgreementPower {
     /// a non-monotone sequence is rejected for the same reason.
     pub fn new(entries: Vec<usize>) -> Result<Self, SpecError> {
         if entries.is_empty() {
-            return Err(SpecError::InvalidArity { what: "K", got: 0, min: 1 });
+            return Err(SpecError::InvalidArity {
+                what: "K",
+                got: 0,
+                min: 1,
+            });
         }
         for (i, &e) in entries.iter().enumerate() {
             if e == 0 {
-                return Err(SpecError::InvalidArity { what: "n_k", got: 0, min: 1 });
+                return Err(SpecError::InvalidArity {
+                    what: "n_k",
+                    got: 0,
+                    min: 1,
+                });
             }
             if i > 0 && e < entries[i - 1] {
-                return Err(SpecError::InvalidArity { what: "n_k", got: e, min: entries[i - 1] });
+                return Err(SpecError::InvalidArity {
+                    what: "n_k",
+                    got: e,
+                    min: entries[i - 1],
+                });
             }
         }
         Ok(SetAgreementPower { entries })
@@ -79,10 +91,18 @@ impl SetAgreementPower {
     /// Returns [`SpecError::InvalidArity`] if `n < 2` or `max_k == 0`.
     pub fn certified_lower_bounds_for_o_n(n: usize, max_k: usize) -> Result<Self, SpecError> {
         if n < 2 {
-            return Err(SpecError::InvalidArity { what: "n", got: n, min: 2 });
+            return Err(SpecError::InvalidArity {
+                what: "n",
+                got: n,
+                min: 2,
+            });
         }
         if max_k == 0 {
-            return Err(SpecError::InvalidArity { what: "max_k", got: 0, min: 1 });
+            return Err(SpecError::InvalidArity {
+                what: "max_k",
+                got: 0,
+                min: 1,
+            });
         }
         SetAgreementPower::new((1..=max_k).map(|k| k * n).collect())
     }
@@ -193,7 +213,11 @@ impl ObjectSpec for PowerObjectSpec {
 
     fn initial_state(&self) -> PowerObjectState {
         PowerObjectState {
-            components: self.components.iter().map(SetAgreementSpec::initial_state).collect(),
+            components: self
+                .components
+                .iter()
+                .map(SetAgreementSpec::initial_state)
+                .collect(),
         }
     }
 
@@ -222,7 +246,10 @@ impl ObjectSpec for PowerObjectSpec {
                     .collect();
                 Ok(Outcomes::from_vec(alts))
             }
-            other => Err(SpecError::UnsupportedOp { object: "O'_n", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "O'_n",
+                op: *other,
+            }),
         }
     }
 
@@ -240,7 +267,10 @@ mod tests {
     fn power_table_validation() {
         assert!(SetAgreementPower::new(vec![]).is_err());
         assert!(SetAgreementPower::new(vec![2, 0]).is_err());
-        assert!(SetAgreementPower::new(vec![4, 2]).is_err(), "power must be monotone in k");
+        assert!(
+            SetAgreementPower::new(vec![4, 2]).is_err(),
+            "power must be monotone in k"
+        );
         assert!(SetAgreementPower::new(vec![2, 4, 6]).is_ok());
     }
 
@@ -271,18 +301,31 @@ mod tests {
     fn level_1_is_consensus() {
         let o = PowerObjectSpec::o_prime_n(2, 2).unwrap();
         let mut s = o.initial_state();
-        let (r, next) = o.outcomes(&s, &Op::ProposeAt(int(4), 1)).unwrap().into_single();
+        let (r, next) = o
+            .outcomes(&s, &Op::ProposeAt(int(4), 1))
+            .unwrap()
+            .into_single();
         assert_eq!(r, int(4));
         s = next;
-        let (r, _) = o.outcomes(&s, &Op::ProposeAt(int(9), 1)).unwrap().into_single();
-        assert_eq!(r, int(4), "(n_1, 1)-SA is consensus: second proposer learns the first value");
+        let (r, _) = o
+            .outcomes(&s, &Op::ProposeAt(int(9), 1))
+            .unwrap()
+            .into_single();
+        assert_eq!(
+            r,
+            int(4),
+            "(n_1, 1)-SA is consensus: second proposer learns the first value"
+        );
     }
 
     #[test]
     fn levels_are_isolated() {
         let o = PowerObjectSpec::o_prime_n(2, 3).unwrap();
         let mut s = o.initial_state();
-        let (_, next) = o.outcomes(&s, &Op::ProposeAt(int(1), 1)).unwrap().into_single();
+        let (_, next) = o
+            .outcomes(&s, &Op::ProposeAt(int(1), 1))
+            .unwrap()
+            .into_single();
         s = next;
         // Level 2 has seen nothing: its first propose may return only its
         // own value.
@@ -311,11 +354,17 @@ mod tests {
         let o = PowerObjectSpec::o_prime_n(2, 1).unwrap();
         let mut s = o.initial_state();
         for _ in 0..2 {
-            let (r, next) = o.outcomes(&s, &Op::ProposeAt(int(1), 1)).unwrap().into_single();
+            let (r, next) = o
+                .outcomes(&s, &Op::ProposeAt(int(1), 1))
+                .unwrap()
+                .into_single();
             assert_ne!(r, Value::Bot);
             s = next;
         }
-        let (r, _) = o.outcomes(&s, &Op::ProposeAt(int(1), 1)).unwrap().into_single();
+        let (r, _) = o
+            .outcomes(&s, &Op::ProposeAt(int(1), 1))
+            .unwrap()
+            .into_single();
         assert_eq!(r, Value::Bot);
     }
 

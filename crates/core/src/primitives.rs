@@ -61,7 +61,10 @@ impl ObjectSpec for TestAndSetSpec {
         match op {
             Op::TestAndSet => Ok(Outcomes::single(Value::Int(i64::from(*state)), true)),
             Op::Read => Ok(Outcomes::single(Value::Int(i64::from(*state)), *state)),
-            other => Err(SpecError::UnsupportedOp { object: "test-and-set", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "test-and-set",
+                op: *other,
+            }),
         }
     }
 }
@@ -96,7 +99,10 @@ impl ObjectSpec for FetchAddSpec {
         match op {
             Op::FetchAdd(d) => Ok(Outcomes::single(Value::Int(*state), state.wrapping_add(*d))),
             Op::Read => Ok(Outcomes::single(Value::Int(*state), *state)),
-            other => Err(SpecError::UnsupportedOp { object: "fetch-and-add", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "fetch-and-add",
+                op: *other,
+            }),
         }
     }
 }
@@ -157,7 +163,10 @@ impl ObjectSpec for CasSpec {
             }
             Op::Read => Ok(Outcomes::single(*state, *state)),
             Op::Write(v) => Ok(Outcomes::single(Value::Done, *v)),
-            other => Err(SpecError::UnsupportedOp { object: "compare-and-swap", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "compare-and-swap",
+                op: *other,
+            }),
         }
     }
 }
@@ -213,7 +222,10 @@ impl ObjectSpec for QueueSpec {
                     Ok(Outcomes::single(front, next))
                 }
             }
-            other => Err(SpecError::UnsupportedOp { object: "fifo-queue", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "fifo-queue",
+                op: *other,
+            }),
         }
     }
 }
@@ -228,9 +240,15 @@ mod tests {
         let tas = TestAndSetSpec::new();
         let mut s = tas.initial_state();
         assert_eq!(tas.apply_deterministic(&mut s, &Op::Read).unwrap(), int(0));
-        assert_eq!(tas.apply_deterministic(&mut s, &Op::TestAndSet).unwrap(), int(0));
+        assert_eq!(
+            tas.apply_deterministic(&mut s, &Op::TestAndSet).unwrap(),
+            int(0)
+        );
         for _ in 0..3 {
-            assert_eq!(tas.apply_deterministic(&mut s, &Op::TestAndSet).unwrap(), int(1));
+            assert_eq!(
+                tas.apply_deterministic(&mut s, &Op::TestAndSet).unwrap(),
+                int(1)
+            );
         }
         assert_eq!(tas.apply_deterministic(&mut s, &Op::Read).unwrap(), int(1));
     }
@@ -239,8 +257,14 @@ mod tests {
     fn faa_returns_previous_and_accumulates() {
         let faa = FetchAddSpec::new();
         let mut s = faa.initial_state();
-        assert_eq!(faa.apply_deterministic(&mut s, &Op::FetchAdd(5)).unwrap(), int(0));
-        assert_eq!(faa.apply_deterministic(&mut s, &Op::FetchAdd(-2)).unwrap(), int(5));
+        assert_eq!(
+            faa.apply_deterministic(&mut s, &Op::FetchAdd(5)).unwrap(),
+            int(0)
+        );
+        assert_eq!(
+            faa.apply_deterministic(&mut s, &Op::FetchAdd(-2)).unwrap(),
+            int(5)
+        );
         assert_eq!(faa.apply_deterministic(&mut s, &Op::Read).unwrap(), int(3));
     }
 
@@ -258,15 +282,18 @@ mod tests {
         let cas = CasSpec::new();
         let mut s = cas.initial_state();
         assert_eq!(
-            cas.apply_deterministic(&mut s, &Op::CompareAndSwap(int(9), int(1))).unwrap(),
+            cas.apply_deterministic(&mut s, &Op::CompareAndSwap(int(9), int(1)))
+                .unwrap(),
             Value::Nil,
             "mismatch returns the old value"
         );
         assert_eq!(s, Value::Nil, "mismatch leaves the cell unchanged");
-        cas.apply_deterministic(&mut s, &Op::CompareAndSwap(Value::Nil, int(1))).unwrap();
+        cas.apply_deterministic(&mut s, &Op::CompareAndSwap(Value::Nil, int(1)))
+            .unwrap();
         assert_eq!(s, int(1));
         assert_eq!(
-            cas.apply_deterministic(&mut s, &Op::CompareAndSwap(int(1), int(2))).unwrap(),
+            cas.apply_deterministic(&mut s, &Op::CompareAndSwap(int(1), int(2)))
+                .unwrap(),
             int(1)
         );
         assert_eq!(cas.apply_deterministic(&mut s, &Op::Read).unwrap(), int(2));
@@ -276,26 +303,40 @@ mod tests {
     fn queue_fifo_order_and_empty_behaviour() {
         let q = QueueSpec::new();
         let mut s = q.initial_state();
-        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), Value::Nil);
+        assert_eq!(
+            q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(),
+            Value::Nil
+        );
         q.apply_deterministic(&mut s, &Op::Enqueue(int(1))).unwrap();
         q.apply_deterministic(&mut s, &Op::Enqueue(int(2))).unwrap();
         assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), int(1));
         assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), int(2));
-        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), Value::Nil);
+        assert_eq!(
+            q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(),
+            Value::Nil
+        );
     }
 
     #[test]
     fn preloaded_queue_serves_tokens() {
         let q = QueueSpec::with_items(vec![int(100)]);
         let mut s = q.initial_state();
-        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), int(100));
-        assert_eq!(q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(), Value::Nil);
+        assert_eq!(
+            q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(),
+            int(100)
+        );
+        assert_eq!(
+            q.apply_deterministic(&mut s, &Op::Dequeue).unwrap(),
+            Value::Nil
+        );
     }
 
     #[test]
     fn foreign_ops_rejected_everywhere() {
         let s = TestAndSetSpec::new().initial_state();
-        assert!(TestAndSetSpec::new().outcomes(&s, &Op::Propose(int(1))).is_err());
+        assert!(TestAndSetSpec::new()
+            .outcomes(&s, &Op::Propose(int(1)))
+            .is_err());
         let s = FetchAddSpec::new().initial_state();
         assert!(FetchAddSpec::new().outcomes(&s, &Op::TestAndSet).is_err());
         let s = CasSpec::new().initial_state();

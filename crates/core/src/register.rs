@@ -55,7 +55,10 @@ impl ObjectSpec for RegisterSpec {
         match op {
             Op::Read => Ok(Outcomes::single(*state, *state)),
             Op::Write(v) => Ok(Outcomes::single(Value::Done, *v)),
-            other => Err(SpecError::UnsupportedOp { object: "register", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "register",
+                op: *other,
+            }),
         }
     }
 }
@@ -69,14 +72,20 @@ mod tests {
     fn initial_read_is_nil() {
         let reg = RegisterSpec::new();
         let mut s = reg.initial_state();
-        assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), Value::Nil);
+        assert_eq!(
+            reg.apply_deterministic(&mut s, &Op::Read).unwrap(),
+            Value::Nil
+        );
     }
 
     #[test]
     fn write_then_read_returns_written_value() {
         let reg = RegisterSpec::new();
         let mut s = reg.initial_state();
-        assert_eq!(reg.apply_deterministic(&mut s, &Op::Write(int(3))).unwrap(), Value::Done);
+        assert_eq!(
+            reg.apply_deterministic(&mut s, &Op::Write(int(3))).unwrap(),
+            Value::Done
+        );
         assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), int(3));
         // Overwrite.
         reg.apply_deterministic(&mut s, &Op::Write(int(8))).unwrap();
@@ -99,8 +108,12 @@ mod tests {
         // register is uninterpreted storage.
         let reg = RegisterSpec::new();
         let mut s = reg.initial_state();
-        reg.apply_deterministic(&mut s, &Op::Write(Value::Bot)).unwrap();
-        assert_eq!(reg.apply_deterministic(&mut s, &Op::Read).unwrap(), Value::Bot);
+        reg.apply_deterministic(&mut s, &Op::Write(Value::Bot))
+            .unwrap();
+        assert_eq!(
+            reg.apply_deterministic(&mut s, &Op::Read).unwrap(),
+            Value::Bot
+        );
     }
 
     #[test]
@@ -108,7 +121,13 @@ mod tests {
         let reg = RegisterSpec::new();
         let s = reg.initial_state();
         let err = reg.outcomes(&s, &Op::Propose(int(1))).unwrap_err();
-        assert!(matches!(err, SpecError::UnsupportedOp { object: "register", .. }));
+        assert!(matches!(
+            err,
+            SpecError::UnsupportedOp {
+                object: "register",
+                ..
+            }
+        ));
     }
 
     #[test]

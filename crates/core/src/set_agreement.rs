@@ -93,10 +93,18 @@ impl SetAgreementSpec {
     /// Returns [`SpecError::InvalidArity`] if `n == 0` or `k == 0`.
     pub fn new(n: usize, k: usize) -> Result<Self, SpecError> {
         if n == 0 {
-            return Err(SpecError::InvalidArity { what: "n", got: 0, min: 1 });
+            return Err(SpecError::InvalidArity {
+                what: "n",
+                got: 0,
+                min: 1,
+            });
         }
         if k == 0 {
-            return Err(SpecError::InvalidArity { what: "k", got: 0, min: 1 });
+            return Err(SpecError::InvalidArity {
+                what: "k",
+                got: 0,
+                min: 1,
+            });
         }
         Ok(SetAgreementSpec { n, k })
     }
@@ -159,7 +167,10 @@ impl ObjectSpec for SetAgreementSpec {
                 }
                 Ok(Outcomes::from_vec(alts))
             }
-            other => Err(SpecError::UnsupportedOp { object: "(n,k)-SA", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "(n,k)-SA",
+                op: *other,
+            }),
         }
     }
 
@@ -189,7 +200,10 @@ mod tests {
         s = next;
         for v in [5i64, 7, 9] {
             let outs = sa.outcomes(&s, &Op::Propose(int(v))).unwrap();
-            assert!(outs.is_deterministic(), "a full output set leaves no choice");
+            assert!(
+                outs.is_deterministic(),
+                "a full output set leaves no choice"
+            );
             let (r, next) = outs.into_single();
             assert_eq!(r, int(3));
             s = next;
@@ -201,7 +215,13 @@ mod tests {
         let sa = SetAgreementSpec::new(2, 1).unwrap();
         let mut s = sa.initial_state();
         for v in [1i64, 2] {
-            s = sa.outcomes(&s, &Op::Propose(int(v))).unwrap().into_vec().pop().unwrap().1;
+            s = sa
+                .outcomes(&s, &Op::Propose(int(v)))
+                .unwrap()
+                .into_vec()
+                .pop()
+                .unwrap()
+                .1;
         }
         assert!(sa.is_exhausted(&s));
         let outs = sa.outcomes(&s, &Op::Propose(int(3))).unwrap();
@@ -222,7 +242,10 @@ mod tests {
                 continue;
             }
             for (resp, next) in sa.outcomes(&state, &Op::Propose(proposals[idx])).unwrap() {
-                assert!(next.proposals.contains(&resp), "validity: response must be proposed");
+                assert!(
+                    next.proposals.contains(&resp),
+                    "validity: response must be proposed"
+                );
                 stack.push((next.clone(), idx + 1));
             }
         }
@@ -237,7 +260,11 @@ mod tests {
             while let Some((state, mut seen, idx)) = stack.pop() {
                 seen.sort();
                 seen.dedup();
-                assert!(seen.len() <= k, "(4,{k})-SA emitted {} distinct values", seen.len());
+                assert!(
+                    seen.len() <= k,
+                    "(4,{k})-SA emitted {} distinct values",
+                    seen.len()
+                );
                 if idx == proposals.len() {
                     continue;
                 }
@@ -287,7 +314,10 @@ mod tests {
             sa.outcomes(&s, &Op::Propose(Value::Nil)),
             Err(SpecError::ReservedValue(Value::Nil))
         ));
-        assert!(matches!(sa.outcomes(&s, &Op::Write(int(1))), Err(SpecError::UnsupportedOp { .. })));
+        assert!(matches!(
+            sa.outcomes(&s, &Op::Write(int(1))),
+            Err(SpecError::UnsupportedOp { .. })
+        ));
     }
 
     #[test]

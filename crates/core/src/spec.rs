@@ -36,7 +36,9 @@ impl<S> Outcomes<S> {
     /// Creates a deterministic outcome set with exactly one entry.
     #[must_use]
     pub fn single(response: Value, state: S) -> Self {
-        Outcomes { outcomes: vec![(response, state)] }
+        Outcomes {
+            outcomes: vec![(response, state)],
+        }
     }
 
     /// Creates an outcome set from a non-empty list of alternatives.
@@ -47,7 +49,10 @@ impl<S> Outcomes<S> {
     /// total, so every well-formed operation has at least one outcome.
     #[must_use]
     pub fn from_vec(outcomes: Vec<(Value, S)>) -> Self {
-        assert!(!outcomes.is_empty(), "an operation must have at least one outcome");
+        assert!(
+            !outcomes.is_empty(),
+            "an operation must have at least one outcome"
+        );
         Outcomes { outcomes }
     }
 
@@ -221,7 +226,11 @@ pub trait ObjectSpec: Debug {
         let mut responses = Vec::with_capacity(ops.len());
         for op in ops {
             let outs = self.outcomes(&state, op)?.into_vec();
-            let idx = if outs.len() == 1 { 0 } else { choose(&outs).min(outs.len() - 1) };
+            let idx = if outs.len() == 1 {
+                0
+            } else {
+                choose(&outs).min(outs.len() - 1)
+            };
             let (resp, next) = outs.into_iter().nth(idx).expect("chosen index in range");
             responses.push(resp);
             state = next;
@@ -292,8 +301,17 @@ mod tests {
     #[test]
     fn check_proposable_rejects_reserved() {
         assert!(check_proposable(int(3)).is_ok());
-        assert_eq!(check_proposable(Value::Nil), Err(SpecError::ReservedValue(Value::Nil)));
-        assert_eq!(check_proposable(Value::Bot), Err(SpecError::ReservedValue(Value::Bot)));
-        assert_eq!(check_proposable(Value::Done), Err(SpecError::ReservedValue(Value::Done)));
+        assert_eq!(
+            check_proposable(Value::Nil),
+            Err(SpecError::ReservedValue(Value::Nil))
+        );
+        assert_eq!(
+            check_proposable(Value::Bot),
+            Err(SpecError::ReservedValue(Value::Bot))
+        );
+        assert_eq!(
+            check_proposable(Value::Done),
+            Err(SpecError::ReservedValue(Value::Done))
+        );
     }
 }

@@ -123,7 +123,11 @@ impl ObjectSpec for StrongSaSpec {
         StrongSaState::default()
     }
 
-    fn outcomes(&self, state: &StrongSaState, op: &Op) -> Result<Outcomes<StrongSaState>, SpecError> {
+    fn outcomes(
+        &self,
+        state: &StrongSaState,
+        op: &Op,
+    ) -> Result<Outcomes<StrongSaState>, SpecError> {
         match op {
             Op::Propose(v) => {
                 check_proposable(*v)?;
@@ -137,7 +141,10 @@ impl ObjectSpec for StrongSaSpec {
                     next.members().into_iter().map(|m| (m, next)).collect();
                 Ok(Outcomes::from_vec(alts))
             }
-            other => Err(SpecError::UnsupportedOp { object: "2-SA", op: *other }),
+            other => Err(SpecError::UnsupportedOp {
+                object: "2-SA",
+                op: *other,
+            }),
         }
     }
 
@@ -154,7 +161,9 @@ mod tests {
     #[test]
     fn first_propose_returns_own_value() {
         let sa = StrongSaSpec::new();
-        let outs = sa.outcomes(&sa.initial_state(), &Op::Propose(int(5))).unwrap();
+        let outs = sa
+            .outcomes(&sa.initial_state(), &Op::Propose(int(5)))
+            .unwrap();
         assert!(outs.is_deterministic());
         let (resp, state) = outs.into_single();
         assert_eq!(resp, int(5));
@@ -177,11 +186,23 @@ mod tests {
         let sa = StrongSaSpec::new();
         let mut s = sa.initial_state();
         for _ in 0..3 {
-            s = sa.outcomes(&s, &Op::Propose(int(7))).unwrap().into_vec().pop().unwrap().1;
+            s = sa
+                .outcomes(&s, &Op::Propose(int(7)))
+                .unwrap()
+                .into_vec()
+                .pop()
+                .unwrap()
+                .1;
         }
         assert_eq!(s.members(), vec![int(7)]);
         // A later distinct proposal still gets in.
-        s = sa.outcomes(&s, &Op::Propose(int(9))).unwrap().into_vec().pop().unwrap().1;
+        s = sa
+            .outcomes(&s, &Op::Propose(int(9)))
+            .unwrap()
+            .into_vec()
+            .pop()
+            .unwrap()
+            .1;
         assert_eq!(s.len(), 2);
         assert!(s.contains(int(9)));
     }
@@ -190,8 +211,20 @@ mod tests {
     fn all_responses_come_from_state() {
         let sa = StrongSaSpec::new();
         let mut s = sa.initial_state();
-        s = sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1;
-        s = sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec().pop().unwrap().1;
+        s = sa
+            .outcomes(&s, &Op::Propose(int(1)))
+            .unwrap()
+            .into_vec()
+            .pop()
+            .unwrap()
+            .1;
+        s = sa
+            .outcomes(&s, &Op::Propose(int(2)))
+            .unwrap()
+            .into_vec()
+            .pop()
+            .unwrap()
+            .1;
         let outs = sa.outcomes(&s, &Op::Propose(int(3))).unwrap();
         assert_eq!(outs.len(), 2);
         for (resp, next) in outs.iter() {
@@ -206,7 +239,13 @@ mod tests {
         // response, never in the next state.
         let sa = StrongSaSpec::new();
         let mut s = sa.initial_state();
-        s = sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1;
+        s = sa
+            .outcomes(&s, &Op::Propose(int(1)))
+            .unwrap()
+            .into_vec()
+            .pop()
+            .unwrap()
+            .1;
         let outs = sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec();
         let states: Vec<StrongSaState> = outs.iter().map(|(_, st)| *st).collect();
         assert!(states.windows(2).all(|w| w[0] == w[1]));
@@ -217,13 +256,35 @@ mod tests {
         let sa = StrongSaSpec::new();
         let s12 = {
             let mut s = sa.initial_state();
-            s = sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1;
-            sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec().pop().unwrap().1
+            s = sa
+                .outcomes(&s, &Op::Propose(int(1)))
+                .unwrap()
+                .into_vec()
+                .pop()
+                .unwrap()
+                .1;
+            sa.outcomes(&s, &Op::Propose(int(2)))
+                .unwrap()
+                .into_vec()
+                .pop()
+                .unwrap()
+                .1
         };
         let s21 = {
             let mut s = sa.initial_state();
-            s = sa.outcomes(&s, &Op::Propose(int(2))).unwrap().into_vec().pop().unwrap().1;
-            sa.outcomes(&s, &Op::Propose(int(1))).unwrap().into_vec().pop().unwrap().1
+            s = sa
+                .outcomes(&s, &Op::Propose(int(2)))
+                .unwrap()
+                .into_vec()
+                .pop()
+                .unwrap()
+                .1;
+            sa.outcomes(&s, &Op::Propose(int(1)))
+                .unwrap()
+                .into_vec()
+                .pop()
+                .unwrap()
+                .1
         };
         assert_eq!(s12, s21, "STATE is a set; representation must be canonical");
     }
@@ -236,7 +297,10 @@ mod tests {
             sa.outcomes(&s, &Op::Propose(Value::Bot)),
             Err(SpecError::ReservedValue(Value::Bot))
         ));
-        assert!(matches!(sa.outcomes(&s, &Op::Read), Err(SpecError::UnsupportedOp { .. })));
+        assert!(matches!(
+            sa.outcomes(&s, &Op::Read),
+            Err(SpecError::UnsupportedOp { .. })
+        ));
     }
 
     #[test]
@@ -258,7 +322,11 @@ mod tests {
                 let mut distinct = seen.clone();
                 distinct.sort();
                 distinct.dedup();
-                assert!(distinct.len() <= 2, "2-SA emitted {} distinct values", distinct.len());
+                assert!(
+                    distinct.len() <= 2,
+                    "2-SA emitted {} distinct values",
+                    distinct.len()
+                );
                 continue;
             }
             let outs = sa.outcomes(&state, &Op::Propose(proposals[idx])).unwrap();

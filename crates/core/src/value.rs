@@ -152,7 +152,13 @@ mod tests {
     fn ordering_is_total_and_stable() {
         // The derived order is an implementation detail, but it must be a
         // total order so that states embedding values can be canonicalized.
-        let mut vs = vec![Value::Int(2), Value::Nil, Value::Done, Value::Bot, Value::Int(-1)];
+        let mut vs = vec![
+            Value::Int(2),
+            Value::Nil,
+            Value::Done,
+            Value::Bot,
+            Value::Int(-1),
+        ];
         vs.sort();
         let mut again = vs.clone();
         again.sort();

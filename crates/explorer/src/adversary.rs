@@ -134,7 +134,10 @@ pub fn verify_witness<L: Clone + Eq + Hash + Debug>(
     // Walk the prefix.
     let mut cur = 0usize;
     for e in &witness.prefix {
-        match graph.edges[cur].iter().find(|g| g.pid == e.pid && g.outcome == e.outcome) {
+        match graph.edges[cur]
+            .iter()
+            .find(|g| g.pid == e.pid && g.outcome == e.outcome)
+        {
             Some(g) => cur = g.target,
             None => return false,
         }
@@ -149,7 +152,10 @@ pub fn verify_witness<L: Clone + Eq + Hash + Debug>(
                 _ => return false, // decided victim, or bogus pid
             }
         }
-        match graph.edges[cur].iter().find(|g| g.pid == e.pid && g.outcome == e.outcome) {
+        match graph.edges[cur]
+            .iter()
+            .find(|g| g.pid == e.pid && g.outcome == e.outcome)
+        {
             Some(g) => {
                 stepped.insert(e.pid);
                 cur = g.target;
@@ -191,23 +197,40 @@ pub fn bivalent_survival<L: Clone + Eq + Hash + Debug>(
     let mut seen: BTreeSet<usize> = BTreeSet::from([0]);
     let mut steps = 0usize;
     if !analysis.is_multivalent(cur) {
-        return SurvivalReport { steps: 0, looped: false, stuck: true };
+        return SurvivalReport {
+            steps: 0,
+            looped: false,
+            stuck: true,
+        };
     }
     while steps < max_steps {
-        let Some(next) =
-            graph.edges[cur].iter().find(|e| analysis.is_multivalent(e.target)).map(|e| e.target)
+        let Some(next) = graph.edges[cur]
+            .iter()
+            .find(|e| analysis.is_multivalent(e.target))
+            .map(|e| e.target)
         else {
-            return SurvivalReport { steps, looped: false, stuck: true };
+            return SurvivalReport {
+                steps,
+                looped: false,
+                stuck: true,
+            };
         };
         steps += 1;
         if !seen.insert(next) {
-            return SurvivalReport { steps, looped: true, stuck: false };
+            return SurvivalReport {
+                steps,
+                looped: true,
+                stuck: false,
+            };
         }
         cur = next;
     }
-    SurvivalReport { steps, looped: false, stuck: false }
+    SurvivalReport {
+        steps,
+        looped: false,
+        stuck: false,
+    }
 }
-
 
 /// Report of an **online** lookahead-driven adversary run
 /// (see [`drive_multivalent`]).
@@ -256,7 +279,12 @@ pub fn drive_multivalent<P: lbsa_runtime::process::Protocol>(
     lookahead_configs += probe.configs.len();
     let analysis = ValencyAnalysis::analyze(&probe);
     if !(analysis.exact && analysis.is_multivalent(0)) {
-        return Ok(DriveReport { steps: 0, looped: false, stuck: true, lookahead_configs });
+        return Ok(DriveReport {
+            steps: 0,
+            looped: false,
+            stuck: true,
+            lookahead_configs,
+        });
     }
 
     while steps < max_steps {
@@ -283,10 +311,20 @@ pub fn drive_multivalent<P: lbsa_runtime::process::Protocol>(
             }
         }
         if !moved {
-            return Ok(DriveReport { steps, looped: false, stuck: true, lookahead_configs });
+            return Ok(DriveReport {
+                steps,
+                looped: false,
+                stuck: true,
+                lookahead_configs,
+            });
         }
     }
-    Ok(DriveReport { steps, looped: false, stuck: false, lookahead_configs })
+    Ok(DriveReport {
+        steps,
+        looped: false,
+        stuck: false,
+        lookahead_configs,
+    })
 }
 
 #[cfg(test)]
@@ -337,7 +375,10 @@ mod tests {
         }
         fn pending_op(&self, pid: Pid, s: &RcState) -> (ObjId, Op) {
             match s {
-                RcState::Write => (ObjId(pid.index()), Op::Write(Value::Int(pid.index() as i64))),
+                RcState::Write => (
+                    ObjId(pid.index()),
+                    Op::Write(Value::Int(pid.index() as i64)),
+                ),
                 RcState::Read => (ObjId(1 - pid.index()), Op::Read),
             }
         }
@@ -361,7 +402,9 @@ mod tests {
     fn wait_free_protocol_has_no_witness() {
         let p = Race;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(g.complete);
         assert_eq!(find_nontermination(&g), None);
     }
@@ -370,12 +413,17 @@ mod tests {
     fn register_consensus_attempt_is_refuted() {
         let p = RegisterConsensusAttempt;
         let objects = vec![AnyObject::register(), AnyObject::register()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(g.complete);
         let w = find_nontermination(&g).expect("the adversary must defeat register consensus");
         assert!(!w.cycle.is_empty());
         assert!(!w.victims.is_empty());
-        assert!(verify_witness(&g, &w), "the witness must replay successfully");
+        assert!(
+            verify_witness(&g, &w),
+            "the witness must replay successfully"
+        );
         // The pumped schedule has the right length.
         assert_eq!(w.schedule(3).len(), w.prefix.len() + 3 * w.cycle.len());
     }
@@ -384,7 +432,9 @@ mod tests {
     fn tampered_witnesses_are_rejected() {
         let p = RegisterConsensusAttempt;
         let objects = vec![AnyObject::register(), AnyObject::register()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let w = find_nontermination(&g).unwrap();
 
         let mut empty_cycle = w.clone();
@@ -447,9 +497,14 @@ mod tests {
     fn survival_against_yielders_is_unbounded() {
         let p = Yielders;
         let objects = vec![AnyObject::register()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let va = ValencyAnalysis::analyze(&g);
-        assert!(va.is_multivalent(0), "initial configuration must be bivalent");
+        assert!(
+            va.is_multivalent(0),
+            "initial configuration must be bivalent"
+        );
         let report = bivalent_survival(&g, &va, 10_000);
         assert!(
             report.looped,
@@ -462,10 +517,15 @@ mod tests {
     fn survival_against_a_real_consensus_object_is_bounded() {
         let p = Race;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let report = bivalent_survival(&g, &va, 10_000);
-        assert!(report.stuck, "one step on the consensus object fixes the outcome");
+        assert!(
+            report.stuck,
+            "one step on the consensus object fixes the outcome"
+        );
         assert_eq!(report.steps, 0);
     }
 
@@ -476,7 +536,10 @@ mod tests {
         let objects = vec![AnyObject::register()];
         let ex = Explorer::new(&p, &objects);
         let report = drive_multivalent(&ex, Limits::default(), 10_000).unwrap();
-        assert!(report.looped, "online adversary must find the loop: {report:?}");
+        assert!(
+            report.looped,
+            "online adversary must find the loop: {report:?}"
+        );
         assert!(report.lookahead_configs > 0);
     }
 
@@ -505,4 +568,3 @@ mod tests {
         assert_eq!(offline.stuck, online.stuck);
     }
 }
-

@@ -112,7 +112,10 @@ impl From<RuntimeError> for Violation {
 }
 
 fn stats<L>(graph: &ExplorationGraph<L>) -> CheckStats {
-    CheckStats { configs: graph.configs.len(), transitions: graph.transitions }
+    CheckStats {
+        configs: graph.configs.len(),
+        transitions: graph.transitions,
+    }
 }
 
 /// Checks the k-set agreement properties over a complete graph:
@@ -137,11 +140,17 @@ pub fn check_k_set_agreement_graph<L: Clone + Eq + std::hash::Hash + std::fmt::D
     for (idx, config) in graph.configs.iter().enumerate() {
         let decided = config.distinct_decisions();
         if decided.len() > k {
-            return Err(Violation::Agreement { config: idx, values: decided });
+            return Err(Violation::Agreement {
+                config: idx,
+                values: decided,
+            });
         }
         for v in &decided {
             if !valid_inputs.contains(v) {
-                return Err(Violation::Validity { config: idx, value: *v });
+                return Err(Violation::Validity {
+                    config: idx,
+                    value: *v,
+                });
             }
         }
     }
@@ -307,14 +316,19 @@ pub fn check_dac<P: Protocol>(
     for (idx, config) in graph.configs.iter().enumerate() {
         let decided = config.distinct_decisions();
         if decided.len() > 1 {
-            return Err(Violation::Agreement { config: idx, values: decided });
+            return Err(Violation::Agreement {
+                config: idx,
+                values: decided,
+            });
         }
         for v in &decided {
-            let supported = (0..n).any(|q| {
-                instance.inputs.get(q) == Some(v) && !config.has_aborted(Pid(q))
-            });
+            let supported =
+                (0..n).any(|q| instance.inputs.get(q) == Some(v) && !config.has_aborted(Pid(q)));
             if !supported {
-                return Err(Violation::Validity { config: idx, value: *v });
+                return Err(Violation::Validity {
+                    config: idx,
+                    value: *v,
+                });
             }
         }
     }
@@ -324,7 +338,10 @@ pub fn check_dac<P: Protocol>(
         if matches!(config.procs.get(p.index()), Some(ProcStatus::Running(_)))
             && !solo_terminates(explorer, config, p, solo_bound)?
         {
-            return Err(Violation::SoloNonTermination { config: idx, pid: p });
+            return Err(Violation::SoloNonTermination {
+                config: idx,
+                pid: p,
+            });
         }
         for q in 0..n {
             let q = Pid(q);
@@ -334,7 +351,10 @@ pub fn check_dac<P: Protocol>(
             if matches!(config.procs.get(q.index()), Some(ProcStatus::Running(_)))
                 && !solo_decides(explorer, config, q, solo_bound)?
             {
-                return Err(Violation::SoloNonTermination { config: idx, pid: q });
+                return Err(Violation::SoloNonTermination {
+                    config: idx,
+                    pid: q,
+                });
             }
         }
     }
@@ -449,7 +469,9 @@ mod tests {
 
     #[test]
     fn good_consensus_passes() {
-        let p = GoodConsensus { inputs: vec![int(0), int(1)] };
+        let p = GoodConsensus {
+            inputs: vec![int(0), int(1)],
+        };
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
         let stats = check_consensus(&ex, &[int(0), int(1)], Limits::default()).unwrap();
@@ -458,7 +480,9 @@ mod tests {
 
     #[test]
     fn agreement_violation_is_found() {
-        let p = DecideOwn { inputs: vec![int(0), int(1)] };
+        let p = DecideOwn {
+            inputs: vec![int(0), int(1)],
+        };
         let objects = reg();
         let ex = Explorer::new(&p, &objects);
         let err = check_consensus(&ex, &[int(0), int(1)], Limits::default()).unwrap_err();
@@ -471,7 +495,16 @@ mod tests {
         let objects = reg();
         let ex = Explorer::new(&p, &objects);
         let err = check_consensus(&ex, &[int(0), int(1)], Limits::default()).unwrap_err();
-        assert!(matches!(err, Violation::Validity { value: Value::Int(99), .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                Violation::Validity {
+                    value: Value::Int(99),
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -487,7 +520,9 @@ mod tests {
     fn k_set_agreement_tolerates_k_values() {
         // DecideOwn with 2 distinct inputs violates consensus but satisfies
         // 2-set agreement.
-        let p = DecideOwn { inputs: vec![int(0), int(1)] };
+        let p = DecideOwn {
+            inputs: vec![int(0), int(1)],
+        };
         let objects = reg();
         let ex = Explorer::new(&p, &objects);
         assert!(check_k_set_agreement(&ex, 2, &[int(0), int(1)], Limits::default()).is_ok());
@@ -496,7 +531,9 @@ mod tests {
 
     #[test]
     fn truncated_graph_is_inconclusive() {
-        let p = GoodConsensus { inputs: vec![int(0), int(1)] };
+        let p = GoodConsensus {
+            inputs: vec![int(0), int(1)],
+        };
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
         let err = check_consensus(&ex, &[int(0), int(1)], Limits::new(1)).unwrap_err();
@@ -505,7 +542,9 @@ mod tests {
 
     #[test]
     fn solo_termination_helpers() {
-        let p = GoodConsensus { inputs: vec![int(0), int(1)] };
+        let p = GoodConsensus {
+            inputs: vec![int(0), int(1)],
+        };
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
         let init = ex.initial_config();
@@ -517,7 +556,10 @@ mod tests {
         let ex = Explorer::new(&p, &objects);
         let init = ex.initial_config();
         assert!(solo_terminates(&ex, &init, Pid(0), 5).unwrap());
-        assert!(!solo_decides(&ex, &init, Pid(0), 5).unwrap(), "halting is not deciding");
+        assert!(
+            !solo_decides(&ex, &init, Pid(0), 5).unwrap(),
+            "halting is not deciding"
+        );
     }
 
     #[test]
@@ -548,10 +590,19 @@ mod tests {
     fn violation_display_forms() {
         let cases: Vec<Violation> = vec![
             Violation::Truncated,
-            Violation::Agreement { config: 1, values: vec![int(0), int(1)] },
-            Violation::Validity { config: 2, value: int(9) },
+            Violation::Agreement {
+                config: 1,
+                values: vec![int(0), int(1)],
+            },
+            Violation::Validity {
+                config: 2,
+                value: int(9),
+            },
             Violation::UndecidedTerminal { config: 3 },
-            Violation::SoloNonTermination { config: 4, pid: Pid(1) },
+            Violation::SoloNonTermination {
+                config: 4,
+                pid: Pid(1),
+            },
             Violation::Nontriviality { config: 5 },
             Violation::Runtime(RuntimeError::NoProcesses),
         ];

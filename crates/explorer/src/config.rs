@@ -74,15 +74,24 @@ mod tests {
     use lbsa_core::AnyObject;
 
     fn cfg(procs: Vec<ProcStatus<u8>>) -> Configuration<u8> {
-        Configuration { object_states: vec![AnyObject::register().initial_state()], procs }
+        Configuration {
+            object_states: vec![AnyObject::register().initial_state()],
+            procs,
+        }
     }
 
     #[test]
     fn enabled_and_terminal() {
-        let c = cfg(vec![ProcStatus::Running(0), ProcStatus::Decided(Value::Int(1))]);
+        let c = cfg(vec![
+            ProcStatus::Running(0),
+            ProcStatus::Decided(Value::Int(1)),
+        ]);
         assert_eq!(c.enabled_pids(), vec![Pid(0)]);
         assert!(!c.is_terminal());
-        let c = cfg(vec![ProcStatus::Decided(Value::Int(1)), ProcStatus::Crashed]);
+        let c = cfg(vec![
+            ProcStatus::Decided(Value::Int(1)),
+            ProcStatus::Crashed,
+        ]);
         assert!(c.is_terminal());
         assert!(c.enabled_pids().is_empty());
     }

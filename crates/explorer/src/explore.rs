@@ -8,19 +8,50 @@
 //! (`complete == true`) covers **every** execution of the protocol, which is
 //! what turns the paper's universally-quantified properties into finite
 //! checks.
+//!
+//! ## Engine
+//!
+//! The search is **level-synchronous**: the frontier of one BFS depth is
+//! expanded as a batch, then merged into the graph, then the next frontier
+//! is formed. Expansion — the pure, expensive part: protocol steps, object
+//! outcome computation, successor construction — runs on a pool of worker
+//! threads ([`ExploreOptions::threads`]); the merge is a single sequential
+//! scan over the batch in frontier order, so node indices are assigned in
+//! exactly the order a sequential FIFO BFS would assign them. **Any thread
+//! count produces the identical graph** — same configurations, same
+//! indices, same edges — which keeps every downstream analysis (valency,
+//! adversary search, certification) and every recorded experiment output
+//! reproducible.
+//!
+//! Deduplication never compares full configurations: object states and
+//! process statuses are hash-consed into `u32` ids
+//! ([`crate::intern::Interner`]), and a configuration is keyed by its short
+//! id vector in a sharded index ([`crate::intern::ShardedIndex`]). Workers
+//! pre-probe the (frozen) index during expansion, so the sequential merge
+//! mostly copies precomputed targets.
+//!
+//! Every exploration reports [`ExploreStats`] — throughput, dedup rate,
+//! frontier shape, per-level timing — on the resulting graph.
 
 use crate::config::Configuration;
+use crate::intern::{CompactConfig, Interner, ShardedIndex};
+use crate::stats::{ExploreStats, LevelStats};
 use lbsa_core::spec::ObjectSpec;
-use lbsa_core::{AnyObject, Pid};
+use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Step};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Resource limits for exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Limits {
-    /// Maximum number of distinct configurations to expand. When exceeded,
-    /// the graph is returned with `complete == false`.
+    /// Maximum number of configurations to **expand** (compute successors
+    /// of). When the reachable space is larger, the graph is returned
+    /// truncated, with `complete == false`; discovered-but-unexpanded
+    /// configurations stay in the graph with no outgoing edges.
     pub max_configs: usize,
 }
 
@@ -36,12 +67,69 @@ impl Default for Limits {
     /// Defaults to one million configurations — ample for the experiment
     /// instances, small enough to fail fast on runaway state spaces.
     fn default() -> Self {
-        Limits { max_configs: 1_000_000 }
+        Limits {
+            max_configs: 1_000_000,
+        }
     }
 }
 
-/// One labelled edge of the execution graph.
+/// Tuning knobs for one exploration run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Resource limits (see [`Limits`]).
+    pub limits: Limits,
+    /// Worker threads for frontier expansion. `0` means auto: the
+    /// `LBSA_EXPLORE_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism capped at 8. `1` forces the
+    /// sequential path. The thread count never affects the resulting
+    /// graph, only how fast it is built.
+    pub threads: usize,
+}
+
+impl ExploreOptions {
+    /// Options with the given limits and automatic thread count.
+    #[must_use]
+    pub fn new(limits: Limits) -> Self {
+        ExploreOptions { limits, threads: 0 }
+    }
+
+    /// Sets the worker thread count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The concrete thread count this run will use.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("LBSA_EXPLORE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+    }
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions::new(Limits::default())
+    }
+}
+
+/// Levels narrower than this are expanded inline: spawning workers for a
+/// handful of nodes costs more than the expansion itself.
+const PAR_MIN_LEVEL: usize = 32;
+
+/// One labelled edge of the execution graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// The process that takes the step.
     pub pid: Pid,
@@ -66,6 +154,9 @@ pub struct ExplorationGraph<L> {
     pub complete: bool,
     /// Total number of transitions discovered.
     pub transitions: usize,
+    /// Metrics of the exploration that built this graph. Timing fields vary
+    /// run to run; everything structural is deterministic.
+    pub stats: ExploreStats,
 }
 
 impl<L> ExplorationGraph<L> {
@@ -75,10 +166,12 @@ impl<L> ExplorationGraph<L> {
         self.configs.len()
     }
 
-    /// Graphs always contain at least the initial configuration.
+    /// Returns `true` if the graph holds no configurations (never the case
+    /// for graphs built by [`Explorer::explore`], which always contain at
+    /// least the initial configuration).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.configs.is_empty()
     }
 
     /// Iterates over the indices of terminal configurations (no process can
@@ -87,7 +180,45 @@ impl<L> ExplorationGraph<L> {
     where
         L: Clone + Eq + std::hash::Hash + std::fmt::Debug,
     {
-        self.configs.iter().enumerate().filter(|(_, c)| c.is_terminal()).map(|(i, _)| i)
+        self.configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_terminal())
+            .map(|(i, _)| i)
+    }
+
+    /// Structural equality: same configurations at the same indices, same
+    /// edges, same expansion set, same completeness. Stats (timings) are
+    /// deliberately ignored — this is the equality under which the engine
+    /// guarantees thread-count independence.
+    #[must_use]
+    pub fn same_structure(&self, other: &Self) -> bool
+    where
+        L: PartialEq,
+    {
+        self.configs == other.configs
+            && self.edges == other.edges
+            && self.expanded == other.expanded
+            && self.complete == other.complete
+            && self.transitions == other.transitions
+    }
+
+    /// A hash over the graph's structural content (configurations, edges,
+    /// expansion set, completeness) — a cheap fingerprint for determinism
+    /// checks across runs and thread counts.
+    #[must_use]
+    pub fn structural_digest(&self) -> u64
+    where
+        L: std::hash::Hash,
+    {
+        use std::hash::{Hash, Hasher};
+        let mut h = lbsa_support::hash::FxHasher::default();
+        self.configs.hash(&mut h);
+        self.edges.hash(&mut h);
+        self.expanded.hash(&mut h);
+        self.complete.hash(&mut h);
+        self.transitions.hash(&mut h);
+        h.finish()
     }
 
     /// Returns `true` if the graph contains a cycle reachable from the
@@ -131,7 +262,6 @@ impl<L> ExplorationGraph<L> {
         None
     }
 
-
     /// BFS depth of each configuration from the initial one (`None` for
     /// configurations unreachable through recorded edges — only possible in
     /// truncated graphs).
@@ -155,6 +285,7 @@ impl<L> ExplorationGraph<L> {
     /// Renders the graph in Graphviz DOT format. `label` produces each
     /// node's label; terminal configurations are drawn as double circles,
     /// the initial configuration as a box.
+    #[must_use]
     pub fn to_dot<F>(&self, mut label: F) -> String
     where
         L: Clone + Eq + std::hash::Hash + std::fmt::Debug,
@@ -175,7 +306,11 @@ impl<L> ExplorationGraph<L> {
         }
         for (i, edges) in self.edges.iter().enumerate() {
             for e in edges {
-                let _ = writeln!(out, "  n{i} -> n{} [label=\"{}/{}\"];", e.target, e.pid, e.outcome);
+                let _ = writeln!(
+                    out,
+                    "  n{i} -> n{} [label=\"{}/{}\"];",
+                    e.target, e.pid, e.outcome
+                );
             }
         }
         out.push_str("}\n");
@@ -214,6 +349,112 @@ impl<L> ExplorationGraph<L> {
             }
         }
         None
+    }
+}
+
+/// One successor discovered by an expansion worker, in deterministic
+/// `(enabled-pid, outcome)` order within its source node.
+struct SuccRecord<L> {
+    pid: Pid,
+    outcome: usize,
+    /// The successor's compact key, kept only when `known` is `None` —
+    /// known-duplicate successors never allocate one.
+    key: Option<CompactConfig>,
+    /// The node index, when the worker's pre-probe found the configuration
+    /// already in the index. The index is append-only, so a hit is final.
+    known: Option<u32>,
+    /// The materialized configuration, kept only when `known` is `None`.
+    config: Option<Configuration<L>>,
+}
+
+type NodeResult<L> = Result<Vec<SuccRecord<L>>, RuntimeError>;
+
+/// One frontier entry handed to expansion workers: node index, a borrow of
+/// its configuration, and its compact key (the delta-interning base).
+type WorkItem<'w, L> = (u32, &'w Configuration<L>, &'w CompactConfig);
+
+/// Memoized transition function.
+///
+/// By the determinism contract, the successors of one `(pid, local state,
+/// object state)` triple are a pure function — and after interning, the
+/// triple is three integers. The memo maps it to the interned
+/// `(object-state, proc-status)` id pairs of the successors, in outcome
+/// order, so recurring combinations (retry loops revisit the same local
+/// state against the same object state from thousands of configurations)
+/// skip the specification and protocol code entirely.
+type MemoShard = lbsa_support::hash::FxHashMap<(u32, u32, u32), Arc<Pairs>>;
+
+struct TransitionMemo {
+    shards: Vec<RwLock<MemoShard>>,
+}
+
+impl TransitionMemo {
+    fn new() -> Self {
+        TransitionMemo {
+            shards: (0..16)
+                .map(|_| RwLock::new(lbsa_support::hash::FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(key: (u32, u32, u32)) -> usize {
+        (lbsa_support::hash::fx_hash(&key) as usize) & 15
+    }
+
+    fn get(&self, key: (u32, u32, u32)) -> Option<Arc<Pairs>> {
+        self.shards[Self::shard_of(key)]
+            .read()
+            .expect("memo lock poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    fn insert(&self, key: (u32, u32, u32), value: Pairs) -> Arc<Pairs> {
+        let arc = Arc::new(value);
+        self.shards[Self::shard_of(key)]
+            .write()
+            .expect("memo lock poisoned")
+            .insert(key, Arc::clone(&arc));
+        arc
+    }
+}
+
+/// The interned `(object-state id, proc-status id)` outcome pairs of one
+/// step, in outcome order. Steps of deterministic objects have exactly one
+/// outcome; keeping that case inline spares a heap allocation per memoized
+/// transition.
+#[derive(Debug)]
+enum Pairs {
+    One((u32, u32)),
+    Many(Vec<(u32, u32)>),
+}
+
+impl Pairs {
+    fn as_slice(&self) -> &[(u32, u32)] {
+        match self {
+            Pairs::One(pair) => std::slice::from_ref(pair),
+            Pairs::Many(pairs) => pairs,
+        }
+    }
+}
+
+/// How a step hands freshly computed values to an [`Interner`]. The two
+/// implementations let one `compute_pairs` body serve both execution paths:
+/// `&Interner` goes through the shard locks (parallel workers), `&mut
+/// Interner` proves exclusivity and skips them (fused sequential path).
+trait InternSink<T> {
+    fn put(&mut self, value: &T) -> u32;
+}
+
+impl<T: Eq + std::hash::Hash + Clone> InternSink<T> for &Interner<T> {
+    fn put(&mut self, value: &T) -> u32 {
+        self.intern(value)
+    }
+}
+
+impl<T: Eq + std::hash::Hash + Clone> InternSink<T> for &mut Interner<T> {
+    fn put(&mut self, value: &T) -> u32 {
+        self.intern_mut(value)
     }
 }
 
@@ -268,16 +509,22 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     ) -> Result<Vec<Configuration<P::LocalState>>, RuntimeError> {
         let local = match config.procs.get(pid.index()) {
             None => {
-                return Err(RuntimeError::PidOutOfRange { pid, len: config.procs.len() })
+                return Err(RuntimeError::PidOutOfRange {
+                    pid,
+                    len: config.procs.len(),
+                })
             }
             Some(ProcStatus::Running(s)) => s.clone(),
             Some(_) => return Err(RuntimeError::ProcessNotRunning(pid)),
         };
         let (obj, op) = self.protocol.pending_op(pid, &local);
-        let spec = self.objects.get(obj.index()).ok_or(RuntimeError::ObjIdOutOfRange {
-            obj,
-            len: self.objects.len(),
-        })?;
+        let spec = self
+            .objects
+            .get(obj.index())
+            .ok_or(RuntimeError::ObjIdOutOfRange {
+                obj,
+                len: self.objects.len(),
+            })?;
         let outs = spec.outcomes(&config.object_states[obj.index()], &op)?;
         Ok(outs
             .into_vec()
@@ -296,7 +543,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             .collect())
     }
 
-    /// Builds the execution graph reachable from the initial configuration.
+    /// Builds the execution graph reachable from the initial configuration,
+    /// with an automatically chosen thread count.
     ///
     /// # Errors
     ///
@@ -304,6 +552,18 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// behaviours).
     pub fn explore(&self, limits: Limits) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         self.explore_from(self.initial_config(), limits)
+    }
+
+    /// Builds the execution graph with explicit [`ExploreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors.
+    pub fn explore_with(
+        &self,
+        options: ExploreOptions,
+    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
+        self.explore_from_with(self.initial_config(), options)
     }
 
     /// Builds the execution graph reachable from an arbitrary configuration.
@@ -316,47 +576,477 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         initial: Configuration<P::LocalState>,
         limits: Limits,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        let mut configs = vec![initial.clone()];
-        let mut index: HashMap<Configuration<P::LocalState>, usize> =
-            HashMap::from([(initial, 0usize)]);
+        self.explore_from_with(initial, ExploreOptions::new(limits))
+    }
+
+    /// Builds the execution graph reachable from an arbitrary configuration
+    /// with explicit [`ExploreOptions`].
+    ///
+    /// The graph is identical for every thread count: workers only compute
+    /// successors; node indices are assigned by a sequential merge that
+    /// scans each level in frontier order, which reproduces the FIFO order
+    /// of a sequential BFS exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors. When several nodes of one level fail, the
+    /// error of the earliest node in frontier order is returned — the same
+    /// error a sequential exploration reports.
+    pub fn explore_from_with(
+        &self,
+        initial: Configuration<P::LocalState>,
+        options: ExploreOptions,
+    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
+        let started = Instant::now();
+        let threads = options.resolved_threads();
+        let limits = options.limits;
+
+        let mut state_interner: Interner<AnyState> = Interner::new();
+        let mut proc_interner: Interner<ProcStatus<P::LocalState>> = Interner::new();
+        let mut index = ShardedIndex::new();
+        let n_obj = initial.object_states.len();
+        let n_procs = initial.procs.len();
+        let mut scratch = vec![0u32; n_obj + n_procs];
+        let mut out_scratch: Vec<Edge> = Vec::new();
+        let initial_key = self.compact(&initial, &state_interner, &proc_interner);
+        index.insert(initial_key.clone(), 0);
+
+        let mut configs = vec![initial];
         let mut edges: Vec<Vec<Edge>> = vec![vec![]];
         let mut expanded = vec![false];
         let mut transitions = 0usize;
-        let mut queue = VecDeque::from([0usize]);
         let mut complete = true;
+        let mut frontier: Vec<(u32, CompactConfig)> = vec![(0, initial_key)];
 
-        while let Some(node) = queue.pop_front() {
-            if node >= limits.max_configs {
-                // Frontier beyond the budget stays unexpanded.
+        let mut expanded_count = 0usize;
+        let mut dedup_hits = 0usize;
+        let mut peak_frontier = 0usize;
+        let mut levels: Vec<LevelStats> = Vec::new();
+        // Transition memo, one store per execution path: the fused
+        // single-threaded path owns a plain map (entry API, no locks, no
+        // `Arc` traffic); parallel levels share the sharded, lock-guarded
+        // one. Both memoize the same pure function, so a run that switches
+        // paths between levels at worst recomputes a step per store.
+        let memo = TransitionMemo::new();
+        let mut seq_memo: lbsa_support::hash::FxHashMap<(u32, u32, u32), Pairs> =
+            lbsa_support::hash::FxHashMap::with_capacity_and_hasher(256, Default::default());
+
+        while !frontier.is_empty() {
+            peak_frontier = peak_frontier.max(frontier.len());
+            // The budget counts *expanded* configurations: truncate the
+            // level to whatever budget remains, in one pass.
+            let budget = limits.max_configs.saturating_sub(expanded_count);
+            let take = frontier.len().min(budget);
+            if take < frontier.len() {
                 complete = false;
-                continue;
             }
-            expanded[node] = true;
-            let config = configs[node].clone();
-            let mut out = vec![];
-            for pid in config.enabled_pids() {
-                let succs = self.successors_of(&config, pid)?;
-                for (outcome, succ) in succs.into_iter().enumerate() {
-                    transitions += 1;
-                    let target = match index.get(&succ) {
-                        Some(&t) => t,
-                        None => {
-                            let t = configs.len();
-                            index.insert(succ.clone(), t);
-                            configs.push(succ);
-                            edges.push(vec![]);
-                            expanded.push(false);
-                            queue.push_back(t);
-                            t
+            if take == 0 {
+                break;
+            }
+            let level_started = Instant::now();
+            let mut next_frontier: Vec<(u32, CompactConfig)> = Vec::new();
+            let mut level_transitions = 0usize;
+
+            if threads <= 1 || take < PAR_MIN_LEVEL {
+                // Fused expand-and-merge: with no worker hand-off there is
+                // nothing to gain from materializing successor records —
+                // each node expands against the live index and merges on the
+                // spot. Probing the live index yields exactly the index
+                // assignments the two-phase merge computes, in the same
+                // frontier order, so this path and the parallel one build
+                // identical graphs.
+                for (node_id, parent_key) in &frontier[..take] {
+                    let node = *node_id as usize;
+                    out_scratch.clear();
+                    for i in 0..n_procs {
+                        let (obj, pairs) = {
+                            let ProcStatus::Running(local) = &configs[node].procs[i] else {
+                                continue;
+                            };
+                            let pid = Pid(i);
+                            let (obj, op) = self.protocol.pending_op(pid, local);
+                            let memo_key =
+                                (parent_key[obj.index()], parent_key[n_obj + i], i as u32);
+                            let pairs = match seq_memo.entry(memo_key) {
+                                std::collections::hash_map::Entry::Occupied(e) => &*e.into_mut(),
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    &*v.insert(self.compute_pairs(
+                                        &configs[node],
+                                        pid,
+                                        local,
+                                        obj,
+                                        &op,
+                                        &mut state_interner,
+                                        &mut proc_interner,
+                                    )?)
+                                }
+                            };
+                            (obj, pairs)
+                        };
+                        for (outcome, &(succ_state, succ_proc)) in
+                            pairs.as_slice().iter().enumerate()
+                        {
+                            level_transitions += 1;
+                            scratch.copy_from_slice(parent_key);
+                            scratch[obj.index()] = succ_state;
+                            scratch[n_obj + i] = succ_proc;
+                            let target = if let Some(t) = index.probe(&scratch) {
+                                dedup_hits += 1;
+                                t
+                            } else {
+                                let t = u32::try_from(configs.len())
+                                    .expect("graphs are bounded well below u32::MAX nodes");
+                                let key: CompactConfig = scratch.as_slice().into();
+                                // Build the successor from parts rather than
+                                // clone-then-overwrite: the two patched slots
+                                // come from the interner, the rest from the
+                                // parent.
+                                let mut new_state =
+                                    Some(state_interner.resolve_mut(succ_state).clone());
+                                let mut new_proc =
+                                    Some(proc_interner.resolve_mut(succ_proc).clone());
+                                let next = {
+                                    let parent = &configs[node];
+                                    Configuration {
+                                        object_states: parent
+                                            .object_states
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(j, s)| {
+                                                if j == obj.index() {
+                                                    new_state.take().expect("one patched slot")
+                                                } else {
+                                                    s.clone()
+                                                }
+                                            })
+                                            .collect(),
+                                        procs: parent
+                                            .procs
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(j, p)| {
+                                                if j == i {
+                                                    new_proc.take().expect("one patched slot")
+                                                } else {
+                                                    p.clone()
+                                                }
+                                            })
+                                            .collect(),
+                                    }
+                                };
+                                next_frontier.push((t, key.clone()));
+                                index.insert(key, t);
+                                configs.push(next);
+                                edges.push(vec![]);
+                                expanded.push(false);
+                                t
+                            };
+                            out_scratch.push(Edge {
+                                pid: Pid(i),
+                                outcome,
+                                target: target as usize,
+                            });
                         }
-                    };
-                    out.push(Edge { pid, outcome, target });
+                    }
+                    // Exact-size allocation; the scratch keeps its capacity
+                    // for the next node.
+                    edges[node] = out_scratch.clone();
+                    expanded[node] = true;
+                }
+            } else {
+                // Expansion borrows the graph's configurations immutably;
+                // the borrow ends before the merge mutates them.
+                let results: Vec<NodeResult<P::LocalState>> = {
+                    let work: Vec<WorkItem<'_, P::LocalState>> = frontier[..take]
+                        .iter()
+                        .map(|(i, key)| (*i, &configs[*i as usize], key))
+                        .collect();
+                    self.expand_level_parallel(
+                        &work,
+                        threads,
+                        &state_interner,
+                        &proc_interner,
+                        &memo,
+                        &index,
+                    )
+                };
+
+                // Deterministic merge: scan the level in frontier order,
+                // assigning new node indices in first-encounter order —
+                // exactly the order a sequential FIFO BFS assigns them.
+                for ((node, _), result) in frontier[..take].iter().zip(results) {
+                    let records = result?;
+                    let mut out = Vec::with_capacity(records.len());
+                    for rec in records {
+                        level_transitions += 1;
+                        let target = if let Some(t) = rec.known {
+                            dedup_hits += 1;
+                            t
+                        } else {
+                            let key = rec.key.expect("unknown successors carry their key");
+                            // A sibling merged earlier in this level may have
+                            // claimed the key since the worker's pre-probe.
+                            if let Some(t) = index.probe(&key) {
+                                dedup_hits += 1;
+                                t
+                            } else {
+                                let t = u32::try_from(configs.len())
+                                    .expect("graphs are bounded well below u32::MAX nodes");
+                                next_frontier.push((t, key.clone()));
+                                index.insert(key, t);
+                                configs.push(
+                                    rec.config
+                                        .expect("new successors carry their configuration"),
+                                );
+                                edges.push(vec![]);
+                                expanded.push(false);
+                                t
+                            }
+                        };
+                        out.push(Edge {
+                            pid: rec.pid,
+                            outcome: rec.outcome,
+                            target: target as usize,
+                        });
+                    }
+                    edges[*node as usize] = out;
+                    expanded[*node as usize] = true;
                 }
             }
-            edges[node] = out;
+            expanded_count += take;
+            transitions += level_transitions;
+            levels.push(LevelStats {
+                width: take,
+                transitions: level_transitions,
+                elapsed: level_started.elapsed(),
+            });
+            if take < frontier.len() {
+                // Truncated: the rest of this frontier (and everything newly
+                // discovered) stays unexpanded.
+                break;
+            }
+            frontier = next_frontier;
         }
 
-        Ok(ExplorationGraph { configs, edges, expanded, complete, transitions })
+        let stats = ExploreStats {
+            configs: configs.len(),
+            expanded: expanded_count,
+            transitions,
+            dedup_hits,
+            distinct_object_states: state_interner.len(),
+            distinct_proc_statuses: proc_interner.len(),
+            peak_frontier,
+            threads,
+            elapsed: started.elapsed(),
+            levels,
+        };
+        Ok(ExplorationGraph {
+            configs,
+            edges,
+            expanded,
+            complete,
+            transitions,
+            stats,
+        })
+    }
+
+    /// Interns every component of `config` into a compact id vector:
+    /// object-state ids followed by process-status ids.
+    fn compact(
+        &self,
+        config: &Configuration<P::LocalState>,
+        state_interner: &Interner<AnyState>,
+        proc_interner: &Interner<ProcStatus<P::LocalState>>,
+    ) -> CompactConfig {
+        config
+            .object_states
+            .iter()
+            .map(|s| state_interner.intern(s))
+            .chain(config.procs.iter().map(|p| proc_interner.intern(p)))
+            .collect()
+    }
+
+    /// Computes all successors of one configuration by **delta-interning**:
+    /// a successor differs from its parent in exactly one object state and
+    /// one process status, so its dedup key is the parent's key with two
+    /// slots patched — only the two changed components are ever hashed.
+    /// Successors whose key pre-probes to an already-indexed node are
+    /// reported by index alone; their configuration is never materialized.
+    ///
+    /// The step itself goes through the [`TransitionMemo`]: on a hit, the
+    /// successor id pairs come straight out of the memo and neither the
+    /// object specification nor the protocol runs at all.
+    fn expand_node(
+        &self,
+        config: &Configuration<P::LocalState>,
+        parent_key: &[u32],
+        state_interner: &Interner<AnyState>,
+        proc_interner: &Interner<ProcStatus<P::LocalState>>,
+        memo: &TransitionMemo,
+        index: &ShardedIndex,
+    ) -> NodeResult<P::LocalState> {
+        let n_obj = config.object_states.len();
+        let mut out = Vec::new();
+        let mut scratch: Vec<u32> = parent_key.to_vec();
+        for (i, status) in config.procs.iter().enumerate() {
+            let ProcStatus::Running(local) = status else {
+                continue;
+            };
+            let pid = Pid(i);
+            let (obj, op) = self.protocol.pending_op(pid, local);
+            // `(pid, running local state)` determines `(obj, op)`, so the
+            // triple below pins down the whole step.
+            let memo_key = (parent_key[obj.index()], parent_key[n_obj + i], i as u32);
+            let pairs = self.step_pairs(
+                config,
+                pid,
+                local,
+                obj,
+                &op,
+                memo_key,
+                state_interner,
+                proc_interner,
+                memo,
+            )?;
+            for (outcome, &(succ_state, succ_proc)) in pairs.as_slice().iter().enumerate() {
+                // Build the successor key in the scratch buffer; only
+                // successors that miss the index allocate a persistent key.
+                scratch.copy_from_slice(parent_key);
+                scratch[obj.index()] = succ_state;
+                scratch[n_obj + pid.index()] = succ_proc;
+                if let Some(t) = index.probe(&scratch) {
+                    out.push(SuccRecord {
+                        pid,
+                        outcome,
+                        key: None,
+                        known: Some(t),
+                        config: None,
+                    });
+                } else {
+                    let mut next = config.clone();
+                    next.object_states[obj.index()] = (*state_interner.resolve(succ_state)).clone();
+                    next.procs[pid.index()] = (*proc_interner.resolve(succ_proc)).clone();
+                    out.push(SuccRecord {
+                        pid,
+                        outcome,
+                        key: Some(scratch.as_slice().into()),
+                        known: None,
+                        config: Some(next),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The interned outcome pairs of one step, through the memo: on a hit,
+    /// neither the object specification nor the protocol runs.
+    #[allow(clippy::too_many_arguments)]
+    fn step_pairs(
+        &self,
+        config: &Configuration<P::LocalState>,
+        pid: Pid,
+        local: &P::LocalState,
+        obj: ObjId,
+        op: &Op,
+        memo_key: (u32, u32, u32),
+        state_interner: &Interner<AnyState>,
+        proc_interner: &Interner<ProcStatus<P::LocalState>>,
+        memo: &TransitionMemo,
+    ) -> Result<Arc<Pairs>, RuntimeError> {
+        if let Some(hit) = memo.get(memo_key) {
+            return Ok(hit);
+        }
+        let computed =
+            self.compute_pairs(config, pid, local, obj, op, state_interner, proc_interner)?;
+        Ok(memo.insert(memo_key, computed))
+    }
+
+    /// The raw (un-memoized) step: run the specification and the protocol,
+    /// intern the results. Generic over the intern handle so the fused
+    /// single-threaded path gets the lock-free `&mut` interners while
+    /// parallel workers share the locking `&` ones.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_pairs<SI, PI>(
+        &self,
+        config: &Configuration<P::LocalState>,
+        pid: Pid,
+        local: &P::LocalState,
+        obj: ObjId,
+        op: &Op,
+        mut state_interner: SI,
+        mut proc_interner: PI,
+    ) -> Result<Pairs, RuntimeError>
+    where
+        SI: InternSink<AnyState>,
+        PI: InternSink<ProcStatus<P::LocalState>>,
+    {
+        let spec = self
+            .objects
+            .get(obj.index())
+            .ok_or(RuntimeError::ObjIdOutOfRange {
+                obj,
+                len: self.objects.len(),
+            })?;
+        let mut outs = spec
+            .outcomes(&config.object_states[obj.index()], op)?
+            .into_vec();
+        let mut pair = |response, obj_state: &AnyState| {
+            let status = match self.protocol.on_response(pid, local, response) {
+                Step::Continue(s) => ProcStatus::Running(s),
+                Step::Decide(v) => ProcStatus::Decided(v),
+                Step::Abort => ProcStatus::Aborted,
+                Step::Halt => ProcStatus::Halted,
+            };
+            (state_interner.put(obj_state), proc_interner.put(&status))
+        };
+        if outs.len() == 1 {
+            let (response, obj_state) = outs.pop().expect("length checked");
+            return Ok(Pairs::One(pair(response, &obj_state)));
+        }
+        Ok(Pairs::Many(
+            outs.into_iter()
+                .map(|(response, obj_state)| pair(response, &obj_state))
+                .collect(),
+        ))
+    }
+
+    /// Expands one level on `threads` scoped workers pulling node positions
+    /// from a shared atomic counter. Results land in per-position slots, so
+    /// scheduling order is invisible to the merge.
+    fn expand_level_parallel(
+        &self,
+        work: &[WorkItem<'_, P::LocalState>],
+        threads: usize,
+        state_interner: &Interner<AnyState>,
+        proc_interner: &Interner<ProcStatus<P::LocalState>>,
+        memo: &TransitionMemo,
+        index: &ShardedIndex,
+    ) -> Vec<NodeResult<P::LocalState>> {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<NodeResult<P::LocalState>>>> =
+            work.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, config, key)) = work.get(pos) else {
+                        break;
+                    };
+                    let result =
+                        self.expand_node(config, key, state_interner, proc_interner, memo, index);
+                    *slots[pos].lock().expect("expansion slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("expansion slot poisoned")
+                    .expect("every position was claimed by a worker")
+            })
+            .collect()
     }
 }
 
@@ -416,7 +1106,9 @@ mod tests {
     fn race_consensus_graph_shape() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(g.complete);
         // Both orders of the two proposals, converging to terminal configs
         // where both decided the first proposer's value.
@@ -426,8 +1118,10 @@ mod tests {
             assert_eq!(c.distinct_decisions().len(), 1);
         }
         // Exactly two distinct terminal outcomes: decided-0 and decided-1.
-        let outcomes: std::collections::BTreeSet<Vec<Value>> =
-            g.terminal_indices().map(|t| g.configs[t].distinct_decisions()).collect();
+        let outcomes: std::collections::BTreeSet<Vec<Value>> = g
+            .terminal_indices()
+            .map(|t| g.configs[t].distinct_decisions())
+            .collect();
         assert_eq!(outcomes.len(), 2);
         assert!(!g.has_cycle());
     }
@@ -439,7 +1133,9 @@ mod tests {
         // configurations; the graph must count transitions, not paths.
         let p = RaceConsensus { n: 3 };
         let objects = vec![AnyObject::consensus(3).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(g.complete);
         assert!(g.transitions >= 6);
         // All terminals agree on one value.
@@ -452,8 +1148,13 @@ mod tests {
     fn cyclic_protocol_is_detected() {
         let p = ForeverProposer;
         let objects = vec![AnyObject::strong_sa()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
-        assert!(g.complete, "state space is finite despite the infinite execution");
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
+        assert!(
+            g.complete,
+            "state space is finite despite the infinite execution"
+        );
         assert!(g.has_cycle());
         let on_cycle = g.find_cycle().unwrap();
         assert!(g.path_to(on_cycle).is_some());
@@ -466,6 +1167,127 @@ mod tests {
         let g = Explorer::new(&p, &objects).explore(Limits::new(2)).unwrap();
         assert!(!g.complete);
         assert!(g.expanded.iter().filter(|&&e| e).count() <= 2);
+    }
+
+    #[test]
+    fn budget_counts_expanded_configs_exactly() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let full = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
+        assert!(full.complete);
+        let total = full.len();
+        for budget in 1..total + 2 {
+            let g = Explorer::new(&p, &objects)
+                .explore(Limits::new(budget))
+                .unwrap();
+            let expanded = g.expanded.iter().filter(|&&e| e).count();
+            assert_eq!(
+                expanded,
+                budget.min(total),
+                "budget {budget} must expand exactly min(budget, reachable)"
+            );
+            assert_eq!(g.stats.expanded, expanded);
+            assert_eq!(g.complete, budget >= total);
+            // Truncated graphs expand a prefix of the BFS order: every
+            // expanded node index is below every unexpanded one that has
+            // no edges recorded.
+            if let Some(first_unexpanded) = g.expanded.iter().position(|&e| !e) {
+                assert!(g.expanded[..first_unexpanded].iter().all(|&e| e));
+                assert!(g.expanded[first_unexpanded..].iter().all(|&e| !e));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_graph() {
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let sequential = ex
+            .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = ex
+                .explore_with(ExploreOptions::new(Limits::default()).with_threads(threads))
+                .unwrap();
+            assert!(
+                sequential.same_structure(&parallel),
+                "graph differs at {threads} threads"
+            );
+            assert_eq!(sequential.structural_digest(), parallel.structural_digest());
+            assert_eq!(parallel.stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_truncated_graphs() {
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        for budget in [1, 3, 7, 20] {
+            let seq = ex
+                .explore_with(ExploreOptions::new(Limits::new(budget)).with_threads(1))
+                .unwrap();
+            let par = ex
+                .explore_with(ExploreOptions::new(Limits::new(budget)).with_threads(4))
+                .unwrap();
+            assert!(
+                seq.same_structure(&par),
+                "truncated graph differs at budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_graphs_are_thread_count_independent() {
+        let p = ForeverProposer;
+        let objects = vec![AnyObject::strong_sa()];
+        let ex = Explorer::new(&p, &objects);
+        let seq = ex
+            .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
+            .unwrap();
+        let par = ex
+            .explore_with(ExploreOptions::new(Limits::default()).with_threads(4))
+            .unwrap();
+        assert!(seq.same_structure(&par));
+        assert!(par.has_cycle());
+    }
+
+    #[test]
+    fn stats_are_consistent_with_the_graph() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
+        assert_eq!(g.stats.configs, g.len());
+        assert_eq!(g.stats.transitions, g.transitions);
+        assert_eq!(g.stats.expanded, g.expanded.iter().filter(|&&e| e).count());
+        // Every transition either discovered a new node or deduplicated.
+        assert_eq!(g.stats.dedup_hits, g.transitions - (g.len() - 1));
+        assert_eq!(
+            g.stats.levels.iter().map(|l| l.width).sum::<usize>(),
+            g.stats.expanded
+        );
+        assert_eq!(
+            g.stats.levels.iter().map(|l| l.transitions).sum::<usize>(),
+            g.transitions
+        );
+        assert!(g.stats.peak_frontier >= 1);
+        assert!(g.stats.dedup_rate() >= 0.0 && g.stats.dedup_rate() <= 1.0);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn auto_thread_count_resolves_positive() {
+        let options = ExploreOptions::default();
+        assert!(options.resolved_threads() >= 1);
+        assert_eq!(
+            ExploreOptions::default().with_threads(3).resolved_threads(),
+            3
+        );
     }
 
     #[test]
@@ -498,8 +1320,7 @@ mod tests {
         // STATE = {0}; proposing 1 captures it, then either member may be
         // returned: two branches.
         assert_eq!(c2s.len(), 2);
-        let decisions: Vec<_> =
-            c2s.iter().map(|c| c.procs[1].decision().unwrap()).collect();
+        let decisions: Vec<_> = c2s.iter().map(|c| c.procs[1].decision().unwrap()).collect();
         assert_eq!(decisions, vec![Value::Int(0), Value::Int(1)]);
     }
 
@@ -531,7 +1352,12 @@ mod tests {
             // Replay the path through successors_of and confirm we land on t.
             let mut cur = g.configs[0].clone();
             for e in &path {
-                cur = ex.successors_of(&cur, e.pid).unwrap().into_iter().nth(e.outcome).unwrap();
+                cur = ex
+                    .successors_of(&cur, e.pid)
+                    .unwrap()
+                    .into_iter()
+                    .nth(e.outcome)
+                    .unwrap();
             }
             assert_eq!(cur, g.configs[t]);
         }
@@ -541,7 +1367,9 @@ mod tests {
     fn depths_are_bfs_distances() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let depths = g.depths();
         assert_eq!(depths[0], Some(0));
         // Every edge target is at most one deeper than its source.
@@ -561,7 +1389,9 @@ mod tests {
     fn dot_export_mentions_every_node_and_edge() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let dot = g.to_dot(|i, c| format!("c{i}:{:?}", c.distinct_decisions()));
         assert!(dot.starts_with("digraph"));
         for i in 0..g.configs.len() {
@@ -572,4 +1402,3 @@ mod tests {
         assert!(dot.contains("shape=doublecircle"), "terminal nodes styled");
     }
 }
-

@@ -1,0 +1,280 @@
+//! Hash-consing of object states and process statuses.
+//!
+//! Exploration revisits the same object states and per-process statuses over
+//! and over: a million-configuration graph of a 4-process protocol typically
+//! contains only a few thousand *distinct* object states and local states.
+//! An [`Interner`] maps each distinct value to a stable `u32` id, so a whole
+//! configuration compresses to a short id vector ([`CompactConfig`]) —
+//! hashing and comparing configurations during deduplication then touches a
+//! handful of words instead of walking deep state trees.
+//!
+//! The interner is safe to call from several expansion workers
+//! concurrently; reads (the overwhelmingly common case — states repeat)
+//! take a read lock only. Ids are *not* required to be deterministic across
+//! runs: deduplication keys live and die inside one exploration, and graph
+//! node indices are assigned by the deterministic merge, never by interning
+//! order.
+
+use lbsa_support::hash::FxHashMap;
+use std::hash::Hash;
+use std::sync::{Arc, RwLock};
+
+/// Number of index shards (must be a power of two).
+const SHARDS: usize = 16;
+
+/// A configuration compressed to interned ids: object-state ids followed by
+/// process-status ids. Reference-counted so the dedup index, the frontier,
+/// and in-flight successor records can share one allocation.
+pub type CompactConfig = Arc<[u32]>;
+
+/// A concurrent hash-consing table: `intern` maps equal values to equal
+/// `u32` ids, `resolve` maps ids back to shared values.
+///
+/// A single store behind one `RwLock`, not a sharded one: interning deep
+/// values is dominated by hashing them, and a sharded table must hash every
+/// value twice (once to pick the shard, once inside the shard's map). Reads
+/// — the overwhelmingly common case, since states repeat — share the lock,
+/// and write contention is negligible because distinct values are a tiny
+/// fraction of intern calls.
+#[derive(Debug)]
+pub struct Interner<T> {
+    inner: RwLock<Store<T>>,
+}
+
+#[derive(Debug)]
+struct Store<T> {
+    map: FxHashMap<Arc<T>, u32>,
+    items: Vec<Arc<T>>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner {
+            inner: RwLock::new(Store {
+                map: FxHashMap::default(),
+                items: Vec::new(),
+            }),
+        }
+    }
+
+    /// Returns the id of `value`, inserting it on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct values are interned, or if
+    /// the lock is poisoned by a panicking worker.
+    pub fn intern(&self, value: &T) -> u32 {
+        if let Some(&id) = self
+            .inner
+            .read()
+            .expect("interner lock poisoned")
+            .map
+            .get(value)
+        {
+            return id;
+        }
+        let mut guard = self.inner.write().expect("interner lock poisoned");
+        if let Some(&id) = guard.map.get(value) {
+            return id; // raced with another writer
+        }
+        Self::insert(&mut guard, value)
+    }
+
+    /// [`Interner::intern`] for exclusive access: `&mut self` proves no
+    /// other thread holds the lock, so `RwLock::get_mut` skips it entirely.
+    /// This is the fast path of single-threaded exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Interner::intern`] does.
+    pub fn intern_mut(&mut self, value: &T) -> u32 {
+        let store = self.inner.get_mut().expect("interner lock poisoned");
+        if let Some(&id) = store.map.get(value) {
+            return id;
+        }
+        Self::insert(store, value)
+    }
+
+    fn insert(store: &mut Store<T>, value: &T) -> u32 {
+        let id = u32::try_from(store.items.len()).expect("interner overflow");
+        let arc = Arc::new(value.clone());
+        store.items.push(Arc::clone(&arc));
+        store.map.insert(arc, id);
+        id
+    }
+
+    /// [`Interner::resolve`] for exclusive access: returns a plain reference
+    /// without touching the lock or the reference count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    #[must_use]
+    pub fn resolve_mut(&mut self, id: u32) -> &T {
+        self.inner
+            .get_mut()
+            .expect("interner lock poisoned")
+            .items
+            .get(id as usize)
+            .expect("unknown interned id")
+    }
+
+    /// Resolves an id back to its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    #[must_use]
+    pub fn resolve(&self, id: u32) -> Arc<T> {
+        Arc::clone(
+            self.inner
+                .read()
+                .expect("interner lock poisoned")
+                .items
+                .get(id as usize)
+                .expect("unknown interned id"),
+        )
+    }
+
+    /// Number of distinct values interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .items
+            .len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for Interner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The deduplication index: `CompactConfig` → graph node index, sharded by
+/// configuration hash.
+///
+/// Concurrency discipline: during a level's expansion, workers hold `&self`
+/// and [`probe`](ShardedIndex::probe) concurrently; between levels the merge
+/// holds `&mut self` and inserts. The borrow checker enforces the phases, so
+/// no locking is needed.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    shards: Vec<FxHashMap<CompactConfig, u32>>,
+}
+
+impl ShardedIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardedIndex {
+            shards: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Shard selection must be a pure function of the key's content, but it
+    /// need not be a strong hash — a cheap mix of the first and last ids
+    /// (an object state and a process status) spreads configurations well
+    /// without hashing the whole key twice per probe.
+    fn shard_of(key: &[u32]) -> usize {
+        let mix = key.first().copied().unwrap_or(0).wrapping_mul(0x9E37_79B9)
+            ^ key.last().copied().unwrap_or(0).wrapping_mul(0x85EB_CA6B);
+        (mix >> 24) as usize & (SHARDS - 1)
+    }
+
+    /// Looks up the node index of `key`, if already assigned.
+    #[must_use]
+    pub fn probe(&self, key: &[u32]) -> Option<u32> {
+        self.shards[Self::shard_of(key)].get(key).copied()
+    }
+
+    /// Assigns `index` to `key` (merge phase only).
+    pub fn insert(&mut self, key: CompactConfig, index: u32) {
+        let shard = Self::shard_of(&key);
+        self.shards[shard].insert(key, index);
+    }
+
+    /// Number of configurations indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Returns `true` if no configuration is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(FxHashMap::is_empty)
+    }
+}
+
+impl Default for ShardedIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_a_bijection() {
+        let interner: Interner<String> = Interner::new();
+        let a = interner.intern(&"alpha".to_string());
+        let b = interner.intern(&"beta".to_string());
+        let a2 = interner.intern(&"alpha".to_string());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(*interner.resolve(a), "alpha");
+        assert_eq!(*interner.resolve(b), "beta");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let interner: Interner<u64> = Interner::new();
+        let ids: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| (0..500u64).map(|v| interner.intern(&v)).collect()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(interner.len(), 500);
+        for other in &ids[1..] {
+            assert_eq!(
+                &ids[0], other,
+                "same value must get the same id in every thread"
+            );
+        }
+        for (v, &id) in ids[0].iter().enumerate() {
+            assert_eq!(*interner.resolve(id), v as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_index_round_trips() {
+        let mut index = ShardedIndex::new();
+        assert!(index.is_empty());
+        for i in 0..100u32 {
+            let key: CompactConfig = vec![i, i + 1, i + 2].into();
+            assert_eq!(index.probe(&key), None);
+            index.insert(key, i);
+        }
+        assert_eq!(index.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(index.probe(&[i, i + 1, i + 2]), Some(i));
+        }
+    }
+}

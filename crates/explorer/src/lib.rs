@@ -36,10 +36,13 @@ pub mod adversary;
 pub mod checker;
 pub mod config;
 pub mod explore;
+pub mod intern;
 pub mod linearizability;
 pub mod sampling;
+pub mod stats;
 pub mod valency;
 
 pub use config::Configuration;
-pub use explore::{ExplorationGraph, Explorer, Limits};
+pub use explore::{ExplorationGraph, ExploreOptions, Explorer, Limits};
+pub use stats::{ExploreStats, LevelStats};
 pub use valency::{Valence, ValencyAnalysis};

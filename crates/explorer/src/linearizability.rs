@@ -106,7 +106,10 @@ pub fn check_linearizable(
     let mut result = Linearization::default();
     for (obj, indices) in per_object {
         if indices.len() > 128 {
-            return Err(LinearizabilityError::TooManyOps { obj, count: indices.len() });
+            return Err(LinearizabilityError::TooManyOps {
+                obj,
+                count: indices.len(),
+            });
         }
         let spec = &specs[obj.index()];
         let order = linearize_one(history, &indices, spec)?
@@ -127,7 +130,11 @@ fn linearize_one(
     if n == 0 {
         return Ok(Some(vec![]));
     }
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut failed: HashSet<(u128, AnyState)> = HashSet::new();
     let mut order: Vec<usize> = Vec::with_capacity(n);
 
@@ -156,9 +163,7 @@ fn linearize_one(
             // Real-time order: i may be next only if no other pending op
             // responded strictly before i was invoked.
             let blocked = (0..indices.len()).any(|j| {
-                j != i
-                    && done & (1 << j) == 0
-                    && history[indices[j]].responded_at < op_i.invoked_at
+                j != i && done & (1 << j) == 0 && history[indices[j]].responded_at < op_i.invoked_at
             });
             if blocked {
                 continue;
@@ -168,7 +173,16 @@ fn linearize_one(
                     continue;
                 }
                 order.push(indices[i]);
-                if dfs(history, indices, spec, &next_state, done | (1 << i), full, failed, order)? {
+                if dfs(
+                    history,
+                    indices,
+                    spec,
+                    &next_state,
+                    done | (1 << i),
+                    full,
+                    failed,
+                    order,
+                )? {
                     return Ok(true);
                 }
                 order.pop();
@@ -179,7 +193,16 @@ fn linearize_one(
     }
 
     let initial = spec.initial_state();
-    if dfs(history, indices, spec, &initial, 0, full, &mut failed, &mut order)? {
+    if dfs(
+        history,
+        indices,
+        spec,
+        &initial,
+        0,
+        full,
+        &mut failed,
+        &mut order,
+    )? {
         Ok(Some(order))
     } else {
         Ok(None)
@@ -200,7 +223,14 @@ mod tests {
         invoked_at: usize,
         responded_at: usize,
     ) -> CompletedOp {
-        CompletedOp { pid: Pid(pid), obj: ObjId(obj), op, response, invoked_at, responded_at }
+        CompletedOp {
+            pid: Pid(pid),
+            obj: ObjId(obj),
+            op,
+            response,
+            invoked_at,
+            responded_at,
+        }
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct SampleConfig {
 impl Default for SampleConfig {
     /// 1000 runs from seed 0, 100k steps each.
     fn default() -> Self {
-        SampleConfig { runs: 1000, seed0: 0, max_steps: 100_000 }
+        SampleConfig {
+            runs: 1000,
+            seed0: 0,
+            max_steps: 100_000,
+        }
     }
 }
 
@@ -139,7 +143,10 @@ pub fn sample_k_set_agreement<P: Protocol>(
         }
         let decided = result.distinct_decisions();
         if decided.len() > k {
-            return Err(SampleViolation::Agreement { seed, values: decided });
+            return Err(SampleViolation::Agreement {
+                seed,
+                values: decided,
+            });
         }
         for v in &decided {
             if !valid_inputs.contains(v) {
@@ -215,13 +222,19 @@ mod tests {
     fn sampling_passes_correct_consensus_at_scale() {
         // 12 processes — far beyond exhaustive reach for a one-line test.
         let inputs: Vec<Value> = (0..12).map(|i| int(i % 2)).collect();
-        let p = Race { inputs: inputs.clone() };
+        let p = Race {
+            inputs: inputs.clone(),
+        };
         let objects = vec![AnyObject::consensus(12).unwrap()];
         let report = sample_consensus(
             &p,
             &objects,
             &inputs,
-            SampleConfig { runs: 200, seed0: 0, max_steps: 10_000 },
+            SampleConfig {
+                runs: 200,
+                seed0: 0,
+                max_steps: 10_000,
+            },
         )
         .unwrap();
         assert_eq!(report.runs, 200);
@@ -234,7 +247,9 @@ mod tests {
     #[test]
     fn sampling_catches_agreement_violations_with_a_seed() {
         let inputs = vec![int(0), int(1)];
-        let p = DecideOwn { inputs: inputs.clone() };
+        let p = DecideOwn {
+            inputs: inputs.clone(),
+        };
         let objects = vec![AnyObject::register()];
         let err = sample_consensus(&p, &objects, &inputs, SampleConfig::default()).unwrap_err();
         match err {
@@ -276,10 +291,20 @@ mod tests {
             &DecideConstant,
             &[AnyObject::register()],
             &[int(0), int(1)],
-            SampleConfig { runs: 5, seed0: 9, max_steps: 100 },
+            SampleConfig {
+                runs: 5,
+                seed0: 9,
+                max_steps: 100,
+            },
         )
         .unwrap_err();
-        assert!(matches!(err, SampleViolation::Validity { value: Value::Int(42), .. }));
+        assert!(matches!(
+            err,
+            SampleViolation::Validity {
+                value: Value::Int(42),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -303,7 +328,11 @@ mod tests {
             &Spin,
             &[AnyObject::register()],
             &[],
-            SampleConfig { runs: 3, seed0: 0, max_steps: 50 },
+            SampleConfig {
+                runs: 3,
+                seed0: 0,
+                max_steps: 50,
+            },
         )
         .unwrap();
         assert_eq!(report.budget_hit, 3);
@@ -313,9 +342,15 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = SampleViolation::Agreement { seed: 7, values: vec![int(0), int(1)] };
+        let v = SampleViolation::Agreement {
+            seed: 7,
+            values: vec![int(0), int(1)],
+        };
         assert!(v.to_string().contains("seed 7"));
-        let v = SampleViolation::Validity { seed: 8, value: int(9) };
+        let v = SampleViolation::Validity {
+            seed: 8,
+            value: int(9),
+        };
         assert!(v.to_string().contains("validity"));
     }
 }

@@ -1,0 +1,129 @@
+//! Exploration metrics: where the model checker's time and memory go.
+//!
+//! [`ExploreStats`] is filled in by every exploration and carried on the
+//! resulting [`ExplorationGraph`](crate::ExplorationGraph); the experiment
+//! binaries print it so state-space growth and engine throughput are
+//! visible in the recorded experiment outputs.
+//!
+//! Timings are wall-clock and therefore *not* part of graph identity: two
+//! explorations of the same protocol produce identical graphs with
+//! different stats.
+
+use std::time::Duration;
+
+/// Per-BFS-level measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LevelStats {
+    /// Number of configurations expanded in this level.
+    pub width: usize,
+    /// Transitions discovered while expanding this level.
+    pub transitions: usize,
+    /// Wall-clock time spent on this level (expansion + merge).
+    pub elapsed: Duration,
+}
+
+/// Aggregate metrics of one exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Configurations discovered (graph nodes).
+    pub configs: usize,
+    /// Configurations expanded (successors computed).
+    pub expanded: usize,
+    /// Transitions discovered (graph edges).
+    pub transitions: usize,
+    /// Successor configurations that deduplicated onto an existing node.
+    pub dedup_hits: usize,
+    /// Distinct interned object states.
+    pub distinct_object_states: usize,
+    /// Distinct interned process statuses.
+    pub distinct_proc_statuses: usize,
+    /// Widest BFS frontier encountered.
+    pub peak_frontier: usize,
+    /// Worker threads used for frontier expansion.
+    pub threads: usize,
+    /// Total wall-clock time of the exploration.
+    pub elapsed: Duration,
+    /// Per-level breakdown, in BFS order.
+    pub levels: Vec<LevelStats>,
+}
+
+impl ExploreStats {
+    /// Expanded configurations per second of wall-clock time.
+    #[must_use]
+    pub fn configs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.expanded as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of discovered transitions whose target configuration was
+    /// already known (`0.0..=1.0`).
+    #[must_use]
+    pub fn dedup_rate(&self) -> f64 {
+        if self.transitions > 0 {
+            self.dedup_hits as f64 / self.transitions as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of BFS levels (graph depth plus one, when complete).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// A one-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads, {:.3}s ({:.0} configs/s)",
+            self.configs,
+            self.transitions,
+            100.0 * self.dedup_rate(),
+            self.depth(),
+            self.peak_frontier,
+            self.threads,
+            self.elapsed.as_secs_f64(),
+            self.configs_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let stats = ExploreStats::default();
+        assert_eq!(stats.configs_per_sec(), 0.0);
+        assert_eq!(stats.dedup_rate(), 0.0);
+        assert_eq!(stats.depth(), 0);
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let stats = ExploreStats {
+            configs: 42,
+            expanded: 40,
+            transitions: 100,
+            dedup_hits: 59,
+            peak_frontier: 7,
+            threads: 4,
+            elapsed: Duration::from_millis(500),
+            levels: vec![LevelStats::default(); 3],
+            ..ExploreStats::default()
+        };
+        let s = stats.summary();
+        assert!(s.contains("42 configs"));
+        assert!(s.contains("100 transitions"));
+        assert!(s.contains("59.0% dedup"));
+        assert!(s.contains("depth 3"));
+        assert!(s.contains("4 threads"));
+        assert!(s.contains("80 configs/s"));
+    }
+}

@@ -80,7 +80,10 @@ impl ValencyAnalysis {
                 }
             }
         }
-        ValencyAnalysis { closures, exact: graph.complete }
+        ValencyAnalysis {
+            closures,
+            exact: graph.complete,
+        }
     }
 
     /// The decision closure of configuration `idx`.
@@ -132,7 +135,9 @@ impl ValencyAnalysis {
             .filter(|&i| {
                 self.is_multivalent(i)
                     && !graph.edges[i].is_empty()
-                    && graph.edges[i].iter().all(|e| !self.is_multivalent(e.target))
+                    && graph.edges[i]
+                        .iter()
+                        .all(|e| !self.is_multivalent(e.target))
             })
             .collect()
     }
@@ -152,7 +157,6 @@ impl ValencyAnalysis {
         counts
     }
 }
-
 
 /// The anatomy of one critical configuration: which object each enabled
 /// process is poised to access.
@@ -203,14 +207,18 @@ pub fn critical_anatomy<P: Protocol>(
             pending.push((pid, obj, op));
         }
         let same_object = match pending.split_first() {
-            Some(((_, first, _), rest)) if rest.iter().all(|(_, o, _)| o == first) => {
-                Some(*first)
-            }
+            Some(((_, first, _), rest)) if rest.iter().all(|(_, o, _)| o == first) => Some(*first),
             _ => None,
         };
-        let object_kind =
-            same_object.and_then(|o| explorer.objects().get(o.index())).map(|o| o.name());
-        out.push(CriticalInfo { config: idx, pending, same_object, object_kind });
+        let object_kind = same_object
+            .and_then(|o| explorer.objects().get(o.index()))
+            .map(|o| o.name());
+        out.push(CriticalInfo {
+            config: idx,
+            pending,
+            same_object,
+            object_kind,
+        });
     }
     Ok(out)
 }
@@ -244,7 +252,9 @@ mod tests {
     fn initial_config_of_a_race_is_bivalent() {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let va = ValencyAnalysis::analyze(&g);
         assert!(va.exact);
         // Before anyone moves, either value can win: bivalent.
@@ -255,7 +265,10 @@ mod tests {
         // After the first propose, the winner is fixed: every successor of
         // the initial configuration is univalent, so config 0 is critical.
         let crit = va.critical_configurations(&g);
-        assert!(crit.contains(&0), "the race's initial configuration is critical");
+        assert!(
+            crit.contains(&0),
+            "the race's initial configuration is critical"
+        );
     }
 
     #[test]
@@ -276,11 +289,16 @@ mod tests {
     fn census_adds_up() {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let (b, u, m) = va.census();
         assert_eq!(b + u + m, va.len());
-        assert_eq!(b, 0, "every configuration of this protocol leads to decisions");
+        assert_eq!(
+            b, 0,
+            "every configuration of this protocol leads to decisions"
+        );
         assert!(m >= 1, "the initial configuration is multivalent");
         assert!(u >= 2);
     }
@@ -307,7 +325,9 @@ mod tests {
     fn non_deciding_protocol_is_barren() {
         let p = NeverDecide;
         let objects = vec![AnyObject::register()];
-        let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::default())
+            .unwrap();
         let va = ValencyAnalysis::analyze(&g);
         for i in 0..va.len() {
             assert_eq!(va.valence(i), Valence::Barren);
@@ -341,7 +361,10 @@ mod tests {
             }
             fn pending_op(&self, pid: Pid, s: &bool) -> (ObjId, Op) {
                 if !s {
-                    (ObjId(1 + pid.index()), Op::Write(Value::Int(pid.index() as i64)))
+                    (
+                        ObjId(1 + pid.index()),
+                        Op::Write(Value::Int(pid.index() as i64)),
+                    )
                 } else {
                     (ObjId(0), Op::Propose(Value::Int(pid.index() as i64)))
                 }
@@ -372,7 +395,11 @@ mod tests {
                 "claim 4.2.7: all processes poised on the same object at {}",
                 info.config
             );
-            assert_eq!(info.object_kind, Some("n-consensus"), "claim 4.2.8: not a register");
+            assert_eq!(
+                info.object_kind,
+                Some("n-consensus"),
+                "claim 4.2.8: not a register"
+            );
             assert_eq!(info.pending.len(), 2);
         }
     }
@@ -386,8 +413,10 @@ mod tests {
         let va = ValencyAnalysis::analyze(&g);
         let anatomy = critical_anatomy(&ex, &g, &va).unwrap();
         assert_eq!(anatomy.len(), 1);
-        assert_eq!(anatomy[0].config, 0, "the initial configuration is the critical one");
+        assert_eq!(
+            anatomy[0].config, 0,
+            "the initial configuration is the critical one"
+        );
         assert_eq!(anatomy[0].same_object, Some(ObjId(0)));
     }
 }
-

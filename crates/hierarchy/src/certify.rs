@@ -146,7 +146,11 @@ pub fn certified_consensus_number(
             Err(violation) => {
                 let (level, upper) = best.ok_or(violation.clone())?;
                 debug_assert_eq!(level + 1, n);
-                return Ok(CertifiedLevel { level, upper, refutation: violation });
+                return Ok(CertifiedLevel {
+                    level,
+                    upper,
+                    refutation: violation,
+                });
             }
         }
     }
@@ -207,7 +211,10 @@ mod tests {
     fn strong_sa_has_consensus_number_1() {
         let obj = AnyObject::strong_sa();
         let cert = certified_consensus_number(&obj, Face::Propose, 4, limits()).unwrap();
-        assert_eq!(cert.level, 1, "2-SA solves consensus only for a single process");
+        assert_eq!(
+            cert.level, 1,
+            "2-SA solves consensus only for a single process"
+        );
         assert!(matches!(cert.refutation, Violation::Agreement { .. }));
     }
 
@@ -231,6 +238,9 @@ mod tests {
         let v = refute_canonical_consensus(&obj, Face::Propose, 3, limits());
         assert!(v.is_some());
         let none = refute_canonical_consensus(&obj, Face::Propose, 2, limits());
-        assert!(none.is_none(), "2 processes on 2-consensus must not be refutable");
+        assert!(
+            none.is_none(),
+            "2 processes on 2-consensus must not be refutable"
+        );
     }
 }

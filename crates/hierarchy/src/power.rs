@@ -79,10 +79,11 @@ pub fn certify_power_table_o_n(
     for k in 1..=max_k {
         let processes = k * n;
         let inputs = distinct_inputs(processes);
-        let protocol = GroupSplitKSet::via_combined(inputs.clone(), n)
-            .map_err(PowerError::Protocol)?;
-        let objects: Vec<AnyObject> =
-            (0..k).map(|_| AnyObject::o_n(n)).collect::<Result<_, _>>()?;
+        let protocol =
+            GroupSplitKSet::via_combined(inputs.clone(), n).map_err(PowerError::Protocol)?;
+        let objects: Vec<AnyObject> = (0..k)
+            .map(|_| AnyObject::o_n(n))
+            .collect::<Result<_, _>>()?;
         let explorer = Explorer::new(&protocol, &objects);
         check_k_set_agreement(&explorer, k, &inputs, limits)
             .map_err(|violation| PowerError::Violation { k, violation })?;

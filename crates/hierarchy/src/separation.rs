@@ -70,9 +70,7 @@ impl SeparationReport {
     /// `O'ₙ` implementable, every candidate implementation of `Oₙ` refuted.
     #[must_use]
     pub fn separation_established(&self) -> bool {
-        self.powers_match()
-            && self.lemma_6_4_histories_checked > 0
-            && !self.refutations.is_empty()
+        self.powers_match() && self.lemma_6_4_histories_checked > 0 && !self.refutations.is_empty()
     }
 }
 
@@ -103,10 +101,16 @@ impl std::fmt::Display for SeparationError {
         match self {
             SeparationError::Power(e) => write!(f, "power certification failed: {e}"),
             SeparationError::Lemma64NotLinearizable { seed, message } => {
-                write!(f, "lemma 6.4 implementation not linearizable (seed {seed}): {message}")
+                write!(
+                    f,
+                    "lemma 6.4 implementation not linearizable (seed {seed}): {message}"
+                )
             }
             SeparationError::CandidateSurvived { candidate } => {
-                write!(f, "candidate implementation unexpectedly survived: {candidate}")
+                write!(
+                    f,
+                    "candidate implementation unexpectedly survived: {candidate}"
+                )
             }
         }
     }
@@ -148,7 +152,10 @@ fn check_lemma_6_4(n: usize, max_k: usize, seeds: u64) -> Result<usize, Separati
         )
         .expect("runs are error-free");
         check_linearizable(&history, &spec_objects).map_err(|e| {
-            SeparationError::Lemma64NotLinearizable { seed, message: e.to_string() }
+            SeparationError::Lemma64NotLinearizable {
+                seed,
+                message: e.to_string(),
+            }
         })?;
         checked += 1;
     }
@@ -171,17 +178,27 @@ fn refute_candidate(
     let inner = DacFromPac::new(inputs.clone(), Pid(0), ObjId(0)).expect("n + 1 >= 2");
     let procedure = CandidatePacProcedure::new(labels, val_agreement);
     let v_registers: Vec<ObjId> = (2..2 + labels).map(ObjId).collect();
-    let frontends = vec![CandidatePacProcedure::frontend(ObjId(0), ObjId(1), v_registers)];
+    let frontends = vec![CandidatePacProcedure::frontend(
+        ObjId(0),
+        ObjId(1),
+        v_registers,
+    )];
     let derived = DerivedProtocol::new(&inner, &procedure, frontends);
     let mut objects = vec![AnyObject::o_prime_n(n, max_k).expect("validated upstream")];
     objects.extend((0..=labels).map(|_| AnyObject::register()));
     let explorer = Explorer::new(&derived, &objects);
-    let instance = DacInstance { distinguished: Pid(0), inputs };
+    let instance = DacInstance {
+        distinguished: Pid(0),
+        inputs,
+    };
     match check_dac(&explorer, &instance, limits, solo_bound) {
-        Err(violation) => {
-            Ok(CandidateRefutation { candidate: description.to_string(), violation })
-        }
-        Ok(_) => Err(SeparationError::CandidateSurvived { candidate: description.to_string() }),
+        Err(violation) => Ok(CandidateRefutation {
+            candidate: description.to_string(),
+            violation,
+        }),
+        Ok(_) => Err(SeparationError::CandidateSurvived {
+            candidate: description.to_string(),
+        }),
     }
 }
 
@@ -262,9 +279,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SeparationError::CandidateSurvived { candidate: "x".into() };
+        let e = SeparationError::CandidateSurvived {
+            candidate: "x".into(),
+        };
         assert!(e.to_string().contains("survived"));
-        let e = SeparationError::Lemma64NotLinearizable { seed: 3, message: "m".into() };
+        let e = SeparationError::Lemma64NotLinearizable {
+            seed: 3,
+            message: "m".into(),
+        };
         assert!(e.to_string().contains("seed 3"));
     }
 }

@@ -172,7 +172,10 @@ impl DacWaitForWinner {
     /// Creates the candidate.
     #[must_use]
     pub fn new(inputs: Vec<Value>, distinguished: Pid) -> Self {
-        DacWaitForWinner { inputs, distinguished }
+        DacWaitForWinner {
+            inputs,
+            distinguished,
+        }
     }
 
     /// The distinguished process.
@@ -319,7 +322,10 @@ impl CandidatePacProcedure {
     #[must_use]
     pub fn new(labels: usize, val_agreement: ValAgreement) -> Self {
         assert!(labels >= 1);
-        CandidatePacProcedure { labels, val_agreement }
+        CandidatePacProcedure {
+            labels,
+            val_agreement,
+        }
     }
 
     /// Front-end layout: `agreement` first, then `l_register`, then one
@@ -344,12 +350,13 @@ impl AccessProcedure for CandidatePacProcedure {
 
     fn begin(&self, _pid: Pid, _front: ObjId, op: &Op) -> CandidatePacState {
         match op {
-            Op::ProposePac(v, i) if i.in_range(self.labels) => {
-                CandidatePacState::ProposeWriteV { v: *v, label: i.to_index() }
-            }
-            Op::DecidePac(i) if i.in_range(self.labels) => {
-                CandidatePacState::DecideReadL { label: i.to_index() }
-            }
+            Op::ProposePac(v, i) if i.in_range(self.labels) => CandidatePacState::ProposeWriteV {
+                v: *v,
+                label: i.to_index(),
+            },
+            Op::DecidePac(i) if i.in_range(self.labels) => CandidatePacState::DecideReadL {
+                label: i.to_index(),
+            },
             other => panic!("candidate PAC front-end does not support {other}"),
         }
     }
@@ -357,9 +364,7 @@ impl AccessProcedure for CandidatePacProcedure {
     fn pending(&self, _pid: Pid, state: &CandidatePacState) -> (usize, Op) {
         match state {
             CandidatePacState::ProposeWriteV { v, label } => (2 + label, Op::Write(*v)),
-            CandidatePacState::ProposeWriteL { label } => {
-                (1, Op::Write(Value::Int(*label as i64)))
-            }
+            CandidatePacState::ProposeWriteL { label } => (1, Op::Write(Value::Int(*label as i64))),
             CandidatePacState::DecideReadL { .. } => (1, Op::Read),
             CandidatePacState::DecideReadV { label, .. } => (2 + label, Op::Read),
             CandidatePacState::DecideAgree { v, .. } => (0, self.agree_op(*v)),
@@ -381,7 +386,10 @@ impl AccessProcedure for CandidatePacProcedure {
             CandidatePacState::ProposeWriteL { .. } => AccessStep::Return(Value::Done),
             CandidatePacState::DecideReadL { label } => {
                 let l_matches = response == Value::Int(*label as i64);
-                AccessStep::Continue(CandidatePacState::DecideReadV { label: *label, l_matches })
+                AccessStep::Continue(CandidatePacState::DecideReadV {
+                    label: *label,
+                    l_matches,
+                })
             }
             CandidatePacState::DecideReadV { label, l_matches } => {
                 if *l_matches && !response.is_nil() {
@@ -397,8 +405,15 @@ impl AccessProcedure for CandidatePacProcedure {
                 }
             }
             CandidatePacState::DecideAgree { label, .. } => {
-                let result = if response == Value::Bot { Value::Bot } else { response };
-                AccessStep::Continue(CandidatePacState::DecideClearV { label: *label, result })
+                let result = if response == Value::Bot {
+                    Value::Bot
+                } else {
+                    response
+                };
+                AccessStep::Continue(CandidatePacState::DecideClearV {
+                    label: *label,
+                    result,
+                })
             }
             CandidatePacState::DecideClearV { result, .. } => {
                 AccessStep::Continue(CandidatePacState::DecideClearL { result: *result })
@@ -407,7 +422,6 @@ impl AccessProcedure for CandidatePacProcedure {
         }
     }
 }
-
 
 /// Candidate consensus from **PAC objects alone** (no distinguished
 /// process): every process loops `PROPOSE(v, label)` / `DECIDE(label)` like
@@ -458,14 +472,17 @@ impl Protocol for PacRetryConsensus {
     fn pending_op(&self, pid: Pid, state: &PacRetryPhase) -> (ObjId, Op) {
         let label = lbsa_core::Label::new(pid.index() + 1).expect("pid + 1 >= 1");
         match state {
-            PacRetryPhase::Proposing => {
-                (self.pac, Op::ProposePac(self.inputs[pid.index()], label))
-            }
+            PacRetryPhase::Proposing => (self.pac, Op::ProposePac(self.inputs[pid.index()], label)),
             PacRetryPhase::Deciding => (self.pac, Op::DecidePac(label)),
         }
     }
 
-    fn on_response(&self, _pid: Pid, state: &PacRetryPhase, response: Value) -> Step<PacRetryPhase> {
+    fn on_response(
+        &self,
+        _pid: Pid,
+        state: &PacRetryPhase,
+        response: Value,
+    ) -> Step<PacRetryPhase> {
         match state {
             PacRetryPhase::Proposing => Step::Continue(PacRetryPhase::Deciding),
             PacRetryPhase::Deciding => {
@@ -538,10 +555,16 @@ mod tests {
         let p = DacWaitForWinner::new(inputs.clone(), Pid(0));
         let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::register()];
         let ex = Explorer::new(&p, &objects);
-        let instance = DacInstance { distinguished: Pid(0), inputs };
+        let instance = DacInstance {
+            distinguished: Pid(0),
+            inputs,
+        };
         let err = check_dac(&ex, &instance, Limits::default(), 12).unwrap_err();
         assert!(
-            matches!(err, Violation::SoloNonTermination { .. } | Violation::NonTermination(_)),
+            matches!(
+                err,
+                Violation::SoloNonTermination { .. } | Violation::NonTermination(_)
+            ),
             "{err}"
         );
     }
@@ -560,7 +583,10 @@ mod tests {
         )];
         let derived = DerivedProtocol::new(&inner, &procedure, frontends);
         let ex = Explorer::new(&derived, &objects);
-        let instance = DacInstance { distinguished: Pid(0), inputs };
+        let instance = DacInstance {
+            distinguished: Pid(0),
+            inputs,
+        };
         check_dac(&ex, &instance, Limits::default(), 60)
             .expect_err("the candidate PAC implementation must be refuted")
     }
@@ -575,7 +601,10 @@ mod tests {
         objects.extend(registers(4));
         let v = refute_candidate_pac(ValAgreement::ConsensusObject, objects);
         assert!(
-            matches!(v, Violation::SoloNonTermination { .. } | Violation::NonTermination(_)),
+            matches!(
+                v,
+                Violation::SoloNonTermination { .. } | Violation::NonTermination(_)
+            ),
             "expected a termination failure from port exhaustion, got {v}"
         );
     }
@@ -586,7 +615,10 @@ mod tests {
         objects.extend(registers(4));
         let v = refute_candidate_pac(ValAgreement::PowerLevel(1), objects);
         assert!(
-            matches!(v, Violation::SoloNonTermination { .. } | Violation::NonTermination(_)),
+            matches!(
+                v,
+                Violation::SoloNonTermination { .. } | Violation::NonTermination(_)
+            ),
             "expected a termination failure from port exhaustion, got {v}"
         );
     }
@@ -628,4 +660,3 @@ mod tests {
             .unwrap_or_else(|v| panic!("solo PAC consensus must work: {v}"));
     }
 }
-

@@ -89,13 +89,19 @@ impl ClassicConsensus {
                 inputs.len()
             ));
         }
-        Ok(ClassicConsensus { inputs, primitive: Some(primitive) })
+        Ok(ClassicConsensus {
+            inputs,
+            primitive: Some(primitive),
+        })
     }
 
     /// The n-process CAS protocol (`CAS(nil -> input)`, decide the winner).
     #[must_use]
     pub fn cas(inputs: Vec<Value>) -> Self {
-        ClassicConsensus { inputs, primitive: None }
+        ClassicConsensus {
+            inputs,
+            primitive: None,
+        }
     }
 
     /// The base objects this protocol needs, in `ObjId` order.
@@ -138,9 +144,7 @@ impl Protocol for ClassicConsensus {
         match (state, self.primitive) {
             (ClassicPhase::WriteOwn, _) => (ObjId(1 + pid.index()), Op::Write(input)),
             (ClassicPhase::Race, Some(p)) => (ObjId(0), p.op()),
-            (ClassicPhase::Race, None) => {
-                (ObjId(0), Op::CompareAndSwap(Value::Nil, input))
-            }
+            (ClassicPhase::Race, None) => (ObjId(0), Op::CompareAndSwap(Value::Nil, input)),
             (ClassicPhase::ReadOther, _) => (ObjId(1 + (1 - pid.index())), Op::Read),
         }
     }
@@ -255,8 +259,11 @@ mod tests {
     use lbsa_explorer::checker::{check_consensus, Violation};
     use lbsa_explorer::{Explorer, Limits};
 
-    const PRIMS: [RacePrimitive; 3] =
-        [RacePrimitive::TestAndSet, RacePrimitive::FetchAdd, RacePrimitive::Queue];
+    const PRIMS: [RacePrimitive; 3] = [
+        RacePrimitive::TestAndSet,
+        RacePrimitive::FetchAdd,
+        RacePrimitive::Queue,
+    ];
 
     #[test]
     fn direct_two_process_protocols_are_wait_free_consensus() {
@@ -274,11 +281,10 @@ mod tests {
     #[test]
     fn direct_protocol_rejects_wrong_process_count() {
         assert!(ClassicConsensus::two_process(RacePrimitive::TestAndSet, vec![int(0)]).is_err());
-        assert!(ClassicConsensus::two_process(
-            RacePrimitive::Queue,
-            vec![int(0), int(1), int(0)]
-        )
-        .is_err());
+        assert!(
+            ClassicConsensus::two_process(RacePrimitive::Queue, vec![int(0), int(1), int(0)])
+                .is_err()
+        );
     }
 
     #[test]

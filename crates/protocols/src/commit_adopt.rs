@@ -44,7 +44,10 @@ impl GradedValue {
     /// Panics if `value` is negative (the encoding needs the sign bit free).
     #[must_use]
     pub fn encode(self) -> Value {
-        assert!(self.value >= 0, "commit-adopt encoding requires non-negative values");
+        assert!(
+            self.value >= 0,
+            "commit-adopt encoding requires non-negative values"
+        );
         Value::Int(2 * self.value + i64::from(self.commit))
     }
 
@@ -54,9 +57,10 @@ impl GradedValue {
     #[must_use]
     pub fn decode(v: Value) -> Option<GradedValue> {
         match v {
-            Value::Int(i) if i >= 0 => {
-                Some(GradedValue { commit: i % 2 == 1, value: i / 2 })
-            }
+            Value::Int(i) if i >= 0 => Some(GradedValue {
+                commit: i % 2 == 1,
+                value: i / 2,
+            }),
             _ => None,
         }
     }
@@ -121,7 +125,9 @@ impl CommitAdopt {
     /// The `2n` registers this protocol needs.
     #[must_use]
     pub fn objects(&self) -> Vec<lbsa_core::AnyObject> {
-        (0..2 * self.inputs.len()).map(|_| lbsa_core::AnyObject::register()).collect()
+        (0..2 * self.inputs.len())
+            .map(|_| lbsa_core::AnyObject::register())
+            .collect()
     }
 
     fn n(&self) -> usize {
@@ -129,7 +135,9 @@ impl CommitAdopt {
     }
 
     fn input(&self, pid: Pid) -> i64 {
-        self.inputs[pid.index()].as_int().expect("validated at construction")
+        self.inputs[pid.index()]
+            .as_int()
+            .expect("validated at construction")
     }
 }
 
@@ -150,7 +158,10 @@ impl Protocol for CommitAdopt {
             CaPhase::WriteA => (ObjId(pid.index()), Op::Write(self.inputs[pid.index()])),
             CaPhase::CollectA { next, .. } => (ObjId(*next), Op::Read),
             CaPhase::WriteB { strong } => {
-                let graded = GradedValue { commit: *strong, value: self.input(pid) };
+                let graded = GradedValue {
+                    commit: *strong,
+                    value: self.input(pid),
+                };
                 (ObjId(n + pid.index()), Op::Write(graded.encode()))
             }
             CaPhase::CollectB { next, .. } => (ObjId(n + *next), Op::Read),
@@ -160,39 +171,60 @@ impl Protocol for CommitAdopt {
     fn on_response(&self, pid: Pid, state: &CaPhase, response: Value) -> Step<CaPhase> {
         let n = self.n();
         match state {
-            CaPhase::WriteA => Step::Continue(CaPhase::CollectA { next: 0, seen: vec![] }),
+            CaPhase::WriteA => Step::Continue(CaPhase::CollectA {
+                next: 0,
+                seen: vec![],
+            }),
             CaPhase::CollectA { next, seen } => {
                 let mut seen = seen.clone();
                 seen.push(response);
                 if next + 1 < n {
-                    return Step::Continue(CaPhase::CollectA { next: next + 1, seen });
+                    return Step::Continue(CaPhase::CollectA {
+                        next: next + 1,
+                        seen,
+                    });
                 }
                 // Round 1 verdict: unanimous for our value?
                 let mine = self.inputs[pid.index()];
                 let strong = seen.iter().all(|v| v.is_nil() || *v == mine);
                 Step::Continue(CaPhase::WriteB { strong })
             }
-            CaPhase::WriteB { .. } => {
-                Step::Continue(CaPhase::CollectB { next: 0, seen: vec![] })
-            }
+            CaPhase::WriteB { .. } => Step::Continue(CaPhase::CollectB {
+                next: 0,
+                seen: vec![],
+            }),
             CaPhase::CollectB { next, seen } => {
                 let mut seen = seen.clone();
                 seen.push(response);
                 if next + 1 < n {
-                    return Step::Continue(CaPhase::CollectB { next: next + 1, seen });
+                    return Step::Continue(CaPhase::CollectB {
+                        next: next + 1,
+                        seen,
+                    });
                 }
                 // Round 2 verdict.
-                let graded: Vec<GradedValue> =
-                    seen.iter().filter_map(|v| GradedValue::decode(*v)).collect();
+                let graded: Vec<GradedValue> = seen
+                    .iter()
+                    .filter_map(|v| GradedValue::decode(*v))
+                    .collect();
                 let mine = self.input(pid);
                 let all_strong_mine =
                     graded.iter().all(|g| g.commit && g.value == mine) && !graded.is_empty();
                 let output = if all_strong_mine {
-                    GradedValue { commit: true, value: mine }
+                    GradedValue {
+                        commit: true,
+                        value: mine,
+                    }
                 } else if let Some(strong) = graded.iter().find(|g| g.commit) {
-                    GradedValue { commit: false, value: strong.value }
+                    GradedValue {
+                        commit: false,
+                        value: strong.value,
+                    }
                 } else {
-                    GradedValue { commit: false, value: mine }
+                    GradedValue {
+                        commit: false,
+                        value: mine,
+                    }
                 };
                 Step::Decide(output.encode())
             }
@@ -206,9 +238,7 @@ mod tests {
     use lbsa_core::value::int;
     use lbsa_explorer::{Explorer, Limits};
 
-    fn decode_outputs(
-        config: &lbsa_explorer::Configuration<CaPhase>,
-    ) -> Vec<GradedValue> {
+    fn decode_outputs(config: &lbsa_explorer::Configuration<CaPhase>) -> Vec<GradedValue> {
         config
             .procs
             .iter()
@@ -224,7 +254,9 @@ mod tests {
         let all_equal = proposed.windows(2).all(|w| w[0] == w[1]);
         let p = CommitAdopt::new(inputs).unwrap();
         let objects = p.objects();
-        let g = Explorer::new(&p, &objects).explore(Limits::new(2_000_000)).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::new(2_000_000))
+            .unwrap();
         assert!(g.complete, "commit-adopt must be finite-state");
         assert!(!g.has_cycle(), "commit-adopt is wait-free: no cycles");
         for idx in 0..g.configs.len() {
@@ -287,7 +319,8 @@ mod tests {
         let p = CommitAdopt::new(vec![int(4), int(9)]).unwrap();
         let objects = p.objects();
         let mut sys = System::new(&p, &objects).unwrap();
-        sys.run(&mut Solo::new(Pid(0)), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut Solo::new(Pid(0)), &mut FirstOutcome, 100)
+            .unwrap();
         let out = GradedValue::decode(sys.decision(Pid(0)).unwrap()).unwrap();
         assert!(out.commit, "an uncontended propose must commit");
         assert_eq!(out.value, 4);
@@ -301,7 +334,9 @@ mod tests {
         // register consensus).
         let p = CommitAdopt::new(vec![int(0), int(1)]).unwrap();
         let objects = p.objects();
-        let g = Explorer::new(&p, &objects).explore(Limits::new(2_000_000)).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .explore(Limits::new(2_000_000))
+            .unwrap();
         let mut saw_adopt = false;
         for t in g.terminal_indices() {
             for v in g.configs[t].procs.iter().filter_map(|s| s.decision()) {
@@ -337,6 +372,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn encoding_rejects_negative_values() {
-        let _ = GradedValue { commit: true, value: -1 }.encode();
+        let _ = GradedValue {
+            commit: true,
+            value: -1,
+        }
+        .encode();
     }
 }

@@ -45,20 +45,32 @@ impl ConsensusViaObject {
     /// several refutation experiments).
     #[must_use]
     pub fn new(inputs: Vec<Value>, obj: ObjId) -> Self {
-        ConsensusViaObject { inputs, obj, face: ProposeFace::Plain }
+        ConsensusViaObject {
+            inputs,
+            obj,
+            face: ProposeFace::Plain,
+        }
     }
 
     /// Consensus via the `PROPOSEC` face of an (n,m)-PAC object at `obj`
     /// (Observation 5.1(c)).
     #[must_use]
     pub fn via_propose_c(inputs: Vec<Value>, obj: ObjId) -> Self {
-        ConsensusViaObject { inputs, obj, face: ProposeFace::CombinedC }
+        ConsensusViaObject {
+            inputs,
+            obj,
+            face: ProposeFace::CombinedC,
+        }
     }
 
     /// Consensus via level 1 of a power object at `obj`.
     #[must_use]
     pub fn via_power_level_1(inputs: Vec<Value>, obj: ObjId) -> Self {
-        ConsensusViaObject { inputs, obj, face: ProposeFace::PowerLevel(1) }
+        ConsensusViaObject {
+            inputs,
+            obj,
+            face: ProposeFace::PowerLevel(1),
+        }
     }
 
     /// The process inputs.
@@ -134,7 +146,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                Violation::Validity { value: Value::Bot, .. } | Violation::Agreement { .. }
+                Violation::Validity {
+                    value: Value::Bot,
+                    ..
+                } | Violation::Agreement { .. }
             ),
             "{err}"
         );
@@ -150,9 +165,8 @@ mod tests {
                 let p = ConsensusViaObject::via_propose_c(inputs, ObjId(0));
                 let objects = vec![AnyObject::combined_pac(n, m).unwrap()];
                 let ex = Explorer::new(&p, &objects);
-                check_consensus(&ex, &valid, Limits::default()).unwrap_or_else(|v| {
-                    panic!("({n},{m})-PAC failed m-consensus: {v}")
-                });
+                check_consensus(&ex, &valid, Limits::default())
+                    .unwrap_or_else(|v| panic!("({n},{m})-PAC failed m-consensus: {v}"));
             }
         }
     }

@@ -74,7 +74,10 @@ impl DacFromPac {
     /// distinguished pid is out of range.
     pub fn new(inputs: Vec<Value>, distinguished: Pid, pac: ObjId) -> Result<Self, String> {
         if inputs.len() < 2 {
-            return Err(format!("the n-DAC problem requires n >= 2 processes, got {}", inputs.len()));
+            return Err(format!(
+                "the n-DAC problem requires n >= 2 processes, got {}",
+                inputs.len()
+            ));
         }
         if distinguished.index() >= inputs.len() {
             return Err(format!(
@@ -82,7 +85,11 @@ impl DacFromPac {
                 inputs.len()
             ));
         }
-        Ok(DacFromPac { inputs, distinguished, pac })
+        Ok(DacFromPac {
+            inputs,
+            distinguished,
+            pac,
+        })
     }
 
     /// The distinguished process `p`.
@@ -100,7 +107,10 @@ impl DacFromPac {
     /// The problem instance for [`lbsa_explorer::checker::check_dac`].
     #[must_use]
     pub fn instance(&self) -> DacInstance {
-        DacInstance { distinguished: self.distinguished, inputs: self.inputs.clone() }
+        DacInstance {
+            distinguished: self.distinguished,
+            inputs: self.inputs.clone(),
+        }
     }
 
     fn label(&self, pid: Pid) -> Label {
@@ -122,9 +132,7 @@ impl Protocol for DacFromPac {
     fn pending_op(&self, pid: Pid, state: &DacPhase) -> (ObjId, Op) {
         let label = self.label(pid);
         match state {
-            DacPhase::Proposing => {
-                (self.pac, Op::ProposePac(self.inputs[pid.index()], label))
-            }
+            DacPhase::Proposing => (self.pac, Op::ProposePac(self.inputs[pid.index()], label)),
             DacPhase::Deciding => (self.pac, Op::DecidePac(label)),
         }
     }
@@ -153,7 +161,9 @@ impl Protocol for DacFromPac {
 pub fn all_binary_inputs(n: usize) -> Vec<Vec<Value>> {
     (0..(1usize << n))
         .map(|mask| {
-            (0..n).map(|i| Value::Int(i64::from(mask >> i & 1 == 1))).collect()
+            (0..n)
+                .map(|i| Value::Int(i64::from(mask >> i & 1 == 1)))
+                .collect()
         })
         .collect()
 }
@@ -187,7 +197,8 @@ mod tests {
         let p = DacFromPac::new(vec![int(1), int(0), int(0)], Pid(0), ObjId(0)).unwrap();
         let objects = pac_objects(3);
         let mut sys = System::new(&p, &objects).unwrap();
-        sys.run(&mut Solo::new(Pid(0)), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut Solo::new(Pid(0)), &mut FirstOutcome, 100)
+            .unwrap();
         assert_eq!(sys.decision(Pid(0)), Some(int(1)));
     }
 
@@ -197,7 +208,8 @@ mod tests {
         let p = DacFromPac::new(vec![int(1), int(0), int(0)], Pid(0), ObjId(0)).unwrap();
         let objects = pac_objects(3);
         let mut sys = System::new(&p, &objects).unwrap();
-        sys.run(&mut Solo::new(Pid(1)), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut Solo::new(Pid(1)), &mut FirstOutcome, 100)
+            .unwrap();
         assert_eq!(sys.decision(Pid(1)), Some(int(0)));
     }
 
@@ -211,14 +223,21 @@ mod tests {
         // processes then starve each other's retry loops indefinitely —
         // round-robin is exactly the adversarial schedule here, which is WHY
         // the DAC Termination property only speaks about solo runs.
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 60).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 60)
+            .unwrap();
         assert_eq!(res.aborted, vec![Pid(0)]);
-        assert!(res.distinct_decisions().is_empty(), "the retry loops starve each other");
+        assert!(
+            res.distinct_decisions().is_empty(),
+            "the retry loops starve each other"
+        );
         // Phase 2: let q1 run solo — it must decide (Termination (b))…
-        sys.run(&mut Solo::new(Pid(1)), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut Solo::new(Pid(1)), &mut FirstOutcome, 100)
+            .unwrap();
         let d1 = sys.decision(Pid(1)).expect("q1 decides when run solo");
         // …and then q2 solo must agree.
-        sys.run(&mut Solo::new(Pid(2)), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut Solo::new(Pid(2)), &mut FirstOutcome, 100)
+            .unwrap();
         assert_eq!(sys.decision(Pid(2)), Some(d1));
         assert_eq!(d1, int(0), "only non-aborted inputs may be decided");
     }
@@ -232,7 +251,11 @@ mod tests {
         let mut sched = Scripted::new([Pid(0), Pid(0), Pid(1), Pid(1)]);
         sys.run(&mut sched, &mut FirstOutcome, 100).unwrap();
         assert_eq!(sys.decision(Pid(0)), Some(int(1)));
-        assert_eq!(sys.decision(Pid(1)), Some(int(1)), "q adopts the consensus value");
+        assert_eq!(
+            sys.decision(Pid(1)),
+            Some(int(1)),
+            "q adopts the consensus value"
+        );
     }
 
     #[test]
@@ -276,7 +299,10 @@ mod tests {
         let ex = Explorer::new(&p, &objects);
         let g = ex.explore(Limits::default()).unwrap();
         assert!(g.complete);
-        assert!(g.has_cycle(), "adversarial interleavings starve the retry loops");
+        assert!(
+            g.has_cycle(),
+            "adversarial interleavings starve the retry loops"
+        );
         assert!(check_dac(&ex, &p.instance(), Limits::default(), 10).is_ok());
     }
 
@@ -289,7 +315,10 @@ mod tests {
         let p = DacFromPac::new(vec![int(1), int(0)], Pid(0), ObjId(0)).unwrap();
         let objects = pac_objects(2);
         let ex = Explorer::new(&p, &objects);
-        let wrong = DacInstance { distinguished: Pid(1), inputs: vec![int(1), int(0)] };
+        let wrong = DacInstance {
+            distinguished: Pid(1),
+            inputs: vec![int(1), int(0)],
+        };
         let err = check_dac(&ex, &wrong, Limits::default(), 8).unwrap_err();
         // Pid(0) can abort; under the wrong instance Pid(0) must always
         // decide solo, which fails.

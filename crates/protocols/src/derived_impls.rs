@@ -37,7 +37,9 @@ impl CombinedFromComponents {
     /// objects are `pac` and `consensus`.
     #[must_use]
     pub fn frontend(pac: ObjId, consensus: ObjId) -> FrontEnd {
-        FrontEnd::Derived { base: vec![pac, consensus] }
+        FrontEnd::Derived {
+            base: vec![pac, consensus],
+        }
     }
 }
 
@@ -82,7 +84,9 @@ impl ComponentsFromCombined {
     /// ops) and the m-consensus face (send `Propose`).
     #[must_use]
     pub fn frontend(combined: ObjId) -> FrontEnd {
-        FrontEnd::Derived { base: vec![combined] }
+        FrontEnd::Derived {
+            base: vec![combined],
+        }
     }
 }
 
@@ -165,7 +169,12 @@ impl AccessProcedure for PowerFromConsensusAndSa {
         (k - 1, Op::Propose(v))
     }
 
-    fn resume(&self, _pid: Pid, _state: &(Value, usize), response: Value) -> AccessStep<(Value, usize)> {
+    fn resume(
+        &self,
+        _pid: Pid,
+        _state: &(Value, usize),
+        response: Value,
+    ) -> AccessStep<(Value, usize)> {
         AccessStep::Return(response)
     }
 }
@@ -236,25 +245,31 @@ mod tests {
     fn observation_5_1_b_pac_face_matches_native() {
         // Run the same PAC workload against (i) a native 2-PAC and (ii) the
         // PAC face of a (2,3)-PAC: identical decisions on every interleaving.
-        let inner = PacPairs { inputs: vec![int(4), int(6)] };
+        let inner = PacPairs {
+            inputs: vec![int(4), int(6)],
+        };
 
         let native_objects = vec![AnyObject::pac(2).unwrap()];
-        let native_graph =
-            Explorer::new(&inner, &native_objects).explore(Limits::default()).unwrap();
+        let native_graph = Explorer::new(&inner, &native_objects)
+            .explore(Limits::default())
+            .unwrap();
 
         let procedure = ComponentsFromCombined::new();
         let frontends = vec![ComponentsFromCombined::frontend(ObjId(0))];
         let derived = DerivedProtocol::new(&inner, &procedure, frontends);
         let derived_objects = vec![AnyObject::combined_pac(2, 3).unwrap()];
-        let derived_graph =
-            Explorer::new(&derived, &derived_objects).explore(Limits::default()).unwrap();
+        let derived_graph = Explorer::new(&derived, &derived_objects)
+            .explore(Limits::default())
+            .unwrap();
 
         let outcomes = |g: &lbsa_explorer::ExplorationGraph<_>| -> std::collections::BTreeSet<Vec<Option<Value>>> {
             g.terminal_indices().map(|t| g.configs[t].decisions()).collect()
         };
         // Configuration types differ; compare terminal decision sets.
-        let native: std::collections::BTreeSet<Vec<Option<Value>>> =
-            native_graph.terminal_indices().map(|t| native_graph.configs[t].decisions()).collect();
+        let native: std::collections::BTreeSet<Vec<Option<Value>>> = native_graph
+            .terminal_indices()
+            .map(|t| native_graph.configs[t].decisions())
+            .collect();
         assert_eq!(native, outcomes(&derived_graph));
     }
 
@@ -371,14 +386,18 @@ mod tests {
 
         let native_objects = vec![AnyObject::combined_pac(2, 2).unwrap()];
         let mut native_sys = System::new(&inner, &native_objects).unwrap();
-        native_sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        native_sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
 
         let procedure = CombinedFromComponents::new();
         let frontends = vec![CombinedFromComponents::frontend(ObjId(0), ObjId(1))];
         let derived = DerivedProtocol::new(&inner, &procedure, frontends);
         let derived_objects = vec![AnyObject::pac(2).unwrap(), AnyObject::consensus(2).unwrap()];
         let mut derived_sys = System::new(&derived, &derived_objects).unwrap();
-        derived_sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        derived_sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
 
         for pid in [Pid(0), Pid(1)] {
             assert_eq!(native_sys.decision(pid), derived_sys.decision(pid));
@@ -436,12 +455,19 @@ mod tests {
     fn dac_port_simulation_agreement_and_solo_success() {
         use super::DacPortProcedure;
         let inputs: Vec<Value> = vec![int(1), int(2), int(3)];
-        let inner = DacPortWorkload { inputs: inputs.clone() };
+        let inner = DacPortWorkload {
+            inputs: inputs.clone(),
+        };
         let procedure = DacPortProcedure::new();
-        let derived =
-            DerivedProtocol::new(&inner, &procedure, vec![DacPortProcedure::frontend(ObjId(0))]);
+        let derived = DerivedProtocol::new(
+            &inner,
+            &procedure,
+            vec![DacPortProcedure::frontend(ObjId(0))],
+        );
         let objects = vec![AnyObject::pac(3).unwrap()];
-        let g = Explorer::new(&derived, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&derived, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(g.complete);
         let mut aborted_somewhere = false;
         let mut decided_somewhere = false;
@@ -477,7 +503,8 @@ mod tests {
                 vec![DacPortProcedure::frontend(ObjId(0))],
             );
             let mut sys = System::new(&derived, &objects).unwrap();
-            sys.run(&mut Solo::new(Pid(pid)), &mut FirstOutcome, 100).unwrap();
+            sys.run(&mut Solo::new(Pid(pid)), &mut FirstOutcome, 100)
+                .unwrap();
             assert_eq!(
                 sys.decision(Pid(pid)),
                 Some(*input),

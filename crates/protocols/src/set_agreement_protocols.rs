@@ -85,7 +85,11 @@ impl GroupSplitKSet {
         if group_size == 0 {
             return Err("group_size must be at least 1".to_string());
         }
-        Ok(GroupSplitKSet { inputs, group_size, face: GroupFace::Consensus })
+        Ok(GroupSplitKSet {
+            inputs,
+            group_size,
+            face: GroupFace::Consensus,
+        })
     }
 
     /// Creates a group-split protocol over the `PROPOSEC` faces of per-group
@@ -96,7 +100,10 @@ impl GroupSplitKSet {
     ///
     /// Returns an error string if `group_size == 0`.
     pub fn via_combined(inputs: Vec<Value>, group_size: usize) -> Result<Self, String> {
-        Ok(GroupSplitKSet { face: GroupFace::CombinedC, ..Self::new(inputs, group_size)? })
+        Ok(GroupSplitKSet {
+            face: GroupFace::CombinedC,
+            ..Self::new(inputs, group_size)?
+        })
     }
 
     /// The number of groups `k` = number of distinct values possible.
@@ -211,7 +218,10 @@ mod tests {
         let inputs = distinct_inputs(4);
         let p = GroupSplitKSet::new(inputs.clone(), 2).unwrap();
         assert_eq!(p.groups(), 2);
-        let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::consensus(2).unwrap()];
+        let objects = vec![
+            AnyObject::consensus(2).unwrap(),
+            AnyObject::consensus(2).unwrap(),
+        ];
         let ex = Explorer::new(&p, &objects);
         check_k_set_agreement(&ex, 2, &inputs, Limits::default())
             .unwrap_or_else(|v| panic!("group split failed: {v}"));
@@ -235,7 +245,10 @@ mod tests {
         // distinct: 1-set agreement fails.
         let inputs = distinct_inputs(4);
         let p = GroupSplitKSet::new(inputs.clone(), 2).unwrap();
-        let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::consensus(2).unwrap()];
+        let objects = vec![
+            AnyObject::consensus(2).unwrap(),
+            AnyObject::consensus(2).unwrap(),
+        ];
         let ex = Explorer::new(&p, &objects);
         assert!(check_k_set_agreement(&ex, 1, &inputs, Limits::default()).is_err());
     }

@@ -91,12 +91,7 @@ impl UniversalProcedure {
     ///
     /// Returns an error string if `spec` is nondeterministic (replay would
     /// diverge), `ops` is empty, or `n`/`capacity` is zero.
-    pub fn new(
-        spec: AnyObject,
-        ops: Vec<Op>,
-        n: usize,
-        capacity: usize,
-    ) -> Result<Self, String> {
+    pub fn new(spec: AnyObject, ops: Vec<Op>, n: usize, capacity: usize) -> Result<Self, String> {
         if !spec.is_deterministic() {
             return Err(format!(
                 "the universal construction requires a deterministic specification; {} is nondeterministic",
@@ -112,7 +107,12 @@ impl UniversalProcedure {
         if capacity == 0 {
             return Err("capacity must be at least 1".to_string());
         }
-        Ok(UniversalProcedure { spec, ops, n, capacity })
+        Ok(UniversalProcedure {
+            spec,
+            ops,
+            n,
+            capacity,
+        })
     }
 
     /// The simulated object's specification.
@@ -148,7 +148,9 @@ impl UniversalProcedure {
     /// `ObjId(first)..ObjId(first + 2·capacity)` in the system.
     #[must_use]
     pub fn frontend(&self, first: usize) -> FrontEnd {
-        FrontEnd::Derived { base: (first..first + 2 * self.capacity).map(ObjId).collect() }
+        FrontEnd::Derived {
+            base: (first..first + 2 * self.capacity).map(ObjId).collect(),
+        }
     }
 
     fn encode(&self, seq: usize, op_index: usize, pid: Pid) -> i64 {
@@ -164,8 +166,25 @@ impl UniversalProcedure {
 
     /// Adopt the winner `enc` of the current slot: replay it into the
     /// simulated state and either finish (it was our operation) or advance.
-    fn adopt(&self, pid: Pid, st: &UniversalAccess, enc: i64) -> AccessStep<UniversalAccess> {
-        let (seq_w, op_w, pid_w) = self.decode(enc);
+    ///
+    /// `proposed` records whether *this access* proposed at the current
+    /// slot (i.e. we arrived here through [`Phase::Announce`]). The slot's
+    /// winner is our current operation exactly when we proposed it here and
+    /// it won: our own entries committed by *earlier* accesses carry the
+    /// same `(pid, seq)` as a fresh access that has passed the same number
+    /// of own wins, so matching on the encoding alone would adopt a stale
+    /// response. Earlier accesses always announce their win before
+    /// returning, so a later access re-adopts them through
+    /// [`Phase::ReadAnnounce`] (with `proposed == false`) and never
+    /// proposes over them.
+    fn adopt(
+        &self,
+        pid: Pid,
+        st: &UniversalAccess,
+        enc: i64,
+        proposed: bool,
+    ) -> AccessStep<UniversalAccess> {
+        let (_, op_w, pid_w) = self.decode(enc);
         let mut sim_state = st.sim_state.clone();
         let response = self
             .spec
@@ -174,11 +193,14 @@ impl UniversalProcedure {
             .into_single();
         sim_state = response.1;
         let response = response.0;
-        let mine = pid_w == pid.index() && seq_w == st.my_wins;
-        if mine && op_w == st.op_index {
+        if proposed && enc == self.encode(st.my_wins, st.op_index, pid) {
             return AccessStep::Return(response);
         }
-        let my_wins = if pid_w == pid.index() { st.my_wins + 1 } else { st.my_wins };
+        let my_wins = if pid_w == pid.index() {
+            st.my_wins + 1
+        } else {
+            st.my_wins
+        };
         let slot = st.slot + 1;
         if slot >= self.capacity {
             return AccessStep::Return(Value::Bot);
@@ -222,16 +244,25 @@ impl AccessProcedure for UniversalProcedure {
         }
     }
 
-    fn resume(&self, pid: Pid, st: &UniversalAccess, response: Value) -> AccessStep<UniversalAccess> {
+    fn resume(
+        &self,
+        pid: Pid,
+        st: &UniversalAccess,
+        response: Value,
+    ) -> AccessStep<UniversalAccess> {
         match &st.phase {
             Phase::ReadAnnounce => match response {
-                Value::Int(enc) => self.adopt(pid, st, enc),
-                _ => AccessStep::Continue(UniversalAccess { phase: Phase::Propose, ..st.clone() }),
+                Value::Int(enc) => self.adopt(pid, st, enc, false),
+                _ => AccessStep::Continue(UniversalAccess {
+                    phase: Phase::Propose,
+                    ..st.clone()
+                }),
             },
             Phase::Propose => match response {
-                Value::Int(enc) => {
-                    AccessStep::Continue(UniversalAccess { phase: Phase::Announce(enc), ..st.clone() })
-                }
+                Value::Int(enc) => AccessStep::Continue(UniversalAccess {
+                    phase: Phase::Announce(enc),
+                    ..st.clone()
+                }),
                 // ⊥ from the consensus object: over-budget. Unreachable by
                 // the announce-before-advance discipline, but handled: fall
                 // back to re-reading the announcement.
@@ -240,7 +271,7 @@ impl AccessProcedure for UniversalProcedure {
                     ..st.clone()
                 }),
             },
-            Phase::Announce(enc) => self.adopt(pid, st, *enc),
+            Phase::Announce(enc) => self.adopt(pid, st, *enc, true),
         }
     }
 }
@@ -321,7 +352,9 @@ mod tests {
         let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
         let objects = uni.base_objects().unwrap();
         let mut sys = System::new(&derived, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000)
+            .unwrap();
         assert!(res.is_quiescent());
         // p1's second read must be one of nil/1/2 — and under round-robin
         // specifically a real interleaving value, not garbage.
@@ -341,7 +374,9 @@ mod tests {
         let inner = RegisterWorkload;
         let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
         let objects = uni.base_objects().unwrap();
-        let g = Explorer::new(&derived, &objects).explore(Limits::default()).unwrap();
+        let g = Explorer::new(&derived, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(g.complete, "universal-register state space must be finite");
         for t in g.terminal_indices() {
             if let Some(d) = g.configs[t].procs[1].decision() {
@@ -388,7 +423,10 @@ mod tests {
         fn pending_op(&self, pid: Pid, s: &u8) -> (ObjId, Op) {
             let label = Label::new(pid.index() + 1).unwrap();
             match s {
-                0 => (ObjId(0), Op::ProposePac(int(10 + pid.index() as i64), label)),
+                0 => (
+                    ObjId(0),
+                    Op::ProposePac(int(10 + pid.index() as i64), label),
+                ),
                 _ => (ObjId(0), Op::DecidePac(label)),
             }
         }
@@ -420,24 +458,30 @@ mod tests {
         let inner = PacWorkload;
 
         let native_objects = vec![AnyObject::pac(2).unwrap()];
-        let native_graph =
-            Explorer::new(&inner, &native_objects).explore(Limits::default()).unwrap();
-        let native: std::collections::BTreeSet<Vec<Option<Value>>> =
-            native_graph.terminal_indices().map(|t| native_graph.configs[t].decisions()).collect();
+        let native_graph = Explorer::new(&inner, &native_objects)
+            .explore(Limits::default())
+            .unwrap();
+        let native: std::collections::BTreeSet<Vec<Option<Value>>> = native_graph
+            .terminal_indices()
+            .map(|t| native_graph.configs[t].decisions())
+            .collect();
 
-        let uni =
-            UniversalProcedure::new(AnyObject::pac(2).unwrap(), pac_table(), 2, 8).unwrap();
+        let uni = UniversalProcedure::new(AnyObject::pac(2).unwrap(), pac_table(), 2, 8).unwrap();
         let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
         let objects = uni.base_objects().unwrap();
-        let derived_graph =
-            Explorer::new(&derived, &objects).explore(Limits::default()).unwrap();
+        let derived_graph = Explorer::new(&derived, &objects)
+            .explore(Limits::default())
+            .unwrap();
         assert!(derived_graph.complete);
         let simulated: std::collections::BTreeSet<Vec<Option<Value>>> = derived_graph
             .terminal_indices()
             .map(|t| derived_graph.configs[t].decisions())
             .collect();
 
-        assert_eq!(native, simulated, "simulated 2-PAC must realize exactly the native outcomes");
+        assert_eq!(
+            native, simulated,
+            "simulated 2-PAC must realize exactly the native outcomes"
+        );
     }
 
     #[test]
@@ -448,7 +492,8 @@ mod tests {
         let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
         let objects = uni.base_objects().unwrap();
         let mut sys = System::new(&derived, &objects).unwrap();
-        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000).unwrap();
+        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000)
+            .unwrap();
         // p1's two reads: at most one fits in the log; its decision is ⊥.
         assert_eq!(sys.decision(Pid(1)), Some(Value::Bot));
     }

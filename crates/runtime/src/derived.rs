@@ -47,9 +47,9 @@ pub enum AccessStep<S> {
 /// The procedure must be **deterministic** and **wait-free**: `pending` and
 /// `resume` are pure functions, and every front-end operation must complete
 /// in a bounded number of base steps regardless of interleaving.
-pub trait AccessProcedure: Debug {
+pub trait AccessProcedure: Debug + Sync {
     /// Per-access bookkeeping state (program counter + scratch).
-    type ProcState: Clone + Eq + Hash + Debug;
+    type ProcState: Clone + Eq + Hash + Debug + Send + Sync;
 
     /// Starts executing `op`, invoked by `pid` on front-end object `front`.
     ///
@@ -65,7 +65,12 @@ pub trait AccessProcedure: Debug {
     fn pending(&self, pid: Pid, state: &Self::ProcState) -> (usize, Op);
 
     /// Consumes the base response: continue the access or return.
-    fn resume(&self, pid: Pid, state: &Self::ProcState, response: Value) -> AccessStep<Self::ProcState>;
+    fn resume(
+        &self,
+        pid: Pid,
+        state: &Self::ProcState,
+        response: Value,
+    ) -> AccessStep<Self::ProcState>;
 }
 
 /// How one front-end object id is realized over the base system.
@@ -158,7 +163,11 @@ impl<'a, P: Protocol, A: AccessProcedure> DerivedProtocol<'a, P, A> {
     /// realized over the base system.
     #[must_use]
     pub fn new(inner: &'a P, procedure: &'a A, frontends: Vec<FrontEnd>) -> Self {
-        DerivedProtocol { inner, procedure, frontends }
+        DerivedProtocol {
+            inner,
+            procedure,
+            frontends,
+        }
     }
 
     /// The front-end layout.
@@ -180,9 +189,9 @@ impl<'a, P: Protocol, A: AccessProcedure> DerivedProtocol<'a, P, A> {
     }
 
     fn frontend(&self, front: ObjId) -> &FrontEnd {
-        self.frontends.get(front.index()).unwrap_or_else(|| {
-            panic!("inner protocol targeted unknown front-end object {front}")
-        })
+        self.frontends
+            .get(front.index())
+            .unwrap_or_else(|| panic!("inner protocol targeted unknown front-end object {front}"))
     }
 
     fn map_base(&self, front_idx: usize, base_idx: usize) -> ObjId {
@@ -232,7 +241,12 @@ impl<'a, P: Protocol, A: AccessProcedure> Protocol for DerivedProtocol<'a, P, A>
         }
     }
 
-    fn on_response(&self, pid: Pid, state: &Self::LocalState, response: Value) -> Step<Self::LocalState> {
+    fn on_response(
+        &self,
+        pid: Pid,
+        state: &Self::LocalState,
+        response: Value,
+    ) -> Step<Self::LocalState> {
         // Determine the access state this response belongs to.
         let (front, acc) = match &state.access {
             Some((front_idx, acc)) => (ObjId(*front_idx), acc.clone()),
@@ -346,8 +360,9 @@ where
             ProcStatus::Running(local) => {
                 if local.completed_count > seen_count[i] {
                     seen_count[i] = local.completed_count;
-                    let (obj, op, response) =
-                        local.last_completed.expect("completed_count implies last_completed");
+                    let (obj, op, response) = local
+                        .last_completed
+                        .expect("completed_count implies last_completed");
                     history.push(CompletedOp {
                         pid,
                         obj,
@@ -371,8 +386,7 @@ where
                     .last()
                     .expect("a step was just executed")
                     .response;
-                let (front, op) =
-                    protocol.inner().pending_op(pid, &pre_step_local.inner);
+                let (front, op) = protocol.inner().pending_op(pid, &pre_step_local.inner);
                 let response = match protocol.frontends().get(front.index()) {
                     Some(FrontEnd::Native { .. }) => Some(base_resp),
                     Some(FrontEnd::Derived { .. }) => {
@@ -522,7 +536,9 @@ mod tests {
             AnyObject::consensus(2).unwrap(),
         ];
         let frontends = vec![
-            FrontEnd::Derived { base: vec![ObjId(0), ObjId(1)] },
+            FrontEnd::Derived {
+                base: vec![ObjId(0), ObjId(1)],
+            },
             FrontEnd::Native { base: ObjId(2) },
         ];
         (objects, frontends)
@@ -535,7 +551,9 @@ mod tests {
         let (objects, frontends) = build();
         let derived = DerivedProtocol::new(&inner, &proc_, frontends);
         let mut sys = System::new(&derived, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert!(res.is_quiescent());
         // p0's write = 2 base steps; p1's propose = 1, read = 2. Total 5.
         assert_eq!(res.steps, 5);
@@ -563,20 +581,33 @@ mod tests {
         // 1 step), p0's write (derived, ends in Halt), and p1's read
         // (derived, ends in Decide).
         assert_eq!(history.len(), 3);
-        let propose = history.iter().find(|c| c.pid == Pid(1) && c.obj == ObjId(1)).unwrap();
+        let propose = history
+            .iter()
+            .find(|c| c.pid == Pid(1) && c.obj == ObjId(1))
+            .unwrap();
         assert_eq!(propose.response, int(7));
         assert_eq!(propose.invoked_at, propose.responded_at);
         let write = history.iter().find(|c| c.pid == Pid(0)).unwrap();
         assert_eq!(write.response, Value::Done);
-        assert!(write.invoked_at < write.responded_at, "the write spans two base steps");
-        let read = history.iter().find(|c| c.pid == Pid(1) && c.obj == ObjId(0)).unwrap();
+        assert!(
+            write.invoked_at < write.responded_at,
+            "the write spans two base steps"
+        );
+        let read = history
+            .iter()
+            .find(|c| c.pid == Pid(1) && c.obj == ObjId(0))
+            .unwrap();
         assert_eq!(read.response, int(10));
     }
 
     #[test]
     fn observational_fields_do_not_affect_identity() {
-        let a: DerivedLocal<u8, u8> =
-            DerivedLocal { inner: 1, access: None, last_completed: None, completed_count: 0 };
+        let a: DerivedLocal<u8, u8> = DerivedLocal {
+            inner: 1,
+            access: None,
+            last_completed: None,
+            completed_count: 0,
+        };
         let b: DerivedLocal<u8, u8> = DerivedLocal {
             inner: 1,
             access: None,
@@ -617,7 +648,9 @@ mod tests {
         let (objects, frontends) = build();
         let derived = DerivedProtocol::new(&inner, &proc_, frontends);
         let mut sys = System::new(&derived, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert_eq!(res.distinct_decisions(), vec![int(1)]);
     }
 

@@ -39,7 +39,10 @@ impl fmt::Display for RuntimeError {
                 write!(f, "object id {obj} out of range (system has {len} objects)")
             }
             RuntimeError::PidOutOfRange { pid, len } => {
-                write!(f, "process id {pid} out of range (system has {len} processes)")
+                write!(
+                    f,
+                    "process id {pid} out of range (system has {len} processes)"
+                )
             }
             RuntimeError::ProcessNotRunning(pid) => {
                 write!(f, "process {pid} is not running")

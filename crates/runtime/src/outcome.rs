@@ -8,8 +8,7 @@
 //! does not use a resolver at all — it follows *every* branch.)
 
 use lbsa_core::{AnyState, ObjId, Pid, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lbsa_support::rng::SmallRng;
 use std::collections::VecDeque;
 
 /// Chooses among the admissible outcomes of a nondeterministic operation.
@@ -41,14 +40,16 @@ impl OutcomeResolver for FirstOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct RandomOutcome {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomOutcome {
     /// Creates a resolver from an explicit seed.
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        RandomOutcome { rng: StdRng::seed_from_u64(seed) }
+        RandomOutcome {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -71,7 +72,9 @@ impl ScriptedOutcome {
     /// Creates a resolver that plays back `choices` in order.
     #[must_use]
     pub fn new<I: IntoIterator<Item = usize>>(choices: I) -> Self {
-        ScriptedOutcome { script: choices.into_iter().collect() }
+        ScriptedOutcome {
+            script: choices.into_iter().collect(),
+        }
     }
 
     /// Number of unconsumed scripted choices.
@@ -95,7 +98,11 @@ mod tests {
 
     fn options() -> Vec<(Value, AnyState)> {
         let st = AnyObject::register().initial_state();
-        vec![(Value::Int(1), st.clone()), (Value::Int(2), st.clone()), (Value::Int(3), st)]
+        vec![
+            (Value::Int(1), st.clone()),
+            (Value::Int(2), st.clone()),
+            (Value::Int(3), st),
+        ]
     }
 
     #[test]
@@ -111,7 +118,9 @@ mod tests {
         let opts = options();
         let run = |seed| {
             let mut r = RandomOutcome::seeded(seed);
-            (0..20).map(|_| r.choose(Pid(0), ObjId(0), &opts)).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| r.choose(Pid(0), ObjId(0), &opts))
+                .collect::<Vec<_>>()
         };
         let a = run(7);
         let b = run(7);

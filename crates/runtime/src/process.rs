@@ -73,16 +73,19 @@ impl<S> ProcStatus<S> {
 /// [`crate::outcome::OutcomeResolver`].
 ///
 /// Local states must be `Clone + Eq + Hash` so that whole configurations can
-/// be deduplicated during exhaustive exploration.
+/// be deduplicated during exhaustive exploration, and protocols and their
+/// local states must be `Sync`/`Send`: a protocol is pure data plus pure
+/// functions, which lets the explorer expand disjoint parts of the frontier
+/// from several threads at once.
 ///
 /// # Determinism contract
 ///
 /// For a fixed `pid` and local state, `pending_op` and `on_response` must be
 /// pure functions. The explorer *relies* on this: it re-invokes them freely
-/// while replaying branches.
-pub trait Protocol: Debug {
+/// while replaying branches, concurrently.
+pub trait Protocol: Debug + Sync {
     /// Per-process local state.
-    type LocalState: Clone + Eq + Hash + Debug;
+    type LocalState: Clone + Eq + Hash + Debug + Send + Sync;
 
     /// Number of processes executing this protocol. Process ids are
     /// `Pid(0) .. Pid(num_processes() - 1)`.
@@ -96,7 +99,12 @@ pub trait Protocol: Debug {
     fn pending_op(&self, pid: Pid, state: &Self::LocalState) -> (ObjId, Op);
 
     /// Consume the response of the pending operation and transition.
-    fn on_response(&self, pid: Pid, state: &Self::LocalState, response: Value) -> Step<Self::LocalState>;
+    fn on_response(
+        &self,
+        pid: Pid,
+        state: &Self::LocalState,
+        response: Value,
+    ) -> Step<Self::LocalState>;
 }
 
 use lbsa_core::Op;
@@ -117,7 +125,11 @@ mod tests {
         assert_eq!(s.decision(), Some(Value::Int(1)));
         assert_eq!(s.local(), None);
 
-        for s in [ProcStatus::<u8>::Aborted, ProcStatus::Halted, ProcStatus::Crashed] {
+        for s in [
+            ProcStatus::<u8>::Aborted,
+            ProcStatus::Halted,
+            ProcStatus::Crashed,
+        ] {
             assert!(!s.is_running());
             assert_eq!(s.decision(), None);
         }

@@ -10,8 +10,7 @@
 //! failures.
 
 use lbsa_core::Pid;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lbsa_support::rng::SmallRng;
 use std::collections::{BTreeSet, VecDeque};
 
 /// Chooses which of the currently-enabled processes takes the next step.
@@ -57,14 +56,16 @@ impl Scheduler for RoundRobin {
 /// reproducible). Random scheduling is fair with probability 1.
 #[derive(Clone, Debug)]
 pub struct RandomScheduler {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomScheduler {
     /// Creates a random scheduler from an explicit seed.
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
-        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+        RandomScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -88,7 +89,9 @@ impl Scripted {
     /// Creates a scheduler that plays back `pids` in order.
     #[must_use]
     pub fn new<I: IntoIterator<Item = Pid>>(pids: I) -> Self {
-        Scripted { script: pids.into_iter().collect() }
+        Scripted {
+            script: pids.into_iter().collect(),
+        }
     }
 
     /// Number of unconsumed scripted steps.
@@ -167,7 +170,9 @@ impl CrashPlan {
     /// Returns `true` if `pid` is crashed at global step count `step`.
     #[must_use]
     pub fn is_crashed(&self, pid: Pid, step: usize) -> bool {
-        self.crashes.iter().any(|&(p, after)| p == pid.index() && step >= after)
+        self.crashes
+            .iter()
+            .any(|&(p, after)| p == pid.index() && step >= after)
     }
 
     /// Returns `true` if the plan crashes no one.
@@ -189,8 +194,9 @@ mod tests {
     fn round_robin_cycles_fairly() {
         let mut s = RoundRobin::new();
         let enabled = pids(&[0, 1, 2]);
-        let picks: Vec<usize> =
-            (0..6).map(|_| s.next_pid(&enabled).unwrap().index()).collect();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| s.next_pid(&enabled).unwrap().index())
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -209,7 +215,9 @@ mod tests {
         let enabled = pids(&[0, 1, 2, 3]);
         let run = |seed| {
             let mut s = RandomScheduler::seeded(seed);
-            (0..30).map(|_| s.next_pid(&enabled).unwrap().index()).collect::<Vec<_>>()
+            (0..30)
+                .map(|_| s.next_pid(&enabled).unwrap().index())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -144,7 +144,9 @@ mod tests {
         assert_eq!(p.total_ops(), 4);
         let objects = vec![AnyObject::register()];
         let mut sys = System::new(&p, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert!(res.is_quiescent());
         assert_eq!(sys.decision(Pid(0)), Some(int(2)));
         // Round-robin: p1's read lands after p0's first write.
@@ -153,14 +155,13 @@ mod tests {
 
     #[test]
     fn halt_variant_produces_no_decisions() {
-        let p = ScriptProtocol::new(
-            vec![vec![(ObjId(0), Op::Write(int(1)))]],
-            ScriptEnd::Halt,
-        )
-        .unwrap();
+        let p = ScriptProtocol::new(vec![vec![(ObjId(0), Op::Write(int(1)))]], ScriptEnd::Halt)
+            .unwrap();
         let objects = vec![AnyObject::register()];
         let mut sys = System::new(&p, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert!(res.is_quiescent());
         assert_eq!(sys.decision(Pid(0)), None);
     }

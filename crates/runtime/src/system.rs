@@ -95,7 +95,9 @@ impl<'a, P: Protocol> System<'a, P> {
             protocol,
             objects,
             object_states: objects.iter().map(ObjectSpec::initial_state).collect(),
-            statuses: (0..n).map(|i| ProcStatus::Running(protocol.init(Pid(i)))).collect(),
+            statuses: (0..n)
+                .map(|i| ProcStatus::Running(protocol.init(Pid(i))))
+                .collect(),
             trace: Trace::new(),
             steps: 0,
             record_trace: true,
@@ -135,7 +137,9 @@ impl<'a, P: Protocol> System<'a, P> {
     /// The decision of `pid`, if it has decided.
     #[must_use]
     pub fn decision(&self, pid: Pid) -> Option<Value> {
-        self.statuses.get(pid.index()).and_then(ProcStatus::decision)
+        self.statuses
+            .get(pid.index())
+            .and_then(ProcStatus::decision)
     }
 
     /// The trace recorded so far.
@@ -169,8 +173,10 @@ impl<'a, P: Protocol> System<'a, P> {
     /// a process that already decided/halted is a no-op (its output stands).
     pub fn crash(&mut self, pid: Pid) -> Result<(), RuntimeError> {
         let len = self.statuses.len();
-        let status =
-            self.statuses.get_mut(pid.index()).ok_or(RuntimeError::PidOutOfRange { pid, len })?;
+        let status = self
+            .statuses
+            .get_mut(pid.index())
+            .ok_or(RuntimeError::PidOutOfRange { pid, len })?;
         if status.is_running() {
             *status = ProcStatus::Crashed;
         }
@@ -203,12 +209,21 @@ impl<'a, P: Protocol> System<'a, P> {
             .ok_or(RuntimeError::ObjIdOutOfRange { obj, len: obj_len })?;
         let state = &self.object_states[obj.index()];
         let options = spec.outcomes(state, &op)?.into_vec();
-        let idx =
-            if options.len() == 1 { 0 } else { resolver.choose(pid, obj, &options).min(options.len() - 1) };
+        let idx = if options.len() == 1 {
+            0
+        } else {
+            resolver.choose(pid, obj, &options).min(options.len() - 1)
+        };
         let (response, next_state) = options.into_iter().nth(idx).expect("index clamped");
         self.object_states[obj.index()] = next_state;
         if self.record_trace {
-            self.trace.push(TraceEvent { step: self.steps, pid, obj, op, response });
+            self.trace.push(TraceEvent {
+                step: self.steps,
+                pid,
+                obj,
+                op,
+                response,
+            });
         }
         self.steps += 1;
         self.statuses[pid.index()] = match self.protocol.on_response(pid, &local, response) {
@@ -327,7 +342,10 @@ mod tests {
 
         fn pending_op(&self, pid: Pid, state: &WrmState) -> (ObjId, Op) {
             match state {
-                WrmState::Write => (ObjId(pid.index()), Op::Write(Value::Int(self.inputs[pid.index()]))),
+                WrmState::Write => (
+                    ObjId(pid.index()),
+                    Op::Write(Value::Int(self.inputs[pid.index()])),
+                ),
                 WrmState::Read => (ObjId(1 - pid.index()), Op::Read),
             }
         }
@@ -353,7 +371,9 @@ mod tests {
         let p = WriteReadMax { inputs: vec![3, 8] };
         let objects = regs(2);
         let mut sys = System::new(&p, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert!(res.all_decided());
         assert!(res.is_quiescent());
         // Both wrote before either read (round-robin), so both decide 8.
@@ -366,7 +386,9 @@ mod tests {
         let p = WriteReadMax { inputs: vec![3, 8] };
         let objects = regs(2);
         let mut sys = System::new(&p, &objects).unwrap();
-        let res = sys.run(&mut Solo::new(Pid(0)), &mut FirstOutcome, 100).unwrap();
+        let res = sys
+            .run(&mut Solo::new(Pid(0)), &mut FirstOutcome, 100)
+            .unwrap();
         // p0 decided its own input; p1 never moved; scheduler stopped.
         assert_eq!(sys.decision(Pid(0)), Some(Value::Int(3)));
         assert_eq!(sys.decision(Pid(1)), None);
@@ -391,7 +413,8 @@ mod tests {
         let p = WriteReadMax { inputs: vec![1, 2] };
         let objects = regs(2);
         let mut sys = System::new(&p, &objects).unwrap();
-        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         let h0 = sys.trace().object_history(ObjId(0));
         // Register 0: p0's write, then p1's read.
         assert_eq!(h0.len(), 2);
@@ -411,7 +434,11 @@ mod tests {
             .run_with_crashes(&mut RoundRobin::new(), &mut FirstOutcome, &crashes, 100)
             .unwrap();
         assert_eq!(res.crashed, vec![Pid(1)]);
-        assert_eq!(sys.decision(Pid(0)), Some(Value::Int(3)), "p0 ran wait-free despite the crash");
+        assert_eq!(
+            sys.decision(Pid(0)),
+            Some(Value::Int(3)),
+            "p0 ran wait-free despite the crash"
+        );
         assert_eq!(sys.decision(Pid(1)), None);
         assert!(res.is_quiescent());
     }
@@ -421,7 +448,9 @@ mod tests {
         let p = WriteReadMax { inputs: vec![1, 2] };
         let objects = regs(2);
         let mut sys = System::new(&p, &objects).unwrap();
-        let res = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 1).unwrap();
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 1)
+            .unwrap();
         assert_eq!(res.end, RunEnd::MaxSteps);
         assert_eq!(res.steps, 1);
     }
@@ -431,7 +460,8 @@ mod tests {
         let p = WriteReadMax { inputs: vec![1, 2] };
         let objects = regs(2);
         let mut sys = System::new(&p, &objects).unwrap();
-        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert!(matches!(
             sys.step_pid(Pid(0), &mut FirstOutcome),
             Err(RuntimeError::ProcessNotRunning(Pid(0)))
@@ -446,7 +476,10 @@ mod tests {
     fn zero_process_protocol_rejected() {
         let p = WriteReadMax { inputs: vec![] };
         let objects = regs(2);
-        assert!(matches!(System::new(&p, &objects), Err(RuntimeError::NoProcesses)));
+        assert!(matches!(
+            System::new(&p, &objects),
+            Err(RuntimeError::NoProcesses)
+        ));
     }
 
     #[test]
@@ -455,7 +488,8 @@ mod tests {
         let objects = regs(2);
         let mut sys = System::new(&p, &objects).unwrap();
         sys.set_record_trace(false);
-        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100).unwrap();
+        sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
         assert!(sys.trace().is_empty());
         assert_eq!(sys.steps(), 4);
     }

@@ -28,7 +28,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{:<4} {} {}.{} -> {}", self.step, self.pid, self.obj, self.op, self.response)
+        write!(
+            f,
+            "#{:<4} {} {}.{} -> {}",
+            self.step, self.pid, self.obj, self.op, self.response
+        )
     }
 }
 
@@ -73,14 +77,21 @@ impl Trace {
         self.events
             .iter()
             .filter(|e| e.obj == obj)
-            .map(|e| Event { op: e.op, response: e.response })
+            .map(|e| Event {
+                op: e.op,
+                response: e.response,
+            })
             .collect()
     }
 
     /// Projects the trace onto one process, yielding the steps it took.
     #[must_use]
     pub fn process_steps(&self, pid: Pid) -> Vec<TraceEvent> {
-        self.events.iter().filter(|e| e.pid == pid).copied().collect()
+        self.events
+            .iter()
+            .filter(|e| e.pid == pid)
+            .copied()
+            .collect()
     }
 
     /// The schedule of this trace: the pid sequence, replayable via
@@ -114,7 +125,9 @@ impl<'a> IntoIterator for &'a Trace {
 
 impl FromIterator<TraceEvent> for Trace {
     fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -123,7 +136,13 @@ mod tests {
     use super::*;
 
     fn ev(step: usize, pid: usize, obj: usize, op: Op, response: Value) -> TraceEvent {
-        TraceEvent { step, pid: Pid(pid), obj: ObjId(obj), op, response }
+        TraceEvent {
+            step,
+            pid: Pid(pid),
+            obj: ObjId(obj),
+            op,
+            response,
+        }
     }
 
     #[test]
@@ -155,7 +174,9 @@ mod tests {
     fn display_is_nonempty() {
         let t = Trace::new();
         assert_eq!(t.to_string(), "(empty trace)");
-        let t: Trace = vec![ev(0, 0, 0, Op::Read, Value::Nil)].into_iter().collect();
+        let t: Trace = vec![ev(0, 0, 0, Op::Read, Value::Nil)]
+            .into_iter()
+            .collect();
         assert!(t.to_string().contains("p0"));
         assert!(t.to_string().contains("READ"));
     }

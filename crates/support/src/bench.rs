@@ -1,0 +1,369 @@
+//! A micro-benchmark harness, API-compatible with the subset of Criterion
+//! used by `lbsa-bench`.
+//!
+//! Each `[[bench]]` target builds its own `main` via [`criterion_group!`] /
+//! [`criterion_main!`]; groups print one line per benchmark (min / median /
+//! mean over the sample set) and the whole run is written as JSON to
+//! `target/lbsa-bench/<group>.json` (override the directory with
+//! `LBSA_BENCH_DIR`) so perf trajectories can be tracked across commits.
+//!
+//! Methodology: after a short calibration phase, every sample executes a
+//! batch of iterations sized so one sample takes roughly
+//! [`SAMPLE_TARGET_NANOS`]; the per-iteration time of a sample is the batch
+//! wall-clock divided by the batch size. This is Criterion's "flat" sampling
+//! mode, minus the statistical machinery we don't need offline.
+
+use std::time::Instant;
+
+/// Target wall-clock per sample, in nanoseconds (5 ms).
+pub const SAMPLE_TARGET_NANOS: u64 = 5_000_000;
+
+/// One measured benchmark: identifier plus per-sample nanoseconds.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/benchmark` identifier.
+    pub id: String,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+    /// Per-iteration nanoseconds, one entry per sample.
+    pub sample_nanos: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Minimum per-iteration time across samples.
+    #[must_use]
+    pub fn min_nanos(&self) -> f64 {
+        self.sample_nanos
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Median per-iteration time across samples.
+    #[must_use]
+    pub fn median_nanos(&self) -> f64 {
+        let mut s = self.sample_nanos.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid]
+        } else {
+            f64::midpoint(s[mid - 1], s[mid])
+        }
+    }
+
+    /// Mean per-iteration time across samples.
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        self.sample_nanos.iter().sum::<f64>() / self.sample_nanos.len() as f64
+    }
+}
+
+/// The top-level harness handle; collects results across groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the final summary and writes the JSON report. Called by the
+    /// [`criterion_main!`]-generated `main` after all groups ran.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let json = results_to_json(&self.results);
+        let dir = std::env::var("LBSA_BENCH_DIR").unwrap_or_else(|_| "target/lbsa-bench".into());
+        let group = self.results[0]
+            .id
+            .split('/')
+            .next()
+            .unwrap_or("bench")
+            .to_string();
+        let path = std::path::Path::new(&dir).join(format!("{group}.json"));
+        if std::fs::create_dir_all(&dir).is_ok() && std::fs::write(&path, json).is_ok() {
+            println!("\nwrote {}", path.display());
+        }
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{id}", self.name);
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let mut result = bencher.result.expect("benchmark closure must call iter()");
+        result.id.clone_from(&full_id);
+        println!(
+            "{full_id:<44} min {:>12}  median {:>12}  mean {:>12}",
+            fmt_nanos(result.min_nanos()),
+            fmt_nanos(result.median_nanos()),
+            fmt_nanos(result.mean_nanos()),
+        );
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Measures `f` applied to `input`, under a parameterized id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for Criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the harness always re-runs setup per iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+/// The per-benchmark measurement driver.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<BenchResult>,
+}
+
+impl Bencher {
+    /// Measures a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in one sample window?
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let one = t0.elapsed().as_nanos().max(1);
+        let iters = u64::try_from((u128::from(SAMPLE_TARGET_NANOS) / one).clamp(1, 1_000_000))
+            .expect("clamped");
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(BenchResult {
+            id: String::new(),
+            iters_per_sample: iters,
+            sample_nanos: samples,
+        });
+    }
+
+    /// Measures a routine with a fresh setup value per invocation. Setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<S, O, Setup, R>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        let t0 = Instant::now();
+        std::hint::black_box(routine(setup()));
+        let one = t0.elapsed().as_nanos().max(1);
+        let iters = u64::try_from((u128::from(SAMPLE_TARGET_NANOS) / one).clamp(1, 1_000_000))
+            .expect("clamped");
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(BenchResult {
+            id: String::new(),
+            iters_per_sample: iters,
+            sample_nanos: samples,
+        });
+    }
+}
+
+/// Serializes results as a small JSON document (no external JSON crate).
+#[must_use]
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"id\": {}, \"iters_per_sample\": {}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}",
+            json_string(&r.id),
+            r.iters_per_sample,
+            r.min_nanos(),
+            r.median_nanos(),
+            r.mean_nanos(),
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for JSON embedding.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function running a sequence of benchmark functions over one
+/// shared [`Criterion`] instance (Criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group
+/// (Criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+                b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput);
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "unit/noop");
+        assert_eq!(c.results()[1].id, "unit/param/4");
+        assert!(c.results()[0].median_nanos() >= 0.0);
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let r = BenchResult {
+            id: "g/b".into(),
+            iters_per_sample: 10,
+            sample_nanos: vec![1.0, 2.0, 3.0],
+        };
+        let json = results_to_json(&[r]);
+        assert!(json.contains("\"id\": \"g/b\""));
+        assert!(json.contains("\"median_ns\": 2.0"));
+        assert!(json.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn median_of_even_sample_count() {
+        let r = BenchResult {
+            id: String::new(),
+            iters_per_sample: 1,
+            sample_nanos: vec![1.0, 3.0, 2.0, 4.0],
+        };
+        assert!((r.median_nanos() - 2.5).abs() < 1e-9);
+        assert!((r.min_nanos() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! A tiny property-test runner.
+//!
+//! Replaces the proptest harness for offline builds: a property is a closure
+//! over a seeded [`SmallRng`]; the runner executes it for a fixed number of
+//! cases with per-case seeds derived deterministically from the case index,
+//! so every failure message names the exact seed that reproduces it.
+//!
+//! ```
+//! use lbsa_support::check::run_cases;
+//! run_cases("addition_commutes", 64, |rng| {
+//!     let a = rng.i64_range(-100..100);
+//!     let b = rng.i64_range(-100..100);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::SmallRng;
+
+/// Base offset mixed into per-case seeds, overridable with `LBSA_CHECK_SEED`
+/// to re-run a suite over a different slice of the input space.
+fn base_seed() -> u64 {
+    std::env::var("LBSA_CHECK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs `property` for `cases` seeded random cases.
+///
+/// # Panics
+///
+/// Re-panics any assertion failure inside `property`, prefixed with the
+/// property name and the reproducing seed (pass it to [`run_seed`] to
+/// replay).
+pub fn run_cases<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut SmallRng),
+{
+    let base = base_seed();
+    for case in 0..cases {
+        let seed = base.wrapping_add(case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_seed(seed, &mut property);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property '{name}' failed at case {case}: replay with run_seed({seed}, ..) or LBSA_CHECK_SEED={seed}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Runs `property` once with the given seed (replay entry point).
+pub fn run_seed<F>(seed: u64, property: &mut F)
+where
+    F: FnMut(&mut SmallRng),
+{
+    // Decorrelate consecutive seeds: feed the raw seed through one
+    // SplitMix64 round via the generator's own seeding.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    property(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        run_cases("counts", 17, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_names_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases("fails", 10, |rng| {
+                let x = rng.random_range(0..100);
+                assert!(x > 1000, "always fails");
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mut a = Vec::new();
+        run_seed(7, &mut |rng: &mut SmallRng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        run_seed(7, &mut |rng: &mut SmallRng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+    }
+}

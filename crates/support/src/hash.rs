@@ -1,0 +1,114 @@
+//! The Fx multiply-xor hasher.
+//!
+//! The explorer's hot loops hash short `u32` slices (interned configuration
+//! keys) millions of times; SipHash's per-call setup dominates at that size.
+//! FxHash — the rustc-internal word-at-a-time multiply-xor hash — is the
+//! standard drop-in for trusted, fixed-size integer keys.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A word-at-a-time multiply-xor hasher (non-cryptographic, not
+/// HashDoS-resistant — for internal, trusted keys only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], for use with `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`].
+#[must_use]
+pub fn fx_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a: Vec<u32> = vec![1, 2, 3, 4, 5];
+        let b: Vec<u32> = vec![1, 2, 3, 4, 5];
+        assert_eq!(fx_hash(&a), fx_hash(&b));
+    }
+
+    #[test]
+    fn different_values_hash_differently() {
+        // Not guaranteed in general, but these must differ for any sane mix.
+        assert_ne!(fx_hash(&[1u32, 2]), fx_hash(&[2u32, 1]));
+        assert_ne!(fx_hash(&0u64), fx_hash(&1u64));
+    }
+
+    #[test]
+    fn map_works_with_fx() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2], 12);
+        m.insert(vec![3], 3);
+        assert_eq!(m.get([1u32, 2].as_slice()), Some(&12));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        assert_ne!(
+            fx_hash(&b"abcdefgh1".to_vec()),
+            fx_hash(&b"abcdefgh2".to_vec())
+        );
+    }
+}

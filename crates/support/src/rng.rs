@@ -1,0 +1,159 @@
+//! Seeded, reproducible pseudo-random numbers.
+//!
+//! [`SmallRng`] is xoshiro256\*\* seeded through SplitMix64 — the standard
+//! construction for turning a 64-bit seed into a full 256-bit state. It is
+//! deliberately *not* cryptographic: its jobs are adversarial schedule
+//! sampling, outcome resolution, and randomized test-case generation, all of
+//! which need speed and reproducibility only.
+
+/// A small, fast, seeded PRNG (xoshiro256\*\*).
+///
+/// The API mirrors the subset of `rand::rngs::StdRng` this workspace used:
+/// [`SmallRng::seed_from_u64`] and [`SmallRng::random_range`].
+///
+/// # Examples
+///
+/// ```
+/// use lbsa_support::rng::SmallRng;
+/// let mut a = SmallRng::seed_from_u64(7);
+/// let mut b = SmallRng::seed_from_u64(7);
+/// assert_eq!(a.random_range(0..100), b.random_range(0..100));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `usize` in `range` (Lemire-style rejection-free reduction;
+    /// the bias is below 2⁻⁶⁴ per draw, irrelevant for test workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        let x = self.next_u64();
+        let reduced = ((u128::from(x) * u128::from(span)) >> 64) as u64;
+        range.start + usize::try_from(reduced).expect("span fits usize")
+    }
+
+    /// A uniform `i64` in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn i64_range(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.abs_diff(range.start);
+        let x = self.next_u64();
+        let reduced = ((u128::from(x) * u128::from(span)) >> 64) as u64;
+        range
+            .start
+            .wrapping_add(i64::try_from(reduced).expect("span fits i64"))
+    }
+
+    /// A random boolean with probability `num`/`den` of being `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        assert!(den > 0, "zero denominator");
+        self.next_u64() % den < num
+    }
+
+    /// A uniformly-chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.random_range(0..items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.random_range(5..9);
+            assert!((5..9).contains(&x));
+            let y = r.i64_range(-4..3);
+            assert!((-4..3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.random_range(0..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_and_ratio() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(r.choose(&items)));
+        }
+        assert!((0..100).all(|_| r.ratio(1, 1)));
+        assert!(!(0..100).any(|_| r.ratio(0, 1)));
+    }
+}

@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Exhaustive exploration.
     let explorer = Explorer::new(&protocol, &objects);
-    let graph = explorer.explore(Limits::default()).map_err(|e| e.to_string())?;
+    let graph = explorer
+        .explore(Limits::default())
+        .map_err(|e| e.to_string())?;
     println!(
         "Explored every execution: {} configurations, {} transitions.",
         graph.configs.len(),
@@ -49,8 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         witness.prefix.len(),
         witness.cycle.len()
     );
-    println!("victims (step forever, never decide): {:?}", witness.victims);
-    assert!(verify_witness(&graph, &witness), "the certificate must replay in the graph");
+    println!(
+        "victims (step forever, never decide): {:?}",
+        witness.victims
+    );
+    assert!(
+        verify_witness(&graph, &witness),
+        "the certificate must replay in the graph"
+    );
     println!("Certificate verified against the execution graph.");
 
     // 4. Replay the certificate in a live system: pump the cycle 50 times

@@ -28,14 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== 10 random schedules ==");
     for seed in 0..10u64 {
         let mut sys = System::new(&protocol, &objects)?;
-        let result =
-            sys.run(&mut RandomScheduler::seeded(seed), &mut FirstOutcome, 10_000)?;
+        let result = sys.run(
+            &mut RandomScheduler::seeded(seed),
+            &mut FirstOutcome,
+            10_000,
+        )?;
         let decisions = result.distinct_decisions();
         println!(
             "seed {seed:>2}: steps = {:>4}, decided = {decisions:?}, aborted = {:?}",
             result.steps, result.aborted
         );
-        assert!(decisions.len() <= 1, "Agreement must hold on every schedule");
+        assert!(
+            decisions.len() <= 1,
+            "Agreement must hold on every schedule"
+        );
     }
 
     // --- Crash injection: wait-freedom w.r.t. the PAC object ------------

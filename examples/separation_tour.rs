@@ -3,10 +3,10 @@
 //!
 //! Run with `cargo run --release --example separation_tour`.
 
+use lbsa_core::AnyObject;
 use life_beyond_set_agreement::explorer::Limits;
 use life_beyond_set_agreement::hierarchy::certify::{certified_consensus_number, Face};
 use life_beyond_set_agreement::hierarchy::separation::run_separation;
-use lbsa_core::AnyObject;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 2usize;
@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let o_n = AnyObject::o_n(n)?;
     let cert = certified_consensus_number(&o_n, Face::ProposeC, 4, limits)
         .map_err(|v| format!("certification failed: {v}"))?;
-    println!("  O_{n} = ({},{})-PAC certifies at level {}", n + 1, n, cert.level);
+    println!(
+        "  O_{n} = ({},{})-PAC certifies at level {}",
+        n + 1,
+        n,
+        cert.level
+    );
     let o_prime = AnyObject::o_prime_n(n, max_k)?;
     let cert = certified_consensus_number(&o_prime, Face::PowerLevel1, 4, limits)
         .map_err(|v| format!("certification failed: {v}"))?;
@@ -33,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Step 2 — equal set agreement power (the Corollary 6.6 precondition):");
     for (k, a) in report.o_n_power.iter() {
         let b = report.o_prime_power.n_k(k).expect("same depth");
-        println!("  k = {k}: n_k(O_{n}) = {a}, n_k(O'_{n}) = {b}  -> {}", a == b);
+        println!(
+            "  k = {k}: n_k(O_{n}) = {a}, n_k(O'_{n}) = {b}  -> {}",
+            a == b
+        );
     }
 
     println!("\nStep 3 — O'_{n} IS implementable from n-consensus + 2-SA (Lemma 6.4):");

@@ -28,7 +28,10 @@ impl Protocol for PacPairs {
     fn pending_op(&self, pid: Pid, s: &u8) -> (ObjId, Op) {
         let label = Label::new(pid.index() + 1).expect("valid label");
         match s {
-            0 => (ObjId(0), Op::ProposePac(Value::Int(10 + pid.index() as i64), label)),
+            0 => (
+                ObjId(0),
+                Op::ProposePac(Value::Int(10 + pid.index() as i64), label),
+            ),
             _ => (ObjId(0), Op::DecidePac(label)),
         }
     }
@@ -48,8 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let native = Explorer::new(&workload, &native_objects)
         .explore(Limits::default())
         .map_err(|e| e.to_string())?;
-    let native_outcomes: BTreeSet<Vec<Option<Value>>> =
-        native.terminal_indices().map(|t| native.configs[t].decisions()).collect();
+    let native_outcomes: BTreeSet<Vec<Option<Value>>> = native
+        .terminal_indices()
+        .map(|t| native.configs[t].decisions())
+        .collect();
     println!(
         "Native 2-PAC: {} configurations, {} distinct terminal decision vectors:",
         native.configs.len(),
@@ -68,8 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Op::DecidePac(l1),
         Op::DecidePac(l2),
     ];
-    let universal = UniversalProcedure::new(AnyObject::pac(2)?, op_table, 2, 8)
-        .map_err(|e| e.to_string())?;
+    let universal =
+        UniversalProcedure::new(AnyObject::pac(2)?, op_table, 2, 8).map_err(|e| e.to_string())?;
     let derived = DerivedProtocol::new(&workload, &universal, vec![universal.frontend(0)]);
     let base_objects = universal.base_objects()?;
     println!(
@@ -82,8 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let simulated = Explorer::new(&derived, &base_objects)
         .explore(Limits::default())
         .map_err(|e| e.to_string())?;
-    let simulated_outcomes: BTreeSet<Vec<Option<Value>>> =
-        simulated.terminal_indices().map(|t| simulated.configs[t].decisions()).collect();
+    let simulated_outcomes: BTreeSet<Vec<Option<Value>>> = simulated
+        .terminal_indices()
+        .map(|t| simulated.configs[t].decisions())
+        .collect();
     println!(
         "Simulated 2-PAC: {} configurations (the simulation pays a ~{}x state blow-up).",
         simulated.configs.len(),

@@ -43,40 +43,75 @@ fn mixed_inputs(n: usize) -> Vec<Value> {
 
 fn cmd_levels() -> Result<(), String> {
     let limits = Limits::default();
-    let mut table =
-        Table::new("certified consensus numbers", vec!["object", "level", "refutation at n+1"]);
+    let mut table = Table::new(
+        "certified consensus numbers",
+        vec!["object", "level", "refutation at n+1"],
+    );
     let cases: Vec<(&str, AnyObject, Face)> = vec![
-        ("2-consensus", AnyObject::consensus(2).map_err(|e| e.to_string())?, Face::Propose),
-        ("3-consensus", AnyObject::consensus(3).map_err(|e| e.to_string())?, Face::Propose),
+        (
+            "2-consensus",
+            AnyObject::consensus(2).map_err(|e| e.to_string())?,
+            Face::Propose,
+        ),
+        (
+            "3-consensus",
+            AnyObject::consensus(3).map_err(|e| e.to_string())?,
+            Face::Propose,
+        ),
         ("2-SA", AnyObject::strong_sa(), Face::Propose),
-        ("O_2", AnyObject::o_n(2).map_err(|e| e.to_string())?, Face::ProposeC),
-        ("O_3", AnyObject::o_n(3).map_err(|e| e.to_string())?, Face::ProposeC),
-        ("O'_2", AnyObject::o_prime_n(2, 2).map_err(|e| e.to_string())?, Face::PowerLevel1),
-        ("O'_3", AnyObject::o_prime_n(3, 2).map_err(|e| e.to_string())?, Face::PowerLevel1),
+        (
+            "O_2",
+            AnyObject::o_n(2).map_err(|e| e.to_string())?,
+            Face::ProposeC,
+        ),
+        (
+            "O_3",
+            AnyObject::o_n(3).map_err(|e| e.to_string())?,
+            Face::ProposeC,
+        ),
+        (
+            "O'_2",
+            AnyObject::o_prime_n(2, 2).map_err(|e| e.to_string())?,
+            Face::PowerLevel1,
+        ),
+        (
+            "O'_3",
+            AnyObject::o_prime_n(3, 2).map_err(|e| e.to_string())?,
+            Face::PowerLevel1,
+        ),
     ];
     for (name, obj, face) in cases {
         let cert = certified_consensus_number(&obj, face, 5, limits)
             .map_err(|v| format!("{name}: certification failed: {v}"))?;
-        table.row(vec![name.into(), cert.level.to_string(), cert.refutation.to_string()]);
+        table.row(vec![
+            name.into(),
+            cert.level.to_string(),
+            cert.refutation.to_string(),
+        ]);
     }
     println!("{table}");
     Ok(())
 }
 
 fn cmd_separation(n: usize, max_k: usize) -> Result<(), String> {
-    let report =
-        run_separation(n, max_k, Limits::default(), 8).map_err(|e| e.to_string())?;
+    let report = run_separation(n, max_k, Limits::default(), 8).map_err(|e| e.to_string())?;
     println!("O_{n} vs O'_{n} (power tables truncated at K = {max_k})");
     for (k, a) in report.o_n_power.iter() {
         let b = report.o_prime_power.n_k(k).expect("same depth");
         println!("  k = {k}: n_k(O_{n}) = {a}, n_k(O'_{n}) = {b}");
     }
     println!("powers match: {}", report.powers_match());
-    println!("Lemma 6.4 histories checked: {}", report.lemma_6_4_histories_checked);
+    println!(
+        "Lemma 6.4 histories checked: {}",
+        report.lemma_6_4_histories_checked
+    );
     for r in &report.refutations {
         println!("refuted: {} — {}", r.candidate, r.violation);
     }
-    println!("separation established: {}", report.separation_established());
+    println!(
+        "separation established: {}",
+        report.separation_established()
+    );
     Ok(())
 }
 
@@ -89,28 +124,39 @@ fn cmd_dac(n: usize) -> Result<(), String> {
         let protocol = DacFromPac::new(inputs, Pid(0), ObjId(0))?;
         let objects = vec![AnyObject::pac(n).map_err(|e| e.to_string())?];
         let explorer = Explorer::new(&protocol, &objects);
-        let stats = check_dac(&explorer, &protocol.instance(), Limits::new(2_000_000), 6 * n)
-            .map_err(|v| format!("{n}-DAC violated: {v}"))?;
+        let stats = check_dac(
+            &explorer,
+            &protocol.instance(),
+            Limits::new(2_000_000),
+            6 * n,
+        )
+        .map_err(|v| format!("{n}-DAC violated: {v}"))?;
         configs += stats.configs;
     }
     println!("Theorem 4.1 verified for n = {n}: all four n-DAC properties hold");
-    println!("({configs} configurations across {} input vectors)", 1usize << n);
+    println!(
+        "({configs} configurations across {} input vectors)",
+        1usize << n
+    );
     Ok(())
 }
 
 fn cmd_adversary() -> Result<(), String> {
     let inputs = mixed_inputs(3);
     let protocol = WaitForWinner::new(inputs);
-    let objects =
-        vec![AnyObject::consensus(2).map_err(|e| e.to_string())?, AnyObject::register()];
+    let objects = vec![
+        AnyObject::consensus(2).map_err(|e| e.to_string())?,
+        AnyObject::register(),
+    ];
     let explorer = Explorer::new(&protocol, &objects);
     match check_consensus(&explorer, &mixed_inputs(3), Limits::default()) {
         Ok(_) => return Err("candidate unexpectedly correct".into()),
         Err(v) => println!("candidate refuted: {v}"),
     }
-    let graph = explorer.explore(Limits::default()).map_err(|e| e.to_string())?;
-    let witness =
-        find_nontermination(&graph).ok_or("expected a non-termination certificate")?;
+    let graph = explorer
+        .explore(Limits::default())
+        .map_err(|e| e.to_string())?;
+    let witness = find_nontermination(&graph).ok_or("expected a non-termination certificate")?;
     println!(
         "certificate: prefix {} step(s), cycle {} step(s), victims {:?}",
         witness.prefix.len(),
@@ -131,23 +177,33 @@ fn cmd_dot(workload: &str, n: usize) -> Result<(), String> {
         "race" => {
             let p = ConsensusViaObject::new(mixed_inputs(n), ObjId(0));
             let objects = vec![AnyObject::consensus(n).map_err(|e| e.to_string())?];
-            let g = Explorer::new(&p, &objects).explore(limits).map_err(|e| e.to_string())?;
+            let g = Explorer::new(&p, &objects)
+                .explore(limits)
+                .map_err(|e| e.to_string())?;
             g.to_dot(|i, c| format!("{i}:{:?}", c.distinct_decisions()))
         }
         "dac" => {
             let p = DacFromPac::new(mixed_inputs(n), Pid(0), ObjId(0))?;
             let objects = vec![AnyObject::pac(n).map_err(|e| e.to_string())?];
-            let g = Explorer::new(&p, &objects).explore(limits).map_err(|e| e.to_string())?;
+            let g = Explorer::new(&p, &objects)
+                .explore(limits)
+                .map_err(|e| e.to_string())?;
             g.to_dot(|i, c| format!("{i}:{:?}", c.distinct_decisions()))
         }
         "sa" => {
             let inputs: Vec<Value> = (0..n).map(|i| Value::Int(i as i64)).collect();
             let p = KSetViaStrongSa::new(inputs, ObjId(0));
             let objects = vec![AnyObject::strong_sa()];
-            let g = Explorer::new(&p, &objects).explore(limits).map_err(|e| e.to_string())?;
+            let g = Explorer::new(&p, &objects)
+                .explore(limits)
+                .map_err(|e| e.to_string())?;
             g.to_dot(|i, c| format!("{i}:{:?}", c.distinct_decisions()))
         }
-        other => return Err(format!("unknown workload '{other}' (expected race | dac | sa)")),
+        other => {
+            return Err(format!(
+                "unknown workload '{other}' (expected race | dac | sa)"
+            ))
+        }
     };
     println!("{dot}");
     Ok(())

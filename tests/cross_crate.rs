@@ -4,6 +4,7 @@
 //! substitute for native ones.
 
 use life_beyond_set_agreement::core::history::is_legal_pac_history;
+use life_beyond_set_agreement::core::value::int;
 use life_beyond_set_agreement::core::{AnyObject, ObjId, Op, Pid, Value};
 use life_beyond_set_agreement::explorer::adversary::find_nontermination;
 use life_beyond_set_agreement::explorer::linearizability::check_linearizable;
@@ -20,7 +21,6 @@ use life_beyond_set_agreement::runtime::derived::{record_frontend_history, Deriv
 use life_beyond_set_agreement::runtime::outcome::{FirstOutcome, RandomOutcome, ScriptedOutcome};
 use life_beyond_set_agreement::runtime::scheduler::{RandomScheduler, Scripted};
 use life_beyond_set_agreement::runtime::system::System;
-use life_beyond_set_agreement::core::value::int;
 
 /// Every path the explorer reports must replay step-for-step in a live
 /// system under a scripted scheduler + scripted outcomes, reaching the same
@@ -46,8 +46,7 @@ fn explorer_paths_replay_in_live_systems() {
         )
         .unwrap();
         let expected = graph.configs[terminal].decisions();
-        let got: Vec<Option<Value>> =
-            (0..3).map(|i| sys.decision(Pid(i))).collect();
+        let got: Vec<Option<Value>> = (0..3).map(|i| sys.decision(Pid(i))).collect();
         assert_eq!(got, expected, "replay diverged for terminal {terminal}");
     }
 }
@@ -58,13 +57,17 @@ fn explorer_paths_replay_in_live_systems() {
 #[test]
 fn algorithm_2_never_upsets_its_pac_object() {
     for seed in 0..25u64 {
-        let protocol =
-            DacFromPac::new(vec![int(1), int(0), int(0)], Pid(0), ObjId(0)).unwrap();
+        let protocol = DacFromPac::new(vec![int(1), int(0), int(0)], Pid(0), ObjId(0)).unwrap();
         let objects = vec![AnyObject::pac(3).unwrap()];
         let mut sys = System::new(&protocol, &objects).unwrap();
-        sys.run(&mut RandomScheduler::seeded(seed), &mut FirstOutcome, 500).unwrap();
-        let ops: Vec<Op> =
-            sys.trace().object_history(ObjId(0)).iter().map(|e| e.op).collect();
+        sys.run(&mut RandomScheduler::seeded(seed), &mut FirstOutcome, 500)
+            .unwrap();
+        let ops: Vec<Op> = sys
+            .trace()
+            .object_history(ObjId(0))
+            .iter()
+            .map(|e| e.op)
+            .collect();
         assert!(
             is_legal_pac_history(&ops),
             "Algorithm 2 produced an illegal PAC history (seed {seed})"
@@ -79,16 +82,23 @@ fn witnesses_pump_in_live_systems() {
     let inputs = vec![int(1), int(0), int(0)];
     let protocol = WaitForWinner::new(inputs);
     let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::register()];
-    let graph = Explorer::new(&protocol, &objects).explore(Limits::default()).unwrap();
+    let graph = Explorer::new(&protocol, &objects)
+        .explore(Limits::default())
+        .unwrap();
     let witness = find_nontermination(&graph).expect("candidate must be refutable");
 
     for pumps in [1usize, 10, 100] {
         let schedule = witness.schedule(pumps);
         let budget = schedule.len() + 1;
         let mut sys = System::new(&protocol, &objects).unwrap();
-        sys.run(&mut Scripted::new(schedule), &mut FirstOutcome, budget).unwrap();
+        sys.run(&mut Scripted::new(schedule), &mut FirstOutcome, budget)
+            .unwrap();
         for victim in &witness.victims {
-            assert_eq!(sys.decision(*victim), None, "victim decided after {pumps} pumps");
+            assert_eq!(
+                sys.decision(*victim),
+                None,
+                "victim decided after {pumps} pumps"
+            );
         }
     }
 }
@@ -106,7 +116,9 @@ fn valency_closure_matches_reachable_decisions() {
     // Brute force: for each configuration, recompute reachable decisions by
     // a fresh sub-exploration and compare with the fixpoint closure.
     for (idx, config) in graph.configs.iter().enumerate() {
-        let sub = explorer.explore_from(config.clone(), Limits::default()).unwrap();
+        let sub = explorer
+            .explore_from(config.clone(), Limits::default())
+            .unwrap();
         let mut brute: Vec<Value> = sub
             .configs
             .iter()
@@ -127,17 +139,25 @@ fn derived_combined_pac_substitutes_for_native() {
     let inner = ConsensusViaObject::via_propose_c(inputs, ObjId(0));
 
     let native_objects = vec![AnyObject::combined_pac(2, 2).unwrap()];
-    let native = Explorer::new(&inner, &native_objects).explore(Limits::default()).unwrap();
-    let native_outcomes: std::collections::BTreeSet<Vec<Option<Value>>> =
-        native.terminal_indices().map(|t| native.configs[t].decisions()).collect();
+    let native = Explorer::new(&inner, &native_objects)
+        .explore(Limits::default())
+        .unwrap();
+    let native_outcomes: std::collections::BTreeSet<Vec<Option<Value>>> = native
+        .terminal_indices()
+        .map(|t| native.configs[t].decisions())
+        .collect();
 
     let procedure = CombinedFromComponents::new();
     let frontends = vec![CombinedFromComponents::frontend(ObjId(0), ObjId(1))];
     let derived = DerivedProtocol::new(&inner, &procedure, frontends);
     let base = vec![AnyObject::pac(2).unwrap(), AnyObject::consensus(2).unwrap()];
-    let sim = Explorer::new(&derived, &base).explore(Limits::default()).unwrap();
-    let sim_outcomes: std::collections::BTreeSet<Vec<Option<Value>>> =
-        sim.terminal_indices().map(|t| sim.configs[t].decisions()).collect();
+    let sim = Explorer::new(&derived, &base)
+        .explore(Limits::default())
+        .unwrap();
+    let sim_outcomes: std::collections::BTreeSet<Vec<Option<Value>>> = sim
+        .terminal_indices()
+        .map(|t| sim.configs[t].decisions())
+        .collect();
 
     assert_eq!(native_outcomes, sim_outcomes);
 }
@@ -164,7 +184,6 @@ fn lemma_6_4_linearizable_under_contention() {
         )
         .unwrap();
         assert!(result.all_decided());
-        check_linearizable(&history, &spec_objects)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_linearizable(&history, &spec_objects).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }

@@ -42,7 +42,9 @@ fn inert_objects_do_not_change_anything() {
     let inputs = vec![int(0), int(1)];
     let p = ConsensusViaObject::new(inputs.clone(), ObjId(0));
     let objects = vec![AnyObject::consensus(2).unwrap()];
-    let g1 = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+    let g1 = Explorer::new(&p, &objects)
+        .explore(Limits::default())
+        .unwrap();
     let va1 = ValencyAnalysis::analyze(&g1);
 
     let wrapped = WithSpectator(&p);
@@ -67,20 +69,30 @@ fn value_renaming_commutes_with_exploration() {
     let b = ConsensusViaObject::new(vec![int(rename(0)), int(rename(1))], ObjId(0));
     let objects = vec![AnyObject::consensus(2).unwrap()];
 
-    let ga = Explorer::new(&a, &objects).explore(Limits::default()).unwrap();
-    let gb = Explorer::new(&b, &objects).explore(Limits::default()).unwrap();
+    let ga = Explorer::new(&a, &objects)
+        .explore(Limits::default())
+        .unwrap();
+    let gb = Explorer::new(&b, &objects)
+        .explore(Limits::default())
+        .unwrap();
     assert_eq!(ga.configs.len(), gb.configs.len());
     assert_eq!(ga.transitions, gb.transitions);
 
     let outcomes = |g: &life_beyond_set_agreement::explorer::ExplorationGraph<()>| {
-        let mut v: Vec<Vec<Value>> =
-            g.terminal_indices().map(|t| g.configs[t].distinct_decisions()).collect();
+        let mut v: Vec<Vec<Value>> = g
+            .terminal_indices()
+            .map(|t| g.configs[t].distinct_decisions())
+            .collect();
         v.sort();
         v
     };
     let mapped: Vec<Vec<Value>> = outcomes(&ga)
         .into_iter()
-        .map(|row| row.into_iter().map(|v| int(rename(v.as_int().unwrap()))).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|v| int(rename(v.as_int().unwrap())))
+                .collect()
+        })
         .collect();
     assert_eq!(mapped, outcomes(&gb));
 }
@@ -106,7 +118,9 @@ fn exploration_is_deterministic() {
 fn closures_shrink_along_edges() {
     let p = ConsensusViaObject::new(vec![int(0), int(1), int(2)], ObjId(0));
     let objects = vec![AnyObject::consensus(3).unwrap()];
-    let g = Explorer::new(&p, &objects).explore(Limits::default()).unwrap();
+    let g = Explorer::new(&p, &objects)
+        .explore(Limits::default())
+        .unwrap();
     let va = ValencyAnalysis::analyze(&g);
     for (i, edges) in g.edges.iter().enumerate() {
         for e in edges {
@@ -135,7 +149,11 @@ fn samplers_and_exhaustive_checkers_agree_on_correct_protocols() {
         &p,
         &objects,
         &inputs,
-        SampleConfig { runs: 100, seed0: 0, max_steps: 1000 },
+        SampleConfig {
+            runs: 100,
+            seed0: 0,
+            max_steps: 1000,
+        },
     )
     .unwrap();
     assert_eq!(report.quiescent, 100);
@@ -211,6 +229,9 @@ fn truncated_graphs_are_prefixes() {
     assert!(!partial.complete);
     assert!(partial.configs.len() <= full.configs.len());
     for c in &partial.configs {
-        assert!(full.configs.contains(c), "truncated graph invented a configuration");
+        assert!(
+            full.configs.contains(c),
+            "truncated graph invented a configuration"
+        );
     }
 }

@@ -13,6 +13,8 @@
 //! 4. the trace, converted to a concurrent history of instantaneous ops, is
 //!    linearizable (sanity of the linearizability checker on real traces).
 
+use lbsa_support::check::run_cases;
+use lbsa_support::rng::SmallRng;
 use life_beyond_set_agreement::core::ids::Label;
 use life_beyond_set_agreement::core::spec::ObjectSpec;
 use life_beyond_set_agreement::core::value::int;
@@ -24,7 +26,6 @@ use life_beyond_set_agreement::runtime::outcome::RandomOutcome;
 use life_beyond_set_agreement::runtime::scheduler::RandomScheduler;
 use life_beyond_set_agreement::runtime::script::{ScriptEnd, ScriptProtocol};
 use life_beyond_set_agreement::runtime::system::System;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 /// The fuzzed object universe: a register, a 2-consensus, a 2-SA, and a
@@ -39,30 +40,42 @@ fn universe() -> Vec<AnyObject> {
 }
 
 /// A random operation valid for object `obj` in the universe.
-fn arb_op_for(obj: usize) -> BoxedStrategy<Op> {
+fn random_op_for(rng: &mut SmallRng, obj: usize) -> Op {
     match obj {
-        0 => prop_oneof![Just(Op::Read), (1..4i64).prop_map(|v| Op::Write(int(v)))].boxed(),
-        1 | 2 => (1..4i64).prop_map(|v| Op::Propose(int(v))).boxed(),
-        _ => prop_oneof![
-            ((1..4i64), (1..=2usize))
-                .prop_map(|(v, i)| Op::ProposePac(int(v), Label::new(i).unwrap())),
-            (1..=2usize).prop_map(|i| Op::DecidePac(Label::new(i).unwrap())),
-        ]
-        .boxed(),
+        0 => {
+            if rng.ratio(1, 2) {
+                Op::Read
+            } else {
+                Op::Write(int(rng.i64_range(1..4)))
+            }
+        }
+        1 | 2 => Op::Propose(int(rng.i64_range(1..4))),
+        _ => {
+            let label = Label::new(rng.random_range(0..2) + 1).unwrap();
+            if rng.ratio(1, 2) {
+                Op::ProposePac(int(rng.i64_range(1..4)), label)
+            } else {
+                Op::DecidePac(label)
+            }
+        }
     }
 }
 
 /// A random per-process script of 1..=3 operations.
-fn arb_script() -> impl Strategy<Value = Vec<(ObjId, Op)>> {
-    proptest::collection::vec(
-        (0..4usize).prop_flat_map(|obj| arb_op_for(obj).prop_map(move |op| (ObjId(obj), op))),
-        1..=3,
-    )
+fn random_script(rng: &mut SmallRng) -> Vec<(ObjId, Op)> {
+    let len = rng.random_range(1..4);
+    (0..len)
+        .map(|_| {
+            let obj = rng.random_range(0..4);
+            (ObjId(obj), random_op_for(rng, obj))
+        })
+        .collect()
 }
 
 /// A random workload of 2..=3 processes.
-fn arb_workload() -> impl Strategy<Value = Vec<Vec<(ObjId, Op)>>> {
-    proptest::collection::vec(arb_script(), 2..=3)
+fn random_workload(rng: &mut SmallRng) -> Vec<Vec<(ObjId, Op)>> {
+    let procs = rng.random_range(2..4);
+    (0..procs).map(|_| random_script(rng)).collect()
 }
 
 /// Replays a trace through the sequential specs, verifying every recorded
@@ -83,24 +96,26 @@ fn trace_replays(objects: &[AnyObject], sys: &System<'_, ScriptProtocol>) -> boo
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Cross-validation of explorer, sampler, runtime, and checker on
-    /// random workloads.
-    #[test]
-    fn pipeline_components_agree_on_random_workloads(scripts in arb_workload(), seed in 0u64..1000) {
+/// Cross-validation of explorer, sampler, runtime, and checker on random
+/// workloads.
+#[test]
+fn pipeline_components_agree_on_random_workloads() {
+    run_cases("pipeline_agreement", 48, |rng| {
+        let scripts = random_workload(rng);
+        let seed = rng.next_u64();
         let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
         let objects = universe();
 
         // 1. Straight-line workloads explore completely and acyclically.
         let explorer = Explorer::new(&protocol, &objects);
         let graph = explorer.explore(Limits::new(500_000)).unwrap();
-        prop_assert!(graph.complete);
-        prop_assert!(!graph.has_cycle(), "straight-line programs cannot cycle");
+        assert!(graph.complete);
+        assert!(!graph.has_cycle(), "straight-line programs cannot cycle");
 
-        let explored_outcomes: BTreeSet<Vec<Option<Value>>> =
-            graph.terminal_indices().map(|t| graph.configs[t].decisions()).collect();
+        let explored_outcomes: BTreeSet<Vec<Option<Value>>> = graph
+            .terminal_indices()
+            .map(|t| graph.configs[t].decisions())
+            .collect();
 
         // 2. A concrete random run's outcome is among the explored ones.
         let mut sys = System::new(&protocol, &objects).unwrap();
@@ -111,8 +126,8 @@ proptest! {
                 10_000,
             )
             .unwrap();
-        prop_assert!(result.is_quiescent());
-        prop_assert!(
+        assert!(result.is_quiescent());
+        assert!(
             explored_outcomes.contains(&result.decisions),
             "sampled outcome {:?} missing from {} explored outcomes",
             result.decisions,
@@ -120,7 +135,7 @@ proptest! {
         );
 
         // 3. The recorded trace replays through the sequential specs.
-        prop_assert!(trace_replays(&objects, &sys), "trace not spec-admissible");
+        assert!(trace_replays(&objects, &sys), "trace not spec-admissible");
 
         // 4. The trace, as a history of instantaneous operations, is
         //    linearizable (each op's interval is its single step).
@@ -136,41 +151,53 @@ proptest! {
                 responded_at: e.step,
             })
             .collect();
-        prop_assert!(check_linearizable(&history, &objects).is_ok());
-    }
+        assert!(check_linearizable(&history, &objects).is_ok());
+    });
+}
 
-    /// The explorer's terminal-outcome set is closed under schedule choice:
-    /// running the SAME workload under round-robin also lands inside it.
-    #[test]
-    fn round_robin_outcomes_are_explored(scripts in arb_workload()) {
-        use life_beyond_set_agreement::runtime::outcome::FirstOutcome;
-        use life_beyond_set_agreement::runtime::scheduler::RoundRobin;
+/// The explorer's terminal-outcome set is closed under schedule choice:
+/// running the SAME workload under round-robin also lands inside it.
+#[test]
+fn round_robin_outcomes_are_explored() {
+    use life_beyond_set_agreement::runtime::outcome::FirstOutcome;
+    use life_beyond_set_agreement::runtime::scheduler::RoundRobin;
+    run_cases("round_robin_explored", 48, |rng| {
+        let scripts = random_workload(rng);
         let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
         let objects = universe();
         let explorer = Explorer::new(&protocol, &objects);
         let graph = explorer.explore(Limits::new(500_000)).unwrap();
-        let explored: BTreeSet<Vec<Option<Value>>> =
-            graph.terminal_indices().map(|t| graph.configs[t].decisions()).collect();
+        let explored: BTreeSet<Vec<Option<Value>>> = graph
+            .terminal_indices()
+            .map(|t| graph.configs[t].decisions())
+            .collect();
 
         let mut sys = System::new(&protocol, &objects).unwrap();
-        let result = sys.run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000).unwrap();
-        prop_assert!(explored.contains(&result.decisions));
-    }
+        let result = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 10_000)
+            .unwrap();
+        assert!(explored.contains(&result.decisions));
+    });
+}
 
-    /// Decision counts are schedule-independent for halting workloads: the
-    /// number of decided processes equals the process count in every
-    /// terminal configuration.
-    #[test]
-    fn all_processes_decide_in_every_terminal(scripts in arb_workload()) {
+/// Decision counts are schedule-independent for halting workloads: the
+/// number of decided processes equals the process count in every terminal
+/// configuration.
+#[test]
+fn all_processes_decide_in_every_terminal() {
+    run_cases("all_decide_terminal", 48, |rng| {
+        let scripts = random_workload(rng);
         let n = scripts.len();
         let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
         let objects = universe();
-        let graph = Explorer::new(&protocol, &objects).explore(Limits::new(500_000)).unwrap();
+        let graph = Explorer::new(&protocol, &objects)
+            .explore(Limits::new(500_000))
+            .unwrap();
         for t in graph.terminal_indices() {
             let decided = graph.configs[t].decisions().iter().flatten().count();
-            prop_assert_eq!(decided, n);
+            assert_eq!(decided, n);
         }
-    }
+    });
 }
 
 /// Deterministic regression instance of the fuzz property (fast, pinned).
@@ -192,18 +219,32 @@ fn pinned_mixed_workload_cross_check() {
     ];
     let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
     let objects = universe();
-    let graph = Explorer::new(&protocol, &objects).explore(Limits::default()).unwrap();
+    let graph = Explorer::new(&protocol, &objects)
+        .explore(Limits::default())
+        .unwrap();
     assert!(graph.complete);
     assert!(!graph.has_cycle());
-    let outcomes: BTreeSet<Vec<Option<Value>>> =
-        graph.terminal_indices().map(|t| graph.configs[t].decisions()).collect();
+    let outcomes: BTreeSet<Vec<Option<Value>>> = graph
+        .terminal_indices()
+        .map(|t| graph.configs[t].decisions())
+        .collect();
     assert!(!outcomes.is_empty());
     for seed in 0..30u64 {
         let mut sys = System::new(&protocol, &objects).unwrap();
         let result = sys
-            .run(&mut RandomScheduler::seeded(seed), &mut RandomOutcome::seeded(seed), 1000)
+            .run(
+                &mut RandomScheduler::seeded(seed),
+                &mut RandomOutcome::seeded(seed),
+                1000,
+            )
             .unwrap();
-        assert!(outcomes.contains(&result.decisions), "seed {seed} escaped the graph");
-        assert!(trace_replays(&objects, &sys), "seed {seed} trace not admissible");
+        assert!(
+            outcomes.contains(&result.decisions),
+            "seed {seed} escaped the graph"
+        );
+        assert!(
+            trace_replays(&objects, &sys),
+            "seed {seed} trace not admissible"
+        );
     }
 }

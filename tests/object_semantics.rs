@@ -44,17 +44,31 @@ fn acceptance_matrix_is_exact() {
             vec![Op::ProposePac(int(1), l(1)), Op::DecidePac(l(1))],
         ),
         (AnyObject::strong_sa(), vec![Op::Propose(int(1))]),
-        (AnyObject::set_agreement(2, 1).unwrap(), vec![Op::Propose(int(1))]),
+        (
+            AnyObject::set_agreement(2, 1).unwrap(),
+            vec![Op::Propose(int(1))],
+        ),
         (
             AnyObject::combined_pac(2, 2).unwrap(),
-            vec![Op::ProposeC(int(1)), Op::ProposeP(int(1), l(1)), Op::DecideP(l(1))],
+            vec![
+                Op::ProposeC(int(1)),
+                Op::ProposeP(int(1), l(1)),
+                Op::DecideP(l(1)),
+            ],
         ),
-        (AnyObject::o_prime_n(2, 2).unwrap(), vec![Op::ProposeAt(int(1), 1)]),
+        (
+            AnyObject::o_prime_n(2, 2).unwrap(),
+            vec![Op::ProposeAt(int(1), 1)],
+        ),
         (AnyObject::test_and_set(), vec![Op::Read, Op::TestAndSet]),
         (AnyObject::fetch_add(), vec![Op::Read, Op::FetchAdd(1)]),
         (
             AnyObject::cas(),
-            vec![Op::Read, Op::Write(int(1)), Op::CompareAndSwap(Value::Nil, int(1))],
+            vec![
+                Op::Read,
+                Op::Write(int(1)),
+                Op::CompareAndSwap(Value::Nil, int(1)),
+            ],
         ),
         (AnyObject::queue(), vec![Op::Enqueue(int(1)), Op::Dequeue]),
     ];
@@ -63,7 +77,11 @@ fn acceptance_matrix_is_exact() {
         for op in full_alphabet() {
             let result = obj.outcomes(&state, &op);
             if accepted.contains(&op) {
-                assert!(result.is_ok(), "{} must accept {op}: {result:?}", obj.name());
+                assert!(
+                    result.is_ok(),
+                    "{} must accept {op}: {result:?}",
+                    obj.name()
+                );
             } else {
                 assert!(
                     matches!(result, Err(SpecError::UnsupportedOp { .. })),
@@ -124,7 +142,9 @@ fn reserved_values_rejected_uniformly() {
         (AnyObject::strong_sa(), Op::Propose),
         (AnyObject::set_agreement(2, 1).unwrap(), Op::Propose),
         (AnyObject::combined_pac(2, 2).unwrap(), Op::ProposeC),
-        (AnyObject::pac(2).unwrap(), |v| Op::ProposePac(v, Label::new(1).unwrap())),
+        (AnyObject::pac(2).unwrap(), |v| {
+            Op::ProposePac(v, Label::new(1).unwrap())
+        }),
         (AnyObject::o_prime_n(2, 2).unwrap(), |v| Op::ProposeAt(v, 1)),
     ];
     for (obj, mk) in cases {
@@ -148,11 +168,18 @@ fn budget_saturation_freezes_state() {
     let obj = AnyObject::consensus(2).unwrap();
     let mut s = obj.initial_state();
     for _ in 0..2 {
-        s = obj.outcomes(&s, &Op::Propose(int(1))).unwrap().into_single().1;
+        s = obj
+            .outcomes(&s, &Op::Propose(int(1)))
+            .unwrap()
+            .into_single()
+            .1;
     }
     let frozen = s.clone();
     for v in [3i64, 4, 5] {
-        let (resp, next) = obj.outcomes(&s, &Op::Propose(int(v))).unwrap().into_single();
+        let (resp, next) = obj
+            .outcomes(&s, &Op::Propose(int(v)))
+            .unwrap()
+            .into_single();
         assert_eq!(resp, Value::Bot);
         assert_eq!(next, frozen);
         s = next;
@@ -162,10 +189,19 @@ fn budget_saturation_freezes_state() {
     let obj = AnyObject::set_agreement(2, 1).unwrap();
     let mut s = obj.initial_state();
     for v in [1i64, 2] {
-        s = obj.outcomes(&s, &Op::Propose(int(v))).unwrap().into_vec().pop().unwrap().1;
+        s = obj
+            .outcomes(&s, &Op::Propose(int(v)))
+            .unwrap()
+            .into_vec()
+            .pop()
+            .unwrap()
+            .1;
     }
     let frozen = s.clone();
-    let (resp, next) = obj.outcomes(&s, &Op::Propose(int(3))).unwrap().into_single();
+    let (resp, next) = obj
+        .outcomes(&s, &Op::Propose(int(3)))
+        .unwrap()
+        .into_single();
     assert_eq!(resp, Value::Bot);
     assert_eq!(next, frozen);
 
@@ -173,9 +209,18 @@ fn budget_saturation_freezes_state() {
     let obj = AnyObject::o_prime_n(2, 2).unwrap();
     let mut s = obj.initial_state();
     for v in [1i64, 2] {
-        s = obj.outcomes(&s, &Op::ProposeAt(int(v), 1)).unwrap().into_vec().pop().unwrap().1;
+        s = obj
+            .outcomes(&s, &Op::ProposeAt(int(v), 1))
+            .unwrap()
+            .into_vec()
+            .pop()
+            .unwrap()
+            .1;
     }
-    let (resp, _) = obj.outcomes(&s, &Op::ProposeAt(int(3), 1)).unwrap().into_single();
+    let (resp, _) = obj
+        .outcomes(&s, &Op::ProposeAt(int(3), 1))
+        .unwrap()
+        .into_single();
     assert_eq!(resp, Value::Bot);
 }
 
@@ -216,8 +261,12 @@ fn combined_pac_faces_match_components_bit_for_bit() {
     let mut cs = combined.initial_state();
     let mut ks = cons.initial_state();
     for v in [5i64, 6, 7] {
-        let cr = combined.apply_deterministic(&mut cs, &Op::ProposeC(int(v))).unwrap();
-        let kr = cons.apply_deterministic(&mut ks, &Op::Propose(int(v))).unwrap();
+        let cr = combined
+            .apply_deterministic(&mut cs, &Op::ProposeC(int(v)))
+            .unwrap();
+        let kr = cons
+            .apply_deterministic(&mut ks, &Op::Propose(int(v)))
+            .unwrap();
         assert_eq!(cr, kr, "consensus face diverged on {v}");
     }
 }
@@ -235,7 +284,10 @@ fn power_level_1_matches_consensus_semantics() {
             .outcomes(&ps, &Op::ProposeAt(int(v), 1))
             .unwrap()
             .into_single();
-        let kr = cons.outcomes(&ks, &Op::Propose(int(v))).unwrap().into_single();
+        let kr = cons
+            .outcomes(&ks, &Op::Propose(int(v)))
+            .unwrap()
+            .into_single();
         assert_eq!(pr.0, kr.0, "level 1 diverged from consensus on {v}");
         ps = pr.1;
         ks = kr.1;

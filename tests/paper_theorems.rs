@@ -106,7 +106,10 @@ fn theorem_4_3_candidate_pac_implementation_refuted() {
     let mut objects = vec![AnyObject::consensus(2).unwrap()];
     objects.extend((0..4).map(|_| AnyObject::register()));
     let ex = Explorer::new(&derived, &objects);
-    let instance = DacInstance { distinguished: Pid(0), inputs };
+    let instance = DacInstance {
+        distinguished: Pid(0),
+        inputs,
+    };
     assert!(check_dac(&ex, &instance, Limits::default(), 60).is_err());
 }
 
@@ -212,6 +215,9 @@ fn theorem_7_1_qadri_instance() {
     let mut objects = vec![AnyObject::consensus(3).unwrap()];
     objects.extend((0..5).map(|_| AnyObject::register()));
     let ex = Explorer::new(&derived, &objects);
-    let instance = DacInstance { distinguished: Pid(0), inputs };
+    let instance = DacInstance {
+        distinguished: Pid(0),
+        inputs,
+    };
     assert!(check_dac(&ex, &instance, Limits::new(5_000_000), 80).is_err());
 }

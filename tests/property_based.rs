@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests (seeded random cases via `lbsa_support::check`)
+//! over the core invariants:
 //!
 //! * PAC: Lemma 3.2 (upset ⇔ illegal history) and Theorem 3.5 on random
 //!   operation sequences far longer than the exhaustive sweeps;
@@ -9,6 +10,8 @@
 //!   one response breaks it;
 //! * schedulers: round-robin fairness, random-scheduler reproducibility.
 
+use lbsa_support::check::run_cases;
+use lbsa_support::rng::SmallRng;
 use life_beyond_set_agreement::core::history::{
     check_pac_properties, is_legal_pac_history, run_pac,
 };
@@ -19,175 +22,209 @@ use life_beyond_set_agreement::core::value::int;
 use life_beyond_set_agreement::core::{AnyObject, ObjId, Op, Pid, Value};
 use life_beyond_set_agreement::explorer::linearizability::check_linearizable;
 use life_beyond_set_agreement::runtime::derived::CompletedOp;
-use proptest::prelude::*;
 
 /// A random PAC operation for an n-labelled object over small values.
-fn arb_pac_op(n: usize) -> impl Strategy<Value = Op> {
-    let label = (1..=n).prop_map(|i| Label::new(i).expect("i >= 1"));
-    prop_oneof![
-        (label.clone(), 1..4i64).prop_map(|(l, v)| Op::ProposePac(int(v), l)),
-        label.prop_map(Op::DecidePac),
-    ]
+fn random_pac_op(rng: &mut SmallRng, n: usize) -> Op {
+    let label = Label::new(rng.random_range(0..n) + 1).expect("label >= 1");
+    if rng.ratio(1, 2) {
+        Op::ProposePac(int(rng.i64_range(1..4)), label)
+    } else {
+        Op::DecidePac(label)
+    }
 }
 
-proptest! {
-    /// Lemma 3.2 on random sequences of up to 60 operations (far beyond the
-    /// exhaustive sweeps): upset ⇔ illegal prefix, at every prefix.
-    #[test]
-    fn lemma_3_2_random_long_sequences(ops in proptest::collection::vec(arb_pac_op(3), 0..60)) {
+/// Lemma 3.2 on random sequences of up to 60 operations (far beyond the
+/// exhaustive sweeps): upset ⇔ illegal prefix, at every prefix.
+#[test]
+fn lemma_3_2_random_long_sequences() {
+    run_cases("lemma_3_2", 256, |rng| {
+        let len = rng.random_range(0..60);
+        let ops: Vec<Op> = (0..len).map(|_| random_pac_op(rng, 3)).collect();
         let spec = PacSpec::new(3).unwrap();
         let mut state = spec.initial_state();
         for (t, op) in ops.iter().enumerate() {
             spec.apply_deterministic(&mut state, op).unwrap();
-            prop_assert_eq!(spec.is_upset(&state), !is_legal_pac_history(&ops[..=t]));
+            assert_eq!(spec.is_upset(&state), !is_legal_pac_history(&ops[..=t]));
         }
-    }
+    });
+}
 
-    /// Theorem 3.5 on random sequences.
-    #[test]
-    fn theorem_3_5_random_long_sequences(ops in proptest::collection::vec(arb_pac_op(3), 0..60)) {
+/// Theorem 3.5 on random sequences.
+#[test]
+fn theorem_3_5_random_long_sequences() {
+    run_cases("theorem_3_5", 256, |rng| {
+        let len = rng.random_range(0..60);
+        let ops: Vec<Op> = (0..len).map(|_| random_pac_op(rng, 3)).collect();
         let spec = PacSpec::new(3).unwrap();
         let history = run_pac(&spec, &ops).unwrap();
-        prop_assert!(check_pac_properties(&history).is_ok());
-    }
+        assert!(check_pac_properties(&history).is_ok());
+    });
+}
 
-    /// 2-SA: on a random nondeterministic walk, responses always come from
-    /// the first two distinct proposals, and the object never returns more
-    /// than two distinct values.
-    #[test]
-    fn strong_sa_random_walk_respects_bounds(
-        proposals in proptest::collection::vec(1..6i64, 1..25),
-        choices in proptest::collection::vec(0usize..2, 25),
-    ) {
+/// 2-SA: on a random nondeterministic walk, responses always come from the
+/// first two distinct proposals, and the object never returns more than two
+/// distinct values.
+#[test]
+fn strong_sa_random_walk_respects_bounds() {
+    run_cases("strong_sa_walk", 256, |rng| {
+        let steps = rng.random_range(1..25);
         let sa = AnyObject::strong_sa();
         let mut state = sa.initial_state();
         let mut first_two: Vec<Value> = Vec::new();
         let mut seen: Vec<Value> = Vec::new();
-        for (i, &v) in proposals.iter().enumerate() {
-            let v = int(v);
+        for _ in 0..steps {
+            let v = int(rng.i64_range(1..6));
             if !first_two.contains(&v) && first_two.len() < 2 {
                 first_two.push(v);
             }
             let outs = sa.outcomes(&state, &Op::Propose(v)).unwrap().into_vec();
-            let pick = choices[i % choices.len()] % outs.len();
+            let pick = rng.random_range(0..outs.len());
             let (resp, next) = outs.into_iter().nth(pick).unwrap();
-            prop_assert!(first_two.contains(&resp), "response {resp} not among first two");
+            assert!(
+                first_two.contains(&resp),
+                "response {resp} not among first two"
+            );
             if !seen.contains(&resp) {
                 seen.push(resp);
             }
             state = next;
         }
-        prop_assert!(seen.len() <= 2);
-    }
+        assert!(seen.len() <= 2);
+    });
+}
 
-    /// (n,k)-SA: outputs stay within k distinct values and within the
-    /// proposal set on a random walk; ports beyond n answer ⊥.
-    #[test]
-    fn set_agreement_random_walk_respects_bounds(
-        n in 2usize..6,
-        k in 1usize..4,
-        proposals in proptest::collection::vec(1..8i64, 1..12),
-        choices in proptest::collection::vec(0usize..8, 12),
-    ) {
+/// (n,k)-SA: outputs stay within k distinct values and within the proposal
+/// set on a random walk; ports beyond n answer ⊥.
+#[test]
+fn set_agreement_random_walk_respects_bounds() {
+    run_cases("set_agreement_walk", 256, |rng| {
+        let n = rng.random_range(2..6);
+        let k = rng.random_range(1..4);
+        let steps = rng.random_range(1..12);
         let sa = AnyObject::set_agreement(n, k).unwrap();
         let mut state = sa.initial_state();
         let mut proposed: Vec<Value> = Vec::new();
         let mut distinct: Vec<Value> = Vec::new();
-        for (i, &v) in proposals.iter().enumerate() {
-            let v = int(v);
+        for i in 0..steps {
+            let v = int(rng.i64_range(1..8));
             let outs = sa.outcomes(&state, &Op::Propose(v)).unwrap().into_vec();
-            let pick = choices[i % choices.len()] % outs.len();
+            let pick = rng.random_range(0..outs.len());
             let (resp, next) = outs.into_iter().nth(pick).unwrap();
             if i < n {
                 proposed.push(v);
-                prop_assert!(proposed.contains(&resp), "validity violated");
+                assert!(proposed.contains(&resp), "validity violated");
                 if !distinct.contains(&resp) {
                     distinct.push(resp);
                 }
             } else {
-                prop_assert_eq!(resp, Value::Bot, "port budget must be enforced");
+                assert_eq!(resp, Value::Bot, "port budget must be enforced");
             }
             state = next;
         }
-        prop_assert!(distinct.len() <= k);
-    }
+        assert!(distinct.len() <= k);
+    });
+}
 
-    /// Consensus object: the first proposal wins for the first n operations
-    /// and the object answers ⊥ afterwards, for random n and sequences.
-    #[test]
-    fn consensus_first_wins_random(
-        n in 1usize..6,
-        proposals in proptest::collection::vec(1..9i64, 1..14),
-    ) {
+/// Consensus object: the first proposal wins for the first n operations and
+/// the object answers ⊥ afterwards, for random n and sequences.
+#[test]
+fn consensus_first_wins_random() {
+    run_cases("consensus_first_wins", 256, |rng| {
+        let n = rng.random_range(1..6);
+        let len = rng.random_range(1..14);
+        let proposals: Vec<i64> = (0..len).map(|_| rng.i64_range(1..9)).collect();
         let cons = AnyObject::consensus(n).unwrap();
         let mut state = cons.initial_state();
         let first = int(proposals[0]);
         for (i, &v) in proposals.iter().enumerate() {
-            let resp = cons.apply_deterministic(&mut state, &Op::Propose(int(v))).unwrap();
+            let resp = cons
+                .apply_deterministic(&mut state, &Op::Propose(int(v)))
+                .unwrap();
             if i < n {
-                prop_assert_eq!(resp, first);
+                assert_eq!(resp, first);
             } else {
-                prop_assert_eq!(resp, Value::Bot);
+                assert_eq!(resp, Value::Bot);
             }
         }
-    }
+    });
+}
 
-    /// Any sequentially-executed history is linearizable; corrupting the
-    /// final read's response to a never-written value breaks it.
-    #[test]
-    fn sequential_histories_linearize_and_corruption_breaks(
-        writes in proptest::collection::vec(1..9i64, 1..12),
-    ) {
+/// Any sequentially-executed history is linearizable; corrupting the final
+/// read's response to a never-written value breaks it.
+#[test]
+fn sequential_histories_linearize_and_corruption_breaks() {
+    run_cases("sequential_linearizes", 128, |rng| {
+        let len = rng.random_range(1..12);
+        let writes: Vec<i64> = (0..len).map(|_| rng.i64_range(1..9)).collect();
         let specs = vec![AnyObject::register()];
         let mut history = Vec::new();
         let mut t = 0usize;
         for &w in &writes {
             history.push(CompletedOp {
-                pid: Pid(0), obj: ObjId(0), op: Op::Write(int(w)),
-                response: Value::Done, invoked_at: t, responded_at: t,
+                pid: Pid(0),
+                obj: ObjId(0),
+                op: Op::Write(int(w)),
+                response: Value::Done,
+                invoked_at: t,
+                responded_at: t,
             });
             t += 1;
         }
         let last = *writes.last().unwrap();
         history.push(CompletedOp {
-            pid: Pid(1), obj: ObjId(0), op: Op::Read,
-            response: int(last), invoked_at: t, responded_at: t,
+            pid: Pid(1),
+            obj: ObjId(0),
+            op: Op::Read,
+            response: int(last),
+            invoked_at: t,
+            responded_at: t,
         });
-        prop_assert!(check_linearizable(&history, &specs).is_ok());
+        assert!(check_linearizable(&history, &specs).is_ok());
 
         // Corrupt: claim the read saw a value no write produced.
         let mut bad = history.clone();
         bad.last_mut().unwrap().response = int(100);
-        prop_assert!(check_linearizable(&bad, &specs).is_err());
-    }
+        assert!(check_linearizable(&bad, &specs).is_err());
+    });
+}
 
-    /// Round-robin fairness: over any window of `len(enabled)` consecutive
-    /// picks from a fixed enabled set, every pid appears exactly once.
-    #[test]
-    fn round_robin_is_fair(enabled_mask in 1u8..32) {
-        use life_beyond_set_agreement::runtime::scheduler::{RoundRobin, Scheduler};
-        let enabled: Vec<Pid> =
-            (0..5).filter(|i| enabled_mask >> i & 1 == 1).map(Pid).collect();
+/// Round-robin fairness: over any window of `len(enabled)` consecutive
+/// picks from a fixed enabled set, every pid appears exactly once.
+#[test]
+fn round_robin_is_fair() {
+    use life_beyond_set_agreement::runtime::scheduler::{RoundRobin, Scheduler};
+    run_cases("round_robin_fair", 64, |rng| {
+        let enabled_mask = rng.random_range(1..32) as u8;
+        let enabled: Vec<Pid> = (0..5)
+            .filter(|i| enabled_mask >> i & 1 == 1)
+            .map(Pid)
+            .collect();
         let mut sched = RoundRobin::new();
         let window = enabled.len();
-        let picks: Vec<Pid> =
-            (0..window * 4).map(|_| sched.next_pid(&enabled).unwrap()).collect();
+        let picks: Vec<Pid> = (0..window * 4)
+            .map(|_| sched.next_pid(&enabled).unwrap())
+            .collect();
         for chunk in picks.chunks(window) {
             let mut sorted: Vec<Pid> = chunk.to_vec();
             sorted.sort();
-            prop_assert_eq!(&sorted, &enabled, "window missed a pid");
+            assert_eq!(&sorted, &enabled, "window missed a pid");
         }
-    }
+    });
+}
 
-    /// Seeded randomness is reproducible across scheduler instances.
-    #[test]
-    fn random_scheduler_reproducible(seed in any::<u64>()) {
-        use life_beyond_set_agreement::runtime::scheduler::{RandomScheduler, Scheduler};
+/// Seeded randomness is reproducible across scheduler instances.
+#[test]
+fn random_scheduler_reproducible() {
+    use life_beyond_set_agreement::runtime::scheduler::{RandomScheduler, Scheduler};
+    run_cases("random_scheduler_repro", 64, |rng| {
+        let seed = rng.next_u64();
         let enabled: Vec<Pid> = (0..4).map(Pid).collect();
         let run = |seed: u64| {
             let mut s = RandomScheduler::seeded(seed);
-            (0..50).map(|_| s.next_pid(&enabled).unwrap()).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| s.next_pid(&enabled).unwrap())
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed));
+    });
 }
