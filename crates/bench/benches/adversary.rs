@@ -5,7 +5,7 @@ use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::AnyObject;
 use lbsa_explorer::adversary::{bivalent_survival, find_nontermination};
 use lbsa_explorer::valency::ValencyAnalysis;
-use lbsa_explorer::{Explorer, Limits};
+use lbsa_explorer::Explorer;
 use lbsa_protocols::candidates::WaitForWinner;
 use lbsa_support::bench::Criterion;
 use lbsa_support::{criterion_group, criterion_main};
@@ -17,9 +17,7 @@ fn bench_adversary(c: &mut Criterion) {
 
     let p = WaitForWinner::new(mixed_binary_inputs(3));
     let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::register()];
-    let graph = Explorer::new(&p, &objects)
-        .explore(Limits::default())
-        .unwrap();
+    let graph = Explorer::new(&p, &objects).exploration().run().unwrap();
 
     group.bench_function("valency_analysis", |b| {
         b.iter(|| black_box(ValencyAnalysis::analyze(&graph).census()));

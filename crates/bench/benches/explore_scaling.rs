@@ -61,9 +61,7 @@ fn bench_explore(c: &mut Criterion) {
             let p = ConsensusViaObject::new(mixed_binary_inputs(n), ObjId(0));
             let objects = vec![AnyObject::consensus(n).unwrap()];
             b.iter(|| {
-                let g = Explorer::new(&p, &objects)
-                    .explore(Limits::default())
-                    .unwrap();
+                let g = Explorer::new(&p, &objects).exploration().run().unwrap();
                 black_box(g.configs.len())
             });
         });
@@ -74,9 +72,7 @@ fn bench_explore(c: &mut Criterion) {
             let p = KSetViaStrongSa::new(distinct_inputs(n), ObjId(0));
             let objects = vec![AnyObject::strong_sa()];
             b.iter(|| {
-                let g = Explorer::new(&p, &objects)
-                    .explore(Limits::default())
-                    .unwrap();
+                let g = Explorer::new(&p, &objects).exploration().run().unwrap();
                 black_box(g.transitions)
             });
         });
@@ -94,15 +90,13 @@ fn bench_explore(c: &mut Criterion) {
     });
     group.bench_function("t2_dac/4/seq", |b| {
         b.iter(|| {
-            let g = explorer
-                .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
-                .unwrap();
+            let g = explorer.exploration().threads(1).run().unwrap();
             black_box(g.configs.len())
         });
     });
     group.bench_function(format!("t2_dac/4/par{threads}"), |b| {
         b.iter(|| {
-            let g = explorer.explore_with(ExploreOptions::default()).unwrap();
+            let g = explorer.exploration().run().unwrap();
             black_box(g.configs.len())
         });
     });
@@ -129,7 +123,7 @@ fn write_speedup_report(c: &Criterion, threads: usize, explorer: &Explorer<'_, D
     ) else {
         return;
     };
-    let g = explorer.explore_with(ExploreOptions::default()).unwrap();
+    let g = explorer.exploration().run().unwrap();
     let expanded = g.stats.expanded;
     let per_sec = |ns: f64| expanded as f64 / (ns / 1e9);
     let speedup = baseline_ns / par_ns;

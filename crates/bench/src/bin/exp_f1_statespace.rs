@@ -10,6 +10,7 @@
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f1_statespace`.
 //! Set `LBSA_EXPLORE_THREADS` to pin the engine's thread count.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
 use lbsa_explorer::{ExplorationGraph, Explorer, Limits};
@@ -37,7 +38,18 @@ where
 }
 
 fn main() {
-    let limits = Limits::new(5_000_000);
+    run_experiment(
+        "exp_f1_statespace",
+        "F1 — execution-graph size vs processes (exhaustive exploration)",
+        |exp| {
+            let limits = Limits::new(5_000_000);
+            exp.param("max_configs", limits.max_configs);
+            body(exp, limits);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let mut table = Table::new(
         "F1 — execution-graph size vs processes (exhaustive exploration)",
         vec![
@@ -59,7 +71,9 @@ fn main() {
         let p = ConsensusViaObject::new(inputs, ObjId(0));
         let objects = vec![AnyObject::consensus(n).expect("valid")];
         let g = Explorer::new(&p, &objects)
-            .explore(limits)
+            .exploration()
+            .limits(limits)
+            .run()
             .expect("explorable");
         table.row(stats_row("consensus race", n, &g));
     }
@@ -69,7 +83,9 @@ fn main() {
         let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
         let objects = vec![AnyObject::pac(n).expect("valid")];
         let g = Explorer::new(&p, &objects)
-            .explore(limits)
+            .exploration()
+            .limits(limits)
+            .run()
             .expect("explorable");
         table.row(stats_row("Algorithm 2 (n-DAC)", n, &g));
     }
@@ -79,10 +95,12 @@ fn main() {
         let p = KSetViaStrongSa::new(inputs, ObjId(0));
         let objects = vec![AnyObject::strong_sa()];
         let g = Explorer::new(&p, &objects)
-            .explore(limits)
+            .exploration()
+            .limits(limits)
+            .run()
             .expect("explorable");
         table.row(stats_row("2-SA race (nondet branching)", n, &g));
     }
 
-    println!("{table}");
+    exp.table(table);
 }

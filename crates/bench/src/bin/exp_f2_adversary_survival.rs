@@ -10,11 +10,12 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f2_adversary_survival`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId};
 use lbsa_explorer::adversary::{bivalent_survival, find_nontermination};
 use lbsa_explorer::valency::ValencyAnalysis;
-use lbsa_explorer::{Explorer, Limits};
+use lbsa_explorer::Explorer;
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::candidates::{SaThenConsensus, WaitForWinner};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
@@ -22,7 +23,9 @@ use lbsa_runtime::process::Protocol;
 
 fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: &mut Table) {
     let g = Explorer::new(protocol, objects)
-        .explore(Limits::new(5_000_000))
+        .exploration()
+        .max_configs(5_000_000)
+        .run()
         .expect("explorable");
     let va = ValencyAnalysis::analyze(&g);
     let (barren, univalent, multivalent) = va.census();
@@ -49,6 +52,16 @@ fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: 
 }
 
 fn main() {
+    run_experiment(
+        "exp_f2_adversary_survival",
+        "F2 — bivalency adversary: survival and certificates",
+        |exp| {
+            body(exp);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let mut table = Table::new(
         "F2 — bivalency adversary: survival and certificates",
         vec![
@@ -91,8 +104,8 @@ fn main() {
     ];
     analyze("2-SA narrow + tie-break (doomed)", &p, &objects, &mut table);
 
-    println!("{table}");
-    println!("Reading: solvable targets leave the adversary stuck at a critical");
-    println!("configuration almost immediately; doomed candidates let it survive");
-    println!("forever (a loop) or exhibit an outright non-termination certificate.");
+    exp.table(table);
+    exp.note("Reading: solvable targets leave the adversary stuck at a critical");
+    exp.note("configuration almost immediately; doomed candidates let it survive");
+    exp.note("forever (a loop) or exhibit an outright non-termination certificate.");
 }

@@ -7,10 +7,11 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f5_universal`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_core::ids::Label;
 use lbsa_core::value::int;
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
-use lbsa_explorer::{Explorer, Limits};
+use lbsa_explorer::Explorer;
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::universal::UniversalProcedure;
 use lbsa_runtime::derived::{record_frontend_history, DerivedProtocol};
@@ -58,6 +59,16 @@ fn register_table_ops(n: usize) -> Vec<Op> {
 }
 
 fn main() {
+    run_experiment(
+        "exp_f5_universal",
+        "F5 — the universal construction: cost and exhaustive equivalence",
+        |exp| {
+            body(exp);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let mut table = Table::new(
         "F5 — universal construction cost (register churn, round-robin)",
         vec![
@@ -98,7 +109,7 @@ fn main() {
             format!("{:.1}", steps as f64 / front_ops.max(1) as f64),
         ]);
     }
-    println!("{table}");
+    exp.table(table);
 
     // Equivalence check: the simulated 2-PAC realizes exactly the native
     // outcome set, exhaustively.
@@ -140,7 +151,8 @@ fn main() {
     let inner = PacPairs;
     let native_objects = vec![AnyObject::pac(2).expect("valid")];
     let native_g = Explorer::new(&inner, &native_objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .expect("explorable");
     let native: BTreeSet<Vec<Option<Value>>> = native_g
         .terminal_indices()
@@ -152,20 +164,21 @@ fn main() {
     let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
     let objects = uni.base_objects().expect("valid");
     let sim_g = Explorer::new(&derived, &objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .expect("explorable");
     let simulated: BTreeSet<Vec<Option<Value>>> = sim_g
         .terminal_indices()
         .map(|t| sim_g.configs[t].decisions())
         .collect();
 
-    println!(
+    exp.note(format!(
         "Simulated 2-PAC terminal outcomes == native: {}",
         native == simulated
-    );
-    println!(
+    ));
+    exp.note(format!(
         "(native graph: {} configs; simulated graph: {} configs)",
         native_g.configs.len(),
         sim_g.configs.len()
-    );
+    ));
 }

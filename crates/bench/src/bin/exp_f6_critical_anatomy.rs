@@ -11,10 +11,11 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f6_critical_anatomy`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
 use lbsa_explorer::valency::{critical_anatomy, ValencyAnalysis};
-use lbsa_explorer::{Explorer, Limits};
+use lbsa_explorer::Explorer;
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::classic_consensus::{ClassicConsensus, RacePrimitive};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
@@ -53,7 +54,11 @@ impl Protocol for WriteThenPropose {
 
 fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: &mut Table) {
     let ex = Explorer::new(protocol, objects);
-    let g = ex.explore(Limits::new(2_000_000)).expect("explorable");
+    let g = ex
+        .exploration()
+        .max_configs(2_000_000)
+        .run()
+        .expect("explorable");
     let va = ValencyAnalysis::analyze(&g);
     let anatomy = critical_anatomy(&ex, &g, &va).expect("anatomy computable");
     if anatomy.is_empty() {
@@ -88,6 +93,16 @@ fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: 
 }
 
 fn main() {
+    run_experiment(
+        "exp_f6_critical_anatomy",
+        "F6 — critical configurations: all poised on one (non-register) object",
+        |exp| {
+            body(exp);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let mut table = Table::new(
         "F6 — critical configurations: all poised on one (non-register) object",
         vec![
@@ -147,8 +162,8 @@ fn main() {
     let objects = p.objects();
     analyze("CAS consensus (3p)", &p, &objects, &mut table);
 
-    println!("{table}");
-    println!("Every solvable protocol funnels its critical configurations onto the one");
-    println!("consensus-bearing object, never a register — the executable shape of the");
-    println!("case analysis in the proofs of Theorems 4.2 and 5.2.");
+    exp.table(table);
+    exp.note("Every solvable protocol funnels its critical configurations onto the one");
+    exp.note("consensus-bearing object, never a register — the executable shape of the");
+    exp.note("case analysis in the proofs of Theorems 4.2 and 5.2.");
 }

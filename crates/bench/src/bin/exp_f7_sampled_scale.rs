@@ -10,6 +10,7 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f7_sampled_scale`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
 use lbsa_explorer::sampling::{sample_k_set_agreement, SampleConfig};
@@ -18,6 +19,16 @@ use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::{GroupSplitKSet, KSetViaPowerLevel};
 
 fn main() {
+    run_experiment(
+        "exp_f7_sampled_scale",
+        "F7 — sampled safety checks beyond the exhaustive frontier",
+        |exp| {
+            body(exp);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let mut table = Table::new(
         "F7 — sampled safety checks beyond the exhaustive frontier",
         vec![
@@ -128,7 +139,7 @@ fn main() {
         table.row(row);
     }
 
-    println!("{table}");
-    println!("Sampling checks safety only; a pass is evidence, not proof (seeds make");
-    println!("any violation reproducible). Exhaustive certification lives in T1-T6.");
+    exp.table(table);
+    exp.note("Sampling checks safety only; a pass is evidence, not proof (seeds make");
+    exp.note("any violation reproducible). Exhaustive certification lives in T1-T6.");
 }

@@ -1,0 +1,167 @@
+//! **exp_report** — aggregates the `reports/<exp_id>.json` artifacts.
+//!
+//! Every harnessed experiment binary (see `lbsa_bench::harness`) writes a
+//! schema-tagged JSON artifact; this binary turns those artifacts back
+//! into the markdown tables of `EXPERIMENTS.md` and checks them:
+//!
+//! * `exp_report` — validate every artifact in `reports/` and print its
+//!   tables (markdown, identical to what the experiment binary printed);
+//! * `exp_report --validate FILE` — validate one artifact, exit non-zero
+//!   if it does not conform to `lbsa-report/v1`;
+//! * `exp_report --diff EXPERIMENTS.md` — locate each regenerated table in
+//!   the committed document (by its header row) and require the committed
+//!   rows to be **byte-identical**; exit non-zero on drift.
+//!
+//! Run with `cargo run --release -p lbsa-bench --bin exp_report`.
+
+use lbsa_bench::harness::{table_from_json, validate_report};
+use lbsa_hierarchy::report::Table;
+use lbsa_support::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate_report(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(doc)
+}
+
+/// The markdown lines of a table from its header row on (title and blank
+/// line dropped) — the unit of byte-comparison against `EXPERIMENTS.md`.
+fn body_lines(table: &Table) -> Vec<String> {
+    table
+        .to_string()
+        .lines()
+        .skip(2)
+        .map(String::from)
+        .collect()
+}
+
+/// Compares one regenerated table against the committed document.
+/// Returns `Some(true)` on a byte-identical match, `Some(false)` on
+/// drift, `None` when the table's header row does not appear (committed
+/// docs legitimately summarize some tables by hand).
+fn diff_table(table: &Table, committed: &[&str]) -> Option<bool> {
+    let body = body_lines(table);
+    let header = body.first()?;
+    let at = committed.iter().position(|line| line == header)?;
+    let window = committed.get(at..at + body.len())?;
+    Some(window.iter().zip(&body).all(|(a, b)| a == b))
+}
+
+fn main() -> ExitCode {
+    let mut reports_dir = PathBuf::from("reports");
+    let mut validate_only: Vec<PathBuf> = Vec::new();
+    let mut diff_against: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("exp_report: missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--reports-dir" => reports_dir = PathBuf::from(value_of("--reports-dir")),
+            "--validate" => validate_only.push(PathBuf::from(value_of("--validate"))),
+            "--diff" => diff_against = Some(PathBuf::from(value_of("--diff"))),
+            other => {
+                eprintln!(
+                    "exp_report: unknown argument {other:?} \
+                     (takes --reports-dir DIR | --validate FILE | --diff FILE)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !validate_only.is_empty() {
+        let mut ok = true;
+        for path in &validate_only {
+            match load(path) {
+                Ok(doc) => {
+                    let id = doc.get("id").and_then(Json::as_str).unwrap_or("?");
+                    println!("{}: valid lbsa-report/v1 ({id})", path.display());
+                }
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    ok = false;
+                }
+            }
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&reports_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("exp_report: cannot read {}: {e}", reports_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!(
+            "exp_report: no artifacts in {} (run the exp_* binaries first)",
+            reports_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let committed_text = diff_against.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("exp_report: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
+    let committed: Option<Vec<&str>> = committed_text.as_ref().map(|t| t.lines().collect());
+
+    let mut drift = false;
+    for path in &paths {
+        let doc = match load(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("invalid: {e}");
+                drift = true;
+                continue;
+            }
+        };
+        let id = doc.get("id").and_then(Json::as_str).unwrap_or("?");
+        let tables = doc.get("tables").and_then(Json::as_arr).unwrap_or(&[]);
+        for t in tables {
+            let table = table_from_json(t).expect("validated above");
+            match &committed {
+                None => println!("{table}"),
+                Some(lines) => match diff_table(&table, lines) {
+                    Some(true) => {
+                        println!("{id}: `{}` — rows match byte-for-byte", table.title());
+                    }
+                    Some(false) => {
+                        println!("{id}: `{}` — DRIFT from committed rows", table.title());
+                        drift = true;
+                    }
+                    None => {
+                        println!(
+                            "{id}: `{}` — not present verbatim (summarized)",
+                            table.title()
+                        );
+                    }
+                },
+            }
+        }
+    }
+    if drift {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

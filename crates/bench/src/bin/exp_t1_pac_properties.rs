@@ -10,6 +10,7 @@
 //! Prints one row per configuration swept. Run with
 //! `cargo run --release -p lbsa-bench --bin exp_t1_pac_properties`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_core::history::{
     check_pac_properties, for_each_op_sequence, is_legal_pac_history, pac_op_alphabet, run_pac,
 };
@@ -83,6 +84,16 @@ fn sweep(n: usize, values: &[Value], max_len: usize) -> SweepOutcome {
 }
 
 fn main() {
+    run_experiment(
+        "exp_t1_pac_properties",
+        "T1 — n-PAC sequential properties (exhaustive)",
+        |exp| {
+            body(exp);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let mut table = Table::new(
         "T1 — n-PAC sequential properties (exhaustive)",
         vec![
@@ -121,5 +132,5 @@ fn main() {
             ok(o.theorem_3_5_ok),
         ]);
     }
-    println!("{table}");
+    exp.table(table);
 }

@@ -10,6 +10,7 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_t3_impossibility`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
 use lbsa_explorer::adversary::{find_nontermination, verify_witness};
@@ -37,7 +38,18 @@ fn violation_kind(v: &Violation) -> String {
 }
 
 fn main() {
-    let limits = Limits::new(2_000_000);
+    run_experiment(
+        "exp_t3_impossibility",
+        "T3 — Theorem 4.2/4.3 refutations (n = 2, targets use 3 processes)",
+        |exp| {
+            let limits = Limits::new(2_000_000);
+            exp.param("max_configs", limits.max_configs);
+            body(exp, limits);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let mut table = Table::new(
         "T3 — Theorem 4.2/4.3 refutations (n = 2, targets use 3 processes)",
         vec!["candidate", "base objects", "verdict"],
@@ -92,7 +104,7 @@ fn main() {
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Err(v) => {
                 // Confirm the certificate replays.
-                let g = ex.explore(limits).expect("explorable");
+                let g = ex.exploration().limits(limits).run().expect("explorable");
                 let replayed = find_nontermination(&g)
                     .map(|w| verify_witness(&g, &w))
                     .unwrap_or(false);
@@ -181,6 +193,6 @@ fn main() {
         ]);
     }
 
-    println!("{table}");
-    println!("Controls must read 'correct'; every candidate must be refuted.");
+    exp.table(table);
+    exp.note("Controls must read 'correct'; every candidate must be refuted.");
 }

@@ -10,14 +10,27 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_t4_hierarchy_level`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_core::AnyObject;
 use lbsa_explorer::Limits;
 use lbsa_hierarchy::certify::{certified_consensus_number, Face};
 use lbsa_hierarchy::report::Table;
 
 fn main() {
-    let limits = Limits::new(2_000_000);
-    let cap = 5;
+    run_experiment(
+        "exp_t4_hierarchy_level",
+        "T4 — certified consensus numbers",
+        |exp| {
+            let limits = Limits::new(2_000_000);
+            let cap = 5;
+            exp.param("max_configs", limits.max_configs);
+            exp.param("cap", cap);
+            body(exp, limits, cap);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits, cap: usize) {
     let mut table = Table::new(
         "T4 — certified consensus numbers (upper bound exhaustive; n+1 refuted on the canonical protocol)",
         vec!["object", "expected level", "certified level", "configs swept", "refutation at n+1"],
@@ -131,5 +144,5 @@ fn main() {
             }
         }
     }
-    println!("{table}");
+    exp.table(table);
 }

@@ -9,12 +9,24 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_t5_separation`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_explorer::Limits;
 use lbsa_hierarchy::report::Table;
 use lbsa_hierarchy::separation::run_separation;
 
 fn main() {
-    let limits = Limits::new(2_000_000);
+    run_experiment(
+        "exp_t5_separation",
+        "T5 — the O_n vs O'_n separation (Section 6)",
+        |exp| {
+            let limits = Limits::new(2_000_000);
+            exp.param("max_configs", limits.max_configs);
+            body(exp, limits);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let mut power = Table::new(
         "T5a — certified set agreement power tables (lower bounds, k <= K)",
         vec!["n", "k", "n_k(O_n)", "n_k(O'_n)", "match"],
@@ -69,9 +81,9 @@ fn main() {
         }
     }
 
-    println!("{power}");
-    println!("{pipeline}");
-    println!("Conclusion (Cor. 6.6): O_n and O'_n certify the same set agreement power,");
-    println!("O'_n is implementable from n-consensus + 2-SA (Lemma 6.4), yet every");
-    println!("candidate implementation of O_n from O'_n + registers is refuted (Thm 6.5).");
+    exp.table(power);
+    exp.table(pipeline);
+    exp.note("Conclusion (Cor. 6.6): O_n and O'_n certify the same set agreement power,");
+    exp.note("O'_n is implementable from n-consensus + 2-SA (Lemma 6.4), yet every");
+    exp.note("candidate implementation of O_n from O'_n + registers is refuted (Thm 6.5).");
 }

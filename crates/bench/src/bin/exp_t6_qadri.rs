@@ -16,6 +16,7 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_t6_qadri`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
 use lbsa_explorer::checker::{check_dac, DacInstance};
@@ -27,7 +28,18 @@ use lbsa_protocols::dac::DacFromPac;
 use lbsa_runtime::derived::DerivedProtocol;
 
 fn main() {
-    let limits = Limits::new(5_000_000);
+    run_experiment(
+        "exp_t6_qadri",
+        "T6 — Theorem 7.1 (m = 2, n = 3): Qadri's question",
+        |exp| {
+            let limits = Limits::new(5_000_000);
+            exp.param("max_configs", limits.max_configs);
+            body(exp, limits);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let mut table = Table::new(
         "T6 — Theorem 7.1 (m = 2, n = 3): level-2 object vs level-3 consensus",
         vec!["step", "result"],
@@ -83,7 +95,7 @@ fn main() {
         verdict,
     ]);
 
-    println!("{table}");
-    println!("Reading: a deterministic object at level 2 resists implementation even");
-    println!("from consensus objects one level HIGHER — Qadri's question answered 'no'.");
+    exp.table(table);
+    exp.note("Reading: a deterministic object at level 2 resists implementation even");
+    exp.note("from consensus objects one level HIGHER — Qadri's question answered 'no'.");
 }

@@ -9,6 +9,7 @@
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_t7_classic_hierarchy`.
 
+use lbsa_bench::harness::run_experiment;
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, Value};
 use lbsa_explorer::checker::{check_consensus, Violation};
@@ -18,7 +19,18 @@ use lbsa_hierarchy::report::Table;
 use lbsa_protocols::classic_consensus::{AnnounceConsensus, ClassicConsensus, RacePrimitive};
 
 fn main() {
-    let limits = Limits::new(2_000_000);
+    run_experiment(
+        "exp_t7_classic_hierarchy",
+        "T7 — classic primitives vs the paper's objects (one machinery)",
+        |exp| {
+            let limits = Limits::new(2_000_000);
+            exp.param("max_configs", limits.max_configs);
+            body(exp, limits);
+        },
+    );
+}
+
+fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let mut table = Table::new(
         "T7 — classic primitives vs the paper's objects (one machinery)",
         vec!["object", "protocol", "processes", "verdict"],
@@ -106,9 +118,9 @@ fn main() {
         ]);
     }
 
-    println!("{table}");
-    println!("The read-the-other trick makes the level-2 primitives wait-free for two");
-    println!("processes; its absence at three is the hierarchy boundary. CAS has no");
-    println!("such boundary. The paper's O_n / O'_n slot in at level n — and T5 shows");
-    println!("that level alone (even with set agreement power) does not equate them.");
+    exp.table(table);
+    exp.note("The read-the-other trick makes the level-2 primitives wait-free for two");
+    exp.note("processes; its absence at three is the hierarchy boundary. CAS has no");
+    exp.note("such boundary. The paper's O_n / O'_n slot in at level n — and T5 shows");
+    exp.note("that level alone (even with set agreement power) does not equate them.");
 }

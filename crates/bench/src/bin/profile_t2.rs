@@ -3,7 +3,7 @@
 
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{ExploreOptions, Explorer, Limits};
+use lbsa_explorer::Explorer;
 use lbsa_protocols::dac::DacFromPac;
 use std::hint::black_box;
 
@@ -16,9 +16,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(2000);
     for _ in 0..iters {
-        let g = explorer
-            .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
-            .unwrap();
+        let g = explorer.exploration().threads(1).run().unwrap();
         black_box(g.configs.len());
     }
 }

@@ -1,0 +1,439 @@
+//! Shared harness for the `exp_*` experiment binaries.
+//!
+//! Every experiment binary used to carry its own preamble: build tables,
+//! print them, exit. This module deduplicates that into one entry point,
+//! [`run_experiment`], which additionally emits a structured JSON artifact
+//! `reports/<exp_id>.json` (schema [`REPORT_SCHEMA`]) holding the
+//! experiment's parameters, every table row, recorded
+//! [`Verdict`]s (including replayable witnesses), the
+//! explanatory notes, and the wall-clock time. The `exp_report` binary
+//! aggregates those artifacts back into the markdown tables of
+//! `EXPERIMENTS.md`.
+//!
+//! Stdout stays exactly what the binaries always printed — tables and
+//! notes, in insertion order — so the rows remain byte-comparable against
+//! `EXPERIMENTS.md`; the artifact path is announced on stderr.
+//!
+//! # CLI
+//!
+//! Every harnessed binary accepts:
+//!
+//! * `--reports-dir DIR` — where to write the artifact (default
+//!   `reports/`);
+//! * `--no-report` — skip writing the artifact;
+//! * `--KEY VALUE` — experiment-specific parameters, read by the body via
+//!   [`Experiment::arg`] / [`Experiment::arg_usize`] (e.g. `exp_t2_dac
+//!   --max-n 2`).
+
+use lbsa_explorer::Verdict;
+use lbsa_hierarchy::report::Table;
+use lbsa_support::json::Json;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Schema tag written into (and required of) every report artifact.
+pub const REPORT_SCHEMA: &str = "lbsa-report/v1";
+
+/// One stdout section, kept in insertion order.
+enum Section {
+    Table(Table),
+    Note(String),
+}
+
+/// The in-flight state of one experiment run: what to print, what to
+/// record, and the parsed command line.
+pub struct Experiment {
+    id: String,
+    title: String,
+    cli: Vec<(String, String)>,
+    reports_dir: Option<PathBuf>,
+    params: Json,
+    sections: Vec<Section>,
+    verdicts: Vec<(String, Json)>,
+}
+
+impl Experiment {
+    fn from_env(id: &str, title: &str) -> Experiment {
+        let mut cli = Vec::new();
+        let mut reports_dir = Some(PathBuf::from("reports"));
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--no-report" {
+                reports_dir = None;
+            } else if let Some(key) = arg.strip_prefix("--") {
+                let Some(value) = args.next() else {
+                    eprintln!("{id}: missing value for --{key}");
+                    std::process::exit(2);
+                };
+                if key == "reports-dir" {
+                    if reports_dir.is_some() {
+                        reports_dir = Some(PathBuf::from(value));
+                    }
+                } else {
+                    cli.push((key.to_string(), value));
+                }
+            } else {
+                eprintln!("{id}: unexpected argument {arg:?} (flags are --key value)");
+                std::process::exit(2);
+            }
+        }
+        Experiment {
+            id: id.to_string(),
+            title: title.to_string(),
+            cli,
+            reports_dir,
+            params: Json::object(),
+            sections: Vec::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The raw value of command-line parameter `--name`, if given.
+    #[must_use]
+    pub fn arg(&self, name: &str) -> Option<&str> {
+        self.cli
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--name` parsed as `usize`, or `default` when absent.
+    /// Exits with a diagnostic when the value does not parse.
+    #[must_use]
+    pub fn arg_usize(&self, name: &str, default: usize) -> usize {
+        match self.arg(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("{}: --{name} wants an integer, got {raw:?}", self.id);
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Records one experiment parameter into the artifact.
+    pub fn param(&mut self, key: &str, value: impl Into<Json>) {
+        self.params = std::mem::replace(&mut self.params, Json::Null).set(key, value);
+    }
+
+    /// Adds a table: printed to stdout in order, recorded in the artifact.
+    pub fn table(&mut self, table: Table) {
+        self.sections.push(Section::Table(table));
+    }
+
+    /// Adds an explanatory note line: printed after preceding tables,
+    /// recorded in the artifact.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.sections.push(Section::Note(line.into()));
+    }
+
+    /// Records a labelled [`Verdict`] (with its witness, when any) into
+    /// the artifact.
+    pub fn verdict(&mut self, label: &str, verdict: &Verdict) {
+        self.verdicts.push((label.to_string(), verdict.to_json()));
+    }
+
+    fn to_json(&self, wall: Duration) -> Json {
+        let tables: Vec<Json> = self
+            .sections
+            .iter()
+            .filter_map(|s| match s {
+                Section::Table(t) => Some(table_to_json(t)),
+                Section::Note(_) => None,
+            })
+            .collect();
+        let notes: Vec<Json> = self
+            .sections
+            .iter()
+            .filter_map(|s| match s {
+                Section::Note(n) => Some(Json::from(n.as_str())),
+                Section::Table(_) => None,
+            })
+            .collect();
+        let verdicts: Vec<Json> = self
+            .verdicts
+            .iter()
+            .map(|(label, v)| {
+                Json::object()
+                    .set("label", label.as_str())
+                    .set("verdict", v.clone())
+            })
+            .collect();
+        Json::object()
+            .set("schema", REPORT_SCHEMA)
+            .set("id", self.id.as_str())
+            .set("title", self.title.as_str())
+            .set("parameters", self.params.clone())
+            .set("tables", Json::Arr(tables))
+            .set("verdicts", Json::Arr(verdicts))
+            .set("notes", Json::Arr(notes))
+            .set("wall_clock_ms", wall.as_secs_f64() * 1e3)
+    }
+}
+
+/// Runs one experiment: parses the CLI, executes `body`, prints the
+/// recorded tables and notes to stdout, and writes
+/// `<reports-dir>/<id>.json`.
+pub fn run_experiment(id: &str, title: &str, body: impl FnOnce(&mut Experiment)) {
+    let mut exp = Experiment::from_env(id, title);
+    let start = Instant::now();
+    body(&mut exp);
+    let wall = start.elapsed();
+    for section in &exp.sections {
+        match section {
+            Section::Table(t) => println!("{t}"),
+            Section::Note(n) => println!("{n}"),
+        }
+    }
+    let Some(dir) = exp.reports_dir.clone() else {
+        return;
+    };
+    let doc = exp.to_json(wall);
+    debug_assert!(validate_report(&doc).is_ok());
+    let path = dir.join(format!("{id}.json"));
+    let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.pretty()));
+    match write {
+        Ok(()) => eprintln!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("{id}: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Serializes a [`Table`] for the artifact.
+#[must_use]
+pub fn table_to_json(table: &Table) -> Json {
+    Json::object()
+        .set("title", table.title())
+        .set(
+            "headers",
+            Json::Arr(
+                table
+                    .headers()
+                    .iter()
+                    .map(|h| Json::from(h.as_str()))
+                    .collect(),
+            ),
+        )
+        .set(
+            "rows",
+            Json::Arr(
+                table
+                    .rows()
+                    .iter()
+                    .map(|row| {
+                        Json::Arr(row.iter().map(|cell| Json::from(cell.as_str())).collect())
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Rebuilds a [`Table`] from its artifact form.
+///
+/// # Errors
+///
+/// Returns a description of the first shape mismatch.
+pub fn table_from_json(doc: &Json) -> Result<Table, String> {
+    let title = doc
+        .get("title")
+        .and_then(Json::as_str)
+        .ok_or("table: missing string `title`")?;
+    let headers: Vec<&str> = doc
+        .get("headers")
+        .and_then(Json::as_arr)
+        .ok_or("table: missing array `headers`")?
+        .iter()
+        .map(|h| h.as_str().ok_or("table: non-string header"))
+        .collect::<Result<_, _>>()?;
+    let mut table = Table::new(title, headers);
+    for row in doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("table: missing array `rows`")?
+    {
+        let cells: Vec<String> = row
+            .as_arr()
+            .ok_or("table: non-array row")?
+            .iter()
+            .map(|c| c.as_str().map(String::from).ok_or("table: non-string cell"))
+            .collect::<Result<_, _>>()?;
+        table.row(cells);
+    }
+    Ok(table)
+}
+
+/// Validates a report artifact against the `lbsa-report/v1` schema.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let field = |key: &str| doc.get(key).ok_or(format!("missing field `{key}`"));
+    match field("schema")?.as_str() {
+        Some(REPORT_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema {other:?}")),
+        None => return Err("`schema` is not a string".into()),
+    }
+    for key in ["id", "title"] {
+        let v = field(key)?;
+        if v.as_str().is_none_or(str::is_empty) {
+            return Err(format!("`{key}` must be a non-empty string"));
+        }
+    }
+    if field("parameters")?.as_obj().is_none() {
+        return Err("`parameters` must be an object".into());
+    }
+    let tables = field("tables")?
+        .as_arr()
+        .ok_or("`tables` must be an array")?;
+    for t in tables {
+        table_from_json(t)?;
+    }
+    let verdicts = field("verdicts")?
+        .as_arr()
+        .ok_or("`verdicts` must be an array")?;
+    for v in verdicts {
+        validate_verdict(v)?;
+    }
+    let notes = field("notes")?.as_arr().ok_or("`notes` must be an array")?;
+    if notes.iter().any(|n| n.as_str().is_none()) {
+        return Err("`notes` must contain only strings".into());
+    }
+    if field("wall_clock_ms")?.as_f64().is_none() {
+        return Err("`wall_clock_ms` must be a number".into());
+    }
+    Ok(())
+}
+
+/// Validates one labelled verdict entry of a report.
+fn validate_verdict(doc: &Json) -> Result<(), String> {
+    if doc
+        .get("label")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err("verdict: missing non-empty `label`".into());
+    }
+    let v = doc.get("verdict").ok_or("verdict: missing `verdict`")?;
+    match v.get("outcome").and_then(Json::as_str) {
+        Some("holds" | "violated" | "truncated" | "error") => {}
+        Some(other) => return Err(format!("verdict: unknown outcome {other:?}")),
+        None => return Err("verdict: missing string `outcome`".into()),
+    }
+    let stats = v.get("stats").ok_or("verdict: missing `stats`")?;
+    for key in ["configs", "transitions"] {
+        if stats.get(key).and_then(Json::as_i64).is_none() {
+            return Err(format!("verdict: `stats.{key}` must be an integer"));
+        }
+    }
+    match v.get("witness") {
+        Some(Json::Null) | None => Ok(()),
+        Some(w) => {
+            if w.get("kind").and_then(Json::as_str).is_none() {
+                return Err("witness: missing string `kind`".into());
+            }
+            for key in ["schedule", "cycle"] {
+                let steps = w
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or(format!("witness: `{key}` must be an array"))?;
+                for s in steps {
+                    if s.get("pid").and_then(Json::as_i64).is_none()
+                        || s.get("outcome").and_then(Json::as_i64).is_none()
+                    {
+                        return Err(format!("witness: malformed step in `{key}`"));
+                    }
+                }
+            }
+            if w.get("minimized").and_then(Json::as_bool).is_none() {
+                return Err("witness: `minimized` must be a boolean".into());
+            }
+            if w.get("trace").and_then(Json::as_arr).is_none() {
+                return Err("witness: `trace` must be an array".into());
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Json {
+        let mut t = Table::new("T0 — sample", vec!["n", "verdict"]);
+        t.row(vec!["2".into(), "holds".into()]);
+        Json::object()
+            .set("schema", REPORT_SCHEMA)
+            .set("id", "exp_sample")
+            .set("title", "sample")
+            .set("parameters", Json::object().set("max_n", 2usize))
+            .set("tables", Json::Arr(vec![table_to_json(&t)]))
+            .set(
+                "verdicts",
+                Json::Arr(vec![Json::object().set("label", "n=2").set(
+                    "verdict",
+                    Json::object()
+                        .set("outcome", "holds")
+                        .set(
+                            "stats",
+                            Json::object()
+                                .set("configs", 70usize)
+                                .set("transitions", 84usize),
+                        )
+                        .set("witness", Json::Null),
+                )]),
+            )
+            .set("notes", Json::Arr(vec![Json::from("a note")]))
+            .set("wall_clock_ms", 1.5)
+    }
+
+    #[test]
+    fn sample_report_validates_and_round_trips() {
+        let doc = sample_report();
+        validate_report(&doc).unwrap();
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        validate_report(&parsed).unwrap();
+    }
+
+    #[test]
+    fn tables_round_trip_through_json() {
+        let mut t = Table::new("X", vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        let back = table_from_json(&table_to_json(&t)).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(t.to_string(), back.to_string());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let missing = Json::object().set("schema", REPORT_SCHEMA);
+        assert!(validate_report(&missing).is_err());
+
+        let bad_schema = sample_report().set("schema", "nope/v9");
+        assert!(validate_report(&bad_schema).unwrap_err().contains("schema"));
+
+        let bad_outcome = sample_report().set(
+            "verdicts",
+            Json::Arr(vec![Json::object().set("label", "x").set(
+                "verdict",
+                Json::object().set("outcome", "perhaps").set(
+                    "stats",
+                    Json::object()
+                        .set("configs", 0usize)
+                        .set("transitions", 0usize),
+                ),
+            )]),
+        );
+        assert!(validate_report(&bad_outcome)
+            .unwrap_err()
+            .contains("outcome"));
+
+        let bad_note = sample_report().set("notes", Json::Arr(vec![Json::from(3i64)]));
+        assert!(validate_report(&bad_note).unwrap_err().contains("notes"));
+    }
+}

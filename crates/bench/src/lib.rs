@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use lbsa_core::Value;
 
 /// `count` pairwise-distinct proposal values — the adversarial input choice

@@ -5,7 +5,7 @@
 //! protocol, and on randomized small protocols.
 
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
-use lbsa_explorer::{ExplorationGraph, ExploreOptions, Explorer, Limits};
+use lbsa_explorer::{ExplorationGraph, Explorer, Limits};
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_runtime::process::{Protocol, Step};
 use lbsa_support::check::run_cases;
@@ -36,7 +36,10 @@ fn explore_with_threads<P: Protocol>(
     threads: usize,
 ) -> ExplorationGraph<P::LocalState> {
     explorer
-        .explore_with(ExploreOptions::new(limits).with_threads(threads))
+        .exploration()
+        .limits(limits)
+        .threads(threads)
+        .run()
         .expect("exploration succeeds")
 }
 

@@ -275,7 +275,11 @@ pub fn drive_multivalent<P: lbsa_runtime::process::Protocol>(
     let mut lookahead_configs = 0usize;
 
     // Certify the start.
-    let probe = explorer.explore_from(current.clone(), lookahead)?;
+    let probe = explorer
+        .exploration()
+        .from(current.clone())
+        .limits(lookahead)
+        .run()?;
     lookahead_configs += probe.configs.len();
     let analysis = ValencyAnalysis::analyze(&probe);
     if !(analysis.exact && analysis.is_multivalent(0)) {
@@ -291,7 +295,11 @@ pub fn drive_multivalent<P: lbsa_runtime::process::Protocol>(
         let mut moved = false;
         'candidates: for pid in current.enabled_pids() {
             for succ in explorer.successors_of(&current, pid)? {
-                let probe = explorer.explore_from(succ.clone(), lookahead)?;
+                let probe = explorer
+                    .exploration()
+                    .from(succ.clone())
+                    .limits(lookahead)
+                    .run()?;
                 lookahead_configs += probe.configs.len();
                 let analysis = ValencyAnalysis::analyze(&probe);
                 if analysis.exact && analysis.is_multivalent(0) {
@@ -330,7 +338,7 @@ pub fn drive_multivalent<P: lbsa_runtime::process::Protocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{Explorer, Limits};
+    use crate::explore::Explorer;
     use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
     use lbsa_runtime::process::{Protocol, Step};
 
@@ -402,9 +410,7 @@ mod tests {
     fn wait_free_protocol_has_no_witness() {
         let p = Race;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert!(g.complete);
         assert_eq!(find_nontermination(&g), None);
     }
@@ -413,9 +419,7 @@ mod tests {
     fn register_consensus_attempt_is_refuted() {
         let p = RegisterConsensusAttempt;
         let objects = vec![AnyObject::register(), AnyObject::register()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert!(g.complete);
         let w = find_nontermination(&g).expect("the adversary must defeat register consensus");
         assert!(!w.cycle.is_empty());
@@ -432,9 +436,7 @@ mod tests {
     fn tampered_witnesses_are_rejected() {
         let p = RegisterConsensusAttempt;
         let objects = vec![AnyObject::register(), AnyObject::register()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let w = find_nontermination(&g).unwrap();
 
         let mut empty_cycle = w.clone();
@@ -497,9 +499,7 @@ mod tests {
     fn survival_against_yielders_is_unbounded() {
         let p = Yielders;
         let objects = vec![AnyObject::register()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         assert!(
             va.is_multivalent(0),
@@ -517,9 +517,7 @@ mod tests {
     fn survival_against_a_real_consensus_object_is_bounded() {
         let p = Race;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let report = bivalent_survival(&g, &va, 10_000);
         assert!(
@@ -560,7 +558,7 @@ mod tests {
         let p = Yielders;
         let objects = vec![AnyObject::register()];
         let ex = Explorer::new(&p, &objects);
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let offline = bivalent_survival(&g, &va, 10_000);
         let online = drive_multivalent(&ex, Limits::default(), 10_000).unwrap();

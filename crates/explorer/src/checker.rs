@@ -70,6 +70,11 @@ pub enum Violation {
         /// Configuration where the abort is visible.
         config: usize,
     },
+    /// A recorded front-end history admits no legal linearization.
+    NotLinearizable {
+        /// The object whose history cannot be linearized.
+        obj: lbsa_core::ObjId,
+    },
     /// The protocol itself misbehaved (spec error, bad object id).
     Runtime(RuntimeError),
 }
@@ -100,6 +105,9 @@ impl fmt::Display for Violation {
                 f,
                 "nontriviality violated in configuration {config}: p aborted before any other process stepped"
             ),
+            Violation::NotLinearizable { obj } => {
+                write!(f, "history of {obj} is not linearizable")
+            }
             Violation::Runtime(e) => write!(f, "runtime error during checking: {e}"),
         }
     }
@@ -189,7 +197,7 @@ pub fn check_consensus<P: Protocol>(
     valid_inputs: &[Value],
     limits: Limits,
 ) -> Result<CheckStats, Violation> {
-    let graph = explorer.explore(limits)?;
+    let graph = explorer.exploration().limits(limits).run()?;
     check_consensus_graph(&graph, valid_inputs)
 }
 
@@ -204,7 +212,7 @@ pub fn check_k_set_agreement<P: Protocol>(
     valid_inputs: &[Value],
     limits: Limits,
 ) -> Result<CheckStats, Violation> {
-    let graph = explorer.explore(limits)?;
+    let graph = explorer.exploration().limits(limits).run()?;
     check_k_set_agreement_graph(&graph, k, valid_inputs)
 }
 
@@ -305,7 +313,24 @@ pub fn check_dac<P: Protocol>(
     limits: Limits,
     solo_bound: usize,
 ) -> Result<CheckStats, Violation> {
-    let graph = explorer.explore(limits)?;
+    let graph = explorer.exploration().limits(limits).run()?;
+    check_dac_graph(explorer, &graph, instance, solo_bound)
+}
+
+/// Checks the four n-DAC properties over an already-built exploration
+/// graph of the same protocol — the core of [`check_dac`], exposed so the
+/// verdict layer can explore once and reuse the graph for witness
+/// extraction.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_dac_graph<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    instance: &DacInstance,
+    solo_bound: usize,
+) -> Result<CheckStats, Violation> {
     if !graph.complete {
         return Err(Violation::Truncated);
     }
@@ -377,7 +402,7 @@ pub fn check_dac<P: Protocol>(
         }
     }
 
-    Ok(stats(&graph))
+    Ok(stats(graph))
 }
 
 #[cfg(test)]

@@ -2,12 +2,22 @@
 //!
 //! [`Explorer`] steps configurations *purely* (no mutable system), branching
 //! on both sources of nondeterminism — which process moves, and which
-//! admissible outcome a nondeterministic object picks. [`Explorer::explore`]
-//! builds the full [`ExplorationGraph`] by breadth-first search with
-//! configuration deduplication, up to a configurable limit. A complete graph
+//! admissible outcome a nondeterministic object picks. A fluent
+//! [`Exploration`] builder ([`Explorer::exploration`]) builds the full
+//! [`ExplorationGraph`] by breadth-first search with configuration
+//! deduplication, up to a configurable limit. A complete graph
 //! (`complete == true`) covers **every** execution of the protocol, which is
 //! what turns the paper's universally-quantified properties into finite
 //! checks.
+//!
+//! ```ignore
+//! let graph = explorer
+//!     .exploration()
+//!     .limits(Limits::new(1_000_000))
+//!     .threads(4)
+//!     .on_progress(|level| eprintln!("level width {}", level.width))
+//!     .run()?;
+//! ```
 //!
 //! ## Engine
 //!
@@ -37,13 +47,17 @@ use crate::config::Configuration;
 use crate::intern::{CompactConfig, Interner, ShardedIndex};
 use crate::stats::{ExploreStats, LevelStats};
 use lbsa_core::spec::ObjectSpec;
-use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid};
+use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid, Value};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Step};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// A per-level progress callback, invoked by [`Exploration::run`] after
+/// each BFS level with that level's [`LevelStats`].
+type ProgressCallback<'e> = Box<dyn FnMut(&LevelStats) + 'e>;
 
 /// Resource limits for exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -543,6 +557,73 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             .collect())
     }
 
+    /// Replays one chosen step: `pid` takes its pending operation and the
+    /// object resolves to its `outcome`-th admissible result (0 for
+    /// deterministic objects). Returns the successor configuration together
+    /// with what happened at the object — the raw material for a replayable
+    /// [`lbsa_runtime::trace::TraceEvent`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutcomeOutOfRange`] if the object admits
+    /// fewer than `outcome + 1` results, plus every error
+    /// [`Explorer::successors_of`] can raise.
+    pub fn step(
+        &self,
+        config: &Configuration<P::LocalState>,
+        pid: Pid,
+        outcome: usize,
+    ) -> Result<StepRecord<P::LocalState>, RuntimeError> {
+        let local = match config.procs.get(pid.index()) {
+            None => {
+                return Err(RuntimeError::PidOutOfRange {
+                    pid,
+                    len: config.procs.len(),
+                })
+            }
+            Some(ProcStatus::Running(s)) => s.clone(),
+            Some(_) => return Err(RuntimeError::ProcessNotRunning(pid)),
+        };
+        let (obj, op) = self.protocol.pending_op(pid, &local);
+        let spec = self
+            .objects
+            .get(obj.index())
+            .ok_or(RuntimeError::ObjIdOutOfRange {
+                obj,
+                len: self.objects.len(),
+            })?;
+        let outs = spec
+            .outcomes(&config.object_states[obj.index()], &op)?
+            .into_vec();
+        let len = outs.len();
+        let (response, obj_state) = outs
+            .into_iter()
+            .nth(outcome)
+            .ok_or(RuntimeError::OutcomeOutOfRange { obj, outcome, len })?;
+        let mut next = config.clone();
+        next.object_states[obj.index()] = obj_state;
+        next.procs[pid.index()] = match self.protocol.on_response(pid, &local, response) {
+            Step::Continue(s) => ProcStatus::Running(s),
+            Step::Decide(v) => ProcStatus::Decided(v),
+            Step::Abort => ProcStatus::Aborted,
+            Step::Halt => ProcStatus::Halted,
+        };
+        Ok(StepRecord {
+            config: next,
+            obj,
+            op,
+            response,
+        })
+    }
+
+    /// Starts a fluent [`Exploration`] of this explorer's protocol.
+    ///
+    /// This is the single entry point to the engine; the legacy
+    /// `explore*` functions are deprecated thin wrappers over it.
+    pub fn exploration(&self) -> Exploration<'_, 'a, P> {
+        Exploration::builder(self)
+    }
+
     /// Builds the execution graph reachable from the initial configuration,
     /// with an automatically chosen thread count.
     ///
@@ -550,8 +631,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     ///
     /// Propagates step errors (these indicate protocol bugs, not explored
     /// behaviours).
+    #[deprecated(note = "use the `Exploration` builder: `explorer.exploration().limits(…).run()`")]
     pub fn explore(&self, limits: Limits) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.explore_from(self.initial_config(), limits)
+        self.exploration().limits(limits).run()
     }
 
     /// Builds the execution graph with explicit [`ExploreOptions`].
@@ -559,11 +641,14 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// # Errors
     ///
     /// Propagates step errors.
+    #[deprecated(
+        note = "use the `Exploration` builder: `explorer.exploration().limits(…).threads(…).run()`"
+    )]
     pub fn explore_with(
         &self,
         options: ExploreOptions,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.explore_from_with(self.initial_config(), options)
+        self.exploration().options(options).run()
     }
 
     /// Builds the execution graph reachable from an arbitrary configuration.
@@ -571,31 +656,46 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// # Errors
     ///
     /// Propagates step errors.
+    #[deprecated(
+        note = "use the `Exploration` builder: `explorer.exploration().from(…).limits(…).run()`"
+    )]
     pub fn explore_from(
         &self,
         initial: Configuration<P::LocalState>,
         limits: Limits,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.explore_from_with(initial, ExploreOptions::new(limits))
+        self.exploration().from(initial).limits(limits).run()
     }
 
     /// Builds the execution graph reachable from an arbitrary configuration
     /// with explicit [`ExploreOptions`].
     ///
-    /// The graph is identical for every thread count: workers only compute
-    /// successors; node indices are assigned by a sequential merge that
-    /// scans each level in frontier order, which reproduces the FIFO order
-    /// of a sequential BFS exactly.
-    ///
     /// # Errors
     ///
-    /// Propagates step errors. When several nodes of one level fail, the
-    /// error of the earliest node in frontier order is returned — the same
-    /// error a sequential exploration reports.
+    /// Propagates step errors.
+    #[deprecated(note = "use the `Exploration` builder: \
+                `explorer.exploration().from(…).options(…).run()`")]
     pub fn explore_from_with(
         &self,
         initial: Configuration<P::LocalState>,
         options: ExploreOptions,
+    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
+        self.exploration().from(initial).options(options).run()
+    }
+
+    /// The engine: builds the execution graph reachable from `initial`.
+    ///
+    /// The graph is identical for every thread count: workers only compute
+    /// successors; node indices are assigned by a sequential merge that
+    /// scans each level in frontier order, which reproduces the FIFO order
+    /// of a sequential BFS exactly. When several nodes of one level fail,
+    /// the error of the earliest node in frontier order is returned — the
+    /// same error a sequential exploration reports.
+    fn run_engine(
+        &self,
+        initial: Configuration<P::LocalState>,
+        options: ExploreOptions,
+        mut on_progress: Option<ProgressCallback<'_>>,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let started = Instant::now();
         let threads = options.resolved_threads();
@@ -820,6 +920,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 transitions: level_transitions,
                 elapsed: level_started.elapsed(),
             });
+            if let Some(cb) = on_progress.as_mut() {
+                cb(levels.last().expect("level just pushed"));
+            }
             if take < frontier.len() {
                 // Truncated: the rest of this frontier (and everything newly
                 // discovered) stays unexpanded.
@@ -1050,6 +1153,112 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     }
 }
 
+/// The result of replaying one chosen step via [`Explorer::step`]: the
+/// successor configuration plus the object-level event that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepRecord<L> {
+    /// The successor configuration.
+    pub config: Configuration<L>,
+    /// The object the operation was applied to.
+    pub obj: ObjId,
+    /// The operation taken.
+    pub op: Op,
+    /// The response the chosen outcome returned.
+    pub response: Value,
+}
+
+/// A fluent, configured exploration run: the single front door to the
+/// engine.
+///
+/// Build one with [`Explorer::exploration`] (or [`Exploration::builder`]),
+/// chain the knobs you need, then [`Exploration::run`]:
+///
+/// ```ignore
+/// let graph = explorer
+///     .exploration()
+///     .from(config)                 // default: the initial configuration
+///     .limits(Limits::new(50_000))  // default: Limits::default()
+///     .threads(1)                   // default: auto
+///     .on_progress(|l| eprintln!("{} configs", l.width))
+///     .run()?;
+/// ```
+#[must_use = "an Exploration does nothing until .run() is called"]
+pub struct Exploration<'e, 'a, P: Protocol> {
+    explorer: &'e Explorer<'a, P>,
+    from: Option<Configuration<P::LocalState>>,
+    options: ExploreOptions,
+    on_progress: Option<ProgressCallback<'e>>,
+}
+
+impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
+    /// Starts a builder over `explorer` with default options: the initial
+    /// configuration, [`Limits::default`], automatic thread count, no
+    /// progress callback.
+    pub fn builder(explorer: &'e Explorer<'a, P>) -> Self {
+        Exploration {
+            explorer,
+            from: None,
+            options: ExploreOptions::default(),
+            on_progress: None,
+        }
+    }
+
+    /// Sets the resource limits (see [`Limits`]).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.options.limits = limits;
+        self
+    }
+
+    /// Caps the number of configurations to expand — shorthand for
+    /// `.limits(Limits::new(max_configs))`.
+    pub fn max_configs(mut self, max_configs: usize) -> Self {
+        self.options.limits = Limits::new(max_configs);
+        self
+    }
+
+    /// Sets the worker thread count (`0` = auto; see
+    /// [`ExploreOptions::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Replaces both limits and thread count with a prebuilt
+    /// [`ExploreOptions`].
+    pub fn options(mut self, options: ExploreOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Starts the search from `initial` instead of the protocol's initial
+    /// configuration.
+    pub fn from(mut self, initial: Configuration<P::LocalState>) -> Self {
+        self.from = Some(initial);
+        self
+    }
+
+    /// Registers a callback invoked after each BFS level is merged, with
+    /// that level's [`LevelStats`] — for progress reporting on long runs.
+    pub fn on_progress(mut self, callback: impl FnMut(&LevelStats) + 'e) -> Self {
+        self.on_progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Runs the exploration and returns the execution graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors (these indicate protocol bugs, not explored
+    /// behaviours). When several nodes of one level fail, the error of the
+    /// earliest node in frontier order is returned — the same error a
+    /// sequential exploration reports.
+    pub fn run(self) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
+        let initial = self.from.unwrap_or_else(|| self.explorer.initial_config());
+        self.explorer
+            .run_engine(initial, self.options, self.on_progress)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1106,9 +1315,7 @@ mod tests {
     fn race_consensus_graph_shape() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert!(g.complete);
         // Both orders of the two proposals, converging to terminal configs
         // where both decided the first proposer's value.
@@ -1133,9 +1340,7 @@ mod tests {
         // configurations; the graph must count transitions, not paths.
         let p = RaceConsensus { n: 3 };
         let objects = vec![AnyObject::consensus(3).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert!(g.complete);
         assert!(g.transitions >= 6);
         // All terminals agree on one value.
@@ -1148,9 +1353,7 @@ mod tests {
     fn cyclic_protocol_is_detected() {
         let p = ForeverProposer;
         let objects = vec![AnyObject::strong_sa()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert!(
             g.complete,
             "state space is finite despite the infinite execution"
@@ -1164,7 +1367,11 @@ mod tests {
     fn truncation_is_reported() {
         let p = RaceConsensus { n: 3 };
         let objects = vec![AnyObject::consensus(3).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::new(2)).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .max_configs(2)
+            .run()
+            .unwrap();
         assert!(!g.complete);
         assert!(g.expanded.iter().filter(|&&e| e).count() <= 2);
     }
@@ -1173,14 +1380,14 @@ mod tests {
     fn budget_counts_expanded_configs_exactly() {
         let p = RaceConsensus { n: 3 };
         let objects = vec![AnyObject::consensus(3).unwrap()];
-        let full = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let full = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert!(full.complete);
         let total = full.len();
         for budget in 1..total + 2 {
             let g = Explorer::new(&p, &objects)
-                .explore(Limits::new(budget))
+                .exploration()
+                .max_configs(budget)
+                .run()
                 .unwrap();
             let expanded = g.expanded.iter().filter(|&&e| e).count();
             assert_eq!(
@@ -1205,13 +1412,9 @@ mod tests {
         let p = RaceConsensus { n: 4 };
         let objects = vec![AnyObject::consensus(4).unwrap()];
         let ex = Explorer::new(&p, &objects);
-        let sequential = ex
-            .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
-            .unwrap();
+        let sequential = ex.exploration().threads(1).run().unwrap();
         for threads in [2, 4, 8] {
-            let parallel = ex
-                .explore_with(ExploreOptions::new(Limits::default()).with_threads(threads))
-                .unwrap();
+            let parallel = ex.exploration().threads(threads).run().unwrap();
             assert!(
                 sequential.same_structure(&parallel),
                 "graph differs at {threads} threads"
@@ -1228,10 +1431,16 @@ mod tests {
         let ex = Explorer::new(&p, &objects);
         for budget in [1, 3, 7, 20] {
             let seq = ex
-                .explore_with(ExploreOptions::new(Limits::new(budget)).with_threads(1))
+                .exploration()
+                .max_configs(budget)
+                .threads(1)
+                .run()
                 .unwrap();
             let par = ex
-                .explore_with(ExploreOptions::new(Limits::new(budget)).with_threads(4))
+                .exploration()
+                .max_configs(budget)
+                .threads(4)
+                .run()
                 .unwrap();
             assert!(
                 seq.same_structure(&par),
@@ -1245,12 +1454,8 @@ mod tests {
         let p = ForeverProposer;
         let objects = vec![AnyObject::strong_sa()];
         let ex = Explorer::new(&p, &objects);
-        let seq = ex
-            .explore_with(ExploreOptions::new(Limits::default()).with_threads(1))
-            .unwrap();
-        let par = ex
-            .explore_with(ExploreOptions::new(Limits::default()).with_threads(4))
-            .unwrap();
+        let seq = ex.exploration().threads(1).run().unwrap();
+        let par = ex.exploration().threads(4).run().unwrap();
         assert!(seq.same_structure(&par));
         assert!(par.has_cycle());
     }
@@ -1259,9 +1464,7 @@ mod tests {
     fn stats_are_consistent_with_the_graph() {
         let p = RaceConsensus { n: 3 };
         let objects = vec![AnyObject::consensus(3).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         assert_eq!(g.stats.configs, g.len());
         assert_eq!(g.stats.transitions, g.transitions);
         assert_eq!(g.stats.expanded, g.expanded.iter().filter(|&&e| e).count());
@@ -1346,7 +1549,7 @@ mod tests {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         for t in g.terminal_indices() {
             let path = g.path_to(t).expect("terminal reachable from root");
             // Replay the path through successors_of and confirm we land on t.
@@ -1367,9 +1570,7 @@ mod tests {
     fn depths_are_bfs_distances() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let depths = g.depths();
         assert_eq!(depths[0], Some(0));
         // Every edge target is at most one deeper than its source.
@@ -1386,12 +1587,83 @@ mod tests {
     }
 
     #[test]
+    fn builder_from_matches_explicit_initial() {
+        let p = RaceConsensus { n: 2 };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let c0 = ex.initial_config();
+        let c1 = ex.successors_of(&c0, Pid(0)).unwrap().remove(0);
+        let g = ex.exploration().from(c1.clone()).run().unwrap();
+        assert_eq!(g.configs[0], c1);
+        assert!(g.complete);
+    }
+
+    #[test]
+    fn on_progress_sees_every_level() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let mut widths = Vec::new();
+        let g = ex
+            .exploration()
+            .threads(1)
+            .on_progress(|level| widths.push(level.width))
+            .run()
+            .unwrap();
+        assert_eq!(
+            widths,
+            g.stats.levels.iter().map(|l| l.width).collect::<Vec<_>>()
+        );
+        assert_eq!(widths.iter().sum::<usize>(), g.stats.expanded);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_builder() {
+        let p = RaceConsensus { n: 2 };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let reference = ex.exploration().run().unwrap();
+        assert!(reference.same_structure(&ex.explore(Limits::default()).unwrap()));
+        assert!(reference.same_structure(&ex.explore_with(ExploreOptions::default()).unwrap()));
+        assert!(reference.same_structure(
+            &ex.explore_from(ex.initial_config(), Limits::default())
+                .unwrap()
+        ));
+        assert!(reference.same_structure(
+            &ex.explore_from_with(ex.initial_config(), ExploreOptions::default())
+                .unwrap()
+        ));
+    }
+
+    #[test]
+    fn step_replays_the_chosen_successor() {
+        let p = RaceConsensus { n: 2 };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let c0 = ex.initial_config();
+        let succs = ex.successors_of(&c0, Pid(1)).unwrap();
+        for (i, succ) in succs.iter().enumerate() {
+            let rec = ex.step(&c0, Pid(1), i).unwrap();
+            assert_eq!(&rec.config, succ);
+            assert_eq!(rec.obj, ObjId(0));
+            assert_eq!(rec.op, Op::Propose(Value::Int(1)));
+        }
+        assert!(matches!(
+            ex.step(&c0, Pid(1), succs.len()),
+            Err(RuntimeError::OutcomeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ex.step(&c0, Pid(9), 0),
+            Err(RuntimeError::PidOutOfRange { .. })
+        ));
+    }
+
+    #[test]
     fn dot_export_mentions_every_node_and_edge() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let dot = g.to_dot(|i, c| format!("c{i}:{:?}", c.distinct_decisions()));
         assert!(dot.starts_with("digraph"));
         for i in 0..g.configs.len() {

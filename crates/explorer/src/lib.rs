@@ -28,6 +28,12 @@
 //! * [`sampling`] — seeded randomized checking for instances beyond the
 //!   exhaustive frontier: safety checked on every sampled run, violations
 //!   returned with their reproducing seed.
+//! * [`verdict`] — the structured reporting layer over the checkers: every
+//!   property check yields a typed [`verdict::Verdict`] whose counterexample
+//!   [`verdict::Witness`] is a replayable, delta-minimized schedule that can
+//!   be deterministically re-executed to confirm the violation.
+//! * [`error`] — the unified [`error::CheckError`] hierarchy that verdicts
+//!   carry as a structured cause.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,14 +41,18 @@
 pub mod adversary;
 pub mod checker;
 pub mod config;
+pub mod error;
 pub mod explore;
 pub mod intern;
 pub mod linearizability;
 pub mod sampling;
 pub mod stats;
 pub mod valency;
+pub mod verdict;
 
 pub use config::Configuration;
-pub use explore::{ExplorationGraph, ExploreOptions, Explorer, Limits};
+pub use error::CheckError;
+pub use explore::{Exploration, ExplorationGraph, ExploreOptions, Explorer, Limits, StepRecord};
 pub use stats::{ExploreStats, LevelStats};
 pub use valency::{Valence, ValencyAnalysis};
+pub use verdict::{Outcome, Verdict, Witness};

@@ -226,7 +226,7 @@ pub fn critical_anatomy<P: Protocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{Explorer, Limits};
+    use crate::explore::Explorer;
     use lbsa_core::{AnyObject, Op};
     use lbsa_runtime::process::{Protocol, Step};
 
@@ -252,9 +252,7 @@ mod tests {
     fn initial_config_of_a_race_is_bivalent() {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         assert!(va.exact);
         // Before anyone moves, either value can win: bivalent.
@@ -276,7 +274,7 @@ mod tests {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         for e in &g.edges[0] {
             let v = va.valence(e.target);
@@ -289,9 +287,7 @@ mod tests {
     fn census_adds_up() {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let (b, u, m) = va.census();
         assert_eq!(b + u + m, va.len());
@@ -325,9 +321,7 @@ mod tests {
     fn non_deciding_protocol_is_barren() {
         let p = NeverDecide;
         let objects = vec![AnyObject::register()];
-        let g = Explorer::new(&p, &objects)
-            .explore(Limits::default())
-            .unwrap();
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         for i in 0..va.len() {
             assert_eq!(va.valence(i), Valence::Barren);
@@ -339,7 +333,11 @@ mod tests {
     fn truncated_graphs_are_flagged_inexact() {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
-        let g = Explorer::new(&p, &objects).explore(Limits::new(1)).unwrap();
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .max_configs(1)
+            .run()
+            .unwrap();
         let va = ValencyAnalysis::analyze(&g);
         assert!(!va.exact);
     }
@@ -384,7 +382,7 @@ mod tests {
             AnyObject::register(),
         ];
         let ex = Explorer::new(&p, &objects);
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let anatomy = critical_anatomy(&ex, &g, &va).unwrap();
         assert!(!anatomy.is_empty(), "a decision step must exist");
@@ -409,7 +407,7 @@ mod tests {
         let p = RaceConsensus;
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         let va = ValencyAnalysis::analyze(&g);
         let anatomy = critical_anatomy(&ex, &g, &va).unwrap();
         assert_eq!(anatomy.len(), 1);

@@ -1,0 +1,996 @@
+//! Typed verdicts with replayable, minimized counterexample witnesses.
+//!
+//! The checkers in [`crate::checker`] answer with `Result<CheckStats,
+//! Violation>` — enough to know *that* a property failed, but not to hand
+//! anyone evidence. This module is the reporting layer on top: every check
+//! returns a [`Verdict`] whose negative answers carry a [`Witness`] — a
+//! schedule (pid + chosen object outcome per step, the same labelling as
+//! [`crate::explore::Edge`]) that
+//!
+//! 1. **replays deterministically**: [`Witness::replay`] re-executes it step
+//!    by step through [`crate::explore::Explorer::step`], rebuilding the
+//!    object-level [`lbsa_runtime::trace::Trace`];
+//! 2. **is delta-minimized**: the schedule is cut to the shortest failing
+//!    prefix (for state-predicate violations) or re-routed through the
+//!    BFS-shortest prefix (for cycle witnesses), and minimization never
+//!    lengthens it;
+//! 3. **confirms the violation**: [`Witness::confirm`] replays and then
+//!    re-evaluates the violated property on the replayed configuration,
+//!    failing with [`CheckError::WitnessDiverged`] if the schedule no longer
+//!    demonstrates the violation.
+//!
+//! Verdicts and witnesses serialize to the `reports/*.json` schema via
+//! [`Verdict::to_json`] (see `lbsa_bench::harness`).
+
+use crate::checker::{
+    check_dac_graph, check_k_set_agreement_graph, solo_decides, solo_terminates, CheckStats,
+    DacInstance, Violation,
+};
+use crate::config::Configuration;
+use crate::error::CheckError;
+use crate::explore::{Edge, ExplorationGraph, Explorer, Limits};
+use crate::linearizability::{check_linearizable, LinearizabilityError};
+use lbsa_core::{AnyObject, Pid, Value};
+use lbsa_runtime::derived::CompletedOp;
+use lbsa_runtime::error::RuntimeError;
+use lbsa_runtime::process::{ProcStatus, Protocol};
+use lbsa_runtime::trace::{Trace, TraceEvent};
+use lbsa_support::json::Json;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One step of a replayable schedule: which process moves and which
+/// admissible object outcome resolves (0 for deterministic objects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleStep {
+    /// The process that steps.
+    pub pid: Pid,
+    /// The chosen outcome index.
+    pub outcome: usize,
+}
+
+impl From<Edge> for ScheduleStep {
+    fn from(e: Edge) -> Self {
+        ScheduleStep {
+            pid: e.pid,
+            outcome: e.outcome,
+        }
+    }
+}
+
+impl ScheduleStep {
+    fn to_json(self) -> Json {
+        Json::object()
+            .set("pid", self.pid.index())
+            .set("outcome", self.outcome)
+    }
+}
+
+/// The property a witness demonstrates the violation of. Each variant
+/// carries exactly the parameters needed to re-evaluate the violated
+/// predicate on a replayed configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WitnessKind {
+    /// More than `k` distinct values decided.
+    Agreement {
+        /// The agreement bound that was exceeded.
+        k: usize,
+    },
+    /// A decided value outside the valid set.
+    Validity {
+        /// The admissible decision values.
+        valid: Vec<Value>,
+    },
+    /// A decided value no non-aborted process proposed (n-DAC Validity).
+    DacValidity {
+        /// Each process's input, indexed by pid.
+        inputs: Vec<Value>,
+    },
+    /// A terminal configuration with an undecided process.
+    UndecidedTerminal,
+    /// An infinite execution: the schedule leads to a configuration from
+    /// which `cycle` returns to itself while the victims stay undecided.
+    NonTermination {
+        /// Processes stepping forever without deciding.
+        victims: Vec<Pid>,
+    },
+    /// A configuration from which `pid` run solo fails to stop (or, when
+    /// `must_decide`, fails to decide) within `bound` of its own steps.
+    SoloNonTermination {
+        /// The process run solo.
+        pid: Pid,
+        /// The step bound of the solo run.
+        bound: usize,
+        /// `true` if the solo run must *decide* (n-DAC Termination (b));
+        /// `false` if stopping (decide/abort/halt) suffices (clause (a)).
+        must_decide: bool,
+    },
+    /// The distinguished process aborted although no other process had
+    /// taken a step (n-DAC Nontriviality; the schedule is `p`-solo).
+    Nontriviality {
+        /// The distinguished process.
+        distinguished: Pid,
+    },
+}
+
+impl WitnessKind {
+    /// A short machine-readable tag for reports.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WitnessKind::Agreement { .. } => "agreement",
+            WitnessKind::Validity { .. } => "validity",
+            WitnessKind::DacValidity { .. } => "dac-validity",
+            WitnessKind::UndecidedTerminal => "undecided-terminal",
+            WitnessKind::NonTermination { .. } => "non-termination",
+            WitnessKind::SoloNonTermination { .. } => "solo-non-termination",
+            WitnessKind::Nontriviality { .. } => "nontriviality",
+        }
+    }
+
+    /// Evaluates the violated *state* predicate on `config`, when the kind
+    /// has one; `None` for kinds whose evidence is not a single
+    /// configuration (non-termination cycles, solo runs).
+    fn state_predicate<L: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+        &self,
+        config: &Configuration<L>,
+    ) -> Option<bool> {
+        match self {
+            WitnessKind::Agreement { k } => Some(config.distinct_decisions().len() > *k),
+            WitnessKind::Validity { valid } => Some(
+                config
+                    .distinct_decisions()
+                    .iter()
+                    .any(|v| !valid.contains(v)),
+            ),
+            WitnessKind::DacValidity { inputs } => {
+                Some(config.distinct_decisions().iter().any(|v| {
+                    !(0..inputs.len())
+                        .any(|q| inputs.get(q) == Some(v) && !config.has_aborted(Pid(q)))
+                }))
+            }
+            WitnessKind::UndecidedTerminal => Some(config.is_terminal() && !config.all_decided()),
+            WitnessKind::Nontriviality { distinguished } => {
+                Some(config.has_aborted(*distinguished))
+            }
+            WitnessKind::NonTermination { .. } | WitnessKind::SoloNonTermination { .. } => None,
+        }
+    }
+
+    /// Evaluates the full violated predicate on `config`, running solo
+    /// probes through `explorer` where the kind requires them. `None` for
+    /// cycle-based kinds (their evidence is the cycle, not a configuration).
+    fn predicate<P: Protocol>(
+        &self,
+        explorer: &Explorer<'_, P>,
+        config: &Configuration<P::LocalState>,
+    ) -> Result<Option<bool>, RuntimeError> {
+        if let Some(hit) = self.state_predicate(config) {
+            return Ok(Some(hit));
+        }
+        match self {
+            WitnessKind::SoloNonTermination {
+                pid,
+                bound,
+                must_decide,
+            } => {
+                if !matches!(config.procs.get(pid.index()), Some(ProcStatus::Running(_))) {
+                    return Ok(Some(false));
+                }
+                let ok = if *must_decide {
+                    solo_decides(explorer, config, *pid, *bound)?
+                } else {
+                    solo_terminates(explorer, config, *pid, *bound)?
+                };
+                Ok(Some(!ok))
+            }
+            WitnessKind::NonTermination { .. } => Ok(None),
+            _ => Ok(self.state_predicate(config)),
+        }
+    }
+}
+
+impl fmt::Display for WitnessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A replayable, minimized counterexample: the executable analogue of the
+/// paper's "there is an execution in which …".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// The failing schedule, from the initial configuration.
+    pub schedule: Vec<ScheduleStep>,
+    /// For non-termination witnesses, the cycle pumped after `schedule`;
+    /// empty otherwise.
+    pub cycle: Vec<ScheduleStep>,
+    /// The violated property, with the parameters to re-check it.
+    pub kind: WitnessKind,
+    /// The object-level trace of replaying `schedule` (plus one cycle lap
+    /// for non-termination witnesses) — built on [`lbsa_runtime::trace`].
+    pub trace: Trace,
+    /// `true` once delta-minimization ran over the schedule.
+    pub minimized: bool,
+}
+
+impl Witness {
+    /// Total schedule length (prefix plus one cycle lap).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schedule.len() + self.cycle.len()
+    }
+
+    /// `true` if the witness has no steps at all (a violation visible in
+    /// the initial configuration).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays `schedule` from the initial configuration, one chosen step
+    /// at a time, rebuilding the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::WitnessDiverged`] when a step cannot be
+    /// replayed (the schedule does not belong to this protocol/object
+    /// combination).
+    pub fn replay<P: Protocol>(
+        &self,
+        explorer: &Explorer<'_, P>,
+    ) -> Result<(Configuration<P::LocalState>, Trace), CheckError> {
+        let mut config = explorer.initial_config();
+        let mut trace = Trace::new();
+        for (i, step) in self.schedule.iter().enumerate() {
+            config = replay_one(explorer, config, *step, i, &mut trace)?;
+        }
+        Ok((config, trace))
+    }
+
+    /// Replays the witness and re-evaluates the violated property,
+    /// confirming the counterexample end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::WitnessDiverged`] if replay fails or the
+    /// replayed execution no longer violates the property.
+    pub fn confirm<P: Protocol>(&self, explorer: &Explorer<'_, P>) -> Result<(), CheckError> {
+        let (config, mut trace) = self.replay(explorer)?;
+        match &self.kind {
+            WitnessKind::NonTermination { victims } => {
+                if self.cycle.is_empty() {
+                    return Err(CheckError::WitnessDiverged {
+                        step: self.schedule.len(),
+                        reason: "non-termination witness has an empty cycle".to_string(),
+                    });
+                }
+                let entry = config.clone();
+                let mut cur = config;
+                let mut stepped: Vec<Pid> = Vec::new();
+                for (i, step) in self.cycle.iter().enumerate() {
+                    let at = self.schedule.len() + i;
+                    for victim in victims {
+                        let undecided = cur
+                            .procs
+                            .get(victim.index())
+                            .is_some_and(|s| s.decision().is_none());
+                        if !undecided {
+                            return Err(CheckError::WitnessDiverged {
+                                step: at,
+                                reason: format!("victim {victim} decided on the cycle"),
+                            });
+                        }
+                    }
+                    stepped.push(step.pid);
+                    cur = replay_one(explorer, cur, *step, at, &mut trace)?;
+                }
+                if cur != entry {
+                    return Err(CheckError::WitnessDiverged {
+                        step: self.len(),
+                        reason: "cycle does not return to its entry configuration".to_string(),
+                    });
+                }
+                if let Some(v) = victims.iter().find(|v| !stepped.contains(v)) {
+                    return Err(CheckError::WitnessDiverged {
+                        step: self.len(),
+                        reason: format!("victim {v} never steps on the cycle"),
+                    });
+                }
+                Ok(())
+            }
+            kind => match kind.predicate(explorer, &config) {
+                Ok(Some(true)) => Ok(()),
+                Ok(_) => Err(CheckError::WitnessDiverged {
+                    step: self.schedule.len(),
+                    reason: format!("replayed configuration does not violate {kind}"),
+                }),
+                Err(e) => Err(CheckError::Runtime(e)),
+            },
+        }
+    }
+
+    /// Serializes the witness for `reports/*.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("kind", self.kind.tag())
+            .set(
+                "schedule",
+                Json::Arr(self.schedule.iter().map(|s| s.to_json()).collect()),
+            )
+            .set(
+                "cycle",
+                Json::Arr(self.cycle.iter().map(|s| s.to_json()).collect()),
+            )
+            .set("minimized", self.minimized)
+            .set(
+                "trace",
+                Json::Arr(
+                    self.trace
+                        .iter()
+                        .map(|e| Json::from(e.to_string()))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Replays one chosen step, appending its trace event.
+fn replay_one<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    config: Configuration<P::LocalState>,
+    step: ScheduleStep,
+    index: usize,
+    trace: &mut Trace,
+) -> Result<Configuration<P::LocalState>, CheckError> {
+    match explorer.step(&config, step.pid, step.outcome) {
+        Ok(rec) => {
+            trace.push(TraceEvent {
+                step: index,
+                pid: step.pid,
+                obj: rec.obj,
+                op: rec.op,
+                response: rec.response,
+            });
+            Ok(rec.config)
+        }
+        Err(e) => Err(CheckError::WitnessDiverged {
+            step: index,
+            reason: e.to_string(),
+        }),
+    }
+}
+
+/// How a check concluded.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Outcome {
+    /// The property holds in every execution.
+    Holds,
+    /// A violation was found (the verdict's witness demonstrates it, when
+    /// one could be extracted).
+    Violated(Violation),
+    /// The exploration was truncated; inconclusive.
+    Truncated,
+    /// The checking machinery itself failed.
+    Error(CheckError),
+}
+
+impl Outcome {
+    /// A short machine-readable tag for reports.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Outcome::Holds => "holds",
+            Outcome::Violated(_) => "violated",
+            Outcome::Truncated => "truncated",
+            Outcome::Error(_) => "error",
+        }
+    }
+}
+
+/// The typed result of a property check: how it concluded, what it cost,
+/// and — for violations — a replayable counterexample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Verdict {
+    /// How the check concluded.
+    pub outcome: Outcome,
+    /// Work performed (configurations/transitions examined).
+    pub stats: CheckStats,
+    /// A minimized, replayable counterexample, when the outcome is
+    /// [`Outcome::Violated`] and a schedule could be extracted.
+    pub witness: Option<Witness>,
+}
+
+impl Verdict {
+    /// `true` if the property was proven to hold.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self.outcome, Outcome::Holds)
+    }
+
+    /// `true` if a violation was found.
+    #[must_use]
+    pub fn is_violated(&self) -> bool {
+        matches!(self.outcome, Outcome::Violated(_))
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match &self.outcome {
+            Outcome::Holds => "holds".to_string(),
+            Outcome::Violated(v) => format!("violated: {v}"),
+            Outcome::Truncated => "inconclusive: exploration truncated".to_string(),
+            Outcome::Error(e) => format!("error: {e}"),
+        }
+    }
+
+    /// Serializes the verdict for `reports/*.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object().set("outcome", self.outcome.tag());
+        match &self.outcome {
+            Outcome::Violated(v) => doc = doc.set("detail", v.to_string()),
+            Outcome::Error(e) => doc = doc.set("detail", e.to_string()),
+            _ => {}
+        }
+        doc = doc.set(
+            "stats",
+            Json::object()
+                .set("configs", self.stats.configs)
+                .set("transitions", self.stats.transitions),
+        );
+        doc.set(
+            "witness",
+            self.witness.as_ref().map_or(Json::Null, Witness::to_json),
+        )
+    }
+
+    fn error(stats: CheckStats, e: CheckError) -> Verdict {
+        Verdict {
+            outcome: Outcome::Error(e),
+            stats,
+            witness: None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+fn graph_stats<L>(graph: &ExplorationGraph<L>) -> CheckStats {
+    CheckStats {
+        configs: graph.configs.len(),
+        transitions: graph.transitions,
+    }
+}
+
+const EMPTY_STATS: CheckStats = CheckStats {
+    configs: 0,
+    transitions: 0,
+};
+
+/// Explores and checks consensus, returning a verdict with a minimized
+/// witness on violation.
+#[must_use]
+pub fn verdict_consensus<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    valid_inputs: &[Value],
+    limits: Limits,
+) -> Verdict {
+    verdict_k_set_agreement(explorer, 1, valid_inputs, limits)
+}
+
+/// Explores and checks k-set agreement, returning a verdict with a
+/// minimized witness on violation.
+#[must_use]
+pub fn verdict_k_set_agreement<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    k: usize,
+    valid_inputs: &[Value],
+    limits: Limits,
+) -> Verdict {
+    let graph = match explorer.exploration().limits(limits).run() {
+        Ok(g) => g,
+        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+    };
+    verdict_k_set_agreement_graph(explorer, &graph, k, valid_inputs)
+}
+
+/// Checks k-set agreement over an already-built graph, returning a verdict
+/// with a minimized witness on violation.
+#[must_use]
+pub fn verdict_k_set_agreement_graph<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    k: usize,
+    valid_inputs: &[Value],
+) -> Verdict {
+    let stats = graph_stats(graph);
+    match check_k_set_agreement_graph(graph, k, valid_inputs) {
+        Ok(stats) => Verdict {
+            outcome: Outcome::Holds,
+            stats,
+            witness: None,
+        },
+        Err(violation) => {
+            let kind = match &violation {
+                Violation::Agreement { .. } => Some(WitnessKind::Agreement { k }),
+                Violation::Validity { .. } => Some(WitnessKind::Validity {
+                    valid: valid_inputs.to_vec(),
+                }),
+                Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
+                _ => None,
+            };
+            violation_verdict(explorer, graph, violation, stats, kind)
+        }
+    }
+}
+
+/// Explores and checks the four n-DAC properties, returning a verdict with
+/// a minimized witness on violation.
+#[must_use]
+pub fn verdict_dac<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    instance: &DacInstance,
+    limits: Limits,
+    solo_bound: usize,
+) -> Verdict {
+    let graph = match explorer.exploration().limits(limits).run() {
+        Ok(g) => g,
+        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+    };
+    let stats = graph_stats(&graph);
+    match check_dac_graph(explorer, &graph, instance, solo_bound) {
+        Ok(stats) => Verdict {
+            outcome: Outcome::Holds,
+            stats,
+            witness: None,
+        },
+        Err(violation) => {
+            let kind = match &violation {
+                Violation::Agreement { .. } => Some(WitnessKind::Agreement { k: 1 }),
+                Violation::Validity { .. } => Some(WitnessKind::DacValidity {
+                    inputs: instance.inputs.clone(),
+                }),
+                Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
+                Violation::SoloNonTermination { pid, .. } => {
+                    Some(WitnessKind::SoloNonTermination {
+                        pid: *pid,
+                        bound: solo_bound,
+                        must_decide: *pid != instance.distinguished,
+                    })
+                }
+                Violation::Nontriviality { .. } => Some(WitnessKind::Nontriviality {
+                    distinguished: instance.distinguished,
+                }),
+                _ => None,
+            };
+            violation_verdict(explorer, &graph, violation, stats, kind)
+        }
+    }
+}
+
+/// Explores and checks wait-free termination alone (no infinite execution,
+/// every terminal configuration fully decided), returning a verdict whose
+/// witness is a pumpable cycle on violation.
+#[must_use]
+pub fn verdict_wait_free<P: Protocol>(explorer: &Explorer<'_, P>, limits: Limits) -> Verdict {
+    let graph = match explorer.exploration().limits(limits).run() {
+        Ok(g) => g,
+        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+    };
+    let stats = graph_stats(&graph);
+    if !graph.complete {
+        return Verdict {
+            outcome: Outcome::Truncated,
+            stats,
+            witness: None,
+        };
+    }
+    if let Some(w) = crate::adversary::find_nontermination(&graph) {
+        let violation = Violation::NonTermination(w);
+        return violation_verdict(explorer, &graph, violation, stats, None);
+    }
+    for idx in graph.terminal_indices() {
+        if !graph.configs[idx].all_decided() {
+            return violation_verdict(
+                explorer,
+                &graph,
+                Violation::UndecidedTerminal { config: idx },
+                stats,
+                Some(WitnessKind::UndecidedTerminal),
+            );
+        }
+    }
+    Verdict {
+        outcome: Outcome::Holds,
+        stats,
+        witness: None,
+    }
+}
+
+/// Checks linearizability of a recorded front-end history, returning a
+/// typed verdict. (The history itself is the evidence either way, so no
+/// schedule witness is attached.)
+#[must_use]
+pub fn verdict_linearizable(history: &[CompletedOp], specs: &[AnyObject]) -> Verdict {
+    let stats = CheckStats {
+        configs: history.len(),
+        transitions: 0,
+    };
+    match check_linearizable(history, specs) {
+        Ok(_) => Verdict {
+            outcome: Outcome::Holds,
+            stats,
+            witness: None,
+        },
+        Err(LinearizabilityError::NotLinearizable { obj }) => Verdict {
+            outcome: Outcome::Violated(Violation::NotLinearizable { obj }),
+            stats,
+            witness: None,
+        },
+        Err(e) => Verdict::error(stats, e.into()),
+    }
+}
+
+/// Builds the `Violated` verdict for `violation`, extracting and
+/// minimizing a witness when `kind` gives the re-checkable predicate.
+fn violation_verdict<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    violation: Violation,
+    stats: CheckStats,
+    kind: Option<WitnessKind>,
+) -> Verdict {
+    if matches!(violation, Violation::Truncated) {
+        return Verdict {
+            outcome: Outcome::Truncated,
+            stats,
+            witness: None,
+        };
+    }
+    if let Violation::Runtime(e) = violation {
+        return Verdict::error(stats, e.into());
+    }
+    let witness = match &violation {
+        Violation::NonTermination(w) => nontermination_witness(explorer, graph, w),
+        Violation::Agreement { config, .. }
+        | Violation::Validity { config, .. }
+        | Violation::UndecidedTerminal { config }
+        | Violation::SoloNonTermination { config, .. } => {
+            kind.and_then(|kind| state_witness(explorer, graph, *config, kind))
+        }
+        Violation::Nontriviality { config } => {
+            kind.and_then(|kind| nontriviality_witness(explorer, graph, *config, kind))
+        }
+        _ => None,
+    };
+    Verdict {
+        outcome: Outcome::Violated(violation),
+        stats,
+        witness,
+    }
+}
+
+/// Builds a witness for a violation visible at configuration `target`:
+/// BFS-shortest path, then delta-minimized to the shortest failing prefix
+/// by replaying and re-evaluating the predicate at every intermediate
+/// configuration.
+fn state_witness<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    target: usize,
+    kind: WitnessKind,
+) -> Option<Witness> {
+    let path = graph.path_to(target)?;
+    let schedule: Vec<ScheduleStep> = path.into_iter().map(ScheduleStep::from).collect();
+    finish_witness(explorer, schedule, Vec::new(), kind)
+}
+
+/// Builds a witness for an n-DAC Nontriviality violation: a `p`-solo path
+/// (only edges of the distinguished process) to a configuration where `p`
+/// has aborted. Such a path exists exactly when the product-BFS in the
+/// checker flagged the violation.
+fn nontriviality_witness<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    target: usize,
+    kind: WitnessKind,
+) -> Option<Witness> {
+    let WitnessKind::Nontriviality { distinguished } = &kind else {
+        return None;
+    };
+    let p = *distinguished;
+    // BFS restricted to p's edges; the flagged configuration is reachable
+    // this way by construction of the (config, others-stepped) product BFS.
+    let mut pred: Vec<Option<(usize, Edge)>> = vec![None; graph.configs.len()];
+    let mut seen = vec![false; graph.configs.len()];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    let mut found = graph.configs[0].has_aborted(p).then_some(0usize);
+    'bfs: while let Some(node) = queue.pop_front() {
+        for &e in &graph.edges[node] {
+            if e.pid != p || seen[e.target] {
+                continue;
+            }
+            seen[e.target] = true;
+            pred[e.target] = Some((node, e));
+            if e.target == target || graph.configs[e.target].has_aborted(p) {
+                found = Some(e.target);
+                break 'bfs;
+            }
+            queue.push_back(e.target);
+        }
+    }
+    let mut cur = found?;
+    let mut schedule = Vec::new();
+    while cur != 0 {
+        let (prev, edge) = pred[cur]?;
+        schedule.push(ScheduleStep::from(edge));
+        cur = prev;
+    }
+    schedule.reverse();
+    finish_witness(explorer, schedule, Vec::new(), kind)
+}
+
+/// Builds a non-termination witness: the DFS prefix is re-routed through
+/// the BFS-shortest path to the cycle entry (this is the minimization —
+/// never longer than the DFS prefix), the cycle is kept verbatim.
+fn nontermination_witness<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    w: &crate::adversary::NonTerminationWitness,
+) -> Option<Witness> {
+    // Locate the cycle entry by walking the recorded prefix.
+    let mut entry = 0usize;
+    for e in &w.prefix {
+        entry = graph.edges[entry]
+            .iter()
+            .find(|g| g.pid == e.pid && g.outcome == e.outcome)?
+            .target;
+    }
+    let shortest = graph.path_to(entry)?;
+    let prefix = if shortest.len() <= w.prefix.len() {
+        shortest
+    } else {
+        w.prefix.clone()
+    };
+    let schedule: Vec<ScheduleStep> = prefix.into_iter().map(ScheduleStep::from).collect();
+    let cycle: Vec<ScheduleStep> = w.cycle.iter().copied().map(ScheduleStep::from).collect();
+    let kind = WitnessKind::NonTermination {
+        victims: w.victims.clone(),
+    };
+    // Replay prefix + one cycle lap for the trace.
+    let mut config = explorer.initial_config();
+    let mut trace = Trace::new();
+    for (i, step) in schedule.iter().chain(cycle.iter()).enumerate() {
+        config = replay_one(explorer, config, *step, i, &mut trace).ok()?;
+    }
+    Some(Witness {
+        schedule,
+        cycle,
+        kind,
+        trace,
+        minimized: true,
+    })
+}
+
+/// Delta-minimizes `schedule` against `kind`'s predicate (shortest failing
+/// prefix), replays the result for its trace, and assembles the witness.
+fn finish_witness<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    schedule: Vec<ScheduleStep>,
+    cycle: Vec<ScheduleStep>,
+    kind: WitnessKind,
+) -> Option<Witness> {
+    let mut config = explorer.initial_config();
+    let mut trace = Trace::new();
+    let mut minimized: Vec<ScheduleStep> = Vec::new();
+    let mut hit = matches!(kind.predicate(explorer, &config), Ok(Some(true)));
+    if !hit {
+        for (i, step) in schedule.iter().enumerate() {
+            config = replay_one(explorer, config, *step, i, &mut trace).ok()?;
+            minimized.push(*step);
+            if matches!(kind.predicate(explorer, &config), Ok(Some(true))) {
+                hit = true;
+                break;
+            }
+        }
+    }
+    if !hit {
+        return None;
+    }
+    Some(Witness {
+        schedule: minimized,
+        cycle,
+        kind,
+        trace,
+        minimized: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_core::value::int;
+    use lbsa_core::{AnyObject, ObjId, Op};
+    use lbsa_runtime::process::Step;
+
+    /// Correct consensus via a consensus object.
+    #[derive(Debug)]
+    struct GoodConsensus {
+        inputs: Vec<Value>,
+    }
+
+    impl Protocol for GoodConsensus {
+        type LocalState = ();
+        fn num_processes(&self) -> usize {
+            self.inputs.len()
+        }
+        fn init(&self, _pid: Pid) {}
+        fn pending_op(&self, pid: Pid, _s: &()) -> (ObjId, Op) {
+            (ObjId(0), Op::Propose(self.inputs[pid.index()]))
+        }
+        fn on_response(&self, _pid: Pid, _s: &(), resp: Value) -> Step<()> {
+            Step::Decide(resp)
+        }
+    }
+
+    /// Broken "consensus": each process decides its own input.
+    #[derive(Debug)]
+    struct DecideOwn {
+        inputs: Vec<Value>,
+    }
+
+    impl Protocol for DecideOwn {
+        type LocalState = ();
+        fn num_processes(&self) -> usize {
+            self.inputs.len()
+        }
+        fn init(&self, _pid: Pid) {}
+        fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+            (ObjId(0), Op::Read)
+        }
+        fn on_response(&self, pid: Pid, _s: &(), _r: Value) -> Step<()> {
+            Step::Decide(self.inputs[pid.index()])
+        }
+    }
+
+    fn reg() -> Vec<AnyObject> {
+        vec![AnyObject::register()]
+    }
+
+    #[test]
+    fn holding_verdict_has_no_witness() {
+        let p = GoodConsensus {
+            inputs: vec![int(0), int(1)],
+        };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+        assert!(v.holds(), "{v}");
+        assert!(v.witness.is_none());
+        assert!(v.stats.configs > 0);
+        assert_eq!(
+            v.to_json().get("outcome").and_then(Json::as_str),
+            Some("holds")
+        );
+    }
+
+    #[test]
+    fn agreement_witness_replays_and_confirms() {
+        let p = DecideOwn {
+            inputs: vec![int(0), int(1)],
+        };
+        let objects = reg();
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+        assert!(v.is_violated(), "{v}");
+        let w = v.witness.expect("agreement violations carry a witness");
+        assert!(w.minimized);
+        assert_eq!(w.kind, WitnessKind::Agreement { k: 1 });
+        // Two decisions require two steps; minimization cannot do better.
+        assert_eq!(w.schedule.len(), 2);
+        assert_eq!(w.trace.len(), w.schedule.len());
+        w.confirm(&ex).expect("witness must confirm");
+        let (config, _) = w.replay(&ex).unwrap();
+        assert!(config.distinct_decisions().len() > 1);
+    }
+
+    #[test]
+    fn tampered_witness_fails_confirmation() {
+        let p = DecideOwn {
+            inputs: vec![int(0), int(1)],
+        };
+        let objects = reg();
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+        let w = v.witness.unwrap();
+
+        let mut truncated = w.clone();
+        truncated.schedule.pop();
+        assert!(matches!(
+            truncated.confirm(&ex),
+            Err(CheckError::WitnessDiverged { .. })
+        ));
+
+        let mut bad_outcome = w.clone();
+        bad_outcome.schedule[0].outcome = 7;
+        assert!(matches!(
+            bad_outcome.confirm(&ex),
+            Err(CheckError::WitnessDiverged { step: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_exploration_yields_truncated_outcome() {
+        let p = GoodConsensus {
+            inputs: vec![int(0), int(1)],
+        };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_consensus(&ex, &[int(0), int(1)], Limits::new(1));
+        assert!(matches!(v.outcome, Outcome::Truncated));
+        assert!(v.witness.is_none());
+        assert_eq!(
+            v.to_json().get("outcome").and_then(Json::as_str),
+            Some("truncated")
+        );
+    }
+
+    #[test]
+    fn wait_free_verdict_finds_cycles_with_pumpable_witness() {
+        /// One process spinning forever on a register.
+        #[derive(Debug)]
+        struct Spin;
+        impl Protocol for Spin {
+            type LocalState = ();
+            fn num_processes(&self) -> usize {
+                1
+            }
+            fn init(&self, _pid: Pid) {}
+            fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+                (ObjId(0), Op::Read)
+            }
+            fn on_response(&self, _pid: Pid, _s: &(), _r: Value) -> Step<()> {
+                Step::Continue(())
+            }
+        }
+        let p = Spin;
+        let objects = reg();
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_wait_free(&ex, Limits::default());
+        assert!(v.is_violated());
+        let w = v.witness.expect("cycle witness");
+        assert!(matches!(w.kind, WitnessKind::NonTermination { .. }));
+        assert!(!w.cycle.is_empty());
+        w.confirm(&ex).expect("cycle witness must confirm");
+    }
+
+    #[test]
+    fn verdict_json_shape() {
+        let p = DecideOwn {
+            inputs: vec![int(0), int(1)],
+        };
+        let objects = reg();
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+        let doc = v.to_json();
+        assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("violated"));
+        assert!(doc.get("detail").is_some());
+        let w = doc.get("witness").expect("witness present");
+        assert_eq!(w.get("kind").and_then(Json::as_str), Some("agreement"));
+        assert_eq!(w.get("minimized").and_then(Json::as_bool), Some(true));
+        assert_eq!(w.get("schedule").and_then(Json::as_arr).unwrap().len(), 2);
+        // The document round-trips through the parser.
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+}

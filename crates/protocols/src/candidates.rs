@@ -530,7 +530,7 @@ mod tests {
         let err = check_consensus(&ex, &inputs, Limits::default()).unwrap_err();
         assert!(matches!(err, Violation::NonTermination(_)), "{err}");
         // And the certificate replays.
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         let w = find_nontermination(&g).unwrap();
         assert!(verify_witness(&g, &w));
     }

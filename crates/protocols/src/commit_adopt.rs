@@ -236,7 +236,7 @@ impl Protocol for CommitAdopt {
 mod tests {
     use super::*;
     use lbsa_core::value::int;
-    use lbsa_explorer::{Explorer, Limits};
+    use lbsa_explorer::Explorer;
 
     fn decode_outputs(config: &lbsa_explorer::Configuration<CaPhase>) -> Vec<GradedValue> {
         config
@@ -255,7 +255,9 @@ mod tests {
         let p = CommitAdopt::new(inputs).unwrap();
         let objects = p.objects();
         let g = Explorer::new(&p, &objects)
-            .explore(Limits::new(2_000_000))
+            .exploration()
+            .max_configs(2_000_000)
+            .run()
             .unwrap();
         assert!(g.complete, "commit-adopt must be finite-state");
         assert!(!g.has_cycle(), "commit-adopt is wait-free: no cycles");
@@ -335,7 +337,9 @@ mod tests {
         let p = CommitAdopt::new(vec![int(0), int(1)]).unwrap();
         let objects = p.objects();
         let g = Explorer::new(&p, &objects)
-            .explore(Limits::new(2_000_000))
+            .exploration()
+            .max_configs(2_000_000)
+            .run()
             .unwrap();
         let mut saw_adopt = false;
         for t in g.terminal_indices() {

@@ -297,7 +297,7 @@ mod tests {
         let p = DacFromPac::new(vec![int(1), int(0), int(0)], Pid(0), ObjId(0)).unwrap();
         let objects = pac_objects(3);
         let ex = Explorer::new(&p, &objects);
-        let g = ex.explore(Limits::default()).unwrap();
+        let g = ex.exploration().run().unwrap();
         assert!(g.complete);
         assert!(
             g.has_cycle(),

@@ -251,7 +251,8 @@ mod tests {
 
         let native_objects = vec![AnyObject::pac(2).unwrap()];
         let native_graph = Explorer::new(&inner, &native_objects)
-            .explore(Limits::default())
+            .exploration()
+            .run()
             .unwrap();
 
         let procedure = ComponentsFromCombined::new();
@@ -259,7 +260,8 @@ mod tests {
         let derived = DerivedProtocol::new(&inner, &procedure, frontends);
         let derived_objects = vec![AnyObject::combined_pac(2, 3).unwrap()];
         let derived_graph = Explorer::new(&derived, &derived_objects)
-            .explore(Limits::default())
+            .exploration()
+            .run()
             .unwrap();
 
         let outcomes = |g: &lbsa_explorer::ExplorationGraph<_>| -> std::collections::BTreeSet<Vec<Option<Value>>> {
@@ -466,7 +468,8 @@ mod tests {
         );
         let objects = vec![AnyObject::pac(3).unwrap()];
         let g = Explorer::new(&derived, &objects)
-            .explore(Limits::default())
+            .exploration()
+            .run()
             .unwrap();
         assert!(g.complete);
         let mut aborted_somewhere = false;

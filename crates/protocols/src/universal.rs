@@ -282,7 +282,7 @@ mod tests {
     use lbsa_core::ids::Label;
     use lbsa_core::value::int;
     use lbsa_explorer::linearizability::check_linearizable;
-    use lbsa_explorer::{Explorer, Limits};
+    use lbsa_explorer::Explorer;
     use lbsa_runtime::derived::{record_frontend_history, DerivedProtocol};
     use lbsa_runtime::outcome::{FirstOutcome, RandomOutcome};
     use lbsa_runtime::process::{Protocol, Step};
@@ -375,7 +375,8 @@ mod tests {
         let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
         let objects = uni.base_objects().unwrap();
         let g = Explorer::new(&derived, &objects)
-            .explore(Limits::default())
+            .exploration()
+            .run()
             .unwrap();
         assert!(g.complete, "universal-register state space must be finite");
         for t in g.terminal_indices() {
@@ -459,7 +460,8 @@ mod tests {
 
         let native_objects = vec![AnyObject::pac(2).unwrap()];
         let native_graph = Explorer::new(&inner, &native_objects)
-            .explore(Limits::default())
+            .exploration()
+            .run()
             .unwrap();
         let native: std::collections::BTreeSet<Vec<Option<Value>>> = native_graph
             .terminal_indices()
@@ -470,7 +472,8 @@ mod tests {
         let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
         let objects = uni.base_objects().unwrap();
         let derived_graph = Explorer::new(&derived, &objects)
-            .explore(Limits::default())
+            .exploration()
+            .run()
             .unwrap();
         assert!(derived_graph.complete);
         let simulated: std::collections::BTreeSet<Vec<Option<Value>>> = derived_graph

@@ -29,6 +29,17 @@ pub enum RuntimeError {
     ProcessNotRunning(Pid),
     /// A protocol declared zero processes.
     NoProcesses,
+    /// A replayed step chose an outcome index the object does not admit —
+    /// the schedule being replayed does not belong to this protocol/object
+    /// combination.
+    OutcomeOutOfRange {
+        /// The object the operation was applied to.
+        obj: ObjId,
+        /// The outcome index requested.
+        outcome: usize,
+        /// Number of admissible outcomes.
+        len: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -48,6 +59,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "process {pid} is not running")
             }
             RuntimeError::NoProcesses => write!(f, "protocol declares zero processes"),
+            RuntimeError::OutcomeOutOfRange { obj, outcome, len } => {
+                write!(
+                    f,
+                    "outcome index {outcome} out of range on {obj} ({len} admissible outcomes)"
+                )
+            }
         }
     }
 }

@@ -14,7 +14,10 @@
 //!   `bench_function`, `bench_with_input`, `iter`, `iter_batched`), with
 //!   JSON result emission for perf trajectories;
 //! * [`check`] — a tiny property-test runner (seeded random cases with a
-//!   reproducing-seed panic message) replacing the proptest harness.
+//!   reproducing-seed panic message) replacing the proptest harness;
+//! * [`json`] — an ordered JSON document model with deterministic emission
+//!   and a strict parser, replacing `serde_json` for the `reports/*.json`
+//!   experiment artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +25,5 @@
 pub mod bench;
 pub mod check;
 pub mod hash;
+pub mod json;
 pub mod rng;

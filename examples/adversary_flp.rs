@@ -9,7 +9,7 @@ use life_beyond_set_agreement::explorer::adversary::{
     bivalent_survival, find_nontermination, verify_witness,
 };
 use life_beyond_set_agreement::explorer::valency::ValencyAnalysis;
-use life_beyond_set_agreement::explorer::{Explorer, Limits};
+use life_beyond_set_agreement::explorer::Explorer;
 use life_beyond_set_agreement::protocols::candidates::WaitForWinner;
 use life_beyond_set_agreement::runtime::outcome::FirstOutcome;
 use life_beyond_set_agreement::runtime::scheduler::Scripted;
@@ -27,9 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Exhaustive exploration.
     let explorer = Explorer::new(&protocol, &objects);
-    let graph = explorer
-        .explore(Limits::default())
-        .map_err(|e| e.to_string())?;
+    let graph = explorer.exploration().run().map_err(|e| e.to_string())?;
     println!(
         "Explored every execution: {} configurations, {} transitions.",
         graph.configs.len(),

@@ -6,7 +6,7 @@
 
 use life_beyond_set_agreement::core::ids::Label;
 use life_beyond_set_agreement::core::{AnyObject, ObjId, Op, Pid, Value};
-use life_beyond_set_agreement::explorer::{Explorer, Limits};
+use life_beyond_set_agreement::explorer::Explorer;
 use life_beyond_set_agreement::protocols::universal::UniversalProcedure;
 use life_beyond_set_agreement::runtime::derived::DerivedProtocol;
 use life_beyond_set_agreement::runtime::process::{Protocol, Step};
@@ -49,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ground truth: the native 2-PAC.
     let native_objects = vec![AnyObject::pac(2)?];
     let native = Explorer::new(&workload, &native_objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .map_err(|e| e.to_string())?;
     let native_outcomes: BTreeSet<Vec<Option<Value>>> = native
         .terminal_indices()
@@ -85,7 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let simulated = Explorer::new(&derived, &base_objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .map_err(|e| e.to_string())?;
     let simulated_outcomes: BTreeSet<Vec<Option<Value>>> = simulated
         .terminal_indices()

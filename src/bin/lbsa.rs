@@ -153,9 +153,7 @@ fn cmd_adversary() -> Result<(), String> {
         Ok(_) => return Err("candidate unexpectedly correct".into()),
         Err(v) => println!("candidate refuted: {v}"),
     }
-    let graph = explorer
-        .explore(Limits::default())
-        .map_err(|e| e.to_string())?;
+    let graph = explorer.exploration().run().map_err(|e| e.to_string())?;
     let witness = find_nontermination(&graph).ok_or("expected a non-termination certificate")?;
     println!(
         "certificate: prefix {} step(s), cycle {} step(s), victims {:?}",
@@ -178,7 +176,9 @@ fn cmd_dot(workload: &str, n: usize) -> Result<(), String> {
             let p = ConsensusViaObject::new(mixed_inputs(n), ObjId(0));
             let objects = vec![AnyObject::consensus(n).map_err(|e| e.to_string())?];
             let g = Explorer::new(&p, &objects)
-                .explore(limits)
+                .exploration()
+                .limits(limits)
+                .run()
                 .map_err(|e| e.to_string())?;
             g.to_dot(|i, c| format!("{i}:{:?}", c.distinct_decisions()))
         }
@@ -186,7 +186,9 @@ fn cmd_dot(workload: &str, n: usize) -> Result<(), String> {
             let p = DacFromPac::new(mixed_inputs(n), Pid(0), ObjId(0))?;
             let objects = vec![AnyObject::pac(n).map_err(|e| e.to_string())?];
             let g = Explorer::new(&p, &objects)
-                .explore(limits)
+                .exploration()
+                .limits(limits)
+                .run()
                 .map_err(|e| e.to_string())?;
             g.to_dot(|i, c| format!("{i}:{:?}", c.distinct_decisions()))
         }
@@ -195,7 +197,9 @@ fn cmd_dot(workload: &str, n: usize) -> Result<(), String> {
             let p = KSetViaStrongSa::new(inputs, ObjId(0));
             let objects = vec![AnyObject::strong_sa()];
             let g = Explorer::new(&p, &objects)
-                .explore(limits)
+                .exploration()
+                .limits(limits)
+                .run()
                 .map_err(|e| e.to_string())?;
             g.to_dot(|i, c| format!("{i}:{:?}", c.distinct_decisions()))
         }

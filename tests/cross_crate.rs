@@ -9,7 +9,7 @@ use life_beyond_set_agreement::core::{AnyObject, ObjId, Op, Pid, Value};
 use life_beyond_set_agreement::explorer::adversary::find_nontermination;
 use life_beyond_set_agreement::explorer::linearizability::check_linearizable;
 use life_beyond_set_agreement::explorer::valency::ValencyAnalysis;
-use life_beyond_set_agreement::explorer::{Explorer, Limits};
+use life_beyond_set_agreement::explorer::Explorer;
 use life_beyond_set_agreement::protocols::candidates::WaitForWinner;
 use life_beyond_set_agreement::protocols::consensus_protocols::ConsensusViaObject;
 use life_beyond_set_agreement::protocols::dac::DacFromPac;
@@ -31,7 +31,7 @@ fn explorer_paths_replay_in_live_systems() {
     let protocol = ConsensusViaObject::new(inputs, ObjId(0));
     let objects = vec![AnyObject::consensus(3).unwrap()];
     let explorer = Explorer::new(&protocol, &objects);
-    let graph = explorer.explore(Limits::default()).unwrap();
+    let graph = explorer.exploration().run().unwrap();
     assert!(graph.complete);
 
     for terminal in graph.terminal_indices() {
@@ -83,7 +83,8 @@ fn witnesses_pump_in_live_systems() {
     let protocol = WaitForWinner::new(inputs);
     let objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::register()];
     let graph = Explorer::new(&protocol, &objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .unwrap();
     let witness = find_nontermination(&graph).expect("candidate must be refutable");
 
@@ -110,15 +111,13 @@ fn valency_closure_matches_reachable_decisions() {
     let protocol = ConsensusViaObject::new(inputs, ObjId(0));
     let objects = vec![AnyObject::consensus(2).unwrap()];
     let explorer = Explorer::new(&protocol, &objects);
-    let graph = explorer.explore(Limits::default()).unwrap();
+    let graph = explorer.exploration().run().unwrap();
     let analysis = ValencyAnalysis::analyze(&graph);
 
     // Brute force: for each configuration, recompute reachable decisions by
     // a fresh sub-exploration and compare with the fixpoint closure.
     for (idx, config) in graph.configs.iter().enumerate() {
-        let sub = explorer
-            .explore_from(config.clone(), Limits::default())
-            .unwrap();
+        let sub = explorer.exploration().from(config.clone()).run().unwrap();
         let mut brute: Vec<Value> = sub
             .configs
             .iter()
@@ -140,7 +139,8 @@ fn derived_combined_pac_substitutes_for_native() {
 
     let native_objects = vec![AnyObject::combined_pac(2, 2).unwrap()];
     let native = Explorer::new(&inner, &native_objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .unwrap();
     let native_outcomes: std::collections::BTreeSet<Vec<Option<Value>>> = native
         .terminal_indices()
@@ -151,9 +151,7 @@ fn derived_combined_pac_substitutes_for_native() {
     let frontends = vec![CombinedFromComponents::frontend(ObjId(0), ObjId(1))];
     let derived = DerivedProtocol::new(&inner, &procedure, frontends);
     let base = vec![AnyObject::pac(2).unwrap(), AnyObject::consensus(2).unwrap()];
-    let sim = Explorer::new(&derived, &base)
-        .explore(Limits::default())
-        .unwrap();
+    let sim = Explorer::new(&derived, &base).exploration().run().unwrap();
     let sim_outcomes: std::collections::BTreeSet<Vec<Option<Value>>> = sim
         .terminal_indices()
         .map(|t| sim.configs[t].decisions())

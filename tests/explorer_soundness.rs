@@ -42,15 +42,13 @@ fn inert_objects_do_not_change_anything() {
     let inputs = vec![int(0), int(1)];
     let p = ConsensusViaObject::new(inputs.clone(), ObjId(0));
     let objects = vec![AnyObject::consensus(2).unwrap()];
-    let g1 = Explorer::new(&p, &objects)
-        .explore(Limits::default())
-        .unwrap();
+    let g1 = Explorer::new(&p, &objects).exploration().run().unwrap();
     let va1 = ValencyAnalysis::analyze(&g1);
 
     let wrapped = WithSpectator(&p);
     let more_objects = vec![AnyObject::consensus(2).unwrap(), AnyObject::register()];
     let ex2 = Explorer::new(&wrapped, &more_objects);
-    let g2 = ex2.explore(Limits::default()).unwrap();
+    let g2 = ex2.exploration().run().unwrap();
     let va2 = ValencyAnalysis::analyze(&g2);
 
     assert_eq!(g1.configs.len(), g2.configs.len());
@@ -69,12 +67,8 @@ fn value_renaming_commutes_with_exploration() {
     let b = ConsensusViaObject::new(vec![int(rename(0)), int(rename(1))], ObjId(0));
     let objects = vec![AnyObject::consensus(2).unwrap()];
 
-    let ga = Explorer::new(&a, &objects)
-        .explore(Limits::default())
-        .unwrap();
-    let gb = Explorer::new(&b, &objects)
-        .explore(Limits::default())
-        .unwrap();
+    let ga = Explorer::new(&a, &objects).exploration().run().unwrap();
+    let gb = Explorer::new(&b, &objects).exploration().run().unwrap();
     assert_eq!(ga.configs.len(), gb.configs.len());
     assert_eq!(ga.transitions, gb.transitions);
 
@@ -103,8 +97,8 @@ fn exploration_is_deterministic() {
     let p = ConsensusViaObject::new(vec![int(0), int(1), int(2)], ObjId(0));
     let objects = vec![AnyObject::consensus(3).unwrap()];
     let ex = Explorer::new(&p, &objects);
-    let g1 = ex.explore(Limits::default()).unwrap();
-    let g2 = ex.explore(Limits::default()).unwrap();
+    let g1 = ex.exploration().run().unwrap();
+    let g2 = ex.exploration().run().unwrap();
     assert_eq!(g1.configs, g2.configs);
     assert_eq!(g1.transitions, g2.transitions);
     for (e1, e2) in g1.edges.iter().zip(g2.edges.iter()) {
@@ -118,9 +112,7 @@ fn exploration_is_deterministic() {
 fn closures_shrink_along_edges() {
     let p = ConsensusViaObject::new(vec![int(0), int(1), int(2)], ObjId(0));
     let objects = vec![AnyObject::consensus(3).unwrap()];
-    let g = Explorer::new(&p, &objects)
-        .explore(Limits::default())
-        .unwrap();
+    let g = Explorer::new(&p, &objects).exploration().run().unwrap();
     let va = ValencyAnalysis::analyze(&g);
     for (i, edges) in g.edges.iter().enumerate() {
         for e in edges {
@@ -143,7 +135,7 @@ fn samplers_and_exhaustive_checkers_agree_on_correct_protocols() {
     let objects = vec![AnyObject::consensus(3).unwrap()];
     let ex = Explorer::new(&p, &objects);
     assert!(check_consensus(&ex, &inputs, Limits::default()).is_ok());
-    let g = ex.explore(Limits::default()).unwrap();
+    let g = ex.exploration().run().unwrap();
     assert_eq!(find_nontermination(&g), None);
     let report = sample_consensus(
         &p,
@@ -223,9 +215,9 @@ fn truncated_graphs_are_prefixes() {
     let p = ConsensusViaObject::new(vec![int(0), int(1), int(2)], ObjId(0));
     let objects = vec![AnyObject::consensus(3).unwrap()];
     let ex = Explorer::new(&p, &objects);
-    let full = ex.explore(Limits::default()).unwrap();
+    let full = ex.exploration().run().unwrap();
     assert!(full.complete);
-    let partial = ex.explore(Limits::new(3)).unwrap();
+    let partial = ex.exploration().max_configs(3).run().unwrap();
     assert!(!partial.complete);
     assert!(partial.configs.len() <= full.configs.len());
     for c in &partial.configs {

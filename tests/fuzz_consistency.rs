@@ -20,7 +20,7 @@ use life_beyond_set_agreement::core::spec::ObjectSpec;
 use life_beyond_set_agreement::core::value::int;
 use life_beyond_set_agreement::core::{AnyObject, AnyState, ObjId, Op, Value};
 use life_beyond_set_agreement::explorer::linearizability::check_linearizable;
-use life_beyond_set_agreement::explorer::{Explorer, Limits};
+use life_beyond_set_agreement::explorer::Explorer;
 use life_beyond_set_agreement::runtime::derived::CompletedOp;
 use life_beyond_set_agreement::runtime::outcome::RandomOutcome;
 use life_beyond_set_agreement::runtime::scheduler::RandomScheduler;
@@ -108,7 +108,7 @@ fn pipeline_components_agree_on_random_workloads() {
 
         // 1. Straight-line workloads explore completely and acyclically.
         let explorer = Explorer::new(&protocol, &objects);
-        let graph = explorer.explore(Limits::new(500_000)).unwrap();
+        let graph = explorer.exploration().max_configs(500_000).run().unwrap();
         assert!(graph.complete);
         assert!(!graph.has_cycle(), "straight-line programs cannot cycle");
 
@@ -166,7 +166,7 @@ fn round_robin_outcomes_are_explored() {
         let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
         let objects = universe();
         let explorer = Explorer::new(&protocol, &objects);
-        let graph = explorer.explore(Limits::new(500_000)).unwrap();
+        let graph = explorer.exploration().max_configs(500_000).run().unwrap();
         let explored: BTreeSet<Vec<Option<Value>>> = graph
             .terminal_indices()
             .map(|t| graph.configs[t].decisions())
@@ -191,7 +191,9 @@ fn all_processes_decide_in_every_terminal() {
         let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
         let objects = universe();
         let graph = Explorer::new(&protocol, &objects)
-            .explore(Limits::new(500_000))
+            .exploration()
+            .max_configs(500_000)
+            .run()
             .unwrap();
         for t in graph.terminal_indices() {
             let decided = graph.configs[t].decisions().iter().flatten().count();
@@ -220,7 +222,8 @@ fn pinned_mixed_workload_cross_check() {
     let protocol = ScriptProtocol::new(scripts, ScriptEnd::DecideLast).unwrap();
     let objects = universe();
     let graph = Explorer::new(&protocol, &objects)
-        .explore(Limits::default())
+        .exploration()
+        .run()
         .unwrap();
     assert!(graph.complete);
     assert!(!graph.has_cycle());
