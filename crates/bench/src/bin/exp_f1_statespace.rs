@@ -7,6 +7,12 @@
 //! engine's own metrics — throughput (configs/sec), dedup hit rate, and
 //! the worker thread count — taken from [`lbsa_explorer::ExploreStats`].
 //!
+//! A second table reruns the symmetric instances with symmetry reduction
+//! enabled and reports orbit counts next to the raw config counts: the
+//! T2 workload gives process 0 input 1 and everyone else input 0, so the
+//! non-distinguished processes form one interchangeability class and the
+//! quotient graph shrinks by up to |S_{n-1}| = (n-1)!.
+//!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_f1_statespace`.
 //! Set `LBSA_EXPLORE_THREADS` to pin the engine's thread count.
 
@@ -103,4 +109,48 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     }
 
     exp.table(table);
+
+    let mut reduced_table = Table::new(
+        "F1b — symmetry reduction on symmetric instances (raw vs orbits)",
+        vec![
+            "workload",
+            "processes",
+            "group order",
+            "raw configs",
+            "orbit configs",
+            "reduction",
+            "raw ms",
+            "reduced ms",
+        ],
+    );
+
+    for n in 2..=6usize {
+        let inputs = mixed_binary_inputs(n);
+        let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
+        let objects = vec![AnyObject::pac(n).expect("valid")];
+        let ex = Explorer::new(&p, &objects);
+        let raw = ex.exploration().limits(limits).run().expect("explorable");
+        let reduced = ex
+            .exploration()
+            .limits(limits)
+            .symmetric()
+            .run()
+            .expect("explorable");
+        let group_order: usize = (1..n).product(); // |S_{n-1}|
+        reduced_table.row(vec![
+            "Algorithm 2 (n-DAC)".into(),
+            n.to_string(),
+            group_order.to_string(),
+            raw.configs.len().to_string(),
+            reduced.configs.len().to_string(),
+            format!(
+                "{:.2}x",
+                raw.configs.len() as f64 / reduced.configs.len() as f64
+            ),
+            format!("{:.1}", raw.stats.elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", reduced.stats.elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+
+    exp.table(reduced_table);
 }

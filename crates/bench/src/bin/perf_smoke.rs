@@ -1,0 +1,110 @@
+//! Perf smoke gate: compares a freshly regenerated `BENCH_explore.json`
+//! against the committed one and fails (exit 1) on a perf regression.
+//!
+//! Usage: `perf_smoke <committed.json> <fresh.json>`
+//!
+//! Checks, in order:
+//!
+//! 1. the fresh engine still beats the seed baseline by ≥ 2× on T2 n = 5
+//!    (`n5_speedup_vs_baseline ≥ 2.0`) — the absolute gate lives on the
+//!    larger workload because the n = 4 graph (275 configs) is small
+//!    enough that per-run setup compresses the ratio toward ~1.9 and
+//!    couples it to the host's thermal state, while n = 5 sits near 2.7
+//!    with real headroom;
+//! 2. the n = 4 engine-vs-baseline speedup stays above a 1.5× hard floor.
+//!    No committed-relative check here: the measured value swings 1.8–2.6
+//!    with the host's thermal state (the baseline is memory-bound, the
+//!    engine is not), so anchoring to whichever end was committed would
+//!    flake, while a true regression — say, dedup interning accidentally
+//!    disabled — drops the ratio to ≈ 1.0 and trips the floor reliably;
+//! 3. the parallel-vs-sequential speedup has not regressed more than 15%
+//!    below the committed value (on a single-core host both sides sit at
+//!    ≈ 1.0 — the adaptive gate routes everything sequential — so this
+//!    check degrades to "don't get slower than committed there either");
+//! 4. symmetry reduction still shrinks the symmetric T2 n = 5 state space
+//!    by ≥ 5× (`n5_reduction_ratio ≥ 5.0`). The n = 4 ratio is reported
+//!    but not gated: its group is S_3, so the ratio is capped at 6 and
+//!    sits near 3.4 by orbit counting, not by implementation quality.
+//!
+//! Absent keys in the *committed* file are tolerated (first run after a
+//! schema extension); absent keys in the *fresh* file are failures.
+
+use lbsa_support::json::Json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()
+}
+
+fn num(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).and_then(Json::as_f64)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: perf_smoke <committed.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let Some(fresh) = load(fresh_path) else {
+        eprintln!("perf_smoke: cannot read or parse fresh report {fresh_path}");
+        return ExitCode::FAILURE;
+    };
+    let committed = load(committed_path);
+    if committed.is_none() {
+        eprintln!("perf_smoke: no committed report at {committed_path}; gating fresh only");
+    }
+
+    let mut failures = Vec::new();
+
+    match num(&fresh, "n5_speedup_vs_baseline") {
+        Some(s) if s >= 2.0 => println!("n5_speedup_vs_baseline: {s:.2} (>= 2.0) ok"),
+        Some(s) => failures.push(format!("n5_speedup_vs_baseline {s:.2} < 2.0")),
+        None => failures.push("fresh report lacks n5_speedup_vs_baseline".into()),
+    }
+
+    match num(&fresh, "speedup_vs_baseline") {
+        Some(s) if s >= 1.5 => println!("speedup_vs_baseline: {s:.2} (>= 1.5 floor) ok"),
+        Some(s) => failures.push(format!("speedup_vs_baseline {s:.2} < 1.5 hard floor")),
+        None => failures.push("fresh report lacks speedup_vs_baseline".into()),
+    }
+
+    match num(&fresh, "speedup_par_vs_seq") {
+        Some(par) => {
+            let floor = committed
+                .as_ref()
+                .and_then(|c| num(c, "speedup_par_vs_seq"))
+                .map_or(0.0, |c| c * 0.85);
+            if par >= floor {
+                println!("speedup_par_vs_seq: {par:.2} (floor {floor:.2}) ok");
+            } else {
+                failures.push(format!(
+                    "speedup_par_vs_seq {par:.2} regressed below {floor:.2} \
+                     (85% of committed)"
+                ));
+            }
+        }
+        None => failures.push("fresh report lacks speedup_par_vs_seq".into()),
+    }
+
+    match num(&fresh, "n5_reduction_ratio") {
+        Some(r) if r >= 5.0 => println!("n5_reduction_ratio: {r:.2} (>= 5.0) ok"),
+        Some(r) => failures.push(format!("n5_reduction_ratio {r:.2} < 5.0")),
+        None => failures.push("fresh report lacks n5_reduction_ratio".into()),
+    }
+
+    if let Some(r) = num(&fresh, "reduction_ratio") {
+        println!("n=4 reduction_ratio: {r:.2} (informational; S_3 caps it at 6)");
+    }
+
+    if failures.is_empty() {
+        println!("perf smoke: ok");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("perf smoke FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

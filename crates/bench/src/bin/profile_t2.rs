@@ -1,5 +1,9 @@
-//! Profiling harness: loops the T2 n=4 exploration so a sampling profiler
-//! has something to chew on. Not an experiment binary.
+//! Profiling harness: loops the T2 exploration so a sampling profiler has
+//! something to chew on. Not an experiment binary.
+//!
+//! Usage: `profile_t2 [iters] [--n N] [--symmetric]`. The default is 2000
+//! iterations of the raw n = 4 exploration; `--symmetric` profiles the
+//! symmetry-reduced (orbit) exploration instead.
 
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
@@ -8,15 +12,30 @@ use lbsa_protocols::dac::DacFromPac;
 use std::hint::black_box;
 
 fn main() {
-    let p = DacFromPac::new(mixed_binary_inputs(4), Pid(0), ObjId(0)).unwrap();
-    let objects = vec![AnyObject::pac(4).unwrap()];
-    let explorer = Explorer::new(&p, &objects);
-    let iters: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let symmetric = args.iter().any(|a| a == "--symmetric");
+    let n: usize = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
         .and_then(|a| a.parse().ok())
-        .unwrap_or(2000);
+        .unwrap_or(4);
+    let iters: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(2000);
+
+    let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
+    let objects = vec![AnyObject::pac(n).unwrap()];
+    let explorer = Explorer::new(&p, &objects);
+    let mut configs = 0;
     for _ in 0..iters {
-        let g = explorer.exploration().threads(1).run().unwrap();
-        black_box(g.configs.len());
+        let g = if symmetric {
+            explorer.exploration().threads(1).symmetric().run().unwrap()
+        } else {
+            explorer.exploration().threads(1).run().unwrap()
+        };
+        configs = black_box(g.configs.len());
     }
+    eprintln!(
+        "t2_dac n={n} {}: {configs} configs",
+        if symmetric { "reduced" } else { "raw" }
+    );
 }

@@ -3,6 +3,13 @@
 //! order, truncation behaviour, everything. These tests pin that contract on
 //! the real experiment workloads (Algorithm 2), on an intentionally cyclic
 //! protocol, and on randomized small protocols.
+//!
+//! Every multi-threaded run here bypasses the adaptive parallel gate with
+//! [`force_parallel`](lbsa_explorer::Exploration::force_parallel): on a
+//! single-core box the gate (correctly) routes every level through the
+//! sequential path, which would make these tests vacuous. Forcing the
+//! parallel path keeps the classify/stitch merge machinery covered
+//! regardless of the host's core count.
 
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
 use lbsa_explorer::{ExplorationGraph, Explorer, Limits};
@@ -35,12 +42,11 @@ fn explore_with_threads<P: Protocol>(
     limits: Limits,
     threads: usize,
 ) -> ExplorationGraph<P::LocalState> {
-    explorer
-        .exploration()
-        .limits(limits)
-        .threads(threads)
-        .run()
-        .expect("exploration succeeds")
+    let mut e = explorer.exploration().limits(limits).threads(threads);
+    if threads > 1 {
+        e = e.force_parallel();
+    }
+    e.run().expect("exploration succeeds")
 }
 
 fn mixed_binary_inputs(count: usize) -> Vec<Value> {

@@ -74,7 +74,7 @@ pub enum AnyObject {
 }
 
 /// The state of an [`AnyObject`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum AnyState {
     /// Register state.

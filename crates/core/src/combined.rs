@@ -21,7 +21,7 @@ use crate::pac::{PacSpec, PacState};
 use crate::spec::{ObjectSpec, Outcomes};
 
 /// State of an [`CombinedPacSpec`] object: the pair of component states.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CombinedPacState {
     /// State of the embedded n-PAC object `P`.
     pub pac: PacState,

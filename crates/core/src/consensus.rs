@@ -21,7 +21,7 @@ use crate::value::Value;
 /// `used` saturates at `n`: once the object is exhausted, additional
 /// operations neither change the state nor the response (`⊥`), which keeps
 /// the reachable state space finite for the explorer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConsensusState {
     /// The value of the first propose operation (`NIL` before any propose).
     pub winner: Value,

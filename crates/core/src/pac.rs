@@ -24,7 +24,7 @@ use crate::spec::{check_proposable, ObjectSpec, Outcomes};
 use crate::value::Value;
 
 /// State of an n-PAC object — exactly the four components of Section 3.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PacState {
     /// `upset`: set once the history becomes illegal; never reset
     /// (Observation 3.1).

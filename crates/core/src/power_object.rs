@@ -41,7 +41,7 @@ use crate::spec::{ObjectSpec, Outcomes};
 /// assert_eq!(power.n_k(2), Some(4));  // 2-set agreement among 2*2 processes
 /// assert_eq!(power.n_k(5), None);     // truncated at K = 4
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SetAgreementPower {
     entries: Vec<usize>,
 }
@@ -130,7 +130,7 @@ impl SetAgreementPower {
 }
 
 /// State of a [`PowerObjectSpec`]: one component state per level.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PowerObjectState {
     /// `components[k-1]` is the state of the `(n_k, k)-SA` component.
     pub components: Vec<SetAgreementState>,

@@ -25,7 +25,7 @@ use crate::spec::{check_proposable, ObjectSpec, Outcomes};
 use crate::value::Value;
 
 /// State of an [`SetAgreementSpec`] object.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SetAgreementState {
     /// All distinct values proposed so far, sorted (canonical form).
     pub proposals: Vec<Value>,

@@ -19,7 +19,7 @@ use crate::value::Value;
 ///
 /// The set is stored canonically (sorted pair, `NIL` = absent) so that
 /// equal sets hash equally during exploration.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StrongSaState {
     slots: [Value; 2],
 }

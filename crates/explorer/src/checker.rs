@@ -8,6 +8,18 @@
 //! including the solo-run Termination clauses (a) and (b), which are checked
 //! by re-exploring `q`-solo extensions from **every** reachable
 //! configuration.
+//!
+//! The checkers also run unchanged over a **symmetry-reduced** graph (built
+//! with [`crate::explore::Exploration::symmetric`]): every predicate here is
+//! orbit-invariant. Agreement, validity and undecided-terminal inspect only
+//! the multiset of decisions and statuses, which pid permutations preserve;
+//! the pid-specific n-DAC predicates (solo runs of `q`, Nontriviality of the
+//! distinguished process) are invariant because the
+//! [`lbsa_runtime::process::Symmetry`] contract makes distinguished roles
+//! singleton classes — fixed by every group element — and solo extensions of
+//! a canonical representative cover those of the whole orbit by
+//! equivariance. Violations found on the quotient are translated back to
+//! real executions by the verdict layer (see [`crate::verdict`]).
 
 use crate::adversary::{find_nontermination, NonTerminationWitness};
 use crate::config::Configuration;

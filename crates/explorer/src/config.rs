@@ -13,7 +13,13 @@ use std::hash::Hash;
 /// that reach the same configuration have identical futures (protocols and
 /// specs are deterministic functions of the configuration), so merging them
 /// is sound.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive (available when the local state is `Ord`) is a pure
+/// *content* order: symmetry reduction picks the minimum of an orbit under
+/// it as the canonical representative. Interned ids must never be compared
+/// for this purpose — interning order differs between runs and thread
+/// counts, while content order does not.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Configuration<L> {
     /// State of each shared object, indexed by `ObjId`.
     pub object_states: Vec<AnyState>,

@@ -44,12 +44,13 @@
 //! frontier shape, per-level timing — on the resulting graph.
 
 use crate::config::Configuration;
-use crate::intern::{CompactConfig, Interner, ShardedIndex};
+use crate::intern::{CompactConfig, Interner, ShardedIndex, SHARDS};
 use crate::stats::{ExploreStats, LevelStats};
+use crate::symmetry::ConfigSymmetry;
 use lbsa_core::spec::ObjectSpec;
 use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid, Value};
 use lbsa_runtime::error::RuntimeError;
-use lbsa_runtime::process::{ProcStatus, Protocol, Step};
+use lbsa_runtime::process::{ProcStatus, Protocol, Step, Symmetry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -98,19 +99,37 @@ pub struct ExploreOptions {
     /// sequential path. The thread count never affects the resulting
     /// graph, only how fast it is built.
     pub threads: usize,
+    /// Bypass the adaptive parallel gate: every level of a multi-threaded
+    /// run takes the parallel path regardless of its projected benefit.
+    /// For tests pinning parallel-path behaviour and for benchmarking the
+    /// parallel machinery itself; production runs should leave this off and
+    /// let the gate keep unprofitable levels sequential.
+    pub force_parallel: bool,
 }
 
 impl ExploreOptions {
     /// Options with the given limits and automatic thread count.
     #[must_use]
     pub fn new(limits: Limits) -> Self {
-        ExploreOptions { limits, threads: 0 }
+        ExploreOptions {
+            limits,
+            threads: 0,
+            force_parallel: false,
+        }
     }
 
     /// Sets the worker thread count (`0` = auto).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Disables the adaptive parallel gate (see
+    /// [`ExploreOptions::force_parallel`]).
+    #[must_use]
+    pub fn with_force_parallel(mut self, force: bool) -> Self {
+        self.force_parallel = force;
         self
     }
 
@@ -138,9 +157,90 @@ impl Default for ExploreOptions {
     }
 }
 
-/// Levels narrower than this are expanded inline: spawning workers for a
-/// handful of nodes costs more than the expansion itself.
+/// Bootstrap parallel threshold: before the engine has measured anything,
+/// levels narrower than this are expanded inline — spawning workers for a
+/// handful of nodes costs more than the expansion itself. Once per-node cost
+/// has been measured, the adaptive gate in [`ParGate`] takes over.
 const PAR_MIN_LEVEL: usize = 32;
+
+/// Estimated cost of spawning and joining one scoped worker thread, in
+/// nanoseconds. The adaptive gate parallelizes a level only when the
+/// projected expansion time it saves exceeds this overhead for the whole
+/// pool. Deliberately pessimistic: mis-gating a level sequential costs a
+/// little throughput, mis-gating it parallel costs a regression.
+const SPAWN_COST_NS: f64 = 50_000.0;
+
+/// The adaptive decision of whether to expand a level on worker threads.
+///
+/// The old engine used the fixed [`PAR_MIN_LEVEL`] width cutoff, which
+/// parallelized wide-but-cheap levels (losing to spawn overhead — the
+/// `speedup_par_vs_seq < 1` regression in the committed benchmarks) and kept
+/// narrow-but-expensive levels sequential. The gate instead tracks an
+/// exponential moving average of measured per-node expansion cost and
+/// parallelizes exactly when the projected saving beats the spawn cost:
+///
+/// ```text
+/// width · ns_per_node · (1 − 1/p)  >  SPAWN_COST_NS · threads
+/// ```
+///
+/// where `p` is the effective parallelism — the requested thread count
+/// capped by the machine's available cores, because threads beyond cores
+/// save nothing. On a single-core machine `p = 1`, the projected saving is
+/// zero, and every level stays sequential: asking for `threads(8)` then
+/// costs nothing and `speedup_par_vs_seq` sits at 1.0 by construction.
+///
+/// Both paths build the identical graph, so gating on wall-clock timing is
+/// safe: the choice affects speed only, never results.
+struct ParGate {
+    threads: usize,
+    effective: usize,
+    force: bool,
+    ema_ns_per_node: Option<f64>,
+}
+
+impl ParGate {
+    fn new(threads: usize, force: bool) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ParGate {
+            threads,
+            effective: threads.min(cores).max(1),
+            force,
+            ema_ns_per_node: None,
+        }
+    }
+
+    /// Should a level of `width` nodes run on the parallel path?
+    fn go_parallel(&self, width: usize) -> bool {
+        if self.threads <= 1 {
+            return false;
+        }
+        if self.force {
+            return true;
+        }
+        match self.ema_ns_per_node {
+            // No measurement yet: fall back to the static width cutoff.
+            None => width >= PAR_MIN_LEVEL && self.effective > 1,
+            Some(ema) => {
+                let saved = width as f64 * ema * (1.0 - 1.0 / self.effective as f64);
+                saved > SPAWN_COST_NS * self.threads as f64
+            }
+        }
+    }
+
+    /// Feeds back one level's measured cost. Sequential levels measure true
+    /// per-node cost directly; parallel levels measure it scaled by the
+    /// parallelism actually achieved, which keeps the estimate conservative.
+    fn observe(&mut self, width: usize, elapsed: std::time::Duration) {
+        if width == 0 {
+            return;
+        }
+        let ns = elapsed.as_nanos() as f64 / width as f64;
+        self.ema_ns_per_node = Some(match self.ema_ns_per_node {
+            None => ns,
+            Some(ema) => 0.7 * ema + 0.3 * ns,
+        });
+    }
+}
 
 /// One labelled edge of the execution graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -382,6 +482,98 @@ struct SuccRecord<L> {
 }
 
 type NodeResult<L> = Result<Vec<SuccRecord<L>>, RuntimeError>;
+
+/// Phase-A classification of one not-pre-probed successor record, produced
+/// by [`classify_level`] and consumed by the sequential stitch.
+#[derive(Clone, Copy, Debug)]
+enum MergeClass {
+    /// The key was already in the (frozen) index: a cross-level duplicate.
+    Known(u32),
+    /// The key first appeared earlier in this level, at the given ordinal —
+    /// a level-local duplicate of whatever node that ordinal resolves to.
+    Dup(usize),
+    /// First global occurrence: the stitch assigns it a fresh node index.
+    New,
+}
+
+/// Phase A of the two-phase merge: classify every successor record whose
+/// pre-probe missed (`known == None`) as [`MergeClass::Known`],
+/// [`MergeClass::Dup`], or [`MergeClass::New`], returning one
+/// ordinal-ascending vector per index shard.
+///
+/// Records are numbered by a single *ordinal* sequence — their encounter
+/// order scanning the level in frontier order — and each record belongs to
+/// exactly one shard (a pure function of its key), so the per-shard work is
+/// disjoint and runs on worker threads with no locking: every worker scans
+/// the shared record list in the same global order but only touches its own
+/// shards. Duplicate detection is exact because equal keys always hash to
+/// the same shard, so one shard's scan sees every occurrence in ordinal
+/// order and can name the first.
+///
+/// Nodes whose expansion failed are skipped entirely; the stitch stops at
+/// the first error anyway, and skipping keeps the ordinal sequences of both
+/// phases aligned up to that point.
+fn classify_level<L: Sync>(
+    results: &[NodeResult<L>],
+    index: &ShardedIndex,
+    threads: usize,
+) -> Vec<Vec<(usize, MergeClass)>> {
+    let workers = threads.clamp(1, SHARDS);
+    let mut per_worker: Vec<Vec<Vec<(usize, MergeClass)>>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out: Vec<Vec<(usize, MergeClass)>> = vec![Vec::new(); SHARDS];
+                    let mut seen: Vec<lbsa_support::hash::FxHashMap<CompactConfig, usize>> =
+                        vec![Default::default(); SHARDS];
+                    let mut ordinal = 0usize;
+                    for result in results {
+                        let Ok(records) = result else { continue };
+                        for rec in records {
+                            if rec.known.is_some() {
+                                continue;
+                            }
+                            let key = rec.key.as_ref().expect("unknown successors carry keys");
+                            let shard = ShardedIndex::shard_of(key);
+                            if shard % workers == w {
+                                let class = if let Some(t) = index.probe(key) {
+                                    MergeClass::Known(t)
+                                } else {
+                                    match seen[shard].entry(key.clone()) {
+                                        std::collections::hash_map::Entry::Occupied(e) => {
+                                            MergeClass::Dup(*e.get())
+                                        }
+                                        std::collections::hash_map::Entry::Vacant(v) => {
+                                            v.insert(ordinal);
+                                            MergeClass::New
+                                        }
+                                    }
+                                };
+                                out[shard].push((ordinal, class));
+                            }
+                            ordinal += 1;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_worker.push(handle.join().expect("classification worker panicked"));
+        }
+    });
+    // Collapse: each shard was filled by exactly one worker.
+    let mut merged: Vec<Vec<(usize, MergeClass)>> = vec![Vec::new(); SHARDS];
+    for (w, worker_out) in per_worker.into_iter().enumerate() {
+        for (shard, classes) in worker_out.into_iter().enumerate() {
+            if shard % workers == w {
+                merged[shard] = classes;
+            }
+        }
+    }
+    merged
+}
 
 /// One frontier entry handed to expansion workers: node index, a borrow of
 /// its configuration, and its compact key (the delta-interning base).
@@ -696,11 +888,19 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         initial: Configuration<P::LocalState>,
         options: ExploreOptions,
         mut on_progress: Option<ProgressCallback<'_>>,
+        sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let started = Instant::now();
         let threads = options.resolved_threads();
         let limits = options.limits;
+        let mut gate = ParGate::new(threads, options.force_parallel);
 
+        // Under symmetry reduction every graph node is the canonical
+        // representative of its orbit, starting with the root.
+        let initial = match sym {
+            Some(s) => s.canonicalize(&initial),
+            None => initial,
+        };
         let mut state_interner: Interner<AnyState> = Interner::new();
         let mut proc_interner: Interner<ProcStatus<P::LocalState>> = Interner::new();
         let mut index = ShardedIndex::new();
@@ -721,6 +921,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let mut expanded_count = 0usize;
         let mut dedup_hits = 0usize;
         let mut peak_frontier = 0usize;
+        let mut parallel_levels = 0usize;
         let mut levels: Vec<LevelStats> = Vec::new();
         // Transition memo, one store per execution path: the fused
         // single-threaded path owns a plain map (entry API, no locks, no
@@ -746,8 +947,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             let level_started = Instant::now();
             let mut next_frontier: Vec<(u32, CompactConfig)> = Vec::new();
             let mut level_transitions = 0usize;
+            let parallel_level = gate.go_parallel(take);
 
-            if threads <= 1 || take < PAR_MIN_LEVEL {
+            if !parallel_level {
                 // Fused expand-and-merge: with no worker hand-off there is
                 // nothing to gain from materializing successor records —
                 // each node expands against the live index and merges on the
@@ -787,6 +989,41 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                             pairs.as_slice().iter().enumerate()
                         {
                             level_transitions += 1;
+                            if let Some(symmetry) = sym {
+                                // Orbit mode: the dedup key is the compacted
+                                // *canonical representative*, so the raw
+                                // delta-patch shortcut below does not apply —
+                                // the successor is materialized and
+                                // canonicalized before keying.
+                                let canon = {
+                                    let parent = &configs[node];
+                                    let mut raw = parent.clone();
+                                    raw.object_states[obj.index()] =
+                                        state_interner.resolve_mut(succ_state).clone();
+                                    raw.procs[i] = proc_interner.resolve_mut(succ_proc).clone();
+                                    symmetry.canonicalize(&raw)
+                                };
+                                let key = self.compact(&canon, &state_interner, &proc_interner);
+                                let target = if let Some(t) = index.probe(&key) {
+                                    dedup_hits += 1;
+                                    t
+                                } else {
+                                    let t = u32::try_from(configs.len())
+                                        .expect("graphs are bounded well below u32::MAX nodes");
+                                    next_frontier.push((t, key.clone()));
+                                    index.insert(key, t);
+                                    configs.push(canon);
+                                    edges.push(vec![]);
+                                    expanded.push(false);
+                                    t
+                                };
+                                out_scratch.push(Edge {
+                                    pid: Pid(i),
+                                    outcome,
+                                    target: target as usize,
+                                });
+                                continue;
+                            }
                             scratch.copy_from_slice(parent_key);
                             scratch[obj.index()] = succ_state;
                             scratch[n_obj + i] = succ_proc;
@@ -868,12 +1105,22 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         &proc_interner,
                         &memo,
                         &index,
+                        sym,
                     )
                 };
 
-                // Deterministic merge: scan the level in frontier order,
-                // assigning new node indices in first-encounter order —
-                // exactly the order a sequential FIFO BFS assigns them.
+                // Two-phase deterministic merge. Phase A classifies every
+                // not-pre-probed successor against the frozen index and its
+                // level-local siblings, per shard on worker threads — all the
+                // hashing of the merge happens here, in parallel, because
+                // equal keys always land in the same shard. Phase B is a
+                // sequential stitch in frontier order that only *assigns*:
+                // node indices are handed out in first-encounter order,
+                // exactly the order a sequential FIFO BFS assigns them, so
+                // the graph is identical to the sequential path's.
+                let classes = classify_level(&results, &index, threads);
+                let mut cursors = [0usize; SHARDS];
+                let mut targets: Vec<u32> = Vec::new();
                 for ((node, _), result) in frontier[..take].iter().zip(results) {
                     let records = result?;
                     let mut out = Vec::with_capacity(records.len());
@@ -884,24 +1131,35 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                             t
                         } else {
                             let key = rec.key.expect("unknown successors carry their key");
-                            // A sibling merged earlier in this level may have
-                            // claimed the key since the worker's pre-probe.
-                            if let Some(t) = index.probe(&key) {
-                                dedup_hits += 1;
-                                t
-                            } else {
-                                let t = u32::try_from(configs.len())
-                                    .expect("graphs are bounded well below u32::MAX nodes");
-                                next_frontier.push((t, key.clone()));
-                                index.insert(key, t);
-                                configs.push(
-                                    rec.config
-                                        .expect("new successors carry their configuration"),
-                                );
-                                edges.push(vec![]);
-                                expanded.push(false);
-                                t
-                            }
+                            let shard = ShardedIndex::shard_of(&key);
+                            let (ord, class) = classes[shard][cursors[shard]];
+                            cursors[shard] += 1;
+                            debug_assert_eq!(ord, targets.len(), "phase ordinals in lock-step");
+                            let t = match class {
+                                MergeClass::Known(t) => {
+                                    dedup_hits += 1;
+                                    t
+                                }
+                                MergeClass::Dup(first) => {
+                                    dedup_hits += 1;
+                                    targets[first]
+                                }
+                                MergeClass::New => {
+                                    let t = u32::try_from(configs.len())
+                                        .expect("graphs are bounded well below u32::MAX nodes");
+                                    next_frontier.push((t, key.clone()));
+                                    index.insert(key, t);
+                                    configs.push(
+                                        rec.config
+                                            .expect("new successors carry their configuration"),
+                                    );
+                                    edges.push(vec![]);
+                                    expanded.push(false);
+                                    t
+                                }
+                            };
+                            targets.push(t);
+                            t
                         };
                         out.push(Edge {
                             pid: rec.pid,
@@ -915,10 +1173,16 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             }
             expanded_count += take;
             transitions += level_transitions;
+            let level_elapsed = level_started.elapsed();
+            gate.observe(take, level_elapsed);
+            if parallel_level {
+                parallel_levels += 1;
+            }
             levels.push(LevelStats {
                 width: take,
                 transitions: level_transitions,
-                elapsed: level_started.elapsed(),
+                elapsed: level_elapsed,
+                parallel: parallel_level,
             });
             if let Some(cb) = on_progress.as_mut() {
                 cb(levels.last().expect("level just pushed"));
@@ -940,6 +1204,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             distinct_proc_statuses: proc_interner.len(),
             peak_frontier,
             threads,
+            parallel_levels,
+            reduced: sym.is_some(),
             elapsed: started.elapsed(),
             levels,
         };
@@ -979,6 +1245,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// The step itself goes through the [`TransitionMemo`]: on a hit, the
     /// successor id pairs come straight out of the memo and neither the
     /// object specification nor the protocol runs at all.
+    #[allow(clippy::too_many_arguments)]
     fn expand_node(
         &self,
         config: &Configuration<P::LocalState>,
@@ -987,6 +1254,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         proc_interner: &Interner<ProcStatus<P::LocalState>>,
         memo: &TransitionMemo,
         index: &ShardedIndex,
+        sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
     ) -> NodeResult<P::LocalState> {
         let n_obj = config.object_states.len();
         let mut out = Vec::new();
@@ -1012,6 +1280,36 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 memo,
             )?;
             for (outcome, &(succ_state, succ_proc)) in pairs.as_slice().iter().enumerate() {
+                if let Some(symmetry) = sym {
+                    // Orbit mode: the key is the compacted canonical
+                    // representative, so the successor is always
+                    // materialized (the delta-patched raw key below is not
+                    // the dedup key under reduction).
+                    let mut raw = config.clone();
+                    raw.object_states[obj.index()] =
+                        state_interner.resolve_with(succ_state, Clone::clone);
+                    raw.procs[pid.index()] = proc_interner.resolve_with(succ_proc, Clone::clone);
+                    let canon = symmetry.canonicalize(&raw);
+                    let key = self.compact(&canon, state_interner, proc_interner);
+                    if let Some(t) = index.probe(&key) {
+                        out.push(SuccRecord {
+                            pid,
+                            outcome,
+                            key: None,
+                            known: Some(t),
+                            config: None,
+                        });
+                    } else {
+                        out.push(SuccRecord {
+                            pid,
+                            outcome,
+                            key: Some(key),
+                            known: None,
+                            config: Some(canon),
+                        });
+                    }
+                    continue;
+                }
                 // Build the successor key in the scratch buffer; only
                 // successors that miss the index allocate a persistent key.
                 scratch.copy_from_slice(parent_key);
@@ -1026,9 +1324,13 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         config: None,
                     });
                 } else {
+                    // `resolve_with` clones the value under the shard's read
+                    // lock, skipping the Arc refcount round-trip `resolve`
+                    // would pay on this hot path.
                     let mut next = config.clone();
-                    next.object_states[obj.index()] = (*state_interner.resolve(succ_state)).clone();
-                    next.procs[pid.index()] = (*proc_interner.resolve(succ_proc)).clone();
+                    next.object_states[obj.index()] =
+                        state_interner.resolve_with(succ_state, Clone::clone);
+                    next.procs[pid.index()] = proc_interner.resolve_with(succ_proc, Clone::clone);
                     out.push(SuccRecord {
                         pid,
                         outcome,
@@ -1117,6 +1419,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// Expands one level on `threads` scoped workers pulling node positions
     /// from a shared atomic counter. Results land in per-position slots, so
     /// scheduling order is invisible to the merge.
+    #[allow(clippy::too_many_arguments)]
     fn expand_level_parallel(
         &self,
         work: &[WorkItem<'_, P::LocalState>],
@@ -1125,6 +1428,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         proc_interner: &Interner<ProcStatus<P::LocalState>>,
         memo: &TransitionMemo,
         index: &ShardedIndex,
+        sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
     ) -> Vec<NodeResult<P::LocalState>> {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<NodeResult<P::LocalState>>>> =
@@ -1136,8 +1440,15 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                     let Some(&(_, config, key)) = work.get(pos) else {
                         break;
                     };
-                    let result =
-                        self.expand_node(config, key, state_interner, proc_interner, memo, index);
+                    let result = self.expand_node(
+                        config,
+                        key,
+                        state_interner,
+                        proc_interner,
+                        memo,
+                        index,
+                        sym,
+                    );
                     *slots[pos].lock().expect("expansion slot poisoned") = Some(result);
                 });
             }
@@ -1188,6 +1499,7 @@ pub struct Exploration<'e, 'a, P: Protocol> {
     from: Option<Configuration<P::LocalState>>,
     options: ExploreOptions,
     on_progress: Option<ProgressCallback<'e>>,
+    symmetry: Option<ConfigSymmetry<'a, P::LocalState>>,
 }
 
 impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
@@ -1200,6 +1512,7 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
             from: None,
             options: ExploreOptions::default(),
             on_progress: None,
+            symmetry: None,
         }
     }
 
@@ -1237,6 +1550,37 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
         self
     }
 
+    /// Bypasses the adaptive parallel gate (see
+    /// [`ExploreOptions::force_parallel`]): every level of a multi-threaded
+    /// run takes the parallel path. For tests and benchmarks of the
+    /// parallel machinery.
+    pub fn force_parallel(mut self) -> Self {
+        self.options.force_parallel = true;
+        self
+    }
+
+    /// Enables symmetry reduction: the graph's nodes become canonical orbit
+    /// representatives under the protocol's declared pid symmetry
+    /// ([`lbsa_runtime::process::Symmetry`]), shrinking the explored state
+    /// space by up to the symmetry group's order. No-op when the declared
+    /// group is trivial (all pid classes distinct).
+    ///
+    /// The resulting graph's node set is a system of orbit representatives,
+    /// not the raw reachable set: checker predicates are orbit-invariant
+    /// (see [`crate::symmetry`]), and witnesses extracted from a reduced
+    /// graph must be de-canonicalized through
+    /// [`crate::symmetry::Concretizer`] before replay on the raw system —
+    /// the `*_reduced` entry points in [`crate::verdict`] do exactly that.
+    pub fn symmetric(mut self) -> Self
+    where
+        P: Symmetry,
+        P::LocalState: Ord,
+    {
+        let sym = ConfigSymmetry::of(self.explorer.protocol);
+        self.symmetry = if sym.is_trivial() { None } else { Some(sym) };
+        self
+    }
+
     /// Registers a callback invoked after each BFS level is merged, with
     /// that level's [`LevelStats`] — for progress reporting on long runs.
     pub fn on_progress(mut self, callback: impl FnMut(&LevelStats) + 'e) -> Self {
@@ -1254,8 +1598,12 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
     /// sequential exploration reports.
     pub fn run(self) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let initial = self.from.unwrap_or_else(|| self.explorer.initial_config());
-        self.explorer
-            .run_engine(initial, self.options, self.on_progress)
+        self.explorer.run_engine(
+            initial,
+            self.options,
+            self.on_progress,
+            self.symmetry.as_ref(),
+        )
     }
 }
 
@@ -1414,13 +1762,26 @@ mod tests {
         let ex = Explorer::new(&p, &objects);
         let sequential = ex.exploration().threads(1).run().unwrap();
         for threads in [2, 4, 8] {
-            let parallel = ex.exploration().threads(threads).run().unwrap();
+            // Force the parallel path so the two-phase merge is actually
+            // exercised regardless of the adaptive gate's verdict on this
+            // machine.
+            let parallel = ex
+                .exploration()
+                .threads(threads)
+                .force_parallel()
+                .run()
+                .unwrap();
             assert!(
                 sequential.same_structure(&parallel),
                 "graph differs at {threads} threads"
             );
             assert_eq!(sequential.structural_digest(), parallel.structural_digest());
             assert_eq!(parallel.stats.threads, threads);
+            assert_eq!(parallel.stats.parallel_levels, parallel.stats.levels.len());
+            // The adaptive gate may legitimately keep everything sequential
+            // (e.g. on a single-core machine); the graph must still match.
+            let gated = ex.exploration().threads(threads).run().unwrap();
+            assert!(sequential.same_structure(&gated));
         }
     }
 
@@ -1440,6 +1801,7 @@ mod tests {
                 .exploration()
                 .max_configs(budget)
                 .threads(4)
+                .force_parallel()
                 .run()
                 .unwrap();
             assert!(
@@ -1455,9 +1817,28 @@ mod tests {
         let objects = vec![AnyObject::strong_sa()];
         let ex = Explorer::new(&p, &objects);
         let seq = ex.exploration().threads(1).run().unwrap();
-        let par = ex.exploration().threads(4).run().unwrap();
+        let par = ex.exploration().threads(4).force_parallel().run().unwrap();
         assert!(seq.same_structure(&par));
         assert!(par.has_cycle());
+    }
+
+    #[test]
+    fn multithreaded_runs_report_underparallelization() {
+        // A workload this tiny never crosses the parallel threshold: a
+        // threads(8) run must say so instead of implying it parallelized.
+        let p = RaceConsensus { n: 2 };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let mut saw_parallel_level = false;
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .threads(8)
+            .on_progress(|level| saw_parallel_level |= level.parallel)
+            .run()
+            .unwrap();
+        assert_eq!(g.stats.parallel_levels, 0);
+        assert!(!saw_parallel_level);
+        assert!(g.stats.underparallelized());
+        assert!(g.stats.summary().contains("below parallel threshold"));
     }
 
     #[test]
@@ -1657,6 +2038,129 @@ mod tests {
             ex.step(&c0, Pid(9), 0),
             Err(RuntimeError::PidOutOfRange { .. })
         ));
+    }
+
+    /// A fully symmetric race: every process proposes the *same* value to a
+    /// consensus object and decides the response. All pids are
+    /// interchangeable, so the symmetry group is the full S_n.
+    #[derive(Debug)]
+    struct SymmetricRace {
+        n: usize,
+    }
+
+    impl Protocol for SymmetricRace {
+        type LocalState = ();
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+        fn init(&self, _pid: Pid) {}
+        fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+            (ObjId(0), Op::Propose(Value::Int(7)))
+        }
+        fn on_response(&self, _pid: Pid, _s: &(), resp: Value) -> Step<()> {
+            Step::Decide(resp)
+        }
+    }
+
+    impl Symmetry for SymmetricRace {
+        fn pid_classes(&self) -> Vec<u32> {
+            vec![0; self.n]
+        }
+    }
+
+    #[test]
+    fn symmetric_exploration_shrinks_the_graph() {
+        let p = SymmetricRace { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let raw = ex.exploration().run().unwrap();
+        let reduced = ex.exploration().symmetric().run().unwrap();
+        assert!(raw.complete && reduced.complete);
+        assert!(!raw.stats.reduced);
+        assert!(reduced.stats.reduced);
+        assert!(
+            reduced.len() < raw.len(),
+            "reduction must shrink the graph: raw {} vs reduced {}",
+            raw.len(),
+            reduced.len()
+        );
+        // Identical verdict-relevant structure: the same set of terminal
+        // decision multisets is reachable in both graphs.
+        let outcomes = |g: &ExplorationGraph<()>| -> std::collections::BTreeSet<Vec<Value>> {
+            g.terminal_indices()
+                .map(|t| {
+                    let mut ds: Vec<Value> = g.configs[t]
+                        .decisions()
+                        .into_iter()
+                        .map(|d| d.expect("all decided"))
+                        .collect();
+                    ds.sort();
+                    ds
+                })
+                .collect()
+        };
+        assert_eq!(outcomes(&raw), outcomes(&reduced));
+    }
+
+    #[test]
+    fn reduced_graphs_are_thread_count_independent() {
+        let p = SymmetricRace { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let seq = ex.exploration().symmetric().threads(1).run().unwrap();
+        for threads in [2, 4] {
+            let par = ex
+                .exploration()
+                .symmetric()
+                .threads(threads)
+                .force_parallel()
+                .run()
+                .unwrap();
+            assert!(
+                seq.same_structure(&par),
+                "reduced graph differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_symmetry_changes_nothing() {
+        // RaceConsensus proposes pid-dependent values, so declaring all
+        // pids distinct yields the trivial group — .symmetric() must be a
+        // no-op, bit for bit.
+        #[derive(Debug)]
+        struct AsymmetricRace(RaceConsensus);
+        impl Protocol for AsymmetricRace {
+            type LocalState = ();
+            fn num_processes(&self) -> usize {
+                self.0.num_processes()
+            }
+            fn init(&self, pid: Pid) {
+                self.0.init(pid);
+            }
+            fn pending_op(&self, pid: Pid, s: &()) -> (ObjId, Op) {
+                self.0.pending_op(pid, s)
+            }
+            fn on_response(&self, pid: Pid, s: &(), resp: Value) -> Step<()> {
+                self.0.on_response(pid, s, resp)
+            }
+        }
+        impl Symmetry for AsymmetricRace {
+            fn pid_classes(&self) -> Vec<u32> {
+                (0..self.num_processes() as u32).collect()
+            }
+        }
+        let p = AsymmetricRace(RaceConsensus { n: 3 });
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let raw = ex.exploration().run().unwrap();
+        let reduced = ex.exploration().symmetric().run().unwrap();
+        assert!(raw.same_structure(&reduced));
+        assert!(
+            !reduced.stats.reduced,
+            "trivial group must disable reduction"
+        );
     }
 
     #[test]

@@ -15,12 +15,15 @@
 //! node indices are assigned by the deterministic merge, never by interning
 //! order.
 
-use lbsa_support::hash::FxHashMap;
-use std::hash::Hash;
+use lbsa_support::hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
-/// Number of index shards (must be a power of two).
-const SHARDS: usize = 16;
+/// Number of interner / index shards (must be a power of two).
+pub(crate) const SHARDS: usize = 16;
+
+/// Bits of an interned id reserved for the shard number.
+const SHARD_BITS: u32 = SHARDS.trailing_zeros();
 
 /// A configuration compressed to interned ids: object-state ids followed by
 /// process-status ids. Reference-counted so the dedup index, the frontier,
@@ -30,15 +33,28 @@ pub type CompactConfig = Arc<[u32]>;
 /// A concurrent hash-consing table: `intern` maps equal values to equal
 /// `u32` ids, `resolve` maps ids back to shared values.
 ///
-/// A single store behind one `RwLock`, not a sharded one: interning deep
-/// values is dominated by hashing them, and a sharded table must hash every
-/// value twice (once to pick the shard, once inside the shard's map). Reads
-/// — the overwhelmingly common case, since states repeat — share the lock,
-/// and write contention is negligible because distinct values are a tiny
-/// fraction of intern calls.
+/// The table is split into [`SHARDS`] independently locked stores, with the
+/// shard chosen by the value's hash and folded into the id's low bits
+/// (`id = local_index << SHARD_BITS | shard`). Two consequences:
+///
+/// * **contention** — concurrent expansion workers interning unrelated
+///   values take unrelated locks, and even same-shard readers stop bouncing
+///   one lock's cache line across every core;
+/// * **stability** — within one run, equal values still map to equal ids
+///   regardless of which thread interns first (the shard is a pure function
+///   of the value, and insertion inside a shard is serialized by its write
+///   lock). Ids are *not* deterministic across runs, and nothing may depend
+///   on that: deduplication keys live and die inside one exploration, and
+///   graph node indices are assigned by the deterministic merge, never by
+///   interning order.
+///
+/// Shard selection costs one extra Fx pass over the value per `intern`; the
+/// shard's own map then hashes it again. For the deep object states this
+/// table holds, that second pass is far cheaper than the read-lock
+/// serialization it replaces once more than one worker is interning.
 #[derive(Debug)]
 pub struct Interner<T> {
-    inner: RwLock<Store<T>>,
+    shards: [RwLock<Store<T>>; SHARDS],
 }
 
 #[derive(Debug)]
@@ -52,22 +68,31 @@ impl<T: Eq + Hash + Clone> Interner<T> {
     #[must_use]
     pub fn new() -> Self {
         Interner {
-            inner: RwLock::new(Store {
-                map: FxHashMap::default(),
-                items: Vec::new(),
+            shards: std::array::from_fn(|_| {
+                RwLock::new(Store {
+                    map: FxHashMap::default(),
+                    items: Vec::new(),
+                })
             }),
         }
+    }
+
+    /// The shard a value lives in: a pure function of its content.
+    fn shard_of(value: &T) -> usize {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
     }
 
     /// Returns the id of `value`, inserting it on first sight.
     ///
     /// # Panics
     ///
-    /// Panics if more than `u32::MAX` distinct values are interned, or if
-    /// the lock is poisoned by a panicking worker.
+    /// Panics if more than `u32::MAX >> SHARD_BITS` distinct values land in
+    /// one shard, or if a lock is poisoned by a panicking worker.
     pub fn intern(&self, value: &T) -> u32 {
-        if let Some(&id) = self
-            .inner
+        let shard = Self::shard_of(value);
+        if let Some(&id) = self.shards[shard]
             .read()
             .expect("interner lock poisoned")
             .map
@@ -75,53 +100,66 @@ impl<T: Eq + Hash + Clone> Interner<T> {
         {
             return id;
         }
-        let mut guard = self.inner.write().expect("interner lock poisoned");
+        let mut guard = self.shards[shard].write().expect("interner lock poisoned");
         if let Some(&id) = guard.map.get(value) {
             return id; // raced with another writer
         }
-        Self::insert(&mut guard, value)
+        Self::insert(&mut guard, shard, value)
     }
 
     /// [`Interner::intern`] for exclusive access: `&mut self` proves no
-    /// other thread holds the lock, so `RwLock::get_mut` skips it entirely.
-    /// This is the fast path of single-threaded exploration.
+    /// other thread holds any lock, so `RwLock::get_mut` skips them
+    /// entirely. This is the fast path of single-threaded exploration.
     ///
     /// # Panics
     ///
     /// Panics as [`Interner::intern`] does.
     pub fn intern_mut(&mut self, value: &T) -> u32 {
-        let store = self.inner.get_mut().expect("interner lock poisoned");
+        let shard = Self::shard_of(value);
+        let store = self.shards[shard]
+            .get_mut()
+            .expect("interner lock poisoned");
         if let Some(&id) = store.map.get(value) {
             return id;
         }
-        Self::insert(store, value)
+        Self::insert(store, shard, value)
     }
 
-    fn insert(store: &mut Store<T>, value: &T) -> u32 {
-        let id = u32::try_from(store.items.len()).expect("interner overflow");
+    fn insert(store: &mut Store<T>, shard: usize, value: &T) -> u32 {
+        let local = u32::try_from(store.items.len()).expect("interner overflow");
+        assert!(
+            local <= u32::MAX >> SHARD_BITS,
+            "interner shard overflow: more than 2^{} values in one shard",
+            32 - SHARD_BITS
+        );
         let arc = Arc::new(value.clone());
         store.items.push(Arc::clone(&arc));
+        let id = (local << SHARD_BITS) | shard as u32;
         store.map.insert(arc, id);
         id
     }
 
     /// [`Interner::resolve`] for exclusive access: returns a plain reference
-    /// without touching the lock or the reference count.
+    /// without touching a lock or the reference count.
     ///
     /// # Panics
     ///
     /// Panics if `id` was not produced by this interner.
     #[must_use]
     pub fn resolve_mut(&mut self, id: u32) -> &T {
-        self.inner
+        self.shards[(id as usize) & (SHARDS - 1)]
             .get_mut()
             .expect("interner lock poisoned")
             .items
-            .get(id as usize)
+            .get((id >> SHARD_BITS) as usize)
             .expect("unknown interned id")
     }
 
     /// Resolves an id back to its value.
+    ///
+    /// For read-mostly hot paths prefer [`Interner::resolve_with`], which
+    /// borrows the value under the shard's read lock instead of bumping and
+    /// dropping the `Arc` reference count.
     ///
     /// # Panics
     ///
@@ -129,23 +167,40 @@ impl<T: Eq + Hash + Clone> Interner<T> {
     #[must_use]
     pub fn resolve(&self, id: u32) -> Arc<T> {
         Arc::clone(
-            self.inner
+            self.shards[(id as usize) & (SHARDS - 1)]
                 .read()
                 .expect("interner lock poisoned")
                 .items
-                .get(id as usize)
+                .get((id >> SHARD_BITS) as usize)
                 .expect("unknown interned id"),
         )
+    }
+
+    /// Applies `f` to the value behind `id` without cloning the `Arc`: the
+    /// borrow lives under the shard's read lock only as long as `f` runs.
+    /// This is the shared-access analogue of [`Interner::resolve_mut`] —
+    /// it skips the atomic reference-count round-trip that makes
+    /// [`Interner::resolve`] show up in expansion profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve_with<R>(&self, id: u32, f: impl FnOnce(&T) -> R) -> R {
+        f(self.shards[(id as usize) & (SHARDS - 1)]
+            .read()
+            .expect("interner lock poisoned")
+            .items
+            .get((id >> SHARD_BITS) as usize)
+            .expect("unknown interned id"))
     }
 
     /// Number of distinct values interned so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .expect("interner lock poisoned")
-            .items
-            .len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("interner lock poisoned").items.len())
+            .sum()
     }
 
     /// Returns `true` if nothing has been interned.
@@ -186,7 +241,7 @@ impl ShardedIndex {
     /// need not be a strong hash — a cheap mix of the first and last ids
     /// (an object state and a process status) spreads configurations well
     /// without hashing the whole key twice per probe.
-    fn shard_of(key: &[u32]) -> usize {
+    pub(crate) fn shard_of(key: &[u32]) -> usize {
         let mix = key.first().copied().unwrap_or(0).wrapping_mul(0x9E37_79B9)
             ^ key.last().copied().unwrap_or(0).wrapping_mul(0x85EB_CA6B);
         (mix >> 24) as usize & (SHARDS - 1)
@@ -261,6 +316,27 @@ mod tests {
         for (v, &id) in ids[0].iter().enumerate() {
             assert_eq!(*interner.resolve(id), v as u64);
         }
+    }
+
+    #[test]
+    fn resolve_with_matches_resolve() {
+        let mut interner: Interner<String> = Interner::new();
+        let ids: Vec<u32> = (0..64)
+            .map(|i| interner.intern(&format!("value-{i}")))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let expected = format!("value-{i}");
+            assert_eq!(*interner.resolve(id), expected);
+            assert_eq!(interner.resolve_with(id, |v| v.len()), expected.len());
+            assert_eq!(interner.resolve_mut(id), &expected);
+            // The shard lives in the id's low bits and matches the value's
+            // shard function, so every accessor agrees on the store.
+            assert_eq!(
+                (id as usize) & (SHARDS - 1),
+                Interner::<String>::shard_of(&expected)
+            );
+        }
+        assert_eq!(interner.len(), 64);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod intern;
 pub mod linearizability;
 pub mod sampling;
 pub mod stats;
+pub mod symmetry;
 pub mod valency;
 pub mod verdict;
 
@@ -54,5 +55,6 @@ pub use config::Configuration;
 pub use error::CheckError;
 pub use explore::{Exploration, ExplorationGraph, ExploreOptions, Explorer, Limits, StepRecord};
 pub use stats::{ExploreStats, LevelStats};
+pub use symmetry::{Concretizer, ConfigSymmetry};
 pub use valency::{Valence, ValencyAnalysis};
 pub use verdict::{Outcome, Verdict, Witness};

@@ -20,6 +20,11 @@ pub struct LevelStats {
     pub transitions: usize,
     /// Wall-clock time spent on this level (expansion + merge).
     pub elapsed: Duration,
+    /// `true` if this level ran on the parallel expansion path. A progress
+    /// callback watching a multi-threaded run can use this to warn when the
+    /// workload never crosses the parallel threshold (see
+    /// [`ExploreStats::underparallelized`]).
+    pub parallel: bool,
 }
 
 /// Aggregate metrics of one exploration run.
@@ -41,6 +46,13 @@ pub struct ExploreStats {
     pub peak_frontier: usize,
     /// Worker threads used for frontier expansion.
     pub threads: usize,
+    /// Number of BFS levels that actually ran on the parallel path. The
+    /// engine's adaptive gate keeps narrow or cheap levels sequential, so
+    /// this can be zero even when `threads > 1`.
+    pub parallel_levels: usize,
+    /// `true` if the exploration deduplicated on canonical orbit
+    /// representatives (symmetry reduction) rather than raw configurations.
+    pub reduced: bool,
     /// Total wall-clock time of the exploration.
     pub elapsed: Duration,
     /// Per-level breakdown, in BFS order.
@@ -76,17 +88,39 @@ impl ExploreStats {
         self.levels.len()
     }
 
+    /// `true` if more than one worker thread was requested but no level ever
+    /// crossed the parallel threshold — the whole run executed sequentially.
+    /// Callers asking for `threads(n)` on tiny workloads should surface this
+    /// instead of implying the run parallelized.
+    #[must_use]
+    pub fn underparallelized(&self) -> bool {
+        self.threads > 1 && self.parallel_levels == 0 && self.expanded > 0
+    }
+
     /// A one-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
+        let reduced = if self.reduced {
+            ", symmetry-reduced"
+        } else {
+            ""
+        };
+        let warn = if self.underparallelized() {
+            " [sequential: below parallel threshold]"
+        } else {
+            ""
+        };
         format!(
-            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads, {:.3}s ({:.0} configs/s)",
+            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads ({} parallel levels){}{}, {:.3}s ({:.0} configs/s)",
             self.configs,
             self.transitions,
             100.0 * self.dedup_rate(),
             self.depth(),
             self.peak_frontier,
             self.threads,
+            self.parallel_levels,
+            reduced,
+            warn,
             self.elapsed.as_secs_f64(),
             self.configs_per_sec(),
         )
@@ -125,5 +159,35 @@ mod tests {
         assert!(s.contains("depth 3"));
         assert!(s.contains("4 threads"));
         assert!(s.contains("80 configs/s"));
+    }
+
+    #[test]
+    fn underparallelized_flags_silent_sequential_runs() {
+        let mut stats = ExploreStats {
+            threads: 4,
+            expanded: 100,
+            parallel_levels: 0,
+            ..ExploreStats::default()
+        };
+        assert!(stats.underparallelized());
+        assert!(stats.summary().contains("below parallel threshold"));
+
+        stats.parallel_levels = 2;
+        assert!(!stats.underparallelized());
+        assert!(!stats.summary().contains("below parallel threshold"));
+
+        // A single-threaded run is sequential by request, not silently.
+        stats.threads = 1;
+        stats.parallel_levels = 0;
+        assert!(!stats.underparallelized());
+    }
+
+    #[test]
+    fn summary_mentions_reduction() {
+        let stats = ExploreStats {
+            reduced: true,
+            ..ExploreStats::default()
+        };
+        assert!(stats.summary().contains("symmetry-reduced"));
     }
 }

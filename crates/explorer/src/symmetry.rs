@@ -1,0 +1,527 @@
+//! Symmetry reduction: canonical orbit representatives under pid permutation.
+//!
+//! Every protocol the paper checks exhaustively — Algorithm 2 for n-DAC, the
+//! PAC/strong-SA constructions behind Theorem 6.5 — is symmetric under
+//! permutation of (some of) its process ids: processes in one role run the
+//! same code on the same inputs, so permuting them maps executions to
+//! executions. The explorer can therefore quotient the configuration graph
+//! by that group action and search one representative per **orbit** instead
+//! of every permuted copy; for a workload whose symmetry group has order
+//! `g`, that divides the reachable state space by up to `g`.
+//!
+//! The machinery here is deliberately elementary (the groups are tiny —
+//! products of symmetric groups over the pid classes, order ≤ 24 for the
+//! n ≤ 5 instances we explore):
+//!
+//! * a protocol opts in by implementing [`lbsa_runtime::process::Symmetry`],
+//!   declaring which pids are interchangeable and how pid-derived structure
+//!   inside local/object states permutes;
+//! * [`ConfigSymmetry::of`] materializes the full permutation group once and
+//!   type-erases the protocol behind two closures (apply a permutation,
+//!   compare configurations by content), so the exploration engine needs no
+//!   `Ord` bound on local states in its own signatures;
+//! * [`ConfigSymmetry::canonicalize`] maps a configuration to the minimum of
+//!   its orbit under the content order — a canonical representative that is
+//!   stable across runs and thread counts, unlike anything derived from
+//!   interned ids;
+//! * [`Concretizer`] walks a schedule expressed over the *quotient* graph
+//!   and incrementally rebuilds a real (un-permuted) execution, which is how
+//!   witnesses extracted from a reduced graph are de-canonicalized before
+//!   [`crate::verdict::Witness::confirm`] replays them.
+//!
+//! # Soundness
+//!
+//! Let `G` be the declared group and write `π · C` for the action of
+//! permutation `π` on configuration `C`. The [`Symmetry`] contract is the
+//! equivariance law `step(π · C, π(p), o) ≃ π · step(C, p, o)` (equality up
+//! to outcome order). It follows by induction that `C` is reachable iff
+//! `π · C` is, and that the quotient graph — nodes are orbits, edges are
+//! orbits of edges — is reachability- and cycle-equivalent to the full
+//! graph. Every checker predicate we evaluate is orbit-invariant: agreement,
+//! validity and undecided-terminal predicates only inspect the *multiset* of
+//! decisions and statuses, which `π` preserves; predicates naming a specific
+//! pid (n-DAC's distinguished process, solo runs) stay invariant because the
+//! [`Symmetry`] contract requires distinguished roles to be singleton
+//! classes, which every `π ∈ G` fixes. Hence a property holds on the
+//! quotient iff it holds on the full graph, and a quotient counterexample
+//! concretizes (via [`Concretizer`]) to a real counterexample.
+
+use crate::config::Configuration;
+use crate::error::CheckError;
+use crate::explore::Explorer;
+use lbsa_core::{ObjId, Pid};
+use lbsa_runtime::process::{ProcStatus, Protocol, Symmetry};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A pid permutation: `perm[i]` is the new pid of process `i`.
+pub type PidPerm = Vec<usize>;
+
+/// The symmetry group of a concrete protocol instance, type-erased so the
+/// exploration engine can canonicalize configurations without knowing the
+/// protocol type or requiring `Ord` bounds of its own.
+///
+/// Built with [`ConfigSymmetry::of`]; the identity permutation is always
+/// `perms()[0]`.
+pub struct ConfigSymmetry<'p, L> {
+    perms: Vec<PidPerm>,
+    #[allow(clippy::type_complexity)]
+    apply: Box<dyn Fn(&Configuration<L>, &[usize]) -> Configuration<L> + Sync + 'p>,
+    #[allow(clippy::type_complexity)]
+    cmp: Box<dyn Fn(&Configuration<L>, &Configuration<L>) -> Ordering + Sync + 'p>,
+    value_symmetric: bool,
+}
+
+impl<L> fmt::Debug for ConfigSymmetry<'_, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConfigSymmetry")
+            .field("group_order", &self.perms.len())
+            .field("value_symmetric", &self.value_symmetric)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p, L: Clone> ConfigSymmetry<'p, L> {
+    /// Materializes the symmetry group of `protocol`: all pid permutations
+    /// preserving its [`Symmetry::pid_classes`] partition (the direct
+    /// product of symmetric groups over the classes).
+    ///
+    /// The `Ord` bound on the local state is consumed *here*, into the
+    /// comparison closure — callers downstream (the engine, the verdict
+    /// layer) work with the erased struct.
+    pub fn of<P>(protocol: &'p P) -> Self
+    where
+        P: Symmetry<LocalState = L>,
+        L: Ord,
+    {
+        let classes = protocol.pid_classes();
+        assert_eq!(
+            classes.len(),
+            protocol.num_processes(),
+            "pid_classes() must return one class per process"
+        );
+        let perms = class_preserving_perms(&classes);
+        let apply =
+            move |c: &Configuration<P::LocalState>, perm: &[usize]| apply_perm(protocol, c, perm);
+        ConfigSymmetry {
+            perms,
+            apply: Box::new(apply),
+            cmp: Box::new(|a, b| a.cmp(b)),
+            value_symmetric: protocol.value_symmetric(),
+        }
+    }
+
+    /// The group elements; `perms()[0]` is the identity.
+    #[must_use]
+    pub fn perms(&self) -> &[PidPerm] {
+        &self.perms
+    }
+
+    /// Number of group elements. Reduction divides the state space by at
+    /// most this factor.
+    #[must_use]
+    pub fn group_order(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// `true` if the group is just the identity — canonicalization would be
+    /// a no-op, so callers should skip reduction entirely.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.perms.len() == 1
+    }
+
+    /// Whether the protocol additionally declared value symmetry (advisory;
+    /// see [`Symmetry::value_symmetric`]).
+    #[must_use]
+    pub fn value_symmetric(&self) -> bool {
+        self.value_symmetric
+    }
+
+    /// Applies one group element to a configuration.
+    #[must_use]
+    pub fn apply(&self, config: &Configuration<L>, perm: &[usize]) -> Configuration<L> {
+        (self.apply)(config, perm)
+    }
+
+    /// The canonical representative of `config`'s orbit: the minimum of
+    /// `{π · config : π ∈ G}` under the content order.
+    #[must_use]
+    pub fn canonicalize(&self, config: &Configuration<L>) -> Configuration<L> {
+        self.canonicalize_with_perm(config).0
+    }
+
+    /// Canonicalizes and also returns the permutation `σ` that realizes it:
+    /// `σ · config == canonical`. When several group elements yield the
+    /// minimum, the first in enumeration order wins, so the choice is
+    /// deterministic.
+    #[must_use]
+    pub fn canonicalize_with_perm(
+        &self,
+        config: &Configuration<L>,
+    ) -> (Configuration<L>, &[usize]) {
+        let mut best = (self.apply)(config, &self.perms[0]);
+        let mut best_perm = &self.perms[0];
+        for perm in &self.perms[1..] {
+            let candidate = (self.apply)(config, perm);
+            if (self.cmp)(&candidate, &best) == Ordering::Less {
+                best = candidate;
+                best_perm = perm;
+            }
+        }
+        (best, best_perm)
+    }
+}
+
+/// Applies `perm` to a configuration under protocol `p`'s interpretation:
+/// process `i`'s status moves to slot `perm[i]` (local state mapped through
+/// [`Symmetry::permute_local`]), and every object state is rewritten through
+/// [`Symmetry::permute_object_state`].
+fn apply_perm<P: Symmetry>(
+    p: &P,
+    c: &Configuration<P::LocalState>,
+    perm: &[usize],
+) -> Configuration<P::LocalState> {
+    let mut procs: Vec<Option<ProcStatus<P::LocalState>>> = vec![None; c.procs.len()];
+    for (i, status) in c.procs.iter().enumerate() {
+        let moved = match status {
+            ProcStatus::Running(s) => ProcStatus::Running(p.permute_local(s, perm)),
+            other => other.clone(),
+        };
+        procs[perm[i]] = Some(moved);
+    }
+    Configuration {
+        object_states: c
+            .object_states
+            .iter()
+            .enumerate()
+            .map(|(o, s)| p.permute_object_state(ObjId(o), s, perm))
+            .collect(),
+        procs: procs
+            .into_iter()
+            .map(|s| s.expect("perm is a bijection on 0..n"))
+            .collect(),
+    }
+}
+
+/// Enumerates every permutation of `0..classes.len()` that maps each pid
+/// class onto itself: the direct product, over the classes, of the full
+/// symmetric group on that class's positions. The identity is first.
+fn class_preserving_perms(classes: &[u32]) -> Vec<PidPerm> {
+    let n = classes.len();
+    // Positions grouped by class, in first-appearance order.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut seen: Vec<u32> = Vec::new();
+    for (i, &c) in classes.iter().enumerate() {
+        match seen.iter().position(|&s| s == c) {
+            Some(g) => groups[g].push(i),
+            None => {
+                seen.push(c);
+                groups.push(vec![i]);
+            }
+        }
+    }
+    // All permutations of each group's positions (identity first), then the
+    // cartesian product across groups composed into full pid permutations.
+    let group_perms: Vec<Vec<Vec<usize>>> = groups
+        .iter()
+        .map(|positions| permutations_of(positions))
+        .collect();
+    let mut result: Vec<PidPerm> = vec![(0..n).collect()];
+    for (g, options) in group_perms.iter().enumerate() {
+        let positions = &groups[g];
+        let mut next = Vec::with_capacity(result.len() * options.len());
+        for base in &result {
+            for option in options {
+                let mut perm = base.clone();
+                for (slot, &target) in positions.iter().zip(option.iter()) {
+                    perm[*slot] = target;
+                }
+                next.push(perm);
+            }
+        }
+        result = next;
+    }
+    // The cartesian product enumerates the identity choice of every group
+    // first, so result[0] is the identity; assert the invariant anyway.
+    debug_assert!(result[0].iter().enumerate().all(|(i, &v)| i == v));
+    result
+}
+
+/// All orderings of `items` (Heap's algorithm), the original order first.
+fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    heap_recurse(work.len(), &mut work, &mut out);
+    // Heap's algorithm emits the unmodified input first, so out[0] == items.
+    debug_assert_eq!(out[0], items);
+    out
+}
+
+fn heap_recurse(k: usize, work: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(work.clone());
+        return;
+    }
+    heap_recurse(k - 1, work, out);
+    for i in 0..k - 1 {
+        if k.is_multiple_of(2) {
+            work.swap(i, k - 1);
+        } else {
+            work.swap(0, k - 1);
+        }
+        heap_recurse(k - 1, work, out);
+    }
+}
+
+/// Incremental de-canonicalization: walks a schedule expressed over the
+/// **quotient** graph (whose nodes are canonical representatives) and
+/// rebuilds a real execution of the protocol, step by step.
+///
+/// The walker maintains a real configuration `R`, its canonical form `Q`,
+/// and the permutation `σ` with `σ · R == Q`. Feeding it a quotient step
+/// `(p, o)` — "process `p` takes outcome `o` *in the quotient*" — it:
+///
+/// 1. translates the pid: the real process is `σ⁻¹(p)`;
+/// 2. computes the quotient target `Q' = canon(successors(Q, p)[o])`;
+/// 3. finds the real outcome `j` with `canon(successors(R, σ⁻¹(p))[j]) ==
+///    Q'`, which exists by equivariance. Successors are matched by
+///    *canonical content*, never by outcome index, because outcome order
+///    need not be equivariant (e.g. an object state holding a sorted set).
+///
+/// The real schedule it emits replays through [`crate::explore::Explorer`]
+/// on the raw (unreduced) system, which is exactly what
+/// [`crate::verdict::Witness::confirm`] does.
+pub struct Concretizer<'e, 'a, 'p, P: Protocol> {
+    explorer: &'e Explorer<'a, P>,
+    sym: &'e ConfigSymmetry<'p, P::LocalState>,
+    real: Configuration<P::LocalState>,
+    quotient: Configuration<P::LocalState>,
+    sigma: PidPerm,
+    steps_taken: usize,
+}
+
+impl<'e, 'a, 'p, P: Protocol> Concretizer<'e, 'a, 'p, P> {
+    /// Starts a walk at the protocol's initial configuration.
+    #[must_use]
+    pub fn new(explorer: &'e Explorer<'a, P>, sym: &'e ConfigSymmetry<'p, P::LocalState>) -> Self {
+        let real = explorer.initial_config();
+        let (quotient, sigma) = sym.canonicalize_with_perm(&real);
+        Concretizer {
+            explorer,
+            sym,
+            real,
+            quotient,
+            sigma: sigma.to_vec(),
+            steps_taken: 0,
+        }
+    }
+
+    /// The current real configuration `R`.
+    #[must_use]
+    pub fn real(&self) -> &Configuration<P::LocalState> {
+        &self.real
+    }
+
+    /// The current canonical representative `Q = σ · R`.
+    #[must_use]
+    pub fn quotient(&self) -> &Configuration<P::LocalState> {
+        &self.quotient
+    }
+
+    /// Maps a quotient-side pid to the real process it denotes: `σ⁻¹(p)`.
+    #[must_use]
+    pub fn real_pid(&self, quotient_pid: Pid) -> Pid {
+        Pid(self
+            .sigma
+            .iter()
+            .position(|&v| v == quotient_pid.index())
+            .expect("sigma is a bijection on 0..n"))
+    }
+
+    /// Advances by one quotient step and returns the real `(pid, outcome)`
+    /// that realizes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors, and returns [`CheckError::WitnessDiverged`]
+    /// if no real outcome lands in the demanded orbit — which would mean the
+    /// protocol's [`Symmetry`] declaration violates the equivariance law.
+    pub fn advance(&mut self, pid: Pid, outcome: usize) -> Result<(Pid, usize), CheckError> {
+        let quot_succs = self.explorer.successors_of(&self.quotient, pid)?;
+        let quot_next = quot_succs
+            .get(outcome)
+            .ok_or_else(|| CheckError::WitnessDiverged {
+                step: self.steps_taken,
+                reason: format!(
+                    "quotient step p{} outcome {outcome} out of range ({} outcomes)",
+                    pid.index(),
+                    quot_succs.len()
+                ),
+            })?;
+        let target = self.sym.canonicalize(quot_next);
+
+        let real_pid = self.real_pid(pid);
+        let real_succs = self.explorer.successors_of(&self.real, real_pid)?;
+        let (j, real_next) = real_succs
+            .into_iter()
+            .enumerate()
+            .find(|(_, s)| self.sym.canonicalize(s) == target)
+            .ok_or_else(|| CheckError::WitnessDiverged {
+                step: self.steps_taken,
+                reason: format!(
+                    "no outcome of p{} reaches the demanded orbit: the protocol's \
+                     Symmetry declaration breaks equivariance",
+                    real_pid.index()
+                ),
+            })?;
+        self.real = real_next;
+        let (q, sigma) = self.sym.canonicalize_with_perm(&self.real);
+        self.quotient = q;
+        self.sigma = sigma.to_vec();
+        self.steps_taken += 1;
+        Ok((real_pid, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_core::{AnyObject, Op, Value};
+    use lbsa_runtime::process::Step;
+
+    /// A toy symmetric protocol: every process writes its (identical) input
+    /// to a shared register, reads it back, and decides what it read.
+    #[derive(Debug)]
+    struct WriteRead {
+        n: usize,
+        inputs: Vec<i64>,
+    }
+
+    impl Protocol for WriteRead {
+        type LocalState = u8; // 0 = about to write, 1 = about to read
+
+        fn num_processes(&self) -> usize {
+            self.n
+        }
+        fn init(&self, _pid: Pid) -> u8 {
+            0
+        }
+        fn pending_op(&self, pid: Pid, state: &u8) -> (ObjId, Op) {
+            match state {
+                0 => (ObjId(0), Op::Write(Value::Int(self.inputs[pid.index()]))),
+                _ => (ObjId(0), Op::Read),
+            }
+        }
+        fn on_response(&self, _pid: Pid, state: &u8, response: Value) -> Step<u8> {
+            match state {
+                0 => Step::Continue(1),
+                _ => Step::Decide(response),
+            }
+        }
+    }
+
+    impl Symmetry for WriteRead {
+        fn pid_classes(&self) -> Vec<u32> {
+            // Processes with equal inputs are interchangeable.
+            self.inputs
+                .iter()
+                .map(|&v| u32::try_from(v).unwrap())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn group_order_is_the_product_of_class_factorials() {
+        let p = WriteRead {
+            n: 4,
+            inputs: vec![0, 0, 0, 0],
+        };
+        let sym = ConfigSymmetry::of(&p);
+        assert_eq!(sym.group_order(), 24); // S_4
+        assert!(!sym.is_trivial());
+
+        let p = WriteRead {
+            n: 4,
+            inputs: vec![0, 1, 0, 1],
+        };
+        let sym = ConfigSymmetry::of(&p);
+        assert_eq!(sym.group_order(), 4); // S_2 × S_2
+
+        let p = WriteRead {
+            n: 3,
+            inputs: vec![0, 1, 2],
+        };
+        let sym = ConfigSymmetry::of(&p);
+        assert_eq!(sym.group_order(), 1);
+        assert!(sym.is_trivial());
+    }
+
+    #[test]
+    fn identity_is_always_first() {
+        for classes in [vec![0u32, 0, 0], vec![0, 1, 0, 1], vec![0, 0, 1, 0]] {
+            let perms = class_preserving_perms(&classes);
+            let n = classes.len();
+            assert_eq!(perms[0], (0..n).collect::<Vec<_>>());
+            // Every perm preserves classes and is a bijection.
+            for perm in &perms {
+                let mut seen = vec![false; n];
+                for (i, &v) in perm.iter().enumerate() {
+                    assert_eq!(classes[i], classes[v]);
+                    assert!(!seen[v]);
+                    seen[v] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_forms_agree_across_an_orbit() {
+        let p = WriteRead {
+            n: 3,
+            inputs: vec![0, 0, 0],
+        };
+        let objects = vec![AnyObject::register()];
+        let ex = Explorer::new(&p, &objects);
+        let sym = ConfigSymmetry::of(&p);
+        let c = ex.initial_config();
+        // Step p0 twice to break symmetry, then check that every permuted
+        // copy canonicalizes to the same representative.
+        let c = ex.step(&c, Pid(0), 0).unwrap().config;
+        let c = ex.step(&c, Pid(0), 0).unwrap().config;
+        let canon = sym.canonicalize(&c);
+        for perm in sym.perms() {
+            let moved = sym.apply(&c, perm);
+            assert_eq!(sym.canonicalize(&moved), canon);
+        }
+        // The canonical form is a member of its own orbit and idempotent.
+        assert_eq!(sym.canonicalize(&canon), canon);
+    }
+
+    #[test]
+    fn concretizer_realizes_quotient_schedules() {
+        let p = WriteRead {
+            n: 3,
+            inputs: vec![0, 0, 0],
+        };
+        let objects = vec![AnyObject::register()];
+        let ex = Explorer::new(&p, &objects);
+        let sym = ConfigSymmetry::of(&p);
+
+        // Drive the quotient to termination, always stepping its first
+        // enabled pid (canonicalization may relocate processes after every
+        // step, so a quotient schedule must be read off the quotient).
+        let mut walker = Concretizer::new(&ex, &sym);
+        let mut real = ex.initial_config();
+        while !walker.quotient().is_terminal() {
+            let qpid = walker.quotient().enabled_pids()[0];
+            let (rpid, routcome) = walker.advance(qpid, 0).unwrap();
+            real = ex.step(&real, rpid, routcome).unwrap().config;
+            // The walker's real configuration replays consistently.
+            assert_eq!(&real, walker.real());
+            // And its quotient is exactly the canonicalized real config.
+            assert_eq!(walker.quotient(), &sym.canonicalize(&real));
+        }
+        assert!(real.all_decided());
+    }
+}

@@ -9,6 +9,13 @@
 //! configurations* — bivalent configurations all of whose successors are
 //! univalent — which is where every FLP-style argument digs in (Claim 5.2.2
 //! in the paper).
+//!
+//! On a **symmetry-reduced** graph the analysis computes the valence of each
+//! *orbit*: decidable-value sets are unions over executions, and pid
+//! permutations map executions to executions while fixing every decided
+//! value, so a configuration and its canonical representative have the same
+//! closure. Counting is per orbit, not per raw configuration — a census over
+//! a reduced graph reports orbit counts.
 
 use crate::explore::{ExplorationGraph, Explorer};
 use lbsa_core::{ObjId, Pid, Value};

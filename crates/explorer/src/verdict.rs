@@ -21,6 +21,20 @@
 //!
 //! Verdicts and witnesses serialize to the `reports/*.json` schema via
 //! [`Verdict::to_json`] (see `lbsa_bench::harness`).
+//!
+//! # Symmetry-reduced checking
+//!
+//! For protocols implementing [`lbsa_runtime::process::Symmetry`], the
+//! `*_reduced` entry points ([`verdict_consensus_reduced`],
+//! [`verdict_k_set_agreement_reduced`], [`verdict_dac_reduced`],
+//! [`verdict_wait_free_reduced`]) explore the **quotient** graph (one
+//! canonical representative per orbit, see [`crate::symmetry`]) and run the
+//! same checkers on it — sound because every checked predicate is
+//! orbit-invariant. Counterexample schedules extracted from the quotient
+//! graph are **de-canonicalized** through a [`Concretizer`] into real
+//! executions before the witness is built, so [`Witness::replay`] and
+//! [`Witness::confirm`] work on the raw, unreduced system exactly as for
+//! unreduced verdicts.
 
 use crate::checker::{
     check_dac_graph, check_k_set_agreement_graph, solo_decides, solo_terminates, CheckStats,
@@ -30,10 +44,11 @@ use crate::config::Configuration;
 use crate::error::CheckError;
 use crate::explore::{Edge, ExplorationGraph, Explorer, Limits};
 use crate::linearizability::{check_linearizable, LinearizabilityError};
+use crate::symmetry::{Concretizer, ConfigSymmetry};
 use lbsa_core::{AnyObject, Pid, Value};
 use lbsa_runtime::derived::CompletedOp;
 use lbsa_runtime::error::RuntimeError;
-use lbsa_runtime::process::{ProcStatus, Protocol};
+use lbsa_runtime::process::{ProcStatus, Protocol, Symmetry};
 use lbsa_runtime::trace::{Trace, TraceEvent};
 use lbsa_support::json::Json;
 use std::collections::VecDeque;
@@ -520,16 +535,45 @@ pub fn verdict_k_set_agreement_graph<P: Protocol>(
             witness: None,
         },
         Err(violation) => {
-            let kind = match &violation {
-                Violation::Agreement { .. } => Some(WitnessKind::Agreement { k }),
-                Violation::Validity { .. } => Some(WitnessKind::Validity {
-                    valid: valid_inputs.to_vec(),
-                }),
-                Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
-                _ => None,
-            };
+            let kind = k_set_kind(&violation, k, valid_inputs);
             violation_verdict(explorer, graph, violation, stats, kind)
         }
+    }
+}
+
+/// The re-checkable [`WitnessKind`] of a k-set-agreement violation.
+fn k_set_kind(violation: &Violation, k: usize, valid_inputs: &[Value]) -> Option<WitnessKind> {
+    match violation {
+        Violation::Agreement { .. } => Some(WitnessKind::Agreement { k }),
+        Violation::Validity { .. } => Some(WitnessKind::Validity {
+            valid: valid_inputs.to_vec(),
+        }),
+        Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
+        _ => None,
+    }
+}
+
+/// The re-checkable [`WitnessKind`] of an n-DAC violation.
+fn dac_kind(
+    violation: &Violation,
+    instance: &DacInstance,
+    solo_bound: usize,
+) -> Option<WitnessKind> {
+    match violation {
+        Violation::Agreement { .. } => Some(WitnessKind::Agreement { k: 1 }),
+        Violation::Validity { .. } => Some(WitnessKind::DacValidity {
+            inputs: instance.inputs.clone(),
+        }),
+        Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
+        Violation::SoloNonTermination { pid, .. } => Some(WitnessKind::SoloNonTermination {
+            pid: *pid,
+            bound: solo_bound,
+            must_decide: *pid != instance.distinguished,
+        }),
+        Violation::Nontriviality { .. } => Some(WitnessKind::Nontriviality {
+            distinguished: instance.distinguished,
+        }),
+        _ => None,
     }
 }
 
@@ -554,24 +598,7 @@ pub fn verdict_dac<P: Protocol>(
             witness: None,
         },
         Err(violation) => {
-            let kind = match &violation {
-                Violation::Agreement { .. } => Some(WitnessKind::Agreement { k: 1 }),
-                Violation::Validity { .. } => Some(WitnessKind::DacValidity {
-                    inputs: instance.inputs.clone(),
-                }),
-                Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
-                Violation::SoloNonTermination { pid, .. } => {
-                    Some(WitnessKind::SoloNonTermination {
-                        pid: *pid,
-                        bound: solo_bound,
-                        must_decide: *pid != instance.distinguished,
-                    })
-                }
-                Violation::Nontriviality { .. } => Some(WitnessKind::Nontriviality {
-                    distinguished: instance.distinguished,
-                }),
-                _ => None,
-            };
+            let kind = dac_kind(&violation, instance, solo_bound);
             violation_verdict(explorer, &graph, violation, stats, kind)
         }
     }
@@ -602,6 +629,147 @@ pub fn verdict_wait_free<P: Protocol>(explorer: &Explorer<'_, P>, limits: Limits
         if !graph.configs[idx].all_decided() {
             return violation_verdict(
                 explorer,
+                &graph,
+                Violation::UndecidedTerminal { config: idx },
+                stats,
+                Some(WitnessKind::UndecidedTerminal),
+            );
+        }
+    }
+    Verdict {
+        outcome: Outcome::Holds,
+        stats,
+        witness: None,
+    }
+}
+
+/// [`verdict_consensus`] over the symmetry-reduced (quotient) graph: the
+/// exploration deduplicates on canonical orbit representatives, and any
+/// counterexample is de-canonicalized into a real execution before the
+/// witness is built.
+#[must_use]
+pub fn verdict_consensus_reduced<P>(
+    explorer: &Explorer<'_, P>,
+    valid_inputs: &[Value],
+    limits: Limits,
+) -> Verdict
+where
+    P: Symmetry,
+    P::LocalState: Ord,
+{
+    verdict_k_set_agreement_reduced(explorer, 1, valid_inputs, limits)
+}
+
+/// [`verdict_k_set_agreement`] over the symmetry-reduced (quotient) graph.
+///
+/// Sound because every checked predicate is orbit-invariant (see
+/// [`crate::symmetry`]); falls back to the unreduced check when the
+/// protocol's declared group is trivial.
+#[must_use]
+pub fn verdict_k_set_agreement_reduced<P>(
+    explorer: &Explorer<'_, P>,
+    k: usize,
+    valid_inputs: &[Value],
+    limits: Limits,
+) -> Verdict
+where
+    P: Symmetry,
+    P::LocalState: Ord,
+{
+    let sym = ConfigSymmetry::of(explorer.protocol());
+    if sym.is_trivial() {
+        return verdict_k_set_agreement(explorer, k, valid_inputs, limits);
+    }
+    let graph = match explorer.exploration().limits(limits).symmetric().run() {
+        Ok(g) => g,
+        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+    };
+    let stats = graph_stats(&graph);
+    match check_k_set_agreement_graph(&graph, k, valid_inputs) {
+        Ok(stats) => Verdict {
+            outcome: Outcome::Holds,
+            stats,
+            witness: None,
+        },
+        Err(violation) => {
+            let kind = k_set_kind(&violation, k, valid_inputs);
+            violation_verdict_reduced(explorer, &sym, &graph, violation, stats, kind)
+        }
+    }
+}
+
+/// [`verdict_dac`] over the symmetry-reduced (quotient) graph. The n-DAC
+/// pid-specific predicates (solo termination, Nontriviality of the
+/// distinguished process) stay sound because the [`Symmetry`] contract makes
+/// distinguished roles singleton classes, fixed by every group element.
+#[must_use]
+pub fn verdict_dac_reduced<P>(
+    explorer: &Explorer<'_, P>,
+    instance: &DacInstance,
+    limits: Limits,
+    solo_bound: usize,
+) -> Verdict
+where
+    P: Symmetry,
+    P::LocalState: Ord,
+{
+    let sym = ConfigSymmetry::of(explorer.protocol());
+    if sym.is_trivial() {
+        return verdict_dac(explorer, instance, limits, solo_bound);
+    }
+    let graph = match explorer.exploration().limits(limits).symmetric().run() {
+        Ok(g) => g,
+        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+    };
+    let stats = graph_stats(&graph);
+    match check_dac_graph(explorer, &graph, instance, solo_bound) {
+        Ok(stats) => Verdict {
+            outcome: Outcome::Holds,
+            stats,
+            witness: None,
+        },
+        Err(violation) => {
+            let kind = dac_kind(&violation, instance, solo_bound);
+            violation_verdict_reduced(explorer, &sym, &graph, violation, stats, kind)
+        }
+    }
+}
+
+/// [`verdict_wait_free`] over the symmetry-reduced (quotient) graph. A
+/// quotient cycle witnesses real non-termination: the concretized cycle is
+/// pumped until the real configuration repeats (at most `|G|` laps), and the
+/// victims are recomputed on the real cycle.
+#[must_use]
+pub fn verdict_wait_free_reduced<P>(explorer: &Explorer<'_, P>, limits: Limits) -> Verdict
+where
+    P: Symmetry,
+    P::LocalState: Ord,
+{
+    let sym = ConfigSymmetry::of(explorer.protocol());
+    if sym.is_trivial() {
+        return verdict_wait_free(explorer, limits);
+    }
+    let graph = match explorer.exploration().limits(limits).symmetric().run() {
+        Ok(g) => g,
+        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+    };
+    let stats = graph_stats(&graph);
+    if !graph.complete {
+        return Verdict {
+            outcome: Outcome::Truncated,
+            stats,
+            witness: None,
+        };
+    }
+    if let Some(w) = crate::adversary::find_nontermination(&graph) {
+        let violation = Violation::NonTermination(w);
+        return violation_verdict_reduced(explorer, &sym, &graph, violation, stats, None);
+    }
+    for idx in graph.terminal_indices() {
+        if !graph.configs[idx].all_decided() {
+            return violation_verdict_reduced(
+                explorer,
+                &sym,
                 &graph,
                 Violation::UndecidedTerminal { config: idx },
                 stats,
@@ -679,6 +847,179 @@ fn violation_verdict<P: Protocol>(
     }
 }
 
+/// [`violation_verdict`] for a quotient graph: the same dispatch, but every
+/// witness builder routes its quotient schedule through a [`Concretizer`]
+/// so the emitted witness replays on the raw system.
+fn violation_verdict_reduced<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    sym: &ConfigSymmetry<'_, P::LocalState>,
+    graph: &ExplorationGraph<P::LocalState>,
+    violation: Violation,
+    stats: CheckStats,
+    kind: Option<WitnessKind>,
+) -> Verdict {
+    if matches!(violation, Violation::Truncated) {
+        return Verdict {
+            outcome: Outcome::Truncated,
+            stats,
+            witness: None,
+        };
+    }
+    if let Violation::Runtime(e) = violation {
+        return Verdict::error(stats, e.into());
+    }
+    let witness = match &violation {
+        Violation::NonTermination(w) => nontermination_witness_reduced(explorer, sym, graph, w),
+        Violation::Agreement { config, .. }
+        | Violation::Validity { config, .. }
+        | Violation::UndecidedTerminal { config }
+        | Violation::SoloNonTermination { config, .. } => {
+            kind.and_then(|kind| state_witness_reduced(explorer, sym, graph, *config, kind))
+        }
+        Violation::Nontriviality { config } => kind.and_then(|kind| {
+            let schedule = nontriviality_schedule(graph, *config, &kind)?;
+            let (real, _) = concretize_schedule(explorer, sym, &schedule)?;
+            finish_witness(explorer, real, Vec::new(), kind)
+        }),
+        _ => None,
+    };
+    Verdict {
+        outcome: Outcome::Violated(violation),
+        stats,
+        witness,
+    }
+}
+
+/// De-canonicalizes a quotient schedule into a real one, returning the
+/// walker so callers can read the final `σ` (pid translation) off it.
+fn concretize_schedule<'e, 'a, 'p, P: Protocol>(
+    explorer: &'e Explorer<'a, P>,
+    sym: &'e ConfigSymmetry<'p, P::LocalState>,
+    steps: &[ScheduleStep],
+) -> Option<(Vec<ScheduleStep>, Concretizer<'e, 'a, 'p, P>)> {
+    let mut walker = Concretizer::new(explorer, sym);
+    let mut real = Vec::with_capacity(steps.len());
+    for s in steps {
+        let (pid, outcome) = walker.advance(s.pid, s.outcome).ok()?;
+        real.push(ScheduleStep { pid, outcome });
+    }
+    Some((real, walker))
+}
+
+/// [`state_witness`] for a quotient graph: the BFS-shortest quotient path is
+/// concretized into a real schedule, pid-naming kinds are translated through
+/// the final `σ`, and the result is delta-minimized on the raw system.
+fn state_witness_reduced<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    sym: &ConfigSymmetry<'_, P::LocalState>,
+    graph: &ExplorationGraph<P::LocalState>,
+    target: usize,
+    kind: WitnessKind,
+) -> Option<Witness> {
+    let path = graph.path_to(target)?;
+    let quotient: Vec<ScheduleStep> = path.into_iter().map(ScheduleStep::from).collect();
+    let (schedule, walker) = concretize_schedule(explorer, sym, &quotient)?;
+    // A solo-run kind names a pid of the quotient configuration; the real
+    // process it denotes is σ⁻¹(pid) at the end of the path.
+    let kind = match kind {
+        WitnessKind::SoloNonTermination {
+            pid,
+            bound,
+            must_decide,
+        } => WitnessKind::SoloNonTermination {
+            pid: walker.real_pid(pid),
+            bound,
+            must_decide,
+        },
+        k => k,
+    };
+    finish_witness(explorer, schedule, Vec::new(), kind)
+}
+
+/// [`nontermination_witness`] for a quotient graph. A quotient cycle need
+/// not close as a *real* cycle after one lap — concretizing it returns to
+/// the same orbit, not necessarily the same configuration. So the lap is
+/// pumped: successive laps walk the (finite) orbit of the entry
+/// configuration, and by pigeonhole a real configuration repeats within
+/// `|G| + 1` laps. Laps before the repeat join the prefix; the laps between
+/// the two occurrences form the real cycle. Victims are recomputed as the
+/// distinct pids stepping on the real cycle — sound because decisions are
+/// absorbing, so a process that steps on a closed cycle can never have
+/// decided anywhere on it.
+fn nontermination_witness_reduced<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    sym: &ConfigSymmetry<'_, P::LocalState>,
+    graph: &ExplorationGraph<P::LocalState>,
+    w: &crate::adversary::NonTerminationWitness,
+) -> Option<Witness> {
+    // Locate the cycle entry and the shortest prefix to it, as in the raw
+    // builder — all on the quotient graph.
+    let mut entry = 0usize;
+    for e in &w.prefix {
+        entry = graph.edges[entry]
+            .iter()
+            .find(|g| g.pid == e.pid && g.outcome == e.outcome)?
+            .target;
+    }
+    let shortest = graph.path_to(entry)?;
+    let prefix = if shortest.len() <= w.prefix.len() {
+        shortest
+    } else {
+        w.prefix.clone()
+    };
+    let quotient_prefix: Vec<ScheduleStep> = prefix.into_iter().map(ScheduleStep::from).collect();
+    let quotient_cycle: Vec<ScheduleStep> =
+        w.cycle.iter().copied().map(ScheduleStep::from).collect();
+    if quotient_cycle.is_empty() {
+        return None;
+    }
+
+    let (mut schedule, mut walker) = concretize_schedule(explorer, sym, &quotient_prefix)?;
+    let mut laps: Vec<Vec<ScheduleStep>> = Vec::new();
+    let mut seen: Vec<Configuration<P::LocalState>> = vec![walker.real().clone()];
+    let mut repeat = None;
+    for _ in 0..=sym.group_order() {
+        let mut lap = Vec::with_capacity(quotient_cycle.len());
+        for s in &quotient_cycle {
+            let (pid, outcome) = walker.advance(s.pid, s.outcome).ok()?;
+            lap.push(ScheduleStep { pid, outcome });
+        }
+        laps.push(lap);
+        let reached = walker.real().clone();
+        if let Some(i) = seen.iter().position(|c| *c == reached) {
+            repeat = Some(i);
+            break;
+        }
+        seen.push(reached);
+    }
+    let start = repeat?;
+    for lap in &laps[..start] {
+        schedule.extend_from_slice(lap);
+    }
+    let cycle: Vec<ScheduleStep> = laps[start..].iter().flatten().copied().collect();
+    let mut victims: Vec<Pid> = Vec::new();
+    for s in &cycle {
+        if !victims.contains(&s.pid) {
+            victims.push(s.pid);
+        }
+    }
+    victims.sort_by_key(|p| p.index());
+    let kind = WitnessKind::NonTermination { victims };
+    // Replay prefix + one full real cycle for the trace.
+    let mut config = explorer.initial_config();
+    let mut trace = Trace::new();
+    for (i, step) in schedule.iter().chain(cycle.iter()).enumerate() {
+        config = replay_one(explorer, config, *step, i, &mut trace).ok()?;
+    }
+    Some(Witness {
+        schedule,
+        cycle,
+        kind,
+        trace,
+        minimized: true,
+    })
+}
+
 /// Builds a witness for a violation visible at configuration `target`:
 /// BFS-shortest path, then delta-minimized to the shortest failing prefix
 /// by replaying and re-evaluating the predicate at every intermediate
@@ -704,12 +1045,22 @@ fn nontriviality_witness<P: Protocol>(
     target: usize,
     kind: WitnessKind,
 ) -> Option<Witness> {
-    let WitnessKind::Nontriviality { distinguished } = &kind else {
+    let schedule = nontriviality_schedule(graph, target, &kind)?;
+    finish_witness(explorer, schedule, Vec::new(), kind)
+}
+
+/// The `p`-solo schedule behind a Nontriviality witness: BFS restricted to
+/// `p`'s edges — the flagged configuration is reachable this way by
+/// construction of the (config, others-stepped) product BFS in the checker.
+fn nontriviality_schedule<L: Clone + Eq + std::hash::Hash + std::fmt::Debug>(
+    graph: &ExplorationGraph<L>,
+    target: usize,
+    kind: &WitnessKind,
+) -> Option<Vec<ScheduleStep>> {
+    let WitnessKind::Nontriviality { distinguished } = kind else {
         return None;
     };
     let p = *distinguished;
-    // BFS restricted to p's edges; the flagged configuration is reachable
-    // this way by construction of the (config, others-stepped) product BFS.
     let mut pred: Vec<Option<(usize, Edge)>> = vec![None; graph.configs.len()];
     let mut seen = vec![false; graph.configs.len()];
     let mut queue = VecDeque::from([0usize]);
@@ -737,7 +1088,7 @@ fn nontriviality_witness<P: Protocol>(
         cur = prev;
     }
     schedule.reverse();
-    finish_witness(explorer, schedule, Vec::new(), kind)
+    Some(schedule)
 }
 
 /// Builds a non-termination witness: the DFS prefix is re-routed through
@@ -867,6 +1218,26 @@ mod tests {
         vec![AnyObject::register()]
     }
 
+    /// Pid classes grouping processes with equal inputs.
+    fn input_classes(inputs: &[Value]) -> Vec<u32> {
+        inputs
+            .iter()
+            .map(|v| u32::try_from(inputs.iter().position(|w| w == v).unwrap()).unwrap())
+            .collect()
+    }
+
+    impl Symmetry for GoodConsensus {
+        fn pid_classes(&self) -> Vec<u32> {
+            input_classes(&self.inputs)
+        }
+    }
+
+    impl Symmetry for DecideOwn {
+        fn pid_classes(&self) -> Vec<u32> {
+            input_classes(&self.inputs)
+        }
+    }
+
     #[test]
     fn holding_verdict_has_no_witness() {
         let p = GoodConsensus {
@@ -972,6 +1343,84 @@ mod tests {
         assert!(matches!(w.kind, WitnessKind::NonTermination { .. }));
         assert!(!w.cycle.is_empty());
         w.confirm(&ex).expect("cycle witness must confirm");
+    }
+
+    #[test]
+    fn reduced_agreement_witness_confirms_on_the_raw_system() {
+        let p = DecideOwn {
+            inputs: vec![int(0), int(0), int(1), int(1)],
+        };
+        let objects = reg();
+        let ex = Explorer::new(&p, &objects);
+        let raw = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+        let reduced = verdict_consensus_reduced(&ex, &[int(0), int(1)], Limits::default());
+        assert!(raw.is_violated(), "{raw}");
+        assert!(reduced.is_violated(), "{reduced}");
+        assert!(
+            reduced.stats.configs < raw.stats.configs,
+            "reduction must shrink the checked graph: {} !< {}",
+            reduced.stats.configs,
+            raw.stats.configs
+        );
+        let w = reduced.witness.expect("reduced violations carry a witness");
+        assert_eq!(w.kind, WitnessKind::Agreement { k: 1 });
+        // The de-canonicalized schedule replays on the *raw* system.
+        w.confirm(&ex)
+            .expect("de-canonicalized witness must confirm");
+    }
+
+    #[test]
+    fn reduced_verdicts_agree_when_the_property_holds() {
+        let p = GoodConsensus {
+            inputs: vec![int(0), int(0), int(0)],
+        };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let raw = verdict_consensus(&ex, &[int(0)], Limits::default());
+        let reduced = verdict_consensus_reduced(&ex, &[int(0)], Limits::default());
+        assert!(raw.holds(), "{raw}");
+        assert!(reduced.holds(), "{reduced}");
+        assert!(reduced.stats.configs < raw.stats.configs);
+    }
+
+    #[test]
+    fn reduced_wait_free_verdict_pumps_a_real_cycle() {
+        /// Two interchangeable processes spinning forever on a register.
+        #[derive(Debug)]
+        struct SpinAll {
+            n: usize,
+        }
+        impl Protocol for SpinAll {
+            type LocalState = ();
+            fn num_processes(&self) -> usize {
+                self.n
+            }
+            fn init(&self, _pid: Pid) {}
+            fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+                (ObjId(0), Op::Read)
+            }
+            fn on_response(&self, _pid: Pid, _s: &(), _r: Value) -> Step<()> {
+                Step::Continue(())
+            }
+        }
+        impl Symmetry for SpinAll {
+            fn pid_classes(&self) -> Vec<u32> {
+                vec![0; self.n]
+            }
+        }
+        let p = SpinAll { n: 2 };
+        let objects = reg();
+        let ex = Explorer::new(&p, &objects);
+        let v = verdict_wait_free_reduced(&ex, Limits::default());
+        assert!(v.is_violated(), "{v}");
+        let w = v.witness.expect("cycle witness");
+        let WitnessKind::NonTermination { victims } = &w.kind else {
+            panic!("wrong kind: {:?}", w.kind);
+        };
+        assert!(!victims.is_empty());
+        assert!(!w.cycle.is_empty());
+        w.confirm(&ex)
+            .expect("pumped cycle witness must confirm on the raw system");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! every execution.
 
 use lbsa_core::{ObjId, Op, Pid, Value};
-use lbsa_runtime::process::{Protocol, Step};
+use lbsa_runtime::process::{classes_by_input, Protocol, Step, Symmetry};
 
 /// Which propose operation carries the value to the shared object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +104,15 @@ impl Protocol for ConsensusViaObject {
     }
 }
 
+/// Processes with equal inputs are interchangeable: the op each process
+/// performs mentions only its input value, and every object state this
+/// protocol touches (consensus, (n,m)-PAC, power) is pid-free.
+impl Symmetry for ConsensusViaObject {
+    fn pid_classes(&self) -> Vec<u32> {
+        classes_by_input(&self.inputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +123,24 @@ mod tests {
 
     fn binary_inputs(n: usize) -> Vec<Vec<Value>> {
         crate::dac::all_binary_inputs(n)
+    }
+
+    #[test]
+    fn symmetry_reduction_preserves_consensus_verdicts() {
+        use lbsa_explorer::verdict::{verdict_consensus, verdict_consensus_reduced};
+        for inputs in binary_inputs(3) {
+            let p = ConsensusViaObject::new(inputs.clone(), ObjId(0));
+            let objects = vec![AnyObject::consensus(3).unwrap()];
+            let ex = Explorer::new(&p, &objects);
+            let raw = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+            let reduced = verdict_consensus_reduced(&ex, &[int(0), int(1)], Limits::default());
+            assert_eq!(
+                raw.outcome.tag(),
+                reduced.outcome.tag(),
+                "verdicts diverge on {inputs:?}"
+            );
+            assert!(reduced.stats.configs <= raw.stats.configs);
+        }
     }
 
     #[test]

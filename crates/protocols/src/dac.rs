@@ -11,12 +11,13 @@
 //! object `D` and aborts on `⊥`; every other process retries its pair until
 //! its decide returns a non-`⊥` value. Theorem 4.1: this solves n-DAC.
 
-use lbsa_core::{Label, ObjId, Op, Pid, Value};
+use lbsa_core::pac::PacState;
+use lbsa_core::{AnyState, Label, ObjId, Op, Pid, Value};
 use lbsa_explorer::checker::DacInstance;
-use lbsa_runtime::process::{Protocol, Step};
+use lbsa_runtime::process::{classes_by_input, Protocol, Step, Symmetry};
 
 /// Local state of a process running Algorithm 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DacPhase {
     /// About to perform `PROPOSE(v, label)` (line 1 / line 7).
     Proposing,
@@ -151,6 +152,46 @@ impl Protocol for DacFromPac {
                     Step::Continue(DacPhase::Proposing)
                 }
             }
+        }
+    }
+}
+
+/// Non-distinguished processes with equal inputs are interchangeable: they
+/// run identical retry loops, differing only in the PAC port they drive. The
+/// distinguished process is alone in its class, as the [`Symmetry`] contract
+/// requires for a role that pid-specific predicates (Nontriviality, solo
+/// Termination (a)) name explicitly.
+impl Symmetry for DacFromPac {
+    fn pid_classes(&self) -> Vec<u32> {
+        let mut classes = classes_by_input(&self.inputs);
+        // Force the distinguished process into a singleton class: no other
+        // pid can carry the class label `n` (labels from `classes_by_input`
+        // are positions, all `< n`).
+        let n = u32::try_from(self.inputs.len()).expect("process count fits in u32");
+        classes[self.distinguished.index()] = n;
+        classes
+    }
+
+    fn permute_object_state(&self, obj: ObjId, state: &AnyState, perm: &[usize]) -> AnyState {
+        // Pid `i` drives port `i + 1` of the PAC object (see
+        // `DacFromPac::label`), so `V` is pid-indexed and `L` names a pid:
+        // both permute along with the processes.
+        match state {
+            AnyState::Pac(s) if obj == self.pac => {
+                // Ports beyond the process count (over-provisioned arity)
+                // are driven by no process and stay where they are.
+                let mut v = s.v.clone();
+                for (i, &val) in s.v.iter().enumerate().take(perm.len()) {
+                    v[perm[i]] = val;
+                }
+                AnyState::Pac(PacState {
+                    upset: s.upset,
+                    v,
+                    l: s.l.map(|i| if i < perm.len() { perm[i] } else { i }),
+                    val: s.val,
+                })
+            }
+            other => other.clone(),
         }
     }
 }
@@ -325,6 +366,45 @@ mod tests {
         assert!(
             matches!(err, Violation::SoloNonTermination { pid: Pid(0), .. }),
             "expected a solo-termination complaint about Pid(0), got {err}"
+        );
+    }
+
+    #[test]
+    fn symmetry_reduction_preserves_dac_verdicts() {
+        use lbsa_explorer::verdict::{verdict_dac, verdict_dac_reduced};
+        // Every binary input vector for n = 3: the reduced check must reach
+        // the same conclusion as the raw one (and never examine more).
+        for inputs in all_binary_inputs(3) {
+            let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).unwrap();
+            let objects = pac_objects(3);
+            let ex = Explorer::new(&p, &objects);
+            let raw = verdict_dac(&ex, &p.instance(), Limits::default(), 10);
+            let reduced = verdict_dac_reduced(&ex, &p.instance(), Limits::default(), 10);
+            assert_eq!(
+                raw.outcome.tag(),
+                reduced.outcome.tag(),
+                "verdicts diverge on {:?}: raw {raw}, reduced {reduced}",
+                p.inputs()
+            );
+            assert!(reduced.stats.configs <= raw.stats.configs);
+        }
+    }
+
+    #[test]
+    fn symmetric_instance_explores_far_fewer_configs() {
+        // All non-distinguished processes share input 0, so the group is
+        // S_3 (order 6) and the orbit graph should be several times smaller.
+        let p = DacFromPac::new(vec![int(1), int(0), int(0), int(0)], Pid(0), ObjId(0)).unwrap();
+        let objects = pac_objects(4);
+        let ex = Explorer::new(&p, &objects);
+        let raw = ex.exploration().run().unwrap();
+        let reduced = ex.exploration().symmetric().run().unwrap();
+        assert!(reduced.stats.reduced);
+        assert!(
+            reduced.configs.len() * 2 < raw.configs.len(),
+            "expected a substantial reduction: {} orbits vs {} configs",
+            reduced.configs.len(),
+            raw.configs.len()
         );
     }
 

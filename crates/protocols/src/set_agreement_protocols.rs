@@ -18,7 +18,7 @@
 //!   by construction.
 
 use lbsa_core::{ObjId, Op, Pid, Value};
-use lbsa_runtime::process::{Protocol, Step};
+use lbsa_runtime::process::{classes_by_input, Protocol, Step, Symmetry};
 
 /// k-set agreement (any `k >= 2`) among any number of processes via one
 /// strong 2-SA object: propose, decide the response.
@@ -51,6 +51,14 @@ impl Protocol for KSetViaStrongSa {
 
     fn on_response(&self, _pid: Pid, _state: &(), response: Value) -> Step<()> {
         Step::Decide(response)
+    }
+}
+
+/// Processes with equal inputs are interchangeable: the strong 2-SA state
+/// holds only captured values, never pids.
+impl Symmetry for KSetViaStrongSa {
+    fn pid_classes(&self) -> Vec<u32> {
+        classes_by_input(&self.inputs)
     }
 }
 
@@ -140,6 +148,28 @@ impl Protocol for GroupSplitKSet {
     }
 }
 
+/// Processes in the *same group* with equal inputs are interchangeable
+/// (swapping across groups would have to permute the per-group objects,
+/// which the pid action cannot express). Per-group consensus/PAC-face
+/// states are pid-free.
+impl Symmetry for GroupSplitKSet {
+    fn pid_classes(&self) -> Vec<u32> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let first = self
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .position(|(j, w)| j / self.group_size == i / self.group_size && w == v)
+                    .expect("i matches itself");
+                u32::try_from(first).expect("process count fits in u32")
+            })
+            .collect()
+    }
+}
+
 /// k-set agreement via level `k` of a power object: propose at level `k`,
 /// decide the response.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -173,6 +203,14 @@ impl Protocol for KSetViaPowerLevel {
 
     fn on_response(&self, _pid: Pid, _state: &(), response: Value) -> Step<()> {
         Step::Decide(response)
+    }
+}
+
+/// Processes with equal inputs are interchangeable: the power object's
+/// component SA states hold values and port counts, never pids.
+impl Symmetry for KSetViaPowerLevel {
+    fn pid_classes(&self) -> Vec<u32> {
+        classes_by_input(&self.inputs)
     }
 }
 
@@ -273,6 +311,29 @@ mod tests {
         let objects = vec![AnyObject::o_prime_n(2, 2).unwrap()];
         let ex = Explorer::new(&p, &objects);
         assert!(check_k_set_agreement(&ex, 2, &inputs, Limits::default()).is_err());
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_equal_input_sa_graphs() {
+        use lbsa_explorer::verdict::{verdict_k_set_agreement, verdict_k_set_agreement_reduced};
+        let inputs = vec![int(7); 4];
+        let p = KSetViaStrongSa::new(inputs.clone(), ObjId(0));
+        let objects = vec![AnyObject::strong_sa()];
+        let ex = Explorer::new(&p, &objects);
+        let raw = ex.exploration().run().unwrap();
+        let reduced = ex.exploration().symmetric().run().unwrap();
+        assert!(reduced.configs.len() < raw.configs.len());
+        let vr = verdict_k_set_agreement(&ex, 2, &inputs, Limits::default());
+        let vq = verdict_k_set_agreement_reduced(&ex, 2, &inputs, Limits::default());
+        assert_eq!(vr.outcome.tag(), vq.outcome.tag());
+    }
+
+    #[test]
+    fn group_split_classes_respect_group_boundaries() {
+        // Equal inputs everywhere, two groups of two: pids are
+        // interchangeable within a group only (they share an object).
+        let p = GroupSplitKSet::new(vec![int(0); 4], 2).unwrap();
+        assert_eq!(p.pid_classes(), vec![0, 0, 2, 2]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Protocols: deterministic per-process step machines, and process statuses.
 
-use lbsa_core::{ObjId, Pid, Value};
+use lbsa_core::{AnyState, ObjId, Pid, Value};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -21,7 +21,12 @@ pub enum Step<S> {
 }
 
 /// The status of a process inside a running system.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive gives statuses (and through them whole configurations)
+/// a total *content* order, which is what symmetry reduction minimizes over
+/// when picking a canonical orbit representative — interned ids cannot be
+/// used for that, because interning order varies run to run.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProcStatus<S> {
     /// The process is running and its next step is determined by its local
     /// state.
@@ -108,6 +113,92 @@ pub trait Protocol: Debug + Sync {
 }
 
 use lbsa_core::Op;
+
+/// Opt-in declaration that a protocol is **symmetric under process-id
+/// permutation** — the hook the explorer's symmetry reduction keys off.
+///
+/// A protocol implements this trait to declare which processes are
+/// *interchangeable*: [`Symmetry::pid_classes`] partitions the pids into
+/// classes, and any permutation `π` that maps each class onto itself must
+/// satisfy the **equivariance law**
+///
+/// ```text
+/// step(π · C, π(p), o)  ≃  π · step(C, p, o)
+/// ```
+///
+/// where `π · C` permutes a configuration by relocating process `i`'s
+/// status to slot `π(i)` (mapping its local state through
+/// [`Symmetry::permute_local`]) and rewriting every object state through
+/// [`Symmetry::permute_object_state`] — i.e. permuting the processes of an
+/// execution yields another execution of the same protocol, step for step.
+/// `≃` is equality up to the order in which a nondeterministic object lists
+/// its outcomes; the explorer's witness de-canonicalization matches
+/// successors by configuration content, never by outcome index, precisely
+/// so that sorted-set object states (whose outcome order is not equivariant)
+/// stay admissible.
+///
+/// In practice the law holds when processes in one class run identical code
+/// with identical inputs and any pid-derived identity they write into an
+/// object (a label, a port) is permuted consistently by
+/// `permute_object_state`. Distinguished roles — e.g. the n-DAC process
+/// allowed to abort — must be singleton classes, which also keeps every
+/// checker predicate that names a specific pid orbit-invariant.
+///
+/// Two symmetry axes exist in the paper's protocols: pid symmetry (this
+/// trait's permutations) and value symmetry (renaming input values).
+/// [`Symmetry::value_symmetric`] declares the latter; the current
+/// canonicalization exploits pid symmetry only, so the flag is advisory
+/// until a value-canonicalization pass lands.
+pub trait Symmetry: Protocol {
+    /// Partition of the pids into interchangeability classes: processes `i`
+    /// and `j` may be swapped iff `pid_classes()[i] == pid_classes()[j]`.
+    /// Must return exactly [`Protocol::num_processes`] entries. Returning
+    /// pairwise-distinct classes declares the trivial group (no reduction).
+    fn pid_classes(&self) -> Vec<u32>;
+
+    /// Applies pid permutation `perm` (`perm[i]` is the new pid of process
+    /// `i`) to a local state. The default is the identity — correct whenever
+    /// local states never mention pids, which is the common case.
+    fn permute_local(&self, state: &Self::LocalState, perm: &[usize]) -> Self::LocalState {
+        let _ = perm;
+        state.clone()
+    }
+
+    /// Applies pid permutation `perm` to the state of object `obj`. The
+    /// default is the identity — correct whenever object states carry no
+    /// pid-derived structure (registers, consensus, 2-SA). Objects indexed
+    /// by per-process labels (n-PAC) must permute that structure here.
+    fn permute_object_state(&self, obj: ObjId, state: &AnyState, perm: &[usize]) -> AnyState {
+        let _ = (obj, perm);
+        state.clone()
+    }
+
+    /// Declares that the protocol is additionally symmetric under renaming
+    /// of input values. Advisory: the explorer does not yet canonicalize
+    /// over value permutations.
+    fn value_symmetric(&self) -> bool {
+        false
+    }
+}
+
+/// Pid classes grouping processes with equal entries of `inputs` — the
+/// common [`Symmetry::pid_classes`] answer for input-parameterized protocols
+/// whose per-process behaviour depends only on the input value (each class
+/// is labelled by the first position carrying that input).
+///
+/// # Panics
+///
+/// Panics if more than `u32::MAX` processes are given.
+#[must_use]
+pub fn classes_by_input<T: PartialEq>(inputs: &[T]) -> Vec<u32> {
+    inputs
+        .iter()
+        .map(|v| {
+            let first = inputs.iter().position(|w| w == v).expect("v is in inputs");
+            u32::try_from(first).expect("process count fits in u32")
+        })
+        .collect()
+}
 
 #[cfg(test)]
 mod tests {

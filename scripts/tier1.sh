@@ -24,4 +24,17 @@ cargo run --release -q -p lbsa-bench --bin exp_t2_dac -- \
 cargo run --release -q -p lbsa-bench --bin exp_report -- \
   --validate "$smoke_dir/exp_t2_dac.json"
 
+echo "==> perf smoke (explore_scaling -> BENCH_explore.json gates)"
+# Regenerate BENCH_explore.json from a fresh bench run and gate it against
+# the committed copy (engine-vs-seed speedup floors, parallel-speedup
+# regression, symmetry-reduction ratio). The committed file is restored
+# afterwards — regenerating the tracked copy is a deliberate, separate act
+# (see ci.yml, which uploads the fresh file as an artifact instead).
+cp BENCH_explore.json "$smoke_dir/BENCH_committed.json"
+restore_bench() { cp "$smoke_dir/BENCH_committed.json" BENCH_explore.json; rm -rf "$smoke_dir"; }
+trap 'restore_bench' EXIT
+cargo bench -q -p lbsa-bench --bench explore_scaling >/dev/null
+cargo run --release -q -p lbsa-bench --bin perf_smoke -- \
+  "$smoke_dir/BENCH_committed.json" BENCH_explore.json
+
 echo "tier-1: OK"
