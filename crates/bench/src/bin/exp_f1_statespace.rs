@@ -25,6 +25,22 @@ use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
 
+fn record_metrics<L>(
+    exp: &mut lbsa_bench::harness::Experiment,
+    workload: &str,
+    n: usize,
+    g: &ExplorationGraph<L>,
+) where
+    L: Clone + Eq + std::hash::Hash + std::fmt::Debug,
+{
+    exp.metric(&format!("{workload}.n{n}.configs"), g.configs.len());
+    exp.metric(&format!("{workload}.n{n}.transitions"), g.transitions);
+    exp.metric(
+        &format!("{workload}.n{n}.elapsed_us"),
+        g.stats.elapsed.as_micros() as u64,
+    );
+}
+
 fn stats_row<L>(workload: &str, n: usize, g: &ExplorationGraph<L>) -> Vec<String>
 where
     L: Clone + Eq + std::hash::Hash + std::fmt::Debug,
@@ -77,10 +93,12 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let p = ConsensusViaObject::new(inputs, ObjId(0));
         let objects = vec![AnyObject::consensus(n).expect("valid")];
         let g = Explorer::new(&p, &objects)
+            .with_trace(exp.tracer())
             .exploration()
             .limits(limits)
             .run()
             .expect("explorable");
+        record_metrics(exp, "consensus_race", n, &g);
         table.row(stats_row("consensus race", n, &g));
     }
 
@@ -89,10 +107,12 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
         let objects = vec![AnyObject::pac(n).expect("valid")];
         let g = Explorer::new(&p, &objects)
+            .with_trace(exp.tracer())
             .exploration()
             .limits(limits)
             .run()
             .expect("explorable");
+        record_metrics(exp, "dac", n, &g);
         table.row(stats_row("Algorithm 2 (n-DAC)", n, &g));
     }
 
@@ -101,10 +121,12 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let p = KSetViaStrongSa::new(inputs, ObjId(0));
         let objects = vec![AnyObject::strong_sa()];
         let g = Explorer::new(&p, &objects)
+            .with_trace(exp.tracer())
             .exploration()
             .limits(limits)
             .run()
             .expect("explorable");
+        record_metrics(exp, "sa_race", n, &g);
         table.row(stats_row("2-SA race (nondet branching)", n, &g));
     }
 
@@ -128,7 +150,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let inputs = mixed_binary_inputs(n);
         let p = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
         let objects = vec![AnyObject::pac(n).expect("valid")];
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let raw = ex.exploration().limits(limits).run().expect("explorable");
         let reduced = ex
             .exploration()

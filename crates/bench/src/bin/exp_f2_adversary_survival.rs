@@ -15,14 +15,21 @@ use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId};
 use lbsa_explorer::adversary::{bivalent_survival, find_nontermination};
 use lbsa_explorer::valency::ValencyAnalysis;
-use lbsa_explorer::Explorer;
+use lbsa_explorer::{Explorer, Tracer};
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::candidates::{SaThenConsensus, WaitForWinner};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_runtime::process::Protocol;
 
-fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: &mut Table) {
+fn analyze<P: Protocol>(
+    name: &str,
+    protocol: &P,
+    objects: &[AnyObject],
+    tracer: Tracer,
+    table: &mut Table,
+) {
     let g = Explorer::new(protocol, objects)
+        .with_trace(tracer)
         .exploration()
         .max_configs(5_000_000)
         .run()
@@ -77,11 +84,23 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
     // Solvable: consensus race on a real consensus object.
     let p = ConsensusViaObject::new(mixed_binary_inputs(2), ObjId(0));
     let objects = vec![AnyObject::consensus(2).expect("valid")];
-    analyze("2-consensus race (solvable)", &p, &objects, &mut table);
+    analyze(
+        "2-consensus race (solvable)",
+        &p,
+        &objects,
+        exp.tracer(),
+        &mut table,
+    );
 
     let p = ConsensusViaObject::new(mixed_binary_inputs(3), ObjId(0));
     let objects = vec![AnyObject::consensus(3).expect("valid")];
-    analyze("3-consensus race (solvable)", &p, &objects, &mut table);
+    analyze(
+        "3-consensus race (solvable)",
+        &p,
+        &objects,
+        exp.tracer(),
+        &mut table,
+    );
 
     // Doomed: wait-for-winner with one process too many.
     let p = WaitForWinner::new(mixed_binary_inputs(3));
@@ -93,6 +112,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         "wait-for-winner, 3 procs (doomed)",
         &p,
         &objects,
+        exp.tracer(),
         &mut table,
     );
 
@@ -102,7 +122,13 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         AnyObject::strong_sa(),
         AnyObject::consensus(2).expect("valid"),
     ];
-    analyze("2-SA narrow + tie-break (doomed)", &p, &objects, &mut table);
+    analyze(
+        "2-SA narrow + tie-break (doomed)",
+        &p,
+        &objects,
+        exp.tracer(),
+        &mut table,
+    );
 
     exp.table(table);
     exp.note("Reading: solvable targets leave the adversary stuck at a critical");

@@ -151,6 +151,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let inner = PacPairs;
     let native_objects = vec![AnyObject::pac(2).expect("valid")];
     let native_g = Explorer::new(&inner, &native_objects)
+        .with_trace(exp.tracer())
         .exploration()
         .run()
         .expect("explorable");
@@ -164,6 +165,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
     let derived = DerivedProtocol::new(&inner, &uni, vec![uni.frontend(0)]);
     let objects = uni.base_objects().expect("valid");
     let sim_g = Explorer::new(&derived, &objects)
+        .with_trace(exp.tracer())
         .exploration()
         .run()
         .expect("explorable");
@@ -172,6 +174,8 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         .map(|t| sim_g.configs[t].decisions())
         .collect();
 
+    exp.metric("universal.native.configs", native_g.configs.len());
+    exp.metric("universal.simulated.configs", sim_g.configs.len());
     exp.note(format!(
         "Simulated 2-PAC terminal outcomes == native: {}",
         native == simulated

@@ -15,7 +15,7 @@ use lbsa_bench::harness::run_experiment;
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
 use lbsa_explorer::valency::{critical_anatomy, ValencyAnalysis};
-use lbsa_explorer::Explorer;
+use lbsa_explorer::{Explorer, Tracer};
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::classic_consensus::{ClassicConsensus, RacePrimitive};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
@@ -52,8 +52,14 @@ impl Protocol for WriteThenPropose {
     }
 }
 
-fn analyze<P: Protocol>(name: &str, protocol: &P, objects: &[AnyObject], table: &mut Table) {
-    let ex = Explorer::new(protocol, objects);
+fn analyze<P: Protocol>(
+    name: &str,
+    protocol: &P,
+    objects: &[AnyObject],
+    tracer: Tracer,
+    table: &mut Table,
+) {
+    let ex = Explorer::new(protocol, objects).with_trace(tracer);
     let g = ex
         .exploration()
         .max_configs(2_000_000)
@@ -116,11 +122,11 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
 
     let p = ConsensusViaObject::new(mixed_binary_inputs(2), ObjId(0));
     let objects = vec![AnyObject::consensus(2).expect("valid")];
-    analyze("2-consensus race", &p, &objects, &mut table);
+    analyze("2-consensus race", &p, &objects, exp.tracer(), &mut table);
 
     let p = ConsensusViaObject::new(mixed_binary_inputs(3), ObjId(0));
     let objects = vec![AnyObject::consensus(3).expect("valid")];
-    analyze("3-consensus race", &p, &objects, &mut table);
+    analyze("3-consensus race", &p, &objects, exp.tracer(), &mut table);
 
     let p = WriteThenPropose {
         inputs: mixed_binary_inputs(2),
@@ -130,7 +136,13 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         AnyObject::register(),
         AnyObject::register(),
     ];
-    analyze("write registers, then propose", &p, &objects, &mut table);
+    analyze(
+        "write registers, then propose",
+        &p,
+        &objects,
+        exp.tracer(),
+        &mut table,
+    );
 
     let p = WriteThenPropose {
         inputs: mixed_binary_inputs(3),
@@ -145,6 +157,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         "write registers, then propose (3p)",
         &p,
         &objects,
+        exp.tracer(),
         &mut table,
     );
 
@@ -155,12 +168,12 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
     ] {
         let p = ClassicConsensus::two_process(prim, mixed_binary_inputs(2)).expect("2 inputs");
         let objects = p.objects();
-        analyze(name, &p, &objects, &mut table);
+        analyze(name, &p, &objects, exp.tracer(), &mut table);
     }
 
     let p = ClassicConsensus::cas(mixed_binary_inputs(3));
     let objects = p.objects();
-    analyze("CAS consensus (3p)", &p, &objects, &mut table);
+    analyze("CAS consensus (3p)", &p, &objects, exp.tracer(), &mut table);
 
     exp.table(table);
     exp.note("Every solvable protocol funnels its critical configurations onto the one");

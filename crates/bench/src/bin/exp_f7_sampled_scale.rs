@@ -55,16 +55,20 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         let protocol = DacFromPac::new(inputs.clone(), Pid(0), ObjId(0)).expect("n >= 2");
         let objects = vec![AnyObject::pac(n).expect("valid")];
         let row = match sample_k_set_agreement(&protocol, &objects, 1, &inputs, config) {
-            Ok(r) => vec![
-                "Algorithm 2 (n-DAC)".to_string(),
-                n.to_string(),
-                "1".into(),
-                r.runs.to_string(),
-                r.quiescent.to_string(),
-                r.budget_hit.to_string(),
-                r.distinct_outcomes.to_string(),
-                "safety holds".into(),
-            ],
+            Ok(r) => {
+                exp.metric(&format!("sampled.dac.n{n}.quiescent"), r.quiescent);
+                exp.metric(&format!("sampled.dac.n{n}.budget_hit"), r.budget_hit);
+                vec![
+                    "Algorithm 2 (n-DAC)".to_string(),
+                    n.to_string(),
+                    "1".into(),
+                    r.runs.to_string(),
+                    r.quiescent.to_string(),
+                    r.budget_hit.to_string(),
+                    r.distinct_outcomes.to_string(),
+                    "safety holds".into(),
+                ]
+            }
             Err(v) => vec![
                 "Algorithm 2 (n-DAC)".to_string(),
                 n.to_string(),
@@ -85,16 +89,20 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         let protocol = GroupSplitKSet::via_combined(inputs.clone(), 4).expect("group size 4");
         let objects: Vec<AnyObject> = (0..3).map(|_| AnyObject::o_n(4).expect("valid")).collect();
         let row = match sample_k_set_agreement(&protocol, &objects, 3, &inputs, config) {
-            Ok(r) => vec![
-                "group-split over O_4".to_string(),
-                "12".into(),
-                "3".into(),
-                r.runs.to_string(),
-                r.quiescent.to_string(),
-                r.budget_hit.to_string(),
-                r.distinct_outcomes.to_string(),
-                "safety holds".into(),
-            ],
+            Ok(r) => {
+                exp.metric("sampled.group_split.quiescent", r.quiescent);
+                exp.metric("sampled.group_split.budget_hit", r.budget_hit);
+                vec![
+                    "group-split over O_4".to_string(),
+                    "12".into(),
+                    "3".into(),
+                    r.runs.to_string(),
+                    r.quiescent.to_string(),
+                    r.budget_hit.to_string(),
+                    r.distinct_outcomes.to_string(),
+                    "safety holds".into(),
+                ]
+            }
             Err(v) => vec![
                 "group-split over O_4".to_string(),
                 "12".into(),
@@ -115,16 +123,20 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         let protocol = KSetViaPowerLevel::new(inputs.clone(), ObjId(0), 3);
         let objects = vec![AnyObject::o_prime_n(4, 3).expect("valid")];
         let row = match sample_k_set_agreement(&protocol, &objects, 3, &inputs, config) {
-            Ok(r) => vec![
-                "O'_4 level 3".to_string(),
-                "12".into(),
-                "3".into(),
-                r.runs.to_string(),
-                r.quiescent.to_string(),
-                r.budget_hit.to_string(),
-                r.distinct_outcomes.to_string(),
-                "safety holds".into(),
-            ],
+            Ok(r) => {
+                exp.metric("sampled.power_level.quiescent", r.quiescent);
+                exp.metric("sampled.power_level.budget_hit", r.budget_hit);
+                vec![
+                    "O'_4 level 3".to_string(),
+                    "12".into(),
+                    "3".into(),
+                    r.runs.to_string(),
+                    r.quiescent.to_string(),
+                    r.budget_hit.to_string(),
+                    r.distinct_outcomes.to_string(),
+                    "safety holds".into(),
+                ]
+            }
             Err(v) => vec![
                 "O'_4 level 3".to_string(),
                 "12".into(),

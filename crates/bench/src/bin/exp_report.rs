@@ -7,7 +7,16 @@
 //! * `exp_report` — validate every artifact in `reports/` and print its
 //!   tables (markdown, identical to what the experiment binary printed);
 //! * `exp_report --validate FILE` — validate one artifact, exit non-zero
-//!   if it does not conform to `lbsa-report/v1`;
+//!   if it does not conform to `lbsa-report/v1` or `/v2`;
+//! * `exp_report --validate-trace FILE` — check a `.trace.jsonl` span
+//!   trace: every line must parse as a JSON object carrying a string
+//!   `"event"` field and numeric `"seq"`/`"t_us"` fields;
+//! * `exp_report --metrics` — print every numeric metric of every
+//!   artifact in `reports/` as flat `<id> <key> <value>` lines (v2
+//!   artifacts embed a `metrics` object; v1 artifacts are skipped);
+//! * `exp_report --metrics --against DIR` — same, but diff against the
+//!   artifacts in `DIR`: shows both values and the ratio for metrics
+//!   present on both sides;
 //! * `exp_report --diff EXPERIMENTS.md` — locate each regenerated table in
 //!   the committed document (by its header row) and require the committed
 //!   rows to be **byte-identical**; exit non-zero on drift.
@@ -50,10 +59,124 @@ fn diff_table(table: &Table, committed: &[&str]) -> Option<bool> {
     Some(window.iter().zip(&body).all(|(a, b)| a == b))
 }
 
+/// Checks one `.trace.jsonl` file: every line must parse as a JSON object
+/// with a string `"event"` and numeric `"seq"` / `"t_us"`. Returns the
+/// event count on success, the first offending line on failure.
+fn validate_trace(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line)
+            .map_err(|e| format!("{}:{}: not JSON: {e}", path.display(), lineno + 1))?;
+        if doc.as_obj().is_none() {
+            return Err(format!("{}:{}: not an object", path.display(), lineno + 1));
+        }
+        if doc.get("event").and_then(Json::as_str).is_none() {
+            return Err(format!(
+                "{}:{}: missing string \"event\" field",
+                path.display(),
+                lineno + 1
+            ));
+        }
+        for key in ["seq", "t_us"] {
+            if doc.get(key).and_then(Json::as_i64).is_none() {
+                return Err(format!(
+                    "{}:{}: missing numeric {key:?} field",
+                    path.display(),
+                    lineno + 1
+                ));
+            }
+        }
+        events += 1;
+    }
+    Ok(events)
+}
+
+/// Flattens the numeric entries of a report's `metrics` object into
+/// sorted `(key, value)` pairs.
+fn numeric_metrics(doc: &Json) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = doc
+        .get("metrics")
+        .and_then(Json::as_obj)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn json_artifacts(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// `--metrics` mode: print (and optionally diff) every numeric metric.
+fn metrics_mode(reports_dir: &Path, against: Option<&Path>) -> ExitCode {
+    let paths = match json_artifacts(reports_dir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("exp_report: cannot read {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for path in &paths {
+        let doc = match load(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("invalid: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let base =
+            against.map(|dir| dir.join(path.file_name().expect("artifact paths have file names")));
+        let baseline = base.as_deref().and_then(|p| load(p).ok());
+        let old: std::collections::BTreeMap<String, f64> = baseline
+            .as_ref()
+            .map(|d| numeric_metrics(d).into_iter().collect())
+            .unwrap_or_default();
+        for (key, value) in numeric_metrics(&doc) {
+            match old.get(&key) {
+                Some(prev) if *prev != 0.0 => {
+                    println!("{id} {key} {value} (was {prev}, x{:.2})", value / prev)
+                }
+                Some(prev) => println!("{id} {key} {value} (was {prev})"),
+                None => println!("{id} {key} {value}"),
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut reports_dir = PathBuf::from("reports");
     let mut validate_only: Vec<PathBuf> = Vec::new();
+    let mut validate_traces: Vec<PathBuf> = Vec::new();
     let mut diff_against: Option<PathBuf> = None;
+    let mut metrics = false;
+    let mut against: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| {
@@ -65,27 +188,41 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--reports-dir" => reports_dir = PathBuf::from(value_of("--reports-dir")),
             "--validate" => validate_only.push(PathBuf::from(value_of("--validate"))),
+            "--validate-trace" => validate_traces.push(PathBuf::from(value_of("--validate-trace"))),
             "--diff" => diff_against = Some(PathBuf::from(value_of("--diff"))),
+            "--metrics" => metrics = true,
+            "--against" => against = Some(PathBuf::from(value_of("--against"))),
             other => {
                 eprintln!(
                     "exp_report: unknown argument {other:?} \
-                     (takes --reports-dir DIR | --validate FILE | --diff FILE)"
+                     (takes --reports-dir DIR | --validate FILE | --validate-trace FILE \
+                     | --metrics [--against DIR] | --diff FILE)"
                 );
                 return ExitCode::from(2);
             }
         }
     }
 
-    if !validate_only.is_empty() {
+    if !validate_only.is_empty() || !validate_traces.is_empty() {
         let mut ok = true;
         for path in &validate_only {
             match load(path) {
                 Ok(doc) => {
                     let id = doc.get("id").and_then(Json::as_str).unwrap_or("?");
-                    println!("{}: valid lbsa-report/v1 ({id})", path.display());
+                    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+                    println!("{}: valid {schema} ({id})", path.display());
                 }
                 Err(e) => {
                     eprintln!("invalid: {e}");
+                    ok = false;
+                }
+            }
+        }
+        for path in &validate_traces {
+            match validate_trace(path) {
+                Ok(events) => println!("{}: well-formed trace ({events} events)", path.display()),
+                Err(e) => {
+                    eprintln!("invalid trace: {e}");
                     ok = false;
                 }
             }
@@ -97,18 +234,17 @@ fn main() -> ExitCode {
         };
     }
 
-    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&reports_dir) {
-        Ok(entries) => entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-            .collect(),
+    if metrics {
+        return metrics_mode(&reports_dir, against.as_deref());
+    }
+
+    let paths = match json_artifacts(&reports_dir) {
+        Ok(p) => p,
         Err(e) => {
-            eprintln!("exp_report: cannot read {}: {e}", reports_dir.display());
+            eprintln!("exp_report: cannot read {e}");
             return ExitCode::FAILURE;
         }
     };
-    paths.sort();
     if paths.is_empty() {
         eprintln!(
             "exp_report: no artifacts in {} (run the exp_* binaries first)",

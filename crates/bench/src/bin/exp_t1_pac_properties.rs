@@ -121,6 +121,10 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         (3, vec![int(1), int(2)], 4),
     ] {
         let o = sweep(n, &vals, max_len);
+        exp.metric(
+            &format!("pac.n{n}.v{}.len{max_len}.sequences", vals.len()),
+            o.sequences,
+        );
         table.row(vec![
             n.to_string(),
             vals.len().to_string(),

@@ -4,7 +4,8 @@
 //! execution of Algorithm 2 over a single n-PAC object and checks the four
 //! n-DAC properties (Agreement, Validity, Termination (a)/(b) via solo-run
 //! re-exploration, Nontriviality). Per-`n` verdicts (with witnesses, were
-//! any violation ever found) land in `reports/exp_t2_dac.json`.
+//! any violation ever found) land in `reports/exp_t2_dac.json`, and the
+//! engine's span trace in `reports/exp_t2_dac.trace.jsonl`.
 //!
 //! Run with `cargo run --release -p lbsa-bench --bin exp_t2_dac`.
 //! `--max-n N` caps the largest instance (default 4; CI smoke uses 2).
@@ -48,7 +49,7 @@ fn main() {
                 for inputs in inputs_list {
                     let protocol = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
                     let objects = vec![AnyObject::pac(n).expect("n >= 1")];
-                    let explorer = Explorer::new(&protocol, &objects);
+                    let explorer = Explorer::new(&protocol, &objects).with_trace(exp.tracer());
                     let v = verdict_dac(&explorer, &protocol.instance(), limits, solo_bound);
                     match &v.outcome {
                         Outcome::Holds => {
@@ -76,6 +77,9 @@ fn main() {
                     witness: None,
                 });
                 exp.verdict(&format!("n={n}"), &summary);
+                exp.metric(&format!("dac.n{n}.vectors"), vectors);
+                exp.metric(&format!("dac.n{n}.configs"), configs);
+                exp.metric(&format!("dac.n{n}.transitions"), transitions);
                 table.row(vec![
                     n.to_string(),
                     vectors.to_string(),

@@ -60,7 +60,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let inputs = mixed_binary_inputs(3);
         let protocol = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("3 >= 2");
         let objects = vec![AnyObject::pac(3).expect("valid")];
-        let explorer = Explorer::new(&protocol, &objects);
+        let explorer = Explorer::new(&protocol, &objects).with_trace(exp.tracer());
         let verdict = match check_dac(&explorer, &protocol.instance(), limits, 18) {
             Ok(s) => format!("correct (control): {} configs checked", s.configs),
             Err(v) => format!("UNEXPECTEDLY REFUTED: {v}"),
@@ -80,7 +80,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
             AnyObject::consensus(2).expect("valid"),
             AnyObject::register(),
         ];
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Ok(s) => format!("correct (control): {} configs checked", s.configs),
             Err(v) => format!("UNEXPECTEDLY REFUTED: {v}"),
@@ -100,7 +100,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
             AnyObject::consensus(2).expect("valid"),
             AnyObject::register(),
         ];
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Err(v) => {
                 // Confirm the certificate replays.
@@ -127,7 +127,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
             AnyObject::strong_sa(),
             AnyObject::consensus(2).expect("valid"),
         ];
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Err(v) => violation_kind(&v),
             Ok(_) => "NOT REFUTED (machinery bug)".to_string(),
@@ -147,7 +147,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
             AnyObject::consensus(2).expect("valid"),
             AnyObject::register(),
         ];
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let instance = DacInstance {
             distinguished: Pid(0),
             inputs,
@@ -177,7 +177,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let derived = DerivedProtocol::new(&inner, &procedure, frontends);
         let mut objects = vec![AnyObject::consensus(2).expect("valid")];
         objects.extend((0..4).map(|_| AnyObject::register()));
-        let ex = Explorer::new(&derived, &objects);
+        let ex = Explorer::new(&derived, &objects).with_trace(exp.tracer());
         let instance = DacInstance {
             distinguished: Pid(0),
             inputs,

@@ -30,6 +30,19 @@ fn main() {
     );
 }
 
+/// Collapse an object display name into a dotted-metric key segment.
+fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
 fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits, cap: usize) {
     let mut table = Table::new(
         "T4 — certified consensus numbers (upper bound exhaustive; n+1 refuted on the canonical protocol)",
@@ -120,6 +133,9 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits, cap: usize) {
     for (name, object, face, expected) in cases {
         match certified_consensus_number(&object, face, cap, limits) {
             Ok(cert) => {
+                let key = slug(&name);
+                exp.metric(&format!("cert.{key}.level"), cert.level);
+                exp.metric(&format!("cert.{key}.configs"), cert.upper.configs);
                 let mark = if cert.level == expected {
                     ""
                 } else {

@@ -64,6 +64,14 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
                         format!("{}", r.violation),
                     ]);
                 }
+                exp.metric(
+                    &format!("separation.n{n}.lemma_6_4_histories"),
+                    report.lemma_6_4_histories_checked,
+                );
+                exp.metric(
+                    &format!("separation.n{n}.refutations"),
+                    report.refutations.len(),
+                );
                 assert!(
                     report.separation_established(),
                     "pipeline incomplete for n = {n}"

@@ -49,6 +49,8 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let target = AnyObject::combined_pac(4, 2).expect("valid");
     let cert = certified_consensus_number(&target, Face::ProposeC, 4, limits)
         .expect("certification must succeed");
+    exp.metric("cert.pac_4_2.level", cert.level);
+    exp.metric("cert.pac_4_2.upper_configs", cert.upper.configs);
     table.row(vec![
         "(4,2)-PAC consensus number".into(),
         format!(
@@ -81,7 +83,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
     let derived = DerivedProtocol::new(&inner, &procedure, frontends);
     let mut objects = vec![AnyObject::consensus(3).expect("valid")];
     objects.extend((0..=labels).map(|_| AnyObject::register()));
-    let explorer = Explorer::new(&derived, &objects);
+    let explorer = Explorer::new(&derived, &objects).with_trace(exp.tracer());
     let instance = DacInstance {
         distinguished: Pid(0),
         inputs,

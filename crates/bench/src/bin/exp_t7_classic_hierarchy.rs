@@ -47,7 +47,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let inputs = mixed_binary_inputs(2);
         let p = ClassicConsensus::two_process(prim, inputs.clone()).expect("2 inputs");
         let objects = p.objects();
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Ok(s) => format!("consensus verified ({} configs)", s.configs),
             Err(v) => format!("UNEXPECTED: {v}"),
@@ -64,7 +64,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
             let inputs = mixed_binary_inputs(n);
             let p = AnnounceConsensus::new(prim, inputs.clone());
             let objects = p.objects();
-            let ex = Explorer::new(&p, &objects);
+            let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
             let verdict = match check_consensus(&ex, &inputs, limits) {
                 Err(Violation::NonTermination(w)) => {
                     format!("refuted: non-termination (cycle len {})", w.cycle.len())
@@ -86,7 +86,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment, limits: Limits) {
         let inputs: Vec<Value> = mixed_binary_inputs(n);
         let p = ClassicConsensus::cas(inputs.clone());
         let objects = p.objects();
-        let ex = Explorer::new(&p, &objects);
+        let ex = Explorer::new(&p, &objects).with_trace(exp.tracer());
         let verdict = match check_consensus(&ex, &inputs, limits) {
             Ok(s) => format!("consensus verified ({} configs)", s.configs),
             Err(v) => format!("UNEXPECTED: {v}"),

@@ -57,15 +57,22 @@ fn main() -> ExitCode {
     }
 
     let mut failures = Vec::new();
+    let mut measured = Vec::new();
 
     match num(&fresh, "n5_speedup_vs_baseline") {
-        Some(s) if s >= 2.0 => println!("n5_speedup_vs_baseline: {s:.2} (>= 2.0) ok"),
+        Some(s) if s >= 2.0 => {
+            println!("n5_speedup_vs_baseline: {s:.2} (>= 2.0) ok");
+            measured.push(format!("n5_speedup {s:.2}"));
+        }
         Some(s) => failures.push(format!("n5_speedup_vs_baseline {s:.2} < 2.0")),
         None => failures.push("fresh report lacks n5_speedup_vs_baseline".into()),
     }
 
     match num(&fresh, "speedup_vs_baseline") {
-        Some(s) if s >= 1.5 => println!("speedup_vs_baseline: {s:.2} (>= 1.5 floor) ok"),
+        Some(s) if s >= 1.5 => {
+            println!("speedup_vs_baseline: {s:.2} (>= 1.5 floor) ok");
+            measured.push(format!("n4_speedup {s:.2}"));
+        }
         Some(s) => failures.push(format!("speedup_vs_baseline {s:.2} < 1.5 hard floor")),
         None => failures.push("fresh report lacks speedup_vs_baseline".into()),
     }
@@ -78,6 +85,7 @@ fn main() -> ExitCode {
                 .map_or(0.0, |c| c * 0.85);
             if par >= floor {
                 println!("speedup_par_vs_seq: {par:.2} (floor {floor:.2}) ok");
+                measured.push(format!("par_vs_seq {par:.2}"));
             } else {
                 failures.push(format!(
                     "speedup_par_vs_seq {par:.2} regressed below {floor:.2} \
@@ -89,7 +97,10 @@ fn main() -> ExitCode {
     }
 
     match num(&fresh, "n5_reduction_ratio") {
-        Some(r) if r >= 5.0 => println!("n5_reduction_ratio: {r:.2} (>= 5.0) ok"),
+        Some(r) if r >= 5.0 => {
+            println!("n5_reduction_ratio: {r:.2} (>= 5.0) ok");
+            measured.push(format!("n5_reduction {r:.2}"));
+        }
         Some(r) => failures.push(format!("n5_reduction_ratio {r:.2} < 5.0")),
         None => failures.push("fresh report lacks n5_reduction_ratio".into()),
     }
@@ -99,7 +110,7 @@ fn main() -> ExitCode {
     }
 
     if failures.is_empty() {
-        println!("perf smoke: ok");
+        println!("perf smoke: ok ({})", measured.join(", "));
         ExitCode::SUCCESS
     } else {
         for f in &failures {

@@ -26,6 +26,7 @@ fn main() {
     let objects = vec![AnyObject::pac(n).unwrap()];
     let explorer = Explorer::new(&p, &objects);
     let mut configs = 0;
+    let mut last_summary = String::new();
     for _ in 0..iters {
         let g = if symmetric {
             explorer.exploration().threads(1).symmetric().run().unwrap()
@@ -33,9 +34,11 @@ fn main() {
             explorer.exploration().threads(1).run().unwrap()
         };
         configs = black_box(g.configs.len());
+        last_summary = g.stats.summary();
     }
     eprintln!(
         "t2_dac n={n} {}: {configs} configs",
         if symmetric { "reduced" } else { "raw" }
     );
+    eprintln!("last iteration: {last_summary}");
 }

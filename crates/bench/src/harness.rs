@@ -14,13 +14,24 @@
 //! notes, in insertion order — so the rows remain byte-comparable against
 //! `EXPERIMENTS.md`; the artifact path is announced on stderr.
 //!
+//! # Tracing and metrics
+//!
+//! Unless `--no-report` is given, every harnessed binary also opens a
+//! [`JsonlSink`] at `<reports-dir>/<id>.trace.jsonl` and exposes the
+//! corresponding [`Tracer`] via [`Experiment::tracer`]. Experiment bodies
+//! hand it to the engine (`Explorer::with_trace`) so the artifact captures
+//! the full span stream — `explore.begin`, per-level `pargate`/`level`
+//! events, `verdict`, `witness.*`, `explore.end`. Scalar measurements
+//! recorded via [`Experiment::metric`] land in the report's `metrics`
+//! section (schema v2), which `exp_report --metrics` aggregates and diffs.
+//!
 //! # CLI
 //!
 //! Every harnessed binary accepts:
 //!
 //! * `--reports-dir DIR` — where to write the artifact (default
 //!   `reports/`);
-//! * `--no-report` — skip writing the artifact;
+//! * `--no-report` — skip writing the artifact (and the trace);
 //! * `--KEY VALUE` — experiment-specific parameters, read by the body via
 //!   [`Experiment::arg`] / [`Experiment::arg_usize`] (e.g. `exp_t2_dac
 //!   --max-n 2`).
@@ -28,11 +39,16 @@
 use lbsa_explorer::Verdict;
 use lbsa_hierarchy::report::Table;
 use lbsa_support::json::Json;
+use lbsa_support::obs::{JsonlSink, Tracer};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Schema tag written into (and required of) every report artifact.
-pub const REPORT_SCHEMA: &str = "lbsa-report/v1";
+/// Schema tag written into new report artifacts.
+pub const REPORT_SCHEMA: &str = "lbsa-report/v2";
+
+/// The previous schema tag; [`validate_report`] still accepts it (v1
+/// artifacts simply predate the `metrics` section).
+pub const REPORT_SCHEMA_V1: &str = "lbsa-report/v1";
 
 /// One stdout section, kept in insertion order.
 enum Section {
@@ -50,6 +66,9 @@ pub struct Experiment {
     params: Json,
     sections: Vec<Section>,
     verdicts: Vec<(String, Json)>,
+    metrics: Json,
+    tracer: Tracer,
+    trace_path: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -77,6 +96,21 @@ impl Experiment {
                 std::process::exit(2);
             }
         }
+        // Open the trace artifact up front so the body's tracer clones all
+        // share one sink. A sink that cannot be opened downgrades to the
+        // disabled tracer — observability must never fail the experiment.
+        let mut tracer = Tracer::disabled();
+        let mut trace_path = None;
+        if let Some(dir) = &reports_dir {
+            let path = dir.join(format!("{id}.trace.jsonl"));
+            match std::fs::create_dir_all(dir).and_then(|()| JsonlSink::create(&path)) {
+                Ok(sink) => {
+                    tracer = Tracer::new(sink);
+                    trace_path = Some(path);
+                }
+                Err(e) => eprintln!("{id}: cannot open trace {}: {e}", path.display()),
+            }
+        }
         Experiment {
             id: id.to_string(),
             title: title.to_string(),
@@ -85,6 +119,9 @@ impl Experiment {
             params: Json::object(),
             sections: Vec::new(),
             verdicts: Vec::new(),
+            metrics: Json::object(),
+            tracer,
+            trace_path,
         }
     }
 
@@ -133,6 +170,21 @@ impl Experiment {
         self.verdicts.push((label.to_string(), verdict.to_json()));
     }
 
+    /// The experiment's tracer, writing to `<reports-dir>/<id>.trace.jsonl`
+    /// (disabled under `--no-report`). Hand clones to the engine:
+    /// `Explorer::new(&p, &objects).with_trace(exp.tracer())`.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Records one scalar measurement into the report's `metrics` section.
+    /// Dotted keys (`"explore.n5.elapsed_us"`) keep the section flat and
+    /// greppable; `exp_report --metrics` aggregates and diffs them.
+    pub fn metric(&mut self, key: &str, value: impl Into<Json>) {
+        self.metrics = std::mem::replace(&mut self.metrics, Json::Null).set(key, value);
+    }
+
     fn to_json(&self, wall: Duration) -> Json {
         let tables: Vec<Json> = self
             .sections
@@ -159,6 +211,11 @@ impl Experiment {
                     .set("verdict", v.clone())
             })
             .collect();
+        let mut metrics = self.metrics.clone();
+        metrics = metrics.set("trace_events", self.tracer.events_emitted());
+        if let Some(path) = &self.trace_path {
+            metrics = metrics.set("trace_file", path.display().to_string());
+        }
         Json::object()
             .set("schema", REPORT_SCHEMA)
             .set("id", self.id.as_str())
@@ -167,6 +224,7 @@ impl Experiment {
             .set("tables", Json::Arr(tables))
             .set("verdicts", Json::Arr(verdicts))
             .set("notes", Json::Arr(notes))
+            .set("metrics", metrics)
             .set("wall_clock_ms", wall.as_secs_f64() * 1e3)
     }
 }
@@ -184,6 +242,14 @@ pub fn run_experiment(id: &str, title: &str, body: impl FnOnce(&mut Experiment))
             Section::Table(t) => println!("{t}"),
             Section::Note(n) => println!("{n}"),
         }
+    }
+    exp.tracer.flush();
+    if let Some(path) = &exp.trace_path {
+        eprintln!(
+            "trace: {} ({} events)",
+            path.display(),
+            exp.tracer.events_emitted()
+        );
     }
     let Some(dir) = exp.reports_dir.clone() else {
         return;
@@ -264,17 +330,28 @@ pub fn table_from_json(doc: &Json) -> Result<Table, String> {
     Ok(table)
 }
 
-/// Validates a report artifact against the `lbsa-report/v1` schema.
+/// Validates a report artifact against the `lbsa-report/v2` schema (or the
+/// legacy `v1`, which differs only in lacking the required `metrics`
+/// object).
 ///
 /// # Errors
 ///
 /// Returns a description of the first schema violation.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let field = |key: &str| doc.get(key).ok_or(format!("missing field `{key}`"));
-    match field("schema")?.as_str() {
-        Some(REPORT_SCHEMA) => {}
+    let v2 = match field("schema")?.as_str() {
+        Some(REPORT_SCHEMA) => true,
+        Some(REPORT_SCHEMA_V1) => false,
         Some(other) => return Err(format!("unknown schema {other:?}")),
         None => return Err("`schema` is not a string".into()),
+    };
+    match doc.get("metrics") {
+        Some(m) if m.as_obj().is_none() => {
+            return Err("`metrics` must be an object".into());
+        }
+        Some(_) => {}
+        None if v2 => return Err("v2 report: missing `metrics` object".into()),
+        None => {}
     }
     for key in ["id", "title"] {
         let v = field(key)?;
@@ -387,6 +464,12 @@ mod tests {
                 )]),
             )
             .set("notes", Json::Arr(vec![Json::from("a note")]))
+            .set(
+                "metrics",
+                Json::object()
+                    .set("trace_events", 12usize)
+                    .set("explore.n2.elapsed_us", 1500usize),
+            )
             .set("wall_clock_ms", 1.5)
     }
 
@@ -435,5 +518,29 @@ mod tests {
 
         let bad_note = sample_report().set("notes", Json::Arr(vec![Json::from(3i64)]));
         assert!(validate_report(&bad_note).unwrap_err().contains("notes"));
+    }
+
+    #[test]
+    fn schema_v1_validates_without_metrics_but_v2_requires_them() {
+        let mut v1 = Json::object();
+        if let Json::Obj(members) = sample_report() {
+            for (k, v) in members {
+                if k != "metrics" {
+                    v1 = v1.set(&k, v);
+                }
+            }
+        }
+        let v1 = v1.set("schema", REPORT_SCHEMA_V1);
+        validate_report(&v1).expect("v1 without metrics is legal");
+
+        let v2_missing = v1.set("schema", REPORT_SCHEMA);
+        assert!(validate_report(&v2_missing)
+            .unwrap_err()
+            .contains("metrics"));
+
+        let bad_metrics = sample_report().set("metrics", Json::from("not an object"));
+        assert!(validate_report(&bad_metrics)
+            .unwrap_err()
+            .contains("metrics"));
     }
 }

@@ -1,0 +1,98 @@
+//! Cross-field invariants of [`lbsa_explorer::ExploreStats`], pinned on the
+//! real experiment workloads: the per-level breakdown must reconcile with
+//! the aggregate counters, and the phase-time breakdown must stay within
+//! the measured wall clock. These are the numbers the observability layer
+//! (`metrics.explore` in the report artifacts, `summary()`'s
+//! expand-/merge-bound diagnosis) reports to users — a drift between the
+//! levels and the totals would silently corrupt every trace downstream.
+
+use lbsa_bench::mixed_binary_inputs;
+use lbsa_core::{AnyObject, ObjId, Pid};
+use lbsa_explorer::{ExploreStats, Explorer, Limits};
+use lbsa_protocols::consensus_protocols::ConsensusViaObject;
+use lbsa_protocols::dac::DacFromPac;
+
+fn assert_invariants(stats: &ExploreStats, what: &str) {
+    let level_width: usize = stats.levels.iter().map(|l| l.width).sum();
+    assert_eq!(
+        level_width, stats.expanded,
+        "{what}: sum of level widths must equal expanded configs"
+    );
+    let level_transitions: usize = stats.levels.iter().map(|l| l.transitions).sum();
+    assert_eq!(
+        level_transitions, stats.transitions,
+        "{what}: sum of level transitions must equal total transitions"
+    );
+    let parallel_levels = stats.levels.iter().filter(|l| l.parallel).count();
+    assert_eq!(
+        parallel_levels, stats.parallel_levels,
+        "{what}: parallel_levels must count the levels flagged parallel"
+    );
+    for (i, l) in stats.levels.iter().enumerate() {
+        assert_eq!(
+            l.level, i,
+            "{what}: level indices must be 0..depth in order"
+        );
+    }
+    assert!(
+        stats.phases.measured() <= stats.elapsed,
+        "{what}: phase breakdown ({:?}) cannot exceed wall clock ({:?})",
+        stats.phases.measured(),
+        stats.elapsed
+    );
+}
+
+#[test]
+fn dac_exploration_stats_reconcile() {
+    for n in [2usize, 3, 4] {
+        let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).expect("n >= 2");
+        let objects = vec![AnyObject::pac(n).expect("valid")];
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .limits(Limits::new(1_000_000))
+            .run()
+            .expect("explorable");
+        assert_invariants(&g.stats, &format!("dac n={n}"));
+    }
+}
+
+#[test]
+fn consensus_race_stats_reconcile() {
+    let p = ConsensusViaObject::new(mixed_binary_inputs(4), ObjId(0));
+    let objects = vec![AnyObject::consensus(4).expect("valid")];
+    let g = Explorer::new(&p, &objects)
+        .exploration()
+        .run()
+        .expect("explorable");
+    assert_invariants(&g.stats, "consensus race n=4");
+}
+
+#[test]
+fn reduced_exploration_stats_reconcile() {
+    let p = DacFromPac::new(mixed_binary_inputs(4), Pid(0), ObjId(0)).expect("n >= 2");
+    let objects = vec![AnyObject::pac(4).expect("valid")];
+    let g = Explorer::new(&p, &objects)
+        .exploration()
+        .symmetric()
+        .run()
+        .expect("explorable");
+    assert!(g.stats.reduced, "symmetric run must set the reduced flag");
+    assert_invariants(&g.stats, "dac n=4 reduced");
+}
+
+#[test]
+fn forced_parallel_stats_reconcile() {
+    let p = DacFromPac::new(mixed_binary_inputs(4), Pid(0), ObjId(0)).expect("n >= 2");
+    let objects = vec![AnyObject::pac(4).expect("valid")];
+    let g = Explorer::new(&p, &objects)
+        .exploration()
+        .threads(2)
+        .force_parallel()
+        .run()
+        .expect("explorable");
+    assert!(
+        g.stats.parallel_levels > 0,
+        "forced parallel run must record parallel levels"
+    );
+    assert_invariants(&g.stats, "dac n=4 forced-parallel");
+}

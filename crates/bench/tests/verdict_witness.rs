@@ -108,7 +108,7 @@ fn witness_survives_the_report_schema_round_trip() {
     let verdict = verdict_consensus(&ex, &inputs, Limits::default());
     assert!(verdict.is_violated());
 
-    // Assemble a full lbsa-report/v1 envelope, exactly the shape the
+    // Assemble a full lbsa-report/v2 envelope, exactly the shape the
     // harness writes to reports/<exp_id>.json.
     let mut table = Table::new("demo — broken adopt rule", vec!["n", "verdict"]);
     table.row(vec!["3".into(), verdict.describe()]);
@@ -125,6 +125,7 @@ fn witness_survives_the_report_schema_round_trip() {
                 .set("verdict", verdict.to_json())]),
         )
         .set("notes", Json::Arr(vec![]))
+        .set("metrics", Json::object().set("trace_events", 0usize))
         .set("wall_clock_ms", 0.25);
 
     validate_report(&report).expect("schema-valid");

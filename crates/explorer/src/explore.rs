@@ -45,16 +45,18 @@
 
 use crate::config::Configuration;
 use crate::intern::{CompactConfig, Interner, ShardedIndex, SHARDS};
-use crate::stats::{ExploreStats, LevelStats};
+use crate::stats::{duration_us, ExploreStats, LevelStats, PhaseTimes};
 use crate::symmetry::ConfigSymmetry;
 use lbsa_core::spec::ObjectSpec;
 use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid, Value};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Step, Symmetry};
+use lbsa_support::json::Json;
+use lbsa_support::obs::{Counter, TimerNs, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A per-level progress callback, invoked by [`Exploration::run`] after
 /// each BFS level with that level's [`LevelStats`].
@@ -579,6 +581,26 @@ fn classify_level<L: Sync>(
 /// its configuration, and its compact key (the delta-interning base).
 type WorkItem<'w, L> = (u32, &'w Configuration<L>, &'w CompactConfig);
 
+/// Canonicalizes through the optional probe timer: traced runs clock the
+/// call into the canonicalization-phase accumulator, untraced runs pay
+/// nothing beyond the `Option` check (overhead policy: no per-successor
+/// clock reads unless a tracer asked for them).
+fn timed_canonicalize<L: Clone>(
+    sym: &ConfigSymmetry<'_, L>,
+    config: &Configuration<L>,
+    probe: Option<&TimerNs>,
+) -> Configuration<L> {
+    match probe {
+        Some(timer) => {
+            let t0 = Instant::now();
+            let canon = sym.canonicalize(config);
+            timer.record(t0.elapsed());
+            canon
+        }
+        None => sym.canonicalize(config),
+    }
+}
+
 /// Memoized transition function.
 ///
 /// By the determinism contract, the successors of one `(pid, local state,
@@ -592,6 +614,8 @@ type MemoShard = lbsa_support::hash::FxHashMap<(u32, u32, u32), Arc<Pairs>>;
 
 struct TransitionMemo {
     shards: Vec<RwLock<MemoShard>>,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl TransitionMemo {
@@ -600,6 +624,8 @@ impl TransitionMemo {
             shards: (0..16)
                 .map(|_| RwLock::new(lbsa_support::hash::FxHashMap::default()))
                 .collect(),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
@@ -608,11 +634,16 @@ impl TransitionMemo {
     }
 
     fn get(&self, key: (u32, u32, u32)) -> Option<Arc<Pairs>> {
-        self.shards[Self::shard_of(key)]
+        let found = self.shards[Self::shard_of(key)]
             .read()
             .expect("memo lock poisoned")
             .get(&key)
-            .cloned()
+            .cloned();
+        match found {
+            Some(_) => self.hits.bump(),
+            None => self.misses.bump(),
+        }
+        found
     }
 
     fn insert(&self, key: (u32, u32, u32), value: Pairs) -> Arc<Pairs> {
@@ -669,13 +700,36 @@ impl<T: Eq + std::hash::Hash + Clone> InternSink<T> for &mut Interner<T> {
 pub struct Explorer<'a, P: Protocol> {
     protocol: &'a P,
     objects: &'a [AnyObject],
+    tracer: Tracer,
 }
 
 impl<'a, P: Protocol> Explorer<'a, P> {
-    /// Creates an explorer for `protocol` over `objects`.
+    /// Creates an explorer for `protocol` over `objects`, with tracing
+    /// disabled (attach a sink with [`Explorer::with_trace`]).
     #[must_use]
     pub fn new(protocol: &'a P, objects: &'a [AnyObject]) -> Self {
-        Explorer { protocol, objects }
+        Explorer {
+            protocol,
+            objects,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a [`Tracer`]: every exploration started from this explorer
+    /// and every verdict check taking it by reference emits phase events
+    /// through it. A per-run override is available on the builder
+    /// ([`Exploration::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer ([`Tracer::disabled`] unless
+    /// [`Explorer::with_trace`] was called).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The protocol being explored.
@@ -823,7 +877,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     ///
     /// Propagates step errors (these indicate protocol bugs, not explored
     /// behaviours).
-    #[deprecated(note = "use the `Exploration` builder: `explorer.exploration().limits(…).run()`")]
+    #[deprecated(note = "use the `Exploration` builder: \
+                `explorer.exploration().limits(…).trace(…).run()`")]
     pub fn explore(&self, limits: Limits) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         self.exploration().limits(limits).run()
     }
@@ -833,9 +888,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// # Errors
     ///
     /// Propagates step errors.
-    #[deprecated(
-        note = "use the `Exploration` builder: `explorer.exploration().limits(…).threads(…).run()`"
-    )]
+    #[deprecated(note = "use the `Exploration` builder: \
+                `explorer.exploration().limits(…).threads(…).trace(…).run()`")]
     pub fn explore_with(
         &self,
         options: ExploreOptions,
@@ -848,9 +902,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// # Errors
     ///
     /// Propagates step errors.
-    #[deprecated(
-        note = "use the `Exploration` builder: `explorer.exploration().from(…).limits(…).run()`"
-    )]
+    #[deprecated(note = "use the `Exploration` builder: \
+                `explorer.exploration().from(…).limits(…).trace(…).run()`")]
     pub fn explore_from(
         &self,
         initial: Configuration<P::LocalState>,
@@ -866,7 +919,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     ///
     /// Propagates step errors.
     #[deprecated(note = "use the `Exploration` builder: \
-                `explorer.exploration().from(…).options(…).run()`")]
+                `explorer.exploration().from(…).options(…).trace(…).run()`")]
     pub fn explore_from_with(
         &self,
         initial: Configuration<P::LocalState>,
@@ -889,11 +942,25 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         options: ExploreOptions,
         mut on_progress: Option<ProgressCallback<'_>>,
         sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
+        tracer: &Tracer,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let started = Instant::now();
         let threads = options.resolved_threads();
         let limits = options.limits;
         let mut gate = ParGate::new(threads, options.force_parallel);
+        tracer.emit_with("explore.begin", || {
+            Json::object()
+                .set("threads", threads)
+                .set("max_configs", limits.max_configs)
+                .set("force_parallel", options.force_parallel)
+                .set("reduced", sym.is_some())
+        });
+        // Per-call canonicalization timing means a clock read per successor,
+        // so by the overhead policy it runs only under an attached tracer;
+        // untraced runs report PhaseTimes::canonicalize == 0.
+        let canon_timer = TimerNs::new();
+        let canon_probe = tracer.enabled().then_some(&canon_timer);
+        let canon_calls_before = sym.map_or(0, ConfigSymmetry::canon_calls);
 
         // Under symmetry reduction every graph node is the canonical
         // representative of its orbit, starting with the root.
@@ -923,6 +990,10 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let mut peak_frontier = 0usize;
         let mut parallel_levels = 0usize;
         let mut levels: Vec<LevelStats> = Vec::new();
+        let mut total_expand = Duration::ZERO;
+        let mut total_merge = Duration::ZERO;
+        let mut seq_memo_hits = 0u64;
+        let mut seq_memo_misses = 0u64;
         // Transition memo, one store per execution path: the fused
         // single-threaded path owns a plain map (entry API, no locks, no
         // `Arc` traffic); parallel levels share the sharded, lock-guarded
@@ -944,10 +1015,29 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             if take == 0 {
                 break;
             }
+            let level = levels.len();
             let level_started = Instant::now();
             let mut next_frontier: Vec<(u32, CompactConfig)> = Vec::new();
             let mut level_transitions = 0usize;
             let parallel_level = gate.go_parallel(take);
+            tracer.emit_with("pargate", || {
+                Json::object()
+                    .set("level", level)
+                    .set("width", take)
+                    .set("parallel", parallel_level)
+                    .set(
+                        "ema_ns_per_node",
+                        gate.ema_ns_per_node.map_or(Json::Null, Json::from),
+                    )
+                    .set("threads", gate.threads)
+                    .set("effective", gate.effective)
+                    .set("forced", gate.force)
+            });
+            // Phase accounting: the fused sequential path interleaves
+            // expansion and merge, so its whole level counts as expansion;
+            // the parallel path marks the expand/merge boundary explicitly.
+            let mut expand_elapsed = Duration::ZERO;
+            let mut merge_elapsed = Duration::ZERO;
 
             if !parallel_level {
                 // Fused expand-and-merge: with no worker hand-off there is
@@ -970,8 +1060,12 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                             let memo_key =
                                 (parent_key[obj.index()], parent_key[n_obj + i], i as u32);
                             let pairs = match seq_memo.entry(memo_key) {
-                                std::collections::hash_map::Entry::Occupied(e) => &*e.into_mut(),
+                                std::collections::hash_map::Entry::Occupied(e) => {
+                                    seq_memo_hits += 1;
+                                    &*e.into_mut()
+                                }
                                 std::collections::hash_map::Entry::Vacant(v) => {
+                                    seq_memo_misses += 1;
                                     &*v.insert(self.compute_pairs(
                                         &configs[node],
                                         pid,
@@ -1001,7 +1095,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                     raw.object_states[obj.index()] =
                                         state_interner.resolve_mut(succ_state).clone();
                                     raw.procs[i] = proc_interner.resolve_mut(succ_proc).clone();
-                                    symmetry.canonicalize(&raw)
+                                    timed_canonicalize(symmetry, &raw, canon_probe)
                                 };
                                 let key = self.compact(&canon, &state_interner, &proc_interner);
                                 let target = if let Some(t) = index.probe(&key) {
@@ -1106,8 +1200,10 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         &memo,
                         &index,
                         sym,
+                        canon_probe,
                     )
                 };
+                expand_elapsed = level_started.elapsed();
 
                 // Two-phase deterministic merge. Phase A classifies every
                 // not-pre-probed successor against the frozen index and its
@@ -1177,12 +1273,31 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             gate.observe(take, level_elapsed);
             if parallel_level {
                 parallel_levels += 1;
+                merge_elapsed = level_elapsed.saturating_sub(expand_elapsed);
+            } else {
+                expand_elapsed = level_elapsed;
             }
+            total_expand += expand_elapsed;
+            total_merge += merge_elapsed;
             levels.push(LevelStats {
+                level,
                 width: take,
                 transitions: level_transitions,
                 elapsed: level_elapsed,
+                expand: expand_elapsed,
+                merge: merge_elapsed,
                 parallel: parallel_level,
+            });
+            tracer.emit_with("level", || {
+                Json::object()
+                    .set("level", level)
+                    .set("width", take)
+                    .set("transitions", level_transitions)
+                    .set("dedup", level_transitions - next_frontier.len())
+                    .set("parallel", parallel_level)
+                    .set("expand_us", duration_us(expand_elapsed))
+                    .set("merge_us", duration_us(merge_elapsed))
+                    .set("elapsed_us", duration_us(level_elapsed))
             });
             if let Some(cb) = on_progress.as_mut() {
                 cb(levels.last().expect("level just pushed"));
@@ -1207,8 +1322,19 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             parallel_levels,
             reduced: sym.is_some(),
             elapsed: started.elapsed(),
+            phases: PhaseTimes {
+                expand: total_expand,
+                merge: total_merge,
+                canonicalize: canon_timer.total(),
+            },
+            memo_hits: memo.hits.get() + seq_memo_hits,
+            memo_misses: memo.misses.get() + seq_memo_misses,
+            intern_hits: state_interner.hits() + proc_interner.hits(),
+            intern_misses: state_interner.misses() + proc_interner.misses(),
+            canon_calls: sym.map_or(0, ConfigSymmetry::canon_calls) - canon_calls_before,
             levels,
         };
+        tracer.emit_with("explore.end", || stats.to_json());
         Ok(ExplorationGraph {
             configs,
             edges,
@@ -1255,6 +1381,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         memo: &TransitionMemo,
         index: &ShardedIndex,
         sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
+        canon_probe: Option<&TimerNs>,
     ) -> NodeResult<P::LocalState> {
         let n_obj = config.object_states.len();
         let mut out = Vec::new();
@@ -1289,7 +1416,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                     raw.object_states[obj.index()] =
                         state_interner.resolve_with(succ_state, Clone::clone);
                     raw.procs[pid.index()] = proc_interner.resolve_with(succ_proc, Clone::clone);
-                    let canon = symmetry.canonicalize(&raw);
+                    let canon = timed_canonicalize(symmetry, &raw, canon_probe);
                     let key = self.compact(&canon, state_interner, proc_interner);
                     if let Some(t) = index.probe(&key) {
                         out.push(SuccRecord {
@@ -1429,6 +1556,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         memo: &TransitionMemo,
         index: &ShardedIndex,
         sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
+        canon_probe: Option<&TimerNs>,
     ) -> Vec<NodeResult<P::LocalState>> {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<NodeResult<P::LocalState>>>> =
@@ -1448,6 +1576,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         memo,
                         index,
                         sym,
+                        canon_probe,
                     );
                     *slots[pos].lock().expect("expansion slot poisoned") = Some(result);
                 });
@@ -1500,6 +1629,7 @@ pub struct Exploration<'e, 'a, P: Protocol> {
     options: ExploreOptions,
     on_progress: Option<ProgressCallback<'e>>,
     symmetry: Option<ConfigSymmetry<'a, P::LocalState>>,
+    tracer: Option<Tracer>,
 }
 
 impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
@@ -1513,6 +1643,7 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
             options: ExploreOptions::default(),
             on_progress: None,
             symmetry: None,
+            tracer: None,
         }
     }
 
@@ -1582,9 +1713,27 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
     }
 
     /// Registers a callback invoked after each BFS level is merged, with
-    /// that level's [`LevelStats`] — for progress reporting on long runs.
+    /// that level's [`LevelStats`] (which carries the level's BFS index in
+    /// [`LevelStats::level`]) — for progress reporting on long runs.
     pub fn on_progress(mut self, callback: impl FnMut(&LevelStats) + 'e) -> Self {
         self.on_progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Attaches a [`Tracer`] for this run only, overriding whatever the
+    /// explorer carries ([`Explorer::with_trace`]): the engine emits
+    /// `explore.begin`/`pargate`/`level`/`explore.end` phase events through
+    /// it, and per-call canonicalization timing is switched on. Build one
+    /// over any [`lbsa_support::obs::TraceSink`]:
+    ///
+    /// ```ignore
+    /// let graph = explorer
+    ///     .exploration()
+    ///     .trace(Tracer::new(StderrSink))
+    ///     .run()?;
+    /// ```
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -1598,11 +1747,13 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
     /// sequential exploration reports.
     pub fn run(self) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let initial = self.from.unwrap_or_else(|| self.explorer.initial_config());
+        let tracer = self.tracer.as_ref().unwrap_or(&self.explorer.tracer);
         self.explorer.run_engine(
             initial,
             self.options,
             self.on_progress,
             self.symmetry.as_ref(),
+            tracer,
         )
     }
 }
@@ -2161,6 +2312,143 @@ mod tests {
             !reduced.stats.reduced,
             "trivial group must disable reduction"
         );
+    }
+
+    #[test]
+    fn level_stats_carry_their_bfs_index() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let mut seen = Vec::new();
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .on_progress(|l| seen.push(l.level))
+            .run()
+            .unwrap();
+        assert_eq!(seen, (0..g.stats.levels.len()).collect::<Vec<_>>());
+        for (i, l) in g.stats.levels.iter().enumerate() {
+            assert_eq!(l.level, i);
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_is_bounded_by_elapsed() {
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .threads(2)
+            .force_parallel()
+            .run()
+            .unwrap();
+        assert!(g.stats.phases.measured() <= g.stats.elapsed);
+        let expand: Duration = g.stats.levels.iter().map(|l| l.expand).sum();
+        let merge: Duration = g.stats.levels.iter().map(|l| l.merge).sum();
+        assert_eq!(g.stats.phases.expand, expand);
+        assert_eq!(g.stats.phases.merge, merge);
+        for l in &g.stats.levels {
+            assert!(l.expand + l.merge <= l.elapsed);
+        }
+        // Untraced runs never pay for per-call canonicalization clocks.
+        assert_eq!(g.stats.phases.canonicalize, Duration::ZERO);
+    }
+
+    #[test]
+    fn engine_counters_are_consistent() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
+        // Every interner miss created one distinct value.
+        assert_eq!(
+            g.stats.intern_misses,
+            (g.stats.distinct_object_states + g.stats.distinct_proc_statuses) as u64
+        );
+        assert!(g.stats.memo_hits + g.stats.memo_misses > 0);
+        assert!(g.stats.memo_hit_rate() >= 0.0 && g.stats.memo_hit_rate() <= 1.0);
+        // Raw exploration never canonicalizes.
+        assert_eq!(g.stats.canon_calls, 0);
+
+        let p = SymmetricRace { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let reduced = Explorer::new(&p, &objects)
+            .exploration()
+            .symmetric()
+            .run()
+            .unwrap();
+        assert!(reduced.stats.canon_calls > 0);
+    }
+
+    #[test]
+    fn traced_runs_emit_phase_events() {
+        use lbsa_support::obs::MemorySink;
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let sink = MemorySink::new();
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .trace(Tracer::new(sink.clone()))
+            .run()
+            .unwrap();
+        let names = sink.names();
+        assert_eq!(names.first(), Some(&"explore.begin"));
+        assert_eq!(names.last(), Some(&"explore.end"));
+        assert_eq!(
+            names.iter().filter(|n| **n == "level").count(),
+            g.stats.levels.len()
+        );
+        assert_eq!(
+            names.iter().filter(|n| **n == "pargate").count(),
+            g.stats.levels.len()
+        );
+        // The end event embeds the stats document.
+        let end = sink.events().pop().unwrap();
+        assert_eq!(
+            end.fields.get("configs").and_then(Json::as_i64),
+            Some(g.stats.configs as i64)
+        );
+        assert_eq!(
+            end.fields.get("transitions").and_then(Json::as_i64),
+            Some(g.stats.transitions as i64)
+        );
+    }
+
+    #[test]
+    fn explorer_tracer_is_inherited_and_overridable() {
+        use lbsa_support::obs::MemorySink;
+        let p = RaceConsensus { n: 2 };
+        let objects = vec![AnyObject::consensus(2).unwrap()];
+        let sink = MemorySink::new();
+        let ex = Explorer::new(&p, &objects).with_trace(Tracer::new(sink.clone()));
+        assert!(ex.tracer().enabled());
+        ex.exploration().run().unwrap();
+        let inherited = sink.events().len();
+        assert!(inherited > 0, "builder must inherit the explorer's tracer");
+        // A per-run override redirects events away from the explorer's sink.
+        let override_sink = MemorySink::new();
+        ex.exploration()
+            .trace(Tracer::new(override_sink.clone()))
+            .run()
+            .unwrap();
+        assert_eq!(sink.events().len(), inherited);
+        assert!(!override_sink.events().is_empty());
+    }
+
+    #[test]
+    fn traced_reduced_runs_clock_canonicalization() {
+        use lbsa_support::obs::MemorySink;
+        let p = SymmetricRace { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let sink = MemorySink::new();
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .symmetric()
+            .trace(Tracer::new(sink.clone()))
+            .run()
+            .unwrap();
+        assert!(g.stats.canon_calls > 0);
+        assert!(g.stats.phases.canonicalize > Duration::ZERO);
+        // Canonicalization happens inside expansion, so its clock is a
+        // subset of the expansion phase.
+        assert!(g.stats.phases.canonicalize <= g.stats.phases.expand);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! order.
 
 use lbsa_support::hash::{FxHashMap, FxHasher};
+use lbsa_support::obs::Counter;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
@@ -55,12 +56,22 @@ pub type CompactConfig = Arc<[u32]>;
 #[derive(Debug)]
 pub struct Interner<T> {
     shards: [RwLock<Store<T>>; SHARDS],
+    metrics: [ShardMetrics; SHARDS],
 }
 
 #[derive(Debug)]
 struct Store<T> {
     map: FxHashMap<Arc<T>, u32>,
     items: Vec<Arc<T>>,
+}
+
+/// Per-shard hit/miss counters. Kept one pair per shard so concurrent
+/// workers interning into unrelated shards bump unrelated cache lines,
+/// matching the lock sharding they already benefit from.
+#[derive(Debug, Default)]
+struct ShardMetrics {
+    hits: Counter,
+    misses: Counter,
 }
 
 impl<T: Eq + Hash + Clone> Interner<T> {
@@ -74,6 +85,7 @@ impl<T: Eq + Hash + Clone> Interner<T> {
                     items: Vec::new(),
                 })
             }),
+            metrics: std::array::from_fn(|_| ShardMetrics::default()),
         }
     }
 
@@ -98,12 +110,15 @@ impl<T: Eq + Hash + Clone> Interner<T> {
             .map
             .get(value)
         {
+            self.metrics[shard].hits.bump();
             return id;
         }
         let mut guard = self.shards[shard].write().expect("interner lock poisoned");
         if let Some(&id) = guard.map.get(value) {
+            self.metrics[shard].hits.bump();
             return id; // raced with another writer
         }
+        self.metrics[shard].misses.bump();
         Self::insert(&mut guard, shard, value)
     }
 
@@ -120,8 +135,10 @@ impl<T: Eq + Hash + Clone> Interner<T> {
             .get_mut()
             .expect("interner lock poisoned");
         if let Some(&id) = store.map.get(value) {
+            self.metrics[shard].hits.bump();
             return id;
         }
+        self.metrics[shard].misses.bump();
         Self::insert(store, shard, value)
     }
 
@@ -208,6 +225,20 @@ impl<T: Eq + Hash + Clone> Interner<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Lookups that found the value already interned, summed across
+    /// shards.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.metrics.iter().map(|m| m.hits.get()).sum()
+    }
+
+    /// Lookups that inserted a new distinct value, summed across shards.
+    /// Equals [`Interner::len`] at rest.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.metrics.iter().map(|m| m.misses.get()).sum()
+    }
 }
 
 impl<T: Eq + Hash + Clone> Default for Interner<T> {
@@ -293,6 +324,8 @@ mod tests {
         assert_eq!(*interner.resolve(a), "alpha");
         assert_eq!(*interner.resolve(b), "beta");
         assert_eq!(interner.len(), 2);
+        assert_eq!(interner.hits(), 1);
+        assert_eq!(interner.misses(), 2);
     }
 
     #[test]
@@ -316,6 +349,10 @@ mod tests {
         for (v, &id) in ids[0].iter().enumerate() {
             assert_eq!(*interner.resolve(id), v as u64);
         }
+        // Exactly one interning per distinct value wins the insert; every
+        // other lookup (including write-race losers) counts as a hit.
+        assert_eq!(interner.misses(), 500);
+        assert_eq!(interner.hits() + interner.misses(), 4 * 500);
     }
 
     #[test]

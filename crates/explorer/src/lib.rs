@@ -54,7 +54,8 @@ pub mod verdict;
 pub use config::Configuration;
 pub use error::CheckError;
 pub use explore::{Exploration, ExplorationGraph, ExploreOptions, Explorer, Limits, StepRecord};
-pub use stats::{ExploreStats, LevelStats};
+pub use lbsa_support::obs::{JsonlSink, MemorySink, StderrSink, TraceSink, Tracer};
+pub use stats::{ExploreStats, LevelStats, PhaseTimes};
 pub use symmetry::{Concretizer, ConfigSymmetry};
 pub use valency::{Valence, ValencyAnalysis};
 pub use verdict::{Outcome, Verdict, Witness};

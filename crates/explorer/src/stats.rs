@@ -3,28 +3,82 @@
 //! [`ExploreStats`] is filled in by every exploration and carried on the
 //! resulting [`ExplorationGraph`](crate::ExplorationGraph); the experiment
 //! binaries print it so state-space growth and engine throughput are
-//! visible in the recorded experiment outputs.
+//! visible in the recorded experiment outputs. [`ExploreStats::to_json`]
+//! is the `metrics.explore` section of the schema-v2 report artifacts.
 //!
 //! Timings are wall-clock and therefore *not* part of graph identity: two
 //! explorations of the same protocol produce identical graphs with
 //! different stats.
 
+use lbsa_support::json::Json;
 use std::time::Duration;
 
 /// Per-BFS-level measurements.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LevelStats {
+    /// BFS level index (0 = the initial configuration's level).
+    pub level: usize,
     /// Number of configurations expanded in this level.
     pub width: usize,
     /// Transitions discovered while expanding this level.
     pub transitions: usize,
     /// Wall-clock time spent on this level (expansion + merge).
     pub elapsed: Duration,
+    /// Wall-clock time of this level's expansion phase (successor
+    /// computation, canonicalization, interning, dedup probing). On the
+    /// fused sequential path expansion and merge are interleaved, so the
+    /// whole level is accounted here and [`LevelStats::merge`] is zero.
+    pub expand: Duration,
+    /// Wall-clock time of this level's merge phase (node-index assignment
+    /// and edge stitching). Nonzero only on the two-phase parallel path.
+    pub merge: Duration,
     /// `true` if this level ran on the parallel expansion path. A progress
     /// callback watching a multi-threaded run can use this to warn when the
     /// workload never crosses the parallel threshold (see
     /// [`ExploreStats::underparallelized`]).
     pub parallel: bool,
+}
+
+/// Aggregate per-phase wall-clock breakdown of an exploration.
+///
+/// `expand` and `merge` partition the measured per-level work (their sum is
+/// ≤ [`ExploreStats::elapsed`]; the remainder is frontier bookkeeping
+/// between levels). `canonicalize` is a *subset* of `expand`, measured
+/// per call and therefore only populated when a tracer is attached — the
+/// per-successor clock reads would otherwise violate the overhead policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Total expansion-phase time across levels.
+    pub expand: Duration,
+    /// Total merge-phase time across levels (parallel levels only).
+    pub merge: Duration,
+    /// Time inside orbit canonicalization (⊆ `expand`; zero unless the run
+    /// was traced, see [`crate::Exploration::trace`]).
+    pub canonicalize: Duration,
+}
+
+impl PhaseTimes {
+    /// The per-level time actually attributed to a phase
+    /// (`expand + merge`); always ≤ the run's total `elapsed`.
+    #[must_use]
+    pub fn measured(&self) -> Duration {
+        self.expand + self.merge
+    }
+
+    /// Which phase dominates: `"expand-bound"` when expansion takes more
+    /// than twice the merge time, `"merge-bound"` for the converse, and
+    /// `"balanced"` in between.
+    #[must_use]
+    pub fn dominant(&self) -> &'static str {
+        let (e, m) = (self.expand.as_nanos(), self.merge.as_nanos());
+        if e > 2 * m {
+            "expand-bound"
+        } else if m > 2 * e {
+            "merge-bound"
+        } else {
+            "balanced"
+        }
+    }
 }
 
 /// Aggregate metrics of one exploration run.
@@ -55,6 +109,20 @@ pub struct ExploreStats {
     pub reduced: bool,
     /// Total wall-clock time of the exploration.
     pub elapsed: Duration,
+    /// Per-phase wall-clock breakdown (see [`PhaseTimes`]).
+    pub phases: PhaseTimes,
+    /// Transition-memo lookups that hit a previously computed successor
+    /// set.
+    pub memo_hits: u64,
+    /// Transition-memo lookups that missed and computed successors afresh.
+    pub memo_misses: u64,
+    /// State/status interner lookups resolved on the read path (value
+    /// already interned).
+    pub intern_hits: u64,
+    /// State/status interner lookups that inserted a new distinct value.
+    pub intern_misses: u64,
+    /// Orbit-canonicalization invocations (zero unless symmetry-reduced).
+    pub canon_calls: u64,
     /// Per-level breakdown, in BFS order.
     pub levels: Vec<LevelStats>,
 }
@@ -77,6 +145,17 @@ impl ExploreStats {
     pub fn dedup_rate(&self) -> f64 {
         if self.transitions > 0 {
             self.dedup_hits as f64 / self.transitions as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of transition-memo lookups that hit (`0.0..=1.0`).
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total > 0 {
+            self.memo_hits as f64 / total as f64
         } else {
             0.0
         }
@@ -111,7 +190,7 @@ impl ExploreStats {
             ""
         };
         format!(
-            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads ({} parallel levels){}{}, {:.3}s ({:.0} configs/s)",
+            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads ({} parallel levels){}{}, {:.3}s ({:.0} configs/s, {}: {:.3}s expand / {:.3}s merge)",
             self.configs,
             self.transitions,
             100.0 * self.dedup_rate(),
@@ -123,8 +202,46 @@ impl ExploreStats {
             warn,
             self.elapsed.as_secs_f64(),
             self.configs_per_sec(),
+            self.phases.dominant(),
+            self.phases.expand.as_secs_f64(),
+            self.phases.merge.as_secs_f64(),
         )
     }
+
+    /// Serializes the stats as the `metrics.explore` object of a schema-v2
+    /// report: headline aggregates, the phase breakdown in microseconds,
+    /// and the engine counters. Per-level detail stays in the JSONL trace,
+    /// not the report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("configs", self.configs)
+            .set("expanded", self.expanded)
+            .set("transitions", self.transitions)
+            .set("dedup_hits", self.dedup_hits)
+            .set("distinct_object_states", self.distinct_object_states)
+            .set("distinct_proc_statuses", self.distinct_proc_statuses)
+            .set("peak_frontier", self.peak_frontier)
+            .set("threads", self.threads)
+            .set("parallel_levels", self.parallel_levels)
+            .set("levels", self.levels.len())
+            .set("reduced", self.reduced)
+            .set("elapsed_us", duration_us(self.elapsed))
+            .set("expand_us", duration_us(self.phases.expand))
+            .set("merge_us", duration_us(self.phases.merge))
+            .set("canonicalize_us", duration_us(self.phases.canonicalize))
+            .set("dominant_phase", self.phases.dominant())
+            .set("memo_hits", self.memo_hits)
+            .set("memo_misses", self.memo_misses)
+            .set("intern_hits", self.intern_hits)
+            .set("intern_misses", self.intern_misses)
+            .set("canon_calls", self.canon_calls)
+    }
+}
+
+/// A duration in whole microseconds, saturating at `u64::MAX`.
+pub(crate) fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -136,6 +253,7 @@ mod tests {
         let stats = ExploreStats::default();
         assert_eq!(stats.configs_per_sec(), 0.0);
         assert_eq!(stats.dedup_rate(), 0.0);
+        assert_eq!(stats.memo_hit_rate(), 0.0);
         assert_eq!(stats.depth(), 0);
     }
 
@@ -189,5 +307,75 @@ mod tests {
             ..ExploreStats::default()
         };
         assert!(stats.summary().contains("symmetry-reduced"));
+    }
+
+    #[test]
+    fn dominant_phase_classifies_by_ratio() {
+        let expand_bound = PhaseTimes {
+            expand: Duration::from_millis(10),
+            merge: Duration::from_millis(1),
+            canonicalize: Duration::ZERO,
+        };
+        assert_eq!(expand_bound.dominant(), "expand-bound");
+        let merge_bound = PhaseTimes {
+            expand: Duration::from_millis(1),
+            merge: Duration::from_millis(10),
+            canonicalize: Duration::ZERO,
+        };
+        assert_eq!(merge_bound.dominant(), "merge-bound");
+        let balanced = PhaseTimes {
+            expand: Duration::from_millis(5),
+            merge: Duration::from_millis(4),
+            canonicalize: Duration::ZERO,
+        };
+        assert_eq!(balanced.dominant(), "balanced");
+        assert_eq!(balanced.measured(), Duration::from_millis(9));
+        // An empty breakdown (0 vs 0) is balanced, not a division by zero.
+        assert_eq!(PhaseTimes::default().dominant(), "balanced");
+    }
+
+    #[test]
+    fn summary_names_the_dominant_phase() {
+        let stats = ExploreStats {
+            phases: PhaseTimes {
+                expand: Duration::from_millis(9),
+                merge: Duration::from_millis(1),
+                canonicalize: Duration::ZERO,
+            },
+            ..ExploreStats::default()
+        };
+        assert!(stats.summary().contains("expand-bound"));
+    }
+
+    #[test]
+    fn to_json_carries_phase_and_counter_fields() {
+        let stats = ExploreStats {
+            configs: 10,
+            transitions: 20,
+            memo_hits: 7,
+            memo_misses: 3,
+            intern_hits: 100,
+            intern_misses: 4,
+            elapsed: Duration::from_micros(1500),
+            phases: PhaseTimes {
+                expand: Duration::from_micros(1000),
+                merge: Duration::from_micros(200),
+                canonicalize: Duration::from_micros(50),
+            },
+            ..ExploreStats::default()
+        };
+        let doc = stats.to_json();
+        assert_eq!(doc.get("configs"), Some(&Json::Int(10)));
+        assert_eq!(doc.get("elapsed_us"), Some(&Json::Int(1500)));
+        assert_eq!(doc.get("expand_us"), Some(&Json::Int(1000)));
+        assert_eq!(doc.get("merge_us"), Some(&Json::Int(200)));
+        assert_eq!(doc.get("canonicalize_us"), Some(&Json::Int(50)));
+        assert_eq!(
+            doc.get("dominant_phase").and_then(Json::as_str),
+            Some("expand-bound")
+        );
+        assert_eq!(doc.get("memo_hits"), Some(&Json::Int(7)));
+        assert_eq!(doc.get("intern_misses"), Some(&Json::Int(4)));
+        assert_eq!(stats.memo_hit_rate(), 0.7);
     }
 }

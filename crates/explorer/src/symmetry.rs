@@ -51,6 +51,7 @@ use crate::error::CheckError;
 use crate::explore::Explorer;
 use lbsa_core::{ObjId, Pid};
 use lbsa_runtime::process::{ProcStatus, Protocol, Symmetry};
+use lbsa_support::obs::Counter;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -70,6 +71,7 @@ pub struct ConfigSymmetry<'p, L> {
     #[allow(clippy::type_complexity)]
     cmp: Box<dyn Fn(&Configuration<L>, &Configuration<L>) -> Ordering + Sync + 'p>,
     value_symmetric: bool,
+    canon_calls: Counter,
 }
 
 impl<L> fmt::Debug for ConfigSymmetry<'_, L> {
@@ -108,6 +110,7 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
             apply: Box::new(apply),
             cmp: Box::new(|a, b| a.cmp(b)),
             value_symmetric: protocol.value_symmetric(),
+            canon_calls: Counter::new(),
         }
     }
 
@@ -138,6 +141,13 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
         self.value_symmetric
     }
 
+    /// Number of canonicalizations performed through this group so far
+    /// (feeds [`crate::ExploreStats::canon_calls`]).
+    #[must_use]
+    pub fn canon_calls(&self) -> u64 {
+        self.canon_calls.get()
+    }
+
     /// Applies one group element to a configuration.
     #[must_use]
     pub fn apply(&self, config: &Configuration<L>, perm: &[usize]) -> Configuration<L> {
@@ -160,6 +170,7 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
         &self,
         config: &Configuration<L>,
     ) -> (Configuration<L>, &[usize]) {
+        self.canon_calls.bump();
         let mut best = (self.apply)(config, &self.perms[0]);
         let mut best_perm = &self.perms[0];
         for perm in &self.perms[1..] {
@@ -496,6 +507,7 @@ mod tests {
         }
         // The canonical form is a member of its own orbit and idempotent.
         assert_eq!(sym.canonicalize(&canon), canon);
+        assert!(sym.canon_calls() >= 2 + sym.group_order() as u64);
     }
 
     #[test]

@@ -51,6 +51,7 @@ use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Symmetry};
 use lbsa_runtime::trace::{Trace, TraceEvent};
 use lbsa_support::json::Json;
+use lbsa_support::obs::Tracer;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -261,6 +262,11 @@ impl Witness {
         for (i, step) in self.schedule.iter().enumerate() {
             config = replay_one(explorer, config, *step, i, &mut trace)?;
         }
+        explorer.tracer().emit_with("witness.replay", || {
+            Json::object()
+                .set("kind", self.kind.tag())
+                .set("steps", self.schedule.len())
+        });
         Ok((config, trace))
     }
 
@@ -272,6 +278,17 @@ impl Witness {
     /// Returns [`CheckError::WitnessDiverged`] if replay fails or the
     /// replayed execution no longer violates the property.
     pub fn confirm<P: Protocol>(&self, explorer: &Explorer<'_, P>) -> Result<(), CheckError> {
+        let result = self.confirm_inner(explorer);
+        explorer.tracer().emit_with("witness.confirm", || {
+            Json::object()
+                .set("kind", self.kind.tag())
+                .set("steps", self.len())
+                .set("ok", result.is_ok())
+        });
+        result
+    }
+
+    fn confirm_inner<P: Protocol>(&self, explorer: &Explorer<'_, P>) -> Result<(), CheckError> {
         let (config, mut trace) = self.replay(explorer)?;
         match &self.kind {
             WitnessKind::NonTermination { victims } => {
@@ -350,6 +367,17 @@ impl Witness {
                 ),
             )
     }
+}
+
+/// Emits the `witness.extract` trace event for a freshly built witness.
+fn emit_extract(tracer: &Tracer, w: &Witness) {
+    tracer.emit_with("witness.extract", || {
+        Json::object()
+            .set("kind", w.kind.tag())
+            .set("schedule_len", w.schedule.len())
+            .set("cycle_len", w.cycle.len())
+            .set("minimized", w.minimized)
+    });
 }
 
 /// Replays one chosen step, appending its trace event.
@@ -491,6 +519,27 @@ const EMPTY_STATS: CheckStats = CheckStats {
     transitions: 0,
 };
 
+/// Emits the end-of-check `verdict` trace event and passes the verdict
+/// through. Every public `verdict_*` entry point routes its result here
+/// exactly once, so a traced run shows one `verdict` line per check.
+fn traced(tracer: &Tracer, check: &'static str, verdict: Verdict) -> Verdict {
+    tracer.emit_with("verdict", || {
+        Json::object()
+            .set("check", check)
+            .set("outcome", verdict.outcome.tag())
+            .set("configs", verdict.stats.configs)
+            .set("transitions", verdict.stats.transitions)
+            .set(
+                "witness_len",
+                verdict
+                    .witness
+                    .as_ref()
+                    .map_or(Json::Null, |w| Json::from(w.len())),
+            )
+    });
+    verdict
+}
+
 /// Explores and checks consensus, returning a verdict with a minimized
 /// witness on violation.
 #[must_use]
@@ -513,7 +562,13 @@ pub fn verdict_k_set_agreement<P: Protocol>(
 ) -> Verdict {
     let graph = match explorer.exploration().limits(limits).run() {
         Ok(g) => g,
-        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+        Err(e) => {
+            return traced(
+                explorer.tracer(),
+                "k-set-agreement",
+                Verdict::error(EMPTY_STATS, e.into()),
+            )
+        }
     };
     verdict_k_set_agreement_graph(explorer, &graph, k, valid_inputs)
 }
@@ -528,7 +583,7 @@ pub fn verdict_k_set_agreement_graph<P: Protocol>(
     valid_inputs: &[Value],
 ) -> Verdict {
     let stats = graph_stats(graph);
-    match check_k_set_agreement_graph(graph, k, valid_inputs) {
+    let verdict = match check_k_set_agreement_graph(graph, k, valid_inputs) {
         Ok(stats) => Verdict {
             outcome: Outcome::Holds,
             stats,
@@ -538,7 +593,8 @@ pub fn verdict_k_set_agreement_graph<P: Protocol>(
             let kind = k_set_kind(&violation, k, valid_inputs);
             violation_verdict(explorer, graph, violation, stats, kind)
         }
-    }
+    };
+    traced(explorer.tracer(), "k-set-agreement", verdict)
 }
 
 /// The re-checkable [`WitnessKind`] of a k-set-agreement violation.
@@ -588,10 +644,16 @@ pub fn verdict_dac<P: Protocol>(
 ) -> Verdict {
     let graph = match explorer.exploration().limits(limits).run() {
         Ok(g) => g,
-        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+        Err(e) => {
+            return traced(
+                explorer.tracer(),
+                "dac",
+                Verdict::error(EMPTY_STATS, e.into()),
+            )
+        }
     };
     let stats = graph_stats(&graph);
-    match check_dac_graph(explorer, &graph, instance, solo_bound) {
+    let verdict = match check_dac_graph(explorer, &graph, instance, solo_bound) {
         Ok(stats) => Verdict {
             outcome: Outcome::Holds,
             stats,
@@ -601,7 +663,8 @@ pub fn verdict_dac<P: Protocol>(
             let kind = dac_kind(&violation, instance, solo_bound);
             violation_verdict(explorer, &graph, violation, stats, kind)
         }
-    }
+    };
+    traced(explorer.tracer(), "dac", verdict)
 }
 
 /// Explores and checks wait-free termination alone (no infinite execution,
@@ -609,6 +672,11 @@ pub fn verdict_dac<P: Protocol>(
 /// witness is a pumpable cycle on violation.
 #[must_use]
 pub fn verdict_wait_free<P: Protocol>(explorer: &Explorer<'_, P>, limits: Limits) -> Verdict {
+    let verdict = wait_free_verdict(explorer, limits);
+    traced(explorer.tracer(), "wait-free", verdict)
+}
+
+fn wait_free_verdict<P: Protocol>(explorer: &Explorer<'_, P>, limits: Limits) -> Verdict {
     let graph = match explorer.exploration().limits(limits).run() {
         Ok(g) => g,
         Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
@@ -682,10 +750,16 @@ where
     }
     let graph = match explorer.exploration().limits(limits).symmetric().run() {
         Ok(g) => g,
-        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+        Err(e) => {
+            return traced(
+                explorer.tracer(),
+                "k-set-agreement-reduced",
+                Verdict::error(EMPTY_STATS, e.into()),
+            )
+        }
     };
     let stats = graph_stats(&graph);
-    match check_k_set_agreement_graph(&graph, k, valid_inputs) {
+    let verdict = match check_k_set_agreement_graph(&graph, k, valid_inputs) {
         Ok(stats) => Verdict {
             outcome: Outcome::Holds,
             stats,
@@ -695,7 +769,8 @@ where
             let kind = k_set_kind(&violation, k, valid_inputs);
             violation_verdict_reduced(explorer, &sym, &graph, violation, stats, kind)
         }
-    }
+    };
+    traced(explorer.tracer(), "k-set-agreement-reduced", verdict)
 }
 
 /// [`verdict_dac`] over the symmetry-reduced (quotient) graph. The n-DAC
@@ -719,10 +794,16 @@ where
     }
     let graph = match explorer.exploration().limits(limits).symmetric().run() {
         Ok(g) => g,
-        Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
+        Err(e) => {
+            return traced(
+                explorer.tracer(),
+                "dac-reduced",
+                Verdict::error(EMPTY_STATS, e.into()),
+            )
+        }
     };
     let stats = graph_stats(&graph);
-    match check_dac_graph(explorer, &graph, instance, solo_bound) {
+    let verdict = match check_dac_graph(explorer, &graph, instance, solo_bound) {
         Ok(stats) => Verdict {
             outcome: Outcome::Holds,
             stats,
@@ -732,7 +813,8 @@ where
             let kind = dac_kind(&violation, instance, solo_bound);
             violation_verdict_reduced(explorer, &sym, &graph, violation, stats, kind)
         }
-    }
+    };
+    traced(explorer.tracer(), "dac-reduced", verdict)
 }
 
 /// [`verdict_wait_free`] over the symmetry-reduced (quotient) graph. A
@@ -749,6 +831,19 @@ where
     if sym.is_trivial() {
         return verdict_wait_free(explorer, limits);
     }
+    let verdict = wait_free_reduced_verdict(explorer, &sym, limits);
+    traced(explorer.tracer(), "wait-free-reduced", verdict)
+}
+
+fn wait_free_reduced_verdict<P>(
+    explorer: &Explorer<'_, P>,
+    sym: &ConfigSymmetry<'_, P::LocalState>,
+    limits: Limits,
+) -> Verdict
+where
+    P: Symmetry,
+    P::LocalState: Ord,
+{
     let graph = match explorer.exploration().limits(limits).symmetric().run() {
         Ok(g) => g,
         Err(e) => return Verdict::error(EMPTY_STATS, e.into()),
@@ -763,13 +858,13 @@ where
     }
     if let Some(w) = crate::adversary::find_nontermination(&graph) {
         let violation = Violation::NonTermination(w);
-        return violation_verdict_reduced(explorer, &sym, &graph, violation, stats, None);
+        return violation_verdict_reduced(explorer, sym, &graph, violation, stats, None);
     }
     for idx in graph.terminal_indices() {
         if !graph.configs[idx].all_decided() {
             return violation_verdict_reduced(
                 explorer,
-                &sym,
+                sym,
                 &graph,
                 Violation::UndecidedTerminal { config: idx },
                 stats,
@@ -1011,13 +1106,15 @@ fn nontermination_witness_reduced<P: Protocol>(
     for (i, step) in schedule.iter().chain(cycle.iter()).enumerate() {
         config = replay_one(explorer, config, *step, i, &mut trace).ok()?;
     }
-    Some(Witness {
+    let w = Witness {
         schedule,
         cycle,
         kind,
         trace,
         minimized: true,
-    })
+    };
+    emit_extract(explorer.tracer(), &w);
+    Some(w)
 }
 
 /// Builds a witness for a violation visible at configuration `target`:
@@ -1124,13 +1221,15 @@ fn nontermination_witness<P: Protocol>(
     for (i, step) in schedule.iter().chain(cycle.iter()).enumerate() {
         config = replay_one(explorer, config, *step, i, &mut trace).ok()?;
     }
-    Some(Witness {
+    let w = Witness {
         schedule,
         cycle,
         kind,
         trace,
         minimized: true,
-    })
+    };
+    emit_extract(explorer.tracer(), &w);
+    Some(w)
 }
 
 /// Delta-minimizes `schedule` against `kind`'s predicate (shortest failing
@@ -1158,13 +1257,15 @@ fn finish_witness<P: Protocol>(
     if !hit {
         return None;
     }
-    Some(Witness {
+    let w = Witness {
         schedule: minimized,
         cycle,
         kind,
         trace,
         minimized: true,
-    })
+    };
+    emit_extract(explorer.tracer(), &w);
+    Some(w)
 }
 
 #[cfg(test)]
@@ -1421,6 +1522,62 @@ mod tests {
         assert!(!w.cycle.is_empty());
         w.confirm(&ex)
             .expect("pumped cycle witness must confirm on the raw system");
+    }
+
+    #[test]
+    fn traced_verdicts_emit_check_and_witness_events() {
+        use lbsa_support::obs::MemorySink;
+        let p = DecideOwn {
+            inputs: vec![int(0), int(1)],
+        };
+        let objects = reg();
+        let sink = MemorySink::new();
+        let ex = Explorer::new(&p, &objects).with_trace(Tracer::new(sink.clone()));
+        let v = verdict_consensus(&ex, &[int(0), int(1)], Limits::default());
+        assert!(v.is_violated(), "{v}");
+        v.witness
+            .as_ref()
+            .expect("witness present")
+            .confirm(&ex)
+            .expect("witness confirms");
+
+        let names = sink.names();
+        assert!(names.contains(&"explore.begin"), "{names:?}");
+        assert_eq!(
+            names.iter().filter(|n| **n == "verdict").count(),
+            1,
+            "exactly one verdict event per check: {names:?}"
+        );
+        assert!(names.contains(&"witness.extract"), "{names:?}");
+        assert!(names.contains(&"witness.replay"), "{names:?}");
+        assert!(names.contains(&"witness.confirm"), "{names:?}");
+
+        let events = sink.events();
+        let verdict_ev = events.iter().find(|e| e.name == "verdict").unwrap();
+        assert_eq!(
+            verdict_ev.fields.get("check").and_then(Json::as_str),
+            Some("k-set-agreement")
+        );
+        assert_eq!(
+            verdict_ev.fields.get("outcome").and_then(Json::as_str),
+            Some("violated")
+        );
+        assert_eq!(
+            verdict_ev.fields.get("witness_len").and_then(Json::as_i64),
+            Some(2)
+        );
+        let confirm_ev = events.iter().find(|e| e.name == "witness.confirm").unwrap();
+        assert_eq!(
+            confirm_ev.fields.get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
+        // The verdict event follows the witness extraction that fed it.
+        let extract_seq = events
+            .iter()
+            .find(|e| e.name == "witness.extract")
+            .unwrap()
+            .seq;
+        assert!(verdict_ev.seq > extract_seq);
     }
 
     #[test]

@@ -8,6 +8,8 @@ use crate::scheduler::{CrashPlan, Scheduler};
 use crate::trace::{Trace, TraceEvent};
 use lbsa_core::spec::ObjectSpec;
 use lbsa_core::{AnyObject, AnyState, Pid, Value};
+use lbsa_support::json::Json;
+use lbsa_support::obs::Tracer;
 
 /// Why a run ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,6 +21,18 @@ pub enum RunEnd {
     MaxSteps,
     /// The scheduler declined to schedule anyone.
     SchedulerStopped,
+}
+
+impl RunEnd {
+    /// A short machine-readable tag (used by trace events and reports).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            RunEnd::Quiescent => "quiescent",
+            RunEnd::MaxSteps => "max-steps",
+            RunEnd::SchedulerStopped => "scheduler-stopped",
+        }
+    }
 }
 
 /// Summary of a completed run.
@@ -77,6 +91,7 @@ pub struct System<'a, P: Protocol> {
     trace: Trace,
     steps: usize,
     record_trace: bool,
+    tracer: Tracer,
 }
 
 impl<'a, P: Protocol> System<'a, P> {
@@ -101,6 +116,7 @@ impl<'a, P: Protocol> System<'a, P> {
             trace: Trace::new(),
             steps: 0,
             record_trace: true,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -108,6 +124,14 @@ impl<'a, P: Protocol> System<'a, P> {
     /// would dominate memory).
     pub fn set_record_trace(&mut self, record: bool) {
         self.record_trace = record;
+    }
+
+    /// Routes `run.begin`/`run.end` observability events to `tracer`. This
+    /// is the span-level tracing of [`lbsa_support::obs`] — distinct from
+    /// the object-level [`System::trace`], which records the execution
+    /// itself. Disabled by default.
+    pub fn set_trace(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The number of processes.
@@ -263,6 +287,12 @@ impl<'a, P: Protocol> System<'a, P> {
         crashes: &CrashPlan,
         max_steps: usize,
     ) -> Result<RunResult, RuntimeError> {
+        self.tracer.emit_with("run.begin", || {
+            Json::object()
+                .set("processes", self.statuses.len())
+                .set("max_steps", max_steps)
+                .set("at_step", self.steps)
+        });
         let end = loop {
             // Apply due crashes.
             for i in 0..self.statuses.len() {
@@ -282,7 +312,19 @@ impl<'a, P: Protocol> System<'a, P> {
             };
             self.step_pid(pid, resolver)?;
         };
-        Ok(self.result(end))
+        let result = self.result(end);
+        self.tracer.emit_with("run.end", || {
+            Json::object()
+                .set("end", end.tag())
+                .set("steps", result.steps)
+                .set(
+                    "decided",
+                    result.decisions.iter().filter(|d| d.is_some()).count(),
+                )
+                .set("aborted", result.aborted.len())
+                .set("crashed", result.crashed.len())
+        });
+        Ok(result)
     }
 
     fn result(&self, end: RunEnd) -> RunResult {
@@ -480,6 +522,30 @@ mod tests {
             System::new(&p, &objects),
             Err(RuntimeError::NoProcesses)
         ));
+    }
+
+    #[test]
+    fn traced_runs_emit_begin_and_end_events() {
+        use lbsa_support::obs::MemorySink;
+        let p = WriteReadMax { inputs: vec![1, 2] };
+        let objects = regs(2);
+        let mut sys = System::new(&p, &objects).unwrap();
+        let sink = MemorySink::new();
+        sys.set_trace(Tracer::new(sink.clone()));
+        let res = sys
+            .run(&mut RoundRobin::new(), &mut FirstOutcome, 100)
+            .unwrap();
+        assert_eq!(sink.names(), vec!["run.begin", "run.end"]);
+        let end = &sink.events()[1];
+        assert_eq!(
+            end.fields.get("end").and_then(Json::as_str),
+            Some("quiescent")
+        );
+        assert_eq!(
+            end.fields.get("steps").and_then(Json::as_i64),
+            Some(i64::try_from(res.steps).unwrap())
+        );
+        assert_eq!(end.fields.get("decided").and_then(Json::as_i64), Some(2));
     }
 
     #[test]

@@ -58,6 +58,12 @@ impl From<u32> for Json {
         Json::Int(i64::from(v))
     }
 }
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
 impl From<f64> for Json {
     fn from(v: f64) -> Self {
         Json::Num(v)

@@ -17,7 +17,10 @@
 //!   reproducing-seed panic message) replacing the proptest harness;
 //! * [`json`] — an ordered JSON document model with deterministic emission
 //!   and a strict parser, replacing `serde_json` for the `reports/*.json`
-//!   experiment artifacts.
+//!   experiment artifacts;
+//! * [`obs`] — the tracing/metrics layer (`Tracer`, pluggable sinks, relaxed
+//!   atomic counters) the exploration engine threads through its hot phases,
+//!   replacing `tracing` + `tracing-subscriber`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,4 +29,5 @@ pub mod bench;
 pub mod check;
 pub mod hash;
 pub mod json;
+pub mod obs;
 pub mod rng;

@@ -1,0 +1,462 @@
+//! Lightweight tracing and metrics for the exploration engine.
+//!
+//! The model checker's hot phases — shard interning, orbit
+//! canonicalization, parallel-gate decisions, the two-phase merge, witness
+//! extraction and replay — are invisible from the outside: aggregates say
+//! *what* happened, not *where the time went*. This module supplies the
+//! observability layer the rest of the workspace threads through those
+//! phases:
+//!
+//! * [`Tracer`] — a cheap, clonable handle that emits span-style
+//!   [`Event`]s to a pluggable [`TraceSink`]. The default handle is
+//!   **inert** ([`Tracer::disabled`]): `enabled()` is a single `Option`
+//!   check and [`Tracer::emit_with`] never builds its payload, so an
+//!   untraced run pays near-zero overhead.
+//! * [`TraceSink`] implementations — [`NoopSink`], human-readable
+//!   [`StderrSink`], a JSONL trace writer ([`JsonlSink`], one compact JSON
+//!   object per line, the `reports/<id>.trace.jsonl` artifact format), and
+//!   an in-memory collector for tests ([`MemorySink`]).
+//! * [`Counter`] / [`TimerNs`] — relaxed atomic counters and nanosecond
+//!   accumulators for always-on metrics (interner shard hits/misses,
+//!   transition-memo hits, orbit-canonicalization time) that are safe to
+//!   bump from concurrent expansion workers.
+//!
+//! ## Event model
+//!
+//! An [`Event`] is a name, a monotonic per-tracer sequence number, a
+//! microsecond timestamp relative to the tracer's epoch, and a JSON object
+//! of fields. Phases with duration emit a single event at phase *end*
+//! carrying the measured duration as a field (`…_us`), rather than paired
+//! begin/end events — one line per phase keeps JSONL traces greppable and
+//! the sink contract trivial.
+//!
+//! ## Overhead policy
+//!
+//! Anything on a per-successor path must be gated on
+//! [`Tracer::enabled`] (e.g. per-call canonicalization timing) or use a
+//! relaxed atomic at worst (counters). Per-level and per-run events are
+//! unconditionally cheap. The committed perf gates (`perf_smoke`) run with
+//! the inert handle and bound the total instrumentation cost.
+
+use crate::json::Json;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One trace event: a named point (or completed span) in an instrumented
+/// run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number within the emitting [`Tracer`].
+    pub seq: u64,
+    /// Microseconds since the tracer's epoch (its creation).
+    pub t_us: u64,
+    /// Event name, dot-namespaced by subsystem (`explore.begin`, `level`,
+    /// `pargate`, `witness.extract`, …).
+    pub name: &'static str,
+    /// Structured payload; always a JSON object.
+    pub fields: Json,
+}
+
+impl Event {
+    /// Serializes the event as one flat JSON object: `seq`, `t_us`,
+    /// `event`, then every payload field. This is the JSONL line format.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object()
+            .set("seq", self.seq)
+            .set("t_us", self.t_us)
+            .set("event", self.name);
+        if let Json::Obj(members) = &self.fields {
+            for (k, v) in members {
+                doc = doc.set(k, v.clone());
+            }
+        }
+        doc
+    }
+}
+
+/// Where trace events go. Implementations must be safe to call from
+/// concurrent expansion workers; ordering across threads is whatever the
+/// sequence numbers say, not arrival order.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+    /// Flushes any buffering. Default: nothing to flush.
+    fn flush(&self) {}
+}
+
+/// A sink that drops every event — the explicit form of what a disabled
+/// [`Tracer`] does implicitly (prefer [`Tracer::disabled`], which also
+/// skips payload construction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Human-readable tracing to stderr, one line per event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!(
+            "trace [{:>9}us] {:<18} {}",
+            event.t_us,
+            event.name,
+            event.fields.compact()
+        );
+    }
+}
+
+/// JSONL trace writer: each event becomes one compact JSON object on its
+/// own line (see [`Event::to_json`]). Write errors are swallowed —
+/// observability must never take down the run it observes.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().expect("trace sink poisoned");
+        let _ = writeln!(out, "{}", event.to_json().compact());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// In-memory event collector for tests: clone the sink before handing it
+/// to a [`Tracer`], then read [`MemorySink::events`] afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A snapshot of every event collected so far, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// The names of every collected event, in emission order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .map(|e| e.name)
+            .collect()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+struct TracerCore {
+    sink: Box<dyn TraceSink>,
+    epoch: Instant,
+    seq: AtomicU64,
+}
+
+/// A clonable tracing handle. Disabled by default; when enabled, every
+/// [`Tracer::emit`] stamps the event with a sequence number and the
+/// microseconds since the tracer was created, then hands it to the sink.
+///
+/// Clones share the sink, the epoch, and the sequence counter, so one
+/// tracer can be threaded through the explorer, the verdict layer, and the
+/// runtime and still produce one totally-ordered event stream.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    core: Option<Arc<TracerCore>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.core {
+            None => f.write_str("Tracer(disabled)"),
+            Some(core) => write!(
+                f,
+                "Tracer(enabled, {} events)",
+                core.seq.load(Ordering::Relaxed)
+            ),
+        }
+    }
+}
+
+impl Tracer {
+    /// The inert handle: `enabled()` is false, every emit is a no-op, and
+    /// [`Tracer::emit_with`] never runs its payload closure.
+    #[must_use]
+    pub fn disabled() -> Tracer {
+        Tracer { core: None }
+    }
+
+    /// A tracer writing to `sink`, with its epoch set to now.
+    #[must_use]
+    pub fn new(sink: impl TraceSink + 'static) -> Tracer {
+        Tracer {
+            core: Some(Arc::new(TracerCore {
+                sink: Box::new(sink),
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// `true` if events actually go anywhere. Instrumentation with a
+    /// nontrivial cost to *prepare* (per-call timers, payload allocation)
+    /// must check this first.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Emits one event. `fields` must be a JSON object (or `Json::Null`
+    /// for field-less events). Call sites that allocate to build `fields`
+    /// should prefer [`Tracer::emit_with`].
+    pub fn emit(&self, name: &'static str, fields: Json) {
+        let Some(core) = &self.core else { return };
+        let event = Event {
+            seq: core.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: u64::try_from(core.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+            name,
+            fields,
+        };
+        core.sink.emit(&event);
+    }
+
+    /// Emits one event, building the payload only when the tracer is
+    /// enabled — the zero-overhead form for hot call sites.
+    pub fn emit_with(&self, name: &'static str, fields: impl FnOnce() -> Json) {
+        if self.enabled() {
+            self.emit(name, fields());
+        }
+    }
+
+    /// Number of events emitted through this tracer (and its clones) so
+    /// far. Zero for a disabled tracer.
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.seq.load(Ordering::Relaxed))
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(core) = &self.core {
+            core.sink.flush();
+        }
+    }
+}
+
+/// A relaxed atomic event counter, safe to bump from concurrent workers.
+/// Always-on metrics (shard hits/misses, memo hits) use this: one relaxed
+/// RMW per event is cheap next to the hash-map probe it annotates.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A relaxed atomic duration accumulator (nanosecond resolution), for
+/// timers fed from concurrent workers. Reading the clock around the timed
+/// region is the caller's responsibility — and should be gated on
+/// [`Tracer::enabled`] when the region is a per-successor hot path.
+#[derive(Debug, Default)]
+pub struct TimerNs(AtomicU64);
+
+impl TimerNs {
+    /// A timer at zero.
+    #[must_use]
+    pub fn new() -> TimerNs {
+        TimerNs::default()
+    }
+
+    /// Accumulates one measured duration.
+    pub fn record(&self, d: Duration) {
+        self.0.fetch_add(
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The accumulated total.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit("x", Json::object());
+        let mut built = false;
+        t.emit_with("y", || {
+            built = true;
+            Json::object()
+        });
+        assert!(!built, "payload must not be built when disabled");
+        assert_eq!(t.events_emitted(), 0);
+        t.flush();
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        let t = Tracer::new(sink.clone());
+        assert!(t.enabled());
+        t.emit("a", Json::object().set("k", 1i64));
+        let t2 = t.clone();
+        t2.emit("b", Json::Null);
+        t.emit("c", Json::object());
+        let events = sink.events();
+        assert_eq!(sink.names(), vec!["a", "b", "c"]);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "clones share one sequence"
+        );
+        assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        assert_eq!(t.events_emitted(), 3);
+        assert_eq!(events[0].to_json().get("k"), Some(&Json::Int(1)));
+        assert_eq!(
+            events[0].to_json().get("event").and_then(Json::as_str),
+            Some("a")
+        );
+    }
+
+    #[test]
+    fn concurrent_emission_keeps_sequence_numbers_distinct() {
+        let sink = MemorySink::new();
+        let t = Tracer::new(sink.clone());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        t.emit("tick", Json::object());
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..400).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "lbsa-obs-test-{}-{:?}.trace.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let t = Tracer::new(JsonlSink::create(&path).expect("temp file"));
+        t.emit("begin", Json::object().set("threads", 4usize));
+        t.emit("end", Json::object().set("ok", true));
+        t.flush();
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let doc = Json::parse(line).expect("well-formed JSONL line");
+            assert!(doc.get("event").and_then(Json::as_str).is_some());
+            assert!(doc.get("seq").is_some() && doc.get("t_us").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn counters_and_timers_accumulate() {
+        let c = Counter::new();
+        c.bump();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let timer = TimerNs::new();
+        timer.record(Duration::from_micros(3));
+        timer.record(Duration::from_micros(4));
+        assert_eq!(timer.total(), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn noop_and_stderr_sinks_accept_events() {
+        let event = Event {
+            seq: 0,
+            t_us: 1,
+            name: "x",
+            fields: Json::object(),
+        };
+        NoopSink.emit(&event);
+        NoopSink.flush();
+        // StderrSink just writes a line; smoke-test it doesn't panic.
+        StderrSink.emit(&event);
+    }
+}

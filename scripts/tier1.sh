@@ -16,13 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> report smoke (exp_t2_dac at n = 2, schema-validated)"
+echo "==> report smoke (exp_t2_dac at n = 2, schema- and trace-validated)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release -q -p lbsa-bench --bin exp_t2_dac -- \
   --max-n 2 --reports-dir "$smoke_dir"
 cargo run --release -q -p lbsa-bench --bin exp_report -- \
-  --validate "$smoke_dir/exp_t2_dac.json"
+  --validate "$smoke_dir/exp_t2_dac.json" \
+  --validate-trace "$smoke_dir/exp_t2_dac.trace.jsonl"
 
 echo "==> perf smoke (explore_scaling -> BENCH_explore.json gates)"
 # Regenerate BENCH_explore.json from a fresh bench run and gate it against
