@@ -7,23 +7,37 @@
 //! auto-resolved thread count, and once with symmetry reduction (the
 //! non-distinguished processes share the input 0, so the instance is
 //! symmetric under S_{n-1}); the `t2_dac/5/...` pair measures the same
-//! raw-vs-reduced split at n = 5, where the larger group (S_4, order 24)
-//! is what makes exhaustive exploration scale. Besides the usual per-group
-//! JSON report, this bench writes `BENCH_explore.json` at the repository
-//! root recording configs/sec for the engines, the parallel speedup, and
-//! the orbit-reduction ratios, so the perf trajectory is tracked in-tree.
+//! raw-vs-reduced split at n = 5, and `t2_dac/6/...` adds the regime the
+//! work-stealing frontier and incremental canonicalization are for: the
+//! `seq`/`ws` pair gates parallel speedup without inter-depth barriers,
+//! and the `reduced` row gates that orbit reduction now *wins wall clock*
+//! against raw exploration. The `kset/9/...` pair measures the same
+//! seq-vs-work-stealing split on a large k-set-agreement instance
+//! (≥ 10⁵ raw configurations), where frontier widths dwarf any barrier
+//! cost. Besides the usual per-group JSON report, this bench writes
+//! `BENCH_explore.json` at the repository root recording configs/sec for
+//! the engines, the parallel and work-stealing speedups, the
+//! orbit-reduction ratios, and the new steal/canonicalization counters,
+//! so the perf trajectory is tracked in-tree.
 
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{Configuration, ExploreOptions, Explorer, Limits};
+use lbsa_explorer::{Configuration, ExploreOptions, Explorer, Frontier, Limits};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
 use lbsa_runtime::process::Protocol;
-use lbsa_support::bench::{json_string, BenchmarkId, Criterion};
+use lbsa_support::bench::{BenchmarkId, Criterion};
+use lbsa_support::json::Json;
 use lbsa_support::{criterion_group, criterion_main};
 use std::collections::{HashMap, VecDeque};
 use std::hint::black_box;
+
+/// Process count of the committed large k-set-agreement workload: the
+/// KSetViaStrongSa race over a strong 2-SA object at n = 9 reaches ≈ 236k
+/// raw configurations — past the 10⁵ mark where exploration time is pure
+/// frontier throughput.
+const KSET_N: usize = 9;
 
 /// The seed exploration algorithm, kept verbatim as the perf baseline: a
 /// FIFO BFS deduplicating through a `HashMap` keyed by whole (deeply
@@ -140,18 +154,85 @@ fn bench_explore(c: &mut Criterion) {
             black_box(g.configs.len())
         });
     });
+
+    // n = 6: the committed workload where the work-stealing frontier and
+    // the incremental canonicalization must both *win* (see `perf_smoke`).
+    let p6 = DacFromPac::new(mixed_binary_inputs(6), Pid(0), ObjId(0)).unwrap();
+    let objects6 = vec![AnyObject::pac(6).unwrap()];
+    let explorer6 = Explorer::new(&p6, &objects6);
+    group.bench_function("t2_dac/6/seq", |b| {
+        b.iter(|| {
+            let g = explorer6.exploration().threads(1).run().unwrap();
+            black_box(g.configs.len())
+        });
+    });
+    group.bench_function(format!("t2_dac/6/ws{threads}"), |b| {
+        b.iter(|| {
+            let g = explorer6
+                .exploration()
+                .frontier(Frontier::WorkStealing)
+                .run()
+                .unwrap();
+            black_box(g.configs.len())
+        });
+    });
+    group.bench_function("t2_dac/6/reduced", |b| {
+        b.iter(|| {
+            let g = explorer6
+                .exploration()
+                .threads(1)
+                .symmetric()
+                .run()
+                .unwrap();
+            black_box(g.configs.len())
+        });
+    });
+
+    // The large k-set-agreement instance: ≥ 10⁵ raw configurations, the
+    // regime where frontier throughput is everything. Runs take a quarter
+    // second each, so the sample drops back to the sweep size.
+    group.sample_size(10);
+    let pk = KSetViaStrongSa::new(distinct_inputs(KSET_N), ObjId(0));
+    let objectsk = vec![AnyObject::strong_sa()];
+    let explorerk = Explorer::new(&pk, &objectsk);
+    group.bench_function(format!("kset/{KSET_N}/seq"), |b| {
+        b.iter(|| {
+            let g = explorerk.exploration().threads(1).run().unwrap();
+            black_box(g.configs.len())
+        });
+    });
+    group.bench_function(format!("kset/{KSET_N}/ws{threads}"), |b| {
+        b.iter(|| {
+            let g = explorerk
+                .exploration()
+                .frontier(Frontier::WorkStealing)
+                .run()
+                .unwrap();
+            black_box(g.configs.len())
+        });
+    });
     group.finish();
 
-    write_speedup_report(c, threads, &explorer, &explorer5);
+    write_speedup_report(c, threads, &explorer, &explorer5, &explorer6, &explorerk);
+}
+
+/// Rounds to two decimals — the report is read by humans and diffed in
+/// review, so ratios keep the precision they are gated at.
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
 }
 
 /// Writes `BENCH_explore.json` at the repository root: configs/sec on T2
 /// n=4 for the seed baseline algorithm, the new engine at one thread, and
 /// the new engine at the auto thread count, plus the resulting speedup of
 /// the shipped engine over the baseline — and, for the symmetry layer, the
-/// raw-vs-reduced config counts and reduction ratios at n = 4 and n = 5
+/// raw-vs-reduced config counts and reduction ratios at n = 4, 5, and 6
 /// (the n = 4 group is only S_3, so its ratio is Burnside-capped at 6;
-/// n = 5 is where the ≥ 5× reduction target is met).
+/// n = 5 is where the ≥ 5× reduction target is met). The n = 6 and
+/// `kset` blocks additionally record the work-stealing frontier: its
+/// seq-vs-ws speedup, the steal counters, and the incremental
+/// canonicalization split (patches vs full recomputations), plus
+/// `effective_cores` so the gates can scale expectations to the host.
 ///
 /// The n = 4 graph is small enough (275 configs) that per-run setup
 /// compresses the measured engine-vs-baseline ratio and couples it to the
@@ -163,6 +244,8 @@ fn write_speedup_report(
     threads: usize,
     explorer: &Explorer<'_, DacFromPac>,
     explorer5: &Explorer<'_, DacFromPac>,
+    explorer6: &Explorer<'_, DacFromPac>,
+    explorerk: &Explorer<'_, KSetViaStrongSa>,
 ) {
     // Gated speedups are computed from per-benchmark *minimum* times, not
     // medians: scheduler noise and co-tenant load only ever inflate a
@@ -189,6 +272,15 @@ fn write_speedup_report(
     ) else {
         return;
     };
+    let (Some(seq6_t), Some(ws6_t), Some(reduced6_t), Some(kseq_t), Some(kws_t)) = (
+        times("t2_dac/6/seq"),
+        times(&format!("t2_dac/6/ws{threads}")),
+        times("t2_dac/6/reduced"),
+        times(&format!("kset/{KSET_N}/seq")),
+        times(&format!("kset/{KSET_N}/ws{threads}")),
+    ) else {
+        return;
+    };
     let (baseline_min, baseline_ns) = baseline;
     let (seq_min, seq_ns) = seq;
     let (par_min, par_ns) = par;
@@ -196,6 +288,11 @@ fn write_speedup_report(
     let (baseline5_min, _baseline5_ns) = baseline5_t;
     let (raw5_min, raw5_ns) = raw5_t;
     let (reduced5_min, reduced5_ns) = reduced5_t;
+    let (seq6_min, seq6_ns) = seq6_t;
+    let (ws6_min, ws6_ns) = ws6_t;
+    let (reduced6_min, reduced6_ns) = reduced6_t;
+    let (kseq_min, kseq_ns) = kseq_t;
+    let (kws_min, kws_ns) = kws_t;
     let g = explorer.exploration().run().unwrap();
     let reduced = explorer.exploration().threads(1).symmetric().run().unwrap();
     let raw5 = explorer5.exploration().threads(1).run().unwrap();
@@ -205,58 +302,130 @@ fn write_speedup_report(
         .symmetric()
         .run()
         .unwrap();
+    let raw6 = explorer6.exploration().threads(1).run().unwrap();
+    let reduced6 = explorer6
+        .exploration()
+        .threads(1)
+        .symmetric()
+        .run()
+        .unwrap();
+    let ws6 = explorer6
+        .exploration()
+        .frontier(Frontier::WorkStealing)
+        .run()
+        .unwrap();
+    let ksetg = explorerk
+        .exploration()
+        .frontier(Frontier::WorkStealing)
+        .run()
+        .unwrap();
+    assert_eq!(
+        ws6.configs.len(),
+        raw6.configs.len(),
+        "work-stealing must reach the same state space"
+    );
+    assert_eq!(KSET_N, explorerk.initial_config().procs.len());
     let expanded = g.stats.expanded;
     let per_sec = |ns: f64| expanded as f64 / (ns / 1e9);
-    let ratio = |raw: usize, red: usize| raw as f64 / red as f64;
-    let speedup = baseline_min / par_min;
-    let json = format!(
-        "{{\n  \"workload\": {},\n  \"configs\": {},\n  \"transitions\": {},\n  \"threads\": {},\n  \"baseline_min_ns\": {:.0},\n  \"seq_min_ns\": {:.0},\n  \"par_min_ns\": {:.0},\n  \"baseline_median_ns\": {:.0},\n  \"seq_median_ns\": {:.0},\n  \"par_median_ns\": {:.0},\n  \"baseline_configs_per_sec\": {:.0},\n  \"seq_configs_per_sec\": {:.0},\n  \"par_configs_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.2},\n  \"speedup_par_vs_seq\": {:.2},\n  \"reduced_configs\": {},\n  \"reduced_min_ns\": {:.0},\n  \"reduced_median_ns\": {:.0},\n  \"reduction_ratio\": {:.2},\n  \"speedup_reduced_vs_raw\": {:.2},\n  \"n5_raw_configs\": {},\n  \"n5_reduced_configs\": {},\n  \"n5_baseline_min_ns\": {:.0},\n  \"n5_raw_min_ns\": {:.0},\n  \"n5_reduced_min_ns\": {:.0},\n  \"n5_raw_median_ns\": {:.0},\n  \"n5_reduced_median_ns\": {:.0},\n  \"n5_speedup_vs_baseline\": {:.2},\n  \"n5_reduction_ratio\": {:.2},\n  \"n5_speedup_reduced_vs_raw\": {:.2}\n}}\n",
-        json_string("t2_dac_n4"),
-        g.configs.len(),
-        g.transitions,
-        threads,
-        baseline_min,
-        seq_min,
-        par_min,
-        baseline_ns,
-        seq_ns,
-        par_ns,
-        per_sec(baseline_min),
-        per_sec(seq_min),
-        per_sec(par_min),
-        speedup,
-        seq_min / par_min,
-        reduced.configs.len(),
-        reduced_min,
-        reduced_ns,
-        ratio(g.configs.len(), reduced.configs.len()),
-        seq_min / reduced_min,
-        raw5.configs.len(),
-        reduced5.configs.len(),
-        baseline5_min,
-        raw5_min,
-        reduced5_min,
-        raw5_ns,
-        reduced5_ns,
-        baseline5_min / raw5_min,
-        ratio(raw5.configs.len(), reduced5.configs.len()),
-        raw5_min / reduced5_min,
-    );
+    let ratio = |raw: usize, red: usize| round2(raw as f64 / red as f64);
+    let speedup = round2(baseline_min / par_min);
+    let effective_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = Json::object()
+        .set("workload", "t2_dac_n4")
+        .set("configs", g.configs.len())
+        .set("transitions", g.transitions)
+        .set("threads", threads)
+        .set("effective_cores", effective_cores)
+        .set("baseline_min_ns", baseline_min.round())
+        .set("seq_min_ns", seq_min.round())
+        .set("par_min_ns", par_min.round())
+        .set("baseline_median_ns", baseline_ns.round())
+        .set("seq_median_ns", seq_ns.round())
+        .set("par_median_ns", par_ns.round())
+        .set("baseline_configs_per_sec", per_sec(baseline_min).round())
+        .set("seq_configs_per_sec", per_sec(seq_min).round())
+        .set("par_configs_per_sec", per_sec(par_min).round())
+        .set("speedup_vs_baseline", speedup)
+        .set("speedup_par_vs_seq", round2(seq_min / par_min))
+        .set("reduced_configs", reduced.configs.len())
+        .set("reduced_min_ns", reduced_min.round())
+        .set("reduced_median_ns", reduced_ns.round())
+        .set(
+            "reduction_ratio",
+            ratio(g.configs.len(), reduced.configs.len()),
+        )
+        .set("speedup_reduced_vs_raw", round2(seq_min / reduced_min))
+        .set("n5_raw_configs", raw5.configs.len())
+        .set("n5_reduced_configs", reduced5.configs.len())
+        .set("n5_baseline_min_ns", baseline5_min.round())
+        .set("n5_raw_min_ns", raw5_min.round())
+        .set("n5_reduced_min_ns", reduced5_min.round())
+        .set("n5_raw_median_ns", raw5_ns.round())
+        .set("n5_reduced_median_ns", reduced5_ns.round())
+        .set("n5_speedup_vs_baseline", round2(baseline5_min / raw5_min))
+        .set(
+            "n5_reduction_ratio",
+            ratio(raw5.configs.len(), reduced5.configs.len()),
+        )
+        .set("n5_speedup_reduced_vs_raw", round2(raw5_min / reduced5_min))
+        .set("n6_raw_configs", raw6.configs.len())
+        .set("n6_reduced_configs", reduced6.configs.len())
+        .set("n6_seq_min_ns", seq6_min.round())
+        .set("n6_ws_min_ns", ws6_min.round())
+        .set("n6_reduced_min_ns", reduced6_min.round())
+        .set("n6_seq_median_ns", seq6_ns.round())
+        .set("n6_ws_median_ns", ws6_ns.round())
+        .set("n6_reduced_median_ns", reduced6_ns.round())
+        .set("n6_speedup_par_vs_seq", round2(seq6_min / ws6_min))
+        .set(
+            "n6_reduction_ratio",
+            ratio(raw6.configs.len(), reduced6.configs.len()),
+        )
+        .set("n6_speedup_reduced_vs_raw", round2(seq6_min / reduced6_min))
+        .set("n6_ws_steals", ws6.stats.steals)
+        .set("n6_ws_steal_fails", ws6.stats.steal_fails)
+        .set("n6_ws_local_hits", ws6.stats.local_hits)
+        .set("n6_canon_patches", reduced6.stats.canon_patches)
+        .set("n6_canon_full", reduced6.stats.canon_full)
+        .set("kset_n", KSET_N)
+        .set("kset_raw_configs", ksetg.configs.len())
+        .set("kset_seq_min_ns", kseq_min.round())
+        .set("kset_ws_min_ns", kws_min.round())
+        .set("kset_seq_median_ns", kseq_ns.round())
+        .set("kset_ws_median_ns", kws_ns.round())
+        .set("kset_speedup_par_vs_seq", round2(kseq_min / kws_min))
+        .set("kset_ws_steals", ksetg.stats.steals)
+        .set("kset_ws_steal_fails", ksetg.stats.steal_fails)
+        .set("kset_ws_local_hits", ksetg.stats.local_hits);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
-    if std::fs::write(path, &json).is_ok() {
+    if std::fs::write(path, json.pretty() + "\n").is_ok() {
         println!("\nT2 n=4 engine speedup vs seed baseline: {speedup:.2}x ({threads} threads)");
         println!(
             "T2 n=5 engine speedup vs seed baseline: {:.2}x",
             baseline5_min / raw5_min
         );
         println!(
-            "symmetry reduction: n=4 {}->{} configs ({:.2}x), n=5 {}->{} configs ({:.2}x)",
+            "T2 n=6 work-stealing vs seq: {:.2}x; reduced vs raw wall clock: {:.2}x",
+            seq6_min / ws6_min,
+            reduced6_min / seq6_min,
+        );
+        println!(
+            "kset n={KSET_N} ({} configs) work-stealing vs seq: {:.2}x",
+            ksetg.configs.len(),
+            kseq_min / kws_min,
+        );
+        println!(
+            "symmetry reduction: n=4 {}->{} configs ({:.2}x), n=5 {}->{} configs ({:.2}x), \
+             n=6 {}->{} configs ({:.2}x)",
             g.configs.len(),
             reduced.configs.len(),
             ratio(g.configs.len(), reduced.configs.len()),
             raw5.configs.len(),
             reduced5.configs.len(),
             ratio(raw5.configs.len(), reduced5.configs.len()),
+            raw6.configs.len(),
+            reduced6.configs.len(),
+            ratio(raw6.configs.len(), reduced6.configs.len()),
         );
         println!("wrote {path}");
     }

@@ -1,19 +1,26 @@
 //! Profiling harness: loops the T2 exploration so a sampling profiler has
 //! something to chew on. Not an experiment binary.
 //!
-//! Usage: `profile_t2 [iters] [--n N] [--symmetric]`. The default is 2000
-//! iterations of the raw n = 4 exploration; `--symmetric` profiles the
-//! symmetry-reduced (orbit) exploration instead.
+//! Usage: `profile_t2 [iters] [--n N] [--symmetric] [--ws] [--kset]`. The
+//! default is 2000 iterations of the raw n = 4 exploration; `--symmetric`
+//! profiles the symmetry-reduced (orbit) exploration, `--ws` switches the
+//! frontier to work-stealing (auto thread count), and `--kset` profiles
+//! the k-set-agreement race (`KSetViaStrongSa` over a strong 2-SA object)
+//! instead of Algorithm 2.
 
-use lbsa_bench::mixed_binary_inputs;
+use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::Explorer;
+use lbsa_explorer::{Exploration, Explorer, Frontier};
 use lbsa_protocols::dac::DacFromPac;
+use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
+use lbsa_runtime::process::{Protocol, Symmetry};
 use std::hint::black_box;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let symmetric = args.iter().any(|a| a == "--symmetric");
+    let ws = args.iter().any(|a| a == "--ws");
+    let kset = args.iter().any(|a| a == "--kset");
     let n: usize = args
         .iter()
         .position(|a| a == "--n")
@@ -22,23 +29,59 @@ fn main() {
         .unwrap_or(4);
     let iters: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(2000);
 
-    let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
-    let objects = vec![AnyObject::pac(n).unwrap()];
-    let explorer = Explorer::new(&p, &objects);
+    let (workload, configs, last_summary) = if kset {
+        let p = KSetViaStrongSa::new(distinct_inputs(n), ObjId(0));
+        let objects = vec![AnyObject::strong_sa()];
+        let explorer = Explorer::new(&p, &objects);
+        run(&explorer, iters, symmetric, ws)
+    } else {
+        let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
+        let objects = vec![AnyObject::pac(n).unwrap()];
+        let explorer = Explorer::new(&p, &objects);
+        run(&explorer, iters, symmetric, ws)
+    };
+    let family = if kset { "kset_race" } else { "t2_dac" };
+    eprintln!("{family} n={n} {workload}: {configs} configs");
+    eprintln!("last iteration: {last_summary}");
+}
+
+fn run<P>(
+    explorer: &Explorer<'_, P>,
+    iters: usize,
+    symmetric: bool,
+    ws: bool,
+) -> (String, usize, String)
+where
+    P: Protocol + Symmetry,
+    P::LocalState: Ord,
+{
+    let build = |threads: usize| -> Exploration<'_, '_, P> {
+        let mut e = explorer.exploration().threads(threads);
+        if symmetric {
+            e = e.symmetric();
+        }
+        if ws {
+            e = e.frontier(Frontier::WorkStealing).threads(0);
+        }
+        e
+    };
+    let json = std::env::args().any(|a| a == "--json");
     let mut configs = 0;
     let mut last_summary = String::new();
     for _ in 0..iters {
-        let g = if symmetric {
-            explorer.exploration().threads(1).symmetric().run().unwrap()
-        } else {
-            explorer.exploration().threads(1).run().unwrap()
-        };
+        let g = build(1).run().unwrap();
         configs = black_box(g.configs.len());
-        last_summary = g.stats.summary();
+        last_summary = if json {
+            g.stats.to_json().pretty()
+        } else {
+            g.stats.summary()
+        };
     }
-    eprintln!(
-        "t2_dac n={n} {}: {configs} configs",
-        if symmetric { "reduced" } else { "raw" }
-    );
-    eprintln!("last iteration: {last_summary}");
+    let mode = match (symmetric, ws) {
+        (true, true) => "reduced+ws",
+        (true, false) => "reduced",
+        (false, true) => "ws",
+        (false, false) => "raw",
+    };
+    (mode.to_string(), configs, last_summary)
 }

@@ -8,7 +8,7 @@
 
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{ExploreStats, Explorer, Limits};
+use lbsa_explorer::{ExploreStats, Explorer, Frontier, Limits};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_protocols::dac::DacFromPac;
 
@@ -78,6 +78,76 @@ fn reduced_exploration_stats_reconcile() {
         .expect("explorable");
     assert!(g.stats.reduced, "symmetric run must set the reduced flag");
     assert_invariants(&g.stats, "dac n=4 reduced");
+}
+
+/// The work-stealing frontier has no levels — its stats reconcile through
+/// the aggregate counters instead: every discovered config is either a
+/// local pop or a steal, and on a complete run every transition either
+/// discovered a new config or hit the dedup index.
+#[test]
+fn work_stealing_stats_reconcile() {
+    let p = DacFromPac::new(mixed_binary_inputs(4), Pid(0), ObjId(0)).expect("n >= 2");
+    let objects = vec![AnyObject::pac(4).expect("valid")];
+    for threads in [1usize, 2, 4] {
+        let g = Explorer::new(&p, &objects)
+            .exploration()
+            .frontier(Frontier::WorkStealing)
+            .threads(threads)
+            .run()
+            .expect("explorable");
+        let what = format!("dac n=4 work-stealing, {threads} threads");
+        let stats = &g.stats;
+        assert!(
+            stats.work_stealing,
+            "{what}: work_stealing flag must be set"
+        );
+        assert!(
+            stats.levels.is_empty(),
+            "{what}: the barrier-free frontier has no per-level breakdown"
+        );
+        assert!(g.complete, "{what}: unbounded run must complete");
+        assert_eq!(
+            stats.expanded,
+            g.configs.len(),
+            "{what}: complete run expands every config"
+        );
+        assert_eq!(
+            stats.transitions,
+            stats.dedup_hits + g.configs.len() - 1,
+            "{what}: every transition is a dedup hit or a discovery"
+        );
+        assert_eq!(
+            stats.local_hits + stats.steals,
+            g.configs.len() as u64,
+            "{what}: every config is popped locally or stolen"
+        );
+        assert!(
+            stats.phases.measured() <= stats.elapsed,
+            "{what}: phase breakdown cannot exceed wall clock"
+        );
+    }
+}
+
+/// Work-stealing plus symmetry reduction: the canonicalization counters
+/// must account for every transition of a complete reduced run.
+#[test]
+fn work_stealing_reduced_stats_reconcile() {
+    let p = DacFromPac::new(mixed_binary_inputs(4), Pid(0), ObjId(0)).expect("n >= 2");
+    let objects = vec![AnyObject::pac(4).expect("valid")];
+    let g = Explorer::new(&p, &objects)
+        .exploration()
+        .frontier(Frontier::WorkStealing)
+        .threads(2)
+        .symmetric()
+        .run()
+        .expect("explorable");
+    let stats = &g.stats;
+    assert!(stats.reduced && stats.work_stealing);
+    assert_eq!(
+        stats.canon_patches + stats.canon_full,
+        stats.transitions as u64,
+        "dac n=4 ws+reduced: every successor was canonicalized, by patch or in full"
+    );
 }
 
 #[test]

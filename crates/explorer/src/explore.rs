@@ -44,7 +44,7 @@
 //! frontier shape, per-level timing — on the resulting graph.
 
 use crate::config::Configuration;
-use crate::intern::{CompactConfig, Interner, ShardedIndex, SHARDS};
+use crate::intern::{CompactConfig, ConcurrentIndex, Interner, ShardedIndex, SHARDS};
 use crate::stats::{duration_us, ExploreStats, LevelStats, PhaseTimes};
 use crate::symmetry::ConfigSymmetry;
 use lbsa_core::spec::ObjectSpec;
@@ -54,7 +54,7 @@ use lbsa_runtime::process::{ProcStatus, Protocol, Step, Symmetry};
 use lbsa_support::json::Json;
 use lbsa_support::obs::{Counter, TimerNs, Tracer};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -90,23 +90,48 @@ impl Default for Limits {
     }
 }
 
+/// Which frontier discipline the engine runs.
+///
+/// The two modes build graphs over the **same** reachable set (the same
+/// configurations, transitions, and verdicts), but order and index the nodes
+/// differently — see [`Exploration::frontier`] for the contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Frontier {
+    /// Level-synchronous BFS with a sequential merge: the graph is
+    /// byte-identical for every thread count, at the cost of a barrier per
+    /// BFS depth. The default, and required for witness extraction and the
+    /// determinism test suite.
+    #[default]
+    Deterministic,
+    /// Work-stealing frontier: per-worker deques with steal-half semantics
+    /// and a concurrent dedup index, no inter-depth barrier. Node indices
+    /// depend on discovery order, so only *verdict equality* (same
+    /// configurations, transitions, and checker outcomes) is guaranteed —
+    /// the throughput mode for large instances.
+    WorkStealing,
+}
+
 /// Tuning knobs for one exploration run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExploreOptions {
     /// Resource limits (see [`Limits`]).
     pub limits: Limits,
     /// Worker threads for frontier expansion. `0` means auto: the
-    /// `LBSA_EXPLORE_THREADS` environment variable if set, otherwise the
-    /// machine's available parallelism capped at 8. `1` forces the
-    /// sequential path. The thread count never affects the resulting
-    /// graph, only how fast it is built.
+    /// `LBSA_EXPLORE_THREADS` environment variable if set, otherwise every
+    /// core the machine offers (optionally capped by
+    /// `LBSA_EXPLORE_MAX_THREADS`). `1` forces the sequential path. In
+    /// [`Frontier::Deterministic`] mode the thread count never affects the
+    /// resulting graph, only how fast it is built.
     pub threads: usize,
     /// Bypass the adaptive parallel gate: every level of a multi-threaded
     /// run takes the parallel path regardless of its projected benefit.
     /// For tests pinning parallel-path behaviour and for benchmarking the
     /// parallel machinery itself; production runs should leave this off and
-    /// let the gate keep unprofitable levels sequential.
+    /// let the gate keep unprofitable levels sequential. Ignored by the
+    /// work-stealing frontier, which has no gate.
     pub force_parallel: bool,
+    /// Frontier discipline (see [`Frontier`]).
+    pub frontier: Frontier,
 }
 
 impl ExploreOptions {
@@ -117,6 +142,7 @@ impl ExploreOptions {
             limits,
             threads: 0,
             force_parallel: false,
+            frontier: Frontier::Deterministic,
         }
     }
 
@@ -135,22 +161,43 @@ impl ExploreOptions {
         self
     }
 
+    /// Sets the frontier discipline (see [`Frontier`]).
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: Frontier) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
     /// The concrete thread count this run will use.
+    ///
+    /// `0` resolves to `LBSA_EXPLORE_THREADS` if set, otherwise all
+    /// available cores. The old hardcoded cap of 8 is gone — the adaptive
+    /// [`ParGate`] already keeps levels sequential when extra threads cannot
+    /// pay for themselves — but deployments that must bound the engine's
+    /// footprint can set `LBSA_EXPLORE_MAX_THREADS` to cap the auto count.
     #[must_use]
     pub fn resolved_threads(&self) -> usize {
         if self.threads != 0 {
             return self.threads;
         }
-        if let Some(n) = std::env::var("LBSA_EXPLORE_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            if n > 0 {
-                return n;
-            }
+        if let Some(n) = env_threads("LBSA_EXPLORE_THREADS") {
+            return n;
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        match env_threads("LBSA_EXPLORE_MAX_THREADS") {
+            Some(cap) => cores.min(cap),
+            None => cores,
+        }
     }
+}
+
+/// A positive thread count from an environment variable, if present and
+/// parseable.
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 impl Default for ExploreOptions {
@@ -480,7 +527,131 @@ struct SuccRecord<L> {
     /// already in the index. The index is append-only, so a hit is final.
     known: Option<u32>,
     /// The materialized configuration, kept only when `known` is `None`.
-    config: Option<Configuration<L>>,
+    config: Option<SuccConfig<L>>,
+}
+
+/// How a successor record carries its configuration: owned when the worker
+/// materialized it afresh, shared when it came out of the canon memo (whose
+/// entries stay alive for future hits — cloning them eagerly on every hit
+/// would defeat the memo).
+enum SuccConfig<L> {
+    Owned(Configuration<L>),
+    Shared(Arc<Configuration<L>>),
+}
+
+impl<L: Clone> SuccConfig<L> {
+    /// Extracts the configuration, cloning only if the memo still shares it.
+    fn into_config(self) -> Configuration<L> {
+        match self {
+            SuccConfig::Owned(c) => c,
+            SuccConfig::Shared(arc) => Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+/// Canonicalization memo for symmetry-reduced exploration: maps a raw
+/// successor's **delta-patched compact key** (the parent's canonical key
+/// with the stepped object-state and process-status slots replaced) to the
+/// successor's canonical form.
+///
+/// Every graph node under reduction is canonical, so a successor is fully
+/// determined by `(parent key, patched slots)` — the patched key. Retry
+/// loops and diamond interleavings reproduce the same patched keys from
+/// thousands of parents; on a hit the engine skips materializing the raw
+/// successor *and* the whole orbit computation. Entries hold both the
+/// canonical compact key (for dedup probing) and the canonical
+/// configuration (for the rare hit that still discovers a new node — the
+/// first key occurrence by wall clock need not be the first in merge
+/// order).
+///
+/// Sharded and lock-guarded like [`TransitionMemo`], shared by parallel
+/// expansion workers of both frontier modes; the fused sequential path owns
+/// a plain-map analogue.
+type CanonShard<L> = lbsa_support::hash::FxHashMap<CompactConfig, CanonEntry<L>>;
+
+/// One canon-memo entry: the canonical compact key and its configuration.
+type CanonEntry<L> = (CompactConfig, Arc<Configuration<L>>);
+
+/// The symmetry context a reduced expansion threads through: the group
+/// (for canonicalizing misses) and the shared canonicalization memo.
+type SymCtx<'a, 'p, L> = (&'a ConfigSymmetry<'p, L>, &'a CanonMemo<L>);
+
+struct CanonMemo<L> {
+    shards: Vec<RwLock<CanonShard<L>>>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl<L> CanonMemo<L> {
+    fn new() -> Self {
+        CanonMemo {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(Default::default()))
+                .collect(),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    fn get(&self, raw_key: &[u32]) -> Option<CanonEntry<L>> {
+        let found = self.shards[ShardedIndex::shard_of(raw_key)]
+            .read()
+            .expect("canon memo lock poisoned")
+            .get(raw_key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.bump(),
+            None => self.misses.bump(),
+        }
+        found
+    }
+
+    fn insert(&self, raw_key: CompactConfig, entry: CanonEntry<L>) {
+        self.shards[ShardedIndex::shard_of(&raw_key)]
+            .write()
+            .expect("canon memo lock poisoned")
+            .insert(raw_key, entry);
+    }
+}
+
+/// One pending node of the work-stealing frontier: its assigned index, its
+/// compact dedup key (the delta-interning base for its successors), and its
+/// configuration, shared with the graph assembly and (under reduction) the
+/// canon memo.
+struct WsTask<L> {
+    id: u32,
+    key: CompactConfig,
+    config: Arc<Configuration<L>>,
+}
+
+/// What one work-stealing worker hands back at join: the sub-graph it
+/// built and its scheduling counters. Node indices come from the shared
+/// [`ConcurrentIndex`], so the per-worker pieces assemble by plain index
+/// assignment.
+struct WsWorkerOut<L> {
+    /// `(node, out-edges)` for every node this worker expanded.
+    edges: Vec<(u32, Vec<Edge>)>,
+    /// `(node, configuration)` for every node this worker discovered.
+    discovered: Vec<(u32, Arc<Configuration<L>>)>,
+    transitions: usize,
+    dedup_hits: usize,
+    steals: u64,
+    steal_fails: u64,
+    local_hits: u64,
+}
+
+impl<L> Default for WsWorkerOut<L> {
+    fn default() -> Self {
+        WsWorkerOut {
+            edges: Vec::new(),
+            discovered: Vec::new(),
+            transitions: 0,
+            dedup_hits: 0,
+            steals: 0,
+            steal_fails: 0,
+            local_hits: 0,
+        }
+    }
 }
 
 type NodeResult<L> = Result<Vec<SuccRecord<L>>, RuntimeError>;
@@ -515,7 +686,7 @@ enum MergeClass {
 /// Nodes whose expansion failed are skipped entirely; the stitch stops at
 /// the first error anyway, and skipping keeps the ordinal sequences of both
 /// phases aligned up to that point.
-fn classify_level<L: Sync>(
+fn classify_level<L: Send + Sync>(
     results: &[NodeResult<L>],
     index: &ShardedIndex,
     threads: usize,
@@ -585,6 +756,11 @@ type WorkItem<'w, L> = (u32, &'w Configuration<L>, &'w CompactConfig);
 /// call into the canonicalization-phase accumulator, untraced runs pay
 /// nothing beyond the `Option` check (overhead policy: no per-successor
 /// clock reads unless a tracer asked for them).
+///
+/// Goes through [`ConfigSymmetry::canonicalize_incremental`]: engine inputs
+/// are one-step patches of canonical parents, the access pattern the lazy
+/// already-minimal check is built for. Both its branches return the same
+/// representative, so graphs stay byte-identical.
 fn timed_canonicalize<L: Clone>(
     sym: &ConfigSymmetry<'_, L>,
     config: &Configuration<L>,
@@ -593,11 +769,11 @@ fn timed_canonicalize<L: Clone>(
     match probe {
         Some(timer) => {
             let t0 = Instant::now();
-            let canon = sym.canonicalize(config);
+            let canon = sym.canonicalize_incremental(config);
             timer.record(t0.elapsed());
             canon
         }
-        None => sym.canonicalize(config),
+        None => sym.canonicalize_incremental(config),
     }
 }
 
@@ -954,6 +1130,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 .set("max_configs", limits.max_configs)
                 .set("force_parallel", options.force_parallel)
                 .set("reduced", sym.is_some())
+                .set("frontier", "level-sync")
         });
         // Per-call canonicalization timing means a clock read per successor,
         // so by the overhead policy it runs only under an attached tracer;
@@ -961,6 +1138,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let canon_timer = TimerNs::new();
         let canon_probe = tracer.enabled().then_some(&canon_timer);
         let canon_calls_before = sym.map_or(0, ConfigSymmetry::canon_calls);
+        let canon_fast_before = sym.map_or(0, ConfigSymmetry::canon_fast_hits);
+        let canon_full_before = sym.map_or(0, ConfigSymmetry::canon_full_calls);
 
         // Under symmetry reduction every graph node is the canonical
         // representative of its orbit, starting with the root.
@@ -1002,6 +1181,11 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let memo = TransitionMemo::new();
         let mut seq_memo: lbsa_support::hash::FxHashMap<(u32, u32, u32), Pairs> =
             lbsa_support::hash::FxHashMap::with_capacity_and_hasher(256, Default::default());
+        // Canonicalization memo, same one-store-per-path split (see
+        // `CanonMemo`): raw delta-patched successor key → canonical form.
+        let canon_memo: CanonMemo<P::LocalState> = CanonMemo::new();
+        let mut seq_canon_memo: CanonShard<P::LocalState> = Default::default();
+        let mut seq_canon_hits = 0u64;
 
         while !frontier.is_empty() {
             peak_frontier = peak_frontier.max(frontier.len());
@@ -1085,19 +1269,43 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                             level_transitions += 1;
                             if let Some(symmetry) = sym {
                                 // Orbit mode: the dedup key is the compacted
-                                // *canonical representative*, so the raw
-                                // delta-patch shortcut below does not apply —
-                                // the successor is materialized and
-                                // canonicalized before keying.
-                                let canon = {
-                                    let parent = &configs[node];
-                                    let mut raw = parent.clone();
-                                    raw.object_states[obj.index()] =
-                                        state_interner.resolve_mut(succ_state).clone();
-                                    raw.procs[i] = proc_interner.resolve_mut(succ_proc).clone();
-                                    timed_canonicalize(symmetry, &raw, canon_probe)
+                                // *canonical representative*. The raw
+                                // delta-patched key below is not that key,
+                                // but it *identifies* the raw successor, so
+                                // it memoizes the canonicalization: on a hit
+                                // neither the raw successor nor any permuted
+                                // copy is materialized.
+                                scratch.copy_from_slice(parent_key);
+                                scratch[obj.index()] = succ_state;
+                                scratch[n_obj + i] = succ_proc;
+                                let (key, shared) = match seq_canon_memo
+                                    .get(scratch.as_slice())
+                                    .cloned()
+                                {
+                                    Some((ck, arc)) => {
+                                        seq_canon_hits += 1;
+                                        (ck, arc)
+                                    }
+                                    None => {
+                                        let canon = {
+                                            let parent = &configs[node];
+                                            let mut raw = parent.clone();
+                                            raw.object_states[obj.index()] =
+                                                state_interner.resolve_mut(succ_state).clone();
+                                            raw.procs[i] =
+                                                proc_interner.resolve_mut(succ_proc).clone();
+                                            timed_canonicalize(symmetry, &raw, canon_probe)
+                                        };
+                                        let key =
+                                            self.compact(&canon, &state_interner, &proc_interner);
+                                        let arc = Arc::new(canon);
+                                        seq_canon_memo.insert(
+                                            scratch.as_slice().into(),
+                                            (key.clone(), Arc::clone(&arc)),
+                                        );
+                                        (key, arc)
+                                    }
                                 };
-                                let key = self.compact(&canon, &state_interner, &proc_interner);
                                 let target = if let Some(t) = index.probe(&key) {
                                     dedup_hits += 1;
                                     t
@@ -1106,7 +1314,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                         .expect("graphs are bounded well below u32::MAX nodes");
                                     next_frontier.push((t, key.clone()));
                                     index.insert(key, t);
-                                    configs.push(canon);
+                                    configs.push(
+                                        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone()),
+                                    );
                                     edges.push(vec![]);
                                     expanded.push(false);
                                     t
@@ -1199,7 +1409,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         &proc_interner,
                         &memo,
                         &index,
-                        sym,
+                        sym.map(|s| (s, &canon_memo)),
                         canon_probe,
                     )
                 };
@@ -1247,7 +1457,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                     index.insert(key, t);
                                     configs.push(
                                         rec.config
-                                            .expect("new successors carry their configuration"),
+                                            .expect("new successors carry their configuration")
+                                            .into_config(),
                                     );
                                     edges.push(vec![]);
                                     expanded.push(false);
@@ -1332,7 +1543,395 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             intern_hits: state_interner.hits() + proc_interner.hits(),
             intern_misses: state_interner.misses() + proc_interner.misses(),
             canon_calls: sym.map_or(0, ConfigSymmetry::canon_calls) - canon_calls_before,
+            canon_patches: (sym.map_or(0, ConfigSymmetry::canon_fast_hits) - canon_fast_before)
+                + canon_memo.hits.get()
+                + seq_canon_hits,
+            canon_full: sym.map_or(0, ConfigSymmetry::canon_full_calls) - canon_full_before,
+            work_stealing: false,
+            steals: 0,
+            steal_fails: 0,
+            local_hits: 0,
             levels,
+        };
+        tracer.emit_with("explore.end", || stats.to_json());
+        Ok(ExplorationGraph {
+            configs,
+            edges,
+            expanded,
+            complete,
+            transitions,
+            stats,
+        })
+    }
+
+    /// The work-stealing engine behind [`Frontier::WorkStealing`]: no BFS
+    /// levels, no barriers. Each worker owns a LIFO deque of pending nodes;
+    /// an idle worker steals the older half of a victim's deque (FIFO end —
+    /// thieves take the work closest to the root, whose subtrees are
+    /// largest). Deduplication goes through a [`ConcurrentIndex`] that
+    /// assigns node indices in discovery order, so the graph's indexing is
+    /// scheduling-dependent while its *content* — configuration set, edge
+    /// multiset, stats aggregates — matches the deterministic engine's on
+    /// complete runs (see [`Exploration::frontier`]).
+    ///
+    /// Termination uses a single pending-task counter: it is incremented
+    /// before a node becomes stealable and decremented only after its
+    /// expansion (including enqueuing all children), so `pending == 0` with
+    /// all deques empty proves quiescence. Workers never hold two deque
+    /// locks at once, so stealing cannot deadlock.
+    fn run_engine_ws(
+        &self,
+        initial: Configuration<P::LocalState>,
+        options: ExploreOptions,
+        sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
+        tracer: &Tracer,
+    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
+        let started = Instant::now();
+        let workers = options.resolved_threads().max(1);
+        let limits = options.limits;
+        tracer.emit_with("explore.begin", || {
+            Json::object()
+                .set("threads", workers)
+                .set("max_configs", limits.max_configs)
+                .set("force_parallel", options.force_parallel)
+                .set("reduced", sym.is_some())
+                .set("frontier", "work-stealing")
+        });
+        let canon_timer = TimerNs::new();
+        let canon_probe = tracer.enabled().then_some(&canon_timer);
+        let canon_calls_before = sym.map_or(0, ConfigSymmetry::canon_calls);
+        let canon_fast_before = sym.map_or(0, ConfigSymmetry::canon_fast_hits);
+        let canon_full_before = sym.map_or(0, ConfigSymmetry::canon_full_calls);
+
+        let initial = match sym {
+            Some(s) => s.canonicalize(&initial),
+            None => initial,
+        };
+        let state_interner: Interner<AnyState> = Interner::new();
+        let proc_interner: Interner<ProcStatus<P::LocalState>> = Interner::new();
+        let memo = TransitionMemo::new();
+        let canon_memo: CanonMemo<P::LocalState> = CanonMemo::new();
+        let index = ConcurrentIndex::new();
+        let n_obj = initial.object_states.len();
+        let n_procs = initial.procs.len();
+        let initial_key = self.compact(&initial, &state_interner, &proc_interner);
+        let initial = Arc::new(initial);
+        let (root, _) = index.get_or_insert(&initial_key);
+        debug_assert_eq!(root, 0, "the root is the first interned node");
+
+        let deques: Vec<Mutex<VecDeque<WsTask<P::LocalState>>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        deques[0]
+            .lock()
+            .expect("deque lock poisoned")
+            .push_back(WsTask {
+                id: root,
+                key: initial_key,
+                config: Arc::clone(&initial),
+            });
+        // Queued-or-in-flight nodes; bumped before a task becomes stealable,
+        // dropped only after its children are enqueued.
+        let pending = AtomicUsize::new(1);
+        let peak_pending = AtomicUsize::new(1);
+        // Expansion budget claims, one per task; a claim at or past the
+        // limit marks the run truncated and leaves the node unexpanded.
+        let claimed = AtomicUsize::new(0);
+        let truncated = AtomicBool::new(false);
+        let abort = AtomicBool::new(false);
+        let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+
+        let outs: Vec<WsWorkerOut<P::LocalState>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let deques = &deques;
+                    let pending = &pending;
+                    let peak_pending = &peak_pending;
+                    let claimed = &claimed;
+                    let truncated = &truncated;
+                    let abort = &abort;
+                    let first_error = &first_error;
+                    let index = &index;
+                    let state_interner = &state_interner;
+                    let proc_interner = &proc_interner;
+                    let memo = &memo;
+                    let canon_memo = &canon_memo;
+                    s.spawn(move || {
+                        let mut out = WsWorkerOut::default();
+                        let mut scratch = vec![0u32; n_obj + n_procs];
+                        'work: loop {
+                            if abort.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // Own deque first (LIFO: depth-first locally,
+                            // cache-warm parents), then sweep the victims.
+                            let popped = deques[me].lock().expect("deque lock poisoned").pop_back();
+                            let task = match popped {
+                                Some(task) => {
+                                    out.local_hits += 1;
+                                    task
+                                }
+                                None => {
+                                    let mut stolen = None;
+                                    for k in 1..workers {
+                                        let victim = (me + k) % workers;
+                                        // Never hold two deque locks: drain
+                                        // under the victim's lock, re-queue
+                                        // under our own after releasing it.
+                                        let mut batch: Vec<WsTask<P::LocalState>> = {
+                                            let mut q =
+                                                deques[victim].lock().expect("deque lock poisoned");
+                                            let half = q.len().div_ceil(2);
+                                            q.drain(..half).collect()
+                                        };
+                                        if batch.is_empty() {
+                                            continue;
+                                        }
+                                        out.steals += 1;
+                                        stolen = Some(batch.remove(0));
+                                        if !batch.is_empty() {
+                                            deques[me]
+                                                .lock()
+                                                .expect("deque lock poisoned")
+                                                .extend(batch);
+                                        }
+                                        break;
+                                    }
+                                    match stolen {
+                                        Some(task) => task,
+                                        None => {
+                                            out.steal_fails += 1;
+                                            if pending.load(Ordering::Acquire) == 0 {
+                                                break;
+                                            }
+                                            std::thread::yield_now();
+                                            continue;
+                                        }
+                                    }
+                                }
+                            };
+                            if claimed.fetch_add(1, Ordering::Relaxed) >= limits.max_configs {
+                                truncated.store(true, Ordering::Relaxed);
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                                continue;
+                            }
+                            let config = &*task.config;
+                            let parent_key = &task.key;
+                            let mut out_edges: Vec<Edge> = Vec::new();
+                            let mut spawned: Vec<WsTask<P::LocalState>> = Vec::new();
+                            for (i, status) in config.procs.iter().enumerate() {
+                                let ProcStatus::Running(local) = status else {
+                                    continue;
+                                };
+                                let pid = Pid(i);
+                                let (obj, op) = self.protocol.pending_op(pid, local);
+                                let memo_key =
+                                    (parent_key[obj.index()], parent_key[n_obj + i], i as u32);
+                                let pairs = match self.step_pairs(
+                                    config,
+                                    pid,
+                                    local,
+                                    obj,
+                                    &op,
+                                    memo_key,
+                                    state_interner,
+                                    proc_interner,
+                                    memo,
+                                ) {
+                                    Ok(pairs) => pairs,
+                                    Err(err) => {
+                                        let mut slot =
+                                            first_error.lock().expect("error slot poisoned");
+                                        slot.get_or_insert(err);
+                                        abort.store(true, Ordering::Release);
+                                        pending.fetch_sub(1, Ordering::AcqRel);
+                                        break 'work;
+                                    }
+                                };
+                                for (outcome, &(succ_state, succ_proc)) in
+                                    pairs.as_slice().iter().enumerate()
+                                {
+                                    scratch.copy_from_slice(parent_key);
+                                    scratch[obj.index()] = succ_state;
+                                    scratch[n_obj + i] = succ_proc;
+                                    let target = if let Some(symmetry) = sym {
+                                        let (key, arc) = match canon_memo.get(&scratch) {
+                                            Some(entry) => entry,
+                                            None => {
+                                                let mut raw = config.clone();
+                                                raw.object_states[obj.index()] = state_interner
+                                                    .resolve_with(succ_state, Clone::clone);
+                                                raw.procs[i] = proc_interner
+                                                    .resolve_with(succ_proc, Clone::clone);
+                                                let canon =
+                                                    timed_canonicalize(symmetry, &raw, canon_probe);
+                                                let key = self.compact(
+                                                    &canon,
+                                                    state_interner,
+                                                    proc_interner,
+                                                );
+                                                let arc = Arc::new(canon);
+                                                canon_memo.insert(
+                                                    scratch.as_slice().into(),
+                                                    (key.clone(), Arc::clone(&arc)),
+                                                );
+                                                (key, arc)
+                                            }
+                                        };
+                                        let (t, inserted) = index.get_or_insert(&key);
+                                        if inserted {
+                                            out.discovered.push((t, Arc::clone(&arc)));
+                                            spawned.push(WsTask {
+                                                id: t,
+                                                key,
+                                                config: arc,
+                                            });
+                                        } else {
+                                            out.dedup_hits += 1;
+                                        }
+                                        t
+                                    } else {
+                                        match index.probe(&scratch) {
+                                            Some(t) => {
+                                                out.dedup_hits += 1;
+                                                t
+                                            }
+                                            None => {
+                                                let key: CompactConfig = scratch.as_slice().into();
+                                                let (t, inserted) = index.get_or_insert(&key);
+                                                if inserted {
+                                                    let mut next = config.clone();
+                                                    next.object_states[obj.index()] =
+                                                        state_interner
+                                                            .resolve_with(succ_state, Clone::clone);
+                                                    next.procs[i] = proc_interner
+                                                        .resolve_with(succ_proc, Clone::clone);
+                                                    let arc = Arc::new(next);
+                                                    out.discovered.push((t, Arc::clone(&arc)));
+                                                    spawned.push(WsTask {
+                                                        id: t,
+                                                        key,
+                                                        config: arc,
+                                                    });
+                                                } else {
+                                                    out.dedup_hits += 1;
+                                                }
+                                                t
+                                            }
+                                        }
+                                    };
+                                    out.transitions += 1;
+                                    out_edges.push(Edge {
+                                        pid,
+                                        outcome,
+                                        target: target as usize,
+                                    });
+                                }
+                            }
+                            if !spawned.is_empty() {
+                                let now = pending.fetch_add(spawned.len(), Ordering::AcqRel)
+                                    + spawned.len();
+                                peak_pending.fetch_max(now, Ordering::Relaxed);
+                                deques[me]
+                                    .lock()
+                                    .expect("deque lock poisoned")
+                                    .extend(spawned);
+                            }
+                            out.edges.push((task.id, out_edges));
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("work-stealing worker panicked"))
+                .collect()
+        });
+        if let Some(err) = first_error.into_inner().expect("error slot poisoned") {
+            return Err(err);
+        }
+        let canon_hits = canon_memo.hits.get();
+        // Release the memo's shares so assembly can unwrap the Arcs.
+        drop(canon_memo);
+        drop(deques);
+
+        let count = index.len();
+        let mut configs: Vec<Option<Configuration<P::LocalState>>> =
+            (0..count).map(|_| None).collect();
+        configs[0] = Some(Arc::try_unwrap(initial).unwrap_or_else(|a| (*a).clone()));
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); count];
+        let mut expanded = vec![false; count];
+        let mut expanded_count = 0usize;
+        let mut transitions = 0usize;
+        let mut dedup_hits = 0usize;
+        let mut steals = 0u64;
+        let mut steal_fails = 0u64;
+        let mut local_hits = 0u64;
+        for (w, out) in outs.into_iter().enumerate() {
+            tracer.emit_with("ws.worker", || {
+                Json::object()
+                    .set("worker", w)
+                    .set("expanded", out.edges.len())
+                    .set("transitions", out.transitions)
+                    .set("steals", out.steals)
+                    .set("steal_fails", out.steal_fails)
+                    .set("local_hits", out.local_hits)
+            });
+            transitions += out.transitions;
+            dedup_hits += out.dedup_hits;
+            steals += out.steals;
+            steal_fails += out.steal_fails;
+            local_hits += out.local_hits;
+            for (id, arc) in out.discovered {
+                configs[id as usize] = Some(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()));
+            }
+            for (id, e) in out.edges {
+                edges[id as usize] = e;
+                expanded[id as usize] = true;
+                expanded_count += 1;
+            }
+        }
+        let configs: Vec<Configuration<P::LocalState>> = configs
+            .into_iter()
+            .map(|c| c.expect("every interned node carries a configuration"))
+            .collect();
+        let complete = !truncated.load(Ordering::Relaxed);
+        // One clock read for both the total and the expand phase: without a
+        // barrier the whole run is one expansion phase, and reading the
+        // clock twice would make `phases.measured()` exceed `elapsed`.
+        let elapsed = started.elapsed();
+
+        let stats = ExploreStats {
+            configs: configs.len(),
+            expanded: expanded_count,
+            transitions,
+            dedup_hits,
+            distinct_object_states: state_interner.len(),
+            distinct_proc_statuses: proc_interner.len(),
+            peak_frontier: peak_pending.load(Ordering::Relaxed),
+            threads: workers,
+            parallel_levels: 0,
+            reduced: sym.is_some(),
+            elapsed,
+            phases: PhaseTimes {
+                expand: elapsed,
+                merge: Duration::ZERO,
+                canonicalize: canon_timer.total(),
+            },
+            memo_hits: memo.hits.get(),
+            memo_misses: memo.misses.get(),
+            intern_hits: state_interner.hits() + proc_interner.hits(),
+            intern_misses: state_interner.misses() + proc_interner.misses(),
+            canon_calls: sym.map_or(0, ConfigSymmetry::canon_calls) - canon_calls_before,
+            canon_patches: (sym.map_or(0, ConfigSymmetry::canon_fast_hits) - canon_fast_before)
+                + canon_hits,
+            canon_full: sym.map_or(0, ConfigSymmetry::canon_full_calls) - canon_full_before,
+            work_stealing: true,
+            steals,
+            steal_fails,
+            local_hits,
+            levels: Vec::new(),
         };
         tracer.emit_with("explore.end", || stats.to_json());
         Ok(ExplorationGraph {
@@ -1380,7 +1979,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         proc_interner: &Interner<ProcStatus<P::LocalState>>,
         memo: &TransitionMemo,
         index: &ShardedIndex,
-        sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
+        sym: Option<SymCtx<'_, '_, P::LocalState>>,
         canon_probe: Option<&TimerNs>,
     ) -> NodeResult<P::LocalState> {
         let n_obj = config.object_states.len();
@@ -1407,17 +2006,29 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 memo,
             )?;
             for (outcome, &(succ_state, succ_proc)) in pairs.as_slice().iter().enumerate() {
-                if let Some(symmetry) = sym {
-                    // Orbit mode: the key is the compacted canonical
-                    // representative, so the successor is always
-                    // materialized (the delta-patched raw key below is not
-                    // the dedup key under reduction).
-                    let mut raw = config.clone();
-                    raw.object_states[obj.index()] =
-                        state_interner.resolve_with(succ_state, Clone::clone);
-                    raw.procs[pid.index()] = proc_interner.resolve_with(succ_proc, Clone::clone);
-                    let canon = timed_canonicalize(symmetry, &raw, canon_probe);
-                    let key = self.compact(&canon, state_interner, proc_interner);
+                if let Some((symmetry, canon_memo)) = sym {
+                    // Orbit mode: the dedup key is the compacted canonical
+                    // representative, reached through the canon memo keyed
+                    // by the raw delta-patched key (see `CanonMemo`).
+                    scratch.copy_from_slice(parent_key);
+                    scratch[obj.index()] = succ_state;
+                    scratch[n_obj + pid.index()] = succ_proc;
+                    let (key, shared) = match canon_memo.get(&scratch) {
+                        Some(entry) => entry,
+                        None => {
+                            let mut raw = config.clone();
+                            raw.object_states[obj.index()] =
+                                state_interner.resolve_with(succ_state, Clone::clone);
+                            raw.procs[pid.index()] =
+                                proc_interner.resolve_with(succ_proc, Clone::clone);
+                            let canon = timed_canonicalize(symmetry, &raw, canon_probe);
+                            let key = self.compact(&canon, state_interner, proc_interner);
+                            let arc = Arc::new(canon);
+                            canon_memo
+                                .insert(scratch.as_slice().into(), (key.clone(), Arc::clone(&arc)));
+                            (key, arc)
+                        }
+                    };
                     if let Some(t) = index.probe(&key) {
                         out.push(SuccRecord {
                             pid,
@@ -1432,7 +2043,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                             outcome,
                             key: Some(key),
                             known: None,
-                            config: Some(canon),
+                            config: Some(SuccConfig::Shared(shared)),
                         });
                     }
                     continue;
@@ -1463,7 +2074,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         outcome,
                         key: Some(scratch.as_slice().into()),
                         known: None,
-                        config: Some(next),
+                        config: Some(SuccConfig::Owned(next)),
                     });
                 }
             }
@@ -1555,7 +2166,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         proc_interner: &Interner<ProcStatus<P::LocalState>>,
         memo: &TransitionMemo,
         index: &ShardedIndex,
-        sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
+        sym: Option<SymCtx<'_, '_, P::LocalState>>,
         canon_probe: Option<&TimerNs>,
     ) -> Vec<NodeResult<P::LocalState>> {
         let next = AtomicUsize::new(0);
@@ -1712,6 +2323,24 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
         self
     }
 
+    /// Selects the frontier discipline (see [`Frontier`]).
+    ///
+    /// **Mode contract.** Both modes explore the same reachable set and
+    /// yield equal [`ExploreStats`] aggregates (`configs`, `expanded`,
+    /// `transitions`, `dedup_hits`, distinct-value counts) on complete
+    /// runs, so every checker verdict agrees between them.
+    /// [`Frontier::Deterministic`] additionally guarantees byte-identical
+    /// graphs — same node indices, same edge targets — across thread
+    /// counts; [`Frontier::WorkStealing`] assigns node indices in
+    /// discovery order, which depends on scheduling, and ignores
+    /// `on_progress` (there are no levels to report). Truncated
+    /// work-stealing runs cut the space at a scheduling-dependent
+    /// boundary, so only complete runs are comparable across modes.
+    pub fn frontier(mut self, frontier: Frontier) -> Self {
+        self.options.frontier = frontier;
+        self
+    }
+
     /// Registers a callback invoked after each BFS level is merged, with
     /// that level's [`LevelStats`] (which carries the level's BFS index in
     /// [`LevelStats::level`]) — for progress reporting on long runs.
@@ -1748,13 +2377,19 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
     pub fn run(self) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let initial = self.from.unwrap_or_else(|| self.explorer.initial_config());
         let tracer = self.tracer.as_ref().unwrap_or(&self.explorer.tracer);
-        self.explorer.run_engine(
-            initial,
-            self.options,
-            self.on_progress,
-            self.symmetry.as_ref(),
-            tracer,
-        )
+        match self.options.frontier {
+            Frontier::Deterministic => self.explorer.run_engine(
+                initial,
+                self.options,
+                self.on_progress,
+                self.symmetry.as_ref(),
+                tracer,
+            ),
+            Frontier::WorkStealing => {
+                self.explorer
+                    .run_engine_ws(initial, self.options, self.symmetry.as_ref(), tracer)
+            }
+        }
     }
 }
 
@@ -2464,5 +3099,165 @@ mod tests {
         assert_eq!(dot.matches(" -> ").count(), g.transitions);
         assert!(dot.contains("shape=box"), "initial node styled");
         assert!(dot.contains("shape=doublecircle"), "terminal nodes styled");
+    }
+
+    /// The full *content* of a graph, independent of node indexing: the
+    /// sorted configuration list and the sorted edge list with endpoints
+    /// replaced by their configurations. Two graphs with equal digests are
+    /// the same labelled transition system — the exact guarantee the
+    /// work-stealing mode makes relative to the deterministic one.
+    type ContentDigest<L> = (
+        Vec<Configuration<L>>,
+        Vec<(Configuration<L>, usize, usize, Configuration<L>)>,
+    );
+
+    fn content_digest<L: Clone + Ord>(g: &ExplorationGraph<L>) -> ContentDigest<L> {
+        let mut nodes = g.configs.clone();
+        nodes.sort();
+        let mut edges: Vec<_> = g
+            .edges
+            .iter()
+            .enumerate()
+            .flat_map(|(src, es)| {
+                es.iter().map(move |e| {
+                    (
+                        g.configs[src].clone(),
+                        e.pid.index(),
+                        e.outcome,
+                        g.configs[e.target].clone(),
+                    )
+                })
+            })
+            .collect();
+        edges.sort();
+        (nodes, edges)
+    }
+
+    #[test]
+    fn work_stealing_explores_the_same_state_space() {
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let det = ex.exploration().threads(1).run().unwrap();
+        for threads in [1, 2, 4, 8] {
+            let ws = ex
+                .exploration()
+                .threads(threads)
+                .frontier(Frontier::WorkStealing)
+                .run()
+                .unwrap();
+            assert!(ws.complete);
+            assert_eq!(
+                content_digest(&det),
+                content_digest(&ws),
+                "content differs at {threads} threads"
+            );
+            assert_eq!(ws.stats.configs, det.stats.configs);
+            assert_eq!(ws.stats.expanded, det.stats.expanded);
+            assert_eq!(ws.stats.transitions, det.stats.transitions);
+            assert_eq!(ws.stats.dedup_hits, det.stats.dedup_hits);
+            assert!(ws.stats.work_stealing);
+            assert!(ws.stats.levels.is_empty());
+            assert_eq!(ws.stats.threads, threads);
+            // Every task is processed off a deque, either locally or stolen.
+            assert_eq!(
+                ws.stats.local_hits + ws.stats.steals,
+                ws.stats.configs as u64
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_reduced_matches_deterministic_reduced() {
+        let p = SymmetricRace { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        let det = ex.exploration().symmetric().threads(1).run().unwrap();
+        for threads in [1, 4] {
+            let ws = ex
+                .exploration()
+                .symmetric()
+                .threads(threads)
+                .frontier(Frontier::WorkStealing)
+                .run()
+                .unwrap();
+            assert!(ws.complete);
+            assert!(ws.stats.reduced);
+            assert_eq!(content_digest(&det), content_digest(&ws));
+            // Same orbit representatives, so the canonicalization effort is
+            // accounted the same way: every transition either patched a
+            // cached canonical form or recomputed one from scratch.
+            assert_eq!(
+                ws.stats.canon_patches + ws.stats.canon_full,
+                ws.stats.transitions as u64
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_respects_the_expansion_budget() {
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ex = Explorer::new(&p, &objects);
+        for budget in [1, 3, 7] {
+            let ws = ex
+                .exploration()
+                .max_configs(budget)
+                .threads(4)
+                .frontier(Frontier::WorkStealing)
+                .run()
+                .unwrap();
+            assert!(!ws.complete, "budget {budget} cannot finish this space");
+            assert!(
+                ws.expanded.iter().filter(|&&e| e).count() <= budget,
+                "budget {budget} overspent"
+            );
+            // Discovered-but-unexpanded nodes stay in the graph edgeless.
+            for (i, es) in ws.edges.iter().enumerate() {
+                if !ws.expanded[i] {
+                    assert!(es.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_handles_cyclic_state_spaces() {
+        let p = ForeverProposer;
+        let objects = vec![AnyObject::strong_sa()];
+        let ws = Explorer::new(&p, &objects)
+            .exploration()
+            .threads(4)
+            .frontier(Frontier::WorkStealing)
+            .run()
+            .unwrap();
+        assert!(ws.complete);
+        assert!(ws.has_cycle());
+        let det = Explorer::new(&p, &objects).exploration().run().unwrap();
+        assert_eq!(content_digest(&det), content_digest(&ws));
+    }
+
+    #[test]
+    fn work_stealing_stats_are_consistent_with_the_graph() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let ws = Explorer::new(&p, &objects)
+            .exploration()
+            .threads(2)
+            .frontier(Frontier::WorkStealing)
+            .run()
+            .unwrap();
+        assert!(ws.complete);
+        assert_eq!(ws.stats.configs, ws.len());
+        assert_eq!(ws.stats.transitions, ws.transitions);
+        assert_eq!(
+            ws.stats.expanded,
+            ws.expanded.iter().filter(|&&e| e).count()
+        );
+        assert_eq!(ws.stats.dedup_hits, ws.transitions - (ws.len() - 1));
+        assert!(ws.stats.peak_frontier >= 1);
+        assert_eq!(ws.stats.parallel_levels, 0);
+        assert!(ws.stats.summary().contains("work-stealing"));
+        assert!(!ws.stats.underparallelized());
     }
 }

@@ -309,6 +309,90 @@ impl Default for ShardedIndex {
     }
 }
 
+/// The work-stealing frontier's deduplication index: `CompactConfig` → node
+/// index, sharded like [`ShardedIndex`] but safe for concurrent *insertion*.
+///
+/// Where [`ShardedIndex`] relies on the engine's level barrier to separate
+/// probe and insert phases, the work-stealing frontier has no barrier:
+/// workers discover and claim configurations continuously. Each shard is an
+/// independently locked map, and node indices come from one shared atomic
+/// counter bumped under the winning shard's write lock — so ids are dense
+/// (`0..len`), unique, and each key is inserted by exactly one winner. Ids
+/// depend on discovery order and are therefore **not** deterministic across
+/// runs; the work-stealing mode's contract is verdict equality, not graph
+/// byte-equality (see `crate::explore`).
+#[derive(Debug)]
+pub struct ConcurrentIndex {
+    shards: [RwLock<FxHashMap<CompactConfig, u32>>; SHARDS],
+    next: std::sync::atomic::AtomicU32,
+}
+
+impl ConcurrentIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        ConcurrentIndex {
+            shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            next: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+
+    /// Looks up the node index of `key`, if some worker already claimed it.
+    /// A hit is final (the index is insert-only), but a miss is only a
+    /// snapshot — claiming requires [`ConcurrentIndex::get_or_insert`].
+    #[must_use]
+    pub fn probe(&self, key: &[u32]) -> Option<u32> {
+        self.shards[ShardedIndex::shard_of(key)]
+            .read()
+            .expect("index lock poisoned")
+            .get(key)
+            .copied()
+    }
+
+    /// Returns `key`'s node index, assigning the next free one if this call
+    /// is the first to claim it. The boolean is `true` for the (unique)
+    /// winning insert — the caller that sees `true` owns the node: it must
+    /// record the configuration and schedule its expansion.
+    pub fn get_or_insert(&self, key: &CompactConfig) -> (u32, bool) {
+        let shard = ShardedIndex::shard_of(key);
+        if let Some(&id) = self.shards[shard]
+            .read()
+            .expect("index lock poisoned")
+            .get(key.as_ref())
+        {
+            return (id, false);
+        }
+        let mut guard = self.shards[shard].write().expect("index lock poisoned");
+        if let Some(&id) = guard.get(key.as_ref()) {
+            return (id, false); // raced with another winner
+        }
+        // Bumped under the shard's write lock: every fetch_add result is
+        // inserted exactly once, so ids are dense even across shards.
+        let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        assert!(id < u32::MAX, "concurrent index overflow");
+        guard.insert(Arc::clone(key), id);
+        (id, true)
+    }
+
+    /// Number of configurations claimed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.next.load(std::sync::atomic::Ordering::Acquire) as usize
+    }
+
+    /// Returns `true` if no configuration has been claimed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ConcurrentIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +458,62 @@ mod tests {
             );
         }
         assert_eq!(interner.len(), 64);
+    }
+
+    #[test]
+    fn concurrent_index_assigns_dense_unique_ids() {
+        let index = ConcurrentIndex::new();
+        assert!(index.is_empty());
+        // Four threads race to claim an overlapping key range; every key
+        // must get exactly one winner and ids must be dense.
+        let results: Vec<Vec<(u32, bool)>> = std::thread::scope(|s| {
+            (0..4u32)
+                .map(|t| {
+                    let index = &index;
+                    s.spawn(move || {
+                        (t * 50..t * 50 + 200)
+                            .map(|i| {
+                                let key: CompactConfig = vec![i, i.wrapping_mul(7), i ^ 3].into();
+                                index.get_or_insert(&key)
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let distinct_keys = 350; // 0..350 across the overlapping ranges
+        assert_eq!(index.len(), distinct_keys);
+        let mut winners = vec![0usize; distinct_keys];
+        let mut id_of_key: FxHashMap<u32, u32> = FxHashMap::default();
+        for thread_results in &results {
+            for &(id, won) in thread_results {
+                assert!((id as usize) < distinct_keys, "ids must be dense");
+                if won {
+                    winners[id as usize] += 1;
+                }
+            }
+        }
+        assert!(winners.iter().all(|&w| w == 1), "exactly one winner per id");
+        // Same key ⇒ same id, in every thread.
+        for (t, thread_results) in results.iter().enumerate() {
+            for (j, &(id, _)) in thread_results.iter().enumerate() {
+                let key = t as u32 * 50 + j as u32;
+                match id_of_key.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => assert_eq!(*e.get(), id),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(id);
+                    }
+                }
+            }
+        }
+        // probe agrees with get_or_insert after the fact.
+        for i in 0..distinct_keys as u32 {
+            let key: Vec<u32> = vec![i, i.wrapping_mul(7), i ^ 3];
+            assert_eq!(index.probe(&key), Some(id_of_key[&i]));
+        }
     }
 
     #[test]

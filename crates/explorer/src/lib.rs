@@ -53,7 +53,9 @@ pub mod verdict;
 
 pub use config::Configuration;
 pub use error::CheckError;
-pub use explore::{Exploration, ExplorationGraph, ExploreOptions, Explorer, Limits, StepRecord};
+pub use explore::{
+    Exploration, ExplorationGraph, ExploreOptions, Explorer, Frontier, Limits, StepRecord,
+};
 pub use lbsa_support::obs::{JsonlSink, MemorySink, StderrSink, TraceSink, Tracer};
 pub use stats::{ExploreStats, LevelStats, PhaseTimes};
 pub use symmetry::{Concretizer, ConfigSymmetry};

@@ -123,7 +123,27 @@ pub struct ExploreStats {
     pub intern_misses: u64,
     /// Orbit-canonicalization invocations (zero unless symmetry-reduced).
     pub canon_calls: u64,
-    /// Per-level breakdown, in BFS order.
+    /// Canonicalizations resolved cheaply: the successor's canonical form
+    /// came out of the engine's canon memo, or the incremental fast path
+    /// confirmed the delta-patched successor was already orbit-minimal.
+    /// Zero unless symmetry-reduced.
+    pub canon_patches: u64,
+    /// Canonicalizations that fell back to the full `|G|`-fold orbit
+    /// enumeration. Zero unless symmetry-reduced.
+    pub canon_full: u64,
+    /// `true` if the run used the work-stealing frontier
+    /// (`Frontier::WorkStealing`) instead of level-synchronous BFS.
+    pub work_stealing: bool,
+    /// Successful steal operations across workers (work-stealing only).
+    pub steals: u64,
+    /// Steal sweeps that visited every other worker's deque and found
+    /// nothing (work-stealing only).
+    pub steal_fails: u64,
+    /// Tasks a worker popped from its own deque rather than stole
+    /// (work-stealing only).
+    pub local_hits: u64,
+    /// Per-level breakdown, in BFS order. Empty in work-stealing mode,
+    /// which has no levels.
     pub levels: Vec<LevelStats>,
 }
 
@@ -173,7 +193,7 @@ impl ExploreStats {
     /// instead of implying the run parallelized.
     #[must_use]
     pub fn underparallelized(&self) -> bool {
-        self.threads > 1 && self.parallel_levels == 0 && self.expanded > 0
+        !self.work_stealing && self.threads > 1 && self.parallel_levels == 0 && self.expanded > 0
     }
 
     /// A one-line human-readable summary.
@@ -184,13 +204,18 @@ impl ExploreStats {
         } else {
             ""
         };
+        let frontier = if self.work_stealing {
+            ", work-stealing"
+        } else {
+            ""
+        };
         let warn = if self.underparallelized() {
             " [sequential: below parallel threshold]"
         } else {
             ""
         };
         format!(
-            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads ({} parallel levels){}{}, {:.3}s ({:.0} configs/s, {}: {:.3}s expand / {:.3}s merge)",
+            "{} configs, {} transitions, {:.1}% dedup, depth {}, peak frontier {}, {} threads ({} parallel levels){}{}{}, {:.3}s ({:.0} configs/s, {}: {:.3}s expand / {:.3}s merge)",
             self.configs,
             self.transitions,
             100.0 * self.dedup_rate(),
@@ -199,6 +224,7 @@ impl ExploreStats {
             self.threads,
             self.parallel_levels,
             reduced,
+            frontier,
             warn,
             self.elapsed.as_secs_f64(),
             self.configs_per_sec(),
@@ -236,6 +262,19 @@ impl ExploreStats {
             .set("intern_hits", self.intern_hits)
             .set("intern_misses", self.intern_misses)
             .set("canon_calls", self.canon_calls)
+            .set("canon_patches", self.canon_patches)
+            .set("canon_full", self.canon_full)
+            .set(
+                "frontier",
+                if self.work_stealing {
+                    "work-stealing"
+                } else {
+                    "level-sync"
+                },
+            )
+            .set("steals", self.steals)
+            .set("steal_fails", self.steal_fails)
+            .set("local_hits", self.local_hits)
     }
 }
 
@@ -298,6 +337,41 @@ mod tests {
         stats.threads = 1;
         stats.parallel_levels = 0;
         assert!(!stats.underparallelized());
+
+        // Work-stealing runs have no levels to parallelize: the flag does
+        // not apply to them.
+        stats.threads = 4;
+        stats.work_stealing = true;
+        assert!(!stats.underparallelized());
+    }
+
+    #[test]
+    fn work_stealing_counters_flow_into_json_and_summary() {
+        let stats = ExploreStats {
+            work_stealing: true,
+            steals: 12,
+            steal_fails: 3,
+            local_hits: 250,
+            canon_patches: 40,
+            canon_full: 2,
+            ..ExploreStats::default()
+        };
+        assert!(stats.summary().contains("work-stealing"));
+        let doc = stats.to_json();
+        assert_eq!(
+            doc.get("frontier").and_then(Json::as_str),
+            Some("work-stealing")
+        );
+        assert_eq!(doc.get("steals"), Some(&Json::Int(12)));
+        assert_eq!(doc.get("steal_fails"), Some(&Json::Int(3)));
+        assert_eq!(doc.get("local_hits"), Some(&Json::Int(250)));
+        assert_eq!(doc.get("canon_patches"), Some(&Json::Int(40)));
+        assert_eq!(doc.get("canon_full"), Some(&Json::Int(2)));
+        let level_sync = ExploreStats::default().to_json();
+        assert_eq!(
+            level_sync.get("frontier").and_then(Json::as_str),
+            Some("level-sync")
+        );
     }
 
     #[test]

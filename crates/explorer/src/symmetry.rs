@@ -66,12 +66,25 @@ pub type PidPerm = Vec<usize>;
 /// `perms()[0]`.
 pub struct ConfigSymmetry<'p, L> {
     perms: Vec<PidPerm>,
+    /// `inverses[i]` is the inverse permutation of `perms[i]`, precomputed
+    /// so the lazy comparison below can find which process lands in a slot
+    /// without searching.
+    inverses: Vec<PidPerm>,
     #[allow(clippy::type_complexity)]
     apply: Box<dyn Fn(&Configuration<L>, &[usize]) -> Configuration<L> + Sync + 'p>,
     #[allow(clippy::type_complexity)]
     cmp: Box<dyn Fn(&Configuration<L>, &Configuration<L>) -> Ordering + Sync + 'p>,
+    /// Lazily compares `π · C` against a materialized `target` component by
+    /// component in the content order, without materializing `π · C`. Takes
+    /// `(C, π, π⁻¹, target)`.
+    #[allow(clippy::type_complexity)]
+    cmp_vs: Box<
+        dyn Fn(&Configuration<L>, &[usize], &[usize], &Configuration<L>) -> Ordering + Sync + 'p,
+    >,
     value_symmetric: bool,
     canon_calls: Counter,
+    canon_fast: Counter,
+    canon_full: Counter,
 }
 
 impl<L> fmt::Debug for ConfigSymmetry<'_, L> {
@@ -103,14 +116,53 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
             "pid_classes() must return one class per process"
         );
         let perms = class_preserving_perms(&classes);
+        let inverses = perms.iter().map(|p| invert(p)).collect();
         let apply =
             move |c: &Configuration<P::LocalState>, perm: &[usize]| apply_perm(protocol, c, perm);
+        // The content order is the derived `Ord` of `Configuration`: object
+        // states lexicographically, then process statuses. `π · C` has the
+        // same shape as any configuration over the same system, so comparing
+        // it against a *materialized* target reduces to the first differing
+        // component — computed on demand, with
+        // `(π · C).object_states[o] = permute_object_state(o, C[o], π)` and
+        // `(π · C).procs[j]` the permuted status of process `π⁻¹(j)`.
+        // Non-running statuses are pid-free, so they compare by reference
+        // without materializing a permuted copy.
+        let cmp_vs = move |c: &Configuration<P::LocalState>,
+                           perm: &[usize],
+                           inv: &[usize],
+                           target: &Configuration<P::LocalState>| {
+            for (o, s) in c.object_states.iter().enumerate() {
+                let moved = protocol.permute_object_state(ObjId(o), s, perm);
+                match moved.cmp(&target.object_states[o]) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            for (j, s) in target.procs.iter().enumerate() {
+                let ord = match &c.procs[inv[j]] {
+                    ProcStatus::Running(ls) => {
+                        ProcStatus::Running(protocol.permute_local(ls, perm)).cmp(s)
+                    }
+                    other => other.cmp(s),
+                };
+                match ord {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        };
         ConfigSymmetry {
             perms,
+            inverses,
             apply: Box::new(apply),
             cmp: Box::new(|a, b| a.cmp(b)),
+            cmp_vs: Box::new(cmp_vs),
             value_symmetric: protocol.value_symmetric(),
             canon_calls: Counter::new(),
+            canon_fast: Counter::new(),
+            canon_full: Counter::new(),
         }
     }
 
@@ -148,6 +200,23 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
         self.canon_calls.get()
     }
 
+    /// Incremental canonicalizations that confirmed the input was already
+    /// canonical via the lazy orbit-minimality check, skipping the full
+    /// `|G|`-fold materialization (feeds
+    /// [`crate::ExploreStats::canon_patches`]).
+    #[must_use]
+    pub fn canon_fast_hits(&self) -> u64 {
+        self.canon_fast.get()
+    }
+
+    /// Incremental canonicalizations whose input was *not* orbit-minimal:
+    /// the tournament materialized at least one improved candidate (feeds
+    /// [`crate::ExploreStats::canon_full`]).
+    #[must_use]
+    pub fn canon_full_calls(&self) -> u64 {
+        self.canon_full.get()
+    }
+
     /// Applies one group element to a configuration.
     #[must_use]
     pub fn apply(&self, config: &Configuration<L>, perm: &[usize]) -> Configuration<L> {
@@ -171,6 +240,12 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
         config: &Configuration<L>,
     ) -> (Configuration<L>, &[usize]) {
         self.canon_calls.bump();
+        self.orbit_min(config)
+    }
+
+    /// The full `|G|`-fold orbit minimization (no counter bump; callers
+    /// account the call themselves).
+    fn orbit_min(&self, config: &Configuration<L>) -> (Configuration<L>, &[usize]) {
         let mut best = (self.apply)(config, &self.perms[0]);
         let mut best_perm = &self.perms[0];
         for perm in &self.perms[1..] {
@@ -181,6 +256,42 @@ impl<'p, L: Clone> ConfigSymmetry<'p, L> {
             }
         }
         (best, best_perm)
+    }
+
+    /// Canonicalization tuned for the exploration engine's access pattern:
+    /// the inputs are single-step successors of configurations that are
+    /// *already canonical*, so most of them are still orbit-minimal (or
+    /// become so after the engine's memo has seen the patch once).
+    ///
+    /// One lazy tournament replaces the `|G|`-fold materialization of
+    /// [`Self::canonicalize`]: each `π · C` is compared against the running
+    /// minimum component by component, bailing at the first difference, and
+    /// a permuted copy is materialized only when `π` strictly improves on
+    /// it — never, on the common already-minimal input, where the whole
+    /// call allocates nothing beyond the returned clone. Both entry points
+    /// return the same representative (the orbit minimum under the content
+    /// order is unique), so the engine's graphs are byte-identical
+    /// whichever runs; the split is pure throughput.
+    #[must_use]
+    pub fn canonicalize_incremental(&self, config: &Configuration<L>) -> Configuration<L> {
+        self.canon_calls.bump();
+        let mut best: Option<Configuration<L>> = None;
+        for (perm, inv) in self.perms.iter().zip(&self.inverses).skip(1) {
+            let target = best.as_ref().unwrap_or(config);
+            if (self.cmp_vs)(config, perm, inv, target) == Ordering::Less {
+                best = Some((self.apply)(config, perm));
+            }
+        }
+        match best {
+            None => {
+                self.canon_fast.bump();
+                config.clone()
+            }
+            Some(best) => {
+                self.canon_full.bump();
+                best
+            }
+        }
     }
 }
 
@@ -213,6 +324,15 @@ fn apply_perm<P: Symmetry>(
             .map(|s| s.expect("perm is a bijection on 0..n"))
             .collect(),
     }
+}
+
+/// The inverse of a permutation: `invert(p)[p[i]] == i`.
+fn invert(perm: &[usize]) -> PidPerm {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &v) in perm.iter().enumerate() {
+        inv[v] = i;
+    }
+    inv
 }
 
 /// Enumerates every permutation of `0..classes.len()` that maps each pid
@@ -508,6 +628,66 @@ mod tests {
         // The canonical form is a member of its own orbit and idempotent.
         assert_eq!(sym.canonicalize(&canon), canon);
         assert!(sym.canon_calls() >= 2 + sym.group_order() as u64);
+    }
+
+    #[test]
+    fn incremental_canonicalization_matches_full_enumeration() {
+        // Sweep every configuration reachable in a few steps (mixed inputs,
+        // so the group is a proper subgroup of S_n and slot moves matter)
+        // and check the incremental path lands on the same representative.
+        let p = WriteRead {
+            n: 4,
+            inputs: vec![0, 0, 1, 1],
+        };
+        let objects = vec![AnyObject::register()];
+        let ex = Explorer::new(&p, &objects);
+        let sym = ConfigSymmetry::of(&p);
+        let mut frontier = vec![ex.initial_config()];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = frontier.pop() {
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            assert_eq!(
+                sym.canonicalize_incremental(&c),
+                sym.canonicalize(&c),
+                "incremental and full canonicalization disagree on {c:?}"
+            );
+            for pid in c.enabled_pids() {
+                frontier.extend(ex.successors_of(&c, pid).unwrap());
+            }
+        }
+        assert!(seen.len() > 10, "sweep must cover a nontrivial state set");
+        // Both branches were exercised and accounted.
+        assert_eq!(
+            sym.canon_fast_hits() + sym.canon_full_calls(),
+            seen.len() as u64
+        );
+        assert!(sym.canon_fast_hits() > 0);
+    }
+
+    #[test]
+    fn incremental_fast_path_confirms_canonical_forms() {
+        let p = WriteRead {
+            n: 3,
+            inputs: vec![0, 0, 0],
+        };
+        let objects = vec![AnyObject::register()];
+        let ex = Explorer::new(&p, &objects);
+        let sym = ConfigSymmetry::of(&p);
+        let c = ex.initial_config();
+        let c = ex.step(&c, Pid(1), 0).unwrap().config;
+        let canon = sym.canonicalize(&c);
+        // A canonical representative re-canonicalizes through the fast path.
+        let fast_before = sym.canon_fast_hits();
+        assert_eq!(sym.canonicalize_incremental(&canon), canon);
+        assert_eq!(sym.canon_fast_hits(), fast_before + 1);
+        // A non-canonical orbit member takes the full fallback.
+        let moved = sym.apply(&c, &sym.perms()[1].clone());
+        let full_before = sym.canon_full_calls();
+        let via_incremental = sym.canonicalize_incremental(&moved);
+        assert_eq!(via_incremental, sym.canonicalize(&moved));
+        assert!(sym.canon_full_calls() >= full_before);
     }
 
     #[test]

@@ -652,8 +652,22 @@ pub fn verdict_dac<P: Protocol>(
             )
         }
     };
-    let stats = graph_stats(&graph);
-    let verdict = match check_dac_graph(explorer, &graph, instance, solo_bound) {
+    verdict_dac_graph(explorer, &graph, instance, solo_bound)
+}
+
+/// Checks the four n-DAC properties over an already-built graph, returning
+/// a verdict with a minimized witness on violation. Use this to check a
+/// graph explored under non-default options — e.g. the work-stealing
+/// frontier, whose verdicts must match the deterministic engine's.
+#[must_use]
+pub fn verdict_dac_graph<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    graph: &ExplorationGraph<P::LocalState>,
+    instance: &DacInstance,
+    solo_bound: usize,
+) -> Verdict {
+    let stats = graph_stats(graph);
+    let verdict = match check_dac_graph(explorer, graph, instance, solo_bound) {
         Ok(stats) => Verdict {
             outcome: Outcome::Holds,
             stats,
@@ -661,7 +675,7 @@ pub fn verdict_dac<P: Protocol>(
         },
         Err(violation) => {
             let kind = dac_kind(&violation, instance, solo_bound);
-            violation_verdict(explorer, &graph, violation, stats, kind)
+            violation_verdict(explorer, graph, violation, stats, kind)
         }
     };
     traced(explorer.tracer(), "dac", verdict)
