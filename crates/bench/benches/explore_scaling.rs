@@ -385,6 +385,13 @@ fn write_speedup_report(
         .set("n6_ws_steals", ws6.stats.steals)
         .set("n6_ws_steal_fails", ws6.stats.steal_fails)
         .set("n6_ws_local_hits", ws6.stats.local_hits)
+        // Level-expand latency quantiles from the always-on histograms of
+        // the sequential n = 6 run (octave resolution — see HistogramNs).
+        // They ride into `BENCH_history.jsonl` via perf_smoke, giving the
+        // regression tracker a latency *distribution*, not just minima.
+        .set("n6_level_expand_p50_ns", raw6.stats.hist.level_expand.p50())
+        .set("n6_level_expand_p95_ns", raw6.stats.hist.level_expand.p95())
+        .set("n6_level_expand_p99_ns", raw6.stats.hist.level_expand.p99())
         .set("n6_canon_patches", reduced6.stats.canon_patches)
         .set("n6_canon_full", reduced6.stats.canon_full)
         .set("kset_n", KSET_N)

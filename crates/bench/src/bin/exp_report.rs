@@ -96,17 +96,29 @@ fn validate_trace(path: &Path) -> Result<usize, String> {
 }
 
 /// Flattens the numeric entries of a report's `metrics` object into
-/// sorted `(key, value)` pairs.
+/// sorted `(key, value)` pairs, recursing into nested objects with
+/// dotted keys — `"hist": {"level_expand": {"p50_ns": 9}}` becomes
+/// `hist.level_expand.p50_ns = 9` — so the v2 histogram payloads diff
+/// key-by-key under `--against` instead of being skipped as non-numeric.
 fn numeric_metrics(doc: &Json) -> Vec<(String, f64)> {
-    let mut out: Vec<(String, f64)> = doc
-        .get("metrics")
-        .and_then(Json::as_obj)
-        .map(|m| {
-            m.iter()
-                .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
-                .collect()
-        })
-        .unwrap_or_default();
+    fn collect(prefix: &str, value: &Json, out: &mut Vec<(String, f64)>) {
+        if let Some(x) = value.as_f64() {
+            out.push((prefix.to_string(), x));
+        } else if let Some(fields) = value.as_obj() {
+            for (k, v) in fields {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                collect(&key, v, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(metrics) = doc.get("metrics") {
+        collect("", metrics, &mut out);
+    }
     out.sort_by(|a, b| a.0.cmp(&b.0));
     out
 }
@@ -146,6 +158,8 @@ fn metrics_mode(reports_dir: &Path, against: Option<&Path>) -> ExitCode {
             .and_then(Json::as_str)
             .unwrap_or("?")
             .to_string();
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+        println!("# {id} {schema}");
         let base =
             against.map(|dir| dir.join(path.file_name().expect("artifact paths have file names")));
         let baseline = base.as_deref().and_then(|p| load(p).ok());
@@ -299,5 +313,33 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_metrics_recurse_into_nested_objects_with_dotted_keys() {
+        let doc = Json::parse(
+            r#"{"schema":"lbsa-report/v2","id":"x","metrics":{
+                "configs": 275,
+                "hist": {"level_expand": {"count": 12, "p50_ns": 4096},
+                         "steal": {"p95_ns": 512}},
+                "title": "not numeric"
+            }}"#,
+        )
+        .expect("test doc");
+        let flat = numeric_metrics(&doc);
+        assert_eq!(
+            flat,
+            vec![
+                ("configs".to_string(), 275.0),
+                ("hist.level_expand.count".to_string(), 12.0),
+                ("hist.level_expand.p50_ns".to_string(), 4096.0),
+                ("hist.steal.p95_ns".to_string(), 512.0),
+            ]
+        );
     }
 }

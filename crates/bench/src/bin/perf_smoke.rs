@@ -1,7 +1,7 @@
 //! Perf smoke gate: compares a freshly regenerated `BENCH_explore.json`
 //! against the committed one and fails (exit 1) on a perf regression.
 //!
-//! Usage: `perf_smoke <committed.json> <fresh.json>`
+//! Usage: `perf_smoke <committed.json> <fresh.json> [--history FILE]`
 //!
 //! Checks, in order:
 //!
@@ -40,9 +40,21 @@
 //!
 //! Absent keys in the *committed* file are tolerated (first run after a
 //! schema extension); absent keys in the *fresh* file are failures.
+//!
+//! With `--history FILE`, every run — pass or fail — additionally appends
+//! one JSONL entry to `FILE` carrying a host fingerprint (CPU model +
+//! core count), the unix timestamp, `effective_cores`, the gate verdict,
+//! and every numeric metric of the fresh report (gate numbers and the
+//! histogram quantiles emitted by `explore_scaling`). The trailing file
+//! is the input to `obs_analyze --regress`, which compares the newest
+//! entry against the trailing same-host median with a noise band.
 
 use lbsa_support::json::Json;
 use std::process::ExitCode;
+
+/// History entries from incompatible schema generations are skipped by
+/// readers keying on this tag.
+const HISTORY_SCHEMA: &str = "lbsa-bench-history/v1";
 
 fn load(path: &str) -> Option<Json> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -53,10 +65,72 @@ fn num(j: &Json, key: &str) -> Option<f64> {
     j.get(key).and_then(Json::as_f64)
 }
 
+/// A stable host fingerprint: the CPU model string plus the visible core
+/// count. Deliberately std-only — `/proc/cpuinfo` where available, with a
+/// portable fallback — so history entries from different machines never
+/// get compared against each other by `obs_analyze --regress`.
+fn host_fingerprint() -> String {
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown-cpu".into());
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    format!("{model}/{cores}c")
+}
+
+/// Appends one history entry for this run. Errors are reported but never
+/// fail the gate — history is telemetry, not a correctness check.
+fn append_history(path: &str, fresh: &Json, gates_ok: bool) {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut metrics = Json::object();
+    if let Some(fields) = fresh.as_obj() {
+        for (key, value) in fields {
+            if value.as_f64().is_some() {
+                metrics = metrics.set(key, value.clone());
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let entry = Json::object()
+        .set("schema", HISTORY_SCHEMA)
+        .set("ts", ts)
+        .set("host", host_fingerprint())
+        .set("effective_cores", cores)
+        .set("gates_ok", gates_ok)
+        .set("metrics", metrics);
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{}", entry.compact()));
+    match appended {
+        Ok(()) => println!("perf history: appended to {path}"),
+        Err(e) => eprintln!("perf history: cannot append to {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let history = args.iter().position(|a| a == "--history").and_then(|i| {
+        if i + 1 < args.len() {
+            let file = args.remove(i + 1);
+            args.remove(i);
+            Some(file)
+        } else {
+            eprintln!("perf_smoke: --history needs a file argument");
+            None
+        }
+    });
     let [committed_path, fresh_path] = args.as_slice() else {
-        eprintln!("usage: perf_smoke <committed.json> <fresh.json>");
+        eprintln!("usage: perf_smoke <committed.json> <fresh.json> [--history FILE]");
         return ExitCode::FAILURE;
     };
     let Some(fresh) = load(fresh_path) else {
@@ -157,6 +231,10 @@ fn main() -> ExitCode {
     }
     if let Some(r) = num(&fresh, "n6_reduction_ratio") {
         println!("n=6 reduction_ratio: {r:.2} (informational; gated via wall clock)");
+    }
+
+    if let Some(path) = &history {
+        append_history(path, &fresh, failures.is_empty());
     }
 
     if failures.is_empty() {

@@ -1,16 +1,21 @@
 //! Profiling harness: loops the T2 exploration so a sampling profiler has
 //! something to chew on. Not an experiment binary.
 //!
-//! Usage: `profile_t2 [iters] [--n N] [--symmetric] [--ws] [--kset]`. The
-//! default is 2000 iterations of the raw n = 4 exploration; `--symmetric`
-//! profiles the symmetry-reduced (orbit) exploration, `--ws` switches the
-//! frontier to work-stealing (auto thread count), and `--kset` profiles
-//! the k-set-agreement race (`KSetViaStrongSa` over a strong 2-SA object)
-//! instead of Algorithm 2.
+//! Usage: `profile_t2 [iters] [--n N] [--symmetric] [--ws] [--kset]
+//! [--trace FILE]`. The default is 2000 iterations of the raw n = 4
+//! exploration; `--symmetric` profiles the symmetry-reduced (orbit)
+//! exploration, `--ws` switches the frontier to work-stealing (auto
+//! thread count), and `--kset` profiles the k-set-agreement race
+//! (`KSetViaStrongSa` over a strong 2-SA object) instead of Algorithm 2.
+//! `--trace FILE` attaches a JSONL tracer to the *last* iteration only
+//! (the earlier iterations warm up untraced), producing an
+//! `obs_analyze`-ready trace without perturbing the profiled loop.
+//! `--threads N` forces the worker count (default: auto for `--ws`,
+//! 1 otherwise).
 
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{Exploration, Explorer, Frontier};
+use lbsa_explorer::{Exploration, Explorer, Frontier, JsonlSink, Tracer};
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
 use lbsa_runtime::process::{Protocol, Symmetry};
@@ -28,17 +33,27 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(4);
     let iters: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let trace: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let threads: Option<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|a| a.parse().ok());
 
     let (workload, configs, last_summary) = if kset {
         let p = KSetViaStrongSa::new(distinct_inputs(n), ObjId(0));
         let objects = vec![AnyObject::strong_sa()];
         let explorer = Explorer::new(&p, &objects);
-        run(&explorer, iters, symmetric, ws)
+        run(&explorer, iters, symmetric, ws, threads, trace.as_deref())
     } else {
         let p = DacFromPac::new(mixed_binary_inputs(n), Pid(0), ObjId(0)).unwrap();
         let objects = vec![AnyObject::pac(n).unwrap()];
         let explorer = Explorer::new(&p, &objects);
-        run(&explorer, iters, symmetric, ws)
+        run(&explorer, iters, symmetric, ws, threads, trace.as_deref())
     };
     let family = if kset { "kset_race" } else { "t2_dac" };
     eprintln!("{family} n={n} {workload}: {configs} configs");
@@ -50,26 +65,37 @@ fn run<P>(
     iters: usize,
     symmetric: bool,
     ws: bool,
+    threads: Option<usize>,
+    trace: Option<&str>,
 ) -> (String, usize, String)
 where
     P: Protocol + Symmetry,
     P::LocalState: Ord,
 {
-    let build = |threads: usize| -> Exploration<'_, '_, P> {
-        let mut e = explorer.exploration().threads(threads);
+    let build = || -> Exploration<'_, '_, P> {
+        let mut e = explorer.exploration().threads(threads.unwrap_or(1));
         if symmetric {
             e = e.symmetric();
         }
         if ws {
-            e = e.frontier(Frontier::WorkStealing).threads(0);
+            e = e
+                .frontier(Frontier::WorkStealing)
+                .threads(threads.unwrap_or(0));
         }
         e
     };
     let json = std::env::args().any(|a| a == "--json");
     let mut configs = 0;
     let mut last_summary = String::new();
-    for _ in 0..iters {
-        let g = build(1).run().unwrap();
+    for i in 0..iters {
+        let mut e = build();
+        if i + 1 == iters {
+            if let Some(path) = trace {
+                let sink = JsonlSink::create(path).expect("create trace file");
+                e = e.trace(Tracer::new(sink));
+            }
+        }
+        let g = e.run().unwrap();
         configs = black_box(g.configs.len());
         last_summary = if json {
             g.stats.to_json().pretty()

@@ -45,14 +45,16 @@
 
 use crate::config::Configuration;
 use crate::intern::{CompactConfig, ConcurrentIndex, Interner, ShardedIndex, SHARDS};
-use crate::stats::{duration_us, ExploreStats, LevelStats, PhaseTimes};
+use crate::stats::{
+    duration_ns, duration_us, ExploreStats, LatencyHistograms, LevelStats, PhaseTimes, WorkerStats,
+};
 use crate::symmetry::ConfigSymmetry;
 use lbsa_core::spec::ObjectSpec;
 use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid, Value};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Step, Symmetry};
 use lbsa_support::json::Json;
-use lbsa_support::obs::{Counter, TimerNs, Tracer};
+use lbsa_support::obs::{Counter, HistogramNs, TimerNs, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -638,6 +640,16 @@ struct WsWorkerOut<L> {
     steals: u64,
     steal_fails: u64,
     local_hits: u64,
+    /// Deepest this worker's own deque ever got (sampled at push time).
+    max_deque_depth: usize,
+    /// Failed-sweep spin iterations while looking for work.
+    idle_spins: u64,
+    /// Nanoseconds spent in steal sweeps and yielding — the clock is only
+    /// read on the no-local-work path, so this is always measured.
+    idle_ns: u64,
+    /// Nanoseconds spent expanding tasks. Needs a clock read per task, so
+    /// per the overhead policy it stays zero unless the run is traced.
+    busy_ns: u64,
 }
 
 impl<L> Default for WsWorkerOut<L> {
@@ -650,6 +662,10 @@ impl<L> Default for WsWorkerOut<L> {
             steals: 0,
             steal_fails: 0,
             local_hits: 0,
+            max_deque_depth: 0,
+            idle_spins: 0,
+            idle_ns: 0,
+            busy_ns: 0,
         }
     }
 }
@@ -764,17 +780,29 @@ type WorkItem<'w, L> = (u32, &'w Configuration<L>, &'w CompactConfig);
 fn timed_canonicalize<L: Clone>(
     sym: &ConfigSymmetry<'_, L>,
     config: &Configuration<L>,
-    probe: Option<&TimerNs>,
+    probe: Option<&CanonProbe>,
 ) -> Configuration<L> {
     match probe {
-        Some(timer) => {
+        Some(p) => {
             let t0 = Instant::now();
             let canon = sym.canonicalize_incremental(config);
-            timer.record(t0.elapsed());
+            let elapsed = t0.elapsed();
+            p.timer.record(elapsed);
+            p.hist.record(elapsed);
             canon
         }
         None => sym.canonicalize_incremental(config),
     }
+}
+
+/// The per-call canonicalization probe behind [`timed_canonicalize`],
+/// attached only when a tracer is enabled (overhead policy): the timer
+/// totals into [`PhaseTimes::canonicalize`], the histogram becomes the
+/// `hist.canonicalize` latency distribution of the run's stats.
+#[derive(Default)]
+struct CanonProbe {
+    timer: TimerNs,
+    hist: HistogramNs,
 }
 
 /// Memoized transition function.
@@ -1135,11 +1163,14 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         // Per-call canonicalization timing means a clock read per successor,
         // so by the overhead policy it runs only under an attached tracer;
         // untraced runs report PhaseTimes::canonicalize == 0.
-        let canon_timer = TimerNs::new();
-        let canon_probe = tracer.enabled().then_some(&canon_timer);
+        let canon_store = CanonProbe::default();
+        let canon_probe = tracer.enabled().then_some(&canon_store);
         let canon_calls_before = sym.map_or(0, ConfigSymmetry::canon_calls);
         let canon_fast_before = sym.map_or(0, ConfigSymmetry::canon_fast_hits);
         let canon_full_before = sym.map_or(0, ConfigSymmetry::canon_full_calls);
+        // Per-level latency distributions: the level clocks are read anyway,
+        // so these are always on.
+        let hists = LatencyHistograms::default();
 
         // Under symmetry reduction every graph node is the canonical
         // representative of its orbit, starting with the root.
@@ -1490,6 +1521,10 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             }
             total_expand += expand_elapsed;
             total_merge += merge_elapsed;
+            hists.level_expand.record(expand_elapsed);
+            if parallel_level {
+                hists.level_merge.record(merge_elapsed);
+            }
             levels.push(LevelStats {
                 level,
                 width: take,
@@ -1536,7 +1571,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             phases: PhaseTimes {
                 expand: total_expand,
                 merge: total_merge,
-                canonicalize: canon_timer.total(),
+                canonicalize: canon_store.timer.total(),
             },
             memo_hits: memo.hits.get() + seq_memo_hits,
             memo_misses: memo.misses.get() + seq_memo_misses,
@@ -1552,6 +1587,11 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             steal_fails: 0,
             local_hits: 0,
             levels,
+            workers: Vec::new(),
+            hist: {
+                hists.canonicalize.merge(&canon_store.hist);
+                hists
+            },
         };
         tracer.emit_with("explore.end", || stats.to_json());
         Ok(ExplorationGraph {
@@ -1597,11 +1637,16 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 .set("reduced", sym.is_some())
                 .set("frontier", "work-stealing")
         });
-        let canon_timer = TimerNs::new();
-        let canon_probe = tracer.enabled().then_some(&canon_timer);
+        let canon_store = CanonProbe::default();
+        let canon_probe = tracer.enabled().then_some(&canon_store);
         let canon_calls_before = sym.map_or(0, ConfigSymmetry::canon_calls);
         let canon_fast_before = sym.map_or(0, ConfigSymmetry::canon_fast_hits);
         let canon_full_before = sym.map_or(0, ConfigSymmetry::canon_full_calls);
+        // Steal and per-task expand latencies need extra clock reads on the
+        // worker hot path, so they are recorded only when traced; the
+        // histograms themselves are relaxed atomics shared across workers.
+        let hists = LatencyHistograms::default();
+        let traced = tracer.enabled();
 
         let initial = match sym {
             Some(s) => s.canonicalize(&initial),
@@ -1655,6 +1700,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                     let proc_interner = &proc_interner;
                     let memo = &memo;
                     let canon_memo = &canon_memo;
+                    let hists = &hists;
                     s.spawn(move || {
                         let mut out = WsWorkerOut::default();
                         let mut scratch = vec![0u32; n_obj + n_procs];
@@ -1671,7 +1717,14 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                     task
                                 }
                                 None => {
+                                    // The whole no-local-work path — sweep,
+                                    // re-queue, yield — counts as idle time;
+                                    // the clock only runs while this worker
+                                    // is not expanding, so it is measured
+                                    // even on untraced runs.
+                                    let sweep_t0 = Instant::now();
                                     let mut stolen = None;
+                                    let mut victim_hit = 0usize;
                                     for k in 1..workers {
                                         let victim = (me + k) % workers;
                                         // Never hold two deque locks: drain
@@ -1687,19 +1740,57 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                             continue;
                                         }
                                         out.steals += 1;
+                                        victim_hit = victim;
                                         stolen = Some(batch.remove(0));
                                         if !batch.is_empty() {
-                                            deques[me]
-                                                .lock()
-                                                .expect("deque lock poisoned")
-                                                .extend(batch);
+                                            let mut q =
+                                                deques[me].lock().expect("deque lock poisoned");
+                                            q.extend(batch);
+                                            out.max_deque_depth = out.max_deque_depth.max(q.len());
                                         }
                                         break;
                                     }
                                     match stolen {
-                                        Some(task) => task,
+                                        Some(task) => {
+                                            let sweep = sweep_t0.elapsed();
+                                            out.idle_ns =
+                                                out.idle_ns.saturating_add(duration_ns(sweep));
+                                            if traced {
+                                                hists.steal.record(sweep);
+                                                tracer.emit_with("ws.steal", || {
+                                                    Json::object()
+                                                        .set("worker", me)
+                                                        .set("victim", victim_hit)
+                                                        .set("outcome", "hit")
+                                                        .set("latency_us", duration_us(sweep))
+                                                });
+                                            }
+                                            task
+                                        }
                                         None => {
                                             out.steal_fails += 1;
+                                            out.idle_spins += 1;
+                                            out.idle_ns = out
+                                                .idle_ns
+                                                .saturating_add(duration_ns(sweep_t0.elapsed()));
+                                            // Per-attempt miss events would
+                                            // be unbounded in a spin storm;
+                                            // power-of-two sampling keeps the
+                                            // trace logarithmic while the
+                                            // `spins` field preserves the
+                                            // storm's true intensity.
+                                            if traced && out.idle_spins.is_power_of_two() {
+                                                tracer.emit_with("ws.steal", || {
+                                                    Json::object()
+                                                        .set("worker", me)
+                                                        .set("outcome", "miss")
+                                                        .set("spins", out.idle_spins)
+                                                        .set(
+                                                            "pending",
+                                                            pending.load(Ordering::Relaxed),
+                                                        )
+                                                });
+                                            }
                                             if pending.load(Ordering::Acquire) == 0 {
                                                 break;
                                             }
@@ -1714,6 +1805,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                 pending.fetch_sub(1, Ordering::AcqRel);
                                 continue;
                             }
+                            // Per-task expansion timing is a clock read per
+                            // task: traced runs only.
+                            let task_t0 = traced.then(Instant::now);
                             let config = &*task.config;
                             let parent_key = &task.key;
                             let mut out_edges: Vec<Edge> = Vec::new();
@@ -1831,13 +1925,51 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                 let now = pending.fetch_add(spawned.len(), Ordering::AcqRel)
                                     + spawned.len();
                                 peak_pending.fetch_max(now, Ordering::Relaxed);
-                                deques[me]
-                                    .lock()
-                                    .expect("deque lock poisoned")
-                                    .extend(spawned);
+                                let mut q = deques[me].lock().expect("deque lock poisoned");
+                                q.extend(spawned);
+                                out.max_deque_depth = out.max_deque_depth.max(q.len());
                             }
                             out.edges.push((task.id, out_edges));
                             pending.fetch_sub(1, Ordering::AcqRel);
+                            if let Some(t0) = task_t0 {
+                                let d = t0.elapsed();
+                                out.busy_ns = out.busy_ns.saturating_add(duration_ns(d));
+                                hists.task_expand.record(d);
+                                // A progress beat on the first task and every
+                                // 32nd after: the beat timestamps are what
+                                // obs_analyze turns into the per-worker
+                                // utilization timeline.
+                                let done = out.edges.len();
+                                if done == 1 || done.is_multiple_of(32) {
+                                    let depth =
+                                        deques[me].lock().expect("deque lock poisoned").len();
+                                    tracer.emit_with("ws.expand", || {
+                                        Json::object()
+                                            .set("worker", me)
+                                            .set("expanded", done)
+                                            .set("transitions", out.transitions)
+                                            .set("deque", depth)
+                                            .set("steals", out.steals)
+                                            .set("busy_us", out.busy_ns / 1_000)
+                                            .set("idle_us", out.idle_ns / 1_000)
+                                    });
+                                }
+                            }
+                        }
+                        if traced {
+                            tracer.emit_with("ws.done", || {
+                                Json::object()
+                                    .set("worker", me)
+                                    .set("expanded", out.edges.len())
+                                    .set("transitions", out.transitions)
+                                    .set("steals", out.steals)
+                                    .set("steal_fails", out.steal_fails)
+                                    .set("local_hits", out.local_hits)
+                                    .set("max_deque_depth", out.max_deque_depth)
+                                    .set("idle_spins", out.idle_spins)
+                                    .set("idle_us", out.idle_ns / 1_000)
+                                    .set("busy_us", out.busy_ns / 1_000)
+                            });
                         }
                         out
                     })
@@ -1868,6 +2000,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let mut steals = 0u64;
         let mut steal_fails = 0u64;
         let mut local_hits = 0u64;
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(outs.len());
         for (w, out) in outs.into_iter().enumerate() {
             tracer.emit_with("ws.worker", || {
                 Json::object()
@@ -1877,12 +2010,28 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                     .set("steals", out.steals)
                     .set("steal_fails", out.steal_fails)
                     .set("local_hits", out.local_hits)
+                    .set("max_deque_depth", out.max_deque_depth)
+                    .set("idle_spins", out.idle_spins)
+                    .set("idle_us", out.idle_ns / 1_000)
+                    .set("busy_us", out.busy_ns / 1_000)
             });
             transitions += out.transitions;
             dedup_hits += out.dedup_hits;
             steals += out.steals;
             steal_fails += out.steal_fails;
             local_hits += out.local_hits;
+            worker_stats.push(WorkerStats {
+                worker: w,
+                expanded: out.edges.len(),
+                transitions: out.transitions,
+                steals: out.steals,
+                steal_fails: out.steal_fails,
+                local_hits: out.local_hits,
+                max_deque_depth: out.max_deque_depth,
+                idle_spins: out.idle_spins,
+                idle: Duration::from_nanos(out.idle_ns),
+                busy: Duration::from_nanos(out.busy_ns),
+            });
             for (id, arc) in out.discovered {
                 configs[id as usize] = Some(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()));
             }
@@ -1917,7 +2066,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             phases: PhaseTimes {
                 expand: elapsed,
                 merge: Duration::ZERO,
-                canonicalize: canon_timer.total(),
+                canonicalize: canon_store.timer.total(),
             },
             memo_hits: memo.hits.get(),
             memo_misses: memo.misses.get(),
@@ -1932,6 +2081,11 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             steal_fails,
             local_hits,
             levels: Vec::new(),
+            workers: worker_stats,
+            hist: {
+                hists.canonicalize.merge(&canon_store.hist);
+                hists
+            },
         };
         tracer.emit_with("explore.end", || stats.to_json());
         Ok(ExplorationGraph {
@@ -1980,7 +2134,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         memo: &TransitionMemo,
         index: &ShardedIndex,
         sym: Option<SymCtx<'_, '_, P::LocalState>>,
-        canon_probe: Option<&TimerNs>,
+        canon_probe: Option<&CanonProbe>,
     ) -> NodeResult<P::LocalState> {
         let n_obj = config.object_states.len();
         let mut out = Vec::new();
@@ -2167,7 +2321,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         memo: &TransitionMemo,
         index: &ShardedIndex,
         sym: Option<SymCtx<'_, '_, P::LocalState>>,
-        canon_probe: Option<&TimerNs>,
+        canon_probe: Option<&CanonProbe>,
     ) -> Vec<NodeResult<P::LocalState>> {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<NodeResult<P::LocalState>>>> =
@@ -3259,5 +3413,129 @@ mod tests {
         assert_eq!(ws.stats.parallel_levels, 0);
         assert!(ws.stats.summary().contains("work-stealing"));
         assert!(!ws.stats.underparallelized());
+    }
+
+    #[test]
+    fn work_stealing_worker_stats_reconcile_with_aggregates() {
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let ws = Explorer::new(&p, &objects)
+            .exploration()
+            .threads(4)
+            .frontier(Frontier::WorkStealing)
+            .run()
+            .unwrap();
+        let stats = &ws.stats;
+        assert_eq!(stats.workers.len(), 4, "one row per worker");
+        for (i, w) in stats.workers.iter().enumerate() {
+            assert_eq!(w.worker, i, "rows indexed by worker id");
+            assert!(
+                w.busy.is_zero(),
+                "per-task timing needs a tracer; untraced busy must stay zero"
+            );
+        }
+        let sum = |f: fn(&WorkerStats) -> u64| stats.workers.iter().map(f).sum::<u64>();
+        assert_eq!(
+            stats.workers.iter().map(|w| w.expanded).sum::<usize>(),
+            stats.expanded
+        );
+        assert_eq!(
+            stats.workers.iter().map(|w| w.transitions).sum::<usize>(),
+            stats.transitions
+        );
+        assert_eq!(sum(|w| w.steals), stats.steals);
+        assert_eq!(sum(|w| w.steal_fails), stats.steal_fails);
+        assert_eq!(sum(|w| w.local_hits), stats.local_hits);
+        assert!(stats.worker_imbalance() >= 1.0);
+        // Untraced runs record no per-task or steal latency distributions.
+        assert!(stats.hist.task_expand.is_empty());
+        assert!(stats.hist.steal.is_empty());
+    }
+
+    #[test]
+    fn traced_work_stealing_emits_worker_scoped_events() {
+        use lbsa_support::obs::MemorySink;
+        let p = RaceConsensus { n: 4 };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let sink = MemorySink::new();
+        let ws = Explorer::new(&p, &objects)
+            .exploration()
+            .threads(4)
+            .frontier(Frontier::WorkStealing)
+            .trace(Tracer::new(sink.clone()))
+            .run()
+            .unwrap();
+        let names = sink.names();
+        assert_eq!(
+            names.iter().filter(|n| **n == "ws.done").count(),
+            4,
+            "every worker signs off with ws.done"
+        );
+        assert!(
+            names.contains(&"ws.expand"),
+            "at least one progress beat from an active worker"
+        );
+        let events = sink.events();
+        for e in events.iter().filter(|e| e.name.starts_with("ws.")) {
+            assert!(
+                e.fields.get("worker").and_then(Json::as_i64).is_some(),
+                "{}: worker-scoped events carry their worker id",
+                e.name
+            );
+        }
+        for e in events.iter().filter(|e| e.name == "ws.steal") {
+            let outcome = e.fields.get("outcome").and_then(Json::as_str);
+            match outcome {
+                Some("hit") => assert!(
+                    e.fields.get("victim").and_then(Json::as_i64).is_some(),
+                    "steal hits name their victim"
+                ),
+                Some("miss") => assert!(
+                    e.fields.get("spins").and_then(Json::as_i64).is_some(),
+                    "steal misses carry the spin count"
+                ),
+                other => panic!("unexpected steal outcome {other:?}"),
+            }
+        }
+        // Traced runs populate the per-task latency distribution: one
+        // sample per expanded task.
+        let stats = &ws.stats;
+        assert_eq!(stats.hist.task_expand.count(), stats.expanded as u64);
+        assert_eq!(
+            stats.hist.steal.count(),
+            stats.steals,
+            "every successful steal records its latency"
+        );
+        assert!(
+            stats
+                .workers
+                .iter()
+                .map(|w| duration_ns(w.busy))
+                .sum::<u64>()
+                > 0,
+            "traced workers measure their expansion time"
+        );
+        let doc = stats.to_json();
+        assert!(doc.get("workers").is_some());
+        assert!(
+            doc.get("hist").and_then(|h| h.get("task_expand")).is_some(),
+            "histograms reach the serialized metrics"
+        );
+    }
+
+    #[test]
+    fn level_sync_records_one_histogram_sample_per_level() {
+        let p = RaceConsensus { n: 3 };
+        let objects = vec![AnyObject::consensus(3).unwrap()];
+        let g = Explorer::new(&p, &objects).exploration().run().unwrap();
+        assert_eq!(
+            g.stats.hist.level_expand.count(),
+            g.stats.levels.len() as u64,
+            "per-level expand histogram is always on"
+        );
+        assert!(
+            g.stats.workers.is_empty(),
+            "level-sync runs have no per-worker breakdown"
+        );
     }
 }

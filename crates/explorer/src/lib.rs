@@ -57,7 +57,7 @@ pub use explore::{
     Exploration, ExplorationGraph, ExploreOptions, Explorer, Frontier, Limits, StepRecord,
 };
 pub use lbsa_support::obs::{JsonlSink, MemorySink, StderrSink, TraceSink, Tracer};
-pub use stats::{ExploreStats, LevelStats, PhaseTimes};
+pub use stats::{ExploreStats, LatencyHistograms, LevelStats, PhaseTimes, WorkerStats};
 pub use symmetry::{Concretizer, ConfigSymmetry};
 pub use valency::{Valence, ValencyAnalysis};
 pub use verdict::{Outcome, Verdict, Witness};

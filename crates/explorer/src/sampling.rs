@@ -8,14 +8,23 @@
 //! pass is *evidence*, never proof — the experiments use sampling only
 //! above the exhaustive frontier, and say so.
 
+use crate::stats::duration_us;
 use lbsa_core::{AnyObject, Value};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::outcome::RandomOutcome;
 use lbsa_runtime::process::Protocol;
 use lbsa_runtime::scheduler::RandomScheduler;
 use lbsa_runtime::system::{RunEnd, System};
+use lbsa_support::json::Json;
+use lbsa_support::obs::Tracer;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Instant;
+
+/// Runs per `sample.batch` progress event on traced sweeps: coarse enough
+/// that a default 1000-run sweep emits ten batch lines, fine enough that a
+/// stalled sweep is visible long before `sample.end`.
+const SAMPLE_BATCH: u64 = 100;
 
 /// Parameters of a sampling sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +106,18 @@ impl fmt::Display for SampleViolation {
     }
 }
 
+impl SampleViolation {
+    /// The seed whose run reproduces this violation.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        match self {
+            SampleViolation::Agreement { seed, .. }
+            | SampleViolation::Validity { seed, .. }
+            | SampleViolation::Runtime { seed, .. } => *seed,
+        }
+    }
+}
+
 impl std::error::Error for SampleViolation {}
 
 /// Runs a sampling sweep checking the k-set-agreement **safety** properties
@@ -113,6 +134,75 @@ pub fn sample_k_set_agreement<P: Protocol>(
     k: usize,
     valid_inputs: &[Value],
     config: SampleConfig,
+) -> Result<SampleReport, SampleViolation> {
+    sample_k_set_agreement_traced(
+        protocol,
+        objects,
+        k,
+        valid_inputs,
+        config,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`sample_k_set_agreement`] with a [`Tracer`]: the sweep emits
+/// `sample.begin` (parameters), one `sample.batch` progress event per
+/// [`SAMPLE_BATCH`] runs (seeds tried, quiescent/budget split, elapsed),
+/// and a final `sample.end` carrying the report — or, on a violation, the
+/// violating seed and its description. An inert tracer makes this
+/// byte-for-byte the untraced sweep.
+///
+/// # Errors
+///
+/// Returns the first [`SampleViolation`], tagged with its seed.
+pub fn sample_k_set_agreement_traced<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    tracer: &Tracer,
+) -> Result<SampleReport, SampleViolation> {
+    let started = Instant::now();
+    tracer.emit_with("sample.begin", || {
+        Json::object()
+            .set("runs", config.runs)
+            .set("seed0", config.seed0)
+            .set("max_steps", config.max_steps)
+            .set("k", k)
+    });
+    let result = sample_sweep(protocol, objects, k, valid_inputs, config, tracer, started);
+    match &result {
+        Ok(report) => tracer.emit_with("sample.end", || {
+            Json::object()
+                .set("runs", report.runs)
+                .set("quiescent", report.quiescent)
+                .set("budget_hit", report.budget_hit)
+                .set("distinct_outcomes", report.distinct_outcomes)
+                .set("total_steps", report.total_steps)
+                .set("violations", 0u64)
+                .set("elapsed_us", duration_us(started.elapsed()))
+        }),
+        Err(violation) => tracer.emit_with("sample.end", || {
+            Json::object()
+                .set("violations", 1u64)
+                .set("seed", violation.seed())
+                .set("violation", violation.to_string())
+                .set("elapsed_us", duration_us(started.elapsed()))
+        }),
+    }
+    result
+}
+
+/// The sweep body shared by the traced and untraced entry points.
+fn sample_sweep<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    tracer: &Tracer,
+    started: Instant,
 ) -> Result<SampleReport, SampleViolation> {
     let mut report = SampleReport {
         runs: 0,
@@ -154,6 +244,17 @@ pub fn sample_k_set_agreement<P: Protocol>(
             }
         }
         outcomes.insert(result.decisions);
+        if report.runs.is_multiple_of(SAMPLE_BATCH) && report.runs < config.runs {
+            tracer.emit_with("sample.batch", || {
+                Json::object()
+                    .set("batch", report.runs / SAMPLE_BATCH)
+                    .set("seeds_tried", report.runs)
+                    .set("quiescent", report.quiescent)
+                    .set("budget_hit", report.budget_hit)
+                    .set("violations", 0u64)
+                    .set("elapsed_us", duration_us(started.elapsed()))
+            });
+        }
     }
     report.distinct_outcomes = outcomes.len();
     Ok(report)
@@ -171,6 +272,22 @@ pub fn sample_consensus<P: Protocol>(
     config: SampleConfig,
 ) -> Result<SampleReport, SampleViolation> {
     sample_k_set_agreement(protocol, objects, 1, valid_inputs, config)
+}
+
+/// [`sample_consensus`] with a [`Tracer`] (see
+/// [`sample_k_set_agreement_traced`] for the events).
+///
+/// # Errors
+///
+/// Returns the first [`SampleViolation`].
+pub fn sample_consensus_traced<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    tracer: &Tracer,
+) -> Result<SampleReport, SampleViolation> {
+    sample_k_set_agreement_traced(protocol, objects, 1, valid_inputs, config, tracer)
 }
 
 #[cfg(test)]
@@ -338,6 +455,84 @@ mod tests {
         assert_eq!(report.budget_hit, 3);
         assert_eq!(report.quiescent, 0);
         assert_eq!(report.total_steps, 150);
+    }
+
+    #[test]
+    fn traced_sweep_emits_begin_batches_and_end() {
+        use lbsa_support::obs::MemorySink;
+        let inputs: Vec<Value> = (0..4).map(|i| int(i % 2)).collect();
+        let p = Race {
+            inputs: inputs.clone(),
+        };
+        let objects = vec![AnyObject::consensus(4).unwrap()];
+        let sink = MemorySink::new();
+        let report = sample_consensus_traced(
+            &p,
+            &objects,
+            &inputs,
+            SampleConfig {
+                runs: 250,
+                seed0: 0,
+                max_steps: 10_000,
+            },
+            &Tracer::new(sink.clone()),
+        )
+        .unwrap();
+        assert_eq!(report.runs, 250);
+        let names = sink.names();
+        assert_eq!(names.first(), Some(&"sample.begin"));
+        assert_eq!(names.last(), Some(&"sample.end"));
+        assert_eq!(
+            names.iter().filter(|n| **n == "sample.batch").count(),
+            2,
+            "250 runs at a 100-run batch emit 2 interim beats"
+        );
+        let events = sink.events();
+        let begin = &events[0];
+        assert_eq!(begin.fields.get("runs"), Some(&Json::Int(250)));
+        assert_eq!(begin.fields.get("k"), Some(&Json::Int(1)));
+        let batch = events
+            .iter()
+            .find(|e| e.name == "sample.batch")
+            .expect("batch event");
+        assert_eq!(batch.fields.get("seeds_tried"), Some(&Json::Int(100)));
+        let end = events.last().expect("end event");
+        assert_eq!(end.fields.get("violations"), Some(&Json::Int(0)));
+        assert_eq!(end.fields.get("quiescent"), Some(&Json::Int(250)));
+        assert!(end.fields.get("elapsed_us").is_some());
+    }
+
+    #[test]
+    fn traced_sweep_reports_the_violating_seed_in_sample_end() {
+        use lbsa_support::obs::MemorySink;
+        let inputs = vec![int(0), int(1)];
+        let p = DecideOwn {
+            inputs: inputs.clone(),
+        };
+        let objects = vec![AnyObject::register()];
+        let sink = MemorySink::new();
+        let err = sample_consensus_traced(
+            &p,
+            &objects,
+            &inputs,
+            SampleConfig::default(),
+            &Tracer::new(sink.clone()),
+        )
+        .unwrap_err();
+        let events = sink.events();
+        let end = events.last().expect("end event");
+        assert_eq!(end.name, "sample.end");
+        assert_eq!(end.fields.get("violations"), Some(&Json::Int(1)));
+        assert_eq!(
+            end.fields.get("seed").and_then(Json::as_i64),
+            i64::try_from(err.seed()).ok(),
+            "sample.end names the reproducing seed"
+        );
+        assert!(end
+            .fields
+            .get("violation")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.contains("seed")));
     }
 
     #[test]

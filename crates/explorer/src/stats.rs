@@ -11,6 +11,7 @@
 //! different stats.
 
 use lbsa_support::json::Json;
+use lbsa_support::obs::HistogramNs;
 use std::time::Duration;
 
 /// Per-BFS-level measurements.
@@ -81,6 +82,109 @@ impl PhaseTimes {
     }
 }
 
+/// Per-worker measurements of one work-stealing run — the breakdown that
+/// makes load imbalance *diagnosable* rather than just countable from the
+/// aggregate steal counters.
+///
+/// The counting fields (`expanded`, `transitions`, steal outcomes, deque
+/// depth, idle spins) are always populated. The wall-clock fields follow
+/// the overhead policy: `idle` is measured unconditionally (the clock is
+/// only read while the worker has no work to do), while `busy` requires a
+/// per-task clock read and is therefore zero unless the run was traced.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Worker index, `0..threads`.
+    pub worker: usize,
+    /// Configurations this worker expanded.
+    pub expanded: usize,
+    /// Transitions this worker discovered.
+    pub transitions: usize,
+    /// Successful steal operations this worker performed.
+    pub steals: u64,
+    /// Full steal sweeps by this worker that came back empty.
+    pub steal_fails: u64,
+    /// Tasks this worker popped from its own deque.
+    pub local_hits: u64,
+    /// Deepest its own deque ever got (sampled at push time).
+    pub max_deque_depth: usize,
+    /// Spin/yield iterations while looking for work.
+    pub idle_spins: u64,
+    /// Wall-clock time spent idle (stealing sweeps that failed, yielding,
+    /// waiting for quiescence).
+    pub idle: Duration,
+    /// Wall-clock time spent expanding tasks. Zero unless traced — this
+    /// needs a clock read per task.
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Serializes one worker's row of the `metrics.explore.workers` array.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("worker", self.worker)
+            .set("expanded", self.expanded)
+            .set("transitions", self.transitions)
+            .set("steals", self.steals)
+            .set("steal_fails", self.steal_fails)
+            .set("local_hits", self.local_hits)
+            .set("max_deque_depth", self.max_deque_depth)
+            .set("idle_spins", self.idle_spins)
+            .set("idle_us", duration_us(self.idle))
+            .set("busy_us", duration_us(self.busy))
+    }
+}
+
+/// The run's latency histograms (see
+/// [`HistogramNs`](lbsa_support::obs::HistogramNs)): log2-bucketed
+/// nanosecond distributions that survive aggregation, where the
+/// [`PhaseTimes`] totals only say how much, not how it was spread.
+///
+/// `level_expand`/`level_merge` record one sample per BFS level and are
+/// always on (per-level clock reads are already part of [`LevelStats`]).
+/// `steal` records the latency of each successful steal operation, and
+/// `canonicalize`/`task_expand` record per-call and per-task costs — all
+/// three need extra clock reads on hot paths and are therefore only
+/// populated when the run is traced.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistograms {
+    /// Per-level expansion-phase times (level-sync frontier, always on).
+    pub level_expand: HistogramNs,
+    /// Per-level merge-phase times (parallel levels only, always on).
+    pub level_merge: HistogramNs,
+    /// Latency of each successful steal operation (traced runs only).
+    pub steal: HistogramNs,
+    /// Per-call orbit-canonicalization cost (traced, reduced runs only).
+    pub canonicalize: HistogramNs,
+    /// Per-task expansion cost in the work-stealing frontier (traced runs
+    /// only).
+    pub task_expand: HistogramNs,
+}
+
+impl LatencyHistograms {
+    /// Serializes every non-empty histogram under its name; `None` when
+    /// nothing was recorded (the report omits the `hist` object entirely).
+    #[must_use]
+    pub fn to_json(&self) -> Option<Json> {
+        let named = [
+            ("level_expand", &self.level_expand),
+            ("level_merge", &self.level_merge),
+            ("steal", &self.steal),
+            ("canonicalize", &self.canonicalize),
+            ("task_expand", &self.task_expand),
+        ];
+        let mut doc = Json::object();
+        let mut any = false;
+        for (name, hist) in named {
+            if !hist.is_empty() {
+                doc = doc.set(name, hist.to_json());
+                any = true;
+            }
+        }
+        any.then_some(doc)
+    }
+}
+
 /// Aggregate metrics of one exploration run.
 #[derive(Clone, Debug, Default)]
 pub struct ExploreStats {
@@ -145,6 +249,11 @@ pub struct ExploreStats {
     /// Per-level breakdown, in BFS order. Empty in work-stealing mode,
     /// which has no levels.
     pub levels: Vec<LevelStats>,
+    /// Per-worker breakdown, indexed by worker id. Populated by the
+    /// work-stealing frontier; empty for level-sync runs.
+    pub workers: Vec<WorkerStats>,
+    /// Latency distributions (see [`LatencyHistograms`]).
+    pub hist: LatencyHistograms,
 }
 
 impl ExploreStats {
@@ -196,6 +305,21 @@ impl ExploreStats {
         !self.work_stealing && self.threads > 1 && self.parallel_levels == 0 && self.expanded > 0
     }
 
+    /// Load-imbalance factor across workers: the busiest worker's expanded
+    /// count over the per-worker mean. `1.0` is perfectly balanced; `1.0`
+    /// is also returned when there is no per-worker breakdown (level-sync
+    /// runs) or nothing was expanded.
+    #[must_use]
+    pub fn worker_imbalance(&self) -> f64 {
+        let total: usize = self.workers.iter().map(|w| w.expanded).sum();
+        if self.workers.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.expanded).max().unwrap_or(0);
+        let mean = total as f64 / self.workers.len() as f64;
+        max as f64 / mean
+    }
+
     /// A one-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -240,7 +364,7 @@ impl ExploreStats {
     /// not the report.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::object()
+        let mut doc = Json::object()
             .set("configs", self.configs)
             .set("expanded", self.expanded)
             .set("transitions", self.transitions)
@@ -274,13 +398,28 @@ impl ExploreStats {
             )
             .set("steals", self.steals)
             .set("steal_fails", self.steal_fails)
-            .set("local_hits", self.local_hits)
+            .set("local_hits", self.local_hits);
+        if !self.workers.is_empty() {
+            doc = doc.set("worker_imbalance", self.worker_imbalance()).set(
+                "workers",
+                Json::Arr(self.workers.iter().map(WorkerStats::to_json).collect()),
+            );
+        }
+        if let Some(hist) = self.hist.to_json() {
+            doc = doc.set("hist", hist);
+        }
+        doc
     }
 }
 
 /// A duration in whole microseconds, saturating at `u64::MAX`.
 pub(crate) fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A duration in whole nanoseconds, saturating at `u64::MAX`.
+pub(crate) fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -371,6 +510,76 @@ mod tests {
         assert_eq!(
             level_sync.get("frontier").and_then(Json::as_str),
             Some("level-sync")
+        );
+    }
+
+    #[test]
+    fn worker_stats_flow_into_json_with_imbalance() {
+        let stats = ExploreStats {
+            work_stealing: true,
+            workers: vec![
+                WorkerStats {
+                    worker: 0,
+                    expanded: 30,
+                    transitions: 80,
+                    steals: 2,
+                    local_hits: 28,
+                    max_deque_depth: 9,
+                    idle_spins: 4,
+                    idle: Duration::from_micros(120),
+                    ..WorkerStats::default()
+                },
+                WorkerStats {
+                    worker: 1,
+                    expanded: 10,
+                    steal_fails: 1,
+                    ..WorkerStats::default()
+                },
+            ],
+            ..ExploreStats::default()
+        };
+        // max 30 over mean 20.
+        assert!((stats.worker_imbalance() - 1.5).abs() < 1e-9);
+        let doc = stats.to_json();
+        let workers = doc
+            .get("workers")
+            .and_then(Json::as_arr)
+            .expect("workers array");
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[0].get("expanded"), Some(&Json::Int(30)));
+        assert_eq!(workers[0].get("max_deque_depth"), Some(&Json::Int(9)));
+        assert_eq!(workers[0].get("idle_us"), Some(&Json::Int(120)));
+        assert_eq!(workers[1].get("steal_fails"), Some(&Json::Int(1)));
+        assert!(doc.get("worker_imbalance").is_some());
+        // Level-sync runs have no per-worker breakdown and omit the keys.
+        let plain = ExploreStats::default();
+        assert_eq!(plain.worker_imbalance(), 1.0);
+        assert!(plain.to_json().get("workers").is_none());
+    }
+
+    #[test]
+    fn histograms_serialize_only_when_populated() {
+        let stats = ExploreStats::default();
+        assert!(
+            stats.to_json().get("hist").is_none(),
+            "empty histograms stay out of the report"
+        );
+        let stats = ExploreStats::default();
+        stats.hist.level_expand.record(Duration::from_micros(100));
+        stats.hist.steal.record(Duration::from_nanos(900));
+        let doc = stats.to_json();
+        let hist = doc.get("hist").expect("hist object");
+        assert!(hist.get("level_expand").is_some());
+        assert!(hist.get("steal").is_some());
+        assert!(
+            hist.get("level_merge").is_none(),
+            "untouched histograms are omitted"
+        );
+        assert_eq!(
+            hist.get("steal")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_i64),
+            Some(1)
         );
     }
 

@@ -349,6 +349,178 @@ impl TimerNs {
     }
 }
 
+/// Number of log2 buckets in a [`HistogramNs`]: bucket `i` (for
+/// `1 <= i < 63`) counts durations in `[2^(i-1), 2^i - 1]` nanoseconds,
+/// bucket `0` counts zero-length measurements, and the last bucket absorbs
+/// everything from `2^62` ns up.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A lock-light latency histogram with logarithmic (power-of-two)
+/// nanosecond buckets.
+///
+/// Recording is one relaxed atomic increment — safe to feed from
+/// concurrent expansion workers without a mutex — and per-worker
+/// histograms [`merge`](HistogramNs::merge) into a run-wide one at
+/// assembly time. Quantiles ([`p50`](HistogramNs::p50),
+/// [`p95`](HistogramNs::p95), [`p99`](HistogramNs::p99)) are estimated as
+/// the midpoint of the bucket containing the requested rank, so they carry
+/// at most one octave of error — plenty for the "where did the time go"
+/// questions the trace observatory asks, at a fraction of the cost of
+/// exact reservoirs.
+pub struct HistogramNs {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistogramNs {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> HistogramNs {
+        HistogramNs {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index for a duration of `ns` nanoseconds.
+    #[must_use]
+    fn bucket_of(ns: u64) -> usize {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// The inclusive `(low, high)` nanosecond range of bucket `i`.
+    #[must_use]
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            _ if i >= HIST_BUCKETS - 1 => (1 << (HIST_BUCKETS - 2), u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one measurement of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[HistogramNs::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one measured duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every count from `other` into `self` — how per-worker
+    /// histograms fold into the run-wide view.
+    pub fn merge(&self, other: &HistogramNs) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total number of recorded measurements.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
+    /// midpoint of the bucket holding the rank-`ceil(q·count)` sample.
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, hi) = HistogramNs::bucket_bounds(i);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        let (lo, hi) = HistogramNs::bucket_bounds(HIST_BUCKETS - 1);
+        lo + (hi - lo) / 2
+    }
+
+    /// Estimated median, in nanoseconds.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile, in nanoseconds.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile, in nanoseconds.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Serializes the histogram as a nested JSON object:
+    /// `{count, p50_ns, p95_ns, p99_ns, buckets: {"<low_ns>": count, …}}`
+    /// with only non-empty buckets listed, low bound ascending. This is
+    /// the shape embedded in the `lbsa-report/v2` metrics object (and the
+    /// shape `exp_report --metrics` flattens with dotted keys).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut buckets = Json::object();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets = buckets.set(&HistogramNs::bucket_bounds(i).0.to_string(), n);
+            }
+        }
+        Json::object()
+            .set("count", self.count())
+            .set("p50_ns", self.p50())
+            .set("p95_ns", self.p95())
+            .set("p99_ns", self.p99())
+            .set("buckets", buckets)
+    }
+}
+
+impl Default for HistogramNs {
+    fn default() -> HistogramNs {
+        HistogramNs::new()
+    }
+}
+
+impl Clone for HistogramNs {
+    fn clone(&self) -> HistogramNs {
+        let copy = HistogramNs::new();
+        copy.merge(self);
+        copy
+    }
+}
+
+impl std::fmt::Debug for HistogramNs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HistogramNs(count={}, p50={}ns, p95={}ns, p99={}ns)",
+            self.count(),
+            self.p50(),
+            self.p95(),
+            self.p99()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +616,89 @@ mod tests {
         timer.record(Duration::from_micros(3));
         timer.record(Duration::from_micros(4));
         assert_eq!(timer.total(), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = HistogramNs::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0, "empty histogram reports zero");
+        h.record_ns(0);
+        h.record_ns(1);
+        h.record_ns(3);
+        h.record(Duration::from_nanos(1024));
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 5);
+        let doc = h.to_json();
+        let buckets = doc.get("buckets").expect("buckets object");
+        assert_eq!(buckets.get("0").and_then(Json::as_i64), Some(1));
+        assert_eq!(buckets.get("1").and_then(Json::as_i64), Some(1));
+        assert_eq!(buckets.get("2").and_then(Json::as_i64), Some(1));
+        assert_eq!(buckets.get("1024").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            buckets
+                .get(&(1u64 << 62).to_string())
+                .and_then(Json::as_i64),
+            Some(1),
+            "saturating top bucket catches u64::MAX"
+        );
+        assert!(doc.get("p50_ns").is_some() && doc.get("count").is_some());
+    }
+
+    #[test]
+    fn histogram_quantiles_stay_within_one_octave() {
+        let h = HistogramNs::new();
+        for _ in 0..90 {
+            h.record_ns(1_000); // bucket [512, 1023]
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000); // bucket [524288, 1048575]
+        }
+        let p50 = h.p50();
+        assert!(
+            (512..=1023).contains(&p50),
+            "p50 {p50} must land in the 1µs bucket"
+        );
+        let p99 = h.p99();
+        assert!(
+            (524_288..=1_048_575).contains(&p99),
+            "p99 {p99} must land in the 1ms bucket"
+        );
+        assert!(h.p95() <= p99 && p50 <= h.p95(), "quantiles are monotone");
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let a = HistogramNs::new();
+        let b = HistogramNs::new();
+        for i in 0..50u64 {
+            a.record_ns(100 + i);
+            b.record_ns(10_000 + i);
+        }
+        let merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 100);
+        assert_eq!(a.count(), 50, "merge leaves the source untouched");
+        assert!(
+            merged.p95() > a.p95(),
+            "tail mass from b must pull the merged p95 up"
+        );
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_is_lossless() {
+        let h = HistogramNs::new();
+        std::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record_ns(worker * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
     }
 
     #[test]

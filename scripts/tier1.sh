@@ -25,6 +25,10 @@ cargo run --release -q -p lbsa-bench --bin exp_report -- \
   --validate "$smoke_dir/exp_t2_dac.json" \
   --validate-trace "$smoke_dir/exp_t2_dac.trace.jsonl"
 
+echo "==> trace observatory smoke (obs_analyze on the tier-1 trace)"
+cargo run --release -q -p lbsa-bench --bin obs_analyze -- \
+  "$smoke_dir/exp_t2_dac.trace.jsonl" --summary-json >/dev/null
+
 echo "==> perf smoke (explore_scaling -> BENCH_explore.json gates)"
 # Regenerate BENCH_explore.json from a fresh bench run and gate it against
 # the committed copy (engine-vs-seed speedup floors, parallel-speedup
@@ -35,7 +39,15 @@ cp BENCH_explore.json "$smoke_dir/BENCH_committed.json"
 restore_bench() { cp "$smoke_dir/BENCH_committed.json" BENCH_explore.json; rm -rf "$smoke_dir"; }
 trap 'restore_bench' EXIT
 cargo bench -q -p lbsa-bench --bench explore_scaling >/dev/null
+# --history accumulates the run into BENCH_history.jsonl (append-only
+# perf trajectory; committing the grown file is a deliberate act, like
+# regenerating BENCH_explore.json). The regression comparison against the
+# trailing same-host median is advisory: it warns, it does not gate.
 cargo run --release -q -p lbsa-bench --bin perf_smoke -- \
-  "$smoke_dir/BENCH_committed.json" BENCH_explore.json
+  "$smoke_dir/BENCH_committed.json" BENCH_explore.json \
+  --history BENCH_history.jsonl
+cargo run --release -q -p lbsa-bench --bin obs_analyze -- \
+  --regress BENCH_history.jsonl \
+  || echo "WARNING: perf regression vs trailing median (advisory)"
 
 echo "tier-1: OK"
