@@ -21,11 +21,16 @@
 //! so the perf trajectory is tracked in-tree.
 
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
+use lbsa_core::value::int;
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{Configuration, ExploreOptions, Explorer, Frontier, Limits};
+use lbsa_explorer::sampling::sample_k_set_agreement;
+use lbsa_explorer::{
+    Configuration, ExploreOptions, Explorer, Frontier, Limits, SampleConfig, Tracer,
+};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::KSetViaStrongSa;
+use lbsa_protocols::vote_propagation::VotePropagation;
 use lbsa_runtime::process::Protocol;
 use lbsa_support::bench::{BenchmarkId, Criterion};
 use lbsa_support::json::Json;
@@ -38,6 +43,12 @@ use std::hint::black_box;
 /// raw configurations — past the 10⁵ mark where exploration time is pure
 /// frontier throughput.
 const KSET_N: usize = 9;
+
+/// Seeded runs per iteration of the sampling-throughput benchmark: the F8
+/// vote-propagation workload at n = 10 swept by the sampling engine. The
+/// committed `schedules_per_sec` derived from it is the advisory floor
+/// `perf_smoke` warns on.
+const SAMPLING_RUNS: u64 = 200;
 
 /// The seed exploration algorithm, kept verbatim as the perf baseline: a
 /// FIFO BFS deduplicating through a `HashMap` keyed by whole (deeply
@@ -211,6 +222,26 @@ fn bench_explore(c: &mut Criterion) {
             black_box(g.configs.len())
         });
     });
+    // Sampling-engine throughput: the F8 vote-propagation workload at
+    // n = 10, one worker (per-run cost, not parallel scaling — the
+    // thread-independence contract is covered by tests).
+    let pv = VotePropagation::random(10, 2, 3, 1, 2, 42).unwrap();
+    let mailboxes = pv.mailboxes();
+    let sample_cfg = SampleConfig {
+        runs: SAMPLING_RUNS,
+        seed0: 0,
+        max_steps: 100_000,
+        threads: 1,
+    };
+    let valid = [int(1)];
+    group.bench_function(format!("sampling/vote_prop/{SAMPLING_RUNS}"), |b| {
+        b.iter(|| {
+            let r =
+                sample_k_set_agreement(&pv, &mailboxes, 1, &valid, sample_cfg, &Tracer::disabled())
+                    .unwrap();
+            black_box(r.runs)
+        });
+    });
     group.finish();
 
     write_speedup_report(c, threads, &explorer, &explorer5, &explorer6, &explorerk);
@@ -330,7 +361,7 @@ fn write_speedup_report(
     let ratio = |raw: usize, red: usize| round2(raw as f64 / red as f64);
     let speedup = round2(baseline_min / par_min);
     let effective_cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let json = Json::object()
+    let mut json = Json::object()
         .set("workload", "t2_dac_n4")
         .set("configs", g.configs.len())
         .set("transitions", g.transitions)
@@ -404,6 +435,20 @@ fn write_speedup_report(
         .set("kset_ws_steals", ksetg.stats.steals)
         .set("kset_ws_steal_fails", ksetg.stats.steal_fails)
         .set("kset_ws_local_hits", ksetg.stats.local_hits);
+    // Sampling-engine throughput (schedules/sec on the F8 workload): an
+    // advisory floor in perf_smoke, and a BENCH_history.jsonl column.
+    if let Some((sampling_min, sampling_med)) =
+        times(&format!("sampling/vote_prop/{SAMPLING_RUNS}"))
+    {
+        json = json
+            .set("sampling_runs", SAMPLING_RUNS)
+            .set("sampling_min_ns", sampling_min.round())
+            .set("sampling_median_ns", sampling_med.round())
+            .set(
+                "schedules_per_sec",
+                (SAMPLING_RUNS as f64 / (sampling_min / 1e9)).round(),
+            );
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     if std::fs::write(path, json.pretty() + "\n").is_ok() {
         println!("\nT2 n=4 engine speedup vs seed baseline: {speedup:.2}x ({threads} threads)");

@@ -13,7 +13,7 @@
 use lbsa_bench::harness::run_experiment;
 use lbsa_bench::{distinct_inputs, mixed_binary_inputs};
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::sampling::{sample_k_set_agreement_traced, SampleConfig};
+use lbsa_explorer::sampling::{sample_k_set_agreement, SampleConfig};
 use lbsa_hierarchy::report::Table;
 use lbsa_protocols::dac::DacFromPac;
 use lbsa_protocols::set_agreement_protocols::{GroupSplitKSet, KSetViaPowerLevel};
@@ -46,6 +46,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         runs: 500,
         seed0: 0,
         max_steps: 50_000,
+        ..SampleConfig::default()
     };
 
     // Algorithm 2 at n = 6, 8, 10: agreement/validity hold on every sampled
@@ -55,33 +56,32 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         let protocol = DacFromPac::new(inputs.clone(), Pid(0), ObjId(0)).expect("n >= 2");
         let objects = vec![AnyObject::pac(n).expect("valid")];
         let tracer = exp.tracer();
-        let row =
-            match sample_k_set_agreement_traced(&protocol, &objects, 1, &inputs, config, &tracer) {
-                Ok(r) => {
-                    exp.metric(&format!("sampled.dac.n{n}.quiescent"), r.quiescent);
-                    exp.metric(&format!("sampled.dac.n{n}.budget_hit"), r.budget_hit);
-                    vec![
-                        "Algorithm 2 (n-DAC)".to_string(),
-                        n.to_string(),
-                        "1".into(),
-                        r.runs.to_string(),
-                        r.quiescent.to_string(),
-                        r.budget_hit.to_string(),
-                        r.distinct_outcomes.to_string(),
-                        "safety holds".into(),
-                    ]
-                }
-                Err(v) => vec![
+        let row = match sample_k_set_agreement(&protocol, &objects, 1, &inputs, config, &tracer) {
+            Ok(r) => {
+                exp.metric(&format!("sampled.dac.n{n}.quiescent"), r.quiescent);
+                exp.metric(&format!("sampled.dac.n{n}.budget_hit"), r.budget_hit);
+                vec![
                     "Algorithm 2 (n-DAC)".to_string(),
                     n.to_string(),
                     "1".into(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    format!("VIOLATED: {v}"),
-                ],
-            };
+                    r.runs.to_string(),
+                    r.quiescent.to_string(),
+                    r.budget_hit.to_string(),
+                    r.distinct_outcomes.to_string(),
+                    "safety holds".into(),
+                ]
+            }
+            Err(v) => vec![
+                "Algorithm 2 (n-DAC)".to_string(),
+                n.to_string(),
+                "1".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("VIOLATED: {v}"),
+            ],
+        };
         table.row(row);
     }
 
@@ -91,33 +91,32 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         let protocol = GroupSplitKSet::via_combined(inputs.clone(), 4).expect("group size 4");
         let objects: Vec<AnyObject> = (0..3).map(|_| AnyObject::o_n(4).expect("valid")).collect();
         let tracer = exp.tracer();
-        let row =
-            match sample_k_set_agreement_traced(&protocol, &objects, 3, &inputs, config, &tracer) {
-                Ok(r) => {
-                    exp.metric("sampled.group_split.quiescent", r.quiescent);
-                    exp.metric("sampled.group_split.budget_hit", r.budget_hit);
-                    vec![
-                        "group-split over O_4".to_string(),
-                        "12".into(),
-                        "3".into(),
-                        r.runs.to_string(),
-                        r.quiescent.to_string(),
-                        r.budget_hit.to_string(),
-                        r.distinct_outcomes.to_string(),
-                        "safety holds".into(),
-                    ]
-                }
-                Err(v) => vec![
+        let row = match sample_k_set_agreement(&protocol, &objects, 3, &inputs, config, &tracer) {
+            Ok(r) => {
+                exp.metric("sampled.group_split.quiescent", r.quiescent);
+                exp.metric("sampled.group_split.budget_hit", r.budget_hit);
+                vec![
                     "group-split over O_4".to_string(),
                     "12".into(),
                     "3".into(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    format!("VIOLATED: {v}"),
-                ],
-            };
+                    r.runs.to_string(),
+                    r.quiescent.to_string(),
+                    r.budget_hit.to_string(),
+                    r.distinct_outcomes.to_string(),
+                    "safety holds".into(),
+                ]
+            }
+            Err(v) => vec![
+                "group-split over O_4".to_string(),
+                "12".into(),
+                "3".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("VIOLATED: {v}"),
+            ],
+        };
         table.row(row);
     }
 
@@ -127,33 +126,32 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
         let protocol = KSetViaPowerLevel::new(inputs.clone(), ObjId(0), 3);
         let objects = vec![AnyObject::o_prime_n(4, 3).expect("valid")];
         let tracer = exp.tracer();
-        let row =
-            match sample_k_set_agreement_traced(&protocol, &objects, 3, &inputs, config, &tracer) {
-                Ok(r) => {
-                    exp.metric("sampled.power_level.quiescent", r.quiescent);
-                    exp.metric("sampled.power_level.budget_hit", r.budget_hit);
-                    vec![
-                        "O'_4 level 3".to_string(),
-                        "12".into(),
-                        "3".into(),
-                        r.runs.to_string(),
-                        r.quiescent.to_string(),
-                        r.budget_hit.to_string(),
-                        r.distinct_outcomes.to_string(),
-                        "safety holds".into(),
-                    ]
-                }
-                Err(v) => vec![
+        let row = match sample_k_set_agreement(&protocol, &objects, 3, &inputs, config, &tracer) {
+            Ok(r) => {
+                exp.metric("sampled.power_level.quiescent", r.quiescent);
+                exp.metric("sampled.power_level.budget_hit", r.budget_hit);
+                vec![
                     "O'_4 level 3".to_string(),
                     "12".into(),
                     "3".into(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    format!("VIOLATED: {v}"),
-                ],
-            };
+                    r.runs.to_string(),
+                    r.quiescent.to_string(),
+                    r.budget_hit.to_string(),
+                    r.distinct_outcomes.to_string(),
+                    "safety holds".into(),
+                ]
+            }
+            Err(v) => vec![
+                "O'_4 level 3".to_string(),
+                "12".into(),
+                "3".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("VIOLATED: {v}"),
+            ],
+        };
         table.row(row);
     }
 

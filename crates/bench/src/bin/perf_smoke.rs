@@ -38,6 +38,12 @@
 //!    canonicalization — with full orbit minimization the reduced run is
 //!    ~2.4× *slower* than raw at n = 6.
 //!
+//! Additionally, the sampling engine's `schedules_per_sec` (the F8
+//! vote-propagation workload, one worker) is checked *advisorily*: a drop
+//! below 50% of the committed value prints a warning but never fails the
+//! gate, since per-run cost tracks the host's single-thread speed more
+//! than the engine's overhead.
+//!
 //! Absent keys in the *committed* file are tolerated (first run after a
 //! schema extension); absent keys in the *fresh* file are failures.
 //!
@@ -231,6 +237,28 @@ fn main() -> ExitCode {
     }
     if let Some(r) = num(&fresh, "n6_reduction_ratio") {
         println!("n=6 reduction_ratio: {r:.2} (informational; gated via wall clock)");
+    }
+
+    // Sampling-engine throughput: advisory only. Per-run cost is dominated
+    // by protocol stepping, which varies with the host far more than the
+    // engine's own overhead, so a regression here warns instead of failing
+    // — the number still rides into the history for trend analysis.
+    match num(&fresh, "schedules_per_sec") {
+        Some(s) => {
+            let committed_sps = committed.as_ref().and_then(|c| num(c, "schedules_per_sec"));
+            match committed_sps {
+                Some(c) if s < c * 0.5 => eprintln!(
+                    "perf smoke WARNING: schedules_per_sec {s:.0} < 50% of committed {c:.0} \
+                     (advisory, not gated)"
+                ),
+                Some(c) => println!("schedules_per_sec: {s:.0} (committed {c:.0}, advisory) ok"),
+                None => println!("schedules_per_sec: {s:.0} (no committed value, advisory)"),
+            }
+            measured.push(format!("schedules_per_sec {s:.0}"));
+        }
+        None => eprintln!(
+            "perf smoke WARNING: fresh report lacks schedules_per_sec (advisory, not gated)"
+        ),
     }
 
     if let Some(path) = &history {

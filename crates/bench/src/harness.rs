@@ -396,6 +396,19 @@ fn validate_verdict(doc: &Json) -> Result<(), String> {
     let v = doc.get("verdict").ok_or("verdict: missing `verdict`")?;
     match v.get("outcome").and_then(Json::as_str) {
         Some("holds" | "violated" | "truncated" | "error") => {}
+        Some("holds-sampled") => {
+            let sampled = v
+                .get("sampled")
+                .ok_or("verdict: holds-sampled needs a `sampled` object")?;
+            for key in ["runs", "quiescent"] {
+                if sampled.get(key).and_then(Json::as_i64).is_none() {
+                    return Err(format!("verdict: `sampled.{key}` must be an integer"));
+                }
+            }
+            if sampled.get("confidence").and_then(Json::as_f64).is_none() {
+                return Err("verdict: `sampled.confidence` must be a number".into());
+            }
+        }
         Some(other) => return Err(format!("verdict: unknown outcome {other:?}")),
         None => return Err("verdict: missing string `outcome`".into()),
     }
@@ -480,6 +493,59 @@ mod tests {
         let parsed = Json::parse(&doc.pretty()).unwrap();
         assert_eq!(parsed, doc);
         validate_report(&parsed).unwrap();
+    }
+
+    #[test]
+    fn holds_sampled_verdicts_validate() {
+        let sampled_verdict = |sampled: Json| {
+            sample_report().set(
+                "verdicts",
+                Json::Arr(vec![Json::object().set("label", "f8").set(
+                    "verdict",
+                    Json::object()
+                        .set("outcome", "holds-sampled")
+                        .set(
+                            "stats",
+                            Json::object()
+                                .set("configs", 500usize)
+                                .set("transitions", 9000usize),
+                        )
+                        .set("sampled", sampled),
+                )]),
+            )
+        };
+        let good = sampled_verdict(
+            Json::object()
+                .set("runs", 500usize)
+                .set("quiescent", 480usize)
+                .set("confidence", 0.994),
+        );
+        validate_report(&good).unwrap();
+
+        let missing_confidence = sampled_verdict(
+            Json::object()
+                .set("runs", 500usize)
+                .set("quiescent", 480usize),
+        );
+        assert!(validate_report(&missing_confidence)
+            .unwrap_err()
+            .contains("confidence"));
+
+        let no_payload = sample_report().set(
+            "verdicts",
+            Json::Arr(vec![Json::object().set("label", "f8").set(
+                "verdict",
+                Json::object().set("outcome", "holds-sampled").set(
+                    "stats",
+                    Json::object()
+                        .set("configs", 0usize)
+                        .set("transitions", 0usize),
+                ),
+            )]),
+        );
+        assert!(validate_report(&no_payload)
+            .unwrap_err()
+            .contains("sampled"));
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub enum Violation {
     },
     /// The protocol itself misbehaved (spec error, bad object id).
     Runtime(RuntimeError),
+    /// A violation found by a sampling sweep rather than an exhaustive
+    /// graph check (see [`crate::sampling`]): tagged with the reproducing
+    /// seed instead of a configuration index.
+    Sampled(crate::sampling::SampleViolation),
 }
 
 impl fmt::Display for Violation {
@@ -121,6 +125,7 @@ impl fmt::Display for Violation {
                 write!(f, "history of {obj} is not linearizable")
             }
             Violation::Runtime(e) => write!(f, "runtime error during checking: {e}"),
+            Violation::Sampled(v) => write!(f, "{v}"),
         }
     }
 }

@@ -45,6 +45,7 @@
 
 use crate::config::Configuration;
 use crate::intern::{CompactConfig, ConcurrentIndex, Interner, ShardedIndex, SHARDS};
+use crate::sampling::SampleConfig;
 use crate::stats::{
     duration_ns, duration_us, ExploreStats, LatencyHistograms, LevelStats, PhaseTimes, WorkerStats,
 };
@@ -111,6 +112,31 @@ pub enum Frontier {
     /// configurations, transitions, and checker outcomes) is guaranteed —
     /// the throughput mode for large instances.
     WorkStealing,
+}
+
+/// How a `check_*` terminal of the [`Exploration`] builder quantifies over
+/// executions.
+///
+/// Both strategies answer through the same [`Verdict`](crate::Verdict)
+/// type; they differ in the strength of a positive answer. Exhaustive
+/// checking proves the property over *every* execution
+/// ([`Outcome::Holds`](crate::Outcome::Holds)); sampled checking runs a
+/// seeded random sweep and answers
+/// [`Outcome::HoldsSampled`](crate::Outcome::HoldsSampled) with a
+/// Clopper–Pearson confidence bound — evidence, never proof. Violations
+/// found by either strategy come back as replayable, `confirm()`-able
+/// [`Witness`](crate::Witness)es.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Explore the full execution graph and check it — the default, and
+    /// the only strategy that can *prove* a property.
+    #[default]
+    Exhaustive,
+    /// Run a seeded sampling sweep (see [`crate::sampling`]) instead of
+    /// exploring: reaches instances far beyond the exhaustive frontier,
+    /// answers with a confidence bound. The verdict and any violating seed
+    /// are independent of the worker thread count.
+    Sample(SampleConfig),
 }
 
 /// Tuning knobs for one exploration run.
@@ -1068,68 +1094,12 @@ impl<'a, P: Protocol> Explorer<'a, P> {
 
     /// Starts a fluent [`Exploration`] of this explorer's protocol.
     ///
-    /// This is the single entry point to the engine; the legacy
-    /// `explore*` functions are deprecated thin wrappers over it.
+    /// This is the single entry point to the engine: configure the run with
+    /// the builder, then finish with [`Exploration::run`] for the raw graph
+    /// or a `check_*` terminal for a [`Verdict`](crate::Verdict) under the
+    /// chosen [`Strategy`].
     pub fn exploration(&self) -> Exploration<'_, 'a, P> {
         Exploration::builder(self)
-    }
-
-    /// Builds the execution graph reachable from the initial configuration,
-    /// with an automatically chosen thread count.
-    ///
-    /// # Errors
-    ///
-    /// Propagates step errors (these indicate protocol bugs, not explored
-    /// behaviours).
-    #[deprecated(note = "use the `Exploration` builder: \
-                `explorer.exploration().limits(…).trace(…).run()`")]
-    pub fn explore(&self, limits: Limits) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.exploration().limits(limits).run()
-    }
-
-    /// Builds the execution graph with explicit [`ExploreOptions`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates step errors.
-    #[deprecated(note = "use the `Exploration` builder: \
-                `explorer.exploration().limits(…).threads(…).trace(…).run()`")]
-    pub fn explore_with(
-        &self,
-        options: ExploreOptions,
-    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.exploration().options(options).run()
-    }
-
-    /// Builds the execution graph reachable from an arbitrary configuration.
-    ///
-    /// # Errors
-    ///
-    /// Propagates step errors.
-    #[deprecated(note = "use the `Exploration` builder: \
-                `explorer.exploration().from(…).limits(…).trace(…).run()`")]
-    pub fn explore_from(
-        &self,
-        initial: Configuration<P::LocalState>,
-        limits: Limits,
-    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.exploration().from(initial).limits(limits).run()
-    }
-
-    /// Builds the execution graph reachable from an arbitrary configuration
-    /// with explicit [`ExploreOptions`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates step errors.
-    #[deprecated(note = "use the `Exploration` builder: \
-                `explorer.exploration().from(…).options(…).trace(…).run()`")]
-    pub fn explore_from_with(
-        &self,
-        initial: Configuration<P::LocalState>,
-        options: ExploreOptions,
-    ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
-        self.exploration().from(initial).options(options).run()
     }
 
     /// The engine: builds the execution graph reachable from `initial`.
@@ -2395,6 +2365,19 @@ pub struct Exploration<'e, 'a, P: Protocol> {
     on_progress: Option<ProgressCallback<'e>>,
     symmetry: Option<ConfigSymmetry<'a, P::LocalState>>,
     tracer: Option<Tracer>,
+    strategy: Strategy,
+}
+
+/// What a `check_*` terminal (see [`crate::verdict`]) needs from a
+/// consumed builder: the graph is only built for the exhaustive strategy,
+/// and the symmetry handle survives the run so reduced-graph violations
+/// can be de-canonicalized.
+pub(crate) struct CheckParts<'e, 'a, P: Protocol> {
+    pub explorer: &'e Explorer<'a, P>,
+    pub tracer: Tracer,
+    pub strategy: Strategy,
+    pub symmetry: Option<ConfigSymmetry<'a, P::LocalState>>,
+    pub graph: Option<Result<ExplorationGraph<P::LocalState>, RuntimeError>>,
 }
 
 impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
@@ -2409,7 +2392,35 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
             on_progress: None,
             symmetry: None,
             tracer: None,
+            strategy: Strategy::default(),
         }
+    }
+
+    /// Selects how the `check_*` terminals quantify over executions (see
+    /// [`Strategy`]). [`Exploration::run`] always explores exhaustively —
+    /// a graph of sampled runs would be a contradiction in terms — so this
+    /// only affects the checking terminals.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Shorthand for `.strategy(Strategy::Sample(config))`: the `check_*`
+    /// terminals run a seeded sampling sweep instead of exploring.
+    ///
+    /// ```ignore
+    /// let verdict = explorer
+    ///     .exploration()
+    ///     .sample(SampleConfig { runs: 10_000, ..SampleConfig::default() })
+    ///     .check_consensus(&inputs);
+    /// match verdict.outcome {
+    ///     Outcome::HoldsSampled { confidence, .. } => println!("p(viol) < {}", 1.0 - confidence),
+    ///     Outcome::Violated(_) => println!("{}", verdict.describe()), // witness replays the seed
+    ///     _ => unreachable!(),
+    /// }
+    /// ```
+    pub fn sample(self, config: SampleConfig) -> Self {
+        self.strategy(Strategy::Sample(config))
     }
 
     /// Sets the resource limits (see [`Limits`]).
@@ -2543,6 +2554,47 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
                 self.explorer
                     .run_engine_ws(initial, self.options, self.symmetry.as_ref(), tracer)
             }
+        }
+    }
+
+    /// Consumes the builder for a `check_*` terminal: runs the engine when
+    /// the strategy is exhaustive (sampling builds no graph) and hands the
+    /// verdict layer the pieces [`run`](Exploration::run) would otherwise
+    /// drop — the effective tracer and the symmetry handle.
+    pub(crate) fn run_for_check(mut self) -> CheckParts<'e, 'a, P> {
+        let explorer = self.explorer;
+        let tracer = self
+            .tracer
+            .take()
+            .unwrap_or_else(|| explorer.tracer.clone());
+        let symmetry = self.symmetry.take();
+        let graph = match self.strategy {
+            Strategy::Sample(_) => None,
+            Strategy::Exhaustive => {
+                let initial = self
+                    .from
+                    .take()
+                    .unwrap_or_else(|| explorer.initial_config());
+                Some(match self.options.frontier {
+                    Frontier::Deterministic => explorer.run_engine(
+                        initial,
+                        self.options,
+                        self.on_progress.take(),
+                        symmetry.as_ref(),
+                        &tracer,
+                    ),
+                    Frontier::WorkStealing => {
+                        explorer.run_engine_ws(initial, self.options, symmetry.as_ref(), &tracer)
+                    }
+                })
+            }
+        };
+        CheckParts {
+            explorer,
+            tracer,
+            strategy: self.strategy,
+            symmetry,
+            graph,
         }
     }
 }
@@ -2939,20 +2991,32 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_the_builder() {
+    fn builder_forms_produce_the_same_graph() {
         let p = RaceConsensus { n: 2 };
         let objects = vec![AnyObject::consensus(2).unwrap()];
         let ex = Explorer::new(&p, &objects);
         let reference = ex.exploration().run().unwrap();
-        assert!(reference.same_structure(&ex.explore(Limits::default()).unwrap()));
-        assert!(reference.same_structure(&ex.explore_with(ExploreOptions::default()).unwrap()));
+        assert!(
+            reference.same_structure(&ex.exploration().limits(Limits::default()).run().unwrap())
+        );
         assert!(reference.same_structure(
-            &ex.explore_from(ex.initial_config(), Limits::default())
+            &ex.exploration()
+                .options(ExploreOptions::default())
+                .run()
                 .unwrap()
         ));
         assert!(reference.same_structure(
-            &ex.explore_from_with(ex.initial_config(), ExploreOptions::default())
+            &ex.exploration()
+                .from(ex.initial_config())
+                .limits(Limits::default())
+                .run()
+                .unwrap()
+        ));
+        assert!(reference.same_structure(
+            &ex.exploration()
+                .from(ex.initial_config())
+                .options(ExploreOptions::default())
+                .run()
                 .unwrap()
         ));
     }

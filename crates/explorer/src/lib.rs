@@ -26,8 +26,10 @@
 //!   [`lbsa_runtime::derived::record_frontend_history`], used to validate
 //!   every derived implementation against its target specification.
 //! * [`sampling`] — seeded randomized checking for instances beyond the
-//!   exhaustive frontier: safety checked on every sampled run, violations
-//!   returned with their reproducing seed.
+//!   exhaustive frontier: a parallel, seed-sharded sweep whose verdicts are
+//!   thread-count independent, with safety checked on every sampled run and
+//!   violations returned with their reproducing seed. First-class via
+//!   [`explore::Strategy::Sample`] on the [`Exploration`] builder.
 //! * [`verdict`] — the structured reporting layer over the checkers: every
 //!   property check yields a typed [`verdict::Verdict`] whose counterexample
 //!   [`verdict::Witness`] is a replayable, delta-minimized schedule that can
@@ -54,10 +56,15 @@ pub mod verdict;
 pub use config::Configuration;
 pub use error::CheckError;
 pub use explore::{
-    Exploration, ExplorationGraph, ExploreOptions, Explorer, Frontier, Limits, StepRecord,
+    Exploration, ExplorationGraph, ExploreOptions, Explorer, Frontier, Limits, StepRecord, Strategy,
 };
 pub use lbsa_support::obs::{JsonlSink, MemorySink, StderrSink, TraceSink, Tracer};
-pub use stats::{ExploreStats, LatencyHistograms, LevelStats, PhaseTimes, WorkerStats};
+pub use sampling::{
+    sample_confidence, SampleConfig, SampleReport, SampleViolation, OUTCOME_SEED_XOR,
+};
+pub use stats::{
+    ExploreStats, LatencyHistograms, LevelStats, PhaseTimes, SampleWorkerStats, WorkerStats,
+};
 pub use symmetry::{Concretizer, ConfigSymmetry};
 pub use valency::{Valence, ValencyAnalysis};
 pub use verdict::{Outcome, Verdict, Witness};

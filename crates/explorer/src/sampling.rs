@@ -5,26 +5,78 @@
 //! many seeded random schedules (with random outcome resolution for the
 //! nondeterministic objects) and checks the safety properties on each run.
 //! A violation comes back with its seed, so it replays deterministically; a
-//! pass is *evidence*, never proof — the experiments use sampling only
-//! above the exhaustive frontier, and say so.
+//! pass is *evidence*, never proof — [`sample_confidence`] quantifies how
+//! much evidence — and the experiments use sampling only above the
+//! exhaustive frontier, and say so.
+//!
+//! # Parallel engine
+//!
+//! The sweep shards the seed range across workers by stride: worker `w` of
+//! `t` takes seeds `seed0 + w, seed0 + w + t, …` in increasing order, so
+//! every worker owns a disjoint slice and the union is exactly
+//! `seed0 .. seed0 + runs` regardless of `t`. Violation selection is
+//! **lowest-seed-wins** through a shared atomic minimum: a worker stops
+//! only when its next seed offset is at or above the lowest violating
+//! offset found so far, which guarantees every seed below the final
+//! minimum was actually executed (and found clean). The reported
+//! violation — and on a clean sweep the merged [`SampleReport`] — is
+//! therefore identical at every thread count.
+//!
+//! Entry points are tracer-aware ([`lbsa_support::obs::Tracer::disabled`]
+//! is free); the old `*_traced` names remain as deprecated shims. For a
+//! [`Verdict`](crate::Verdict) with a confidence-bounded outcome and a
+//! replayable [`Witness`](crate::Witness) on violation, go through the
+//! builder instead: [`Exploration::sample`](crate::Exploration::sample).
 
-use crate::stats::duration_us;
+use crate::stats::{duration_us, SampleWorkerStats};
 use lbsa_core::{AnyObject, Value};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::outcome::RandomOutcome;
 use lbsa_runtime::process::Protocol;
 use lbsa_runtime::scheduler::RandomScheduler;
-use lbsa_runtime::system::{RunEnd, System};
+use lbsa_runtime::system::{RunEnd, RunResult, System};
 use lbsa_support::json::Json;
-use lbsa_support::obs::Tracer;
+use lbsa_support::obs::{HistogramNs, Tracer};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Runs per `sample.batch` progress event on traced sweeps: coarse enough
 /// that a default 1000-run sweep emits ten batch lines, fine enough that a
 /// stalled sweep is visible long before `sample.end`.
 const SAMPLE_BATCH: u64 = 100;
+
+/// XOR'd into the seed to derive the outcome-resolver stream from the
+/// scheduler stream, so the two [`SmallRng`](lbsa_support::rng::SmallRng)s
+/// never walk in lockstep. Replaying a sampled run by hand needs the same
+/// constant: `RandomOutcome::seeded(seed ^ OUTCOME_SEED_XOR)`.
+pub const OUTCOME_SEED_XOR: u64 = 0x5DEE_CE66;
+
+/// Significance level of the [`sample_confidence`] bound (one-sided 95%
+/// Clopper–Pearson).
+pub const SAMPLE_ALPHA: f64 = 0.05;
+
+/// The confidence carried by a clean sweep of `runs` seeded schedules.
+///
+/// With zero violations in `n` independent runs, the one-sided
+/// Clopper–Pearson upper bound on the per-schedule violation probability
+/// `p` at significance α is `p ≤ 1 − α^(1/n)`; this returns the
+/// complementary confidence `α^(1/n) = 1 − bound`. Read it as: unless an
+/// event of probability below α occurred, a uniformly sampled schedule
+/// violates with probability at most `1 − sample_confidence(runs)`.
+/// 1000 runs give ≈ 0.997 (violation rate below 0.3%). Note the bound is
+/// about the *sampled* schedule distribution — rare adversarial
+/// interleavings can still hide below it, which is why a pass is evidence,
+/// never proof.
+#[must_use]
+pub fn sample_confidence(runs: u64) -> f64 {
+    if runs == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    SAMPLE_ALPHA.powf(1.0 / runs as f64)
+}
 
 /// Parameters of a sampling sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,16 +87,41 @@ pub struct SampleConfig {
     pub seed0: u64,
     /// Per-run step budget.
     pub max_steps: usize,
+    /// Worker threads sharding the seed range. `0` means auto, resolved
+    /// exactly like [`ExploreOptions::resolved_threads`]
+    /// (`LBSA_EXPLORE_THREADS`, then available cores capped by
+    /// `LBSA_EXPLORE_MAX_THREADS`). The verdict, the violating seed, and
+    /// the merged report never depend on this — only wall-clock does.
+    ///
+    /// [`ExploreOptions::resolved_threads`]: crate::ExploreOptions::resolved_threads
+    pub threads: usize,
 }
 
 impl Default for SampleConfig {
-    /// 1000 runs from seed 0, 100k steps each.
+    /// 1000 runs from seed 0, 100k steps each, auto thread count.
     fn default() -> Self {
         SampleConfig {
             runs: 1000,
             seed0: 0,
             max_steps: 100_000,
+            threads: 0,
         }
+    }
+}
+
+impl SampleConfig {
+    /// The concrete worker count a sweep with this config uses: the
+    /// resolved thread count, never more than one worker per run.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        let auto = crate::ExploreOptions {
+            threads: self.threads,
+            ..crate::ExploreOptions::default()
+        }
+        .resolved_threads();
+        usize::try_from(self.runs)
+            .unwrap_or(usize::MAX)
+            .clamp(1, auto.max(1))
     }
 }
 
@@ -125,37 +202,19 @@ impl std::error::Error for SampleViolation {}
 /// the report counts quiescent vs budget-stopped runs instead, because
 /// random schedules cannot distinguish starvation from slow progress.
 ///
+/// The sweep emits `sample.begin` (parameters), one `sample.batch`
+/// progress event per [`SAMPLE_BATCH`] runs of each worker (seeds tried,
+/// quiescent/budget split, elapsed), one `sample.worker` summary per
+/// worker after the join, and a final `sample.end` carrying the merged
+/// report with per-run latency quantiles — or, on a violation, the
+/// violating seed and its description. [`Tracer::disabled`] makes all of
+/// that free.
+///
 /// # Errors
 ///
-/// Returns the first [`SampleViolation`], tagged with its seed.
+/// Returns the lowest-seed [`SampleViolation`] — deterministic at every
+/// thread count (see the module docs for why).
 pub fn sample_k_set_agreement<P: Protocol>(
-    protocol: &P,
-    objects: &[AnyObject],
-    k: usize,
-    valid_inputs: &[Value],
-    config: SampleConfig,
-) -> Result<SampleReport, SampleViolation> {
-    sample_k_set_agreement_traced(
-        protocol,
-        objects,
-        k,
-        valid_inputs,
-        config,
-        &Tracer::disabled(),
-    )
-}
-
-/// [`sample_k_set_agreement`] with a [`Tracer`]: the sweep emits
-/// `sample.begin` (parameters), one `sample.batch` progress event per
-/// [`SAMPLE_BATCH`] runs (seeds tried, quiescent/budget split, elapsed),
-/// and a final `sample.end` carrying the report — or, on a violation, the
-/// violating seed and its description. An inert tracer makes this
-/// byte-for-byte the untraced sweep.
-///
-/// # Errors
-///
-/// Returns the first [`SampleViolation`], tagged with its seed.
-pub fn sample_k_set_agreement_traced<P: Protocol>(
     protocol: &P,
     objects: &[AnyObject],
     k: usize,
@@ -164,46 +223,43 @@ pub fn sample_k_set_agreement_traced<P: Protocol>(
     tracer: &Tracer,
 ) -> Result<SampleReport, SampleViolation> {
     let started = Instant::now();
+    let threads = config.resolved_threads();
     tracer.emit_with("sample.begin", || {
         Json::object()
             .set("runs", config.runs)
             .set("seed0", config.seed0)
             .set("max_steps", config.max_steps)
+            .set("threads", threads)
             .set("k", k)
     });
-    let result = sample_sweep(protocol, objects, k, valid_inputs, config, tracer, started);
-    match &result {
-        Ok(report) => tracer.emit_with("sample.end", || {
-            Json::object()
-                .set("runs", report.runs)
-                .set("quiescent", report.quiescent)
-                .set("budget_hit", report.budget_hit)
-                .set("distinct_outcomes", report.distinct_outcomes)
-                .set("total_steps", report.total_steps)
-                .set("violations", 0u64)
-                .set("elapsed_us", duration_us(started.elapsed()))
-        }),
-        Err(violation) => tracer.emit_with("sample.end", || {
-            Json::object()
-                .set("violations", 1u64)
-                .set("seed", violation.seed())
-                .set("violation", violation.to_string())
-                .set("elapsed_us", duration_us(started.elapsed()))
-        }),
-    }
-    result
-}
+    let shared = SweepShared {
+        protocol,
+        objects,
+        k,
+        valid_inputs,
+        config,
+        tracer,
+        started,
+        stride: threads as u64,
+        stop: AtomicU64::new(u64::MAX),
+    };
+    let sweeps: Vec<WorkerSweep> = if threads <= 1 {
+        vec![worker_sweep(&shared, 0)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let sh = &shared;
+                    s.spawn(move || worker_sweep(sh, w))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sampler worker panicked"))
+                .collect()
+        })
+    };
 
-/// The sweep body shared by the traced and untraced entry points.
-fn sample_sweep<P: Protocol>(
-    protocol: &P,
-    objects: &[AnyObject],
-    k: usize,
-    valid_inputs: &[Value],
-    config: SampleConfig,
-    tracer: &Tracer,
-    started: Instant,
-) -> Result<SampleReport, SampleViolation> {
     let mut report = SampleReport {
         runs: 0,
         quiescent: 0,
@@ -212,74 +268,108 @@ fn sample_sweep<P: Protocol>(
         total_steps: 0,
     };
     let mut outcomes: BTreeSet<Vec<Option<Value>>> = BTreeSet::new();
-    for i in 0..config.runs {
-        let seed = config.seed0 + i;
-        let mut sys = System::new(protocol, objects)
-            .map_err(|error| SampleViolation::Runtime { seed, error })?;
-        sys.set_record_trace(false);
-        let result = sys
-            .run(
-                &mut RandomScheduler::seeded(seed),
-                &mut RandomOutcome::seeded(seed ^ 0x5DEE_CE66),
-                config.max_steps,
-            )
-            .map_err(|error| SampleViolation::Runtime { seed, error })?;
-        report.runs += 1;
-        report.total_steps += result.steps;
-        match result.end {
-            RunEnd::Quiescent => report.quiescent += 1,
-            RunEnd::MaxSteps => report.budget_hit += 1,
-            RunEnd::SchedulerStopped => {}
-        }
-        let decided = result.distinct_decisions();
-        if decided.len() > k {
-            return Err(SampleViolation::Agreement {
-                seed,
-                values: decided,
-            });
-        }
-        for v in &decided {
-            if !valid_inputs.contains(v) {
-                return Err(SampleViolation::Validity { seed, value: *v });
+    let run_ns = HistogramNs::new();
+    let mut best: Option<(u64, SampleViolation)> = None;
+    for w in &sweeps {
+        tracer.emit_with("sample.worker", || w.stats.to_json());
+        report.runs += w.stats.runs;
+        report.quiescent += w.stats.quiescent;
+        report.budget_hit += w.stats.budget_hit;
+        report.total_steps += w.stats.total_steps;
+        run_ns.merge(&w.run_ns);
+    }
+    for w in sweeps {
+        outcomes.extend(w.outcomes);
+        if let Some((offset, v)) = w.violation {
+            if best.as_ref().is_none_or(|(b, _)| offset < *b) {
+                best = Some((offset, v));
             }
         }
-        outcomes.insert(result.decisions);
-        if report.runs.is_multiple_of(SAMPLE_BATCH) && report.runs < config.runs {
-            tracer.emit_with("sample.batch", || {
+    }
+
+    match best {
+        Some((_, violation)) => {
+            tracer.emit_with("sample.end", || {
                 Json::object()
-                    .set("batch", report.runs / SAMPLE_BATCH)
-                    .set("seeds_tried", report.runs)
-                    .set("quiescent", report.quiescent)
-                    .set("budget_hit", report.budget_hit)
-                    .set("violations", 0u64)
+                    .set("violations", 1u64)
+                    .set("seed", violation.seed())
+                    .set("violation", violation.to_string())
+                    .set("threads", threads)
                     .set("elapsed_us", duration_us(started.elapsed()))
             });
+            Err(violation)
+        }
+        None => {
+            report.distinct_outcomes = outcomes.len();
+            tracer.emit_with("sample.end", || {
+                let mut out = Json::object()
+                    .set("runs", report.runs)
+                    .set("quiescent", report.quiescent)
+                    .set("budget_hit", report.budget_hit)
+                    .set("distinct_outcomes", report.distinct_outcomes)
+                    .set("total_steps", report.total_steps)
+                    .set("violations", 0u64)
+                    .set("threads", threads)
+                    .set("elapsed_us", duration_us(started.elapsed()));
+                if !run_ns.is_empty() {
+                    out = out
+                        .set("run_p50_ns", run_ns.p50())
+                        .set("run_p95_ns", run_ns.p95())
+                        .set("run_p99_ns", run_ns.p99());
+                }
+                out
+            });
+            Ok(report)
         }
     }
-    report.distinct_outcomes = outcomes.len();
-    Ok(report)
 }
 
-/// Sampling sweep for consensus (`k = 1`).
+/// Sampling sweep for consensus (`k = 1`); see [`sample_k_set_agreement`].
 ///
 /// # Errors
 ///
-/// Returns the first [`SampleViolation`].
+/// Returns the lowest-seed [`SampleViolation`].
 pub fn sample_consensus<P: Protocol>(
     protocol: &P,
     objects: &[AnyObject],
     valid_inputs: &[Value],
     config: SampleConfig,
+    tracer: &Tracer,
 ) -> Result<SampleReport, SampleViolation> {
-    sample_k_set_agreement(protocol, objects, 1, valid_inputs, config)
+    sample_k_set_agreement(protocol, objects, 1, valid_inputs, config, tracer)
 }
 
-/// [`sample_consensus`] with a [`Tracer`] (see
-/// [`sample_k_set_agreement_traced`] for the events).
+/// Deprecated alias of [`sample_k_set_agreement`], kept for callers of the
+/// old split traced/untraced pair.
 ///
 /// # Errors
 ///
-/// Returns the first [`SampleViolation`].
+/// Returns the lowest-seed [`SampleViolation`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `sample_k_set_agreement` — it takes a tracer now"
+)]
+pub fn sample_k_set_agreement_traced<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    tracer: &Tracer,
+) -> Result<SampleReport, SampleViolation> {
+    sample_k_set_agreement(protocol, objects, k, valid_inputs, config, tracer)
+}
+
+/// Deprecated alias of [`sample_consensus`], kept for callers of the old
+/// split traced/untraced pair.
+///
+/// # Errors
+///
+/// Returns the lowest-seed [`SampleViolation`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `sample_consensus` — it takes a tracer now"
+)]
 pub fn sample_consensus_traced<P: Protocol>(
     protocol: &P,
     objects: &[AnyObject],
@@ -287,7 +377,111 @@ pub fn sample_consensus_traced<P: Protocol>(
     config: SampleConfig,
     tracer: &Tracer,
 ) -> Result<SampleReport, SampleViolation> {
-    sample_k_set_agreement_traced(protocol, objects, 1, valid_inputs, config, tracer)
+    sample_consensus(protocol, objects, valid_inputs, config, tracer)
+}
+
+/// Everything the workers share, borrowed across the scoped spawn.
+struct SweepShared<'a, P: Protocol> {
+    protocol: &'a P,
+    objects: &'a [AnyObject],
+    k: usize,
+    valid_inputs: &'a [Value],
+    config: SampleConfig,
+    tracer: &'a Tracer,
+    started: Instant,
+    /// Seed-offset stride between a worker's consecutive runs (= threads).
+    stride: u64,
+    /// Lowest violating seed offset found so far, `u64::MAX` when clean.
+    /// Workers stop once their next offset is at or above it.
+    stop: AtomicU64,
+}
+
+/// One worker's share of a sweep, merged by the caller after the join.
+struct WorkerSweep {
+    stats: SampleWorkerStats,
+    outcomes: BTreeSet<Vec<Option<Value>>>,
+    /// This worker's lowest violating `(seed offset, violation)`, if any.
+    violation: Option<(u64, SampleViolation)>,
+    /// Per-run wall-clock latency.
+    run_ns: HistogramNs,
+}
+
+/// One seeded run: fresh system, seeded scheduler and outcome resolver.
+fn run_one<P: Protocol>(sh: &SweepShared<'_, P>, seed: u64) -> Result<RunResult, RuntimeError> {
+    let mut sys = System::new(sh.protocol, sh.objects)?;
+    sys.set_record_trace(false);
+    sys.run(
+        &mut RandomScheduler::seeded(seed),
+        &mut RandomOutcome::seeded(seed ^ OUTCOME_SEED_XOR),
+        sh.config.max_steps,
+    )
+}
+
+/// The per-worker sweep body: walks seed offsets `worker, worker + stride,
+/// …` in increasing order, stopping early only when a violation at a lower
+/// offset is already known (its own or, via `stop`, another worker's).
+fn worker_sweep<P: Protocol>(sh: &SweepShared<'_, P>, worker: usize) -> WorkerSweep {
+    let begun = Instant::now();
+    let mut w = WorkerSweep {
+        stats: SampleWorkerStats::new(worker),
+        outcomes: BTreeSet::new(),
+        violation: None,
+        run_ns: HistogramNs::new(),
+    };
+    let mut offset = worker as u64;
+    while offset < sh.config.runs {
+        if offset >= sh.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let seed = sh.config.seed0.wrapping_add(offset);
+        let run_started = Instant::now();
+        let found = match run_one(sh, seed) {
+            Err(error) => Some(SampleViolation::Runtime { seed, error }),
+            Ok(result) => {
+                w.run_ns.record(run_started.elapsed());
+                w.stats.runs += 1;
+                w.stats.total_steps += result.steps;
+                match result.end {
+                    RunEnd::Quiescent => w.stats.quiescent += 1,
+                    RunEnd::MaxSteps => w.stats.budget_hit += 1,
+                    RunEnd::SchedulerStopped => {}
+                }
+                let decided = result.distinct_decisions();
+                if decided.len() > sh.k {
+                    Some(SampleViolation::Agreement {
+                        seed,
+                        values: decided,
+                    })
+                } else if let Some(v) = decided.iter().find(|v| !sh.valid_inputs.contains(v)) {
+                    Some(SampleViolation::Validity { seed, value: *v })
+                } else {
+                    w.outcomes.insert(result.decisions);
+                    None
+                }
+            }
+        };
+        if let Some(violation) = found {
+            // Remaining offsets are all higher — nothing left to win.
+            sh.stop.fetch_min(offset, Ordering::SeqCst);
+            w.violation = Some((offset, violation));
+            break;
+        }
+        if w.stats.runs.is_multiple_of(SAMPLE_BATCH) && offset + sh.stride < sh.config.runs {
+            sh.tracer.emit_with("sample.batch", || {
+                Json::object()
+                    .set("batch", w.stats.runs / SAMPLE_BATCH)
+                    .set("worker", worker)
+                    .set("seeds_tried", w.stats.runs)
+                    .set("quiescent", w.stats.quiescent)
+                    .set("budget_hit", w.stats.budget_hit)
+                    .set("violations", 0u64)
+                    .set("elapsed_us", duration_us(sh.started.elapsed()))
+            });
+        }
+        offset += sh.stride;
+    }
+    w.stats.busy = begun.elapsed();
+    w
 }
 
 #[cfg(test)]
@@ -351,7 +545,9 @@ mod tests {
                 runs: 200,
                 seed0: 0,
                 max_steps: 10_000,
+                ..SampleConfig::default()
             },
+            &Tracer::disabled(),
         )
         .unwrap();
         assert_eq!(report.runs, 200);
@@ -368,7 +564,14 @@ mod tests {
             inputs: inputs.clone(),
         };
         let objects = vec![AnyObject::register()];
-        let err = sample_consensus(&p, &objects, &inputs, SampleConfig::default()).unwrap_err();
+        let err = sample_consensus(
+            &p,
+            &objects,
+            &inputs,
+            SampleConfig::default(),
+            &Tracer::disabled(),
+        )
+        .unwrap_err();
         match err {
             SampleViolation::Agreement { seed, values } => {
                 assert_eq!(values.len(), 2);
@@ -377,7 +580,7 @@ mod tests {
                 let result = sys
                     .run(
                         &mut RandomScheduler::seeded(seed),
-                        &mut RandomOutcome::seeded(seed ^ 0x5DEE_CE66),
+                        &mut RandomOutcome::seeded(seed ^ OUTCOME_SEED_XOR),
                         100_000,
                     )
                     .unwrap();
@@ -412,7 +615,9 @@ mod tests {
                 runs: 5,
                 seed0: 9,
                 max_steps: 100,
+                ..SampleConfig::default()
             },
+            &Tracer::disabled(),
         )
         .unwrap_err();
         assert!(matches!(
@@ -449,12 +654,81 @@ mod tests {
                 runs: 3,
                 seed0: 0,
                 max_steps: 50,
+                ..SampleConfig::default()
             },
+            &Tracer::disabled(),
         )
         .unwrap();
         assert_eq!(report.budget_hit, 3);
         assert_eq!(report.quiescent, 0);
         assert_eq!(report.total_steps, 150);
+    }
+
+    #[test]
+    fn clean_sweep_reports_are_thread_count_independent() {
+        let inputs: Vec<Value> = (0..6).map(|i| int(i % 2)).collect();
+        let p = Race {
+            inputs: inputs.clone(),
+        };
+        let objects = vec![AnyObject::consensus(6).unwrap()];
+        let config = SampleConfig {
+            runs: 120,
+            seed0: 3,
+            max_steps: 10_000,
+            threads: 1,
+        };
+        let base = sample_consensus(&p, &objects, &inputs, config, &Tracer::disabled()).unwrap();
+        for threads in [2, 4, 8] {
+            let report = sample_consensus(
+                &p,
+                &objects,
+                &inputs,
+                SampleConfig { threads, ..config },
+                &Tracer::disabled(),
+            )
+            .unwrap();
+            assert_eq!(report, base, "report drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn violating_seed_is_thread_count_independent() {
+        let inputs = vec![int(0), int(1), int(2)];
+        let p = DecideOwn {
+            inputs: inputs.clone(),
+        };
+        let objects = vec![AnyObject::register()];
+        let config = SampleConfig {
+            runs: 400,
+            seed0: 17,
+            max_steps: 1_000,
+            threads: 1,
+        };
+        let base =
+            sample_consensus(&p, &objects, &inputs, config, &Tracer::disabled()).unwrap_err();
+        for threads in [2, 4, 8] {
+            let err = sample_consensus(
+                &p,
+                &objects,
+                &inputs,
+                SampleConfig { threads, ..config },
+                &Tracer::disabled(),
+            )
+            .unwrap_err();
+            assert_eq!(err, base, "violation drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn confidence_grows_with_runs_and_matches_clopper_pearson() {
+        assert_eq!(sample_confidence(0), 0.0);
+        let c1000 = sample_confidence(1000);
+        assert!((c1000 - 0.997_008).abs() < 1e-4, "{c1000}");
+        assert!(sample_confidence(100) < c1000);
+        assert!(c1000 < sample_confidence(10_000));
+        // confidence = 1 − (Clopper–Pearson upper bound at 0 failures).
+        let upper = 1.0 - SAMPLE_ALPHA.powf(1.0 / 1000.0);
+        assert!((c1000 - (1.0 - upper)).abs() < 1e-12);
     }
 
     #[test]
@@ -466,7 +740,7 @@ mod tests {
         };
         let objects = vec![AnyObject::consensus(4).unwrap()];
         let sink = MemorySink::new();
-        let report = sample_consensus_traced(
+        let report = sample_consensus(
             &p,
             &objects,
             &inputs,
@@ -474,6 +748,7 @@ mod tests {
                 runs: 250,
                 seed0: 0,
                 max_steps: 10_000,
+                threads: 1,
             },
             &Tracer::new(sink.clone()),
         )
@@ -487,19 +762,32 @@ mod tests {
             2,
             "250 runs at a 100-run batch emit 2 interim beats"
         );
+        assert_eq!(
+            names.iter().filter(|n| **n == "sample.worker").count(),
+            1,
+            "single-threaded sweeps still summarize their one worker"
+        );
         let events = sink.events();
         let begin = &events[0];
         assert_eq!(begin.fields.get("runs"), Some(&Json::Int(250)));
         assert_eq!(begin.fields.get("k"), Some(&Json::Int(1)));
+        assert_eq!(begin.fields.get("threads"), Some(&Json::Int(1)));
         let batch = events
             .iter()
             .find(|e| e.name == "sample.batch")
             .expect("batch event");
         assert_eq!(batch.fields.get("seeds_tried"), Some(&Json::Int(100)));
+        assert_eq!(batch.fields.get("worker"), Some(&Json::Int(0)));
+        let worker = events
+            .iter()
+            .find(|e| e.name == "sample.worker")
+            .expect("worker event");
+        assert_eq!(worker.fields.get("runs"), Some(&Json::Int(250)));
         let end = events.last().expect("end event");
         assert_eq!(end.fields.get("violations"), Some(&Json::Int(0)));
         assert_eq!(end.fields.get("quiescent"), Some(&Json::Int(250)));
         assert!(end.fields.get("elapsed_us").is_some());
+        assert!(end.fields.get("run_p50_ns").is_some());
     }
 
     #[test]
@@ -511,7 +799,7 @@ mod tests {
         };
         let objects = vec![AnyObject::register()];
         let sink = MemorySink::new();
-        let err = sample_consensus_traced(
+        let err = sample_consensus(
             &p,
             &objects,
             &inputs,
@@ -533,6 +821,26 @@ mod tests {
             .get("violation")
             .and_then(Json::as_str)
             .is_some_and(|s| s.contains("seed")));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_traced_shims_delegate_to_the_canonical_sweep() {
+        let inputs = vec![int(0), int(1)];
+        let p = DecideOwn {
+            inputs: inputs.clone(),
+        };
+        let objects = vec![AnyObject::register()];
+        let tracer = Tracer::disabled();
+        let config = SampleConfig::default();
+        assert_eq!(
+            sample_consensus_traced(&p, &objects, &inputs, config, &tracer),
+            sample_consensus(&p, &objects, &inputs, config, &tracer),
+        );
+        assert_eq!(
+            sample_k_set_agreement_traced(&p, &objects, 1, &inputs, config, &tracer),
+            sample_k_set_agreement(&p, &objects, 1, &inputs, config, &tracer),
+        );
     }
 
     #[test]

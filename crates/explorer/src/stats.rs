@@ -135,6 +135,51 @@ impl WorkerStats {
     }
 }
 
+/// Per-worker telemetry for one sampling sweep (see the `sampling`
+/// module): the sampler's analogue of [`WorkerStats`]. Each worker owns a
+/// stride of the seed range, so the per-worker run counts depend on the
+/// thread count even though the merged [`SampleReport`](crate::sampling::SampleReport)
+/// does not — which is why these live in trace events (`sample.worker`),
+/// never in the report itself.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SampleWorkerStats {
+    /// Worker index, `0..threads`.
+    pub worker: usize,
+    /// Seeded runs this worker executed.
+    pub runs: u64,
+    /// Runs that reached quiescence.
+    pub quiescent: u64,
+    /// Runs stopped by the per-run step budget.
+    pub budget_hit: u64,
+    /// Total atomic steps across this worker's runs.
+    pub total_steps: usize,
+    /// Wall-clock time from the worker's first run to its last.
+    pub busy: Duration,
+}
+
+impl SampleWorkerStats {
+    /// Stats for worker `worker` with nothing recorded yet.
+    #[must_use]
+    pub fn new(worker: usize) -> SampleWorkerStats {
+        SampleWorkerStats {
+            worker,
+            ..SampleWorkerStats::default()
+        }
+    }
+
+    /// Serializes one worker's `sample.worker` trace payload.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("worker", self.worker)
+            .set("runs", self.runs)
+            .set("quiescent", self.quiescent)
+            .set("budget_hit", self.budget_hit)
+            .set("total_steps", self.total_steps)
+            .set("busy_us", duration_us(self.busy))
+    }
+}
+
 /// The run's latency histograms (see
 /// [`HistogramNs`](lbsa_support::obs::HistogramNs)): log2-bucketed
 /// nanosecond distributions that survive aggregation, where the

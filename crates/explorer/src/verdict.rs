@@ -42,13 +42,19 @@ use crate::checker::{
 };
 use crate::config::Configuration;
 use crate::error::CheckError;
-use crate::explore::{Edge, ExplorationGraph, Explorer, Limits};
+use crate::explore::{Edge, Exploration, ExplorationGraph, Explorer, Limits, Strategy};
 use crate::linearizability::{check_linearizable, LinearizabilityError};
+use crate::sampling::{
+    sample_confidence, sample_k_set_agreement, SampleConfig, SampleViolation, OUTCOME_SEED_XOR,
+};
 use crate::symmetry::{Concretizer, ConfigSymmetry};
+use lbsa_core::spec::ObjectSpec;
 use lbsa_core::{AnyObject, Pid, Value};
 use lbsa_runtime::derived::CompletedOp;
 use lbsa_runtime::error::RuntimeError;
+use lbsa_runtime::outcome::{OutcomeResolver, RandomOutcome};
 use lbsa_runtime::process::{ProcStatus, Protocol, Symmetry};
+use lbsa_runtime::scheduler::{RandomScheduler, Scheduler};
 use lbsa_runtime::trace::{Trace, TraceEvent};
 use lbsa_support::json::Json;
 use lbsa_support::obs::Tracer;
@@ -412,6 +418,19 @@ fn replay_one<P: Protocol>(
 pub enum Outcome {
     /// The property holds in every execution.
     Holds,
+    /// The property held on every run of a sampling sweep — probabilistic
+    /// evidence, not proof: `confidence` is the complement of the
+    /// Clopper–Pearson upper bound on the per-schedule violation rate (see
+    /// [`crate::sampling::sample_confidence`]).
+    HoldsSampled {
+        /// Seeded runs executed, all clean.
+        runs: u64,
+        /// Runs that reached quiescence (the rest hit the step budget).
+        quiescent: u64,
+        /// `1 − bound` where `bound` is the 95% Clopper–Pearson upper
+        /// bound on the violation probability of a sampled schedule.
+        confidence: f64,
+    },
     /// A violation was found (the verdict's witness demonstrates it, when
     /// one could be extracted).
     Violated(Violation),
@@ -427,6 +446,7 @@ impl Outcome {
     pub fn tag(&self) -> &'static str {
         match self {
             Outcome::Holds => "holds",
+            Outcome::HoldsSampled { .. } => "holds-sampled",
             Outcome::Violated(_) => "violated",
             Outcome::Truncated => "truncated",
             Outcome::Error(_) => "error",
@@ -465,6 +485,12 @@ impl Verdict {
     pub fn describe(&self) -> String {
         match &self.outcome {
             Outcome::Holds => "holds".to_string(),
+            Outcome::HoldsSampled {
+                runs, confidence, ..
+            } => format!(
+                "holds on {runs} sampled runs (violation rate < {:.2e} at 95% confidence)",
+                1.0 - confidence
+            ),
             Outcome::Violated(v) => format!("violated: {v}"),
             Outcome::Truncated => "inconclusive: exploration truncated".to_string(),
             Outcome::Error(e) => format!("error: {e}"),
@@ -478,6 +504,19 @@ impl Verdict {
         match &self.outcome {
             Outcome::Violated(v) => doc = doc.set("detail", v.to_string()),
             Outcome::Error(e) => doc = doc.set("detail", e.to_string()),
+            Outcome::HoldsSampled {
+                runs,
+                quiescent,
+                confidence,
+            } => {
+                doc = doc.set(
+                    "sampled",
+                    Json::object()
+                        .set("runs", *runs)
+                        .set("quiescent", *quiescent)
+                        .set("confidence", *confidence),
+                );
+            }
             _ => {}
         }
         doc = doc.set(
@@ -606,6 +645,229 @@ fn k_set_kind(violation: &Violation, k: usize, valid_inputs: &[Value]) -> Option
         }),
         Violation::UndecidedTerminal { .. } => Some(WitnessKind::UndecidedTerminal),
         _ => None,
+    }
+}
+
+/// Checks k-set agreement by sampling (see [`crate::sampling`]) instead of
+/// exhaustive exploration, returning a verdict whose positive outcome is
+/// [`Outcome::HoldsSampled`] with a confidence bound and whose violations
+/// carry the same minimized, [`Witness::confirm`]-able witnesses as
+/// exhaustive checks — the violating seed is replayed into a
+/// [`ScheduleStep`] schedule and delta-minimized. The verdict (and any
+/// violating seed) is independent of `config.threads`.
+#[must_use]
+pub fn verdict_k_set_agreement_sampled<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+) -> Verdict {
+    verdict_k_set_agreement_sampled_with(explorer, k, valid_inputs, config, explorer.tracer())
+}
+
+/// Sampled consensus check (`k = 1`); see
+/// [`verdict_k_set_agreement_sampled`].
+#[must_use]
+pub fn verdict_consensus_sampled<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+) -> Verdict {
+    verdict_k_set_agreement_sampled(explorer, 1, valid_inputs, config)
+}
+
+/// [`verdict_k_set_agreement_sampled`] against an explicit tracer — the
+/// builder terminals route their per-run tracer override here.
+fn verdict_k_set_agreement_sampled_with<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    tracer: &Tracer,
+) -> Verdict {
+    let verdict = match sample_k_set_agreement(
+        explorer.protocol(),
+        explorer.objects(),
+        k,
+        valid_inputs,
+        config,
+        tracer,
+    ) {
+        Ok(report) => Verdict {
+            outcome: Outcome::HoldsSampled {
+                runs: report.runs,
+                quiescent: report.quiescent,
+                confidence: sample_confidence(report.runs),
+            },
+            stats: CheckStats {
+                configs: usize::try_from(report.runs).unwrap_or(usize::MAX),
+                transitions: report.total_steps,
+            },
+            witness: None,
+        },
+        Err(violation) => sampled_violation_verdict(explorer, k, valid_inputs, config, violation),
+    };
+    traced(tracer, "k-set-agreement-sampled", verdict)
+}
+
+/// Builds the `Violated` verdict for a sampling violation: replays the
+/// seed into a schedule and lifts it into a real, minimized witness.
+/// Stats count the seeds tried up to the violating one (`configs`) and the
+/// failing run's length (`transitions`) — both seed-deterministic, so the
+/// verdict compares equal across thread counts.
+fn sampled_violation_verdict<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    violation: SampleViolation,
+) -> Verdict {
+    let seeds_tried = violation.seed().wrapping_sub(config.seed0).wrapping_add(1);
+    if let SampleViolation::Runtime { error, .. } = &violation {
+        return Verdict::error(
+            CheckStats {
+                configs: usize::try_from(seeds_tried).unwrap_or(usize::MAX),
+                transitions: 0,
+            },
+            error.clone().into(),
+        );
+    }
+    let kind = match &violation {
+        SampleViolation::Agreement { .. } => Some(WitnessKind::Agreement { k }),
+        SampleViolation::Validity { .. } => Some(WitnessKind::Validity {
+            valid: valid_inputs.to_vec(),
+        }),
+        SampleViolation::Runtime { .. } => None,
+    };
+    let schedule = sampled_schedule(explorer, violation.seed(), config.max_steps);
+    let stats = CheckStats {
+        configs: usize::try_from(seeds_tried).unwrap_or(usize::MAX),
+        transitions: schedule.as_ref().map_or(0, Vec::len),
+    };
+    let witness = schedule
+        .ok()
+        .zip(kind)
+        .and_then(|(schedule, kind)| finish_witness(explorer, schedule, Vec::new(), kind));
+    Verdict {
+        outcome: Outcome::Violated(Violation::Sampled(violation)),
+        stats,
+        witness,
+    }
+}
+
+/// Re-derives a sampled run's schedule from its seed by driving
+/// [`Explorer::step`] with the same seeded scheduler and outcome resolver
+/// as the sweep's `System::run` — including consulting the resolver *only*
+/// when an object offers more than one outcome, so the RNG streams stay
+/// bit-aligned with the original run.
+fn sampled_schedule<P: Protocol>(
+    explorer: &Explorer<'_, P>,
+    seed: u64,
+    max_steps: usize,
+) -> Result<Vec<ScheduleStep>, RuntimeError> {
+    let mut scheduler = RandomScheduler::seeded(seed);
+    let mut resolver = RandomOutcome::seeded(seed ^ OUTCOME_SEED_XOR);
+    let mut config = explorer.initial_config();
+    let mut schedule = Vec::new();
+    loop {
+        let enabled = config.enabled_pids();
+        if enabled.is_empty() || schedule.len() >= max_steps {
+            break;
+        }
+        let Some(pid) = scheduler.next_pid(&enabled) else {
+            break;
+        };
+        let local = match &config.procs[pid.index()] {
+            ProcStatus::Running(s) => s.clone(),
+            _ => unreachable!("enabled pids are running"),
+        };
+        let (obj, op) = explorer.protocol().pending_op(pid, &local);
+        let spec = explorer
+            .objects()
+            .get(obj.index())
+            .ok_or(RuntimeError::ObjIdOutOfRange {
+                obj,
+                len: explorer.objects().len(),
+            })?;
+        let options = spec
+            .outcomes(&config.object_states[obj.index()], &op)?
+            .into_vec();
+        let outcome = if options.len() == 1 {
+            0
+        } else {
+            resolver.choose(pid, obj, &options).min(options.len() - 1)
+        };
+        config = explorer.step(&config, pid, outcome)?.config;
+        schedule.push(ScheduleStep { pid, outcome });
+    }
+    Ok(schedule)
+}
+
+/// The checking terminals of the [`Exploration`] builder: one fluent API,
+/// one [`Verdict`], under either [`Strategy`].
+impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
+    /// Consumes the builder and checks k-set agreement under the
+    /// configured [`Strategy`]: exhaustive exploration (respecting every
+    /// builder knob — limits, threads, frontier, symmetry, tracer) by
+    /// default, or a seeded sampling sweep after
+    /// [`Exploration::sample`]. Either way the verdict's violations carry
+    /// replayable, minimized witnesses.
+    #[must_use]
+    pub fn check_k_set_agreement(self, k: usize, valid_inputs: &[Value]) -> Verdict {
+        let parts = self.run_for_check();
+        match parts.strategy {
+            Strategy::Sample(config) => verdict_k_set_agreement_sampled_with(
+                parts.explorer,
+                k,
+                valid_inputs,
+                config,
+                &parts.tracer,
+            ),
+            Strategy::Exhaustive => {
+                let graph = match parts.graph.expect("exhaustive checks build a graph") {
+                    Ok(g) => g,
+                    Err(e) => {
+                        return traced(
+                            &parts.tracer,
+                            "k-set-agreement",
+                            Verdict::error(EMPTY_STATS, e.into()),
+                        )
+                    }
+                };
+                let stats = graph_stats(&graph);
+                let verdict = match check_k_set_agreement_graph(&graph, k, valid_inputs) {
+                    Ok(stats) => Verdict {
+                        outcome: Outcome::Holds,
+                        stats,
+                        witness: None,
+                    },
+                    Err(violation) => {
+                        let kind = k_set_kind(&violation, k, valid_inputs);
+                        match &parts.symmetry {
+                            Some(sym) => violation_verdict_reduced(
+                                parts.explorer,
+                                sym,
+                                &graph,
+                                violation,
+                                stats,
+                                kind,
+                            ),
+                            None => {
+                                violation_verdict(parts.explorer, &graph, violation, stats, kind)
+                            }
+                        }
+                    }
+                };
+                traced(&parts.tracer, "k-set-agreement", verdict)
+            }
+        }
+    }
+
+    /// Consumes the builder and checks consensus (`k = 1`); see
+    /// [`Exploration::check_k_set_agreement`].
+    #[must_use]
+    pub fn check_consensus(self, valid_inputs: &[Value]) -> Verdict {
+        self.check_k_set_agreement(1, valid_inputs)
     }
 }
 

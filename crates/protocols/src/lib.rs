@@ -27,6 +27,10 @@
 //! * [`universal`] — a consensus-based universal construction (after
 //!   Herlihy \[10\]): any deterministic object specification, implemented for
 //!   `n` processes from `n`-consensus objects.
+//! * [`vote_propagation`] — a commitment-cascade workload over a random
+//!   partially-connected network: the first *sampling-only* family
+//!   (experiment F8), whose state space is deliberately beyond the
+//!   exhaustive frontier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,3 +43,4 @@ pub mod dac;
 pub mod derived_impls;
 pub mod set_agreement_protocols;
 pub mod universal;
+pub mod vote_propagation;

@@ -1,0 +1,471 @@
+//! **Vote propagation** over a random partially-connected network: the
+//! first *sampling-only* workload family (experiment F8).
+//!
+//! Unlike every other protocol in this crate, vote propagation is not an
+//! algorithm from the paper — it is a stress workload for the sampling
+//! engine ([`lbsa_explorer::sampling`]): a commitment-cascade model in
+//! which consensus spreads through a network by positive vote
+//! accumulation. Its exhaustive state space explodes combinatorially with
+//! the node count (every mailbox counter is part of the configuration),
+//! which makes it exactly the kind of instance the paper's experiments
+//! hand to the randomized checker instead of the exhaustive one.
+//!
+//! ## The model
+//!
+//! `n` nodes share `n` single-writer-style mailboxes (plain registers;
+//! `ObjId(i)` is node `i`'s mailbox, counting the votes it has received,
+//! with `nil` read as zero). Each node is initially **idle** unless it is
+//! in the *starting set*. Per round, a node:
+//!
+//! 1. reads its own mailbox (its *vote balance*);
+//! 2. **commits** — decides `1` and halts — once the balance exceeds
+//!    [`VotePropagation::COMMIT_THRESHOLD`];
+//! 3. otherwise, if *active* (a starter, or the balance shows it has
+//!    received at least one vote) and it has outgoing edges, it sends a
+//!    `+1` vote to each of [`VotePropagation::FANOUT`] connected peers
+//!    (read the peer's mailbox, write back the incremented count — lost
+//!    updates under contention are part of the modelled behaviour);
+//! 4. idle nodes just poll; after `max_rounds` rounds every uncommitted
+//!    node halts without deciding.
+//!
+//! The network is a random digraph: each node gets `connectivity`
+//! distinct outgoing edges, and each edge is made bidirectional with
+//! probability `bidi_num / bidi_den`. Peer choice per `(node, round,
+//! slot)` is a deterministic hash of the topology seed, so all run-to-run
+//! nondeterminism comes from the scheduler — every sampled seed replays
+//! exactly.
+//!
+//! Two simplifications relative to the prose protocol this is drawn from:
+//! committed nodes halt outright instead of keeping an auto-responder
+//! running, and vote receipt is modelled by the shared counter rather
+//! than per-edge vote storage.
+//!
+//! Checked as consensus with `valid = [1]`: the only decidable value is
+//! `1`, so agreement and validity hold on every run — what the F8 sweep
+//! measures is how quiescence, commit cascades, and schedule lengths
+//! respond to connectivity, starting-set size, and bidirectionality.
+
+use lbsa_core::value::int;
+use lbsa_core::{AnyObject, ObjId, Op, Pid, Value};
+use lbsa_runtime::process::{Protocol, Step};
+use lbsa_support::rng::SmallRng;
+
+/// SplitMix64 finalizer: the per-`(node, round, slot)` peer-choice hash.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Where a voter is inside its current round.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VotePhase {
+    /// Reading the own mailbox to learn the vote balance.
+    Check,
+    /// Reading the mailbox of the peer chosen for this send slot.
+    SendRead {
+        /// Send slot within the round (`0..FANOUT`).
+        slot: u8,
+        /// The chosen peer (a node index).
+        target: usize,
+    },
+    /// Writing the incremented vote count back to the peer's mailbox.
+    SendWrite {
+        /// Send slot within the round (`0..FANOUT`).
+        slot: u8,
+        /// The chosen peer (a node index).
+        target: usize,
+        /// The vote count read in the preceding [`VotePhase::SendRead`].
+        votes: i64,
+    },
+}
+
+/// Local state of one voter: its round counter and phase.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VoterState {
+    /// Completed-round counter (halts at `max_rounds`).
+    pub round: u32,
+    /// Position inside the current round.
+    pub phase: VotePhase,
+}
+
+/// The vote-propagation workload (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VotePropagation {
+    neighbors: Vec<Vec<usize>>,
+    start: Vec<bool>,
+    max_rounds: u32,
+    seed: u64,
+}
+
+impl VotePropagation {
+    /// A node commits once its vote balance exceeds this.
+    pub const COMMIT_THRESHOLD: i64 = 2;
+
+    /// Votes an active node sends per round.
+    pub const FANOUT: u8 = 2;
+
+    /// Rounds an idle node polls before halting, unless overridden with
+    /// [`VotePropagation::with_max_rounds`].
+    pub const DEFAULT_MAX_ROUNDS: u32 = 8;
+
+    /// Creates the workload from an explicit topology.
+    ///
+    /// `neighbors[i]` lists node `i`'s outgoing edges, `start[i]` marks
+    /// the starting set, and `seed` drives the per-round peer choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the graph is empty, `start` has the
+    /// wrong length, or any edge is a self-loop or out of range.
+    pub fn new(neighbors: Vec<Vec<usize>>, start: Vec<bool>, seed: u64) -> Result<Self, String> {
+        let n = neighbors.len();
+        if n == 0 {
+            return Err("vote propagation needs at least one node".into());
+        }
+        if start.len() != n {
+            return Err(format!("start set has {} flags for {n} nodes", start.len()));
+        }
+        for (i, nbrs) in neighbors.iter().enumerate() {
+            for &j in nbrs {
+                if j == i {
+                    return Err(format!("node {i} has a self-loop"));
+                }
+                if j >= n {
+                    return Err(format!("node {i} points at out-of-range node {j}"));
+                }
+            }
+        }
+        Ok(VotePropagation {
+            neighbors,
+            start,
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+            seed,
+        })
+    }
+
+    /// Creates a random instance: `n` nodes, `connectivity` outgoing
+    /// edges per node (each made bidirectional with probability
+    /// `bidi_num / bidi_den`), and a uniformly-chosen starting set of
+    /// `start_count` nodes. Fully deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `n == 0`, `connectivity > n - 1`,
+    /// `start_count > n`, or `bidi_den == 0`.
+    pub fn random(
+        n: usize,
+        connectivity: usize,
+        start_count: usize,
+        bidi_num: u64,
+        bidi_den: u64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if n == 0 {
+            return Err("vote propagation needs at least one node".into());
+        }
+        if connectivity >= n {
+            return Err(format!("connectivity {connectivity} needs {} peers", n - 1));
+        }
+        if start_count > n {
+            return Err(format!("starting set {start_count} exceeds {n} nodes"));
+        }
+        if bidi_den == 0 {
+            return Err("bidirectional probability has a zero denominator".into());
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Outgoing edges: `connectivity` distinct non-self peers per node.
+        let mut adjacency: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut pool: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+                (0..connectivity)
+                    .map(|_| pool.swap_remove(rng.random_range(0..pool.len())))
+                    .collect()
+            })
+            .collect();
+        // Bidirectionality: reverse each edge with probability num/den.
+        for i in 0..n {
+            for s in 0..adjacency[i].len() {
+                let j = adjacency[i][s];
+                if rng.ratio(bidi_num, bidi_den) && !adjacency[j].contains(&i) {
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        for nbrs in &mut adjacency {
+            nbrs.sort_unstable();
+        }
+        // Starting set: `start_count` distinct nodes.
+        let mut start = vec![false; n];
+        let mut pool: Vec<usize> = (0..n).collect();
+        for _ in 0..start_count {
+            start[pool.swap_remove(rng.random_range(0..pool.len()))] = true;
+        }
+        VotePropagation::new(adjacency, start, seed)
+    }
+
+    /// Overrides the round budget.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The `n` mailbox registers this workload needs.
+    #[must_use]
+    pub fn mailboxes(&self) -> Vec<AnyObject> {
+        (0..self.n()).map(|_| AnyObject::register()).collect()
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Node `i`'s outgoing edges, sorted.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Whether node `i` is in the starting set.
+    #[must_use]
+    pub fn is_starter(&self, i: usize) -> bool {
+        self.start[i]
+    }
+
+    /// The peer node `node` votes at in `(round, slot)` — a deterministic
+    /// hash of the topology seed, so replays of a sampled schedule make
+    /// identical choices.
+    fn peer(&self, node: usize, round: u32, slot: u8) -> usize {
+        let nbrs = &self.neighbors[node];
+        let node64 = u64::try_from(node).expect("node index fits in u64");
+        let key = mix(self.seed
+            ^ node64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (u64::from(round) << 8)
+            ^ u64::from(slot));
+        let len = u64::try_from(nbrs.len()).expect("degree fits in u64");
+        nbrs[usize::try_from(key % len).expect("index fits usize")]
+    }
+
+    /// Mailbox contents as a vote count (`nil` = no votes yet).
+    fn votes(response: Value) -> i64 {
+        response.as_int().unwrap_or(0)
+    }
+}
+
+impl Protocol for VotePropagation {
+    type LocalState = VoterState;
+
+    fn num_processes(&self) -> usize {
+        self.n()
+    }
+
+    fn init(&self, _pid: Pid) -> VoterState {
+        VoterState {
+            round: 0,
+            phase: VotePhase::Check,
+        }
+    }
+
+    fn pending_op(&self, pid: Pid, state: &VoterState) -> (ObjId, Op) {
+        match &state.phase {
+            VotePhase::Check => (ObjId(pid.index()), Op::Read),
+            VotePhase::SendRead { target, .. } => (ObjId(*target), Op::Read),
+            VotePhase::SendWrite { target, votes, .. } => {
+                (ObjId(*target), Op::Write(int(votes + 1)))
+            }
+        }
+    }
+
+    fn on_response(&self, pid: Pid, state: &VoterState, response: Value) -> Step<VoterState> {
+        let node = pid.index();
+        let round = state.round;
+        match &state.phase {
+            VotePhase::Check => {
+                let balance = Self::votes(response);
+                if balance > Self::COMMIT_THRESHOLD {
+                    return Step::Decide(int(1));
+                }
+                if round >= self.max_rounds {
+                    return Step::Halt;
+                }
+                let active = self.start[node] || balance > 0;
+                if active && !self.neighbors[node].is_empty() {
+                    Step::Continue(VoterState {
+                        round,
+                        phase: VotePhase::SendRead {
+                            slot: 0,
+                            target: self.peer(node, round, 0),
+                        },
+                    })
+                } else {
+                    Step::Continue(VoterState {
+                        round: round + 1,
+                        phase: VotePhase::Check,
+                    })
+                }
+            }
+            VotePhase::SendRead { slot, target } => Step::Continue(VoterState {
+                round,
+                phase: VotePhase::SendWrite {
+                    slot: *slot,
+                    target: *target,
+                    votes: Self::votes(response),
+                },
+            }),
+            VotePhase::SendWrite { slot, .. } => {
+                let next = slot + 1;
+                if next < Self::FANOUT {
+                    Step::Continue(VoterState {
+                        round,
+                        phase: VotePhase::SendRead {
+                            slot: next,
+                            target: self.peer(node, round, next),
+                        },
+                    })
+                } else {
+                    Step::Continue(VoterState {
+                        round: round + 1,
+                        phase: VotePhase::Check,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsa_explorer::sampling::OUTCOME_SEED_XOR;
+    use lbsa_explorer::{Explorer, Outcome, SampleConfig};
+    use lbsa_runtime::outcome::RandomOutcome;
+    use lbsa_runtime::scheduler::RandomScheduler;
+    use lbsa_runtime::system::System;
+
+    #[test]
+    fn random_topology_is_deterministic_in_the_seed() {
+        let a = VotePropagation::random(8, 2, 3, 1, 2, 42).unwrap();
+        let b = VotePropagation::random(8, 2, 3, 1, 2, 42).unwrap();
+        assert_eq!(a, b);
+        let c = VotePropagation::random(8, 2, 3, 1, 2, 43).unwrap();
+        assert_ne!(a, c, "different seeds should differ (seed 43 collided)");
+    }
+
+    #[test]
+    fn random_topology_has_the_requested_shape() {
+        let p = VotePropagation::random(10, 3, 4, 1, 1, 7).unwrap();
+        assert_eq!(p.n(), 10);
+        let starters = (0..10).filter(|&i| p.is_starter(i)).count();
+        assert_eq!(starters, 4);
+        for i in 0..10 {
+            // bidi probability 1 can only add edges beyond the base 3.
+            assert!(p.neighbors(i).len() >= 3);
+            assert!(!p.neighbors(i).contains(&i), "no self-loops");
+            assert!(p.neighbors(i).windows(2).all(|w| w[0] < w[1]), "sorted");
+        }
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(VotePropagation::random(0, 0, 0, 1, 2, 1).is_err());
+        assert!(VotePropagation::random(4, 4, 1, 1, 2, 1).is_err());
+        assert!(VotePropagation::random(4, 1, 5, 1, 2, 1).is_err());
+        assert!(VotePropagation::random(4, 1, 1, 1, 0, 1).is_err());
+        assert!(VotePropagation::new(vec![vec![0]], vec![true], 1).is_err());
+        assert!(VotePropagation::new(vec![vec![7], vec![0]], vec![true; 2], 1).is_err());
+        assert!(VotePropagation::new(vec![vec![1], vec![0]], vec![true], 1).is_err());
+    }
+
+    #[test]
+    fn peer_choice_is_deterministic_and_in_range() {
+        let p = VotePropagation::random(6, 2, 2, 1, 2, 11).unwrap();
+        for node in 0..6 {
+            for round in 0..4 {
+                for slot in 0..VotePropagation::FANOUT {
+                    let t = p.peer(node, round, slot);
+                    assert_eq!(t, p.peer(node, round, slot));
+                    assert!(p.neighbors(node).contains(&t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_consensus_check_holds() {
+        let p = VotePropagation::random(6, 2, 2, 1, 2, 3).unwrap();
+        let mailboxes = p.mailboxes();
+        let verdict = Explorer::new(&p, &mailboxes)
+            .exploration()
+            .sample(SampleConfig {
+                runs: 200,
+                seed0: 0,
+                max_steps: 10_000,
+                ..SampleConfig::default()
+            })
+            .check_consensus(&[int(1)]);
+        match verdict.outcome {
+            Outcome::HoldsSampled {
+                runs, quiescent, ..
+            } => {
+                assert_eq!(runs, 200);
+                assert_eq!(quiescent, 200, "round budgets bound every run");
+            }
+            other => panic!("expected HoldsSampled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_all_started_network_cascades_to_commits() {
+        // Fully connected, everyone starting: each node receives ~FANOUT
+        // votes per round, so balances cross the threshold quickly on
+        // most schedules. Assert at least one seeded run commits.
+        let n = 5;
+        let all: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        let p = VotePropagation::new(all, vec![true; n], 9).unwrap();
+        let mailboxes = p.mailboxes();
+        let mut committed = 0usize;
+        for seed in 0..20u64 {
+            let mut sys = System::new(&p, &mailboxes).unwrap();
+            let result = sys
+                .run(
+                    &mut RandomScheduler::seeded(seed),
+                    &mut RandomOutcome::seeded(seed ^ OUTCOME_SEED_XOR),
+                    10_000,
+                )
+                .unwrap();
+            committed += result
+                .decisions
+                .iter()
+                .filter(|d| **d == Some(int(1)))
+                .count();
+        }
+        assert!(
+            committed > 0,
+            "no commit cascade across 20 seeds on a dense all-started graph"
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_poll_and_halt_without_deciding() {
+        let p = VotePropagation::random(3, 0, 1, 1, 2, 5)
+            .unwrap()
+            .with_max_rounds(3);
+        let mailboxes = p.mailboxes();
+        let mut sys = System::new(&p, &mailboxes).unwrap();
+        let result = sys
+            .run(
+                &mut RandomScheduler::seeded(1),
+                &mut RandomOutcome::seeded(1 ^ OUTCOME_SEED_XOR),
+                1_000,
+            )
+            .unwrap();
+        assert!(result.decisions.iter().all(Option::is_none));
+        // 3 nodes x (3 polls + the halting check) = 12 steps.
+        assert_eq!(result.steps, 12);
+    }
+}

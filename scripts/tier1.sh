@@ -25,6 +25,13 @@ cargo run --release -q -p lbsa-bench --bin exp_report -- \
   --validate "$smoke_dir/exp_t2_dac.json" \
   --validate-trace "$smoke_dir/exp_t2_dac.trace.jsonl"
 
+echo "==> sampling smoke (exp_f8 vote propagation, schema- and trace-validated)"
+cargo run --release -q -p lbsa-bench --bin exp_f8_vote_propagation -- \
+  --n 6 --runs 60 --reports-dir "$smoke_dir"
+cargo run --release -q -p lbsa-bench --bin exp_report -- \
+  --validate "$smoke_dir/exp_f8_vote_propagation.json" \
+  --validate-trace "$smoke_dir/exp_f8_vote_propagation.trace.jsonl"
+
 echo "==> trace observatory smoke (obs_analyze on the tier-1 trace)"
 cargo run --release -q -p lbsa-bench --bin obs_analyze -- \
   "$smoke_dir/exp_t2_dac.trace.jsonl" --summary-json >/dev/null

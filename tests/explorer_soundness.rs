@@ -9,6 +9,7 @@ use life_beyond_set_agreement::explorer::checker::check_consensus;
 use life_beyond_set_agreement::explorer::linearizability::check_linearizable;
 use life_beyond_set_agreement::explorer::sampling::{sample_consensus, SampleConfig};
 use life_beyond_set_agreement::explorer::valency::ValencyAnalysis;
+use life_beyond_set_agreement::explorer::Tracer;
 use life_beyond_set_agreement::explorer::{Explorer, Limits};
 use life_beyond_set_agreement::protocols::consensus_protocols::ConsensusViaObject;
 use life_beyond_set_agreement::runtime::derived::CompletedOp;
@@ -145,7 +146,9 @@ fn samplers_and_exhaustive_checkers_agree_on_correct_protocols() {
             runs: 100,
             seed0: 0,
             max_steps: 1000,
+            ..SampleConfig::default()
         },
+        &Tracer::disabled(),
     )
     .unwrap();
     assert_eq!(report.quiescent, 100);
