@@ -232,6 +232,7 @@ fn bench_explore(c: &mut Criterion) {
         seed0: 0,
         max_steps: 100_000,
         threads: 1,
+        ..SampleConfig::default()
     };
     let valid = [int(1)];
     group.bench_function(format!("sampling/vote_prop/{SAMPLING_RUNS}"), |b| {
@@ -416,6 +417,9 @@ fn write_speedup_report(
         .set("n6_ws_steals", ws6.stats.steals)
         .set("n6_ws_steal_fails", ws6.stats.steal_fails)
         .set("n6_ws_local_hits", ws6.stats.local_hits)
+        .set("n6_ws_park_count", ws6.stats.park_count)
+        .set("n6_ws_deque_grows", ws6.stats.deque_grows)
+        .set("n6_ws_index_batch_hits", ws6.stats.index_batch_hits)
         // Level-expand latency quantiles from the always-on histograms of
         // the sequential n = 6 run (octave resolution — see HistogramNs).
         // They ride into `BENCH_history.jsonl` via perf_smoke, giving the
@@ -434,7 +438,10 @@ fn write_speedup_report(
         .set("kset_speedup_par_vs_seq", round2(kseq_min / kws_min))
         .set("kset_ws_steals", ksetg.stats.steals)
         .set("kset_ws_steal_fails", ksetg.stats.steal_fails)
-        .set("kset_ws_local_hits", ksetg.stats.local_hits);
+        .set("kset_ws_local_hits", ksetg.stats.local_hits)
+        .set("kset_ws_park_count", ksetg.stats.park_count)
+        .set("kset_ws_deque_grows", ksetg.stats.deque_grows)
+        .set("kset_ws_index_batch_hits", ksetg.stats.index_batch_hits);
     // Sampling-engine throughput (schedules/sec on the F8 workload): an
     // advisory floor in perf_smoke, and a BENCH_history.jsonl column.
     if let Some((sampling_min, sampling_med)) =

@@ -91,6 +91,7 @@ fn body(exp: &mut lbsa_bench::harness::Experiment) {
                         runs,
                         quiescent,
                         confidence,
+                        ..
                     } => {
                         exp.metric(&format!("{label}.quiescent"), *quiescent);
                         exp.metric(&format!("{label}.steps"), verdict.stats.transitions);

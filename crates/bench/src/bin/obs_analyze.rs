@@ -249,6 +249,10 @@ fn worker_rows(events: &[Json]) -> Vec<Json> {
                 field_i64(e, "max_deque_depth").unwrap_or(0),
             )
             .set("idle_spins", field_i64(e, "idle_spins").unwrap_or(0))
+            // Lock-free-engine counters; absent (0) in pre-deque traces.
+            .set("park_count", field_i64(e, "park_count").unwrap_or(0))
+            .set("parked_us", field_i64(e, "parked_us").unwrap_or(0))
+            .set("deque_grows", field_i64(e, "deque_grows").unwrap_or(0))
             .set("busy_us", busy)
             .set("idle_us", idle)
             .set("utilization", utilization);
@@ -277,6 +281,12 @@ fn imbalance(workers: &[Json]) -> f64 {
 /// Steal-storm detection: sweeps that found nothing, per expanded task.
 /// A storm means workers spent their time probing empty deques — the
 /// workload is too narrow (or too serialized) for the worker count.
+///
+/// Parked workers don't storm: a failed sweep that ends in a timed park
+/// burns microseconds of CPU, not a spin loop, so only the spin/yield
+/// share of the failures (`fails − parks`) counts toward detection.
+/// Pre-backoff traces carry no `park_count` and degrade to the old
+/// all-fails-burn-CPU reading.
 fn steal_storm(workers: &[Json]) -> Json {
     let fails: i64 = workers
         .iter()
@@ -291,12 +301,20 @@ fn steal_storm(workers: &[Json]) -> Json {
         .map(|w| field_i64(w, "idle_spins").unwrap_or(0))
         .max()
         .unwrap_or(0);
+    let parks: i64 = workers
+        .iter()
+        .map(|w| field_i64(w, "park_count").unwrap_or(0))
+        .sum();
+    let burning = (fails - parks).max(0);
     let fails_per_task = fails as f64 / expanded.max(1) as f64;
+    let burning_per_task = burning as f64 / expanded.max(1) as f64;
     Json::object()
         .set("steal_fails", fails)
+        .set("parked", parks)
         .set("fails_per_task", fails_per_task)
+        .set("burning_per_task", burning_per_task)
         .set("max_idle_spins", spins)
-        .set("detected", fails_per_task > 5.0 && fails > 50)
+        .set("detected", burning_per_task > 5.0 && burning > 50)
 }
 
 /// The work-stealing critical path: the worker whose span (first beat to
@@ -830,6 +848,46 @@ mod tests {
             steal_storm(&storm).get("detected").and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn parked_workers_are_not_a_steal_storm() {
+        // Same 600 failed sweeps, but 580 ended in a timed park: the
+        // worker was asleep, not burning a core — no storm.
+        let parked = vec![ev(
+            r#"{"event":"ws.worker","worker":0,"expanded":10,"steal_fails":600,"idle_spins":20,"park_count":580,"parked_us":58000}"#,
+        )];
+        let report = steal_storm(&parked);
+        assert_eq!(report.get("detected").and_then(Json::as_bool), Some(false));
+        assert_eq!(report.get("parked").and_then(Json::as_i64), Some(580));
+        // But a genuinely spinning majority still trips detection.
+        let spinning = vec![ev(
+            r#"{"event":"ws.worker","worker":0,"expanded":10,"steal_fails":600,"idle_spins":550,"park_count":50,"parked_us":5000}"#,
+        )];
+        assert_eq!(
+            steal_storm(&spinning)
+                .get("detected")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn worker_rows_carry_lock_free_engine_counters() {
+        let events = vec![ev(
+            r#"{"event":"ws.worker","worker":0,"expanded":10,"transitions":20,"steals":1,"steal_fails":3,"local_hits":9,"idle_spins":2,"park_count":4,"parked_us":400,"deque_grows":2,"busy_us":10,"idle_us":2}"#,
+        )];
+        let rows = worker_rows(&events);
+        assert_eq!(field_i64(&rows[0], "park_count"), Some(4));
+        assert_eq!(field_i64(&rows[0], "parked_us"), Some(400));
+        assert_eq!(field_i64(&rows[0], "deque_grows"), Some(2));
+        // Old traces without the fields default to zero, not absence.
+        let old = vec![ev(
+            r#"{"event":"ws.worker","worker":0,"expanded":10,"busy_us":10,"idle_us":2}"#,
+        )];
+        let rows = worker_rows(&old);
+        assert_eq!(field_i64(&rows[0], "park_count"), Some(0));
+        assert_eq!(field_i64(&rows[0], "deque_grows"), Some(0));
     }
 
     #[test]

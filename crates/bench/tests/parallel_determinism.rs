@@ -28,7 +28,7 @@ use lbsa_explorer::checker::Violation;
 use lbsa_explorer::verdict::{verdict_dac_graph, verdict_k_set_agreement_graph, Outcome};
 use lbsa_explorer::{ExplorationGraph, Explorer, Frontier, Limits};
 use lbsa_protocols::dac::DacFromPac;
-use lbsa_runtime::process::{Protocol, Step};
+use lbsa_runtime::process::{Protocol, Step, Symmetry};
 use lbsa_support::check::run_cases;
 use lbsa_support::rng::SmallRng;
 
@@ -354,6 +354,79 @@ fn ws_broken_consensus_verdicts_match_deterministic_across_thread_counts() {
         witness
             .confirm(&explorer)
             .expect("work-stealing witness must confirm by replay");
+    }
+}
+
+/// Fully symmetric race: every process proposes the same value, so the
+/// process-permutation group is all of `S_n` and symmetry reduction
+/// collapses the graph hard — the harshest setting for the work-stealing
+/// engine's canon-memo + batched-index path.
+#[derive(Debug)]
+struct SymmetricRace {
+    n: usize,
+}
+
+impl Protocol for SymmetricRace {
+    type LocalState = ();
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+    fn init(&self, _pid: Pid) {}
+    fn pending_op(&self, _pid: Pid, _s: &()) -> (ObjId, Op) {
+        (ObjId(0), Op::Propose(int(7)))
+    }
+    fn on_response(&self, _pid: Pid, _s: &(), resp: Value) -> Step<()> {
+        Step::Decide(resp)
+    }
+}
+
+impl Symmetry for SymmetricRace {
+    fn pid_classes(&self) -> Vec<u32> {
+        vec![0; self.n]
+    }
+}
+
+#[test]
+fn ws_symmetric_reduction_matches_deterministic_across_thread_counts() {
+    let p = SymmetricRace { n: 4 };
+    let objects = vec![AnyObject::consensus(4).unwrap()];
+    let explorer = Explorer::new(&p, &objects);
+    let inputs = vec![int(7)];
+    let det = explorer
+        .exploration()
+        .symmetric()
+        .threads(1)
+        .run()
+        .expect("deterministic reduced exploration succeeds");
+    assert!(det.stats.reduced);
+    let det_verdict = verdict_k_set_agreement_graph(&explorer, &det, 1, &inputs);
+    assert!(
+        matches!(det_verdict.outcome, Outcome::Holds),
+        "the symmetric race satisfies consensus: {det_verdict}"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let ws = explorer
+            .exploration()
+            .symmetric()
+            .threads(threads)
+            .frontier(Frontier::WorkStealing)
+            .run()
+            .expect("work-stealing reduced exploration succeeds");
+        assert!(ws.stats.reduced);
+        assert_same_aggregates(&det, &ws, &format!("symmetric race, ws {threads} threads"));
+        // The canonicalization effort is accounted identically: every
+        // transition either patched a cached canonical form or recomputed
+        // one in full.
+        assert_eq!(
+            ws.stats.canon_patches + ws.stats.canon_full,
+            ws.stats.transitions as u64,
+            "symmetric race ({threads} threads): canon accounting leaks"
+        );
+        let ws_verdict = verdict_k_set_agreement_graph(&explorer, &ws, 1, &inputs);
+        assert_eq!(
+            det_verdict, ws_verdict,
+            "symmetric race: verdict differs on the work-stealing graph ({threads} threads)"
+        );
     }
 }
 

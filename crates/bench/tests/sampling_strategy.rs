@@ -44,6 +44,7 @@ fn sample_config(runs: u64, seed0: u64, threads: usize) -> SampleConfig {
         seed0,
         max_steps: 10_000,
         threads,
+        ..SampleConfig::default()
     }
 }
 

@@ -54,6 +54,7 @@ use lbsa_core::spec::ObjectSpec;
 use lbsa_core::{AnyObject, AnyState, ObjId, Op, Pid, Value};
 use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Step, Symmetry};
+use lbsa_support::deque as lfdeque;
 use lbsa_support::json::Json;
 use lbsa_support::obs::{Counter, HistogramNs, TimerNs, Tracer};
 use std::collections::VecDeque;
@@ -642,14 +643,75 @@ impl<L> CanonMemo<L> {
     }
 }
 
+/// How a [`WsTask`] carries its configuration. Raw mode owns it outright:
+/// the configuration rides the deque by value and the worker that expands
+/// the task moves it into the assembly set — no extra allocation, no
+/// refcounts. Under symmetry reduction the canonical representative is
+/// shared with the canon memo, so tasks hold an `Arc` and assembly unwraps
+/// it after the memo drops.
+enum WsConfig<L> {
+    Owned(Configuration<L>),
+    Shared(Arc<Configuration<L>>),
+}
+
+impl<L> WsConfig<L> {
+    fn get(&self) -> &Configuration<L> {
+        match self {
+            WsConfig::Owned(c) => c,
+            WsConfig::Shared(a) => a,
+        }
+    }
+}
+
 /// One pending node of the work-stealing frontier: its assigned index, its
 /// compact dedup key (the delta-interning base for its successors), and its
-/// configuration, shared with the graph assembly and (under reduction) the
-/// canon memo.
+/// configuration (see [`WsConfig`]).
 struct WsTask<L> {
     id: u32,
     key: CompactConfig,
-    config: Arc<Configuration<L>>,
+    config: WsConfig<L>,
+}
+
+/// Backoff thresholds of the work-stealing idle loop, in consecutive
+/// failed sweeps: the first [`WS_SPIN_ROUNDS`] failures spin-wait, the
+/// next [`WS_YIELD_ROUNDS`] yield the core, and everything past that
+/// parks the thread for [`WS_PARK`] between quiescence re-checks — so a
+/// worker can burn at most `WS_SPIN_ROUNDS + WS_YIELD_ROUNDS` sweeps of
+/// CPU per idle episode before it starts sleeping.
+const WS_SPIN_ROUNDS: u32 = 6;
+/// See [`WS_SPIN_ROUNDS`].
+const WS_YIELD_ROUNDS: u32 = 10;
+/// How long an exhausted worker parks between quiescence re-checks. No
+/// unpark signal exists (quiescence is detected by polling `pending`),
+/// so the timeout bounds both the wasted CPU and the wake-up latency.
+const WS_PARK: Duration = Duration::from_micros(100);
+/// Upper bound on tasks transferred by one batched steal.
+const WS_STEAL_MAX: usize = 32;
+
+/// One pre-probe *miss* of phase A, patched in place by phase B. Successors
+/// whose pre-probe hit emit their edge directly in phase A and leave no
+/// record at all — only misses (one per fresh configuration, a small
+/// minority once dedup saturates) carry state between the phases. `edge`
+/// indexes this worker's edge pool; the batched
+/// [`ConcurrentIndex::get_or_insert_batch`] round supplies its target, and
+/// an insert win obliges this worker to materialize the configuration.
+/// Fixups and batch keys are pushed in lockstep, so the `i`-th fixup reads
+/// the `i`-th batch result.
+enum WsFixup<L> {
+    /// Raw successor: on an insert win, materialize the config by patching
+    /// the parent at `obj` / the edge's process slot.
+    Raw {
+        edge: u32,
+        obj: u32,
+        succ_state: u32,
+        succ_proc: u32,
+    },
+    /// Canonical successor (symmetry reduction): the orbit representative
+    /// is already materialized (canon memo or fresh canonicalization).
+    Canon {
+        edge: u32,
+        arc: Arc<Configuration<L>>,
+    },
 }
 
 /// What one work-stealing worker hands back at join: the sub-graph it
@@ -657,10 +719,20 @@ struct WsTask<L> {
 /// [`ConcurrentIndex`], so the per-worker pieces assemble by plain index
 /// assignment.
 struct WsWorkerOut<L> {
-    /// `(node, out-edges)` for every node this worker expanded.
-    edges: Vec<(u32, Vec<Edge>)>,
-    /// `(node, configuration)` for every node this worker discovered.
+    /// Flat pool of every edge this worker emitted, in expansion order —
+    /// one growing allocation instead of a `Vec` per task.
+    edge_pool: Vec<Edge>,
+    /// `(node, start, len)` slices of [`WsWorkerOut::edge_pool`] for every
+    /// node this worker expanded.
+    tasks: Vec<(u32, u32, u32)>,
+    /// `(node, configuration)` for every *shared* (symmetry-reduction) node
+    /// this worker discovered, recorded at discovery time — the canon memo
+    /// co-owns these, so unexpanded nodes of truncated runs are covered.
     discovered: Vec<(u32, Arc<Configuration<L>>)>,
+    /// `(node, configuration)` for every *owned* (raw-mode) node this
+    /// worker expanded or discarded over budget — ownership rides the task,
+    /// so the record is made where the task ends, not where it was spawned.
+    discovered_owned: Vec<(u32, Configuration<L>)>,
     transitions: usize,
     dedup_hits: usize,
     steals: u64,
@@ -668,10 +740,24 @@ struct WsWorkerOut<L> {
     local_hits: u64,
     /// Deepest this worker's own deque ever got (sampled at push time).
     max_deque_depth: usize,
-    /// Failed-sweep spin iterations while looking for work.
+    /// CPU-burning backoff rounds (spin or yield) while looking for work.
+    /// Bounded per idle episode by the backoff thresholds — parked waits
+    /// count in `park_count`, not here.
     idle_spins: u64,
-    /// Nanoseconds spent in steal sweeps and yielding — the clock is only
-    /// read on the no-local-work path, so this is always measured.
+    /// Times this worker parked after exhausting the spin/yield budget.
+    park_count: u64,
+    /// Nanoseconds spent parked — always measured (the park path is cold).
+    parked_ns: u64,
+    /// Times this worker's deque buffer grew (retiring its predecessor).
+    deque_grows: u64,
+    /// Keys resolved to existing nodes by batched index probes.
+    index_batch_hits: u64,
+    /// Transition-memo hits served by this worker's private L1 map
+    /// without touching the shared sharded memo.
+    memo_l1_hits: u64,
+    /// Nanoseconds spent in steal sweeps, spinning, and yielding — the
+    /// clock is only read on the no-local-work path, so this is always
+    /// measured. Excludes parked time.
     idle_ns: u64,
     /// Nanoseconds spent expanding tasks. Needs a clock read per task, so
     /// per the overhead policy it stays zero unless the run is traced.
@@ -681,8 +767,10 @@ struct WsWorkerOut<L> {
 impl<L> Default for WsWorkerOut<L> {
     fn default() -> Self {
         WsWorkerOut {
-            edges: Vec::new(),
+            edge_pool: Vec::new(),
+            tasks: Vec::new(),
             discovered: Vec::new(),
+            discovered_owned: Vec::new(),
             transitions: 0,
             dedup_hits: 0,
             steals: 0,
@@ -690,6 +778,11 @@ impl<L> Default for WsWorkerOut<L> {
             local_hits: 0,
             max_deque_depth: 0,
             idle_spins: 0,
+            park_count: 0,
+            parked_ns: 0,
+            deque_grows: 0,
+            index_batch_hits: 0,
+            memo_l1_hits: 0,
             idle_ns: 0,
             busy_ns: 0,
         }
@@ -1556,6 +1649,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             steals: 0,
             steal_fails: 0,
             local_hits: 0,
+            park_count: 0,
+            deque_grows: 0,
+            index_batch_hits: 0,
             levels,
             workers: Vec::new(),
             hist: {
@@ -1587,8 +1683,21 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     /// Termination uses a single pending-task counter: it is incremented
     /// before a node becomes stealable and decremented only after its
     /// expansion (including enqueuing all children), so `pending == 0` with
-    /// all deques empty proves quiescence. Workers never hold two deque
-    /// locks at once, so stealing cannot deadlock.
+    /// all deques empty proves quiescence.
+    ///
+    /// The frontier itself is lock-free: each worker owns the bottom end of
+    /// a Chase–Lev deque ([`lfdeque`], DESIGN.md §12) and thieves race on
+    /// the top end with a single CAS, so no deque mutex exists anywhere on
+    /// the hot path. An idle worker sweeps the other deques in ring order
+    /// from a per-sweep xorshift-randomized start (so simultaneous thieves
+    /// fan out instead of convoying on one victim), batch-stealing up to
+    /// half the victim (capped at [`WS_STEAL_MAX`]); on a completely empty
+    /// sweep it backs off spin → yield → timed park (see
+    /// [`WS_SPIN_ROUNDS`]), which keeps an idle worker's CPU burn bounded
+    /// while `pending` polling still detects quiescence. Successor dedup
+    /// is batched: each task pre-probes read-only, then resolves all
+    /// missing keys with one [`ConcurrentIndex::get_or_insert_batch`] call
+    /// — one lock round per shard per task instead of one per successor.
     fn run_engine_ws(
         &self,
         initial: Configuration<P::LocalState>,
@@ -1630,20 +1739,33 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let n_obj = initial.object_states.len();
         let n_procs = initial.procs.len();
         let initial_key = self.compact(&initial, &state_interner, &proc_interner);
-        let initial = Arc::new(initial);
         let (root, _) = index.get_or_insert(&initial_key);
         debug_assert_eq!(root, 0, "the root is the first interned node");
+        // Raw mode moves the root into its task; shared mode keeps a handle
+        // so assembly can place the root even though `discovered` (which
+        // records at discovery, not expansion) never sees it.
+        let mut initial_shared: Option<Arc<Configuration<P::LocalState>>> = None;
+        let root_config = if sym.is_some() {
+            let arc = Arc::new(initial);
+            initial_shared = Some(Arc::clone(&arc));
+            WsConfig::Shared(arc)
+        } else {
+            WsConfig::Owned(initial)
+        };
 
-        let deques: Vec<Mutex<VecDeque<WsTask<P::LocalState>>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        deques[0]
-            .lock()
-            .expect("deque lock poisoned")
-            .push_back(WsTask {
-                id: root,
-                key: initial_key,
-                config: Arc::clone(&initial),
-            });
+        let mut owners: Vec<lfdeque::Owner<WsTask<P::LocalState>>> = Vec::with_capacity(workers);
+        let mut stealers: Vec<lfdeque::Stealer<WsTask<P::LocalState>>> =
+            Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (owner, stealer) = lfdeque::deque();
+            owners.push(owner);
+            stealers.push(stealer);
+        }
+        owners[0].push(WsTask {
+            id: root,
+            key: initial_key,
+            config: root_config,
+        });
         // Queued-or-in-flight nodes; bumped before a task becomes stealable,
         // dropped only after its children are enqueued.
         let pending = AtomicUsize::new(1);
@@ -1655,313 +1777,483 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let abort = AtomicBool::new(false);
         let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
 
-        let outs: Vec<WsWorkerOut<P::LocalState>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|me| {
-                    let deques = &deques;
-                    let pending = &pending;
-                    let peak_pending = &peak_pending;
-                    let claimed = &claimed;
-                    let truncated = &truncated;
-                    let abort = &abort;
-                    let first_error = &first_error;
-                    let index = &index;
-                    let state_interner = &state_interner;
-                    let proc_interner = &proc_interner;
-                    let memo = &memo;
-                    let canon_memo = &canon_memo;
-                    let hists = &hists;
-                    s.spawn(move || {
-                        let mut out = WsWorkerOut::default();
-                        let mut scratch = vec![0u32; n_obj + n_procs];
-                        'work: loop {
-                            if abort.load(Ordering::Acquire) {
-                                break;
+        // The whole worker loop, shared between the two launch modes below:
+        // a lone worker runs it inline on the calling thread (no spawn/join
+        // round-trip on the gated 1-core path), while real fleets spawn it
+        // per worker under a scope. Captures the run state by reference.
+        let run_worker = |me: usize, own: lfdeque::Owner<WsTask<P::LocalState>>| {
+            let mut out = WsWorkerOut::default();
+            let mut scratch = vec![0u32; n_obj + n_procs];
+            // Per-task scratch reused for the whole run: the
+            // phase-A successor records, the batched-probe key
+            // set and results, and the children to enqueue.
+            // Cleared between tasks, never reallocated once
+            // warm — the expand path settles into zero heap
+            // traffic beyond genuinely new configurations.
+            let mut fixups: Vec<WsFixup<P::LocalState>> = Vec::new();
+            let mut batch_keys: Vec<CompactConfig> = Vec::new();
+            let mut batch_results: Vec<(u32, bool)> = Vec::new();
+            let mut spawned: Vec<WsTask<P::LocalState>> = Vec::new();
+            // Private L1 in front of the shared transition memo:
+            // repeat (state, proc) pairs — the common case on
+            // dense graphs — resolve with a plain map lookup
+            // instead of a shard lock. The shared memo stays the
+            // source of truth, so workers still reuse each
+            // other's first computations; the L1 costs one
+            // `Arc<Pairs>` clone per distinct pair per worker.
+            let mut memo_l1: lbsa_support::hash::FxHashMap<(u32, u32, u32), Arc<Pairs>> =
+                lbsa_support::hash::FxHashMap::default();
+            // Depth-first continuation: the newest child of the
+            // task just expanded rides here instead of taking a
+            // deque round-trip — on chain-shaped frontiers that
+            // skips the pop's mandatory fence and both `pending`
+            // RMWs for almost every task. Held work is invisible
+            // to thieves for exactly one expansion, the same
+            // window a popped task always was.
+            let mut in_hand: Option<WsTask<P::LocalState>> = None;
+            // Consecutive failed sweeps drive the
+            // spin→yield→park backoff; any found task resets it.
+            let mut backoff: u32 = 0;
+            // Per-worker xorshift32 stream (odd seed from a
+            // golden-ratio multiply) rotating each sweep's
+            // starting victim so simultaneous thieves fan out
+            // across victims instead of convoying on one.
+            let mut rng: u32 = (me as u32).wrapping_mul(0x9E37_79B9) | 1;
+            'work: loop {
+                if abort.load(Ordering::Acquire) {
+                    break;
+                }
+                // In-hand continuation first (same task the LIFO
+                // pop would return, without the fence), then the
+                // own deque (depth-first locally, cache-warm
+                // parents), then sweep the victims.
+                let task = if let Some(task) = in_hand.take() {
+                    out.local_hits += 1;
+                    backoff = 0;
+                    task
+                } else {
+                    match own.pop() {
+                        Some(task) => {
+                            out.local_hits += 1;
+                            backoff = 0;
+                            task
+                        }
+                        None => {
+                            // The no-local-work path — sweep, spin,
+                            // yield — counts as idle time; the clock
+                            // only runs while this worker is not
+                            // expanding, so it is measured even on
+                            // untraced runs. Parked waits are timed
+                            // separately in `parked_ns` so reported
+                            // idle stays proportional to burned CPU.
+                            let sweep_t0 = Instant::now();
+                            let mut stolen = None;
+                            if workers > 1 {
+                                rng ^= rng << 13;
+                                rng ^= rng >> 17;
+                                rng ^= rng << 5;
+                                let rot = rng as usize % (workers - 1);
+                                for k in 0..workers - 1 {
+                                    let victim = (me + 1 + (rot + k) % (workers - 1)) % workers;
+                                    match stealers[victim].steal_batch_and_pop(&own, WS_STEAL_MAX) {
+                                        lfdeque::Steal::Taken((task, extra)) => {
+                                            stolen = Some((task, victim, extra));
+                                            break;
+                                        }
+                                        // A lost CAS race means the
+                                        // victim is being drained by
+                                        // someone; move on rather
+                                        // than contend on one deque.
+                                        lfdeque::Steal::Empty | lfdeque::Steal::Retry => {}
+                                    }
+                                }
                             }
-                            // Own deque first (LIFO: depth-first locally,
-                            // cache-warm parents), then sweep the victims.
-                            let popped = deques[me].lock().expect("deque lock poisoned").pop_back();
-                            let task = match popped {
-                                Some(task) => {
-                                    out.local_hits += 1;
+                            match stolen {
+                                Some((task, victim_hit, extra)) => {
+                                    out.steals += 1;
+                                    backoff = 0;
+                                    // The batched extras landed in
+                                    // our own deque; the task in
+                                    // hand counts toward depth too.
+                                    out.max_deque_depth = out.max_deque_depth.max(own.len() + 1);
+                                    let sweep = sweep_t0.elapsed();
+                                    out.idle_ns = out.idle_ns.saturating_add(duration_ns(sweep));
+                                    if traced {
+                                        hists.steal.record(sweep);
+                                        hists.steal_batch.record_ns(extra as u64 + 1);
+                                        tracer.emit_with("ws.steal", || {
+                                            Json::object()
+                                                .set("worker", me)
+                                                .set("victim", victim_hit)
+                                                .set("outcome", "hit")
+                                                .set("batch", extra + 1)
+                                                .set("latency_us", duration_us(sweep))
+                                        });
+                                    }
                                     task
                                 }
                                 None => {
-                                    // The whole no-local-work path — sweep,
-                                    // re-queue, yield — counts as idle time;
-                                    // the clock only runs while this worker
-                                    // is not expanding, so it is measured
-                                    // even on untraced runs.
-                                    let sweep_t0 = Instant::now();
-                                    let mut stolen = None;
-                                    let mut victim_hit = 0usize;
-                                    for k in 1..workers {
-                                        let victim = (me + k) % workers;
-                                        // Never hold two deque locks: drain
-                                        // under the victim's lock, re-queue
-                                        // under our own after releasing it.
-                                        let mut batch: Vec<WsTask<P::LocalState>> = {
-                                            let mut q =
-                                                deques[victim].lock().expect("deque lock poisoned");
-                                            let half = q.len().div_ceil(2);
-                                            q.drain(..half).collect()
-                                        };
-                                        if batch.is_empty() {
-                                            continue;
-                                        }
-                                        out.steals += 1;
-                                        victim_hit = victim;
-                                        stolen = Some(batch.remove(0));
-                                        if !batch.is_empty() {
-                                            let mut q =
-                                                deques[me].lock().expect("deque lock poisoned");
-                                            q.extend(batch);
-                                            out.max_deque_depth = out.max_deque_depth.max(q.len());
-                                        }
+                                    out.steal_fails += 1;
+                                    out.idle_ns =
+                                        out.idle_ns.saturating_add(duration_ns(sweep_t0.elapsed()));
+                                    // Per-attempt miss events would
+                                    // be unbounded in a spin storm;
+                                    // power-of-two sampling keeps the
+                                    // trace logarithmic while the
+                                    // `spins`/`parks` fields preserve
+                                    // the storm's true intensity.
+                                    if traced && out.steal_fails.is_power_of_two() {
+                                        tracer.emit_with("ws.steal", || {
+                                            Json::object()
+                                                .set("worker", me)
+                                                .set("outcome", "miss")
+                                                .set("spins", out.idle_spins)
+                                                .set("parks", out.park_count)
+                                                .set("pending", pending.load(Ordering::Relaxed))
+                                        });
+                                    }
+                                    if pending.load(Ordering::Acquire) == 0 {
                                         break;
                                     }
-                                    match stolen {
-                                        Some(task) => {
-                                            let sweep = sweep_t0.elapsed();
-                                            out.idle_ns =
-                                                out.idle_ns.saturating_add(duration_ns(sweep));
-                                            if traced {
-                                                hists.steal.record(sweep);
-                                                tracer.emit_with("ws.steal", || {
-                                                    Json::object()
-                                                        .set("worker", me)
-                                                        .set("victim", victim_hit)
-                                                        .set("outcome", "hit")
-                                                        .set("latency_us", duration_us(sweep))
-                                                });
-                                            }
-                                            task
+                                    // Exponential backoff: brief
+                                    // spins first (work usually
+                                    // reappears in microseconds),
+                                    // then scheduler yields, then
+                                    // timed parks — so a starved
+                                    // worker's CPU burn is bounded
+                                    // per idle episode while the
+                                    // `pending` poll above still
+                                    // detects quiescence promptly.
+                                    backoff = backoff.saturating_add(1);
+                                    if backoff <= WS_SPIN_ROUNDS {
+                                        out.idle_spins += 1;
+                                        for _ in 0..(1u32 << backoff) {
+                                            std::hint::spin_loop();
                                         }
-                                        None => {
-                                            out.steal_fails += 1;
-                                            out.idle_spins += 1;
-                                            out.idle_ns = out
-                                                .idle_ns
-                                                .saturating_add(duration_ns(sweep_t0.elapsed()));
-                                            // Per-attempt miss events would
-                                            // be unbounded in a spin storm;
-                                            // power-of-two sampling keeps the
-                                            // trace logarithmic while the
-                                            // `spins` field preserves the
-                                            // storm's true intensity.
-                                            if traced && out.idle_spins.is_power_of_two() {
-                                                tracer.emit_with("ws.steal", || {
-                                                    Json::object()
-                                                        .set("worker", me)
-                                                        .set("outcome", "miss")
-                                                        .set("spins", out.idle_spins)
-                                                        .set(
-                                                            "pending",
-                                                            pending.load(Ordering::Relaxed),
-                                                        )
-                                                });
-                                            }
-                                            if pending.load(Ordering::Acquire) == 0 {
-                                                break;
-                                            }
-                                            std::thread::yield_now();
-                                            continue;
-                                        }
+                                    } else if backoff <= WS_SPIN_ROUNDS + WS_YIELD_ROUNDS {
+                                        out.idle_spins += 1;
+                                        std::thread::yield_now();
+                                    } else {
+                                        out.park_count += 1;
+                                        let park_t0 = Instant::now();
+                                        std::thread::park_timeout(WS_PARK);
+                                        out.parked_ns = out
+                                            .parked_ns
+                                            .saturating_add(duration_ns(park_t0.elapsed()));
                                     }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                };
+                if claimed.fetch_add(1, Ordering::Relaxed) >= limits.max_configs {
+                    truncated.store(true, Ordering::Relaxed);
+                    // An over-budget task dies unexpanded, but
+                    // raw mode must still deliver its (owned)
+                    // configuration to assembly; shared mode
+                    // recorded it at discovery.
+                    if let WsConfig::Owned(cfg) = task.config {
+                        out.discovered_owned.push((task.id, cfg));
+                    }
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                // Per-task expansion timing is a clock read per
+                // task: traced runs only.
+                let task_t0 = traced.then(Instant::now);
+                let config = task.config.get();
+                let parent_key = &task.key;
+                fixups.clear();
+                batch_keys.clear();
+                let edge_start = out.edge_pool.len();
+                // Phase A: enumerate successors and pre-probe the
+                // shared index read-only. Hits emit their edge on
+                // the spot; only misses queue a key for the one
+                // batched insert round and a fixup that phase B
+                // patches into the already-emitted placeholder
+                // edge — so the per-successor record/replay cost
+                // is paid by fresh configurations only.
+                for (i, status) in config.procs.iter().enumerate() {
+                    let ProcStatus::Running(local) = status else {
+                        continue;
+                    };
+                    let pid = Pid(i);
+                    let (obj, op) = self.protocol.pending_op(pid, local);
+                    let memo_key = (parent_key[obj.index()], parent_key[n_obj + i], i as u32);
+                    // Entry API: a hit borrows the cached
+                    // `Arc<Pairs>` in place — one hash, no
+                    // refcount traffic — mirroring the fused
+                    // sequential path's zero-clone memo.
+                    let pairs = match memo_l1.entry(memo_key) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            out.memo_l1_hits += 1;
+                            e.into_mut()
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            match self.step_pairs(
+                                config,
+                                pid,
+                                local,
+                                obj,
+                                &op,
+                                memo_key,
+                                &state_interner,
+                                &proc_interner,
+                                &memo,
+                            ) {
+                                Ok(pairs) => slot.insert(pairs),
+                                Err(err) => {
+                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    slot.get_or_insert(err);
+                                    abort.store(true, Ordering::Release);
+                                    pending.fetch_sub(1, Ordering::AcqRel);
+                                    break 'work;
+                                }
+                            }
+                        }
+                    };
+                    for (outcome, &(succ_state, succ_proc)) in pairs.as_slice().iter().enumerate() {
+                        scratch.copy_from_slice(parent_key);
+                        scratch[obj.index()] = succ_state;
+                        scratch[n_obj + i] = succ_proc;
+                        out.transitions += 1;
+                        if let Some(symmetry) = sym {
+                            let (key, arc) = match canon_memo.get(&scratch) {
+                                Some(entry) => entry,
+                                None => {
+                                    let mut raw = config.clone();
+                                    raw.object_states[obj.index()] =
+                                        state_interner.resolve_with(succ_state, Clone::clone);
+                                    raw.procs[i] =
+                                        proc_interner.resolve_with(succ_proc, Clone::clone);
+                                    let canon = timed_canonicalize(symmetry, &raw, canon_probe);
+                                    let key = self.compact(&canon, &state_interner, &proc_interner);
+                                    let arc = Arc::new(canon);
+                                    canon_memo.insert(
+                                        scratch.as_slice().into(),
+                                        (key.clone(), Arc::clone(&arc)),
+                                    );
+                                    (key, arc)
                                 }
                             };
-                            if claimed.fetch_add(1, Ordering::Relaxed) >= limits.max_configs {
-                                truncated.store(true, Ordering::Relaxed);
-                                pending.fetch_sub(1, Ordering::AcqRel);
-                                continue;
-                            }
-                            // Per-task expansion timing is a clock read per
-                            // task: traced runs only.
-                            let task_t0 = traced.then(Instant::now);
-                            let config = &*task.config;
-                            let parent_key = &task.key;
-                            let mut out_edges: Vec<Edge> = Vec::new();
-                            let mut spawned: Vec<WsTask<P::LocalState>> = Vec::new();
-                            for (i, status) in config.procs.iter().enumerate() {
-                                let ProcStatus::Running(local) = status else {
-                                    continue;
-                                };
-                                let pid = Pid(i);
-                                let (obj, op) = self.protocol.pending_op(pid, local);
-                                let memo_key =
-                                    (parent_key[obj.index()], parent_key[n_obj + i], i as u32);
-                                let pairs = match self.step_pairs(
-                                    config,
-                                    pid,
-                                    local,
-                                    obj,
-                                    &op,
-                                    memo_key,
-                                    state_interner,
-                                    proc_interner,
-                                    memo,
-                                ) {
-                                    Ok(pairs) => pairs,
-                                    Err(err) => {
-                                        let mut slot =
-                                            first_error.lock().expect("error slot poisoned");
-                                        slot.get_or_insert(err);
-                                        abort.store(true, Ordering::Release);
-                                        pending.fetch_sub(1, Ordering::AcqRel);
-                                        break 'work;
-                                    }
-                                };
-                                for (outcome, &(succ_state, succ_proc)) in
-                                    pairs.as_slice().iter().enumerate()
-                                {
-                                    scratch.copy_from_slice(parent_key);
-                                    scratch[obj.index()] = succ_state;
-                                    scratch[n_obj + i] = succ_proc;
-                                    let target = if let Some(symmetry) = sym {
-                                        let (key, arc) = match canon_memo.get(&scratch) {
-                                            Some(entry) => entry,
-                                            None => {
-                                                let mut raw = config.clone();
-                                                raw.object_states[obj.index()] = state_interner
-                                                    .resolve_with(succ_state, Clone::clone);
-                                                raw.procs[i] = proc_interner
-                                                    .resolve_with(succ_proc, Clone::clone);
-                                                let canon =
-                                                    timed_canonicalize(symmetry, &raw, canon_probe);
-                                                let key = self.compact(
-                                                    &canon,
-                                                    state_interner,
-                                                    proc_interner,
-                                                );
-                                                let arc = Arc::new(canon);
-                                                canon_memo.insert(
-                                                    scratch.as_slice().into(),
-                                                    (key.clone(), Arc::clone(&arc)),
-                                                );
-                                                (key, arc)
-                                            }
-                                        };
-                                        let (t, inserted) = index.get_or_insert(&key);
-                                        if inserted {
-                                            out.discovered.push((t, Arc::clone(&arc)));
-                                            spawned.push(WsTask {
-                                                id: t,
-                                                key,
-                                                config: arc,
-                                            });
-                                        } else {
-                                            out.dedup_hits += 1;
-                                        }
-                                        t
-                                    } else {
-                                        match index.probe(&scratch) {
-                                            Some(t) => {
-                                                out.dedup_hits += 1;
-                                                t
-                                            }
-                                            None => {
-                                                let key: CompactConfig = scratch.as_slice().into();
-                                                let (t, inserted) = index.get_or_insert(&key);
-                                                if inserted {
-                                                    let mut next = config.clone();
-                                                    next.object_states[obj.index()] =
-                                                        state_interner
-                                                            .resolve_with(succ_state, Clone::clone);
-                                                    next.procs[i] = proc_interner
-                                                        .resolve_with(succ_proc, Clone::clone);
-                                                    let arc = Arc::new(next);
-                                                    out.discovered.push((t, Arc::clone(&arc)));
-                                                    spawned.push(WsTask {
-                                                        id: t,
-                                                        key,
-                                                        config: arc,
-                                                    });
-                                                } else {
-                                                    out.dedup_hits += 1;
-                                                }
-                                                t
-                                            }
-                                        }
-                                    };
-                                    out.transitions += 1;
-                                    out_edges.push(Edge {
+                            match index.probe(&key) {
+                                Some(t) => {
+                                    out.dedup_hits += 1;
+                                    out.edge_pool.push(Edge {
                                         pid,
                                         outcome,
-                                        target: target as usize,
+                                        target: t as usize,
                                     });
                                 }
+                                None => {
+                                    let edge = u32::try_from(out.edge_pool.len())
+                                        .expect("edge pool overflow");
+                                    out.edge_pool.push(Edge {
+                                        pid,
+                                        outcome,
+                                        target: usize::MAX,
+                                    });
+                                    batch_keys.push(key);
+                                    fixups.push(WsFixup::Canon { edge, arc });
+                                }
                             }
-                            if !spawned.is_empty() {
-                                let now = pending.fetch_add(spawned.len(), Ordering::AcqRel)
-                                    + spawned.len();
-                                peak_pending.fetch_max(now, Ordering::Relaxed);
-                                let mut q = deques[me].lock().expect("deque lock poisoned");
-                                q.extend(spawned);
-                                out.max_deque_depth = out.max_deque_depth.max(q.len());
-                            }
-                            out.edges.push((task.id, out_edges));
-                            pending.fetch_sub(1, Ordering::AcqRel);
-                            if let Some(t0) = task_t0 {
-                                let d = t0.elapsed();
-                                out.busy_ns = out.busy_ns.saturating_add(duration_ns(d));
-                                hists.task_expand.record(d);
-                                // A progress beat on the first task and every
-                                // 32nd after: the beat timestamps are what
-                                // obs_analyze turns into the per-worker
-                                // utilization timeline.
-                                let done = out.edges.len();
-                                if done == 1 || done.is_multiple_of(32) {
-                                    let depth =
-                                        deques[me].lock().expect("deque lock poisoned").len();
-                                    tracer.emit_with("ws.expand", || {
-                                        Json::object()
-                                            .set("worker", me)
-                                            .set("expanded", done)
-                                            .set("transitions", out.transitions)
-                                            .set("deque", depth)
-                                            .set("steals", out.steals)
-                                            .set("busy_us", out.busy_ns / 1_000)
-                                            .set("idle_us", out.idle_ns / 1_000)
+                        } else {
+                            match index.probe(&scratch) {
+                                Some(t) => {
+                                    out.dedup_hits += 1;
+                                    out.edge_pool.push(Edge {
+                                        pid,
+                                        outcome,
+                                        target: t as usize,
+                                    });
+                                }
+                                None => {
+                                    let edge = u32::try_from(out.edge_pool.len())
+                                        .expect("edge pool overflow");
+                                    out.edge_pool.push(Edge {
+                                        pid,
+                                        outcome,
+                                        target: usize::MAX,
+                                    });
+                                    batch_keys.push(scratch.as_slice().into());
+                                    fixups.push(WsFixup::Raw {
+                                        edge,
+                                        obj: obj.index() as u32,
+                                        succ_state,
+                                        succ_proc,
                                     });
                                 }
                             }
                         }
-                        if traced {
-                            tracer.emit_with("ws.done", || {
-                                Json::object()
-                                    .set("worker", me)
-                                    .set("expanded", out.edges.len())
-                                    .set("transitions", out.transitions)
-                                    .set("steals", out.steals)
-                                    .set("steal_fails", out.steal_fails)
-                                    .set("local_hits", out.local_hits)
-                                    .set("max_deque_depth", out.max_deque_depth)
-                                    .set("idle_spins", out.idle_spins)
-                                    .set("idle_us", out.idle_ns / 1_000)
-                                    .set("busy_us", out.busy_ns / 1_000)
-                            });
+                    }
+                }
+                // Phase B: one batched index round for the keys
+                // the pre-probe missed (keys another worker
+                // interned since the probe come back as hits),
+                // then patch each placeholder edge and
+                // materialize only the insert winners.
+                if batch_keys.is_empty() {
+                    batch_results.clear();
+                } else {
+                    out.index_batch_hits +=
+                        index.get_or_insert_batch(&batch_keys, &mut batch_results);
+                }
+                for (b, fix) in fixups.drain(..).enumerate() {
+                    let (t, inserted) = batch_results[b];
+                    match fix {
+                        WsFixup::Canon { edge, arc } => {
+                            out.edge_pool[edge as usize].target = t as usize;
+                            if inserted {
+                                out.discovered.push((t, Arc::clone(&arc)));
+                                spawned.push(WsTask {
+                                    id: t,
+                                    key: Arc::clone(&batch_keys[b]),
+                                    config: WsConfig::Shared(arc),
+                                });
+                            } else {
+                                out.dedup_hits += 1;
+                            }
                         }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("work-stealing worker panicked"))
-                .collect()
-        });
+                        WsFixup::Raw {
+                            edge,
+                            obj,
+                            succ_state,
+                            succ_proc,
+                        } => {
+                            let pid = {
+                                let slot = &mut out.edge_pool[edge as usize];
+                                slot.target = t as usize;
+                                slot.pid
+                            };
+                            if inserted {
+                                let mut next = config.clone();
+                                next.object_states[obj as usize] =
+                                    state_interner.resolve_with(succ_state, Clone::clone);
+                                next.procs[pid.0] =
+                                    proc_interner.resolve_with(succ_proc, Clone::clone);
+                                spawned.push(WsTask {
+                                    id: t,
+                                    key: Arc::clone(&batch_keys[b]),
+                                    config: WsConfig::Owned(next),
+                                });
+                            } else {
+                                out.dedup_hits += 1;
+                            }
+                        }
+                    }
+                }
+                let edge_len = out.edge_pool.len() - edge_start;
+                out.tasks.push((
+                    task.id,
+                    u32::try_from(edge_start).expect("edge pool overflow"),
+                    u32::try_from(edge_len).expect("edge fan-out overflow"),
+                ));
+                // Expansion done: a raw-mode task surrenders its
+                // configuration to the assembly set here.
+                if let WsConfig::Owned(cfg) = task.config {
+                    out.discovered_owned.push((task.id, cfg));
+                }
+                // Retire this task and enqueue its children in
+                // one `pending` update. The newest child (the
+                // task the LIFO pop would return next) stays in
+                // hand and inherits this task's `pending` slot —
+                // so a chain of single-child tasks runs with zero
+                // `pending` RMWs and zero deque traffic.
+                if spawned.is_empty() {
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                } else {
+                    in_hand = spawned.pop();
+                    let extra = spawned.len();
+                    if extra > 0 {
+                        let now = pending.fetch_add(extra, Ordering::AcqRel) + extra + 1;
+                        peak_pending.fetch_max(now, Ordering::Relaxed);
+                        for child in spawned.drain(..) {
+                            own.push(child);
+                        }
+                        out.max_deque_depth = out.max_deque_depth.max(own.len() + 1);
+                    }
+                }
+                if let Some(t0) = task_t0 {
+                    let d = t0.elapsed();
+                    out.busy_ns = out.busy_ns.saturating_add(duration_ns(d));
+                    hists.task_expand.record(d);
+                    // A progress beat on the first task and every
+                    // 32nd after: the beat timestamps are what
+                    // obs_analyze turns into the per-worker
+                    // utilization timeline.
+                    let done = out.tasks.len();
+                    if done == 1 || done.is_multiple_of(32) {
+                        let depth = own.len();
+                        tracer.emit_with("ws.expand", || {
+                            Json::object()
+                                .set("worker", me)
+                                .set("expanded", done)
+                                .set("transitions", out.transitions)
+                                .set("deque", depth)
+                                .set("steals", out.steals)
+                                .set("parks", out.park_count)
+                                .set("busy_us", out.busy_ns / 1_000)
+                                .set("idle_us", out.idle_ns / 1_000)
+                        });
+                    }
+                }
+            }
+            out.deque_grows = own.grows();
+            if traced {
+                tracer.emit_with("ws.done", || {
+                    Json::object()
+                        .set("worker", me)
+                        .set("expanded", out.tasks.len())
+                        .set("transitions", out.transitions)
+                        .set("steals", out.steals)
+                        .set("steal_fails", out.steal_fails)
+                        .set("local_hits", out.local_hits)
+                        .set("max_deque_depth", out.max_deque_depth)
+                        .set("idle_spins", out.idle_spins)
+                        .set("park_count", out.park_count)
+                        .set("parked_us", out.parked_ns / 1_000)
+                        .set("deque_grows", out.deque_grows)
+                        .set("index_batch_hits", out.index_batch_hits)
+                        .set("idle_us", out.idle_ns / 1_000)
+                        .set("busy_us", out.busy_ns / 1_000)
+                });
+            }
+            out
+        };
+        let outs: Vec<WsWorkerOut<P::LocalState>> = if workers == 1 {
+            let own = owners.pop().expect("exactly one owner at workers == 1");
+            vec![run_worker(0, own)]
+        } else {
+            std::thread::scope(|s| {
+                let run_worker = &run_worker;
+                let handles: Vec<_> = owners
+                    .into_iter()
+                    .enumerate()
+                    .map(|(me, own)| s.spawn(move || run_worker(me, own)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("work-stealing worker panicked"))
+                    .collect()
+            })
+        };
         if let Some(err) = first_error.into_inner().expect("error slot poisoned") {
             return Err(err);
         }
         let canon_hits = canon_memo.hits.get();
-        // Release the memo's shares so assembly can unwrap the Arcs.
+        // Release the memo's and the deques' shares so assembly can unwrap
+        // the Arcs (the stealers are the last handles keeping any
+        // unexpanded tasks — aborted runs — alive).
         drop(canon_memo);
-        drop(deques);
+        drop(stealers);
 
         let count = index.len();
         let mut configs: Vec<Option<Configuration<P::LocalState>>> =
             (0..count).map(|_| None).collect();
-        configs[0] = Some(Arc::try_unwrap(initial).unwrap_or_else(|a| (*a).clone()));
+        if let Some(arc) = initial_shared {
+            configs[0] = Some(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()));
+        }
         let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); count];
         let mut expanded = vec![false; count];
         let mut expanded_count = 0usize;
@@ -1970,18 +2262,26 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let mut steals = 0u64;
         let mut steal_fails = 0u64;
         let mut local_hits = 0u64;
+        let mut park_count = 0u64;
+        let mut deque_grows = 0u64;
+        let mut index_batch_hits = 0u64;
+        let mut memo_l1_hits = 0u64;
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(outs.len());
         for (w, out) in outs.into_iter().enumerate() {
             tracer.emit_with("ws.worker", || {
                 Json::object()
                     .set("worker", w)
-                    .set("expanded", out.edges.len())
+                    .set("expanded", out.tasks.len())
                     .set("transitions", out.transitions)
                     .set("steals", out.steals)
                     .set("steal_fails", out.steal_fails)
                     .set("local_hits", out.local_hits)
                     .set("max_deque_depth", out.max_deque_depth)
                     .set("idle_spins", out.idle_spins)
+                    .set("park_count", out.park_count)
+                    .set("parked_us", out.parked_ns / 1_000)
+                    .set("deque_grows", out.deque_grows)
+                    .set("index_batch_hits", out.index_batch_hits)
                     .set("idle_us", out.idle_ns / 1_000)
                     .set("busy_us", out.busy_ns / 1_000)
             });
@@ -1990,23 +2290,34 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             steals += out.steals;
             steal_fails += out.steal_fails;
             local_hits += out.local_hits;
+            park_count += out.park_count;
+            deque_grows += out.deque_grows;
+            index_batch_hits += out.index_batch_hits;
+            memo_l1_hits += out.memo_l1_hits;
             worker_stats.push(WorkerStats {
                 worker: w,
-                expanded: out.edges.len(),
+                expanded: out.tasks.len(),
                 transitions: out.transitions,
                 steals: out.steals,
                 steal_fails: out.steal_fails,
                 local_hits: out.local_hits,
                 max_deque_depth: out.max_deque_depth,
                 idle_spins: out.idle_spins,
+                park_count: out.park_count,
+                deque_grows: out.deque_grows,
                 idle: Duration::from_nanos(out.idle_ns),
+                parked: Duration::from_nanos(out.parked_ns),
                 busy: Duration::from_nanos(out.busy_ns),
             });
             for (id, arc) in out.discovered {
                 configs[id as usize] = Some(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()));
             }
-            for (id, e) in out.edges {
-                edges[id as usize] = e;
+            for (id, cfg) in out.discovered_owned {
+                configs[id as usize] = Some(cfg);
+            }
+            for (id, start, len) in out.tasks {
+                let start = start as usize;
+                edges[id as usize] = out.edge_pool[start..start + len as usize].to_vec();
                 expanded[id as usize] = true;
                 expanded_count += 1;
             }
@@ -2038,7 +2349,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 merge: Duration::ZERO,
                 canonicalize: canon_store.timer.total(),
             },
-            memo_hits: memo.hits.get(),
+            memo_hits: memo.hits.get() + memo_l1_hits,
             memo_misses: memo.misses.get(),
             intern_hits: state_interner.hits() + proc_interner.hits(),
             intern_misses: state_interner.misses() + proc_interner.misses(),
@@ -2050,6 +2361,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             steals,
             steal_fails,
             local_hits,
+            park_count,
+            deque_grows,
+            index_batch_hits,
             levels: Vec::new(),
             workers: worker_stats,
             hist: {

@@ -95,21 +95,69 @@ pub struct SampleConfig {
     ///
     /// [`ExploreOptions::resolved_threads`]: crate::ExploreOptions::resolved_threads
     pub threads: usize,
+    /// Adaptive budget target, in parts per billion of confidence (`0`
+    /// disables it). When set via [`SampleConfig::target_confidence`], the
+    /// sweep executes only as many runs as a clean sweep needs for
+    /// [`sample_confidence`] to reach the target — capped at `runs`, never
+    /// fewer than one. Stored as an integer so the config stays `Copy`/`Eq`
+    /// (the 1e-9 quantization is far below anything [`SAMPLE_ALPHA`] can
+    /// resolve).
+    pub target_confidence_ppb: u64,
 }
 
 impl Default for SampleConfig {
-    /// 1000 runs from seed 0, 100k steps each, auto thread count.
+    /// 1000 runs from seed 0, 100k steps each, auto thread count, no
+    /// confidence target.
     fn default() -> Self {
         SampleConfig {
             runs: 1000,
             seed0: 0,
             max_steps: 100_000,
             threads: 0,
+            target_confidence_ppb: 0,
         }
     }
 }
 
 impl SampleConfig {
+    /// Sets an adaptive budget: stop after the minimal clean-run count
+    /// whose [`sample_confidence`] reaches `target` (clamped to
+    /// `0.0..=1.0`), instead of always burning the full `runs`. The cutoff
+    /// is a pure function of the target — `n* = ⌈ln α / ln target⌉` — so
+    /// the executed seed set, the report, and the verdict stay independent
+    /// of the thread count. A target at or above `1.0` (unreachable by any
+    /// finite sweep) leaves the full budget in force.
+    #[must_use]
+    pub fn target_confidence(mut self, target: f64) -> Self {
+        let clamped = if target.is_finite() {
+            target.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.target_confidence_ppb = (clamped * 1e9).round() as u64;
+        self
+    }
+
+    /// The run count this sweep actually executes: `runs`, shrunk to the
+    /// minimal count reaching the confidence target when one is set (see
+    /// [`SampleConfig::target_confidence`]).
+    #[must_use]
+    pub fn effective_runs(&self) -> u64 {
+        let ppb = self.target_confidence_ppb;
+        if ppb == 0 || ppb >= 1_000_000_000 {
+            return self.runs;
+        }
+        let target = ppb as f64 / 1e9;
+        // sample_confidence(n) = α^(1/n) ≥ target  ⇔  n ≥ ln α / ln target
+        // (both logs negative). Guard the n* = 1 edge where ln target → 0.
+        let needed = (SAMPLE_ALPHA.ln() / target.ln()).ceil();
+        let needed = if needed.is_finite() && needed >= 1.0 {
+            needed as u64
+        } else {
+            1
+        };
+        self.runs.min(needed.max(1))
+    }
     /// The concrete worker count a sweep with this config uses: the
     /// resolved thread count, never more than one worker per run.
     #[must_use]
@@ -139,6 +187,10 @@ pub struct SampleReport {
     pub distinct_outcomes: usize,
     /// Total steps across all runs.
     pub total_steps: usize,
+    /// `true` when a confidence target (see
+    /// [`SampleConfig::target_confidence`]) cut the sweep short of the
+    /// configured `runs` budget.
+    pub stopped_early: bool,
 }
 
 /// A safety violation found by sampling, tagged with the reproducing seed.
@@ -223,10 +275,22 @@ pub fn sample_k_set_agreement<P: Protocol>(
     tracer: &Tracer,
 ) -> Result<SampleReport, SampleViolation> {
     let started = Instant::now();
+    // An adaptive budget shrinks the sweep before any scheduling happens:
+    // the executed seed set is a pure function of the config, so verdicts
+    // stay thread-count-independent.
+    let budget = config.runs;
+    let stopped_early = config.effective_runs() < budget;
+    let config = SampleConfig {
+        runs: config.effective_runs(),
+        ..config
+    };
     let threads = config.resolved_threads();
     tracer.emit_with("sample.begin", || {
         Json::object()
             .set("runs", config.runs)
+            .set("budget_runs", budget)
+            .set("target_confidence_ppb", config.target_confidence_ppb)
+            .set("stopped_early", stopped_early)
             .set("seed0", config.seed0)
             .set("max_steps", config.max_steps)
             .set("threads", threads)
@@ -266,6 +330,7 @@ pub fn sample_k_set_agreement<P: Protocol>(
         budget_hit: 0,
         distinct_outcomes: 0,
         total_steps: 0,
+        stopped_early,
     };
     let mut outcomes: BTreeSet<Vec<Option<Value>>> = BTreeSet::new();
     let run_ns = HistogramNs::new();
@@ -308,6 +373,7 @@ pub fn sample_k_set_agreement<P: Protocol>(
                     .set("budget_hit", report.budget_hit)
                     .set("distinct_outcomes", report.distinct_outcomes)
                     .set("total_steps", report.total_steps)
+                    .set("stopped_early", report.stopped_early)
                     .set("violations", 0u64)
                     .set("threads", threads)
                     .set("elapsed_us", duration_us(started.elapsed()));
@@ -676,6 +742,7 @@ mod tests {
             seed0: 3,
             max_steps: 10_000,
             threads: 1,
+            ..SampleConfig::default()
         };
         let base = sample_consensus(&p, &objects, &inputs, config, &Tracer::disabled()).unwrap();
         for threads in [2, 4, 8] {
@@ -703,6 +770,7 @@ mod tests {
             seed0: 17,
             max_steps: 1_000,
             threads: 1,
+            ..SampleConfig::default()
         };
         let base =
             sample_consensus(&p, &objects, &inputs, config, &Tracer::disabled()).unwrap_err();
@@ -749,6 +817,7 @@ mod tests {
                 seed0: 0,
                 max_steps: 10_000,
                 threads: 1,
+                ..SampleConfig::default()
             },
             &Tracer::new(sink.clone()),
         )
@@ -855,5 +924,87 @@ mod tests {
             value: int(9),
         };
         assert!(v.to_string().contains("validity"));
+    }
+
+    #[test]
+    fn effective_runs_is_the_minimal_count_reaching_the_target() {
+        // No target: the full budget stands.
+        assert_eq!(SampleConfig::default().effective_runs(), 1000);
+        // 0.95 needs n* = ⌈ln 0.05 / ln 0.95⌉ = 59 clean runs …
+        let c = SampleConfig::default().target_confidence(0.95);
+        assert_eq!(c.effective_runs(), 59);
+        assert!(sample_confidence(59) >= 0.95);
+        assert!(sample_confidence(58) < 0.95);
+        // … but never more than the configured budget,
+        let tight = SampleConfig {
+            runs: 10,
+            ..SampleConfig::default()
+        }
+        .target_confidence(0.95);
+        assert_eq!(tight.effective_runs(), 10);
+        // and never fewer than one run even for trivial targets (a target
+        // below the 1 ppb quantum rounds to "no target" and runs in full).
+        assert_eq!(SampleConfig::default().target_confidence(0.0).runs, 1000);
+        assert_eq!(
+            SampleConfig::default()
+                .target_confidence(1e-9)
+                .effective_runs(),
+            1
+        );
+        assert_eq!(
+            SampleConfig::default()
+                .target_confidence(1e-12)
+                .effective_runs(),
+            1000
+        );
+        // A target of 1.0 is unreachable by any finite sweep: full budget.
+        assert_eq!(
+            SampleConfig::default()
+                .target_confidence(1.0)
+                .effective_runs(),
+            1000
+        );
+        assert_eq!(
+            SampleConfig::default()
+                .target_confidence(f64::NAN)
+                .effective_runs(),
+            1000
+        );
+    }
+
+    #[test]
+    fn target_confidence_stops_early_and_stays_thread_count_independent() {
+        let inputs: Vec<Value> = (0..6).map(|i| int(i % 2)).collect();
+        let p = Race {
+            inputs: inputs.clone(),
+        };
+        let objects = vec![AnyObject::consensus(6).unwrap()];
+        let config = SampleConfig {
+            runs: 500,
+            seed0: 3,
+            max_steps: 10_000,
+            threads: 1,
+            ..SampleConfig::default()
+        }
+        .target_confidence(0.95);
+        let base = sample_consensus(&p, &objects, &inputs, config, &Tracer::disabled()).unwrap();
+        assert_eq!(base.runs, 59, "adaptive budget should cut 500 to 59");
+        assert!(base.stopped_early);
+        for threads in [2, 4, 8] {
+            let report = sample_consensus(
+                &p,
+                &objects,
+                &inputs,
+                SampleConfig { threads, ..config },
+                &Tracer::disabled(),
+            )
+            .unwrap();
+            assert_eq!(report, base, "report drifted at {threads} threads");
+        }
+        // A budget already below the cutoff runs in full, not early-stopped.
+        let small = SampleConfig { runs: 20, ..config };
+        let report = sample_consensus(&p, &objects, &inputs, small, &Tracer::disabled()).unwrap();
+        assert_eq!(report.runs, 20);
+        assert!(!report.stopped_early);
     }
 }

@@ -107,11 +107,21 @@ pub struct WorkerStats {
     pub local_hits: u64,
     /// Deepest its own deque ever got (sampled at push time).
     pub max_deque_depth: usize,
-    /// Spin/yield iterations while looking for work.
+    /// CPU-burning backoff rounds (spin or yield) while looking for work.
+    /// Bounded per idle episode by the engine's backoff thresholds; parked
+    /// waits count in `park_count` instead.
     pub idle_spins: u64,
-    /// Wall-clock time spent idle (stealing sweeps that failed, yielding,
-    /// waiting for quiescence).
+    /// Times this worker parked after exhausting its spin/yield budget.
+    pub park_count: u64,
+    /// Times this worker's lock-free deque buffer doubled.
+    pub deque_grows: u64,
+    /// Wall-clock time spent idle burning CPU (failed steal sweeps,
+    /// spinning, yielding). Excludes parked time, so it stays proportional
+    /// to CPU actually consumed while starved.
     pub idle: Duration,
+    /// Wall-clock time spent parked (the thread was asleep, not burning a
+    /// core).
+    pub parked: Duration,
     /// Wall-clock time spent expanding tasks. Zero unless traced — this
     /// needs a clock read per task.
     pub busy: Duration,
@@ -130,7 +140,10 @@ impl WorkerStats {
             .set("local_hits", self.local_hits)
             .set("max_deque_depth", self.max_deque_depth)
             .set("idle_spins", self.idle_spins)
+            .set("park_count", self.park_count)
+            .set("deque_grows", self.deque_grows)
             .set("idle_us", duration_us(self.idle))
+            .set("parked_us", duration_us(self.parked))
             .set("busy_us", duration_us(self.busy))
     }
 }
@@ -199,6 +212,9 @@ pub struct LatencyHistograms {
     pub level_merge: HistogramNs,
     /// Latency of each successful steal operation (traced runs only).
     pub steal: HistogramNs,
+    /// Size of each successful steal batch — raw task counts, not
+    /// nanoseconds (traced, work-stealing runs only).
+    pub steal_batch: HistogramNs,
     /// Per-call orbit-canonicalization cost (traced, reduced runs only).
     pub canonicalize: HistogramNs,
     /// Per-task expansion cost in the work-stealing frontier (traced runs
@@ -215,6 +231,7 @@ impl LatencyHistograms {
             ("level_expand", &self.level_expand),
             ("level_merge", &self.level_merge),
             ("steal", &self.steal),
+            ("steal_batch", &self.steal_batch),
             ("canonicalize", &self.canonicalize),
             ("task_expand", &self.task_expand),
         ];
@@ -291,6 +308,16 @@ pub struct ExploreStats {
     /// Tasks a worker popped from its own deque rather than stole
     /// (work-stealing only).
     pub local_hits: u64,
+    /// Times a starved worker parked after exhausting its spin/yield
+    /// backoff budget (work-stealing only).
+    pub park_count: u64,
+    /// Lock-free deque buffer doublings across workers (work-stealing
+    /// only).
+    pub deque_grows: u64,
+    /// Keys the batched index round resolved to already-interned nodes —
+    /// i.e. races another worker won between a task's read-only pre-probe
+    /// and its insert round (work-stealing only).
+    pub index_batch_hits: u64,
     /// Per-level breakdown, in BFS order. Empty in work-stealing mode,
     /// which has no levels.
     pub levels: Vec<LevelStats>,
@@ -443,7 +470,10 @@ impl ExploreStats {
             )
             .set("steals", self.steals)
             .set("steal_fails", self.steal_fails)
-            .set("local_hits", self.local_hits);
+            .set("local_hits", self.local_hits)
+            .set("park_count", self.park_count)
+            .set("deque_grows", self.deque_grows)
+            .set("index_batch_hits", self.index_batch_hits);
         if !self.workers.is_empty() {
             doc = doc.set("worker_imbalance", self.worker_imbalance()).set(
                 "workers",
@@ -536,6 +566,9 @@ mod tests {
             steals: 12,
             steal_fails: 3,
             local_hits: 250,
+            park_count: 7,
+            deque_grows: 2,
+            index_batch_hits: 5,
             canon_patches: 40,
             canon_full: 2,
             ..ExploreStats::default()
@@ -549,6 +582,9 @@ mod tests {
         assert_eq!(doc.get("steals"), Some(&Json::Int(12)));
         assert_eq!(doc.get("steal_fails"), Some(&Json::Int(3)));
         assert_eq!(doc.get("local_hits"), Some(&Json::Int(250)));
+        assert_eq!(doc.get("park_count"), Some(&Json::Int(7)));
+        assert_eq!(doc.get("deque_grows"), Some(&Json::Int(2)));
+        assert_eq!(doc.get("index_batch_hits"), Some(&Json::Int(5)));
         assert_eq!(doc.get("canon_patches"), Some(&Json::Int(40)));
         assert_eq!(doc.get("canon_full"), Some(&Json::Int(2)));
         let level_sync = ExploreStats::default().to_json();

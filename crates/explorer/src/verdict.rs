@@ -430,6 +430,10 @@ pub enum Outcome {
         /// `1 − bound` where `bound` is the 95% Clopper–Pearson upper
         /// bound on the violation probability of a sampled schedule.
         confidence: f64,
+        /// `true` when a confidence target (see
+        /// [`SampleConfig::target_confidence`]) stopped the sweep before
+        /// its full `runs` budget.
+        stopped_early: bool,
     },
     /// A violation was found (the verdict's witness demonstrates it, when
     /// one could be extracted).
@@ -486,9 +490,17 @@ impl Verdict {
         match &self.outcome {
             Outcome::Holds => "holds".to_string(),
             Outcome::HoldsSampled {
-                runs, confidence, ..
+                runs,
+                confidence,
+                stopped_early,
+                ..
             } => format!(
-                "holds on {runs} sampled runs (violation rate < {:.2e} at 95% confidence)",
+                "holds on {runs} sampled runs{} (violation rate < {:.2e} at 95% confidence)",
+                if *stopped_early {
+                    " (stopped early at target confidence)"
+                } else {
+                    ""
+                },
                 1.0 - confidence
             ),
             Outcome::Violated(v) => format!("violated: {v}"),
@@ -508,13 +520,15 @@ impl Verdict {
                 runs,
                 quiescent,
                 confidence,
+                stopped_early,
             } => {
                 doc = doc.set(
                     "sampled",
                     Json::object()
                         .set("runs", *runs)
                         .set("quiescent", *quiescent)
-                        .set("confidence", *confidence),
+                        .set("confidence", *confidence)
+                        .set("stopped_early", *stopped_early),
                 );
             }
             _ => {}
@@ -698,6 +712,7 @@ fn verdict_k_set_agreement_sampled_with<P: Protocol>(
                 runs: report.runs,
                 quiescent: report.quiescent,
                 confidence: sample_confidence(report.runs),
+                stopped_early: report.stopped_early,
             },
             stats: CheckStats {
                 configs: usize::try_from(report.runs).unwrap_or(usize::MAX),

@@ -1,0 +1,737 @@
+//! A lock-free Chase–Lev work-stealing deque.
+//!
+//! This is the classic dynamic circular work-stealing deque of Chase &
+//! Lev (SPAA 2005), with the memory orderings of Lê, Pop, Cohen &
+//! Zappa Nardelli ("Correct and Efficient Work-Stealing for Weak Memory
+//! Models", PPoPP 2013), hand-rolled because the workspace's dependency
+//! policy forbids `crossbeam-deque`. One thread — the **owner** — pushes
+//! and pops at the *bottom* (LIFO, so a worker chases its own subtree
+//! depth-first and stays in cache); any number of **thieves** steal from
+//! the *top* (FIFO, the oldest tasks, which head the largest unexplored
+//! subtrees), each theft a single CAS on `top`.
+//!
+//! ## Memory-ordering argument (the unsafe core)
+//!
+//! The deque's state is two monotonically increasing indices into a
+//! circular buffer: `top` (next steal slot) and `bottom` (next push
+//! slot); the `bottom - top` slots in between hold live values.
+//!
+//! * **push** writes the slot, then publishes it with a `Release` store
+//!   of `bottom`. A thief that observes the new `bottom` (via its
+//!   `Acquire` load) therefore also observes the slot write.
+//! * **pop** decrements `bottom`, then needs to know whether a thief
+//!   might be racing for the same (now only) element. The `SeqCst`
+//!   fence between the `bottom` store and the `top` load, paired with
+//!   the fence in **steal**, guarantees pop and steal cannot *both*
+//!   conclude they are safely ahead of each other: at least one of them
+//!   sees the other's index update. When the element is the last one
+//!   (`top == bottom` after the decrement), pop races thieves with a
+//!   CAS on `top` — exactly one taker wins; the loser restores.
+//! * **steal** reads `top`, fences, reads `bottom`; if the deque looks
+//!   non-empty it reads the slot *first* and then CASes `top` forward.
+//!   Only a successful CAS transfers ownership of the value — a failed
+//!   CAS forgets the bitwise copy it read, so no value is ever dropped
+//!   (or observed) twice. The slot read must precede the CAS: after the
+//!   CAS the owner is free to overwrite the slot (the ring index
+//!   `top mod cap` becomes reachable by `push` again).
+//!
+//! The barrier in pop is not an implementation wart but a law: Attiya
+//! et al. ("Laws of Order", POPL 2011) prove every work-stealing deque
+//! must execute an expensive synchronization (a fence or an atomic RMW)
+//! on the pop path. The choice here is *which* expensive instruction to
+//! pay. An all-`SeqCst` formulation (SC store of `bottom`, SC loads in
+//! steal) was measured head-to-head against the fence formulation on
+//! this workload and lost — the `xchg` that an SC store compiles to on
+//! x86 costs more per pop than the plain store + `mfence` pair here —
+//! so the PPoPP 2013 fence version is kept.
+//!
+//! ## Buffer growth and retirement
+//!
+//! When a push finds the buffer full, the owner allocates a buffer of
+//! twice the capacity, copies the live range `top..bottom`, and
+//! publishes the new buffer with a `Release` store. Thieves may still
+//! hold the *old* buffer pointer, so grown-out buffers are never freed
+//! mid-run: they are **retired** into a list owned by the deque and
+//! reclaimed only when the deque itself drops — at which point no
+//! handle (hence no in-flight steal) can exist. This is the degenerate
+//! but sound end of epoch-based reclamation: the single epoch is the
+//! deque's lifetime, which is fine because growth is O(log n) events
+//! with geometrically sized buffers (total retired memory ≤ the final
+//! buffer). A stale thief reading a retired buffer reads the value that
+//! was copied out of it — the owner never mutates a retired buffer — so
+//! its CAS on `top` is still the sole arbiter of ownership.
+//!
+//! ## Batched stealing
+//!
+//! [`Stealer::steal_batch_and_pop`] takes up to half the victim's
+//! observed size, as repeated *single* CAS steals: the first stolen task
+//! is returned, the rest are pushed onto the thief's own deque. A
+//! multi-slot CAS (`top → top + n`) would race the owner's uncounted
+//! bottom pops — the owner only arbitrates through `top` for the *last*
+//! element, so a thief must never claim a range the owner might pop
+//! from. Per-element CAS keeps every transfer linearizable; the batch
+//! is amortization of the victim-selection sweep, not of the CAS.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default initial capacity (slots) of a freshly created deque.
+const DEFAULT_CAPACITY: usize = 64;
+
+/// The circular slot array. Indices are the *global* monotone `top` /
+/// `bottom` counters; the ring position is `index & mask`. Slots are
+/// `MaybeUninit` because liveness is tracked by the indices, not by the
+/// slots themselves.
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(capacity: usize) -> *mut Buffer<T> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::into_raw(Box::new(Buffer {
+            mask: capacity - 1,
+            slots,
+        }))
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Writes `value` into the ring slot for `index`.
+    ///
+    /// # Safety
+    ///
+    /// Only the owner calls this, and only on a slot outside the live
+    /// `top..bottom` range (so no thief reads it concurrently), with a
+    /// non-negative `index`.
+    unsafe fn write(&self, index: isize, value: T) {
+        // SAFETY: masking keeps the ring position within `0..=mask`,
+        // and `slots.len() == mask + 1`. The cast is lossless: callers
+        // only pass live (non-negative) indices. This is the owner's
+        // per-push hot path, so the bounds check is elided by hand.
+        let slot = unsafe { self.slots.get_unchecked((index as usize) & self.mask) };
+        unsafe { (*slot.get()).write(value) };
+    }
+
+    /// Reads a bitwise copy of the ring slot for `index`.
+    ///
+    /// # Safety
+    ///
+    /// The slot must have been initialized by a `write` that
+    /// happens-before this read, with a non-negative `index`. The copy
+    /// only becomes *owned* once the caller wins the index (pop past
+    /// the fence, or a successful CAS on `top`); until then it must be
+    /// treated as borrowed bits and forgotten on failure.
+    unsafe fn read(&self, index: isize) -> T {
+        // SAFETY: as in `write` — masked index is always in bounds.
+        let slot = unsafe { self.slots.get_unchecked((index as usize) & self.mask) };
+        unsafe { (*slot.get()).assume_init_read() }
+    }
+}
+
+/// The shared core of one deque. `bottom` is written only by the owner;
+/// `top` advances only through CAS (thieves) or the owner's last-element
+/// CAS. `buffer` is replaced only by the owner (growth); old buffers
+/// park in `retired` until drop.
+struct Inner<T> {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+    grows: AtomicU64,
+}
+
+// SAFETY: all shared mutation goes through the atomics and the protocol
+// documented at module level; values of `T` cross threads only by being
+// pushed on one thread and popped/stolen on another, which requires
+// `T: Send` (enforced on the public constructors and handle impls).
+unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: see above — the steal protocol makes concurrent `&Inner`
+// access sound.
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no handles remain, so the live range is
+        // exactly `top..bottom` in the current buffer.
+        let buf = *self.buffer.get_mut();
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        // SAFETY: exclusive access; every index in `t..b` holds an
+        // initialized value nobody else will read.
+        unsafe {
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for old in self
+                .retired
+                .get_mut()
+                .expect("retired list poisoned")
+                .drain(..)
+            {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The owner handle: single-threaded push/pop at the bottom. `Send` but
+/// deliberately not `Sync` and not `Clone` — the Chase–Lev protocol
+/// requires exactly one pusher/popper.
+pub struct Owner<T> {
+    inner: Arc<Inner<T>>,
+    /// Makes the handle `!Sync`, pinning bottom-end operations to one
+    /// thread at a time without `unsafe` in callers.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+/// A thief handle: clonable, shareable, steals from the top.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was stolen.
+    Taken(T),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race (another thief, or the owner's last-element pop);
+    /// the deque may still hold work.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `Some(task)` for [`Steal::Taken`], `None` otherwise.
+    pub fn take(self) -> Option<T> {
+        match self {
+            Steal::Taken(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Creates a deque with the default initial capacity, returning the
+/// owner handle and one stealer (clone the stealer for more thieves).
+#[must_use]
+pub fn deque<T: Send>() -> (Owner<T>, Stealer<T>) {
+    deque_with_capacity(DEFAULT_CAPACITY)
+}
+
+/// Creates a deque whose first buffer holds `capacity` (rounded up to a
+/// power of two, minimum 2) slots — small capacities force buffer
+/// growth, which the stress tests exploit.
+#[must_use]
+pub fn deque_with_capacity<T: Send>(capacity: usize) -> (Owner<T>, Stealer<T>) {
+    let capacity = capacity.next_power_of_two().max(2);
+    let inner = Arc::new(Inner {
+        bottom: AtomicIsize::new(0),
+        top: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Buffer::alloc(capacity)),
+        retired: Mutex::new(Vec::new()),
+        grows: AtomicU64::new(0),
+    });
+    (
+        Owner {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Owner<T> {
+    /// Pushes a task at the bottom, growing the buffer when full.
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buf` is the current buffer — only the owner (this
+        // thread) replaces it.
+        if b.wrapping_sub(t) >= unsafe { (*buf).capacity() } as isize {
+            buf = self.grow(t, b, buf);
+        }
+        // SAFETY: slot `b` is outside the live range until the Release
+        // store below publishes it.
+        unsafe { (*buf).write(b, value) };
+        self.inner
+            .bottom
+            .store(b.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Pops a task from the bottom (LIFO). Returns `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        // Pairs with the fence in `Stealer::steal`: pop and a racing
+        // steal cannot both miss each other's index update.
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let size = b.wrapping_sub(t);
+        if size < 0 {
+            // Already empty; restore the canonical empty state.
+            self.inner.bottom.store(t, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: slot `b` was initialized by the push that advanced
+        // `bottom` past it; the owner is the only popper.
+        let value = ManuallyDrop::new(unsafe { (*buf).read(b) });
+        if size > 0 {
+            // More than one element: thieves arbitrate among `t..b`,
+            // strictly below our slot.
+            return Some(ManuallyDrop::into_inner(value));
+        }
+        // Last element: race thieves for it via `top`.
+        let won = self
+            .inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        self.inner
+            .bottom
+            .store(t.wrapping_add(1), Ordering::Relaxed);
+        if won {
+            Some(ManuallyDrop::into_inner(value))
+        } else {
+            // A thief took it; forget the bitwise copy.
+            None
+        }
+    }
+
+    /// A snapshot of the deque's size (exact when no thief is active).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        usize::try_from(b.wrapping_sub(t)).unwrap_or(0)
+    }
+
+    /// `true` when the snapshot size is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many times the circular buffer grew (and retired its
+    /// predecessor) over the deque's lifetime.
+    #[must_use]
+    pub fn grows(&self) -> u64 {
+        self.inner.grows.load(Ordering::Relaxed)
+    }
+
+    /// Doubles the buffer: copy the live range, publish the new buffer,
+    /// retire the old one (freed only at drop — thieves may still read
+    /// it).
+    fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        // SAFETY: owner-only; `old` is the current buffer.
+        let new = unsafe { Buffer::<T>::alloc((*old).capacity() * 2) };
+        // SAFETY: indices `t..b` are initialized in `old`; the copies
+        // are bitwise, and exactly one buffer's copy of each index is
+        // ever read afterwards (ownership is by index, not by slot).
+        unsafe {
+            for i in t..b {
+                (*new).write(i, (*old).read(i));
+            }
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner
+            .retired
+            .lock()
+            .expect("retired list poisoned")
+            .push(old);
+        self.inner.grows.fetch_add(1, Ordering::Relaxed);
+        new
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts to steal one task from the top (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        // Pairs with the fence in `Owner::pop`.
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if t.wrapping_sub(b) >= 0 {
+            return Steal::Empty;
+        }
+        // The Acquire load of `bottom` above synchronizes with the
+        // owner's Release store in `push` (and the Release buffer
+        // publication in `grow`), so both the slot write and any buffer
+        // swap that preceded it are visible.
+        let buf = self.inner.buffer.load(Ordering::Acquire);
+        // SAFETY: `t < b`, so slot `t` holds an initialized value in
+        // whichever buffer we observed (retired buffers keep their
+        // copies alive and unmutated until the deque drops). The copy
+        // is only owned if the CAS below wins.
+        let value = ManuallyDrop::new(unsafe { (*buf).read(t) });
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Taken(ManuallyDrop::into_inner(value))
+        } else {
+            // Lost to another thief or the owner's last-element pop;
+            // the bitwise copy is forgotten, never dropped.
+            Steal::Retry
+        }
+    }
+
+    /// Steal-half batching: takes up to `ceil(size / 2)` tasks (capped
+    /// at `max`) from the victim as repeated single steals. The first
+    /// stolen task is returned; the rest are pushed onto `dest` (the
+    /// thief's own deque). Returns the task and how many extra tasks
+    /// were moved to `dest`.
+    pub fn steal_batch_and_pop(&self, dest: &Owner<T>, max: usize) -> Steal<(T, usize)> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        let size = b.wrapping_sub(t);
+        if size <= 0 {
+            return Steal::Empty;
+        }
+        let goal = usize::try_from(size.wrapping_add(1) / 2)
+            .unwrap_or(1)
+            .clamp(1, max.max(1));
+        let first = match self.steal() {
+            Steal::Taken(task) => task,
+            other @ (Steal::Empty | Steal::Retry) => {
+                return match other {
+                    Steal::Empty => Steal::Empty,
+                    _ => Steal::Retry,
+                }
+            }
+        };
+        let mut extra = 0usize;
+        while extra + 1 < goal {
+            match self.steal() {
+                Steal::Taken(task) => {
+                    dest.push(task);
+                    extra += 1;
+                }
+                // Contention or drained victim: keep what we have.
+                Steal::Empty | Steal::Retry => break,
+            }
+        }
+        Steal::Taken((first, extra))
+    }
+
+    /// A racy snapshot of the victim's size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        usize::try_from(b.wrapping_sub(t)).unwrap_or(0)
+    }
+
+    /// `true` when the snapshot size is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_push_pop_is_lifo() {
+        let (owner, _stealer) = deque::<u32>();
+        assert!(owner.is_empty());
+        assert_eq!(owner.pop(), None);
+        for i in 0..100 {
+            owner.push(i);
+        }
+        assert_eq!(owner.len(), 100);
+        for i in (0..100).rev() {
+            assert_eq!(owner.pop(), Some(i));
+        }
+        assert_eq!(owner.pop(), None);
+        assert!(owner.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_stack_discipline() {
+        let (owner, _stealer) = deque_with_capacity::<u64>(2);
+        let mut model: Vec<u64> = Vec::new();
+        let mut rng = crate::rng::SmallRng::seed_from_u64(7);
+        let steps = if cfg!(miri) { 500 } else { 10_000 };
+        for step in 0..steps {
+            if model.is_empty() || rng.ratio(3, 5) {
+                owner.push(step);
+                model.push(step);
+            } else {
+                assert_eq!(owner.pop(), model.pop());
+            }
+            assert_eq!(owner.len(), model.len());
+        }
+        while let Some(expect) = model.pop() {
+            assert_eq!(owner.pop(), Some(expect));
+        }
+        assert_eq!(owner.pop(), None);
+        assert!(owner.grows() > 0, "capacity 2 must have grown");
+    }
+
+    #[test]
+    fn single_thief_steals_fifo_while_owner_pops_lifo() {
+        let (owner, stealer) = deque::<u32>();
+        for i in 0..10 {
+            owner.push(i);
+        }
+        assert_eq!(stealer.steal().take(), Some(0), "thieves take the oldest");
+        assert_eq!(stealer.steal().take(), Some(1));
+        assert_eq!(owner.pop(), Some(9), "owner takes the newest");
+        assert_eq!(stealer.len(), 7);
+    }
+
+    #[test]
+    fn steal_batch_takes_half_and_pops_the_first() {
+        let (victim, stealer) = deque::<u32>();
+        let (thief, _thief_stealer) = deque::<u32>();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        // ceil(10 / 2) = 5: one returned, four deposited.
+        let Steal::Taken((first, extra)) = stealer.steal_batch_and_pop(&thief, 32) else {
+            panic!("batch steal from a full deque must succeed");
+        };
+        assert_eq!(first, 0);
+        assert_eq!(extra, 4);
+        assert_eq!(thief.len(), 4);
+        assert_eq!(victim.len(), 5);
+        // The deposited tasks keep FIFO order bottom-up: thief pops 4.
+        assert_eq!(thief.pop(), Some(4));
+        // The cap bounds the batch.
+        let Steal::Taken((first, extra)) = stealer.steal_batch_and_pop(&thief, 2) else {
+            panic!("batch steal must succeed");
+        };
+        assert_eq!(first, 5);
+        assert_eq!(extra, 1);
+        assert_eq!(victim.len(), 3);
+    }
+
+    #[test]
+    fn steal_batch_on_empty_reports_empty() {
+        let (victim, stealer) = deque::<u32>();
+        let (thief, _s) = deque::<u32>();
+        assert_eq!(stealer.steal_batch_and_pop(&thief, 8), Steal::Empty);
+        drop(victim);
+    }
+
+    /// Every pushed value is taken exactly once across 4–8 concurrent
+    /// thieves plus the owner popping — the linearizability contract of
+    /// the top-end CAS.
+    #[test]
+    fn concurrent_steals_take_every_task_exactly_once() {
+        for thieves in [4usize, 8] {
+            // Miri interprets every access, ~1000x slower: shrink the
+            // load so the advisory CI job stays in budget while still
+            // exercising growth and the last-element race.
+            const TASKS: usize = if cfg!(miri) { 300 } else { 20_000 };
+            let (owner, stealer) = deque_with_capacity::<usize>(4);
+            let taken: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(0)).collect();
+            let done = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for _ in 0..thieves {
+                    let stealer = stealer.clone();
+                    let taken = &taken;
+                    let done = &done;
+                    s.spawn(move || loop {
+                        match stealer.steal() {
+                            Steal::Taken(v) => {
+                                taken[v].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    });
+                }
+                // The owner interleaves pushes with occasional pops, so
+                // the last-element CAS race gets exercised.
+                for v in 0..TASKS {
+                    owner.push(v);
+                    if v % 7 == 0 {
+                        if let Some(got) = owner.pop() {
+                            taken[got].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                while let Some(got) = owner.pop() {
+                    taken[got].fetch_add(1, Ordering::Relaxed);
+                }
+                done.store(true, Ordering::Release);
+            });
+            for (v, count) in taken.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::Relaxed),
+                    1,
+                    "task {v} taken a wrong number of times with {thieves} thieves"
+                );
+            }
+            assert!(owner.grows() > 0, "capacity 4 must grow under this load");
+        }
+    }
+
+    /// Buffer growth while thieves are mid-steal: stale buffer pointers
+    /// must keep reading valid (retired, unmutated) memory.
+    #[test]
+    fn growth_under_concurrent_stealing_loses_nothing() {
+        const ROUNDS: usize = if cfg!(miri) { 20 } else { 200 };
+        const BATCH: usize = 64;
+        let (owner, stealer) = deque_with_capacity::<usize>(2);
+        let stolen_sum = AtomicU64::new(0);
+        let stolen_count = AtomicUsize::new(0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let mut owner_sum = 0u64;
+        let mut owner_count = 0usize;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stealer = stealer.clone();
+                let (stolen_sum, stolen_count, done) = (&stolen_sum, &stolen_count, &done);
+                s.spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Taken(v) => {
+                            stolen_sum.fetch_add(v as u64, Ordering::Relaxed);
+                            stolen_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for round in 0..ROUNDS {
+                for i in 0..BATCH {
+                    owner.push(round * BATCH + i);
+                }
+                // Drain a little to oscillate around the growth edge.
+                for _ in 0..BATCH / 2 {
+                    if let Some(v) = owner.pop() {
+                        owner_sum += v as u64;
+                        owner_count += 1;
+                    }
+                }
+            }
+            while let Some(v) = owner.pop() {
+                owner_sum += v as u64;
+                owner_count += 1;
+            }
+            done.store(true, Ordering::Release);
+        });
+        let total = ROUNDS * BATCH;
+        assert_eq!(owner_count + stolen_count.load(Ordering::Relaxed), total);
+        let expect: u64 = (0..total as u64).sum();
+        assert_eq!(owner_sum + stolen_sum.load(Ordering::Relaxed), expect);
+        assert!(owner.grows() >= 5, "capacity 2 must grow repeatedly");
+    }
+
+    /// Batched steals under contention still deliver exactly-once: the
+    /// per-element CAS makes the batch a sequence of linearizable
+    /// single steals.
+    #[test]
+    fn concurrent_batch_steals_partition_the_tasks() {
+        const TASKS: usize = if cfg!(miri) { 300 } else { 10_000 };
+        let (owner, stealer) = deque_with_capacity::<usize>(8);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stealer = stealer.clone();
+                let (seen, done) = (&seen, &done);
+                s.spawn(move || {
+                    let (mine, _my_stealer) = deque::<usize>();
+                    let mut got: Vec<usize> = Vec::new();
+                    loop {
+                        match stealer.steal_batch_and_pop(&mine, 16) {
+                            Steal::Taken((first, _extra)) => {
+                                got.push(first);
+                                while let Some(v) = mine.pop() {
+                                    got.push(v);
+                                }
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    let mut seen = seen.lock().unwrap();
+                    for v in got {
+                        assert!(seen.insert(v), "task {v} delivered twice");
+                    }
+                });
+            }
+            for v in 0..TASKS {
+                owner.push(v);
+            }
+            while let Some(v) = owner.pop() {
+                let mut seen = seen.lock().unwrap();
+                assert!(seen.insert(v), "task {v} delivered twice (owner)");
+            }
+            done.store(true, Ordering::Release);
+        });
+        // Everything the owner pushed was delivered somewhere; thieves
+        // may still be drying up when the owner finishes, so the final
+        // count check happens after the scope joins every thief.
+        assert_eq!(seen.lock().unwrap().len(), TASKS);
+    }
+
+    #[test]
+    fn drop_reclaims_unpopped_tasks_and_retired_buffers() {
+        // Arc payloads: a leak or double-drop would show up as a wrong
+        // strong count on the survivor.
+        let probe = Arc::new(());
+        let (owner, stealer) = deque_with_capacity::<Arc<()>>(2);
+        for _ in 0..100 {
+            owner.push(Arc::clone(&probe));
+        }
+        for _ in 0..10 {
+            drop(stealer.steal());
+        }
+        for _ in 0..10 {
+            drop(owner.pop());
+        }
+        assert!(owner.grows() > 0);
+        drop(owner);
+        drop(stealer);
+        assert_eq!(Arc::strong_count(&probe), 1, "every pushed Arc released");
+    }
+}
