@@ -429,6 +429,20 @@ fn write_speedup_report(
         .set("n6_level_expand_p99_ns", raw6.stats.hist.level_expand.p99())
         .set("n6_canon_patches", reduced6.stats.canon_patches)
         .set("n6_canon_full", reduced6.stats.canon_full)
+        // Memory accounting (structural estimates, see `ExploreStats`):
+        // the interner footprint after the full n = 6 run, and the total
+        // retained bytes (interner + index + graph) per reachable state.
+        // Both feed advisory warn-only ceilings in `perf_smoke` and ride
+        // into `BENCH_history.jsonl`.
+        .set("n6_peak_interner_bytes", raw6.stats.interner_bytes)
+        .set("n6_index_bytes", raw6.stats.index_bytes)
+        .set(
+            "bytes_per_state",
+            round2(
+                (raw6.stats.interner_bytes + raw6.stats.index_bytes + raw6.approx_bytes()) as f64
+                    / raw6.configs.len().max(1) as f64,
+            ),
+        )
         .set("kset_n", KSET_N)
         .set("kset_raw_configs", ksetg.configs.len())
         .set("kset_seq_min_ns", kseq_min.round())

@@ -90,9 +90,37 @@ fn validate_trace(path: &Path) -> Result<usize, String> {
                 ));
             }
         }
+        if doc.get("event").and_then(Json::as_str) == Some("progress") {
+            validate_progress_event(&doc)
+                .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        }
         events += 1;
     }
     Ok(events)
+}
+
+/// Schema check for the live sampler's `progress` events (emitted by
+/// `Exploration::progress_every`, documented in
+/// `crates/explorer/src/live.rs`): the cockpit-facing fields must be
+/// numeric, and the strategy tag must be a string.
+fn validate_progress_event(doc: &Json) -> Result<(), String> {
+    if doc.get("strategy").and_then(Json::as_str).is_none() {
+        return Err("progress event missing string \"strategy\" field".into());
+    }
+    for key in [
+        "configs",
+        "configs_per_sec",
+        "ema_configs_per_sec",
+        "frontier_depth",
+        "eta_us",
+        "mem_bytes",
+        "elapsed_us",
+    ] {
+        if doc.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("progress event missing numeric {key:?} field"));
+        }
+    }
+    Ok(())
 }
 
 /// Flattens the numeric entries of a report's `metrics` object into
@@ -319,6 +347,31 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn progress_events_require_the_cockpit_fields() {
+        let good = Json::parse(
+            r#"{"seq":1,"t_us":50,"event":"progress","strategy":"work-stealing",
+                "configs":380,"configs_per_sec":1000.0,"ema_configs_per_sec":900.0,
+                "frontier_depth":42,"workers":4,"utilization":0.75,"eta_us":310000,
+                "mem_bytes":1048576,"elapsed_us":2600,"final":false}"#,
+        )
+        .expect("test event");
+        assert!(validate_progress_event(&good).is_ok());
+
+        let missing_eta = Json::parse(
+            r#"{"event":"progress","strategy":"sampling","configs":1,
+                "configs_per_sec":1.0,"ema_configs_per_sec":1.0,"frontier_depth":0,
+                "mem_bytes":0,"elapsed_us":1}"#,
+        )
+        .expect("test event");
+        let err = validate_progress_event(&missing_eta).expect_err("eta_us required");
+        assert!(err.contains("eta_us"), "err: {err}");
+
+        let missing_strategy = Json::parse(r#"{"event":"progress","configs":1}"#).expect("event");
+        let err = validate_progress_event(&missing_strategy).expect_err("strategy required");
+        assert!(err.contains("strategy"), "err: {err}");
+    }
 
     #[test]
     fn numeric_metrics_recurse_into_nested_objects_with_dotted_keys() {

@@ -49,7 +49,9 @@ fn main() {
                 for inputs in inputs_list {
                     let protocol = DacFromPac::new(inputs, Pid(0), ObjId(0)).expect("n >= 2");
                     let objects = vec![AnyObject::pac(n).expect("n >= 1")];
-                    let explorer = Explorer::new(&protocol, &objects).with_trace(exp.tracer());
+                    let explorer = Explorer::new(&protocol, &objects)
+                        .with_trace(exp.tracer())
+                        .with_registry(exp.registry());
                     let v = verdict_dac(&explorer, &protocol.instance(), limits, solo_bound);
                     match &v.outcome {
                         Outcome::Holds => {

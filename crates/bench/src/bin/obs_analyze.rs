@@ -137,15 +137,27 @@ fn collect_traces(target: &Path) -> Vec<PathBuf> {
     }
 }
 
-/// Reads one JSONL trace into a vector of event objects.
+/// Reads one JSONL trace into a vector of event objects, streaming one
+/// line at a time so peak RSS holds the parsed events but never the whole
+/// raw file (traces can be hundreds of MB of text for a few MB of events).
 fn load_trace(path: &Path) -> Result<Vec<Json>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let mut reader = std::io::BufReader::new(file);
     let mut events = Vec::new();
-    for (i, line) in text.lines().enumerate() {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if read == 0 {
+            break;
+        }
+        lineno += 1;
         if line.trim().is_empty() {
             continue;
         }
-        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let doc = Json::parse(line.trim_end()).map_err(|e| format!("line {lineno}: {e}"))?;
         events.push(doc);
     }
     Ok(events)

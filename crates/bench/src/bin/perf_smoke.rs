@@ -267,6 +267,31 @@ fn main() -> ExitCode {
         ),
     }
 
+    // Memory-footprint ceilings: advisory only, like the sampling
+    // throughput. The structural estimates (`Interner::approx_bytes` and
+    // friends) are stable across hosts, but growth here usually tracks an
+    // intentional capacity change — warn-and-record beats hard-failing,
+    // and the history trail catches slow leaks via `obs_analyze --regress`.
+    for key in ["n6_peak_interner_bytes", "bytes_per_state"] {
+        match num(&fresh, key) {
+            Some(b) => {
+                let committed_b = committed.as_ref().and_then(|c| num(c, key));
+                match committed_b {
+                    Some(c) if c > 0.0 && b > c * 1.5 => eprintln!(
+                        "perf smoke WARNING: {key} {b:.0} > 150% of committed {c:.0} \
+                         (advisory, not gated)"
+                    ),
+                    Some(c) => println!("{key}: {b:.0} (committed {c:.0}, advisory) ok"),
+                    None => println!("{key}: {b:.0} (no committed value, advisory)"),
+                }
+                measured.push(format!("{key} {b:.0}"));
+            }
+            None => {
+                eprintln!("perf smoke WARNING: fresh report lacks {key} (advisory, not gated)");
+            }
+        }
+    }
+
     if let Some(path) = &history {
         append_history(path, &fresh, failures.is_empty());
     }

@@ -32,6 +32,10 @@
 //! * `--reports-dir DIR` — where to write the artifact (default
 //!   `reports/`);
 //! * `--no-report` — skip writing the artifact (and the trace);
+//! * `--metrics-out FILE.prom` — additionally render the experiment's
+//!   live-metrics [`Registry`] in the Prometheus text exposition format
+//!   (bodies opt metrics in via [`Experiment::registry`], e.g.
+//!   `Explorer::...` builders' `.registry(exp.registry())`);
 //! * `--KEY VALUE` — experiment-specific parameters, read by the body via
 //!   [`Experiment::arg`] / [`Experiment::arg_usize`] (e.g. `exp_t2_dac
 //!   --max-n 2`).
@@ -39,7 +43,7 @@
 use lbsa_explorer::Verdict;
 use lbsa_hierarchy::report::Table;
 use lbsa_support::json::Json;
-use lbsa_support::obs::{JsonlSink, Tracer};
+use lbsa_support::obs::{JsonlSink, Registry, Tracer};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -69,12 +73,15 @@ pub struct Experiment {
     metrics: Json,
     tracer: Tracer,
     trace_path: Option<PathBuf>,
+    registry: Registry,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Experiment {
     fn from_env(id: &str, title: &str) -> Experiment {
         let mut cli = Vec::new();
         let mut reports_dir = Some(PathBuf::from("reports"));
+        let mut metrics_out = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             if arg == "--no-report" {
@@ -88,6 +95,8 @@ impl Experiment {
                     if reports_dir.is_some() {
                         reports_dir = Some(PathBuf::from(value));
                     }
+                } else if key == "metrics-out" {
+                    metrics_out = Some(PathBuf::from(value));
                 } else {
                     cli.push((key.to_string(), value));
                 }
@@ -122,6 +131,8 @@ impl Experiment {
             metrics: Json::object(),
             tracer,
             trace_path,
+            registry: Registry::new(),
+            metrics_out,
         }
     }
 
@@ -178,6 +189,17 @@ impl Experiment {
         self.tracer.clone()
     }
 
+    /// The experiment's live-metrics registry. Hand clones to the engine
+    /// builders (`Exploration::registry`) so the exhaustive / WS /
+    /// sampling engines publish their live counters and gauges here; the
+    /// final snapshot lands in the report's `metrics.registry` object,
+    /// and `--metrics-out FILE.prom` renders it in the Prometheus text
+    /// format.
+    #[must_use]
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
     /// Records one scalar measurement into the report's `metrics` section.
     /// Dotted keys (`"explore.n5.elapsed_us"`) keep the section flat and
     /// greppable; `exp_report --metrics` aggregates and diffs them.
@@ -216,6 +238,12 @@ impl Experiment {
         if let Some(path) = &self.trace_path {
             metrics = metrics.set("trace_file", path.display().to_string());
         }
+        // The final registry snapshot rides into the v2 metrics section as
+        // a nested object; `exp_report --metrics` flattens it to dotted
+        // `registry.<name>` keys.
+        if !self.registry.names().is_empty() {
+            metrics = metrics.set("registry", self.registry.snapshot());
+        }
         Json::object()
             .set("schema", REPORT_SCHEMA)
             .set("id", self.id.as_str())
@@ -244,6 +272,12 @@ pub fn run_experiment(id: &str, title: &str, body: impl FnOnce(&mut Experiment))
         }
     }
     exp.tracer.flush();
+    if let Some(path) = &exp.metrics_out {
+        match std::fs::write(path, exp.registry.render_prometheus()) {
+            Ok(()) => eprintln!("metrics: {}", path.display()),
+            Err(e) => eprintln!("{id}: cannot write {}: {e}", path.display()),
+        }
+    }
     if let Some(path) = &exp.trace_path {
         eprintln!(
             "trace: {} ({} events)",

@@ -8,9 +8,14 @@
 
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
-use lbsa_explorer::{ExploreStats, Explorer, Frontier, Limits};
+use lbsa_explorer::{
+    ExploreStats, Explorer, Frontier, Limits, MemorySink, Registry, SampleConfig, Tracer,
+};
 use lbsa_protocols::consensus_protocols::ConsensusViaObject;
 use lbsa_protocols::dac::DacFromPac;
+use lbsa_support::json::Json;
+use lbsa_support::obs::Event;
+use std::time::Duration;
 
 fn assert_invariants(stats: &ExploreStats, what: &str) {
     let level_width: usize = stats.levels.iter().map(|l| l.width).sum();
@@ -165,4 +170,207 @@ fn forced_parallel_stats_reconcile() {
         "forced parallel run must record parallel levels"
     );
     assert_invariants(&g.stats, "dac n=4 forced-parallel");
+}
+
+/// Shared schema/ordering checks on a run's `progress` event stream: every
+/// event carries the numeric fields `exp_report --validate-trace` demands,
+/// `configs` and timestamps never go backwards, and the stream ends with
+/// exactly one `final` event.
+fn assert_progress_invariants(events: &[Event], strategy: &str, what: &str) {
+    assert!(!events.is_empty(), "{what}: at least the final event");
+    let mut prev_configs = -1i64;
+    let mut prev_t = 0u64;
+    for e in events {
+        assert_eq!(e.name, "progress");
+        assert_eq!(
+            e.fields.get("strategy").and_then(Json::as_str),
+            Some(strategy),
+            "{what}: strategy tag"
+        );
+        let configs = e
+            .fields
+            .get("configs")
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("{what}: numeric configs"));
+        assert!(
+            configs >= prev_configs,
+            "{what}: configs must be monotone ({prev_configs} -> {configs})"
+        );
+        prev_configs = configs;
+        assert!(
+            e.t_us >= prev_t,
+            "{what}: event timestamps must not regress"
+        );
+        prev_t = e.t_us;
+        for field in [
+            "configs_per_sec",
+            "ema_configs_per_sec",
+            "frontier_depth",
+            "workers",
+            "utilization",
+            "eta_us",
+            "mem_bytes",
+            "elapsed_us",
+        ] {
+            assert!(
+                e.fields.get(field).and_then(Json::as_f64).is_some(),
+                "{what}: progress events carry numeric {field}"
+            );
+        }
+    }
+    let finals = events
+        .iter()
+        .filter(|e| e.fields.get("final").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert_eq!(finals, 1, "{what}: exactly one final event");
+    assert_eq!(
+        events
+            .last()
+            .and_then(|e| e.fields.get("final").and_then(Json::as_bool)),
+        Some(true),
+        "{what}: the final event closes the stream"
+    );
+}
+
+/// The acceptance workload of the live-observability layer: a 4-thread
+/// work-stealing T2 (DAC) run streaming progress at a short cadence. The
+/// events must be schema-valid, monotone, and reconcile against the final
+/// [`ExploreStats`]; the run is long enough (n = 6 in a debug build) that
+/// several periodic ticks land before the final event.
+#[test]
+fn work_stealing_progress_events_reconcile_with_final_stats() {
+    let p = DacFromPac::new(mixed_binary_inputs(6), Pid(0), ObjId(0)).expect("n >= 2");
+    let objects = vec![AnyObject::pac(6).expect("valid")];
+    let sink = MemorySink::new();
+    let registry = Registry::new();
+    let period = Duration::from_millis(1);
+    let g = Explorer::new(&p, &objects)
+        .exploration()
+        .frontier(Frontier::WorkStealing)
+        .threads(4)
+        .registry(registry.clone())
+        .progress_every(period)
+        .trace(Tracer::new(sink.clone()))
+        .run()
+        .expect("explorable");
+    let events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "progress")
+        .collect();
+    assert_progress_invariants(&events, "work-stealing", "dac n=6 ws");
+    if g.stats.elapsed >= period * 10 {
+        assert!(
+            events.len() >= 5,
+            "a {:?} run on a {period:?} cadence must tick repeatedly, got {}",
+            g.stats.elapsed,
+            events.len()
+        );
+    }
+    let last = events.last().expect("nonempty");
+    assert_eq!(
+        last.fields.get("configs").and_then(Json::as_i64),
+        i64::try_from(g.stats.expanded).ok(),
+        "the final progress event carries the run's expansion total"
+    );
+    assert_eq!(
+        last.fields.get("frontier_depth").and_then(Json::as_i64),
+        Some(0),
+        "the frontier is drained at the end"
+    );
+    assert_eq!(last.fields.get("eta_us").and_then(Json::as_i64), Some(0));
+    // The registry outlives the run: the snapshot agrees with the stats.
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.get("explore.configs").and_then(Json::as_i64),
+        i64::try_from(g.stats.expanded).ok()
+    );
+    assert_eq!(
+        snapshot.get("explore.transitions").and_then(Json::as_i64),
+        i64::try_from(g.stats.transitions).ok()
+    );
+    assert_eq!(
+        snapshot.get("mem.interner_bytes").and_then(Json::as_i64),
+        i64::try_from(g.stats.interner_bytes).ok()
+    );
+    assert!(
+        snapshot
+            .get("mem.graph_bytes")
+            .and_then(Json::as_i64)
+            .is_some_and(|b| b > 0),
+        "the graph gauge is set after a successful run"
+    );
+}
+
+/// Level-synchronous runs stream the same schema with the `level-sync`
+/// strategy tag, and the live counters end exactly at the stats totals.
+#[test]
+fn level_sync_progress_events_reconcile_with_final_stats() {
+    let p = DacFromPac::new(mixed_binary_inputs(5), Pid(0), ObjId(0)).expect("n >= 2");
+    let objects = vec![AnyObject::pac(5).expect("valid")];
+    let sink = MemorySink::new();
+    let registry = Registry::new();
+    let g = Explorer::new(&p, &objects)
+        .exploration()
+        .threads(2)
+        .registry(registry.clone())
+        .progress_every(Duration::from_millis(1))
+        .trace(Tracer::new(sink.clone()))
+        .run()
+        .expect("explorable");
+    let events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "progress")
+        .collect();
+    assert_progress_invariants(&events, "level-sync", "dac n=5 level-sync");
+    assert_eq!(
+        registry
+            .snapshot()
+            .get("explore.configs")
+            .and_then(Json::as_i64),
+        i64::try_from(g.stats.expanded).ok()
+    );
+}
+
+/// The sampling strategy streams progress through the same builder knob:
+/// `sample.runs` drives the `configs` field and the budget gauge feeds a
+/// budget-based ETA.
+#[test]
+fn sampling_progress_events_reconcile_with_the_report() {
+    let inputs = mixed_binary_inputs(3);
+    let p = ConsensusViaObject::new(inputs.clone(), ObjId(0));
+    let objects = vec![AnyObject::consensus(3).expect("valid")];
+    let sink = MemorySink::new();
+    let registry = Registry::new();
+    let verdict = Explorer::new(&p, &objects)
+        .exploration()
+        .sample(SampleConfig {
+            runs: 4000,
+            threads: 2,
+            ..SampleConfig::default()
+        })
+        .registry(registry.clone())
+        .progress_every(Duration::from_millis(1))
+        .trace(Tracer::new(sink.clone()))
+        .check_consensus(&inputs);
+    assert!(
+        !verdict.is_violated(),
+        "consensus via a consensus object holds: {}",
+        verdict.describe()
+    );
+    let events: Vec<Event> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "progress")
+        .collect();
+    assert_progress_invariants(&events, "sampling", "sampled consensus n=3");
+    assert_eq!(
+        registry
+            .snapshot()
+            .get("sample.runs")
+            .and_then(Json::as_i64),
+        Some(4000),
+        "every budgeted run is mirrored into the registry"
+    );
 }

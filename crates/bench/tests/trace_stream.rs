@@ -11,7 +11,12 @@
 //!   whatever the arrival interleaving at the sink was;
 //! * **flush-on-`Drop` durability** — a `JsonlSink` trace left to go out
 //!   of scope without an explicit `flush()` still lands complete on disk
-//!   and passes the same checks as `exp_report --validate-trace`.
+//!   and passes the same checks as `exp_report --validate-trace`;
+//! * **tail-friendliness** — a reader following the file *while the
+//!   engine writes it* (the `obs_top --follow` scenario) only ever sees
+//!   whole, parseable JSONL lines, because the sink flushes on line
+//!   boundaries (every `JSONL_FLUSH_EVERY` events and on every
+//!   `progress` event).
 
 use lbsa_bench::mixed_binary_inputs;
 use lbsa_core::{AnyObject, ObjId, Pid};
@@ -112,5 +117,72 @@ fn jsonl_trace_survives_drop_without_explicit_flush() {
             );
         }
     }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn concurrently_tailed_trace_yields_only_whole_jsonl_lines() {
+    let path = std::env::temp_dir().join(format!(
+        "lbsa-trace-tail-{}-{:?}.trace.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let tracer = Tracer::new(JsonlSink::create(&path).expect("temp trace file"));
+
+    // Writer: a traced WS run with a fast progress sampler, on its own
+    // thread so this test can read the file while it grows.
+    let writer_tracer = tracer.clone();
+    let writer = std::thread::spawn(move || {
+        let (p, objects) = explorer_input();
+        let explorer = Explorer::new(&p, &objects);
+        explorer
+            .exploration()
+            .frontier(Frontier::WorkStealing)
+            .threads(2)
+            .trace(writer_tracer)
+            .progress_every(std::time::Duration::from_millis(1))
+            .run()
+            .unwrap()
+            .configs
+            .len()
+    });
+
+    // Reader: poll the growing file. Every complete line (up to the last
+    // newline) must parse — a torn line would mean the sink flushed
+    // mid-`writeln!`, which the per-line Mutex + BufWriter forbid.
+    let mut tail_checks = 0usize;
+    for _ in 0..200 {
+        let text = std::fs::read_to_string(&path).expect("trace file readable mid-run");
+        if let Some(whole) = text.rfind('\n').map(|at| &text[..at]) {
+            for line in whole.lines().filter(|l| !l.trim().is_empty()) {
+                let doc = Json::parse(line)
+                    .unwrap_or_else(|e| panic!("torn/partial line mid-run ({e}): {line:?}"));
+                assert!(
+                    doc.get("event").and_then(Json::as_str).is_some(),
+                    "mid-run line without event name: {line:?}"
+                );
+                tail_checks += 1;
+            }
+        }
+        if writer.is_finished() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let configs = writer.join().expect("writer run");
+    assert!(configs > 100);
+    assert!(
+        tail_checks > 0,
+        "the tail saw at least one complete line while the run was live"
+    );
+    tracer.flush();
+    // After the run, the same final-state validation as the drop test.
+    let text = std::fs::read_to_string(&path).expect("final trace");
+    let lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+    assert_eq!(lines as u64, tracer.events_emitted());
+    assert!(
+        text.lines().any(|l| l.contains("\"event\":\"progress\"")),
+        "the sampler's progress events landed in the tailed file"
+    );
     let _ = std::fs::remove_file(&path);
 }

@@ -45,6 +45,7 @@
 
 use crate::config::Configuration;
 use crate::intern::{CompactConfig, ConcurrentIndex, Interner, ShardedIndex, SHARDS};
+use crate::live::{EtaModel, LiveMetrics, ProgressWatcher};
 use crate::sampling::SampleConfig;
 use crate::stats::{
     duration_ns, duration_us, ExploreStats, LatencyHistograms, LevelStats, PhaseTimes, WorkerStats,
@@ -56,7 +57,7 @@ use lbsa_runtime::error::RuntimeError;
 use lbsa_runtime::process::{ProcStatus, Protocol, Step, Symmetry};
 use lbsa_support::deque as lfdeque;
 use lbsa_support::json::Json;
-use lbsa_support::obs::{Counter, HistogramNs, TimerNs, Tracer};
+use lbsa_support::obs::{Counter, HistogramNs, Registry, TimerNs, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -366,6 +367,22 @@ impl<L> ExplorationGraph<L> {
         self.configs.is_empty()
     }
 
+    /// Approximate heap bytes held by the graph itself: the configuration
+    /// and edge storage (shallow — per-configuration heap such as deep
+    /// object states is estimated at one `Configuration` header each, not
+    /// traversed). Feeds the `mem.graph_bytes` report metric.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let configs = self.configs.capacity() * std::mem::size_of::<Configuration<L>>();
+        let edges: usize = self
+            .edges
+            .iter()
+            .map(|e| e.capacity() * std::mem::size_of::<Edge>())
+            .sum::<usize>()
+            + self.edges.capacity() * std::mem::size_of::<Vec<Edge>>();
+        configs + edges + self.expanded.capacity()
+    }
+
     /// Iterates over the indices of terminal configurations (no process can
     /// step).
     pub fn terminal_indices(&self) -> impl Iterator<Item = usize> + '_
@@ -609,6 +626,7 @@ struct CanonMemo<L> {
     shards: Vec<RwLock<CanonShard<L>>>,
     hits: Counter,
     misses: Counter,
+    bytes: Counter,
 }
 
 impl<L> CanonMemo<L> {
@@ -619,7 +637,15 @@ impl<L> CanonMemo<L> {
                 .collect(),
             hits: Counter::new(),
             misses: Counter::new(),
+            bytes: Counter::new(),
         }
+    }
+
+    /// Approximate heap bytes held by the memo, tracked incrementally at
+    /// insert time (structural estimate: key payloads plus a shallow
+    /// `Configuration`; O(1) to read, so a live watcher can poll it).
+    fn approx_bytes(&self) -> usize {
+        usize::try_from(self.bytes.get()).unwrap_or(usize::MAX)
     }
 
     fn get(&self, raw_key: &[u32]) -> Option<CanonEntry<L>> {
@@ -636,6 +662,14 @@ impl<L> CanonMemo<L> {
     }
 
     fn insert(&self, raw_key: CompactConfig, entry: CanonEntry<L>) {
+        // 16 per Arc header, 24 assumed map-slot overhead; matches the
+        // estimate discipline of `Interner::approx_bytes`.
+        let bytes = 2 * 16
+            + 24
+            + (raw_key.len() + entry.0.len()) * std::mem::size_of::<u32>()
+            + std::mem::size_of::<(CompactConfig, CanonEntry<L>)>()
+            + std::mem::size_of::<Configuration<L>>();
+        self.bytes.add(bytes as u64);
         self.shards[ShardedIndex::shard_of(&raw_key)]
             .write()
             .expect("canon memo lock poisoned")
@@ -750,6 +784,9 @@ struct WsWorkerOut<L> {
     parked_ns: u64,
     /// Times this worker's deque buffer grew (retiring its predecessor).
     deque_grows: u64,
+    /// Final estimated footprint of this worker's deque buffers (live +
+    /// retired), read at loop exit while the owner end is still in scope.
+    deque_bytes: usize,
     /// Keys resolved to existing nodes by batched index probes.
     index_batch_hits: u64,
     /// Transition-memo hits served by this worker's private L1 map
@@ -781,6 +818,7 @@ impl<L> Default for WsWorkerOut<L> {
             park_count: 0,
             parked_ns: 0,
             deque_grows: 0,
+            deque_bytes: 0,
             index_batch_hits: 0,
             memo_l1_hits: 0,
             idle_ns: 0,
@@ -1024,6 +1062,7 @@ pub struct Explorer<'a, P: Protocol> {
     protocol: &'a P,
     objects: &'a [AnyObject],
     tracer: Tracer,
+    registry: Option<Registry>,
 }
 
 impl<'a, P: Protocol> Explorer<'a, P> {
@@ -1035,6 +1074,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             protocol,
             objects,
             tracer: Tracer::disabled(),
+            registry: None,
         }
     }
 
@@ -1045,6 +1085,16 @@ impl<'a, P: Protocol> Explorer<'a, P> {
     #[must_use]
     pub fn with_trace(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a live-metrics [`Registry`]: every exploration started
+    /// from this explorer (including the ones the `verdict_*` helpers run
+    /// internally) publishes its live counters and gauges there, exactly
+    /// as if [`Exploration::registry`] had been called on each builder.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -1210,11 +1260,15 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         mut on_progress: Option<ProgressCallback<'_>>,
         sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
         tracer: &Tracer,
+        live: Option<&LiveMetrics>,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let started = Instant::now();
         let threads = options.resolved_threads();
         let limits = options.limits;
         let mut gate = ParGate::new(threads, options.force_parallel);
+        if let Some(live) = live {
+            live.workers.set_usize(threads);
+        }
         tracer.emit_with("explore.begin", || {
             Json::object()
                 .set("threads", threads)
@@ -1260,6 +1314,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
 
         let mut expanded_count = 0usize;
         let mut dedup_hits = 0usize;
+        // Cumulative dedup already mirrored into the live registry, so the
+        // per-level live update adds exactly the level's delta.
+        let mut live_dedup_reported = 0usize;
         let mut peak_frontier = 0usize;
         let mut parallel_levels = 0usize;
         let mut levels: Vec<LevelStats> = Vec::new();
@@ -1574,6 +1631,20 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             }
             expanded_count += take;
             transitions += level_transitions;
+            // Live mirror: one batch of relaxed bumps per level (never per
+            // successor), plus O(1) gauge refreshes for the watcher.
+            if let Some(live) = live {
+                live.configs.add(take as u64);
+                live.transitions.add(level_transitions as u64);
+                live.dedup_hits
+                    .add((dedup_hits - live_dedup_reported) as u64);
+                live_dedup_reported = dedup_hits;
+                live.frontier_depth.set_usize(next_frontier.len());
+                live.mem_interner
+                    .set_usize(state_interner.approx_bytes() + proc_interner.approx_bytes());
+                live.mem_index.set_usize(index.approx_bytes());
+                live.mem_canon.set_usize(canon_memo.approx_bytes());
+            }
             let level_elapsed = level_started.elapsed();
             gate.observe(take, level_elapsed);
             if parallel_level {
@@ -1652,6 +1723,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             park_count: 0,
             deque_grows: 0,
             index_batch_hits: 0,
+            interner_bytes: state_interner.approx_bytes() + proc_interner.approx_bytes(),
+            index_bytes: index.approx_bytes(),
             levels,
             workers: Vec::new(),
             hist: {
@@ -1704,10 +1777,14 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         options: ExploreOptions,
         sym: Option<&ConfigSymmetry<'_, P::LocalState>>,
         tracer: &Tracer,
+        live: Option<&LiveMetrics>,
     ) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
         let started = Instant::now();
         let workers = options.resolved_threads().max(1);
         let limits = options.limits;
+        if let Some(live) = live {
+            live.workers.set_usize(workers);
+        }
         tracer.emit_with("explore.begin", || {
             Json::object()
                 .set("threads", workers)
@@ -1814,6 +1891,10 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             // Consecutive failed sweeps drive the
             // spin→yield→park backoff; any found task resets it.
             let mut backoff: u32 = 0;
+            // Cumulative counts already mirrored into the live
+            // registry; each task adds only its delta.
+            let mut live_tx_reported = 0usize;
+            let mut live_dd_reported = 0usize;
             // Per-worker xorshift32 stream (odd seed from a
             // golden-ratio multiply) rotating each sweep's
             // starting victim so simultaneous thieves fan out
@@ -1871,6 +1952,9 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                             match stolen {
                                 Some((task, victim_hit, extra)) => {
                                     out.steals += 1;
+                                    if let Some(live) = live {
+                                        live.steals.bump();
+                                    }
                                     backoff = 0;
                                     // The batched extras landed in
                                     // our own deque; the task in
@@ -1935,8 +2019,14 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                                         std::thread::yield_now();
                                     } else {
                                         out.park_count += 1;
+                                        if let Some(live) = live {
+                                            live.parked_workers.add(1);
+                                        }
                                         let park_t0 = Instant::now();
                                         std::thread::park_timeout(WS_PARK);
+                                        if let Some(live) = live {
+                                            live.parked_workers.sub(1);
+                                        }
                                         out.parked_ns = out
                                             .parked_ns
                                             .saturating_add(duration_ns(park_t0.elapsed()));
@@ -2174,6 +2264,27 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                         out.max_deque_depth = out.max_deque_depth.max(own.len() + 1);
                     }
                 }
+                // Live mirror: a few relaxed bumps per task (never per
+                // successor), and O(1)-readable mem gauges refreshed at a
+                // coarse beat so the watcher never perturbs the hot path.
+                if let Some(live) = live {
+                    live.configs.bump();
+                    live.transitions
+                        .add((out.transitions - live_tx_reported) as u64);
+                    live_tx_reported = out.transitions;
+                    live.dedup_hits
+                        .add((out.dedup_hits - live_dd_reported) as u64);
+                    live_dd_reported = out.dedup_hits;
+                    live.frontier_depth
+                        .set_usize(pending.load(Ordering::Relaxed));
+                    if out.tasks.len().is_multiple_of(64) {
+                        live.mem_interner.set_usize(
+                            state_interner.approx_bytes() + proc_interner.approx_bytes(),
+                        );
+                        live.mem_index.set_usize(index.approx_bytes());
+                        live.mem_canon.set_usize(canon_memo.approx_bytes());
+                    }
+                }
                 if let Some(t0) = task_t0 {
                     let d = t0.elapsed();
                     out.busy_ns = out.busy_ns.saturating_add(duration_ns(d));
@@ -2200,6 +2311,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 }
             }
             out.deque_grows = own.grows();
+            out.deque_bytes = own.approx_bytes();
             if traced {
                 tracer.emit_with("ws.done", || {
                     Json::object()
@@ -2264,6 +2376,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
         let mut local_hits = 0u64;
         let mut park_count = 0u64;
         let mut deque_grows = 0u64;
+        let mut deque_bytes = 0usize;
         let mut index_batch_hits = 0u64;
         let mut memo_l1_hits = 0u64;
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(outs.len());
@@ -2292,6 +2405,7 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             local_hits += out.local_hits;
             park_count += out.park_count;
             deque_grows += out.deque_grows;
+            deque_bytes += out.deque_bytes;
             index_batch_hits += out.index_batch_hits;
             memo_l1_hits += out.memo_l1_hits;
             worker_stats.push(WorkerStats {
@@ -2364,6 +2478,8 @@ impl<'a, P: Protocol> Explorer<'a, P> {
             park_count,
             deque_grows,
             index_batch_hits,
+            interner_bytes: state_interner.approx_bytes() + proc_interner.approx_bytes(),
+            index_bytes: index.approx_bytes(),
             levels: Vec::new(),
             workers: worker_stats,
             hist: {
@@ -2371,6 +2487,14 @@ impl<'a, P: Protocol> Explorer<'a, P> {
                 hists
             },
         };
+        // Final gauge sync: the frontier is drained, and the deque
+        // footprint is only known after the owners returned.
+        if let Some(live) = live {
+            live.frontier_depth.set(0);
+            live.mem_interner.set_usize(stats.interner_bytes);
+            live.mem_index.set_usize(stats.index_bytes);
+            live.mem_deques.set_usize(deque_bytes);
+        }
         tracer.emit_with("explore.end", || stats.to_json());
         Ok(ExplorationGraph {
             configs,
@@ -2680,6 +2804,8 @@ pub struct Exploration<'e, 'a, P: Protocol> {
     symmetry: Option<ConfigSymmetry<'a, P::LocalState>>,
     tracer: Option<Tracer>,
     strategy: Strategy,
+    registry: Option<Registry>,
+    progress_every: Option<Duration>,
 }
 
 /// What a `check_*` terminal (see [`crate::verdict`]) needs from a
@@ -2692,6 +2818,14 @@ pub(crate) struct CheckParts<'e, 'a, P: Protocol> {
     pub strategy: Strategy,
     pub symmetry: Option<ConfigSymmetry<'a, P::LocalState>>,
     pub graph: Option<Result<ExplorationGraph<P::LocalState>, RuntimeError>>,
+    /// Live-metrics handles, present when the builder opted into a
+    /// registry or progress streaming. Exhaustive strategies consume them
+    /// inside [`Exploration::run_for_check`]; sampling hands them to the
+    /// verdict layer, whose sweep does the actual work.
+    pub live: Option<LiveMetrics>,
+    /// The builder's progress cadence, for strategies (sampling) whose
+    /// work runs after `run_for_check` returns.
+    pub progress_every: Option<Duration>,
 }
 
 impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
@@ -2707,6 +2841,8 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
             symmetry: None,
             tracer: None,
             strategy: Strategy::default(),
+            registry: explorer.registry.clone(),
+            progress_every: None,
         }
     }
 
@@ -2845,6 +2981,46 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
         self
     }
 
+    /// Attaches a live-metrics [`Registry`]: the run registers its
+    /// counters and gauges (`explore.configs`, `explore.frontier_depth`,
+    /// `mem.interner_bytes`, …) under dotted names and keeps them current
+    /// *while the engine runs*, instead of only materializing
+    /// [`ExploreStats`] at the end. Snapshot it from another thread with
+    /// [`Registry::snapshot`] or render it with
+    /// [`Registry::render_prometheus`] at any point during or after the
+    /// run. Without this (or [`Exploration::progress_every`]) the engines
+    /// skip every live update — the disabled path is one branch per level
+    /// or per task.
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Streams in-flight progress: a background watcher thread samples
+    /// the live metrics every `period` and emits a `progress` trace event
+    /// — instantaneous and EMA configs/sec, frontier depth, worker
+    /// utilization, an ETA estimate, and memory gauges — through the
+    /// run's tracer, for all three strategies. A final event (with
+    /// `"final": true`) is emitted at completion, so even runs shorter
+    /// than one period produce at least one. Requires an enabled tracer
+    /// ([`Exploration::trace`] or [`Explorer::with_trace`]); without one
+    /// there is nowhere to stream and no watcher is spawned.
+    pub fn progress_every(mut self, period: Duration) -> Self {
+        self.progress_every = Some(period);
+        self
+    }
+
+    /// The live handles this run should update, if any: an explicit
+    /// registry, or a private one when only progress streaming was
+    /// requested.
+    fn live_metrics(&self) -> Option<LiveMetrics> {
+        match (&self.registry, self.progress_every) {
+            (Some(registry), _) => Some(LiveMetrics::register(registry)),
+            (None, Some(_)) => Some(LiveMetrics::register(&Registry::new())),
+            (None, None) => None,
+        }
+    }
+
     /// Runs the exploration and returns the execution graph.
     ///
     /// # Errors
@@ -2854,21 +3030,46 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
     /// earliest node in frontier order is returned — the same error a
     /// sequential exploration reports.
     pub fn run(self) -> Result<ExplorationGraph<P::LocalState>, RuntimeError> {
+        let live = self.live_metrics();
         let initial = self.from.unwrap_or_else(|| self.explorer.initial_config());
         let tracer = self.tracer.as_ref().unwrap_or(&self.explorer.tracer);
-        match self.options.frontier {
+        let model = match self.options.frontier {
+            Frontier::Deterministic => EtaModel::LevelSync,
+            Frontier::WorkStealing => EtaModel::WorkStealing,
+        };
+        let watcher = match (self.progress_every, &live) {
+            (Some(period), Some(live)) if tracer.enabled() => Some(ProgressWatcher::spawn(
+                live.clone(),
+                tracer.clone(),
+                period,
+                model,
+            )),
+            _ => None,
+        };
+        let result = match self.options.frontier {
             Frontier::Deterministic => self.explorer.run_engine(
                 initial,
                 self.options,
                 self.on_progress,
                 self.symmetry.as_ref(),
                 tracer,
+                live.as_ref(),
             ),
-            Frontier::WorkStealing => {
-                self.explorer
-                    .run_engine_ws(initial, self.options, self.symmetry.as_ref(), tracer)
-            }
+            Frontier::WorkStealing => self.explorer.run_engine_ws(
+                initial,
+                self.options,
+                self.symmetry.as_ref(),
+                tracer,
+                live.as_ref(),
+            ),
+        };
+        if let (Some(live), Ok(graph)) = (&live, &result) {
+            live.mem_graph.set_usize(graph.approx_bytes());
         }
+        if let Some(watcher) = watcher {
+            watcher.finish();
+        }
+        result
     }
 
     /// Consumes the builder for a `check_*` terminal: runs the engine when
@@ -2882,25 +3083,52 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
             .take()
             .unwrap_or_else(|| explorer.tracer.clone());
         let symmetry = self.symmetry.take();
+        let live = self.live_metrics();
+        let progress_every = self.progress_every;
         let graph = match self.strategy {
+            // Sampling runs inside the verdict layer — the live handles
+            // and cadence ride along in the returned parts.
             Strategy::Sample(_) => None,
             Strategy::Exhaustive => {
                 let initial = self
                     .from
                     .take()
                     .unwrap_or_else(|| explorer.initial_config());
-                Some(match self.options.frontier {
+                let model = match self.options.frontier {
+                    Frontier::Deterministic => EtaModel::LevelSync,
+                    Frontier::WorkStealing => EtaModel::WorkStealing,
+                };
+                let watcher =
+                    match (progress_every, &live) {
+                        (Some(period), Some(live)) if tracer.enabled() => Some(
+                            ProgressWatcher::spawn(live.clone(), tracer.clone(), period, model),
+                        ),
+                        _ => None,
+                    };
+                let result = match self.options.frontier {
                     Frontier::Deterministic => explorer.run_engine(
                         initial,
                         self.options,
                         self.on_progress.take(),
                         symmetry.as_ref(),
                         &tracer,
+                        live.as_ref(),
                     ),
-                    Frontier::WorkStealing => {
-                        explorer.run_engine_ws(initial, self.options, symmetry.as_ref(), &tracer)
-                    }
-                })
+                    Frontier::WorkStealing => explorer.run_engine_ws(
+                        initial,
+                        self.options,
+                        symmetry.as_ref(),
+                        &tracer,
+                        live.as_ref(),
+                    ),
+                };
+                if let (Some(live), Ok(graph)) = (&live, &result) {
+                    live.mem_graph.set_usize(graph.approx_bytes());
+                }
+                if let Some(watcher) = watcher {
+                    watcher.finish();
+                }
+                Some(result)
             }
         };
         CheckParts {
@@ -2909,6 +3137,8 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
             strategy: self.strategy,
             symmetry,
             graph,
+            live,
+            progress_every,
         }
     }
 }

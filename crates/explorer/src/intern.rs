@@ -18,10 +18,30 @@
 use lbsa_support::hash::{FxHashMap, FxHasher};
 use lbsa_support::obs::Counter;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Number of interner / index shards (must be a power of two).
 pub(crate) const SHARDS: usize = 16;
+
+/// Assumed per-entry bookkeeping of one hash-map slot beyond the stored
+/// key/value payload (control bytes, load-factor headroom, bucket
+/// rounding). The memory gauges are *estimates*: the `mem-profile`
+/// allocator is the ground truth they are checked against.
+const MAP_ENTRY_OVERHEAD: usize = 24;
+
+/// Heap bytes behind one `Arc` header (strong + weak counts).
+const ARC_HEADER: usize = 16;
+
+/// Approximate heap bytes of one dedup-index entry: the shared
+/// `Arc<[u32]>` key payload plus the map slot holding the `(Arc, u32)`
+/// pair.
+fn index_entry_bytes(key_len: usize) -> usize {
+    ARC_HEADER
+        + key_len * std::mem::size_of::<u32>()
+        + std::mem::size_of::<(CompactConfig, u32)>()
+        + MAP_ENTRY_OVERHEAD
+}
 
 /// Bits of an interned id reserved for the shard number.
 const SHARD_BITS: u32 = SHARDS.trailing_zeros();
@@ -239,6 +259,21 @@ impl<T: Eq + Hash + Clone> Interner<T> {
     pub fn misses(&self) -> u64 {
         self.metrics.iter().map(|m| m.misses.get()).sum()
     }
+
+    /// Approximate heap bytes held by the interner: per distinct value,
+    /// one `Arc<T>` allocation, one map entry, and one `items` slot. The
+    /// estimate is *structural* — it counts `size_of::<T>()`, not heap
+    /// reachable *through* `T` — and it feeds the `mem.*` registry gauges,
+    /// where an octave of error is acceptable and a deep traversal is not.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let per_entry = ARC_HEADER
+            + std::mem::size_of::<T>()
+            + std::mem::size_of::<(Arc<T>, u32)>()
+            + MAP_ENTRY_OVERHEAD
+            + std::mem::size_of::<Arc<T>>();
+        self.len() * per_entry
+    }
 }
 
 impl<T: Eq + Hash + Clone> Default for Interner<T> {
@@ -257,6 +292,7 @@ impl<T: Eq + Hash + Clone> Default for Interner<T> {
 #[derive(Debug)]
 pub struct ShardedIndex {
     shards: Vec<FxHashMap<CompactConfig, u32>>,
+    bytes: usize,
 }
 
 impl ShardedIndex {
@@ -265,6 +301,7 @@ impl ShardedIndex {
     pub fn new() -> Self {
         ShardedIndex {
             shards: (0..SHARDS).map(|_| FxHashMap::default()).collect(),
+            bytes: 0,
         }
     }
 
@@ -287,6 +324,7 @@ impl ShardedIndex {
     /// Assigns `index` to `key` (merge phase only).
     pub fn insert(&mut self, key: CompactConfig, index: u32) {
         let shard = Self::shard_of(&key);
+        self.bytes += index_entry_bytes(key.len());
         self.shards[shard].insert(key, index);
     }
 
@@ -300,6 +338,14 @@ impl ShardedIndex {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(FxHashMap::is_empty)
+    }
+
+    /// Approximate heap bytes held by the index, tracked incrementally at
+    /// insert time (O(1) to read). Structural estimate — see
+    /// [`Interner::approx_bytes`].
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
     }
 }
 
@@ -325,6 +371,7 @@ impl Default for ShardedIndex {
 pub struct ConcurrentIndex {
     shards: [RwLock<FxHashMap<CompactConfig, u32>>; SHARDS],
     next: std::sync::atomic::AtomicU32,
+    bytes: AtomicUsize,
 }
 
 impl ConcurrentIndex {
@@ -334,6 +381,7 @@ impl ConcurrentIndex {
         ConcurrentIndex {
             shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
             next: std::sync::atomic::AtomicU32::new(0),
+            bytes: AtomicUsize::new(0),
         }
     }
 
@@ -370,6 +418,8 @@ impl ConcurrentIndex {
         // inserted exactly once, so ids are dense even across shards.
         let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         assert!(id < u32::MAX, "concurrent index overflow");
+        self.bytes
+            .fetch_add(index_entry_bytes(key.len()), Ordering::Relaxed);
         guard.insert(Arc::clone(key), id);
         (id, true)
     }
@@ -448,6 +498,8 @@ impl ConcurrentIndex {
                 }
                 let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 assert!(id < u32::MAX, "concurrent index overflow");
+                self.bytes
+                    .fetch_add(index_entry_bytes(keys[i].len()), Ordering::Relaxed);
                 guard.insert(Arc::clone(&keys[i]), id);
                 results[i] = (id, true);
             }
@@ -465,6 +517,15 @@ impl ConcurrentIndex {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate heap bytes held by the index, tracked incrementally by
+    /// winning inserts (one relaxed add each; O(1) to read — this is the
+    /// estimate a live watcher polls mid-run). Structural estimate — see
+    /// [`Interner::approx_bytes`].
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -683,5 +744,41 @@ mod tests {
         for i in 0..100u32 {
             assert_eq!(index.probe(&[i, i + 1, i + 2]), Some(i));
         }
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_entries() {
+        let interner: Interner<String> = Interner::new();
+        assert_eq!(interner.approx_bytes(), 0);
+        for i in 0..10 {
+            interner.intern(&format!("v{i}"));
+        }
+        let ten = interner.approx_bytes();
+        assert!(ten > 0);
+        for i in 10..20 {
+            interner.intern(&format!("v{i}"));
+        }
+        assert_eq!(
+            interner.approx_bytes(),
+            2 * ten,
+            "linear in distinct values"
+        );
+
+        let mut index = ShardedIndex::new();
+        assert_eq!(index.approx_bytes(), 0);
+        index.insert(vec![1, 2, 3].into(), 0);
+        let one = index.approx_bytes();
+        assert!(one >= 3 * 4, "at least the key payload");
+        index.insert(vec![4, 5, 6].into(), 1);
+        assert_eq!(index.approx_bytes(), 2 * one);
+
+        let conc = ConcurrentIndex::new();
+        assert_eq!(conc.approx_bytes(), 0);
+        let key: CompactConfig = vec![7, 8, 9].into();
+        conc.get_or_insert(&key);
+        let first = conc.approx_bytes();
+        assert!(first > 0);
+        conc.get_or_insert(&key);
+        assert_eq!(conc.approx_bytes(), first, "hits do not grow the estimate");
     }
 }

@@ -47,6 +47,7 @@ pub mod error;
 pub mod explore;
 pub mod intern;
 pub mod linearizability;
+mod live;
 pub mod sampling;
 pub mod stats;
 pub mod symmetry;
@@ -58,7 +59,9 @@ pub use error::CheckError;
 pub use explore::{
     Exploration, ExplorationGraph, ExploreOptions, Explorer, Frontier, Limits, StepRecord, Strategy,
 };
-pub use lbsa_support::obs::{JsonlSink, MemorySink, StderrSink, TraceSink, Tracer};
+pub use lbsa_support::obs::{
+    Counter, Gauge, JsonlSink, MemorySink, Registry, StderrSink, TraceSink, Tracer,
+};
 pub use sampling::{
     sample_confidence, SampleConfig, SampleReport, SampleViolation, OUTCOME_SEED_XOR,
 };

@@ -23,11 +23,14 @@
 //! therefore identical at every thread count.
 //!
 //! Entry points are tracer-aware ([`lbsa_support::obs::Tracer::disabled`]
-//! is free); the old `*_traced` names remain as deprecated shims. For a
-//! [`Verdict`](crate::Verdict) with a confidence-bounded outcome and a
-//! replayable [`Witness`](crate::Witness) on violation, go through the
-//! builder instead: [`Exploration::sample`](crate::Exploration::sample).
+//! is free). For a [`Verdict`](crate::Verdict) with a confidence-bounded
+//! outcome and a replayable [`Witness`](crate::Witness) on violation, go
+//! through the builder instead:
+//! [`Exploration::sample`](crate::Exploration::sample) — which also
+//! supports live progress streaming via
+//! [`Exploration::progress_every`](crate::Exploration::progress_every).
 
+use crate::live::LiveMetrics;
 use crate::stats::{duration_us, SampleWorkerStats};
 use lbsa_core::{AnyObject, Value};
 use lbsa_runtime::error::RuntimeError;
@@ -274,6 +277,27 @@ pub fn sample_k_set_agreement<P: Protocol>(
     config: SampleConfig,
     tracer: &Tracer,
 ) -> Result<SampleReport, SampleViolation> {
+    sample_k_set_agreement_live(protocol, objects, k, valid_inputs, config, tracer, None)
+}
+
+/// [`sample_k_set_agreement`] with live-metrics handles: the builder's
+/// check terminals route here so a sweep under
+/// [`Exploration::progress_every`](crate::Exploration::progress_every)
+/// keeps `sample.runs` (one relaxed bump per run) and the
+/// `sample.runs_total` budget gauge current for the progress watcher.
+///
+/// # Errors
+///
+/// Returns the lowest-seed [`SampleViolation`].
+pub(crate) fn sample_k_set_agreement_live<P: Protocol>(
+    protocol: &P,
+    objects: &[AnyObject],
+    k: usize,
+    valid_inputs: &[Value],
+    config: SampleConfig,
+    tracer: &Tracer,
+    live: Option<&LiveMetrics>,
+) -> Result<SampleReport, SampleViolation> {
     let started = Instant::now();
     // An adaptive budget shrinks the sweep before any scheduling happens:
     // the executed seed set is a pure function of the config, so verdicts
@@ -285,6 +309,11 @@ pub fn sample_k_set_agreement<P: Protocol>(
         ..config
     };
     let threads = config.resolved_threads();
+    if let Some(live) = live {
+        live.sample_runs_total
+            .set(i64::try_from(config.runs).unwrap_or(i64::MAX));
+        live.workers.set_usize(threads);
+    }
     tracer.emit_with("sample.begin", || {
         Json::object()
             .set("runs", config.runs)
@@ -303,6 +332,7 @@ pub fn sample_k_set_agreement<P: Protocol>(
         valid_inputs,
         config,
         tracer,
+        live,
         started,
         stride: threads as u64,
         stop: AtomicU64::new(u64::MAX),
@@ -405,47 +435,6 @@ pub fn sample_consensus<P: Protocol>(
     sample_k_set_agreement(protocol, objects, 1, valid_inputs, config, tracer)
 }
 
-/// Deprecated alias of [`sample_k_set_agreement`], kept for callers of the
-/// old split traced/untraced pair.
-///
-/// # Errors
-///
-/// Returns the lowest-seed [`SampleViolation`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use `sample_k_set_agreement` — it takes a tracer now"
-)]
-pub fn sample_k_set_agreement_traced<P: Protocol>(
-    protocol: &P,
-    objects: &[AnyObject],
-    k: usize,
-    valid_inputs: &[Value],
-    config: SampleConfig,
-    tracer: &Tracer,
-) -> Result<SampleReport, SampleViolation> {
-    sample_k_set_agreement(protocol, objects, k, valid_inputs, config, tracer)
-}
-
-/// Deprecated alias of [`sample_consensus`], kept for callers of the old
-/// split traced/untraced pair.
-///
-/// # Errors
-///
-/// Returns the lowest-seed [`SampleViolation`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use `sample_consensus` — it takes a tracer now"
-)]
-pub fn sample_consensus_traced<P: Protocol>(
-    protocol: &P,
-    objects: &[AnyObject],
-    valid_inputs: &[Value],
-    config: SampleConfig,
-    tracer: &Tracer,
-) -> Result<SampleReport, SampleViolation> {
-    sample_consensus(protocol, objects, valid_inputs, config, tracer)
-}
-
 /// Everything the workers share, borrowed across the scoped spawn.
 struct SweepShared<'a, P: Protocol> {
     protocol: &'a P,
@@ -454,6 +443,9 @@ struct SweepShared<'a, P: Protocol> {
     valid_inputs: &'a [Value],
     config: SampleConfig,
     tracer: &'a Tracer,
+    /// Live-metrics handles for the progress watcher, when the sweep runs
+    /// under an observed builder.
+    live: Option<&'a LiveMetrics>,
     started: Instant,
     /// Seed-offset stride between a worker's consecutive runs (= threads).
     stride: u64,
@@ -506,6 +498,9 @@ fn worker_sweep<P: Protocol>(sh: &SweepShared<'_, P>, worker: usize) -> WorkerSw
             Ok(result) => {
                 w.run_ns.record(run_started.elapsed());
                 w.stats.runs += 1;
+                if let Some(live) = sh.live {
+                    live.sample_runs.bump();
+                }
                 w.stats.total_steps += result.steps;
                 match result.end {
                     RunEnd::Quiescent => w.stats.quiescent += 1,
@@ -893,23 +888,38 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_traced_shims_delegate_to_the_canonical_sweep() {
+    fn live_sweep_mirrors_runs_into_the_registry() {
+        use lbsa_support::obs::Registry;
         let inputs = vec![int(0), int(1)];
         let p = DecideOwn {
             inputs: inputs.clone(),
         };
         let objects = vec![AnyObject::register()];
-        let tracer = Tracer::disabled();
-        let config = SampleConfig::default();
-        assert_eq!(
-            sample_consensus_traced(&p, &objects, &inputs, config, &tracer),
-            sample_consensus(&p, &objects, &inputs, config, &tracer),
-        );
-        assert_eq!(
-            sample_k_set_agreement_traced(&p, &objects, 1, &inputs, config, &tracer),
-            sample_k_set_agreement(&p, &objects, 1, &inputs, config, &tracer),
-        );
+        let registry = Registry::new();
+        let live = LiveMetrics::register(&registry);
+        let config = SampleConfig {
+            runs: 300,
+            threads: 2,
+            ..SampleConfig::default()
+        };
+        let report = sample_k_set_agreement_live(
+            &p,
+            &objects,
+            2,
+            &inputs,
+            config,
+            &Tracer::disabled(),
+            Some(&live),
+        )
+        .expect("clean sweep");
+        assert_eq!(report.runs, 300);
+        assert_eq!(live.sample_runs.get(), 300, "one bump per completed run");
+        assert_eq!(live.sample_runs_total.get(), 300, "budget gauge set");
+        // The plain entry point leaves the registry untouched.
+        let base =
+            sample_k_set_agreement(&p, &objects, 2, &inputs, config, &Tracer::disabled()).unwrap();
+        assert_eq!(base, report);
+        assert_eq!(live.sample_runs.get(), 300);
     }
 
     #[test]

@@ -318,6 +318,12 @@ pub struct ExploreStats {
     /// i.e. races another worker won between a task's read-only pre-probe
     /// and its insert round (work-stealing only).
     pub index_batch_hits: u64,
+    /// Estimated heap footprint of the state/status interners at the end
+    /// of the run (see `Interner::approx_bytes` — a structural estimate,
+    /// not an allocator measurement).
+    pub interner_bytes: usize,
+    /// Estimated heap footprint of the dedup index at the end of the run.
+    pub index_bytes: usize,
     /// Per-level breakdown, in BFS order. Empty in work-stealing mode,
     /// which has no levels.
     pub levels: Vec<LevelStats>,
@@ -473,7 +479,9 @@ impl ExploreStats {
             .set("local_hits", self.local_hits)
             .set("park_count", self.park_count)
             .set("deque_grows", self.deque_grows)
-            .set("index_batch_hits", self.index_batch_hits);
+            .set("index_batch_hits", self.index_batch_hits)
+            .set("interner_bytes", self.interner_bytes)
+            .set("index_bytes", self.index_bytes);
         if !self.workers.is_empty() {
             doc = doc.set("worker_imbalance", self.worker_imbalance()).set(
                 "workers",

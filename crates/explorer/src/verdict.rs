@@ -44,8 +44,9 @@ use crate::config::Configuration;
 use crate::error::CheckError;
 use crate::explore::{Edge, Exploration, ExplorationGraph, Explorer, Limits, Strategy};
 use crate::linearizability::{check_linearizable, LinearizabilityError};
+use crate::live::{EtaModel, LiveMetrics, ProgressWatcher};
 use crate::sampling::{
-    sample_confidence, sample_k_set_agreement, SampleConfig, SampleViolation, OUTCOME_SEED_XOR,
+    sample_confidence, sample_k_set_agreement_live, SampleConfig, SampleViolation, OUTCOME_SEED_XOR,
 };
 use crate::symmetry::{Concretizer, ConfigSymmetry};
 use lbsa_core::spec::ObjectSpec;
@@ -676,7 +677,7 @@ pub fn verdict_k_set_agreement_sampled<P: Protocol>(
     valid_inputs: &[Value],
     config: SampleConfig,
 ) -> Verdict {
-    verdict_k_set_agreement_sampled_with(explorer, k, valid_inputs, config, explorer.tracer())
+    verdict_k_set_agreement_sampled_with(explorer, k, valid_inputs, config, explorer.tracer(), None)
 }
 
 /// Sampled consensus check (`k = 1`); see
@@ -698,14 +699,16 @@ fn verdict_k_set_agreement_sampled_with<P: Protocol>(
     valid_inputs: &[Value],
     config: SampleConfig,
     tracer: &Tracer,
+    live: Option<&LiveMetrics>,
 ) -> Verdict {
-    let verdict = match sample_k_set_agreement(
+    let verdict = match sample_k_set_agreement_live(
         explorer.protocol(),
         explorer.objects(),
         k,
         valid_inputs,
         config,
         tracer,
+        live,
     ) {
         Ok(report) => Verdict {
             outcome: Outcome::HoldsSampled {
@@ -831,13 +834,33 @@ impl<'e, 'a, P: Protocol> Exploration<'e, 'a, P> {
     pub fn check_k_set_agreement(self, k: usize, valid_inputs: &[Value]) -> Verdict {
         let parts = self.run_for_check();
         match parts.strategy {
-            Strategy::Sample(config) => verdict_k_set_agreement_sampled_with(
-                parts.explorer,
-                k,
-                valid_inputs,
-                config,
-                &parts.tracer,
-            ),
+            Strategy::Sample(config) => {
+                // The sweep runs here, not in `run_for_check`, so the
+                // progress watcher brackets it from the verdict layer.
+                let watcher = match (parts.progress_every, &parts.live) {
+                    (Some(period), Some(live)) if parts.tracer.enabled() => {
+                        Some(ProgressWatcher::spawn(
+                            live.clone(),
+                            parts.tracer.clone(),
+                            period,
+                            EtaModel::Sampling,
+                        ))
+                    }
+                    _ => None,
+                };
+                let verdict = verdict_k_set_agreement_sampled_with(
+                    parts.explorer,
+                    k,
+                    valid_inputs,
+                    config,
+                    &parts.tracer,
+                    parts.live.as_ref(),
+                );
+                if let Some(watcher) = watcher {
+                    watcher.finish();
+                }
+                verdict
+            }
             Strategy::Exhaustive => {
                 let graph = match parts.graph.expect("exhaustive checks build a graph") {
                     Ok(g) => g,

@@ -341,6 +341,26 @@ impl<T: Send> Owner<T> {
         self.inner.grows.load(Ordering::Relaxed)
     }
 
+    /// Slots in the current circular buffer.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        // SAFETY: owner-only read of the buffer pointer; only the owner
+        // replaces it, and retired buffers outlive every handle.
+        unsafe { (*self.inner.buffer.load(Ordering::Acquire)).capacity() }
+    }
+
+    /// Approximate heap bytes held by this deque: the live buffer's slot
+    /// array plus the retired buffers (each retired buffer is half its
+    /// successor, so they sum to at most one extra live-buffer's worth).
+    /// A memory-accounting gauge, not an exact figure.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<T>().max(1);
+        let live = self.capacity() * slot;
+        let retired = if self.grows() > 0 { live } else { 0 };
+        live + retired + std::mem::size_of::<Inner<T>>()
+    }
+
     /// Doubles the buffer: copy the live range, publish the new buffer,
     /// retire the old one (freed only at drop — thieves may still read
     /// it).

@@ -19,15 +19,21 @@
 //!   and a strict parser, replacing `serde_json` for the `reports/*.json`
 //!   experiment artifacts;
 //! * [`obs`] — the tracing/metrics layer (`Tracer`, pluggable sinks, relaxed
-//!   atomic counters) the exploration engine threads through its hot phases,
-//!   replacing `tracing` + `tracing-subscriber`;
+//!   atomic counters/gauges, and the live-metrics `Registry` with
+//!   OpenMetrics rendering) the exploration engine threads through its hot
+//!   phases, replacing `tracing` + `tracing-subscriber` + a metrics crate;
 //! * [`deque`] — a lock-free Chase–Lev work-stealing deque (single-owner
 //!   LIFO end, CAS-steal FIFO end, steal-half batching) replacing
-//!   `crossbeam-deque` for the explorer's work-stealing frontier.
+//!   `crossbeam-deque` for the explorer's work-stealing frontier;
+//! * [`memtrack`] (feature `mem-profile`) — a tracking global allocator
+//!   reporting live/peak heap bytes, replacing `dhat`-style heap profiling
+//!   for the memory-accounting gauges.
 //!
-//! Unsafe code is denied crate-wide and allowed in exactly one place: the
+//! Unsafe code is denied crate-wide and allowed in exactly two places: the
 //! [`deque`] buffer management, whose safety argument lives with the module
-//! (and in DESIGN.md §12) and is exercised under Miri in CI.
+//! (and in DESIGN.md §12) and is exercised under Miri in CI, and the
+//! [`memtrack`] allocator wrapper, which forwards every call verbatim to
+//! `std::alloc::System`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,5 +43,7 @@ pub mod check;
 pub mod deque;
 pub mod hash;
 pub mod json;
+#[cfg(feature = "mem-profile")]
+pub mod memtrack;
 pub mod obs;
 pub mod rng;

@@ -1,0 +1,129 @@
+//! A tracking global allocator for the `mem-profile` feature: live and
+//! peak heap bytes for the whole process, at the cost of two relaxed
+//! atomic RMWs per allocation.
+//!
+//! The structural `approx_bytes()` gauges (interner, dedup index, canon
+//! memo, deques) account for the containers the engine *knows about*; this
+//! module is the ground truth they are checked against — everything the
+//! process actually allocated, including what the estimates miss. It is a
+//! feature, not a default, because the per-allocation counters tax every
+//! allocation in the process; perf gates run without it.
+//!
+//! A binary opts in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: lbsa_support::memtrack::TrackingAllocator =
+//!     lbsa_support::memtrack::TrackingAllocator;
+//! ```
+//!
+//! and then reads [`live_bytes`] / [`peak_bytes`] at any point — e.g. into
+//! the `mem.heap_live_bytes` / `mem.heap_peak_bytes` registry gauges.
+//!
+//! This is the one other place (besides [`crate::deque`]) where the crate's
+//! `deny(unsafe_code)` is lifted: implementing [`GlobalAlloc`] is
+//! inherently an `unsafe impl`. The wrapper adds no pointer arithmetic of
+//! its own — every allocation is forwarded verbatim to [`System`]; the
+//! unsafety is confined to restating the contract `System` already upholds.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: usize) {
+    LIVE.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+/// Heap bytes currently allocated through the tracking allocator. Zero
+/// unless the running binary installed [`TrackingAllocator`] as its
+/// `#[global_allocator]`.
+#[must_use]
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start (or the last
+/// [`reset_peak`]).
+#[must_use]
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live level — for measuring the peak of
+/// one phase rather than the whole process.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// [`System`] plus live/peak byte accounting. See the module docs for how
+/// to install it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrackingAllocator;
+
+// SAFETY: every method forwards to `System` with the caller's layout
+// unchanged, so `System`'s contract (valid pointers, correct
+// size/alignment) carries over verbatim; the counters are side effects
+// with no influence on the returned memory.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds `alloc`'s contract.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the contract.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller passes the pointer's layout.
+        unsafe { System.dealloc(ptr, layout) };
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds `realloc`'s contract.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator itself is only *installed* by opt-in binaries; here we
+    // exercise the counter arithmetic directly.
+    #[test]
+    fn counters_track_live_and_peak() {
+        reset_peak();
+        let before = live_bytes();
+        on_alloc(1024);
+        assert_eq!(live_bytes(), before + 1024);
+        assert!(peak_bytes() >= before + 1024);
+        on_dealloc(1024);
+        assert_eq!(live_bytes(), before);
+        assert!(peak_bytes() >= before + 1024, "peak survives the free");
+    }
+}

@@ -16,10 +16,18 @@
 //!   [`StderrSink`], a JSONL trace writer ([`JsonlSink`], one compact JSON
 //!   object per line, the `reports/<id>.trace.jsonl` artifact format), and
 //!   an in-memory collector for tests ([`MemorySink`]).
-//! * [`Counter`] / [`TimerNs`] — relaxed atomic counters and nanosecond
-//!   accumulators for always-on metrics (interner shard hits/misses,
-//!   transition-memo hits, orbit-canonicalization time) that are safe to
-//!   bump from concurrent expansion workers.
+//! * [`Counter`] / [`Gauge`] / [`TimerNs`] — relaxed atomic counters,
+//!   level gauges, and nanosecond accumulators for always-on metrics
+//!   (interner shard hits/misses, transition-memo hits, frontier depth,
+//!   orbit-canonicalization time) that are safe to bump from concurrent
+//!   expansion workers.
+//! * [`Registry`] — a shared, lock-light registry of *named* live metrics.
+//!   Engines register the counters and gauges they already bump under
+//!   dotted names (`explore.configs`, `ws.steals`, `mem.index_bytes`);
+//!   the registry lock is held only to register or snapshot, never on the
+//!   bump path, so a background watcher can [`Registry::snapshot`] a run
+//!   mid-flight or render an OpenMetrics text exposition
+//!   ([`Registry::render_prometheus`]) without perturbing it.
 //!
 //! ## Event model
 //!
@@ -39,8 +47,9 @@
 //! the inert handle and bound the total instrumentation cost.
 
 use crate::json::Json;
+use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -112,12 +121,25 @@ impl TraceSink for StderrSink {
     }
 }
 
+/// How many events a [`JsonlSink`] buffers before forcing a flush. Live
+/// followers (`obs_top --follow`) see the file advance at least this
+/// often; `progress` events flush immediately so a dashboard's heartbeat
+/// never sits in a `BufWriter`.
+pub const JSONL_FLUSH_EVERY: u64 = 64;
+
 /// JSONL trace writer: each event becomes one compact JSON object on its
 /// own line (see [`Event::to_json`]). Write errors are swallowed —
 /// observability must never take down the run it observes.
+///
+/// The writer is buffered but **tail-friendly**: it flushes every
+/// [`JSONL_FLUSH_EVERY`] events and on every `progress` event (plus
+/// [`flush`](TraceSink::flush) and `Drop`), so a concurrent reader of the
+/// growing file only ever sees whole lines go stale, never a run that
+/// looks frozen until exit.
 #[derive(Debug)]
 pub struct JsonlSink {
     out: Mutex<std::io::BufWriter<std::fs::File>>,
+    unflushed: AtomicU64,
 }
 
 impl JsonlSink {
@@ -130,6 +152,7 @@ impl JsonlSink {
         let file = std::fs::File::create(path)?;
         Ok(JsonlSink {
             out: Mutex::new(std::io::BufWriter::new(file)),
+            unflushed: AtomicU64::new(0),
         })
     }
 }
@@ -138,9 +161,15 @@ impl TraceSink for JsonlSink {
     fn emit(&self, event: &Event) {
         let mut out = self.out.lock().expect("trace sink poisoned");
         let _ = writeln!(out, "{}", event.to_json().compact());
+        let pending = self.unflushed.fetch_add(1, Ordering::Relaxed) + 1;
+        if event.name == "progress" || pending >= JSONL_FLUSH_EVERY {
+            self.unflushed.store(0, Ordering::Relaxed);
+            let _ = out.flush();
+        }
     }
 
     fn flush(&self) {
+        self.unflushed.store(0, Ordering::Relaxed);
         let _ = self.out.lock().expect("trace sink poisoned").flush();
     }
 }
@@ -316,6 +345,48 @@ impl Counter {
     /// The current count.
     #[must_use]
     pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A relaxed atomic level gauge: a value that goes up *and* down (frontier
+/// depth, live heap bytes, parked workers), where [`Counter`] only
+/// accumulates. Safe to set from one place and read from a watcher thread,
+/// or to add/sub from concurrent workers.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to `v`, saturating at `i64::MAX` (the convenient
+    /// form for `usize` sizes and byte counts).
+    pub fn set_usize(&self, v: usize) {
+        self.set(i64::try_from(v).unwrap_or(i64::MAX));
+    }
+
+    /// Adds `n` (which may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -521,6 +592,207 @@ impl std::fmt::Debug for HistogramNs {
     }
 }
 
+/// One named live metric held by a [`Registry`]: a shared handle to a
+/// [`Counter`], [`Gauge`], [`TimerNs`], or [`HistogramNs`]. The `Arc` is
+/// the whole design — the registry hands the *same* atomic to the engine
+/// that bumps it and to the watcher that reads it, so registration costs
+/// one lock round-trip and every update after that is lock-free.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A monotone event counter.
+    Counter(Arc<Counter>),
+    /// A level gauge (may go down).
+    Gauge(Arc<Gauge>),
+    /// A nanosecond accumulator.
+    Timer(Arc<TimerNs>),
+    /// A latency histogram.
+    Histogram(Arc<HistogramNs>),
+}
+
+impl Metric {
+    /// The metric's current scalar value: count, level, or accumulated
+    /// nanoseconds. Histograms report their sample count.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        match self {
+            Metric::Counter(c) => i64::try_from(c.get()).unwrap_or(i64::MAX),
+            Metric::Gauge(g) => g.get(),
+            Metric::Timer(t) => i64::try_from(t.total().as_nanos()).unwrap_or(i64::MAX),
+            Metric::Histogram(h) => i64::try_from(h.count()).unwrap_or(i64::MAX),
+        }
+    }
+
+    /// The OpenMetrics type keyword for this metric kind.
+    #[must_use]
+    fn prom_type(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) | Metric::Timer(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+/// A shared, lock-light registry of named live metrics.
+///
+/// Names are dot-namespaced by subsystem (`explore.configs`,
+/// `ws.steals`, `sample.runs`, `mem.interner_bytes`). The accessors
+/// ([`counter`](Registry::counter), [`gauge`](Registry::gauge), …) are
+/// get-or-register: the first call under a name creates the metric, later
+/// calls return the same shared handle — so an engine and a dashboard
+/// agree on one atomic without coordinating. The internal lock guards
+/// only the name table; bumping a handed-out handle never takes it.
+///
+/// Clones share the table ([`Registry`] is a handle, like [`Tracer`]).
+///
+/// # Panics
+///
+/// The accessors panic when a name is already registered *as a different
+/// kind* — that is a programming error (two subsystems fighting over one
+/// name), not a runtime condition.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn table(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().expect("metrics registry poisoned")
+    }
+
+    /// The counter named `name`, registering it at zero on first sight.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a counter"),
+        }
+    }
+
+    /// The gauge named `name`, registering it at zero on first sight.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a gauge"),
+        }
+    }
+
+    /// The timer named `name`, registering it at zero on first sight.
+    #[must_use]
+    pub fn timer(&self, name: &str) -> Arc<TimerNs> {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(Arc::new(TimerNs::new())))
+        {
+            Metric::Timer(t) => Arc::clone(t),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a timer"),
+        }
+    }
+
+    /// The histogram named `name`, registering it empty on first sight.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<HistogramNs> {
+        let mut table = self.table();
+        match table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramNs::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a histogram"),
+        }
+    }
+
+    /// Looks up a metric by exact name without registering anything.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.table().get(name).cloned()
+    }
+
+    /// Every registered name, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.table().keys().cloned().collect()
+    }
+
+    /// A point-in-time snapshot of every metric as one flat JSON object,
+    /// keys sorted. Counters and gauges become integers, timers become
+    /// `<name>` in nanoseconds, histograms embed their
+    /// [`HistogramNs::to_json`] object. The snapshot is *per-metric*
+    /// atomic (each value is one relaxed load), not cross-metric — a
+    /// watcher reading mid-run may see counter A ahead of counter B.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        let table = self.table();
+        let mut doc = Json::object();
+        for (name, metric) in table.iter() {
+            doc = match metric {
+                Metric::Histogram(h) => doc.set(name, h.to_json()),
+                other => doc.set(name, other.value()),
+            };
+        }
+        doc
+    }
+
+    /// Renders the registry in the OpenMetrics / Prometheus text
+    /// exposition format: dotted names become underscore-separated, each
+    /// metric gets a `# TYPE` line, counters and timers get the `_total`
+    /// suffix the format reserves for monotone series, and histograms
+    /// render as summaries with `quantile` labels. Deterministic: names
+    /// are emitted sorted.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let table = self.table();
+        let mut out = String::new();
+        for (name, metric) in table.iter() {
+            let base: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let _ = writeln!(out, "# TYPE {base} {}", metric.prom_type());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{base}_total {}", c.get());
+                }
+                Metric::Timer(t) => {
+                    let _ = writeln!(out, "{base}_total {}", duration_ns_u64(t.total()));
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{base} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                        let _ = writeln!(out, "{base}{{quantile=\"{q}\"}} {v}");
+                    }
+                    let _ = writeln!(out, "{base}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A duration in whole nanoseconds, saturating at `u64::MAX`.
+fn duration_ns_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +971,146 @@ mod tests {
             }
         });
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_periodically_for_live_tailing() {
+        let path = std::env::temp_dir().join(format!(
+            "lbsa-obs-tail-{}-{:?}.trace.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let t = Tracer::new(JsonlSink::create(&path).expect("temp file"));
+        // Below the flush threshold nothing is promised; a `progress`
+        // event must force the buffered prefix out immediately.
+        for i in 0..5u64 {
+            t.emit("tick", Json::object().set("i", i));
+        }
+        t.emit("progress", Json::object().set("configs", 5u64));
+        let text = std::fs::read_to_string(&path).expect("trace readable mid-run");
+        assert_eq!(text.lines().count(), 6, "progress event flushes the buffer");
+        // Crossing JSONL_FLUSH_EVERY flushes without any progress event.
+        for i in 0..JSONL_FLUSH_EVERY {
+            t.emit("tick", Json::object().set("i", i));
+        }
+        let text = std::fs::read_to_string(&path).expect("trace readable mid-run");
+        assert!(
+            text.lines().count() >= 6 + JSONL_FLUSH_EVERY as usize,
+            "periodic flush keeps the file advancing"
+        );
+        for line in text.lines() {
+            assert!(
+                Json::parse(line).is_ok(),
+                "concurrently-read file yields only whole JSONL lines"
+            );
+        }
+        drop(t);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("explore.configs");
+        let b = reg.clone().counter("explore.configs");
+        a.add(3);
+        b.bump();
+        assert_eq!(a.get(), 4, "both handles bump one atomic");
+        let g = reg.gauge("explore.frontier_depth");
+        g.set(17);
+        g.sub(2);
+        assert_eq!(g.get(), 15);
+        reg.timer("explore.canon_ns")
+            .record(Duration::from_nanos(7));
+        reg.histogram("explore.level_ns").record_ns(100);
+        let mut names = reg.names();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "explore.canon_ns",
+                "explore.configs",
+                "explore.frontier_depth",
+                "explore.level_ns"
+            ]
+        );
+        assert!(matches!(
+            reg.get("explore.configs"),
+            Some(Metric::Counter(_))
+        ));
+        assert!(reg.get("absent").is_none());
+    }
+
+    #[test]
+    fn registry_snapshot_is_coherent_under_concurrent_writers() {
+        let reg = Registry::new();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let writers: Vec<_> = (0..4)
+                .map(|w| {
+                    let reg = reg.clone();
+                    s.spawn(move || {
+                        let c = reg.counter("w.events");
+                        let g = reg.gauge("w.depth");
+                        for i in 0..5_000i64 {
+                            c.bump();
+                            g.set(i);
+                        }
+                        reg.counter(&format!("w.{w}.done")).bump();
+                    })
+                })
+                .collect();
+            let watcher = {
+                let reg = reg.clone();
+                let done = &done;
+                s.spawn(move || {
+                    // A watcher snapshotting mid-run: counters never
+                    // decrease across snapshots and every snapshot is a
+                    // coherent object.
+                    let mut last = 0i64;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = reg.snapshot();
+                        if let Some(v) = snap.get("w.events").and_then(Json::as_i64) {
+                            assert!(v >= last, "counter went backwards: {v} < {last}");
+                            last = v;
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            for h in writers {
+                h.join().expect("writer panicked");
+            }
+            done.store(true, Ordering::Relaxed);
+            watcher.join().expect("watcher panicked");
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("w.events").and_then(Json::as_i64), Some(20_000));
+        for w in 0..4 {
+            assert_eq!(
+                snap.get(&format!("w.{w}.done")).and_then(Json::as_i64),
+                Some(1)
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_follows_the_exposition_format() {
+        let reg = Registry::new();
+        reg.counter("explore.configs").add(42);
+        reg.gauge("mem.interner_bytes").set(1024);
+        reg.timer("explore.canon").record(Duration::from_nanos(99));
+        reg.histogram("ws.task_ns").record_ns(1000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE explore_configs counter\nexplore_configs_total 42\n"));
+        assert!(text.contains("# TYPE mem_interner_bytes gauge\nmem_interner_bytes 1024\n"));
+        assert!(text.contains("# TYPE explore_canon counter\nexplore_canon_total 99\n"));
+        assert!(text.contains("# TYPE ws_task_ns summary\n"));
+        assert!(text.contains("ws_task_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("ws_task_ns_count 1\n"));
+        // Dotted names sort before rendering, so output is deterministic.
+        let first = text.lines().next().unwrap();
+        assert_eq!(first, "# TYPE explore_canon counter");
     }
 
     #[test]

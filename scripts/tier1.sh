@@ -36,6 +36,21 @@ echo "==> trace observatory smoke (obs_analyze on the tier-1 trace)"
 cargo run --release -q -p lbsa-bench --bin obs_analyze -- \
   "$smoke_dir/exp_t2_dac.trace.jsonl" --summary-json >/dev/null
 
+echo "==> live progress smoke (profile_t2 with a 50ms sampler, validated + cockpit-rendered)"
+# One traced WS run with the in-flight progress sampler: the trace must
+# carry schema-valid `progress` events (exp_report checks the cockpit
+# fields), obs_top must render a dashboard from it, and the Prometheus
+# snapshot must land. Short runs still emit the guaranteed final event.
+cargo run --release -q -p lbsa-bench --bin profile_t2 -- 1 --n 6 --ws \
+  --trace "$smoke_dir/progress_smoke.trace.jsonl" \
+  --progress-ms 50 \
+  --metrics-out "$smoke_dir/progress_smoke.prom" 2>/dev/null
+cargo run --release -q -p lbsa-bench --bin exp_report -- \
+  --validate-trace "$smoke_dir/progress_smoke.trace.jsonl"
+cargo run --release -q -p lbsa-bench --bin obs_top -- \
+  "$smoke_dir/progress_smoke.trace.jsonl" --no-clear >/dev/null
+grep -q "explore_configs_total" "$smoke_dir/progress_smoke.prom"
+
 echo "==> perf smoke (explore_scaling -> BENCH_explore.json gates)"
 # Regenerate BENCH_explore.json from a fresh bench run and gate it against
 # the committed copy (engine-vs-seed speedup floors, parallel-speedup
